@@ -1,0 +1,189 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Experiment C4: VT-x/EPT backend vs RISC-V/PMP backend (§4).
+// Shape to check: the PMP backend enforces the same policies but (1) its
+// entry budget caps how fragmented a domain's layout may be, (2) its
+// transition cost scales with the entries rewritten, while EPT pays page
+// walks and TLB flushes instead.
+
+#include <benchmark/benchmark.h>
+
+#include "src/monitor/pmp_backend.h"
+#include "src/monitor/vtx_backend.h"
+#include "src/os/testbed.h"
+#include "src/tyche/enclave.h"
+
+namespace tyche {
+namespace {
+
+constexpr uint64_t kMiB = 1ull << 20;
+
+Result<Enclave> BuildEnclave(Testbed* testbed, uint64_t base, uint64_t size) {
+  const TycheImage image = TycheImage::MakeDemo("bench", 2 * kPageSize, 0);
+  LoadOptions load;
+  load.base = base;
+  load.size = size;
+  load.cores = {1};
+  load.core_caps = {*testbed->OsCoreCap(1)};
+  return Enclave::Create(&testbed->monitor(), 0, image, load);
+}
+
+// Full domain build+teardown on each backend, vs domain size.
+void DomainLifecycle(benchmark::State& state, IsaArch arch) {
+  TestbedOptions options;
+  options.arch = arch;
+  options.memory_bytes = 512ull << 20;
+  auto testbed = Testbed::Create(options);
+  if (!testbed.ok()) {
+    std::abort();
+  }
+  const uint64_t size = static_cast<uint64_t>(state.range(0)) * kMiB;
+  // NAPOT-friendly placement for the PMP backend.
+  const uint64_t base = AlignUp(testbed->Scratch(0), size);
+  const uint64_t start = testbed->machine().cycles().cycles();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    auto enclave = BuildEnclave(&*testbed, base, size);
+    if (!enclave.ok()) {
+      state.SkipWithError(enclave.status().ToString().c_str());
+      return;
+    }
+    if (!testbed->monitor().DestroyDomain(0, enclave->handle()).ok()) {
+      state.SkipWithError("destroy failed");
+      return;
+    }
+    ++ops;
+  }
+  state.counters["domain_MiB"] = static_cast<double>(state.range(0));
+  state.counters["sim_cycles/op"] = benchmark::Counter(
+      static_cast<double>(testbed->machine().cycles().cycles() - start) /
+      static_cast<double>(ops));
+}
+void BM_DomainLifecycle_Ept(benchmark::State& state) {
+  DomainLifecycle(state, IsaArch::kX86_64);
+}
+void BM_DomainLifecycle_Pmp(benchmark::State& state) {
+  DomainLifecycle(state, IsaArch::kRiscV);
+}
+BENCHMARK(BM_DomainLifecycle_Ept)->Arg(1)->Arg(4)->Arg(16)->Iterations(20);
+BENCHMARK(BM_DomainLifecycle_Pmp)->Arg(1)->Arg(4)->Arg(16)->Iterations(20);
+
+// Transition cost on each backend.
+void TransitionCost(benchmark::State& state, IsaArch arch) {
+  TestbedOptions options;
+  options.arch = arch;
+  auto testbed = Testbed::Create(options);
+  const uint64_t base = AlignUp(testbed->Scratch(0), kMiB);
+  auto enclave = BuildEnclave(&*testbed, base, kMiB);
+  if (!enclave.ok()) {
+    std::abort();
+  }
+  const uint64_t start = testbed->machine().cycles().cycles();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enclave->Enter(1));
+    benchmark::DoNotOptimize(enclave->Exit(1));
+    ++ops;
+  }
+  state.counters["sim_cycles/op"] = benchmark::Counter(
+      static_cast<double>(testbed->machine().cycles().cycles() - start) /
+      static_cast<double>(ops));
+}
+void BM_Transition_Ept(benchmark::State& state) { TransitionCost(state, IsaArch::kX86_64); }
+void BM_Transition_Pmp(benchmark::State& state) { TransitionCost(state, IsaArch::kRiscV); }
+BENCHMARK(BM_Transition_Ept);
+BENCHMARK(BM_Transition_Pmp);
+
+// PMP layout compilation: entries consumed vs fragmentation, and where the
+// budget breaks ("requires a careful memory layout of trust domains").
+void BM_PmpCompile(benchmark::State& state) {
+  const int64_t fragments = state.range(0);
+  std::vector<CapabilityEngine::MappedRegion> map;
+  for (int64_t i = 0; i < fragments; ++i) {
+    map.push_back({AddrRange{static_cast<uint64_t>(i) * 2 * kMiB, kMiB},
+                   Perms(Perms::kRWX)});
+  }
+  int entries = 0;
+  bool fits = true;
+  for (auto _ : state) {
+    auto program = PmpBackend::Compile(map, PmpBackend::kDomainEntryBudget);
+    fits = program.ok();
+    entries = fits ? static_cast<int>(program->entries.size()) : 0;
+    benchmark::DoNotOptimize(program);
+  }
+  state.counters["fragments"] = static_cast<double>(fragments);
+  state.counters["pmp_entries"] = entries;
+  state.counters["fits_budget"] = fits ? 1 : 0;
+}
+BENCHMARK(BM_PmpCompile)->DenseRange(1, 19, 3);
+
+// Maximum concurrent fragmented domains per machine: EPT is bounded by
+// metadata frames, PMP by nothing global (entries are per-hart) -- but each
+// DOMAIN's own layout must fit. Measure domains built until failure with
+// an N-fragment layout each.
+void BM_FragmentedDomainCapacity(benchmark::State& state) {
+  const bool use_pmp = state.range(0) == 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    TestbedOptions options;
+    options.arch = use_pmp ? IsaArch::kRiscV : IsaArch::kX86_64;
+    options.memory_bytes = 512ull << 20;
+    auto testbed = Testbed::Create(options);
+    state.ResumeTiming();
+    // Each domain: 8 disjoint single-page shares (NAPOT-friendly).
+    int built = 0;
+    for (int d = 0; d < 64; ++d) {
+      auto created = testbed->monitor().CreateDomain(0, "frag");
+      if (!created.ok()) {
+        break;
+      }
+      bool all_ok = true;
+      for (int i = 0; i < 8; ++i) {
+        const AddrRange page{
+            testbed->Scratch(static_cast<uint64_t>(d) * kMiB +
+                             static_cast<uint64_t>(i) * 8 * kPageSize),
+            kPageSize};
+        const auto cap = testbed->OsMemCap(page);
+        if (!cap.ok() ||
+            !testbed->monitor()
+                 .ShareMemory(0, *cap, created->handle, page, Perms(Perms::kRW),
+                              CapRights{}, RevocationPolicy{})
+                 .ok()) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (!all_ok) {
+        break;
+      }
+      ++built;
+    }
+    state.counters["domains_built"] = built;
+  }
+  state.counters["backend_pmp"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_FragmentedDomainCapacity)->Arg(0)->Arg(1)->Iterations(3);
+
+// EPT metadata footprint: table frames consumed per domain size.
+void BM_EptMetadataFootprint(benchmark::State& state) {
+  TestbedOptions options;
+  options.memory_bytes = 512ull << 20;
+  auto testbed = Testbed::Create(options);
+  const uint64_t size = static_cast<uint64_t>(state.range(0)) * kMiB;
+  auto enclave = BuildEnclave(&*testbed, AlignUp(testbed->Scratch(0), size), size);
+  if (!enclave.ok()) {
+    std::abort();
+  }
+  auto* backend = static_cast<VtxBackend*>(&testbed->monitor().backend());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend->TotalTableFrames());
+  }
+  state.counters["domain_MiB"] = static_cast<double>(state.range(0));
+  state.counters["table_frames"] =
+      static_cast<double>(backend->DomainEpt(enclave->domain())->table_frames());
+}
+BENCHMARK(BM_EptMetadataFootprint)->Arg(1)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace tyche
+
+BENCHMARK_MAIN();

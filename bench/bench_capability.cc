@@ -1,0 +1,174 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Experiment C2: capability-engine operation costs (§4.1's grant / share /
+// revoke tree). Shape to check: individual operations stay cheap as the
+// tree grows; cascading revocation is linear in the subtree it kills,
+// including in the presence of circular sharing.
+
+#include <benchmark/benchmark.h>
+
+#include "src/capability/engine.h"
+
+namespace tyche {
+namespace {
+
+constexpr uint64_t kMiB = 1ull << 20;
+constexpr uint64_t kSpace = 1ull << 40;  // plenty of disjoint ranges
+
+// An engine pre-populated with `count` active share capabilities.
+struct PopulatedEngine {
+  CapabilityEngine engine;
+  CapId root = kInvalidCap;
+  std::vector<CapId> shares;
+};
+
+PopulatedEngine MakePopulated(int64_t count) {
+  PopulatedEngine p;
+  p.engine.RegisterDomain(0, CapabilityEngine::kNoCreator);
+  p.engine.RegisterDomain(1, 0);
+  p.root = *p.engine.MintMemory(0, AddrRange{0, kSpace}, Perms(Perms::kRWX),
+                                CapRights(CapRights::kAll));
+  CapEffects effects;
+  for (int64_t i = 0; i < count; ++i) {
+    p.shares.push_back(*p.engine.ShareMemory(
+        0, p.root, 1, AddrRange{static_cast<uint64_t>(i) * kMiB, kMiB}, Perms(Perms::kRW),
+        CapRights(CapRights::kAll), RevocationPolicy{}, &effects));
+  }
+  return p;
+}
+
+// Share latency as the tree grows.
+void BM_ShareMemory(benchmark::State& state) {
+  PopulatedEngine p = MakePopulated(state.range(0));
+  uint64_t next = 1ull << 30;
+  CapEffects effects;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.engine.ShareMemory(0, p.root, 1, AddrRange{next, kMiB},
+                                                  Perms(Perms::kRW), CapRights{},
+                                                  RevocationPolicy{}, &effects));
+    next += kMiB;
+  }
+  state.counters["existing_caps"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ShareMemory)->Arg(16)->Arg(256)->Arg(4096)->Iterations(20000);
+
+// Grant latency (includes splitting the source capability).
+void BM_GrantMemory(benchmark::State& state) {
+  PopulatedEngine p = MakePopulated(state.range(0));
+  uint64_t next = 1ull << 30;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.engine.GrantMemory(0, p.root, 1, AddrRange{next, kMiB},
+                                                  Perms(Perms::kRW),
+                                                  CapRights(CapRights::kAll),
+                                                  RevocationPolicy{}));
+    // The root is donated on the first grant; keep granting from the tail
+    // remainder found via the domain map (realistic usage goes through the
+    // monitor, which rediscovers).
+    state.PauseTiming();
+    CapId tail = kInvalidCap;
+    p.engine.ForEachActive([&](const Capability& cap) {
+      if (cap.owner == 0 && cap.kind == ResourceKind::kMemory &&
+          cap.range.Contains(next + kMiB)) {
+        tail = cap.id;
+      }
+    });
+    p.root = tail;
+    next += kMiB;
+    state.ResumeTiming();
+  }
+  state.counters["existing_caps"] = static_cast<double>(state.range(0));
+}
+// Iteration-capped: every grant grows the lineage tree, so unbounded
+// default timing degenerates quadratically in the paused rediscovery scan.
+BENCHMARK(BM_GrantMemory)->Arg(16)->Arg(256)->Arg(1024)->Iterations(2000);
+
+// Cascading revocation vs chain depth (A->B->A->B->... circular sharing).
+void BM_RevokeCascadeDepth(benchmark::State& state) {
+  const int64_t depth = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CapabilityEngine engine;
+    engine.RegisterDomain(0, CapabilityEngine::kNoCreator);
+    engine.RegisterDomain(1, 0);
+    engine.RegisterDomain(2, 0);
+    const CapId root = *engine.MintMemory(0, AddrRange{0, kMiB}, Perms(Perms::kRWX),
+                                          CapRights(CapRights::kAll));
+    CapEffects effects;
+    CapId chain = *engine.ShareMemory(0, root, 1, AddrRange{0, kMiB}, Perms(Perms::kRW),
+                                      CapRights(CapRights::kAll), RevocationPolicy{},
+                                      &effects);
+    const CapId first = chain;
+    for (int64_t i = 1; i < depth; ++i) {
+      const CapDomainId from = i % 2 == 0 ? 2 : 1;
+      const CapDomainId to = i % 2 == 0 ? 1 : 2;
+      chain = *engine.ShareMemory(from, chain, to, AddrRange{0, kMiB}, Perms(Perms::kRW),
+                                  CapRights(CapRights::kAll), RevocationPolicy{}, &effects);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine.Revoke(0, first));
+  }
+  state.counters["chain_depth"] = static_cast<double>(depth);
+}
+BENCHMARK(BM_RevokeCascadeDepth)->Arg(4)->Arg(32)->Arg(256)->Arg(1024)->Iterations(200);
+
+// Cascading revocation vs fan-out (one cap shared to N domains).
+void BM_RevokeCascadeFanout(benchmark::State& state) {
+  const int64_t fanout = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CapabilityEngine engine;
+    engine.RegisterDomain(0, CapabilityEngine::kNoCreator);
+    const CapId root = *engine.MintMemory(0, AddrRange{0, kMiB}, Perms(Perms::kRWX),
+                                          CapRights(CapRights::kAll));
+    CapEffects effects;
+    const CapId hub = *engine.ShareMemory(0, root, 0, AddrRange{0, kMiB}, Perms(Perms::kRW),
+                                          CapRights(CapRights::kAll), RevocationPolicy{},
+                                          &effects);
+    for (int64_t i = 0; i < fanout; ++i) {
+      engine.RegisterDomain(static_cast<CapDomainId>(i + 1), 0);
+      (void)*engine.ShareMemory(0, hub, static_cast<CapDomainId>(i + 1),
+                                AddrRange{0, kMiB}, Perms(Perms::kRead), CapRights{},
+                                RevocationPolicy{}, &effects);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine.Revoke(0, hub));
+  }
+  state.counters["fanout"] = static_cast<double>(fanout);
+}
+BENCHMARK(BM_RevokeCascadeFanout)->Arg(4)->Arg(32)->Arg(256)->Arg(1024)->Iterations(200);
+
+// Reference-count query cost (used on every attestation).
+void BM_MemoryRefCount(benchmark::State& state) {
+  PopulatedEngine p = MakePopulated(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.engine.MemoryRefCount(AddrRange{0, kMiB}));
+  }
+  state.counters["existing_caps"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MemoryRefCount)->Arg(16)->Arg(256)->Arg(4096)->Iterations(20000);
+
+// The Figure-4 style full-memory view (what an auditor renders).
+void BM_MemoryView(benchmark::State& state) {
+  PopulatedEngine p = MakePopulated(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.engine.MemoryView());
+  }
+  state.counters["existing_caps"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MemoryView)->Arg(16)->Arg(256)->Arg(1024)->Iterations(500);
+
+// Effective-permission recomputation (backend resync unit of work).
+void BM_EffectivePerms(benchmark::State& state) {
+  PopulatedEngine p = MakePopulated(state.range(0));
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.engine.EffectivePerms(1, addr));
+    addr = (addr + kMiB) % (static_cast<uint64_t>(state.range(0)) * kMiB);
+  }
+  state.counters["existing_caps"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_EffectivePerms)->Arg(16)->Arg(256)->Arg(4096)->Iterations(20000);
+
+}  // namespace
+}  // namespace tyche
+
+BENCHMARK_MAIN();

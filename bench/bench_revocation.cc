@@ -1,0 +1,151 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Experiment C6: revocation policies (§3.2) -- the guaranteed "clean-up
+// operation, e.g., zeroing-out memory or flushing CPU cache".
+// Shape to check: base revocation cost is per-page (unmap + TLB flush);
+// the zero and flush policies add linear per-page work on top; the
+// obfuscating combination is their sum.
+
+#include <benchmark/benchmark.h>
+
+#include "src/os/testbed.h"
+#include "src/tyche/enclave.h"
+
+namespace tyche {
+namespace {
+
+constexpr uint64_t kMiB = 1ull << 20;
+
+void RevocationWithPolicy(benchmark::State& state, uint8_t policy_mask) {
+  TestbedOptions options;
+  options.memory_bytes = 512ull << 20;
+  auto testbed = Testbed::Create(options);
+  const uint64_t size = static_cast<uint64_t>(state.range(0)) * kMiB;
+  const AddrRange region{testbed->Scratch(kMiB), size};
+  const auto created = testbed->monitor().CreateDomain(0, "revokee");
+  if (!created.ok()) {
+    std::abort();
+  }
+
+  uint64_t sim = 0;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto cap = testbed->OsMemCap(region);
+    const auto grant = testbed->monitor().GrantMemory(
+        0, *cap, created->handle, region, Perms(Perms::kRW), CapRights(CapRights::kAll),
+        RevocationPolicy(policy_mask));
+    if (!grant.ok()) {
+      state.SkipWithError(grant.status().ToString().c_str());
+      return;
+    }
+    const uint64_t before = testbed->machine().cycles().cycles();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(testbed->monitor().Revoke(0, grant->granted));
+    state.PauseTiming();
+    sim += testbed->machine().cycles().cycles() - before;
+    ++ops;
+    state.ResumeTiming();
+  }
+  state.counters["region_MiB"] = static_cast<double>(state.range(0));
+  state.counters["sim_cycles/op"] =
+      benchmark::Counter(static_cast<double>(sim) / static_cast<double>(ops));
+}
+
+void BM_Revoke_NoPolicy(benchmark::State& state) {
+  RevocationWithPolicy(state, RevocationPolicy::kNone);
+}
+void BM_Revoke_ZeroMemory(benchmark::State& state) {
+  RevocationWithPolicy(state, RevocationPolicy::kZeroMemory);
+}
+void BM_Revoke_FlushCache(benchmark::State& state) {
+  RevocationWithPolicy(state, RevocationPolicy::kFlushCache);
+}
+void BM_Revoke_Obfuscate(benchmark::State& state) {
+  RevocationWithPolicy(state, RevocationPolicy::kObfuscate);
+}
+BENCHMARK(BM_Revoke_NoPolicy)->Arg(1)->Arg(4)->Arg(16)->Iterations(10);
+BENCHMARK(BM_Revoke_ZeroMemory)->Arg(1)->Arg(4)->Arg(16)->Iterations(10);
+BENCHMARK(BM_Revoke_FlushCache)->Arg(1)->Arg(4)->Arg(16)->Iterations(10);
+BENCHMARK(BM_Revoke_Obfuscate)->Arg(1)->Arg(4)->Arg(16)->Iterations(10);
+
+// Revoking a SHARE vs revoking a GRANT (the grant restores ownership).
+void BM_RevokeShareVsGrant(benchmark::State& state) {
+  const bool use_grant = state.range(0) == 1;
+  TestbedOptions options;
+  auto testbed = Testbed::Create(options);
+  const AddrRange region{testbed->Scratch(kMiB), kMiB};
+  const auto created = testbed->monitor().CreateDomain(0, "peer");
+  uint64_t sim = 0;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    CapId cap = kInvalidCap;
+    if (use_grant) {
+      cap = testbed->monitor()
+                .GrantMemory(0, *testbed->OsMemCap(region), created->handle, region,
+                             Perms(Perms::kRW), CapRights(CapRights::kAll),
+                             RevocationPolicy{})
+                ->granted;
+    } else {
+      cap = *testbed->monitor().ShareMemory(0, *testbed->OsMemCap(region), created->handle,
+                                            region, Perms(Perms::kRW), CapRights{},
+                                            RevocationPolicy{});
+    }
+    const uint64_t before = testbed->machine().cycles().cycles();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(testbed->monitor().Revoke(0, cap));
+    state.PauseTiming();
+    sim += testbed->machine().cycles().cycles() - before;
+    ++ops;
+    state.ResumeTiming();
+  }
+  state.counters["is_grant"] = static_cast<double>(state.range(0));
+  state.counters["sim_cycles/op"] =
+      benchmark::Counter(static_cast<double>(sim) / static_cast<double>(ops));
+}
+BENCHMARK(BM_RevokeShareVsGrant)->Arg(0)->Arg(1)->Iterations(20);
+
+// Stale-TLB hazard: when a domain loses access (here the OS, granting a
+// region away while its TLB is hot), the backend MUST flush the cores
+// running it -- otherwise stale translations would keep the access alive.
+// Counts the flushes and proves the access actually dies.
+void BM_GrantFlushesStaleTlb(benchmark::State& state) {
+  TestbedOptions options;
+  auto testbed = Testbed::Create(options);
+  const AddrRange region{testbed->Scratch(kMiB), kMiB};
+  const auto created = testbed->monitor().CreateDomain(0, "sink");
+  uint64_t flushes = 0;
+  uint64_t killed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Touch the region from the OS so core 0's TLB caches the translation.
+    (void)testbed->machine().CheckedRead64(0, region.base);
+    const uint64_t before = testbed->machine().cpu(0).tlb().stats().flushes;
+    const auto cap = testbed->OsMemCap(region);
+    state.ResumeTiming();
+    const auto grant = testbed->monitor().GrantMemory(0, *cap, created->handle, region,
+                                                      Perms(Perms::kRW),
+                                                      CapRights(CapRights::kAll),
+                                                      RevocationPolicy{});
+    state.PauseTiming();
+    flushes += testbed->machine().cpu(0).tlb().stats().flushes - before;
+    if (!testbed->machine().CheckedRead64(0, region.base).ok()) {
+      ++killed;  // the stale access is really gone
+    }
+    // Take the region back for the next round.
+    if (grant.ok()) {
+      (void)testbed->monitor().Revoke(0, grant->granted);
+    }
+    state.ResumeTiming();
+  }
+  state.counters["tlb_flushes/op"] = benchmark::Counter(
+      static_cast<double>(flushes) / static_cast<double>(state.iterations()));
+  state.counters["access_revoked"] = benchmark::Counter(
+      static_cast<double>(killed) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_GrantFlushesStaleTlb)->Iterations(20);
+
+}  // namespace
+}  // namespace tyche
+
+BENCHMARK_MAIN();

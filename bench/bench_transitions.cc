@@ -1,0 +1,185 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Experiment C1: domain-transition cost.
+//
+// Paper claim (§4.1): trap-mediated transitions can be accelerated to "fast
+// (100 cycles) domain transitions using VMFUNC"; the baselines are OS
+// context switches and SGX EENTER/EEXIT. Absolute numbers come from the
+// simulator's cost model (see src/hw/cost_model.h for provenance); the
+// SHAPE to check against the paper: vmfunc << vmcall < sgx round trip, and
+// vmfunc << OS context switch.
+//
+// Counters: sim_cycles/op is the simulated-hardware cost; wall time measures
+// only the simulator and is not meaningful on its own.
+
+#include <benchmark/benchmark.h>
+
+#include "src/baseline/sgx_model.h"
+#include "src/os/testbed.h"
+#include "src/tyche/enclave.h"
+
+namespace tyche {
+namespace {
+
+constexpr uint64_t kMiB = 1ull << 20;
+
+struct TransitionWorld {
+  Testbed testbed;
+  Enclave enclave;
+};
+
+TransitionWorld MakeWorld(IsaArch arch) {
+  TestbedOptions options;
+  options.arch = arch;
+  auto testbed = Testbed::Create(options);
+  if (!testbed.ok()) {
+    std::abort();
+  }
+  const TycheImage image = TycheImage::MakeDemo("callee", 2 * kPageSize, 0);
+  LoadOptions load;
+  load.base = testbed->Scratch(kMiB);
+  load.size = kMiB;
+  load.cores = {1};
+  load.core_caps = {*testbed->OsCoreCap(1)};
+  auto enclave = Enclave::Create(&testbed->monitor(), 0, image, load);
+  if (!enclave.ok()) {
+    std::abort();
+  }
+  return TransitionWorld{std::move(*testbed), std::move(*enclave)};
+}
+
+// Trap-mediated call+return through the monitor (VMCALL path on x86).
+void BM_TrapTransitionRoundTrip(benchmark::State& state) {
+  TransitionWorld world = MakeWorld(IsaArch::kX86_64);
+  const uint64_t start = world.testbed.machine().cycles().cycles();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.enclave.Enter(1));
+    benchmark::DoNotOptimize(world.enclave.Exit(1));
+    ++ops;
+  }
+  state.counters["sim_cycles/op"] = benchmark::Counter(
+      static_cast<double>(world.testbed.machine().cycles().cycles() - start) /
+      static_cast<double>(ops));
+}
+BENCHMARK(BM_TrapTransitionRoundTrip);
+
+// Hardware fast path (VMFUNC EPTP switch), pre-armed.
+void BM_FastTransitionRoundTrip(benchmark::State& state) {
+  TransitionWorld world = MakeWorld(IsaArch::kX86_64);
+  if (!world.enclave.EnableFastCalls(1).ok()) {
+    state.SkipWithError("fast path unavailable");
+    return;
+  }
+  const uint64_t start = world.testbed.machine().cycles().cycles();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.enclave.FastEnter(1));
+    benchmark::DoNotOptimize(world.enclave.FastExit(1));
+    ++ops;
+  }
+  state.counters["sim_cycles/op"] = benchmark::Counter(
+      static_cast<double>(world.testbed.machine().cycles().cycles() - start) /
+      static_cast<double>(ops));
+}
+BENCHMARK(BM_FastTransitionRoundTrip);
+
+// RISC-V: the trap path goes through M-mode and rewrites PMP entries.
+void BM_PmpTransitionRoundTrip(benchmark::State& state) {
+  TransitionWorld world = MakeWorld(IsaArch::kRiscV);
+  const uint64_t start = world.testbed.machine().cycles().cycles();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.enclave.Enter(1));
+    benchmark::DoNotOptimize(world.enclave.Exit(1));
+    ++ops;
+  }
+  state.counters["sim_cycles/op"] = benchmark::Counter(
+      static_cast<double>(world.testbed.machine().cycles().cycles() - start) /
+      static_cast<double>(ops));
+}
+BENCHMARK(BM_PmpTransitionRoundTrip);
+
+// Baseline 1: OS process context switch.
+void BM_ProcessContextSwitch(benchmark::State& state) {
+  auto testbed = Testbed::Create(TestbedOptions{});
+  if (!testbed.ok()) {
+    std::abort();
+  }
+  (void)testbed->os().CreateProcess("a", kMiB);
+  (void)testbed->os().CreateProcess("b", kMiB);
+  const uint64_t start = testbed->machine().cycles().cycles();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testbed->os().scheduler().Tick());
+    ++ops;
+  }
+  state.counters["sim_cycles/op"] = benchmark::Counter(
+      static_cast<double>(testbed->machine().cycles().cycles() - start) /
+      static_cast<double>(ops));
+}
+BENCHMARK(BM_ProcessContextSwitch);
+
+// Baseline 2: OS syscall round trip (the cost of driver work in user mode,
+// §2.2's "extra context switches for privileged operations").
+void BM_SyscallRoundTrip(benchmark::State& state) {
+  auto testbed = Testbed::Create(TestbedOptions{});
+  if (!testbed.ok()) {
+    std::abort();
+  }
+  const Pid pid = *testbed->os().CreateProcess("app", kMiB);
+  const AddrRange memory = (*testbed->os().GetProcess(pid))->memory;
+  const uint64_t start = testbed->machine().cycles().cycles();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(testbed->os().SysRead(0, pid, memory.base, 8));
+    ++ops;
+  }
+  state.counters["sim_cycles/op"] = benchmark::Counter(
+      static_cast<double>(testbed->machine().cycles().cycles() - start) /
+      static_cast<double>(ops));
+}
+BENCHMARK(BM_SyscallRoundTrip);
+
+// Baseline 3: SGX EENTER/EEXIT round trip.
+void BM_SgxEnterExitRoundTrip(benchmark::State& state) {
+  CycleAccount cycles;
+  SgxProcessor sgx(1024, &cycles);
+  const auto id = sgx.Ecreate(1, AddrRange{0x10000000, kMiB});
+  const std::vector<uint8_t> page(64, 1);
+  (void)sgx.Eadd(*id, 0, std::span<const uint8_t>(page));
+  (void)sgx.Einit(*id);
+  const uint64_t start = cycles.cycles();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sgx.Eenter(*id));
+    benchmark::DoNotOptimize(sgx.Eexit(*id));
+    ++ops;
+  }
+  state.counters["sim_cycles/op"] =
+      benchmark::Counter(static_cast<double>(cycles.cycles() - start) /
+                         static_cast<double>(ops));
+}
+BENCHMARK(BM_SgxEnterExitRoundTrip);
+
+// Steady-state memory access through the enclave's EPT (TLB-hot): shows
+// that isolation costs nothing once translations are cached.
+void BM_EnclaveMemoryAccessTlbHot(benchmark::State& state) {
+  TransitionWorld world = MakeWorld(IsaArch::kX86_64);
+  (void)world.enclave.Enter(1);
+  (void)world.testbed.machine().CheckedRead64(1, world.enclave.base());  // warm
+  const uint64_t start = world.testbed.machine().cycles().cycles();
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.testbed.machine().CheckedRead64(1, world.enclave.base()));
+    ++ops;
+  }
+  state.counters["sim_cycles/op"] = benchmark::Counter(
+      static_cast<double>(world.testbed.machine().cycles().cycles() - start) /
+      static_cast<double>(ops));
+}
+BENCHMARK(BM_EnclaveMemoryAccessTlbHot);
+
+}  // namespace
+}  // namespace tyche
+
+BENCHMARK_MAIN();

@@ -1,0 +1,158 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// An attested secret vault: the downstream-app view of the monitor's API.
+//
+// A password-manager enclave keeps its database sealed to its own code
+// identity. The UNTRUSTED OS stores the blob between runs (that is fine:
+// the blob is opaque), but only the same vault image under the same monitor
+// can open it. Service restarts recover the secrets; the OS, a tampered
+// vault, and a blob-tamperer all fail.
+
+#include "examples/demo_common.h"
+#include "src/tyche/channel.h"
+#include "src/tyche/enclave.h"
+
+namespace tyche {
+namespace {
+
+TycheImage VaultImage(uint8_t version) {
+  TycheImage image("vault");
+  ImageSegment code;
+  code.name = "code";
+  code.size = 2 * kPageSize;
+  code.perms = Perms(Perms::kRWX);
+  code.measured = true;
+  code.data.assign(1024, version);  // "the vault binary"
+  (void)image.AddSegment(std::move(code));
+  ImageSegment mailbox;
+  mailbox.name = "mailbox";
+  mailbox.offset = 2 * kPageSize;
+  mailbox.size = 2 * kPageSize;
+  mailbox.perms = Perms(Perms::kRW);
+  mailbox.shared = true;  // request/response channel with the OS
+  (void)image.AddSegment(std::move(mailbox));
+  image.set_entry_offset(0);
+  return image;
+}
+
+Result<Enclave> SpawnVault(DemoWorld* world, const TycheImage& image,
+                           uint64_t offset = kMiB) {
+  LoadOptions load;
+  load.base = world->Scratch(offset);
+  load.size = kMiB;
+  load.cores = {1};
+  load.core_caps = {world->OsCoreCap(1)};
+  return Enclave::Create(world->monitor.get(), 0, image, load);
+}
+
+int Run() {
+  Banner("vault v1: first run, seal the database");
+  DemoWorld world = MakeDemoWorld();
+  Monitor* monitor = world.monitor.get();
+  Machine* machine = world.machine.get();
+
+  const TycheImage image = VaultImage(/*version=*/1);
+  auto vault = SpawnVault(&world, image);
+  DEMO_CHECK(vault.ok());
+
+  const std::string database = "site:example.com user:alice pw:hunter2";
+  std::vector<uint8_t> blob;  // what the OS gets to keep
+  {
+    DEMO_CHECK(vault->Enter(1).ok());
+    const auto sealed = monitor->SealData(
+        1, std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(database.data()),
+                                    database.size()));
+    DEMO_CHECK(sealed.ok());
+    blob = *sealed;
+    DEMO_CHECK(vault->Exit(1).ok());
+  }
+  std::printf("vault sealed %zu bytes of secrets into a %zu-byte blob\n",
+              database.size(), blob.size());
+  std::printf("the OS stores the blob; it is ciphertext to everyone but the vault\n");
+
+  Banner("service restart: same image recovers the database");
+  DEMO_CHECK(monitor->DestroyDomain(0, vault->handle()).ok());
+  auto vault2 = SpawnVault(&world, image);
+  DEMO_CHECK(vault2.ok());
+  {
+    DEMO_CHECK(vault2->Enter(1).ok());
+    const auto opened = monitor->UnsealData(1, blob);
+    DEMO_CHECK(opened.ok());
+    const std::string recovered(opened->begin(), opened->end());
+    DEMO_CHECK(recovered == database);
+    std::printf("vault v1 (new instance) unsealed: \"%.24s...\"\n", recovered.c_str());
+
+    // Serve one request through the shared mailbox: the OS asks whether a
+    // password exists; only a yes/no ever crosses the boundary.
+    const AddrRange mailbox{vault2->base() + 2 * kPageSize, 2 * kPageSize};
+    auto channel = Channel::Create(monitor, 1, mailbox);
+    DEMO_CHECK(channel.ok());
+    DEMO_CHECK(vault2->Exit(1).ok());
+
+    const std::string query = "has:example.com";
+    DEMO_CHECK(channel
+                   ->Send(0, std::span<const uint8_t>(
+                                 reinterpret_cast<const uint8_t*>(query.data()),
+                                 query.size()))
+                   .ok());
+    DEMO_CHECK(vault2->Enter(1).ok());
+    const auto request = channel->Recv(1);
+    DEMO_CHECK(request.ok());
+    const std::string answer =
+        database.find("example.com") != std::string::npos ? "yes" : "no";
+    DEMO_CHECK(channel
+                   ->Send(1, std::span<const uint8_t>(
+                                 reinterpret_cast<const uint8_t*>(answer.data()),
+                                 answer.size()))
+                   .ok());
+    DEMO_CHECK(vault2->Exit(1).ok());
+    const auto response = channel->Recv(0);
+    DEMO_CHECK(response.ok());
+    std::printf("OS asked \"%s\" over the mailbox -> vault answered \"%s\"\n",
+                query.c_str(), std::string(response->begin(), response->end()).c_str());
+  }
+
+  Banner("every way to steal the database fails");
+  // 1. The OS tries to unseal the blob itself.
+  const auto os_attempt = monitor->UnsealData(0, blob);
+  std::printf("OS unseals the blob:               %s\n",
+              os_attempt.ok() ? "LEAKED!" : os_attempt.status().ToString().c_str());
+  DEMO_CHECK(!os_attempt.ok());
+
+  // 2. A tampered vault image (one byte differs) tries.
+  DEMO_CHECK(monitor->DestroyDomain(0, vault2->handle()).ok());
+  auto evil = SpawnVault(&world, VaultImage(/*version=*/2), 4 * kMiB);
+  DEMO_CHECK(evil.ok());
+  DEMO_CHECK(evil->Enter(1).ok());
+  const auto evil_attempt = monitor->UnsealData(1, blob);
+  std::printf("tampered vault unseals the blob:   %s\n",
+              evil_attempt.ok() ? "LEAKED!" : evil_attempt.status().ToString().c_str());
+  DEMO_CHECK(!evil_attempt.ok());
+  DEMO_CHECK(evil->Exit(1).ok());
+
+  // 3. A bit-flipped blob is rejected even for the honest vault.
+  auto vault3 = SpawnVault(&world, image);
+  DEMO_CHECK(vault3.ok());
+  std::vector<uint8_t> flipped = blob;
+  flipped[flipped.size() / 2] ^= 0x01;
+  DEMO_CHECK(vault3->Enter(1).ok());
+  const auto flip_attempt = monitor->UnsealData(1, flipped);
+  std::printf("bit-flipped blob at honest vault:  %s\n",
+              flip_attempt.ok() ? "ACCEPTED?!" : flip_attempt.status().ToString().c_str());
+  DEMO_CHECK(!flip_attempt.ok());
+  DEMO_CHECK(vault3->Exit(1).ok());
+
+  // 4. And of course the OS cannot read the vault's memory directly.
+  const bool direct_blocked = !machine->CheckedRead64(0, vault3->base()).ok();
+  std::printf("OS reads vault memory directly:    %s\n",
+              direct_blocked ? "BLOCKED" : "LEAKED!");
+  DEMO_CHECK(direct_blocked);
+
+  DEMO_CHECK(*monitor->AuditHardwareConsistency());
+  std::printf("\nvault demo complete; audit OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tyche
+
+int main() { return tyche::Run(); }

@@ -1,0 +1,92 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Shared setup for the example programs: a booted machine with LinOS as the
+// initial domain, plus small printing helpers.
+
+#ifndef EXAMPLES_DEMO_COMMON_H_
+#define EXAMPLES_DEMO_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+
+#include "src/monitor/boot.h"
+#include "src/os/kernel.h"
+#include "src/tyche/loader.h"
+
+namespace tyche {
+
+constexpr uint64_t kMiB = 1ull << 20;
+
+struct DemoWorld {
+  std::unique_ptr<Machine> machine;
+  std::unique_ptr<Monitor> monitor;
+  std::unique_ptr<LinOs> os;
+  DomainId os_domain = kInvalidDomain;
+  Digest golden_firmware;
+  Digest golden_monitor;
+  std::vector<uint8_t> firmware_image = DemoFirmwareImage();
+  std::vector<uint8_t> monitor_image = DemoMonitorImage();
+
+  CapId OsMemCap(AddrRange range) { return *FindMemoryCap(*monitor, os_domain, range); }
+  CapId OsCoreCap(CoreId core) {
+    return *FindUnitCap(*monitor, os_domain, ResourceKind::kCpuCore, core);
+  }
+  CapId OsDeviceCap(uint16_t bdf) {
+    return *FindUnitCap(*monitor, os_domain, ResourceKind::kPciDevice, bdf);
+  }
+  // Kernel-reserved scratch space for direct domain placement.
+  uint64_t Scratch(uint64_t offset) const { return monitor->monitor_range().end() + offset; }
+};
+
+inline DemoWorld MakeDemoWorld(IsaArch arch = IsaArch::kX86_64,
+                               uint64_t memory_bytes = 128ull << 20, bool with_gpu = false,
+                               bool with_nic = false) {
+  DemoWorld world;
+  MachineConfig config;
+  config.arch = arch;
+  config.memory_bytes = memory_bytes;
+  config.num_cores = 4;
+  world.machine = std::make_unique<Machine>(config);
+  if (with_gpu) {
+    (void)world.machine->AddDevice(std::make_unique<GpuDevice>(PciBdf(0, 4, 0), "gpu0"));
+  }
+  if (with_nic) {
+    (void)world.machine->AddDevice(std::make_unique<DmaEngine>(PciBdf(0, 3, 0), "nic0"));
+  }
+
+  BootParams params;
+  params.firmware_image = world.firmware_image;
+  params.monitor_image = world.monitor_image;
+  auto outcome = MeasuredBoot(world.machine.get(), params);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "boot failed: %s\n", outcome.status().ToString().c_str());
+    std::abort();
+  }
+  world.monitor = std::move(outcome->monitor);
+  world.os_domain = outcome->initial_domain;
+  world.golden_firmware = outcome->firmware_measurement;
+  world.golden_monitor = outcome->monitor_measurement;
+
+  const uint64_t os_base = world.monitor->monitor_range().end();
+  const uint64_t os_size = memory_bytes - os_base;
+  world.os = std::make_unique<LinOs>(
+      world.monitor.get(), world.os_domain,
+      *FindMemoryCap(*world.monitor, world.os_domain, AddrRange{os_base, os_size}),
+      AddrRange{os_base + os_size / 2, os_size / 2});
+  return world;
+}
+
+#define DEMO_CHECK(expr)                                                      \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      std::fprintf(stderr, "FATAL %s:%d: %s\n", __FILE__, __LINE__, #expr);   \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+inline void Banner(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace tyche
+
+#endif  // EXAMPLES_DEMO_COMMON_H_

@@ -1,0 +1,91 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/baseline/monopoly.h"
+
+namespace tyche {
+
+CommodityStack::CommodityStack() {
+  MonopolyActor hypervisor;
+  hypervisor.id = 0;
+  hypervisor.name = "hypervisor";
+  hypervisor.level = PrivLevel::kHypervisor;
+  hypervisor.parent = 0;
+  actors_[0] = hypervisor;
+}
+
+uint32_t CommodityStack::AddActor(const std::string& name, PrivLevel level,
+                                  uint32_t parent) {
+  const uint32_t id = next_id_++;
+  MonopolyActor actor;
+  actor.id = id;
+  actor.name = name;
+  actor.level = level;
+  actor.parent = parent;
+  actors_[id] = actor;
+  return id;
+}
+
+Status CommodityStack::Assign(uint32_t parent, uint32_t child, AddrRange range) {
+  const auto child_it = actors_.find(child);
+  if (child_it == actors_.end()) {
+    return Error(ErrorCode::kNotFound, "no such actor");
+  }
+  if (child_it->second.parent != parent) {
+    return Error(ErrorCode::kPolicyViolation, "only the parent assigns resources");
+  }
+  assignments_[child].push_back(range);
+  return OkStatus();
+}
+
+bool CommodityStack::IsAncestorOrSelf(uint32_t ancestor, uint32_t actor) const {
+  uint32_t current = actor;
+  for (int depth = 0; depth < 16; ++depth) {
+    if (current == ancestor) {
+      return true;
+    }
+    const auto it = actors_.find(current);
+    if (it == actors_.end() || it->second.parent == current) {
+      return false;
+    }
+    current = it->second.parent;
+  }
+  return false;
+}
+
+bool CommodityStack::CanAccess(uint32_t actor, AddrRange range) const {
+  // The actor reaches every range assigned to itself or to anything it
+  // transitively supervises.
+  for (const auto& [holder, ranges] : assignments_) {
+    if (!IsAncestorOrSelf(actor, holder)) {
+      continue;
+    }
+    for (const AddrRange& assigned : ranges) {
+      if (assigned.Contains(range)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Status CommodityStack::ProtectFromAncestors(uint32_t actor, AddrRange range) {
+  (void)actor;
+  (void)range;
+  // Page tables and EPTs are owned by the level above; a child has no
+  // mechanism to retract its ancestors' mappings.
+  return Error(ErrorCode::kUnimplemented,
+               "privilege hierarchies cannot isolate a child from its ancestors");
+}
+
+Status CommodityStack::Attest(uint32_t actor) const {
+  (void)actor;
+  return Error(ErrorCode::kUnimplemented,
+               "commodity systems provide no verifiable isolation evidence");
+}
+
+const MonopolyActor* CommodityStack::GetActor(uint32_t id) const {
+  const auto it = actors_.find(id);
+  return it == actors_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tyche

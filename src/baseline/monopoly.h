@@ -1,0 +1,70 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// The commodity "monopoly" baseline (§2.2): a hierarchical stack in which
+// each privilege level has unconditional access to everything at lower
+// levels, isolation policies are whatever the level above says, and nothing
+// is attestable. Used by the threat-model tests and the isolation-strength
+// bench to show which attacks succeed without an isolation monitor.
+
+#ifndef SRC_BASELINE_MONOPOLY_H_
+#define SRC_BASELINE_MONOPOLY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/align.h"
+#include "src/support/status.h"
+
+namespace tyche {
+
+// Privilege levels of the commodity stack, most privileged first.
+enum class PrivLevel : uint8_t {
+  kHypervisor = 0,
+  kGuestKernel = 1,
+  kUserProcess = 2,
+};
+
+struct MonopolyActor {
+  uint32_t id = 0;
+  std::string name;
+  PrivLevel level = PrivLevel::kUserProcess;
+  uint32_t parent = 0;  // enforcing authority (kernel for processes, ...)
+};
+
+// A model of who-can-access-what under the privilege hierarchy. Memory is
+// ASSIGNED to actors by their parent, but assignment is bookkeeping only:
+// any ancestor in the privilege chain can access (and reassign) it at will.
+class CommodityStack {
+ public:
+  CommodityStack();
+
+  // Adds an actor below `parent`. The hypervisor is actor 0, pre-created.
+  uint32_t AddActor(const std::string& name, PrivLevel level, uint32_t parent);
+
+  // Parent assigns memory to a child (bookkeeping).
+  Status Assign(uint32_t parent, uint32_t child, AddrRange range);
+
+  // THE MONOPOLY: access succeeds iff the range is assigned to the actor
+  // itself or to any TRANSITIVE descendant -- privileged code sees
+  // everything below it, and nothing can opt out.
+  bool CanAccess(uint32_t actor, AddrRange range) const;
+
+  // What the hierarchy cannot express (returns an explanatory error):
+  // a child isolating memory FROM its ancestors.
+  Status ProtectFromAncestors(uint32_t actor, AddrRange range);
+  // ... remotely verifiable evidence of the assignment state.
+  Status Attest(uint32_t actor) const;
+
+  const MonopolyActor* GetActor(uint32_t id) const;
+
+ private:
+  bool IsAncestorOrSelf(uint32_t ancestor, uint32_t actor) const;
+
+  std::map<uint32_t, MonopolyActor> actors_;
+  std::map<uint32_t, std::vector<AddrRange>> assignments_;
+  uint32_t next_id_ = 1;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_BASELINE_MONOPOLY_H_

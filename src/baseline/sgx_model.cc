@@ -1,0 +1,146 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/baseline/sgx_model.h"
+
+namespace tyche {
+
+SgxProcessor::SgxProcessor(uint64_t epc_pages, CycleAccount* cycles)
+    : cycles_(cycles), epc_free_(epc_pages) {}
+
+Result<SgxProcessor::SgxEnclave*> SgxProcessor::Get(SgxEnclaveId enclave) {
+  const auto it = enclaves_.find(enclave);
+  if (it == enclaves_.end() || it->second.removed) {
+    return Error(ErrorCode::kNotFound, "no such enclave");
+  }
+  return &it->second;
+}
+
+Result<SgxEnclaveId> SgxProcessor::Ecreate(uint32_t process, AddrRange elrange) {
+  if (!entered_.empty()) {
+    // ECREATE is a privileged (ring-0) instruction; enclave mode cannot
+    // issue it: no nesting, ever.
+    return Error(ErrorCode::kUnimplemented, "SGX enclaves cannot nest");
+  }
+  if (elrange.empty() || !IsPowerOfTwo(elrange.size) ||
+      !IsAligned(elrange.base, elrange.size)) {
+    return Error(ErrorCode::kInvalidArgument, "ELRANGE must be naturally aligned pow2");
+  }
+  // One enclave range per process; no overlap with any live or past range.
+  for (const AddrRange& used : used_ranges_[process]) {
+    if (used.Overlaps(elrange)) {
+      return Error(ErrorCode::kAlreadyExists,
+                   "ELRANGE overlaps a previously used enclave range (no address reuse)");
+    }
+  }
+  used_ranges_[process].push_back(elrange);
+  const SgxEnclaveId id = next_id_++;
+  SgxEnclave& enclave = enclaves_[id];
+  enclave.process = process;
+  enclave.elrange = elrange;
+  enclave.mrenclave_ctx.Update(std::string_view("sgx-mrenclave-v1"));
+  enclave.mrenclave_ctx.UpdateValue(elrange.base);
+  enclave.mrenclave_ctx.UpdateValue(elrange.size);
+  cycles_->Charge(costs_.ecreate);
+  return id;
+}
+
+Status SgxProcessor::Eadd(SgxEnclaveId id, uint64_t page_offset,
+                          std::span<const uint8_t> content) {
+  TYCHE_ASSIGN_OR_RETURN(SgxEnclave * enclave, Get(id));
+  if (enclave->initialized) {
+    return Error(ErrorCode::kFailedPrecondition, "EADD after EINIT");
+  }
+  if (!IsPageAligned(page_offset) || page_offset >= enclave->elrange.size) {
+    return Error(ErrorCode::kOutOfRange, "page outside ELRANGE");
+  }
+  if (content.size() > kPageSize) {
+    return Error(ErrorCode::kInvalidArgument, "EADD takes at most one page");
+  }
+  if (epc_free_ == 0) {
+    return Error(ErrorCode::kResourceExhausted, "EPC exhausted");
+  }
+  --epc_free_;
+  ++enclave->epc_pages;
+  enclave->mrenclave_ctx.UpdateValue(page_offset);
+  std::vector<uint8_t> page(kPageSize, 0);
+  std::copy(content.begin(), content.end(), page.begin());
+  enclave->mrenclave_ctx.Update(std::span<const uint8_t>(page));
+  cycles_->Charge(costs_.eadd_per_page);
+  return OkStatus();
+}
+
+Status SgxProcessor::Einit(SgxEnclaveId id) {
+  TYCHE_ASSIGN_OR_RETURN(SgxEnclave * enclave, Get(id));
+  if (enclave->initialized) {
+    return Error(ErrorCode::kFailedPrecondition, "already initialized");
+  }
+  enclave->initialized = true;
+  enclave->mrenclave = enclave->mrenclave_ctx.Finalize();
+  cycles_->Charge(costs_.einit);
+  return OkStatus();
+}
+
+Status SgxProcessor::Eenter(SgxEnclaveId id) {
+  TYCHE_ASSIGN_OR_RETURN(SgxEnclave * enclave, Get(id));
+  if (!enclave->initialized) {
+    return Error(ErrorCode::kFailedPrecondition, "EENTER before EINIT");
+  }
+  if (entered_.contains(id)) {
+    return Error(ErrorCode::kFailedPrecondition, "already in enclave");
+  }
+  entered_.insert(id);
+  cycles_->Charge(costs_.eenter);
+  return OkStatus();
+}
+
+Status SgxProcessor::Eexit(SgxEnclaveId id) {
+  if (entered_.erase(id) == 0) {
+    return Error(ErrorCode::kFailedPrecondition, "not in enclave");
+  }
+  cycles_->Charge(costs_.eexit);
+  return OkStatus();
+}
+
+Status SgxProcessor::Eremove(SgxEnclaveId id) {
+  TYCHE_ASSIGN_OR_RETURN(SgxEnclave * enclave, Get(id));
+  if (entered_.contains(id)) {
+    return Error(ErrorCode::kFailedPrecondition, "enclave is executing");
+  }
+  epc_free_ += enclave->epc_pages;
+  cycles_->Charge(costs_.eremove_per_page * enclave->epc_pages);
+  enclave->epc_pages = 0;
+  enclave->removed = true;
+  // NOTE: the ELRANGE stays in used_ranges_: addresses are not reusable.
+  return OkStatus();
+}
+
+Result<Digest> SgxProcessor::MrEnclave(SgxEnclaveId id) const {
+  const auto it = enclaves_.find(id);
+  if (it == enclaves_.end() || !it->second.initialized) {
+    return Error(ErrorCode::kFailedPrecondition, "no measurement before EINIT");
+  }
+  return it->second.mrenclave;
+}
+
+Status SgxProcessor::ShareBetweenEnclaves(SgxEnclaveId from, SgxEnclaveId to,
+                                          AddrRange range) {
+  (void)from;
+  (void)to;
+  (void)range;
+  // EPC pages belong to exactly one enclave; there is no architectural
+  // sharing primitive. (Real deployments bounce through untrusted host
+  // memory, which is exactly the leakage channel the paper criticizes.)
+  return Error(ErrorCode::kUnimplemented, "SGX has no enclave-to-enclave sharing");
+}
+
+uint64_t SgxProcessor::live_enclaves() const {
+  uint64_t count = 0;
+  for (const auto& [id, enclave] : enclaves_) {
+    if (!enclave.removed) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace tyche

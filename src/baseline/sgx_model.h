@@ -1,0 +1,104 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// A behavioural model of SGX-style enclaves: the baseline Tyche-enclaves are
+// compared against in §4.2. The model captures the ARCHITECTURAL contract
+// (life cycle, EPC scarcity, measurement) and, deliberately, the three
+// limitations the paper calls out:
+//   1. implicit host-address-space access: enclave code can read/write ALL
+//      of its host process's memory, so leakage needs no explicit sharing;
+//   2. one enclave virtual range per process, no overlap, no address reuse
+//      after teardown (ELRANGE is fixed at build time);
+//   3. no nesting and no enclave-to-enclave sharing.
+// Cycle costs follow published measurements (EENTER+EEXIT ~ 7-8k cycles).
+
+#ifndef SRC_BASELINE_SGX_MODEL_H_
+#define SRC_BASELINE_SGX_MODEL_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/hw/cost_model.h"
+#include "src/support/align.h"
+#include "src/support/status.h"
+
+namespace tyche {
+
+using SgxEnclaveId = uint32_t;
+
+struct SgxCosts {
+  uint64_t ecreate = 20000;
+  uint64_t eadd_per_page = 4500;   // copy + EPCM update + EEXTEND x2
+  uint64_t einit = 60000;          // launch token + sigstruct checks
+  uint64_t eenter = 3800;
+  uint64_t eexit = 3300;
+  uint64_t eremove_per_page = 1200;
+};
+
+class SgxProcessor {
+ public:
+  // `epc_pages`: size of the Enclave Page Cache (the scarce resource; 93.5
+  // MiB usable on classic client parts).
+  SgxProcessor(uint64_t epc_pages, CycleAccount* cycles);
+
+  // Creates an enclave in `process` covering virtual range `elrange`.
+  // Fails if the range overlaps any live or PREVIOUSLY USED range in the
+  // process (no address reuse), or if called from enclave mode (no nesting).
+  Result<SgxEnclaveId> Ecreate(uint32_t process, AddrRange elrange);
+
+  // Adds one page of initial content (consumes EPC; extends MRENCLAVE).
+  Status Eadd(SgxEnclaveId enclave, uint64_t page_offset,
+              std::span<const uint8_t> content);
+
+  // Finalizes the measurement; the enclave becomes enterable.
+  Status Einit(SgxEnclaveId enclave);
+
+  // Synchronous enclave call. While inside, the processor is "in enclave
+  // mode" for that process.
+  Status Eenter(SgxEnclaveId enclave);
+  Status Eexit(SgxEnclaveId enclave);
+
+  // Tears the enclave down, freeing EPC. The ELRANGE remains burned.
+  Status Eremove(SgxEnclaveId enclave);
+
+  Result<Digest> MrEnclave(SgxEnclaveId enclave) const;
+
+  // The §4.2 deltas, exposed explicitly so benches can show them failing:
+  // enclave-to-enclave page sharing does not exist in the model's contract.
+  Status ShareBetweenEnclaves(SgxEnclaveId from, SgxEnclaveId to, AddrRange range);
+
+  // Whether enclave code implicitly reaches host memory (always true: this
+  // is the accidental-leakage channel Tyche closes).
+  static constexpr bool kEnclaveSeesHostMemory = true;
+
+  uint64_t epc_free_pages() const { return epc_free_; }
+  uint64_t live_enclaves() const;
+  const SgxCosts& costs() const { return costs_; }
+
+ private:
+  struct SgxEnclave {
+    uint32_t process = 0;
+    AddrRange elrange;
+    bool initialized = false;
+    bool removed = false;
+    uint64_t epc_pages = 0;
+    Sha256 mrenclave_ctx;
+    Digest mrenclave;
+  };
+
+  Result<SgxEnclave*> Get(SgxEnclaveId enclave);
+
+  CycleAccount* cycles_;
+  SgxCosts costs_;
+  uint64_t epc_free_;
+  std::map<SgxEnclaveId, SgxEnclave> enclaves_;
+  // Per process: all ELRANGEs ever used (reuse forbidden).
+  std::map<uint32_t, std::vector<AddrRange>> used_ranges_;
+  // Which enclave (if any) the processor is currently executing.
+  std::set<SgxEnclaveId> entered_;
+  SgxEnclaveId next_id_ = 1;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_BASELINE_SGX_MODEL_H_

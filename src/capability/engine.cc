@@ -1,0 +1,672 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/capability/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/support/log.h"
+
+namespace tyche {
+
+namespace {
+
+// Splits `whole` minus `sub` into at most two remainder pieces.
+std::vector<AddrRange> RemainderPieces(const AddrRange& whole, const AddrRange& sub) {
+  std::vector<AddrRange> pieces;
+  if (sub.base > whole.base) {
+    pieces.push_back(AddrRange{whole.base, sub.base - whole.base});
+  }
+  if (sub.end() < whole.end()) {
+    pieces.push_back(AddrRange{sub.end(), whole.end() - sub.end()});
+  }
+  return pieces;
+}
+
+}  // namespace
+
+std::string Capability::ToString() const {
+  std::ostringstream out;
+  out << "cap#" << id << " owner=" << owner << " " << ResourceKindName(kind);
+  if (kind == ResourceKind::kMemory) {
+    out << " [0x" << std::hex << range.base << ",0x" << range.end() << std::dec << ") "
+        << perms.ToString();
+  } else {
+    out << " unit=" << unit;
+  }
+  switch (state) {
+    case CapState::kActive:
+      out << " active";
+      break;
+    case CapState::kRevoked:
+      out << " revoked";
+      break;
+    case CapState::kDonated:
+      out << " donated";
+      break;
+  }
+  return out.str();
+}
+
+void CapabilityEngine::RegisterDomain(CapDomainId domain, CapDomainId creator) {
+  domains_[domain] = DomainInfo{creator, /*sealed=*/false};
+}
+
+void CapabilityEngine::SealDomain(CapDomainId domain) {
+  const auto it = domains_.find(domain);
+  if (it != domains_.end()) {
+    it->second.sealed = true;
+  }
+}
+
+bool CapabilityEngine::IsSealed(CapDomainId domain) const {
+  const auto it = domains_.find(domain);
+  return it != domains_.end() && it->second.sealed;
+}
+
+bool CapabilityEngine::IsRegistered(CapDomainId domain) const {
+  return domains_.contains(domain);
+}
+
+Capability& CapabilityEngine::NewCap(CapDomainId owner, ResourceKind kind) {
+  const CapId id = next_id_++;
+  Capability& cap = caps_[id];
+  cap.id = id;
+  cap.owner = owner;
+  cap.kind = kind;
+  return cap;
+}
+
+Result<Capability*> CapabilityEngine::GetMutable(CapId cap) {
+  const auto it = caps_.find(cap);
+  if (it == caps_.end()) {
+    return Error(ErrorCode::kNotFound, "no such capability");
+  }
+  return &it->second;
+}
+
+Result<const Capability*> CapabilityEngine::Get(CapId cap) const {
+  const auto it = caps_.find(cap);
+  if (it == caps_.end()) {
+    return Error(ErrorCode::kNotFound, "no such capability");
+  }
+  return &it->second;
+}
+
+Result<CapId> CapabilityEngine::MintMemory(CapDomainId owner, AddrRange range, Perms perms,
+                                           CapRights rights) {
+  if (!IsRegistered(owner)) {
+    return Error(ErrorCode::kNotFound, "owner domain not registered");
+  }
+  if (range.empty() || !IsPageAligned(range.base) || !IsPageAligned(range.size)) {
+    return Error(ErrorCode::kInvalidArgument, "memory capability must be page-aligned");
+  }
+  Capability& cap = NewCap(owner, ResourceKind::kMemory);
+  cap.range = range;
+  cap.perms = perms;
+  cap.rights = rights;
+  cap.origin = CapOrigin::kMint;
+  return cap.id;
+}
+
+Result<CapId> CapabilityEngine::MintUnit(CapDomainId owner, ResourceKind kind, uint64_t unit,
+                                         CapRights rights) {
+  if (!IsRegistered(owner)) {
+    return Error(ErrorCode::kNotFound, "owner domain not registered");
+  }
+  if (kind == ResourceKind::kMemory) {
+    return Error(ErrorCode::kInvalidArgument, "use MintMemory for memory");
+  }
+  Capability& cap = NewCap(owner, kind);
+  cap.unit = unit;
+  cap.rights = rights;
+  cap.origin = CapOrigin::kMint;
+  return cap.id;
+}
+
+Status CapabilityEngine::CheckSealingRules(CapDomainId src_owner, CapDomainId dst) const {
+  const auto dst_it = domains_.find(dst);
+  if (dst_it == domains_.end()) {
+    return Error(ErrorCode::kNotFound, "destination domain not registered");
+  }
+  // A sealed domain's resource set cannot be extended (§3.1) -- not even by
+  // its creator, or the attested configuration would be mutable.
+  if (dst_it->second.sealed) {
+    return Error(ErrorCode::kDomainSealed, "cannot extend a sealed domain's resources");
+  }
+  // A sealed domain cannot share onward -- except into domains it created
+  // itself (nested enclaves, §4.2).
+  if (IsSealed(src_owner) && dst_it->second.creator != src_owner) {
+    return Error(ErrorCode::kDomainSealed, "sealed domain may only delegate to its children");
+  }
+  return OkStatus();
+}
+
+Result<CapId> CapabilityEngine::ShareMemory(CapDomainId requester, CapId src_cap,
+                                            CapDomainId dst, AddrRange sub, Perms perms,
+                                            CapRights rights, RevocationPolicy policy,
+                                            CapEffects* effects) {
+  TYCHE_ASSIGN_OR_RETURN(Capability * src, GetMutable(src_cap));
+  if (src->owner != requester) {
+    return Error(ErrorCode::kCapabilityNotOwned, "share: requester does not own capability");
+  }
+  if (!src->active()) {
+    return Error(ErrorCode::kCapabilityRevoked, "share: source capability inactive");
+  }
+  if (src->kind != ResourceKind::kMemory) {
+    return Error(ErrorCode::kInvalidArgument, "share: not a memory capability");
+  }
+  if (!src->rights.CanShare()) {
+    return Error(ErrorCode::kCapabilityRightsViolation, "share: missing share right");
+  }
+  if (sub.empty() || !src->range.Contains(sub)) {
+    return Error(ErrorCode::kOutOfRange, "share: sub-range outside capability");
+  }
+  if (!IsPageAligned(sub.base) || !IsPageAligned(sub.size)) {
+    return Error(ErrorCode::kInvalidArgument, "share: sub-range must be page-aligned");
+  }
+  if (!src->perms.Covers(perms) || perms.empty()) {
+    return Error(ErrorCode::kCapabilityRightsViolation, "share: permissions exceed source");
+  }
+  if (!src->rights.Covers(rights)) {
+    return Error(ErrorCode::kCapabilityRightsViolation, "share: rights exceed source");
+  }
+  TYCHE_RETURN_IF_ERROR(CheckSealingRules(requester, dst));
+
+  Capability& child = NewCap(dst, ResourceKind::kMemory);
+  child.range = sub;
+  child.perms = perms;
+  child.rights = rights;
+  child.revocation = policy;
+  child.origin = CapOrigin::kShare;
+  child.parent = src->id;
+  // NewCap may rehash caps_; re-fetch src.
+  caps_[src_cap].children.push_back(child.id);
+
+  if (effects != nullptr) {
+    effects->Add(CapEffect{CapEffect::Kind::kMapMemory, dst, ResourceKind::kMemory, sub, 0,
+                           perms});
+  }
+  return child.id;
+}
+
+Result<GrantOutcome> CapabilityEngine::GrantMemory(CapDomainId requester, CapId src_cap,
+                                                   CapDomainId dst, AddrRange sub,
+                                                   Perms perms, CapRights rights,
+                                                   RevocationPolicy policy) {
+  TYCHE_ASSIGN_OR_RETURN(Capability * src_ptr, GetMutable(src_cap));
+  if (src_ptr->owner != requester) {
+    return Error(ErrorCode::kCapabilityNotOwned, "grant: requester does not own capability");
+  }
+  if (!src_ptr->active()) {
+    return Error(ErrorCode::kCapabilityRevoked, "grant: source capability inactive");
+  }
+  if (src_ptr->kind != ResourceKind::kMemory) {
+    return Error(ErrorCode::kInvalidArgument, "grant: not a memory capability");
+  }
+  if (!src_ptr->rights.CanGrant()) {
+    return Error(ErrorCode::kCapabilityRightsViolation, "grant: missing grant right");
+  }
+  if (sub.empty() || !src_ptr->range.Contains(sub)) {
+    return Error(ErrorCode::kOutOfRange, "grant: sub-range outside capability");
+  }
+  if (!IsPageAligned(sub.base) || !IsPageAligned(sub.size)) {
+    return Error(ErrorCode::kInvalidArgument, "grant: sub-range must be page-aligned");
+  }
+  if (!src_ptr->perms.Covers(perms) || perms.empty()) {
+    return Error(ErrorCode::kCapabilityRightsViolation, "grant: permissions exceed source");
+  }
+  if (!src_ptr->rights.Covers(rights)) {
+    return Error(ErrorCode::kCapabilityRightsViolation, "grant: rights exceed source");
+  }
+  TYCHE_RETURN_IF_ERROR(CheckSealingRules(requester, dst));
+
+  // Snapshot fields before NewCap invalidates the pointer.
+  const AddrRange src_range = src_ptr->range;
+  const Perms src_perms = src_ptr->perms;
+  const CapRights src_rights = src_ptr->rights;
+  const RevocationPolicy src_policy = src_ptr->revocation;
+
+  GrantOutcome outcome;
+
+  Capability& granted = NewCap(dst, ResourceKind::kMemory);
+  granted.range = sub;
+  granted.perms = perms;
+  granted.rights = rights;
+  granted.revocation = policy;
+  granted.origin = CapOrigin::kGrant;
+  granted.parent = src_cap;
+  outcome.granted = granted.id;
+  caps_[src_cap].children.push_back(granted.id);
+
+  for (const AddrRange& piece : RemainderPieces(src_range, sub)) {
+    Capability& rem = NewCap(requester, ResourceKind::kMemory);
+    rem.range = piece;
+    rem.perms = src_perms;
+    rem.rights = src_rights;
+    rem.revocation = src_policy;
+    rem.origin = CapOrigin::kRemainder;
+    rem.parent = src_cap;
+    caps_[src_cap].children.push_back(rem.id);
+    outcome.remainders.push_back(rem.id);
+  }
+
+  caps_[src_cap].state = CapState::kDonated;
+
+  // The grantor loses access to the granted bytes; the recipient gains it.
+  outcome.effects.Add(CapEffect{CapEffect::Kind::kUnmapMemory, requester,
+                                ResourceKind::kMemory, sub, 0, src_perms});
+  outcome.effects.Add(
+      CapEffect{CapEffect::Kind::kMapMemory, dst, ResourceKind::kMemory, sub, 0, perms});
+  return outcome;
+}
+
+Result<CapId> CapabilityEngine::ShareUnit(CapDomainId requester, CapId src_cap,
+                                          CapDomainId dst, CapRights rights,
+                                          RevocationPolicy policy, CapEffects* effects) {
+  TYCHE_ASSIGN_OR_RETURN(Capability * src, GetMutable(src_cap));
+  if (src->owner != requester) {
+    return Error(ErrorCode::kCapabilityNotOwned, "share: requester does not own capability");
+  }
+  if (!src->active()) {
+    return Error(ErrorCode::kCapabilityRevoked, "share: source capability inactive");
+  }
+  if (src->kind == ResourceKind::kMemory) {
+    return Error(ErrorCode::kInvalidArgument, "share: use ShareMemory for memory");
+  }
+  if (!src->rights.CanShare()) {
+    return Error(ErrorCode::kCapabilityRightsViolation, "share: missing share right");
+  }
+  if (!src->rights.Covers(rights)) {
+    return Error(ErrorCode::kCapabilityRightsViolation, "share: rights exceed source");
+  }
+  TYCHE_RETURN_IF_ERROR(CheckSealingRules(requester, dst));
+
+  const ResourceKind kind = src->kind;
+  const uint64_t unit = src->unit;
+  Capability& child = NewCap(dst, kind);
+  child.unit = unit;
+  child.rights = rights;
+  child.revocation = policy;
+  child.origin = CapOrigin::kShare;
+  child.parent = src_cap;
+  caps_[src_cap].children.push_back(child.id);
+
+  if (effects != nullptr) {
+    effects->Add(CapEffect{CapEffect::Kind::kAttachUnit, dst, kind, AddrRange{}, unit,
+                           Perms{}});
+  }
+  return child.id;
+}
+
+Result<GrantOutcome> CapabilityEngine::GrantUnit(CapDomainId requester, CapId src_cap,
+                                                 CapDomainId dst, CapRights rights,
+                                                 RevocationPolicy policy) {
+  TYCHE_ASSIGN_OR_RETURN(Capability * src, GetMutable(src_cap));
+  if (src->owner != requester) {
+    return Error(ErrorCode::kCapabilityNotOwned, "grant: requester does not own capability");
+  }
+  if (!src->active()) {
+    return Error(ErrorCode::kCapabilityRevoked, "grant: source capability inactive");
+  }
+  if (src->kind == ResourceKind::kMemory) {
+    return Error(ErrorCode::kInvalidArgument, "grant: use GrantMemory for memory");
+  }
+  if (!src->rights.CanGrant()) {
+    return Error(ErrorCode::kCapabilityRightsViolation, "grant: missing grant right");
+  }
+  if (!src->rights.Covers(rights)) {
+    return Error(ErrorCode::kCapabilityRightsViolation, "grant: rights exceed source");
+  }
+  TYCHE_RETURN_IF_ERROR(CheckSealingRules(requester, dst));
+
+  const ResourceKind kind = src->kind;
+  const uint64_t unit = src->unit;
+
+  GrantOutcome outcome;
+  Capability& granted = NewCap(dst, kind);
+  granted.unit = unit;
+  granted.rights = rights;
+  granted.revocation = policy;
+  granted.origin = CapOrigin::kGrant;
+  granted.parent = src_cap;
+  outcome.granted = granted.id;
+  caps_[src_cap].children.push_back(granted.id);
+  caps_[src_cap].state = CapState::kDonated;
+
+  outcome.effects.Add(CapEffect{CapEffect::Kind::kDetachUnit, requester, kind, AddrRange{},
+                                unit, Perms{}});
+  outcome.effects.Add(
+      CapEffect{CapEffect::Kind::kAttachUnit, dst, kind, AddrRange{}, unit, Perms{}});
+  return outcome;
+}
+
+void CapabilityEngine::EmitRevokeEffects(const Capability& cap, CapEffects* effects) {
+  if (cap.kind == ResourceKind::kMemory) {
+    effects->Add(CapEffect{CapEffect::Kind::kUnmapMemory, cap.owner, cap.kind, cap.range, 0,
+                           cap.perms});
+    if (cap.revocation.ZeroMemory()) {
+      effects->Add(CapEffect{CapEffect::Kind::kZeroMemory, cap.owner, cap.kind, cap.range, 0,
+                             Perms{}});
+    }
+    if (cap.revocation.FlushCache()) {
+      effects->Add(CapEffect{CapEffect::Kind::kFlushCache, cap.owner, cap.kind, cap.range, 0,
+                             Perms{}});
+    }
+  } else {
+    effects->Add(CapEffect{CapEffect::Kind::kDetachUnit, cap.owner, cap.kind, AddrRange{},
+                           cap.unit, Perms{}});
+  }
+}
+
+uint64_t CapabilityEngine::RevokeSubtree(CapId cap_id, std::set<CapId>* visited,
+                                         CapEffects* effects) {
+  if (visited->contains(cap_id)) {
+    return 0;  // cycle tolerance: each node processed at most once
+  }
+  visited->insert(cap_id);
+
+  const auto it = caps_.find(cap_id);
+  if (it == caps_.end()) {
+    return 0;
+  }
+  uint64_t revoked = 0;
+  // Children first: a shared-out mapping must disappear before the sharer's.
+  const std::vector<CapId> children = it->second.children;
+  for (const CapId child : children) {
+    revoked += RevokeSubtree(child, visited, effects);
+  }
+  Capability& cap = caps_[cap_id];
+  if (cap.state != CapState::kRevoked) {
+    if (cap.state == CapState::kActive) {
+      EmitRevokeEffects(cap, effects);
+      ++revoked;
+    }
+    cap.state = CapState::kRevoked;
+  }
+  return revoked;
+}
+
+Result<RevokeOutcome> CapabilityEngine::Revoke(CapDomainId requester, CapId cap_id) {
+  TYCHE_ASSIGN_OR_RETURN(const Capability* cap, Get(cap_id));
+  if (cap->state == CapState::kRevoked) {
+    return Error(ErrorCode::kCapabilityRevoked, "revoke: already revoked");
+  }
+
+  bool authorized = cap->owner == requester;  // dropping one's own access
+  CapDomainId grantor = kNoCreator;
+  if (cap->parent != kInvalidCap) {
+    const auto parent_it = caps_.find(cap->parent);
+    if (parent_it != caps_.end()) {
+      grantor = parent_it->second.owner;
+      if (parent_it->second.owner == requester && parent_it->second.rights.CanRevoke()) {
+        authorized = true;  // revoking what one shared / granted out
+      }
+    }
+  }
+  if (!authorized) {
+    return Error(ErrorCode::kCapabilityRightsViolation, "revoke: not authorized");
+  }
+
+  RevokeOutcome outcome;
+  std::set<CapId> visited;
+  const bool was_grant = cap->origin == CapOrigin::kGrant;
+  const AddrRange range = cap->range;
+  const ResourceKind kind = cap->kind;
+  const uint64_t unit = cap->unit;
+  const CapId parent = cap->parent;
+
+  outcome.revoked_count = RevokeSubtree(cap_id, &visited, &outcome.effects);
+
+  // Revoking a grant returns ownership to the grantor.
+  if (was_grant && grantor != kNoCreator && parent != kInvalidCap) {
+    const Capability& parent_cap = caps_[parent];
+    Capability& restore = NewCap(grantor, kind);
+    restore.range = range;
+    restore.unit = unit;
+    restore.perms = parent_cap.perms;
+    restore.rights = parent_cap.rights;
+    restore.revocation = parent_cap.revocation;
+    restore.origin = CapOrigin::kRestore;
+    restore.parent = parent;
+    caps_[parent].children.push_back(restore.id);
+    outcome.restored = restore.id;
+    if (kind == ResourceKind::kMemory) {
+      outcome.effects.Add(CapEffect{CapEffect::Kind::kMapMemory, grantor, kind, range, 0,
+                                    restore.perms});
+    } else {
+      outcome.effects.Add(
+          CapEffect{CapEffect::Kind::kAttachUnit, grantor, kind, AddrRange{}, unit, Perms{}});
+    }
+  }
+  return outcome;
+}
+
+Result<RevokeOutcome> CapabilityEngine::PurgeDomain(CapDomainId domain) {
+  if (!IsRegistered(domain)) {
+    return Error(ErrorCode::kNotFound, "purge: domain not registered");
+  }
+  RevokeOutcome total;
+  // Collect first: revocation mutates the map.
+  std::vector<CapId> owned;
+  for (const auto& [id, cap] : caps_) {
+    if (cap.owner == domain && cap.active()) {
+      owned.push_back(id);
+    }
+  }
+  for (const CapId id : owned) {
+    const auto it = caps_.find(id);
+    if (it == caps_.end() || !it->second.active()) {
+      continue;  // revoked by an earlier cascade
+    }
+    auto result = Revoke(domain, id);
+    if (result.ok()) {
+      total.revoked_count += result->revoked_count;
+      total.effects.Append(result->effects);
+    }
+  }
+  domains_.erase(domain);
+  return total;
+}
+
+std::vector<const Capability*> CapabilityEngine::DomainCaps(CapDomainId domain) const {
+  std::vector<const Capability*> out;
+  for (const auto& [id, cap] : caps_) {
+    if (cap.owner == domain && cap.active()) {
+      out.push_back(&cap);
+    }
+  }
+  return out;
+}
+
+Perms CapabilityEngine::EffectivePerms(CapDomainId domain, uint64_t addr) const {
+  uint8_t mask = Perms::kNone;
+  for (const auto& [id, cap] : caps_) {
+    if (cap.owner == domain && cap.active() && cap.kind == ResourceKind::kMemory &&
+        cap.range.Contains(addr)) {
+      mask |= cap.perms.mask;
+    }
+  }
+  return Perms(mask);
+}
+
+bool CapabilityEngine::HasUnit(CapDomainId domain, ResourceKind kind, uint64_t unit) const {
+  for (const auto& [id, cap] : caps_) {
+    if (cap.owner == domain && cap.active() && cap.kind == kind && cap.unit == unit) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint32_t CapabilityEngine::MemoryRefCount(AddrRange range) const {
+  std::set<CapDomainId> holders;
+  for (const auto& [id, cap] : caps_) {
+    if (cap.active() && cap.kind == ResourceKind::kMemory && cap.range.Overlaps(range)) {
+      holders.insert(cap.owner);
+    }
+  }
+  return static_cast<uint32_t>(holders.size());
+}
+
+uint32_t CapabilityEngine::UnitRefCount(ResourceKind kind, uint64_t unit) const {
+  std::set<CapDomainId> holders;
+  for (const auto& [id, cap] : caps_) {
+    if (cap.active() && cap.kind == kind && cap.unit == unit) {
+      holders.insert(cap.owner);
+    }
+  }
+  return static_cast<uint32_t>(holders.size());
+}
+
+bool CapabilityEngine::ExclusivelyOwned(CapDomainId domain, AddrRange range) const {
+  if (range.empty()) {
+    return false;
+  }
+  // Every byte must be covered by `domain` and by no one else. Check
+  // coverage at region granularity using the view.
+  for (const RegionView& view : MemoryView()) {
+    if (!view.range.Overlaps(range)) {
+      continue;
+    }
+    if (view.domains.size() != 1 || view.domains[0] != domain) {
+      return false;
+    }
+  }
+  // Check full coverage: union of owned caps must contain range.
+  uint64_t covered_until = range.base;
+  bool progress = true;
+  while (covered_until < range.end() && progress) {
+    progress = false;
+    for (const auto& [id, cap] : caps_) {
+      if (cap.owner == domain && cap.active() && cap.kind == ResourceKind::kMemory &&
+          cap.range.Contains(covered_until)) {
+        covered_until = cap.range.end();
+        progress = true;
+        break;
+      }
+    }
+  }
+  return covered_until >= range.end();
+}
+
+std::vector<CapabilityEngine::MappedRegion> CapabilityEngine::DomainMemoryMap(
+    CapDomainId domain) const {
+  std::vector<const Capability*> mem_caps;
+  std::vector<uint64_t> boundaries;
+  for (const auto& [id, cap] : caps_) {
+    if (cap.owner == domain && cap.active() && cap.kind == ResourceKind::kMemory) {
+      mem_caps.push_back(&cap);
+      boundaries.push_back(cap.range.base);
+      boundaries.push_back(cap.range.end());
+    }
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()), boundaries.end());
+
+  std::vector<MappedRegion> regions;
+  for (size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    const AddrRange interval{boundaries[i], boundaries[i + 1] - boundaries[i]};
+    uint8_t mask = Perms::kNone;
+    for (const Capability* cap : mem_caps) {
+      if (cap->range.Overlaps(interval)) {
+        mask |= cap->perms.mask;
+      }
+    }
+    if (mask == Perms::kNone) {
+      continue;
+    }
+    if (!regions.empty() && regions.back().range.end() == interval.base &&
+        regions.back().perms.mask == mask) {
+      regions.back().range.size += interval.size;
+    } else {
+      regions.push_back(MappedRegion{interval, Perms(mask)});
+    }
+  }
+  return regions;
+}
+
+std::vector<RegionView> CapabilityEngine::MemoryView(uint64_t limit) const {
+  std::vector<uint64_t> boundaries;
+  std::vector<const Capability*> mem_caps;
+  for (const auto& [id, cap] : caps_) {
+    if (cap.active() && cap.kind == ResourceKind::kMemory) {
+      if (limit != 0 && cap.range.base >= limit) {
+        continue;
+      }
+      mem_caps.push_back(&cap);
+      boundaries.push_back(cap.range.base);
+      boundaries.push_back(limit != 0 ? std::min(cap.range.end(), limit) : cap.range.end());
+    }
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()), boundaries.end());
+
+  std::vector<RegionView> views;
+  for (size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    const AddrRange interval{boundaries[i], boundaries[i + 1] - boundaries[i]};
+    std::set<CapDomainId> holders;
+    for (const Capability* cap : mem_caps) {
+      if (cap->range.Overlaps(interval)) {
+        holders.insert(cap->owner);
+      }
+    }
+    if (holders.empty()) {
+      continue;
+    }
+    RegionView view;
+    view.range = interval;
+    view.domains.assign(holders.begin(), holders.end());
+    // Merge with the previous view when contiguous and identical.
+    if (!views.empty() && views.back().range.end() == interval.base &&
+        views.back().domains == view.domains) {
+      views.back().range.size += interval.size;
+    } else {
+      views.push_back(std::move(view));
+    }
+  }
+  return views;
+}
+
+uint64_t CapabilityEngine::active_caps() const {
+  uint64_t count = 0;
+  for (const auto& [id, cap] : caps_) {
+    if (cap.active()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+void CapabilityEngine::ForEachActive(const std::function<void(const Capability&)>& fn) const {
+  for (const auto& [id, cap] : caps_) {
+    if (cap.active()) {
+      fn(cap);
+    }
+  }
+}
+
+std::string CapabilityEngine::DumpTree() const {
+  std::ostringstream out;
+  std::function<void(CapId, int)> recurse = [&](CapId id, int depth) {
+    const auto it = caps_.find(id);
+    if (it == caps_.end()) {
+      return;
+    }
+    for (int i = 0; i < depth; ++i) {
+      out << "  ";
+    }
+    out << it->second.ToString() << "\n";
+    for (const CapId child : it->second.children) {
+      recurse(child, depth + 1);
+    }
+  };
+  for (const auto& [id, cap] : caps_) {
+    if (cap.parent == kInvalidCap) {
+      recurse(id, 0);
+    }
+  }
+  return out.str();
+}
+
+}  // namespace tyche

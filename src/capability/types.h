@@ -1,0 +1,97 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Core vocabulary of the platform-independent capability model (§4.1).
+//
+// Resources are physical names -- memory ranges, CPU cores, PCI devices, and
+// domain handles -- never virtual aliases, which is what lets the monitor
+// "reason about sharing and exclusive ownership without having to consider
+// aliasing" (§3.2).
+
+#ifndef SRC_CAPABILITY_TYPES_H_
+#define SRC_CAPABILITY_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/hw/access.h"
+#include "src/support/align.h"
+
+namespace tyche {
+
+using CapId = uint64_t;
+using CapDomainId = uint32_t;  // matches hw DomainId
+
+inline constexpr CapId kInvalidCap = 0;
+
+enum class ResourceKind : uint8_t {
+  kMemory = 0,
+  kCpuCore = 1,
+  kPciDevice = 2,
+  kDomain = 3,
+};
+
+inline const char* ResourceKindName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kMemory:
+      return "memory";
+    case ResourceKind::kCpuCore:
+      return "cpu-core";
+    case ResourceKind::kPciDevice:
+      return "pci-device";
+    case ResourceKind::kDomain:
+      return "domain";
+  }
+  return "?";
+}
+
+// Operational rights carried by a capability, on top of the resource
+// permissions (Perms for memory). A capability without kShare cannot be the
+// source of a Share operation, etc. kManage on a domain handle allows
+// sealing and transitions.
+struct CapRights {
+  static constexpr uint8_t kNone = 0;
+  static constexpr uint8_t kShare = 1 << 0;
+  static constexpr uint8_t kGrant = 1 << 1;
+  static constexpr uint8_t kRevoke = 1 << 2;
+  static constexpr uint8_t kManage = 1 << 3;
+  static constexpr uint8_t kAll = kShare | kGrant | kRevoke | kManage;
+
+  uint8_t mask = kNone;
+
+  constexpr CapRights() = default;
+  constexpr explicit CapRights(uint8_t m) : mask(m) {}
+
+  constexpr bool CanShare() const { return (mask & kShare) != 0; }
+  constexpr bool CanGrant() const { return (mask & kGrant) != 0; }
+  constexpr bool CanRevoke() const { return (mask & kRevoke) != 0; }
+  constexpr bool CanManage() const { return (mask & kManage) != 0; }
+  constexpr bool Covers(CapRights other) const { return (other.mask & ~mask) == 0; }
+
+  bool operator==(const CapRights&) const = default;
+};
+
+// Cleanup guaranteed to run when a capability is revoked (§3.2: "a
+// revocation policy specifies a clean-up operation, e.g., zeroing-out memory
+// or flushing CPU cache, that is guaranteed to execute upon revocation").
+struct RevocationPolicy {
+  static constexpr uint8_t kNone = 0;
+  static constexpr uint8_t kZeroMemory = 1 << 0;
+  static constexpr uint8_t kFlushCache = 1 << 1;
+  static constexpr uint8_t kObfuscate = kZeroMemory | kFlushCache;
+
+  uint8_t mask = kNone;
+
+  constexpr RevocationPolicy() = default;
+  constexpr explicit RevocationPolicy(uint8_t m) : mask(m) {}
+
+  constexpr bool ZeroMemory() const { return (mask & kZeroMemory) != 0; }
+  constexpr bool FlushCache() const { return (mask & kFlushCache) != 0; }
+  // An "obfuscating" policy (§3.4) wipes both memory and microarchitectural
+  // state, giving integrity + confidentiality for exclusive resources.
+  constexpr bool Obfuscating() const { return (mask & kObfuscate) == kObfuscate; }
+
+  bool operator==(const RevocationPolicy&) const = default;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_CAPABILITY_TYPES_H_

@@ -1,0 +1,37 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Authenticated encryption built from SHA-256 primitives (encrypt-then-MAC
+// with an HMAC-derived keystream). Backs the monitor's measurement-bound
+// sealed storage. Same caveat as the rest of src/crypto: sound construction,
+// toy deployment -- see DESIGN.md.
+
+#ifndef SRC_CRYPTO_AUTHENTICATED_H_
+#define SRC_CRYPTO_AUTHENTICATED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/support/status.h"
+
+namespace tyche {
+
+struct SealedBlob {
+  uint64_t nonce = 0;
+  std::vector<uint8_t> ciphertext;
+  Digest tag;
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<SealedBlob> Deserialize(std::span<const uint8_t> bytes);
+};
+
+// Encrypts and authenticates `plaintext` under `key`. The nonce must be
+// unique per key (the caller supplies it; the monitor uses a counter).
+SealedBlob AeadSeal(const Digest& key, uint64_t nonce, std::span<const uint8_t> plaintext);
+
+// Verifies and decrypts. Fails with kSignatureInvalid on any tampering or
+// wrong key.
+Result<std::vector<uint8_t>> AeadOpen(const Digest& key, const SealedBlob& blob);
+
+}  // namespace tyche
+
+#endif  // SRC_CRYPTO_AUTHENTICATED_H_

@@ -1,0 +1,130 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/crypto/schnorr.h"
+
+#include <cstring>
+
+namespace tyche {
+
+namespace {
+
+// Reduces a digest to an exponent modulo m (uses the first 8 bytes, which is
+// plenty of entropy relative to the 62-bit toy group).
+uint64_t DigestToScalar(const Digest& digest, uint64_t m) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | digest.bytes[i];
+  }
+  const uint64_t scalar = v % m;
+  return scalar == 0 ? 1 : scalar;
+}
+
+Digest ChallengeHash(uint64_t r, const SchnorrPublicKey& pub, const Digest& message_digest) {
+  Sha256 ctx;
+  ctx.Update(std::string_view("tyche-schnorr-v1"));
+  ctx.UpdateValue(r);
+  ctx.UpdateValue(pub.y);
+  ctx.Update(std::span<const uint8_t>(message_digest.bytes.data(), message_digest.bytes.size()));
+  return ctx.Finalize();
+}
+
+}  // namespace
+
+const SchnorrParams& SchnorrParams::Default() {
+  // Safe prime p = 2q + 1 just below 2^62; g = 2^2 generates the order-q
+  // subgroup of quadratic residues.
+  static const SchnorrParams params{
+      .p = 0x3fffffffffffd6bbULL,
+      .q = 0x1fffffffffffeb5dULL,
+      .g = 4,
+  };
+  return params;
+}
+
+uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m) {
+  return static_cast<uint64_t>(static_cast<unsigned __int128>(a) * b % m);
+}
+
+uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t m) {
+  uint64_t result = 1 % m;
+  base %= m;
+  while (exp != 0) {
+    if (exp & 1) {
+      result = MulMod(result, base, m);
+    }
+    base = MulMod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+SchnorrKeyPair DeriveKeyPair(std::span<const uint8_t> seed) {
+  const SchnorrParams& params = SchnorrParams::Default();
+  Sha256 ctx;
+  ctx.Update(std::string_view("tyche-keyderive-v1"));
+  ctx.Update(seed);
+  const Digest d = ctx.Finalize();
+
+  SchnorrKeyPair pair;
+  pair.priv.x = DigestToScalar(d, params.q);
+  pair.pub.y = PowMod(params.g, pair.priv.x, params.p);
+  return pair;
+}
+
+SchnorrSignature SchnorrSign(const SchnorrPrivateKey& priv, const Digest& message_digest) {
+  const SchnorrParams& params = SchnorrParams::Default();
+
+  // Deterministic nonce: k = HMAC(x, digest) reduced mod q (RFC 6979 spirit).
+  uint8_t key_bytes[8];
+  std::memcpy(key_bytes, &priv.x, sizeof(key_bytes));
+  const Digest k_digest =
+      HmacSha256(std::span<const uint8_t>(key_bytes, sizeof(key_bytes)),
+                 std::span<const uint8_t>(message_digest.bytes.data(),
+                                          message_digest.bytes.size()));
+  const uint64_t k = DigestToScalar(k_digest, params.q);
+
+  const uint64_t r = PowMod(params.g, k, params.p);
+  const SchnorrPublicKey pub{PowMod(params.g, priv.x, params.p)};
+  const Digest e = ChallengeHash(r, pub, message_digest);
+  const uint64_t e_scalar = DigestToScalar(e, params.q);
+
+  SchnorrSignature sig;
+  // s = k + x * e mod q
+  sig.s = (k + MulMod(priv.x, e_scalar, params.q)) % params.q;
+  sig.e = e;
+  return sig;
+}
+
+SchnorrSignature SchnorrSign(const SchnorrPrivateKey& priv, std::span<const uint8_t> message) {
+  return SchnorrSign(priv, Sha256::Hash(message));
+}
+
+bool SchnorrVerify(const SchnorrPublicKey& pub, const Digest& message_digest,
+                   const SchnorrSignature& sig) {
+  const SchnorrParams& params = SchnorrParams::Default();
+  if (sig.s >= params.q || pub.y == 0 || pub.y >= params.p) {
+    return false;
+  }
+  const uint64_t e_scalar = DigestToScalar(sig.e, params.q);
+  // r' = g^s * y^{-e} = g^s * y^{q - e} mod p (y has order q).
+  const uint64_t gs = PowMod(params.g, sig.s, params.p);
+  const uint64_t y_inv_e = PowMod(pub.y, params.q - e_scalar, params.p);
+  const uint64_t r = MulMod(gs, y_inv_e, params.p);
+  return ChallengeHash(r, pub, message_digest) == sig.e;
+}
+
+bool SchnorrVerify(const SchnorrPublicKey& pub, std::span<const uint8_t> message,
+                   const SchnorrSignature& sig) {
+  return SchnorrVerify(pub, Sha256::Hash(message), sig);
+}
+
+Digest DhSharedSecret(const SchnorrPrivateKey& mine, const SchnorrPublicKey& theirs) {
+  const SchnorrParams& params = SchnorrParams::Default();
+  const uint64_t shared = PowMod(theirs.y, mine.x, params.p);
+  Sha256 kdf;
+  kdf.Update(std::string_view("tyche-dh-kdf-v1"));
+  kdf.UpdateValue(shared);
+  return kdf.Finalize();
+}
+
+}  // namespace tyche

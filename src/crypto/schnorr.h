@@ -1,0 +1,81 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Deterministic Schnorr signatures over a toy prime-order subgroup of Z_p^*.
+//
+// The paper's judiciary branch relies on two signing parties: the TPM-like
+// root of trust (signing boot-time quotes) and the attested monitor (signing
+// domain attestations). What matters for the reproduction is the *protocol*
+// -- key certification chains and verifiable reports -- not the hardness of
+// the underlying group, so this implementation uses a 62-bit safe prime and
+// is NOT cryptographically strong. See DESIGN.md ("substitutions").
+
+#ifndef SRC_CRYPTO_SCHNORR_H_
+#define SRC_CRYPTO_SCHNORR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "src/crypto/sha256.h"
+#include "src/support/status.h"
+
+namespace tyche {
+
+// Group parameters: p = 2q + 1 with q prime, generator g of the order-q
+// subgroup. Fixed for the whole system (a real deployment would use a
+// standardized curve).
+struct SchnorrParams {
+  uint64_t p;  // safe prime modulus
+  uint64_t q;  // subgroup order, q = (p - 1) / 2
+  uint64_t g;  // generator of the order-q subgroup
+
+  static const SchnorrParams& Default();
+};
+
+struct SchnorrPrivateKey {
+  uint64_t x = 0;  // secret exponent in [1, q)
+};
+
+struct SchnorrPublicKey {
+  uint64_t y = 0;  // y = g^x mod p
+
+  bool operator==(const SchnorrPublicKey& other) const = default;
+};
+
+struct SchnorrSignature {
+  uint64_t s = 0;  // response
+  Digest e;        // challenge hash
+
+  bool operator==(const SchnorrSignature& other) const = default;
+};
+
+struct SchnorrKeyPair {
+  SchnorrPrivateKey priv;
+  SchnorrPublicKey pub;
+};
+
+// Derives a key pair deterministically from seed material (e.g. the TPM's
+// endorsement seed, or the monitor's measurement-bound identity seed).
+SchnorrKeyPair DeriveKeyPair(std::span<const uint8_t> seed);
+
+// Deterministic signing (nonce derived via HMAC from key and message, in the
+// spirit of RFC 6979).
+SchnorrSignature SchnorrSign(const SchnorrPrivateKey& priv, std::span<const uint8_t> message);
+SchnorrSignature SchnorrSign(const SchnorrPrivateKey& priv, const Digest& message_digest);
+
+bool SchnorrVerify(const SchnorrPublicKey& pub, std::span<const uint8_t> message,
+                   const SchnorrSignature& sig);
+bool SchnorrVerify(const SchnorrPublicKey& pub, const Digest& message_digest,
+                   const SchnorrSignature& sig);
+
+// Diffie-Hellman on the same group: two parties exchange public keys and
+// derive the same shared secret. Used by the cross-machine attested-channel
+// protocol. Same toy-strength caveat as the signatures.
+Digest DhSharedSecret(const SchnorrPrivateKey& mine, const SchnorrPublicKey& theirs);
+
+// Modular arithmetic helpers (exposed for tests).
+uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m);
+uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t m);
+
+}  // namespace tyche
+
+#endif  // SRC_CRYPTO_SCHNORR_H_

@@ -1,0 +1,77 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Access kinds and permission masks shared by every enforcement mechanism
+// (nested page tables, PMP, IOMMU).
+
+#ifndef SRC_HW_ACCESS_H_
+#define SRC_HW_ACCESS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace tyche {
+
+enum class AccessType : uint8_t {
+  kRead,
+  kWrite,
+  kExecute,
+};
+
+// Permission bitmask.
+struct Perms {
+  static constexpr uint8_t kNone = 0;
+  static constexpr uint8_t kRead = 1 << 0;
+  static constexpr uint8_t kWrite = 1 << 1;
+  static constexpr uint8_t kExec = 1 << 2;
+  static constexpr uint8_t kRW = kRead | kWrite;
+  static constexpr uint8_t kRX = kRead | kExec;
+  static constexpr uint8_t kRWX = kRead | kWrite | kExec;
+
+  uint8_t mask = kNone;
+
+  constexpr Perms() = default;
+  constexpr explicit Perms(uint8_t m) : mask(m) {}
+
+  constexpr bool Allows(AccessType access) const {
+    switch (access) {
+      case AccessType::kRead:
+        return (mask & kRead) != 0;
+      case AccessType::kWrite:
+        return (mask & kWrite) != 0;
+      case AccessType::kExecute:
+        return (mask & kExec) != 0;
+    }
+    return false;
+  }
+
+  constexpr bool Covers(Perms other) const { return (other.mask & ~mask) == 0; }
+  constexpr Perms Intersect(Perms other) const {
+    return Perms(static_cast<uint8_t>(mask & other.mask));
+  }
+  constexpr bool empty() const { return mask == kNone; }
+
+  bool operator==(const Perms& other) const = default;
+
+  std::string ToString() const {
+    std::string s;
+    s += (mask & kRead) ? 'r' : '-';
+    s += (mask & kWrite) ? 'w' : '-';
+    s += (mask & kExec) ? 'x' : '-';
+    return s;
+  }
+};
+
+inline const char* AccessTypeName(AccessType access) {
+  switch (access) {
+    case AccessType::kRead:
+      return "read";
+    case AccessType::kWrite:
+      return "write";
+    case AccessType::kExecute:
+      return "execute";
+  }
+  return "?";
+}
+
+}  // namespace tyche
+
+#endif  // SRC_HW_ACCESS_H_

@@ -1,0 +1,12 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/hw/cost_model.h"
+
+namespace tyche {
+
+const CostModel& CostModel::Default() {
+  static const CostModel model{};
+  return model;
+}
+
+}  // namespace tyche

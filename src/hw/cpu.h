@@ -1,0 +1,73 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Simulated CPU cores.
+//
+// A core carries: an architectural privilege mode, the identity of the trust
+// domain currently executing on it, and a pointer to the protection context
+// the hardware consults on every access (a nested page table on the VT-x
+// machine, a PMP file on the RISC-V machine). Cores are resources in the
+// capability model: the monitor only lets a domain run on cores it owns.
+
+#ifndef SRC_HW_CPU_H_
+#define SRC_HW_CPU_H_
+
+#include <cstdint>
+
+#include "src/hw/pmp.h"
+#include "src/hw/tlb.h"
+
+namespace tyche {
+
+// Architectural privilege modes, unified across the two simulated ISAs.
+// kMonitor is VMX-root / M-mode: only the isolation monitor runs there.
+enum class PrivilegeMode : uint8_t {
+  kUser = 0,
+  kSupervisor = 1,
+  kMonitor = 3,
+};
+
+using CoreId = uint32_t;
+using DomainId = uint32_t;
+
+inline constexpr DomainId kInvalidDomain = ~0u;
+
+class Cpu {
+ public:
+  explicit Cpu(CoreId id) : id_(id) {}
+
+  CoreId id() const { return id_; }
+
+  PrivilegeMode mode() const { return mode_; }
+  void set_mode(PrivilegeMode mode) { mode_ = mode; }
+
+  DomainId current_domain() const { return current_domain_; }
+  void set_current_domain(DomainId domain) { current_domain_ = domain; }
+
+  // VT-x machine: physical address of the active EPT root (EPTP), or 0 when
+  // the core runs unrestricted (monitor mode).
+  uint64_t ept_root() const { return ept_root_; }
+  void set_ept_root(uint64_t root) { ept_root_ = root; }
+
+  // RISC-V machine: the PMP file consulted on every access from S/U mode.
+  PmpFile& pmp() { return pmp_; }
+  const PmpFile& pmp() const { return pmp_; }
+
+  Tlb& tlb() { return tlb_; }
+
+  // ASID/VPID tag used to avoid TLB flushes on domain switch where the
+  // hardware supports tagging (VMFUNC fast path).
+  uint16_t asid() const { return asid_; }
+  void set_asid(uint16_t asid) { asid_ = asid; }
+
+ private:
+  CoreId id_;
+  PrivilegeMode mode_ = PrivilegeMode::kSupervisor;
+  DomainId current_domain_ = kInvalidDomain;
+  uint64_t ept_root_ = 0;
+  uint16_t asid_ = 0;
+  PmpFile pmp_;
+  Tlb tlb_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_HW_CPU_H_

@@ -1,0 +1,44 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// IOPMP: per-device PMP files, the RISC-V machine's analogue of the IOMMU.
+// DMA from a device is checked against the device's PMP file; a device with
+// no file configured is denied (default deny, like the IOMMU).
+
+#ifndef SRC_HW_IO_PMP_H_
+#define SRC_HW_IO_PMP_H_
+
+#include <map>
+
+#include "src/hw/iommu.h"
+#include "src/hw/pmp.h"
+
+namespace tyche {
+
+class IoPmp {
+ public:
+  explicit IoPmp(CycleAccount* cycles) : cycles_(cycles) {}
+
+  // Returns the device's PMP file, creating an empty (deny-all) one.
+  PmpFile& FileFor(PciBdf bdf) { return files_[bdf]; }
+
+  void Remove(PciBdf bdf) { files_.erase(bdf); }
+
+  Status Check(PciBdf bdf, uint64_t addr, uint64_t size, AccessType access) const {
+    const auto it = files_.find(bdf);
+    if (it == files_.end()) {
+      return Error(ErrorCode::kIommuFault, "device has no IOPMP context");
+    }
+    Status status = it->second.Check(addr, size, access, cycles_);
+    if (!status.ok()) {
+      return Error(ErrorCode::kIommuFault, status.message());
+    }
+    return OkStatus();
+  }
+
+ private:
+  CycleAccount* cycles_;
+  std::map<PciBdf, PmpFile> files_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_HW_IO_PMP_H_

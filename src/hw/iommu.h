@@ -1,0 +1,55 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Simulated IOMMU: per-device context entries pointing at nested page
+// tables. Devices (PCI functions) issue DMA through Translate(); an
+// unprogrammed device has no context and every DMA faults -- default deny,
+// which is what lets the monitor make I/O domains (§3.1's GPU example)
+// verifiably isolated.
+
+#ifndef SRC_HW_IOMMU_H_
+#define SRC_HW_IOMMU_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/hw/access.h"
+#include "src/hw/cost_model.h"
+#include "src/hw/nested_page_table.h"
+#include "src/support/status.h"
+
+namespace tyche {
+
+// PCI bus/device/function identifier, encoded as a 16-bit BDF.
+struct PciBdf {
+  uint16_t value = 0;
+
+  constexpr PciBdf() = default;
+  constexpr explicit PciBdf(uint16_t raw) : value(raw) {}
+  constexpr PciBdf(uint8_t bus, uint8_t device, uint8_t function)
+      : value(static_cast<uint16_t>((bus << 8) | ((device & 0x1f) << 3) | (function & 0x7))) {}
+
+  auto operator<=>(const PciBdf&) const = default;
+};
+
+class Iommu {
+ public:
+  explicit Iommu(CycleAccount* cycles) : cycles_(cycles) {}
+
+  // Binds a device to a translation root (an EPT-format table). Passing
+  // nullptr detaches the device (subsequent DMA faults).
+  Status AttachDevice(PciBdf bdf, const NestedPageTable* table);
+  Status DetachDevice(PciBdf bdf);
+
+  // Translates one DMA access issued by `bdf`.
+  Result<Translation> Translate(PciBdf bdf, uint64_t addr, AccessType access) const;
+
+  bool IsAttached(PciBdf bdf) const { return contexts_.contains(bdf); }
+  const NestedPageTable* ContextOf(PciBdf bdf) const;
+
+ private:
+  CycleAccount* cycles_;
+  std::map<PciBdf, const NestedPageTable*> contexts_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_HW_IOMMU_H_

@@ -1,0 +1,244 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/hw/machine.h"
+
+#include "src/support/align.h"
+#include "src/support/log.h"
+
+namespace tyche {
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      memory_(config.memory_bytes),
+      iommu_(&cycles_),
+      io_pmp_(&cycles_),
+      tpm_(std::span<const uint8_t>(config.endorsement_seed.data(),
+                                    config.endorsement_seed.size()),
+           &cycles_) {
+  cpus_.reserve(config.num_cores);
+  for (uint32_t i = 0; i < config.num_cores; ++i) {
+    cpus_.emplace_back(i);
+  }
+  core_epts_.resize(config.num_cores, nullptr);
+  core_guest_pts_.resize(config.num_cores, nullptr);
+}
+
+void Machine::SetCoreGuestPageTable(CoreId core, const NestedPageTable* table) {
+  core_guest_pts_[core] = table;
+  // CR3 load: untagged guest translations die.
+  cpus_[core].tlb().Flush(&cycles_);
+}
+
+Result<uint64_t> Machine::TranslateGuest(CoreId core, uint64_t vaddr, AccessType access) {
+  const NestedPageTable* guest = core_guest_pts_[core];
+  if (guest == nullptr) {
+    return vaddr;  // paging off: virtual == physical
+  }
+  // NOTE: the guest walker reads page-table frames directly; they live in
+  // memory the guest OS owns, so this equals a hardware walk through the
+  // domain's own mappings.
+  TYCHE_ASSIGN_OR_RETURN(const Translation t, guest->Translate(vaddr, access));
+  return t.host_addr;
+}
+
+Status Machine::CheckedReadVirt(CoreId core, uint64_t vaddr, std::span<uint8_t> out) {
+  // Chunk per guest page: contiguous virtual spans may be physically
+  // scattered.
+  size_t offset = 0;
+  while (offset < out.size()) {
+    const uint64_t va = vaddr + offset;
+    const size_t in_page = std::min<size_t>(out.size() - offset,
+                                            kPageSize - (va & (kPageSize - 1)));
+    TYCHE_ASSIGN_OR_RETURN(const uint64_t pa, TranslateGuest(core, va, AccessType::kRead));
+    TYCHE_RETURN_IF_ERROR(CheckedRead(core, pa, out.subspan(offset, in_page)));
+    offset += in_page;
+  }
+  return OkStatus();
+}
+
+Status Machine::CheckedWriteVirt(CoreId core, uint64_t vaddr,
+                                 std::span<const uint8_t> data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const uint64_t va = vaddr + offset;
+    const size_t in_page = std::min<size_t>(data.size() - offset,
+                                            kPageSize - (va & (kPageSize - 1)));
+    TYCHE_ASSIGN_OR_RETURN(const uint64_t pa,
+                           TranslateGuest(core, va, AccessType::kWrite));
+    TYCHE_RETURN_IF_ERROR(CheckedWrite(core, pa, data.subspan(offset, in_page)));
+    offset += in_page;
+  }
+  return OkStatus();
+}
+
+Result<uint64_t> Machine::CheckedRead64Virt(CoreId core, uint64_t vaddr) {
+  uint64_t value = 0;
+  TYCHE_RETURN_IF_ERROR(CheckedReadVirt(
+      core, vaddr, std::span<uint8_t>(reinterpret_cast<uint8_t*>(&value), 8)));
+  return value;
+}
+
+Status Machine::CheckedWrite64Virt(CoreId core, uint64_t vaddr, uint64_t value) {
+  return CheckedWriteVirt(
+      core, vaddr,
+      std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(&value), 8));
+}
+
+Status Machine::CheckedFetchVirt(CoreId core, uint64_t vaddr, uint64_t size) {
+  TYCHE_ASSIGN_OR_RETURN(const uint64_t pa,
+                         TranslateGuest(core, vaddr, AccessType::kExecute));
+  return CheckedFetch(core, pa, size);
+}
+
+void Machine::SetCoreEpt(CoreId core, const NestedPageTable* table, bool flush_tlb) {
+  core_epts_[core] = table;
+  cpus_[core].set_ept_root(table != nullptr ? table->root() : 0);
+  if (flush_tlb) {
+    cpus_[core].tlb().Flush(&cycles_);
+  }
+}
+
+void Machine::FlushTlb(CoreId core) { cpus_[core].tlb().Flush(&cycles_); }
+
+Result<AccessOutcome> Machine::CheckAccess(CoreId core, uint64_t addr, uint64_t size,
+                                           AccessType access) {
+  if (size == 0 || !memory_.ValidRange(addr, size)) {
+    return Error(ErrorCode::kOutOfRange, "access outside physical memory");
+  }
+  Cpu& cpu = cpus_[core];
+  cycles_.Charge(CostModel::Default().dram_access);
+
+  // Monitor mode (VMX-root / M-mode) is architecturally unrestricted.
+  if (cpu.mode() == PrivilegeMode::kMonitor) {
+    return AccessOutcome{addr, false};
+  }
+
+  if (config_.arch == IsaArch::kRiscV) {
+    TYCHE_RETURN_IF_ERROR(cpu.pmp().Check(addr, size, access, &cycles_));
+    return AccessOutcome{addr, false};
+  }
+
+  // x86: EPT-protected. A core with no EPT installed has no access at all
+  // (the monitor installs an EPT before resuming any domain).
+  const NestedPageTable* ept = core_epts_[core];
+  if (ept == nullptr) {
+    return Error(ErrorCode::kAccessViolation, "no protection context installed");
+  }
+
+  // Accesses may straddle pages; check each touched page.
+  const uint64_t first_page = AlignDown(addr, kPageSize);
+  const uint64_t last_page = AlignDown(addr + size - 1, kPageSize);
+  AccessOutcome outcome;
+  outcome.tlb_hit = true;
+  for (uint64_t page = first_page; page <= last_page; page += kPageSize) {
+    uint64_t frame = 0;
+    Perms perms;
+    if (cpu.tlb().Lookup(page, cpu.asid(), &frame, &perms)) {
+      cycles_.Charge(CostModel::Default().tlb_hit);
+      if (!perms.Allows(access)) {
+        return Error(ErrorCode::kAccessViolation, "EPT permission violation (TLB)");
+      }
+    } else {
+      outcome.tlb_hit = false;
+      auto translation = ept->Translate(page, access);
+      if (!translation.ok()) {
+        return translation.status();
+      }
+      frame = translation->host_addr;
+      cpu.tlb().Insert(page, cpu.asid(), frame, translation->perms);
+    }
+    if (page == first_page) {
+      outcome.phys_addr = frame + (addr - first_page);
+    }
+  }
+  return outcome;
+}
+
+Status Machine::CheckedRead(CoreId core, uint64_t addr, std::span<uint8_t> out) {
+  TYCHE_ASSIGN_OR_RETURN(const AccessOutcome outcome,
+                         CheckAccess(core, addr, out.size(), AccessType::kRead));
+  return memory_.Read(outcome.phys_addr, out);
+}
+
+Status Machine::CheckedWrite(CoreId core, uint64_t addr, std::span<const uint8_t> data) {
+  TYCHE_ASSIGN_OR_RETURN(const AccessOutcome outcome,
+                         CheckAccess(core, addr, data.size(), AccessType::kWrite));
+  return memory_.Write(outcome.phys_addr, data);
+}
+
+Result<uint64_t> Machine::CheckedRead64(CoreId core, uint64_t addr) {
+  TYCHE_ASSIGN_OR_RETURN(const AccessOutcome outcome,
+                         CheckAccess(core, addr, 8, AccessType::kRead));
+  return memory_.Read64(outcome.phys_addr);
+}
+
+Status Machine::CheckedWrite64(CoreId core, uint64_t addr, uint64_t value) {
+  TYCHE_ASSIGN_OR_RETURN(const AccessOutcome outcome,
+                         CheckAccess(core, addr, 8, AccessType::kWrite));
+  return memory_.Write64(outcome.phys_addr, value);
+}
+
+Status Machine::CheckedFetch(CoreId core, uint64_t addr, uint64_t size) {
+  return CheckAccess(core, addr, size, AccessType::kExecute).status();
+}
+
+Status Machine::DmaRead(PciBdf bdf, uint64_t addr, std::span<uint8_t> out) {
+  cycles_.Charge(CostModel::Default().dram_access);
+  if (config_.arch == IsaArch::kRiscV) {
+    TYCHE_RETURN_IF_ERROR(io_pmp_.Check(bdf, addr, out.size(), AccessType::kRead));
+    return memory_.Read(addr, out);
+  }
+  TYCHE_ASSIGN_OR_RETURN(const Translation t,
+                         iommu_.Translate(bdf, addr, AccessType::kRead));
+  return memory_.Read(t.host_addr, out);
+}
+
+Status Machine::DmaWrite(PciBdf bdf, uint64_t addr, std::span<const uint8_t> data) {
+  cycles_.Charge(CostModel::Default().dram_access);
+  if (config_.arch == IsaArch::kRiscV) {
+    TYCHE_RETURN_IF_ERROR(io_pmp_.Check(bdf, addr, data.size(), AccessType::kWrite));
+    return memory_.Write(addr, data);
+  }
+  TYCHE_ASSIGN_OR_RETURN(const Translation t,
+                         iommu_.Translate(bdf, addr, AccessType::kWrite));
+  return memory_.Write(t.host_addr, data);
+}
+
+Status Machine::AddDevice(std::unique_ptr<PciDevice> device) {
+  if (FindDevice(device->bdf()) != nullptr) {
+    return Error(ErrorCode::kAlreadyExists, "BDF already present");
+  }
+  devices_.push_back(std::move(device));
+  return OkStatus();
+}
+
+PciDevice* Machine::FindDevice(PciBdf bdf) {
+  for (const auto& device : devices_) {
+    if (device->bdf() == bdf) {
+      return device.get();
+    }
+  }
+  return nullptr;
+}
+
+Status Machine::ZeroRange(uint64_t addr, uint64_t size) {
+  TYCHE_RETURN_IF_ERROR(memory_.Zero(addr, size));
+  const uint64_t pages = AlignUp(size, kPageSize) / kPageSize;
+  cycles_.Charge(CostModel::Default().zero_per_page * pages);
+  return OkStatus();
+}
+
+void Machine::FlushCacheRange(uint64_t addr, uint64_t size) {
+  (void)addr;
+  const uint64_t pages = AlignUp(size, kPageSize) / kPageSize;
+  cycles_.Charge(CostModel::Default().cache_flush_per_page * pages);
+}
+
+Result<Digest> Machine::MeasureRange(uint64_t addr, uint64_t size) {
+  TYCHE_ASSIGN_OR_RETURN(const std::span<const uint8_t> view, memory_.View(addr, size));
+  const uint64_t pages = AlignUp(size, kPageSize) / kPageSize;
+  cycles_.Charge(CostModel::Default().hash_per_page * pages);
+  return Sha256::Hash(view);
+}
+
+}  // namespace tyche

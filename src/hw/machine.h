@@ -1,0 +1,157 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// The simulated machine: physical memory, CPU cores, IOMMU + PCI devices,
+// and a TPM, with one global cycle account.
+//
+// Every access issued by simulated software goes through CheckedRead /
+// CheckedWrite / CheckedFetch, which consult the protection context of the
+// issuing core -- the EPT on the x86 machine, the PMP file on the RISC-V
+// machine -- exactly like the hardware the paper's monitor programs. Monitor
+// mode (VMX-root / M-mode) bypasses those structures, which is precisely the
+// monopoly the paper describes: whoever runs at that level controls
+// isolation. The reproduction's point is that *only* the isolation monitor
+// runs there.
+
+#ifndef SRC_HW_MACHINE_H_
+#define SRC_HW_MACHINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/hw/cpu.h"
+#include "src/hw/interrupts.h"
+#include "src/hw/io_pmp.h"
+#include "src/hw/iommu.h"
+#include "src/hw/nested_page_table.h"
+#include "src/hw/pci.h"
+#include "src/hw/phys_memory.h"
+#include "src/hw/tpm.h"
+#include "src/support/status.h"
+
+namespace tyche {
+
+enum class IsaArch : uint8_t {
+  kX86_64,
+  kRiscV,
+};
+
+struct MachineConfig {
+  IsaArch arch = IsaArch::kX86_64;
+  uint64_t memory_bytes = 64ull << 20;  // 64 MiB
+  uint32_t num_cores = 4;
+  std::vector<uint8_t> endorsement_seed = {0x42};
+};
+
+// Outcome of a checked access: where it landed plus which path resolved it
+// (for cost/behaviour assertions in tests).
+struct AccessOutcome {
+  uint64_t phys_addr = 0;
+  bool tlb_hit = false;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  IsaArch arch() const { return config_.arch; }
+  const MachineConfig& config() const { return config_; }
+
+  PhysMemory& memory() { return memory_; }
+  const PhysMemory& memory() const { return memory_; }
+
+  Cpu& cpu(CoreId id) { return cpus_[id]; }
+  const Cpu& cpu(CoreId id) const { return cpus_[id]; }
+  uint32_t num_cores() const { return static_cast<uint32_t>(cpus_.size()); }
+
+  Iommu& iommu() { return iommu_; }
+  IoPmp& io_pmp() { return io_pmp_; }
+  InterruptPlane& interrupts() { return interrupts_; }
+  Tpm& tpm() { return tpm_; }
+
+  CycleAccount& cycles() { return cycles_; }
+  const CycleAccount& cycles() const { return cycles_; }
+
+  // --- Protection context plumbing (used by the monitor's backends) ---
+
+  // Installs `table` as the active EPT of `core`. `flush_tlb` models a switch
+  // without VPID tagging; the VMFUNC fast path passes false.
+  void SetCoreEpt(CoreId core, const NestedPageTable* table, bool flush_tlb);
+  const NestedPageTable* CoreEpt(CoreId core) const { return core_epts_[core]; }
+
+  // --- Guest paging (the OS's own, UNTRUSTED layer under the monitor's) ---
+
+  // Installs a guest page table (CR3 load). Guest-virtual accesses issued
+  // with the *Virt methods below translate through it FIRST, then through
+  // the core's protection context -- two-layer enforcement, so a guest
+  // mapping cannot resurrect physical access the monitor revoked. Passing
+  // nullptr disables paging (guest-virtual == physical).
+  void SetCoreGuestPageTable(CoreId core, const NestedPageTable* table);
+  const NestedPageTable* CoreGuestPageTable(CoreId core) const {
+    return core_guest_pts_[core];
+  }
+
+  // Flushes one core's TLB (charged to the cycle account).
+  void FlushTlb(CoreId core);
+
+  // --- Software-issued accesses (charged + protection-checked) ---
+
+  Result<AccessOutcome> CheckAccess(CoreId core, uint64_t addr, uint64_t size,
+                                    AccessType access);
+
+  Status CheckedRead(CoreId core, uint64_t addr, std::span<uint8_t> out);
+  Status CheckedWrite(CoreId core, uint64_t addr, std::span<const uint8_t> data);
+  Result<uint64_t> CheckedRead64(CoreId core, uint64_t addr);
+  Status CheckedWrite64(CoreId core, uint64_t addr, uint64_t value);
+  // Instruction fetch (execute permission).
+  Status CheckedFetch(CoreId core, uint64_t addr, uint64_t size);
+
+  // Guest-virtual accesses: translate through the core's guest page table
+  // (if installed), then apply the normal protection checks on the
+  // resulting physical address. With no guest table these are identical to
+  // the physical methods.
+  Result<uint64_t> TranslateGuest(CoreId core, uint64_t vaddr, AccessType access);
+  Status CheckedReadVirt(CoreId core, uint64_t vaddr, std::span<uint8_t> out);
+  Status CheckedWriteVirt(CoreId core, uint64_t vaddr, std::span<const uint8_t> data);
+  Result<uint64_t> CheckedRead64Virt(CoreId core, uint64_t vaddr);
+  Status CheckedWrite64Virt(CoreId core, uint64_t vaddr, uint64_t value);
+  Status CheckedFetchVirt(CoreId core, uint64_t vaddr, uint64_t size);
+
+  // --- Device DMA (checked against the IOMMU) ---
+
+  Status DmaRead(PciBdf bdf, uint64_t addr, std::span<uint8_t> out);
+  Status DmaWrite(PciBdf bdf, uint64_t addr, std::span<const uint8_t> data);
+
+  // --- Devices ---
+
+  // Takes ownership. Fails if the BDF is already taken.
+  Status AddDevice(std::unique_ptr<PciDevice> device);
+  PciDevice* FindDevice(PciBdf bdf);
+  const std::vector<std::unique_ptr<PciDevice>>& devices() const { return devices_; }
+
+  // --- Maintenance operations the monitor's revocation policies invoke ---
+
+  // Zeroes a physical range (charged per page).
+  Status ZeroRange(uint64_t addr, uint64_t size);
+  // Architectural cache flush over a range (pure cost in this model).
+  void FlushCacheRange(uint64_t addr, uint64_t size);
+
+  // Measures (SHA-256) a physical range, charging hash cycles.
+  Result<Digest> MeasureRange(uint64_t addr, uint64_t size);
+
+ private:
+  MachineConfig config_;
+  CycleAccount cycles_;
+  PhysMemory memory_;
+  std::vector<Cpu> cpus_;
+  std::vector<const NestedPageTable*> core_epts_;
+  std::vector<const NestedPageTable*> core_guest_pts_;
+  Iommu iommu_;
+  IoPmp io_pmp_;
+  InterruptPlane interrupts_;
+  Tpm tpm_;
+  std::vector<std::unique_ptr<PciDevice>> devices_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_HW_MACHINE_H_

@@ -1,0 +1,109 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// EPT-style nested page tables, the x86 backend's enforcement mechanism.
+//
+// Tables live inside simulated physical memory (they consume real frames from
+// the monitor's metadata pool), use the x86 4-level / 512-entry / 48-bit
+// format, and charge page-walk cycles through a CycleAccount. The monitor is
+// the only writer; simulated software and devices only ever *walk* them via
+// Translate().
+//
+// Entry layout (one 64-bit word, loosely mirroring EPT):
+//   bit 0      valid
+//   bit 1..3   R/W/X (leaf entries only; non-leaf entries always pass through)
+//   bit 12..47 physical frame / next-level table address
+
+#ifndef SRC_HW_NESTED_PAGE_TABLE_H_
+#define SRC_HW_NESTED_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/hw/access.h"
+#include "src/hw/cost_model.h"
+#include "src/hw/phys_memory.h"
+#include "src/support/align.h"
+#include "src/support/status.h"
+
+namespace tyche {
+
+struct Translation {
+  uint64_t host_addr = 0;
+  Perms perms;
+  int levels_walked = 0;
+};
+
+class NestedPageTable {
+ public:
+  // Creates an empty table hierarchy. `frames` provides the metadata frames;
+  // `memory` is where the tables physically live.
+  static Result<NestedPageTable> Create(PhysMemory* memory, FrameAllocator* frames,
+                                        CycleAccount* cycles);
+
+  // Maps the 4K guest-physical page at `gpa` to host-physical `hpa`.
+  // Fails with kAlreadyExists if the page is already mapped.
+  Status MapPage(uint64_t gpa, uint64_t hpa, Perms perms);
+  // Maps a page-aligned range with identity or offset translation.
+  Status MapRange(uint64_t gpa, uint64_t hpa, uint64_t size, Perms perms);
+
+  Status UnmapPage(uint64_t gpa);
+  Status UnmapRange(uint64_t gpa, uint64_t size);
+
+  // Changes permissions of an existing mapping.
+  Status ProtectPage(uint64_t gpa, Perms perms);
+  Status ProtectRange(uint64_t gpa, uint64_t size, Perms perms);
+
+  // Hardware walk: translates and permission-checks one access. Charges
+  // page_walk_per_level cycles per level touched.
+  Result<Translation> Translate(uint64_t gpa, AccessType access) const;
+
+  // Walk without permission check (for audits / the hardware validator).
+  Result<Translation> Lookup(uint64_t gpa) const;
+
+  // Visits every valid leaf mapping: callback(gpa, hpa, perms).
+  void ForEachMapping(const std::function<void(uint64_t, uint64_t, Perms)>& fn) const;
+
+  // Number of valid leaf mappings.
+  uint64_t mapped_pages() const { return mapped_pages_; }
+  // Frames consumed by table structures (TCB memory overhead metric).
+  uint64_t table_frames() const { return table_frames_; }
+
+  uint64_t root() const { return root_; }
+
+  // Releases all table frames back to the allocator. The table is unusable
+  // afterwards; used when a domain is destroyed.
+  Status Destroy();
+
+ private:
+  NestedPageTable(PhysMemory* memory, FrameAllocator* frames, CycleAccount* cycles,
+                  uint64_t root)
+      : memory_(memory), frames_(frames), cycles_(cycles), root_(root) {}
+
+  static constexpr int kLevels = 4;
+  static constexpr uint64_t kEntriesPerTable = 512;
+  static constexpr uint64_t kValidBit = 1ULL << 0;
+  static constexpr uint64_t kPermShift = 1;  // bits 1..3 hold R/W/X
+  static constexpr uint64_t kAddrMask = 0x0000fffffffff000ULL;
+
+  static int IndexAt(uint64_t gpa, int level) {
+    return static_cast<int>((gpa >> (kPageShift + 9 * level)) & 0x1ff);
+  }
+
+  // Walks to the leaf entry for gpa. If `create` is true, allocates missing
+  // intermediate tables. Returns the physical address of the leaf entry slot.
+  Result<uint64_t> WalkToLeafEntry(uint64_t gpa, bool create);
+  Result<uint64_t> WalkToLeafEntryConst(uint64_t gpa, int* levels) const;
+
+  void FreeSubtree(uint64_t table_addr, int level);
+
+  PhysMemory* memory_;
+  FrameAllocator* frames_;
+  CycleAccount* cycles_;
+  uint64_t root_;
+  uint64_t mapped_pages_ = 0;
+  uint64_t table_frames_ = 1;
+  bool destroyed_ = false;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_HW_NESTED_PAGE_TABLE_H_

@@ -1,0 +1,41 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/hw/pci.h"
+
+#include "src/hw/machine.h"
+
+namespace tyche {
+
+Result<std::vector<uint8_t>> PciDevice::DmaRead(Machine* machine, uint64_t addr,
+                                                uint64_t size) {
+  std::vector<uint8_t> buffer(size);
+  TYCHE_RETURN_IF_ERROR(machine->DmaRead(bdf_, addr, std::span<uint8_t>(buffer)));
+  return buffer;
+}
+
+Status PciDevice::DmaWrite(Machine* machine, uint64_t addr, std::span<const uint8_t> data) {
+  return machine->DmaWrite(bdf_, addr, data);
+}
+
+Status DmaEngine::Copy(Machine* machine, uint64_t src, uint64_t dst, uint64_t size) {
+  TYCHE_ASSIGN_OR_RETURN(const std::vector<uint8_t> buffer, DmaRead(machine, src, size));
+  return DmaWrite(machine, dst, std::span<const uint8_t>(buffer));
+}
+
+Status DmaEngine::CopyAndNotify(Machine* machine, uint64_t src, uint64_t dst,
+                                uint64_t size, uint32_t vector) {
+  TYCHE_RETURN_IF_ERROR(Copy(machine, src, dst, size));
+  machine->interrupts().Raise(bdf(), vector);
+  return OkStatus();
+}
+
+Status GpuDevice::RunKernel(Machine* machine, uint64_t input, uint64_t output, uint64_t size,
+                            uint8_t key) {
+  TYCHE_ASSIGN_OR_RETURN(std::vector<uint8_t> buffer, DmaRead(machine, input, size));
+  for (uint8_t& byte : buffer) {
+    byte = Transform(byte, key);
+  }
+  return DmaWrite(machine, output, std::span<const uint8_t>(buffer));
+}
+
+}  // namespace tyche

@@ -1,0 +1,75 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Simulated PCI devices. A device is a DMA initiator: everything it reads or
+// writes goes through the IOMMU, so the monitor's device capabilities are
+// enforceable. Two concrete device models are provided:
+//   - DmaEngine: generic copy engine (stands in for NICs, storage).
+//   - GpuDevice: a compute device that runs a kernel over an input buffer --
+//     the "GPU" of the paper's Figure 2 SaaS scenario.
+
+#ifndef SRC_HW_PCI_H_
+#define SRC_HW_PCI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/hw/iommu.h"
+#include "src/hw/phys_memory.h"
+#include "src/support/status.h"
+
+namespace tyche {
+
+class Machine;
+
+class PciDevice {
+ public:
+  PciDevice(PciBdf bdf, std::string name) : bdf_(bdf), name_(std::move(name)) {}
+  virtual ~PciDevice() = default;
+
+  PciBdf bdf() const { return bdf_; }
+  const std::string& name() const { return name_; }
+
+ protected:
+  // DMA helpers: translate through the machine's IOMMU, then touch memory.
+  Result<std::vector<uint8_t>> DmaRead(Machine* machine, uint64_t addr, uint64_t size);
+  Status DmaWrite(Machine* machine, uint64_t addr, std::span<const uint8_t> data);
+
+ private:
+  PciBdf bdf_;
+  std::string name_;
+};
+
+// Generic DMA copy engine.
+class DmaEngine : public PciDevice {
+ public:
+  DmaEngine(PciBdf bdf, std::string name) : PciDevice(bdf, std::move(name)) {}
+
+  // Copies `size` bytes from src to dst, both device-visible addresses.
+  Status Copy(Machine* machine, uint64_t src, uint64_t dst, uint64_t size);
+
+  // Copy, then raise a completion interrupt with `vector`. The interrupt is
+  // delivered only where the interrupt plane routes it.
+  Status CopyAndNotify(Machine* machine, uint64_t src, uint64_t dst, uint64_t size,
+                       uint32_t vector);
+};
+
+// Compute device: reads an input buffer, applies a trivially checkable
+// transform (byte-wise xor + rotate), writes an output buffer. Used by the
+// SaaS scenario to show an I/O trust domain collaborating with enclaves.
+class GpuDevice : public PciDevice {
+ public:
+  GpuDevice(PciBdf bdf, std::string name) : PciDevice(bdf, std::move(name)) {}
+
+  Status RunKernel(Machine* machine, uint64_t input, uint64_t output, uint64_t size,
+                   uint8_t key);
+
+  // The transform the kernel applies, exposed so verifiers can recompute it.
+  static uint8_t Transform(uint8_t byte, uint8_t key) {
+    const uint8_t x = byte ^ key;
+    return static_cast<uint8_t>((x << 3) | (x >> 5));
+  }
+};
+
+}  // namespace tyche
+
+#endif  // SRC_HW_PCI_H_

@@ -1,0 +1,79 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Simulated physical memory (DRAM) plus a frame allocator.
+//
+// All simulated software -- the mini OS, domains, devices, and the monitor's
+// own page tables -- lives inside one flat byte array indexed by physical
+// address. The monitor reasons exclusively in this physical name space,
+// exactly as §3.2 of the paper prescribes ("policies operate on physical
+// name spaces").
+
+#ifndef SRC_HW_PHYS_MEMORY_H_
+#define SRC_HW_PHYS_MEMORY_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/support/align.h"
+#include "src/support/status.h"
+
+namespace tyche {
+
+class PhysMemory {
+ public:
+  // Size must be page aligned.
+  explicit PhysMemory(uint64_t size_bytes);
+
+  uint64_t size() const { return static_cast<uint64_t>(bytes_.size()); }
+
+  bool ValidRange(uint64_t addr, uint64_t size) const {
+    return size <= this->size() && addr <= this->size() - size;
+  }
+
+  // Raw access, no protection checks: protection is the machine's job.
+  Status Read(uint64_t addr, std::span<uint8_t> out) const;
+  Status Write(uint64_t addr, std::span<const uint8_t> data);
+
+  Result<uint64_t> Read64(uint64_t addr) const;
+  Status Write64(uint64_t addr, uint64_t value);
+
+  // Zeroes [addr, addr+size). Used by the ZeroMemory revocation policy.
+  Status Zero(uint64_t addr, uint64_t size);
+
+  // Direct view for hashing / measurement (monitor-only use).
+  Result<std::span<const uint8_t>> View(uint64_t addr, uint64_t size) const;
+  Result<std::span<uint8_t>> MutableView(uint64_t addr, uint64_t size);
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+// Page-frame allocator over a sub-range of physical memory. The monitor uses
+// one instance for its private metadata pool (page tables, domain contexts);
+// the mini OS uses another for general allocation. Free frames are kept in a
+// LIFO free list.
+class FrameAllocator {
+ public:
+  FrameAllocator(AddrRange pool);
+
+  // Allocates one 4K frame; returns its physical address.
+  Result<uint64_t> Alloc();
+  // Allocates `count` physically contiguous frames.
+  Result<uint64_t> AllocContiguous(uint64_t count);
+  Status Free(uint64_t frame_addr);
+
+  uint64_t free_frames() const { return free_count_; }
+  uint64_t total_frames() const { return total_frames_; }
+  const AddrRange& pool() const { return pool_; }
+
+ private:
+  AddrRange pool_;
+  uint64_t total_frames_;
+  uint64_t bump_next_;        // frames never yet allocated start here
+  std::vector<uint64_t> free_list_;
+  uint64_t free_count_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_HW_PHYS_MEMORY_H_

@@ -1,0 +1,144 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/hw/pmp.h"
+
+#include <sstream>
+
+namespace tyche {
+
+Status PmpFile::SetEntry(int index, const PmpEntry& entry, CycleAccount* cycles) {
+  if (index < 0 || index >= kNumEntries) {
+    return Error(ErrorCode::kOutOfRange, "PMP index out of range");
+  }
+  if (entries_[static_cast<size_t>(index)].locked) {
+    return Error(ErrorCode::kFailedPrecondition, "PMP entry locked");
+  }
+  entries_[static_cast<size_t>(index)] = entry;
+  if (cycles != nullptr) {
+    cycles->Charge(CostModel::Default().pmp_entry_update);
+  }
+  return OkStatus();
+}
+
+Status PmpFile::ClearEntry(int index, CycleAccount* cycles) {
+  return SetEntry(index, PmpEntry{}, cycles);
+}
+
+Result<PmpEntry> PmpFile::GetEntry(int index) const {
+  if (index < 0 || index >= kNumEntries) {
+    return Error(ErrorCode::kOutOfRange, "PMP index out of range");
+  }
+  return entries_[static_cast<size_t>(index)];
+}
+
+std::optional<AddrRange> PmpFile::EntryRange(int index) const {
+  const PmpEntry& entry = entries_[static_cast<size_t>(index)];
+  switch (entry.mode) {
+    case PmpAddressMode::kOff:
+      return std::nullopt;
+    case PmpAddressMode::kTor: {
+      const uint64_t top = entry.addr << 2;
+      const uint64_t bottom =
+          index == 0 ? 0 : (entries_[static_cast<size_t>(index - 1)].addr << 2);
+      if (top <= bottom) {
+        return AddrRange{bottom, 0};
+      }
+      return AddrRange{bottom, top - bottom};
+    }
+    case PmpAddressMode::kNa4:
+      return AddrRange{entry.addr << 2, 4};
+    case PmpAddressMode::kNapot: {
+      // addr = (base >> 2) | ((size/2 - 1) >> 2); trailing ones encode size.
+      uint64_t a = entry.addr;
+      int trailing_ones = 0;
+      while ((a & 1) != 0) {
+        a >>= 1;
+        ++trailing_ones;
+      }
+      const uint64_t size = 1ULL << (trailing_ones + 3);
+      const uint64_t base = (entry.addr & ~((1ULL << trailing_ones) - 1)) << 2;
+      return AddrRange{base, size};
+    }
+  }
+  return std::nullopt;
+}
+
+Status PmpFile::Check(uint64_t addr, uint64_t size, AccessType access,
+                      CycleAccount* cycles) const {
+  const CostModel& cost = CostModel::Default();
+  for (int i = 0; i < kNumEntries; ++i) {
+    if (cycles != nullptr) {
+      cycles->Charge(cost.pmp_check_per_entry);
+    }
+    const std::optional<AddrRange> range = EntryRange(i);
+    if (!range.has_value() || range->empty()) {
+      continue;
+    }
+    const AddrRange request{addr, size};
+    if (!range->Overlaps(request)) {
+      continue;
+    }
+    // Architectural rule: the access must be entirely contained in the
+    // matching entry, otherwise it faults.
+    if (!range->Contains(request)) {
+      return Error(ErrorCode::kAccessViolation, "PMP partial match");
+    }
+    if (!entries_[static_cast<size_t>(i)].perms.Allows(access)) {
+      return Error(ErrorCode::kAccessViolation, "PMP permission violation");
+    }
+    return OkStatus();
+  }
+  return Error(ErrorCode::kAccessViolation, "no matching PMP entry");
+}
+
+int PmpFile::used_entries() const {
+  int used = 0;
+  for (const PmpEntry& entry : entries_) {
+    if (entry.mode != PmpAddressMode::kOff) {
+      ++used;
+    }
+  }
+  return used;
+}
+
+std::string PmpFile::Dump() const {
+  std::ostringstream out;
+  for (int i = 0; i < kNumEntries; ++i) {
+    const PmpEntry& entry = entries_[static_cast<size_t>(i)];
+    if (entry.mode == PmpAddressMode::kOff) {
+      continue;
+    }
+    const std::optional<AddrRange> range = EntryRange(i);
+    out << "pmp" << i << ": ";
+    switch (entry.mode) {
+      case PmpAddressMode::kTor:
+        out << "TOR  ";
+        break;
+      case PmpAddressMode::kNa4:
+        out << "NA4  ";
+        break;
+      case PmpAddressMode::kNapot:
+        out << "NAPOT";
+        break;
+      case PmpAddressMode::kOff:
+        break;
+    }
+    if (range.has_value()) {
+      out << " [0x" << std::hex << range->base << ", 0x" << range->end() << std::dec << ") ";
+    }
+    out << entry.perms.ToString() << (entry.locked ? " L" : "") << "\n";
+  }
+  return out.str();
+}
+
+Result<uint64_t> PmpFile::EncodeNapot(uint64_t base, uint64_t size) {
+  if (size < 8 || !IsPowerOfTwo(size)) {
+    return Error(ErrorCode::kInvalidArgument, "NAPOT size must be a power of two >= 8");
+  }
+  if (!IsAligned(base, size)) {
+    return Error(ErrorCode::kInvalidArgument, "NAPOT base must be size-aligned");
+  }
+  return (base >> 2) | ((size / 2 - 1) >> 2);
+}
+
+}  // namespace tyche

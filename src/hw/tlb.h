@@ -1,0 +1,85 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// A small translation cache in front of the nested page table. Exists to
+// model the two costs that matter for the paper's transition claims: TLB
+// hits make steady-state access cheap, and revocation/permission changes
+// force flushes whose cost the monitor's revocation policies must absorb.
+
+#ifndef SRC_HW_TLB_H_
+#define SRC_HW_TLB_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/hw/access.h"
+#include "src/hw/cost_model.h"
+#include "src/support/align.h"
+
+namespace tyche {
+
+class Tlb {
+ public:
+  static constexpr int kEntries = 64;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t flushes = 0;
+  };
+
+  // Looks up a translation for `page` (page-aligned). Returns true and fills
+  // outputs on hit.
+  bool Lookup(uint64_t page, uint16_t asid, uint64_t* out_frame, Perms* out_perms) {
+    Entry& e = entries_[SlotFor(page, asid)];
+    if (e.valid && e.page == page && e.asid == asid) {
+      ++stats_.hits;
+      *out_frame = e.frame;
+      *out_perms = e.perms;
+      return true;
+    }
+    ++stats_.misses;
+    return false;
+  }
+
+  void Insert(uint64_t page, uint16_t asid, uint64_t frame, Perms perms) {
+    Entry& e = entries_[SlotFor(page, asid)];
+    e.valid = true;
+    e.page = page;
+    e.asid = asid;
+    e.frame = frame;
+    e.perms = perms;
+  }
+
+  // Full flush (e.g. EPT modified without VPID tagging).
+  void Flush(CycleAccount* cycles) {
+    for (Entry& e : entries_) {
+      e.valid = false;
+    }
+    ++stats_.flushes;
+    if (cycles != nullptr) {
+      cycles->Charge(CostModel::Default().tlb_flush);
+    }
+  }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+    uint16_t asid = 0;
+    uint64_t page = 0;
+    uint64_t frame = 0;
+    Perms perms;
+  };
+
+  static size_t SlotFor(uint64_t page, uint16_t asid) {
+    return ((page >> kPageShift) ^ (asid * 0x9e37ULL)) % kEntries;
+  }
+
+  std::array<Entry, kEntries> entries_{};
+  Stats stats_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_HW_TLB_H_

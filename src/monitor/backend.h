@@ -1,0 +1,59 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Platform backend interface (§4: "a platform-specific backend ...
+// configures commodity hardware mechanisms to enforce the desired
+// policies"). The capability engine produces effect lists; a backend
+// projects them onto real enforcement state: nested page tables + IOMMU on
+// the VT-x machine, PMP files + IOPMP on the RISC-V machine.
+
+#ifndef SRC_MONITOR_BACKEND_H_
+#define SRC_MONITOR_BACKEND_H_
+
+#include <cstdint>
+
+#include "src/capability/engine.h"
+#include "src/hw/cpu.h"
+#include "src/support/status.h"
+
+namespace tyche {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  // Allocates per-domain enforcement state (e.g. an empty EPT).
+  virtual Status CreateDomainContext(DomainId domain, uint16_t asid) = 0;
+  virtual Status DestroyDomainContext(DomainId domain) = 0;
+
+  // Re-derives the enforcement state for `domain` over `range` from the
+  // capability engine (the single source of truth). Idempotent; called
+  // after every capability mutation that touches the domain.
+  virtual Status SyncMemory(DomainId domain, const AddrRange& range) = 0;
+
+  // Attaches / detaches a PCI device to a domain's protection context.
+  virtual Status AttachDevice(DomainId domain, uint16_t bdf) = 0;
+  virtual Status DetachDevice(DomainId domain, uint16_t bdf) = 0;
+
+  // Installs domain's protection context on a core (slow path: full switch
+  // with TLB flush where the hardware requires it).
+  virtual Status BindCore(DomainId domain, CoreId core) = 0;
+
+  // Fast-transition support (VMFUNC EPTP-list style). Returns
+  // kUnimplemented where the hardware has no fast path (PMP).
+  virtual Status RegisterFastPath(DomainId domain, CoreId core) = 0;
+  virtual Status FastBindCore(DomainId domain, CoreId core) = 0;
+
+  // Flushes stale translations for a domain after revocation. `cores_mask`
+  // selects the cores currently running the domain.
+  virtual void FlushDomain(DomainId domain) = 0;
+
+  // True if every mapping the hardware would honour for `domain` is
+  // justified by an active capability -- the judiciary-facing consistency
+  // check used by tests and the self-audit.
+  virtual Result<bool> ValidateAgainst(const CapabilityEngine& engine, DomainId domain) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_MONITOR_BACKEND_H_

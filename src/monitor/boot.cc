@@ -1,0 +1,82 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/monitor/boot.h"
+
+#include "src/monitor/attestation.h"
+
+namespace tyche {
+
+Result<BootOutcome> MeasuredBoot(Machine* machine, const BootParams& params) {
+  if (!IsPageAligned(params.monitor_memory_bytes) || params.monitor_memory_bytes == 0) {
+    return Error(ErrorCode::kInvalidArgument, "monitor memory must be page aligned");
+  }
+  if (params.monitor_memory_bytes >= machine->memory().size()) {
+    return Error(ErrorCode::kInvalidArgument, "monitor memory exceeds machine memory");
+  }
+
+  BootOutcome outcome;
+
+  // 1. SRTM: measure the firmware into PCR0.
+  outcome.firmware_measurement = Sha256::Hash(params.firmware_image);
+  TYCHE_RETURN_IF_ERROR(machine->tpm().Extend(Tpm::kPcrFirmware,
+                                              outcome.firmware_measurement, "firmware"));
+
+  // 2. Firmware measures the monitor image into PCR1 and loads it at the
+  //    bottom of physical memory.
+  outcome.monitor_measurement = Sha256::Hash(params.monitor_image);
+  TYCHE_RETURN_IF_ERROR(
+      machine->tpm().Extend(Tpm::kPcrMonitor, outcome.monitor_measurement, "monitor image"));
+  const uint64_t image_bytes = AlignUp(params.monitor_image.size(), kPageSize);
+  if (image_bytes >= params.monitor_memory_bytes) {
+    return Error(ErrorCode::kInvalidArgument, "monitor image larger than its reservation");
+  }
+  TYCHE_RETURN_IF_ERROR(machine->memory().Write(0, params.monitor_image));
+
+  // 3. The monitor derives its measurement-bound attestation key. Seed =
+  //    H(endorsement seed || monitor measurement): a modified monitor image
+  //    cannot impersonate the golden one.
+  Sha256 seed_ctx;
+  seed_ctx.Update(std::span<const uint8_t>(machine->config().endorsement_seed.data(),
+                                           machine->config().endorsement_seed.size()));
+  seed_ctx.Update(std::span<const uint8_t>(outcome.monitor_measurement.bytes.data(),
+                                           outcome.monitor_measurement.bytes.size()));
+  const Digest seed = seed_ctx.Finalize();
+  const SchnorrKeyPair key =
+      DeriveKeyPair(std::span<const uint8_t>(seed.bytes.data(), seed.bytes.size()));
+
+  // ... and binds the public key into PCR1.
+  TYCHE_RETURN_IF_ERROR(
+      machine->tpm().Extend(Tpm::kPcrMonitor, HashPublicKey(key.pub), "monitor key"));
+
+  // 4. Construct the monitor over its reservation; the metadata pool is the
+  //    reservation minus the image.
+  const AddrRange monitor_range{0, params.monitor_memory_bytes};
+  const AddrRange metadata_pool{image_bytes, params.monitor_memory_bytes - image_bytes};
+  outcome.monitor = std::make_unique<Monitor>(machine, monitor_range,
+                                              FrameAllocator(metadata_pool), key);
+  outcome.monitor->SetBootMeasurements(outcome.firmware_measurement,
+                                       outcome.monitor_measurement);
+
+  // 5. Hand everything else to the initial domain.
+  TYCHE_ASSIGN_OR_RETURN(outcome.initial_domain,
+                         outcome.monitor->InstallInitialDomain(params.initial_domain_name));
+  return outcome;
+}
+
+namespace {
+
+std::vector<uint8_t> PatternImage(uint64_t bytes, uint8_t tag) {
+  std::vector<uint8_t> image(bytes);
+  for (uint64_t i = 0; i < bytes; ++i) {
+    image[i] = static_cast<uint8_t>((i * 31 + tag) & 0xff);
+  }
+  return image;
+}
+
+}  // namespace
+
+std::vector<uint8_t> DemoFirmwareImage() { return PatternImage(16 * 1024, 0xf1); }
+
+std::vector<uint8_t> DemoMonitorImage() { return PatternImage(64 * 1024, 0x7c); }
+
+}  // namespace tyche

@@ -1,0 +1,51 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Measured boot (§3.4 tier 1): SRTM-style chain rooted in the TPM.
+//
+//   1. The firmware is measured into PCR0.
+//   2. The monitor image is measured into PCR1.
+//   3. The monitor derives its attestation key from the TPM endorsement
+//      seed bound to its own measurement (a different monitor image yields
+//      a different key) and extends PCR1 with the public key's hash.
+//   4. The monitor takes ownership of its own memory range, then installs
+//      the initial domain (the commodity OS) with every remaining resource.
+
+#ifndef SRC_MONITOR_BOOT_H_
+#define SRC_MONITOR_BOOT_H_
+
+#include <memory>
+#include <span>
+
+#include "src/monitor/monitor.h"
+
+namespace tyche {
+
+struct BootParams {
+  std::span<const uint8_t> firmware_image;
+  std::span<const uint8_t> monitor_image;
+  // Memory reserved for the monitor: image + metadata pool (page tables,
+  // domain contexts). Carved from the bottom of physical memory.
+  uint64_t monitor_memory_bytes = 4ull << 20;  // 4 MiB
+  std::string initial_domain_name = "os";
+};
+
+struct BootOutcome {
+  std::unique_ptr<Monitor> monitor;
+  DomainId initial_domain = kInvalidDomain;
+  // Golden values a remote verifier would be provisioned with.
+  Digest firmware_measurement;
+  Digest monitor_measurement;
+};
+
+// Boots `machine` under the isolation monitor. After this returns, the
+// initial domain runs on every core and owns all resources outside the
+// monitor's reservation.
+Result<BootOutcome> MeasuredBoot(Machine* machine, const BootParams& params);
+
+// Canonical demo images (deterministic content) so examples/tests/benches
+// share golden measurements.
+std::vector<uint8_t> DemoFirmwareImage();
+std::vector<uint8_t> DemoMonitorImage();
+
+}  // namespace tyche
+
+#endif  // SRC_MONITOR_BOOT_H_

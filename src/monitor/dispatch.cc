@@ -1,0 +1,178 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/monitor/dispatch.h"
+
+namespace tyche {
+
+namespace {
+
+ApiResult Ok(uint64_t ret0 = 0, uint64_t ret1 = 0) {
+  return ApiResult{0, ret0, ret1};
+}
+
+ApiResult Fail(const Status& status) {
+  return ApiResult{static_cast<uint64_t>(status.code()), 0, 0};
+}
+
+ApiResult Fail(ErrorCode code) { return ApiResult{static_cast<uint64_t>(code), 0, 0}; }
+
+// Unpacks arg = rights<<8 | policy.
+CapRights UnpackRights(uint64_t arg) {
+  return CapRights(static_cast<uint8_t>((arg >> 8) & CapRights::kAll));
+}
+RevocationPolicy UnpackPolicy(uint64_t arg) {
+  return RevocationPolicy(static_cast<uint8_t>(arg & RevocationPolicy::kObfuscate));
+}
+
+}  // namespace
+
+ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
+  if (regs.op >= static_cast<uint64_t>(ApiOp::kOpCount)) {
+    return Fail(ErrorCode::kInvalidArgument);
+  }
+  switch (static_cast<ApiOp>(regs.op)) {
+    case ApiOp::kCreateDomain: {
+      const auto result = monitor->CreateDomain(core, "anon");
+      if (!result.ok()) {
+        return Fail(result.status());
+      }
+      return Ok(result->domain, result->handle);
+    }
+    case ApiOp::kSetEntryPoint: {
+      const Status status = monitor->SetEntryPoint(core, regs.arg0, regs.arg1);
+      return status.ok() ? Ok() : Fail(status);
+    }
+    case ApiOp::kShareMemory: {
+      const auto result = monitor->ShareMemory(
+          core, regs.arg0, regs.arg1, AddrRange{regs.arg2, regs.arg3},
+          Perms(static_cast<uint8_t>(regs.arg4 & Perms::kRWX)), UnpackRights(regs.arg5),
+          UnpackPolicy(regs.arg5));
+      return result.ok() ? Ok(*result) : Fail(result.status());
+    }
+    case ApiOp::kGrantMemory: {
+      const auto result = monitor->GrantMemory(
+          core, regs.arg0, regs.arg1, AddrRange{regs.arg2, regs.arg3},
+          Perms(static_cast<uint8_t>(regs.arg4 & Perms::kRWX)), UnpackRights(regs.arg5),
+          UnpackPolicy(regs.arg5));
+      return result.ok() ? Ok(result->granted) : Fail(result.status());
+    }
+    case ApiOp::kShareUnit: {
+      const auto result = monitor->ShareUnit(core, regs.arg0, regs.arg1,
+                                             UnpackRights(regs.arg2),
+                                             UnpackPolicy(regs.arg2));
+      return result.ok() ? Ok(*result) : Fail(result.status());
+    }
+    case ApiOp::kGrantUnit: {
+      const auto result = monitor->GrantUnit(core, regs.arg0, regs.arg1,
+                                             UnpackRights(regs.arg2),
+                                             UnpackPolicy(regs.arg2));
+      return result.ok() ? Ok(*result) : Fail(result.status());
+    }
+    case ApiOp::kRevoke: {
+      const Status status = monitor->Revoke(core, regs.arg0);
+      return status.ok() ? Ok() : Fail(status);
+    }
+    case ApiOp::kExtendMeasurement: {
+      const Status status =
+          monitor->ExtendMeasurement(core, regs.arg0, AddrRange{regs.arg1, regs.arg2});
+      return status.ok() ? Ok() : Fail(status);
+    }
+    case ApiOp::kSeal: {
+      const Status status = monitor->Seal(core, regs.arg0);
+      return status.ok() ? Ok() : Fail(status);
+    }
+    case ApiOp::kAttestDomain: {
+      const auto report = regs.arg0 == 0
+                              ? monitor->AttestSelf(core, regs.arg1)
+                              : monitor->AttestDomain(core, regs.arg0, regs.arg1);
+      if (!report.ok()) {
+        return Fail(report.status());
+      }
+      const std::vector<uint8_t> wire = SerializeAttestation(*report);
+      if (wire.size() > regs.arg3) {
+        return Fail(ErrorCode::kResourceExhausted);
+      }
+      // Written through the CALLER's protection context: the out-buffer
+      // must be caller-writable or the write faults like any other access.
+      const Status written = monitor->machine()->CheckedWrite(
+          core, regs.arg2, std::span<const uint8_t>(wire));
+      if (!written.ok()) {
+        return Fail(written);
+      }
+      return Ok(wire.size());
+    }
+    case ApiOp::kEnumerate: {
+      const auto resources = monitor->Enumerate(core, regs.arg0);
+      return resources.ok() ? Ok(resources->size()) : Fail(resources.status());
+    }
+    case ApiOp::kTransition: {
+      const Status status = monitor->Transition(core, regs.arg0);
+      return status.ok() ? Ok() : Fail(status);
+    }
+    case ApiOp::kReturn: {
+      const Status status = monitor->ReturnFromDomain(core);
+      return status.ok() ? Ok() : Fail(status);
+    }
+    case ApiOp::kRegisterFastTransition: {
+      const Status status = monitor->RegisterFastTransition(core, regs.arg0);
+      return status.ok() ? Ok() : Fail(status);
+    }
+    case ApiOp::kFastTransition: {
+      const Status status =
+          monitor->FastTransition(core, static_cast<DomainId>(regs.arg0));
+      return status.ok() ? Ok() : Fail(status);
+    }
+    case ApiOp::kDestroyDomain: {
+      const Status status = monitor->DestroyDomain(core, regs.arg0);
+      return status.ok() ? Ok() : Fail(status);
+    }
+    case ApiOp::kRouteInterrupt: {
+      const Status status = monitor->RouteInterrupt(core, regs.arg0);
+      return status.ok() ? Ok() : Fail(status);
+    }
+    case ApiOp::kTakeInterrupt: {
+      const auto interrupt = monitor->TakeInterrupt(core);
+      return interrupt.ok() ? Ok(interrupt->vector, interrupt->source.value)
+                            : Fail(interrupt.status());
+    }
+    case ApiOp::kSetTransitionPolicy: {
+      const Status status =
+          monitor->SetTransitionPolicy(core, regs.arg0, regs.arg1 != 0);
+      return status.ok() ? Ok() : Fail(status);
+    }
+    case ApiOp::kSealData:
+    case ApiOp::kUnsealData: {
+      // arg0 = in pa, arg1 = in size, arg2 = out pa, arg3 = out capacity.
+      // Both buffers are touched through the caller's protection context.
+      if (regs.arg1 > (1u << 20)) {
+        return Fail(ErrorCode::kInvalidArgument);
+      }
+      std::vector<uint8_t> input(regs.arg1);
+      const Status read =
+          monitor->machine()->CheckedRead(core, regs.arg0, std::span<uint8_t>(input));
+      if (!read.ok()) {
+        return Fail(read);
+      }
+      const auto output = static_cast<ApiOp>(regs.op) == ApiOp::kSealData
+                              ? monitor->SealData(core, input)
+                              : monitor->UnsealData(core, input);
+      if (!output.ok()) {
+        return Fail(output.status());
+      }
+      if (output->size() > regs.arg3) {
+        return Fail(ErrorCode::kResourceExhausted);
+      }
+      const Status written = monitor->machine()->CheckedWrite(
+          core, regs.arg2, std::span<const uint8_t>(*output));
+      if (!written.ok()) {
+        return Fail(written);
+      }
+      return Ok(output->size());
+    }
+    case ApiOp::kOpCount:
+      break;
+  }
+  return Fail(ErrorCode::kInvalidArgument);
+}
+
+}  // namespace tyche

@@ -1,0 +1,70 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// The monitor's register-level ABI.
+//
+// Real domains do not call C++ methods: they execute VMCALL (x86) or ECALL
+// (RISC-V) with arguments in registers. This dispatcher is that boundary --
+// a single entry point taking six argument registers, returning two result
+// registers plus an error code. It exists for three reasons:
+//   1. realism: libtyche-style runtimes can be written against a stable ABI;
+//   2. auditability: the COMPLETE attack surface of the monitor is this one
+//      function (the C7 experiment counts it);
+//   3. fuzzability: hostile register values exercise every validation path
+//      (see dispatch_fuzz coverage in tests).
+//
+// Calls with out-of-band payloads (attestation reports) write results into
+// caller-owned memory passed by physical address, like real monitors do.
+
+#ifndef SRC_MONITOR_DISPATCH_H_
+#define SRC_MONITOR_DISPATCH_H_
+
+#include "src/monitor/monitor.h"
+
+namespace tyche {
+
+// The virtual "registers" of a monitor call.
+struct ApiRegs {
+  uint64_t op = 0;       // ApiOp
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  uint64_t arg2 = 0;
+  uint64_t arg3 = 0;
+  uint64_t arg4 = 0;
+  uint64_t arg5 = 0;
+};
+
+struct ApiResult {
+  uint64_t error = 0;  // ErrorCode (0 = OK)
+  uint64_t ret0 = 0;
+  uint64_t ret1 = 0;
+};
+
+// Register conventions per op (all unspecified registers must be zero):
+//   kCreateDomain      -> ret0 = domain id, ret1 = handle cap
+//   kSetEntryPoint      arg0 = handle, arg1 = entry pa
+//   kShareMemory        arg0 = src cap, arg1 = dst handle, arg2 = base,
+//                       arg3 = size, arg4 = perms, arg5 = rights<<8|policy
+//                      -> ret0 = new cap
+//   kGrantMemory        like kShareMemory -> ret0 = granted cap
+//   kShareUnit          arg0 = src cap, arg1 = dst handle,
+//                       arg2 = rights<<8|policy -> ret0 = new cap
+//   kGrantUnit          like kShareUnit -> ret0 = granted cap
+//   kRevoke             arg0 = cap
+//   kExtendMeasurement  arg0 = handle, arg1 = base, arg2 = size
+//   kSeal               arg0 = handle
+//   kAttestDomain       arg0 = handle (0 = self), arg1 = nonce,
+//                       arg2 = out pa, arg3 = out size
+//                      -> ret0 = bytes written (serialized report)
+//   kEnumerate          arg0 = handle -> ret0 = resource count
+//   kTransition         arg0 = handle
+//   kReturn             (no args)
+//   kRegisterFastTransition arg0 = handle
+//   kFastTransition     arg0 = target domain id
+//   kDestroyDomain      arg0 = handle
+//   kRouteInterrupt     arg0 = device cap
+//   kTakeInterrupt     -> ret0 = vector, ret1 = source bdf
+//   kSetTransitionPolicy arg0 = handle, arg1 = scrub flag (0/1)
+ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs);
+
+}  // namespace tyche
+
+#endif  // SRC_MONITOR_DISPATCH_H_

@@ -1,0 +1,54 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Trust domains (§3.1): "an identity associated with a set of access rights
+// to physical resources". The resource set itself lives in the capability
+// engine; this struct carries identity, life-cycle state, the fixed entry
+// point, and the accumulated measurement.
+
+#ifndef SRC_MONITOR_DOMAIN_H_
+#define SRC_MONITOR_DOMAIN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/crypto/sha256.h"
+#include "src/hw/cpu.h"
+
+namespace tyche {
+
+enum class DomainState : uint8_t {
+  kCreated,  // resources may still be added, measurement still open
+  kSealed,   // resource set frozen (§3.1), measurement final
+  kDead,     // destroyed; all capabilities revoked
+};
+
+struct TrustDomain {
+  DomainId id = kInvalidDomain;
+  DomainId creator = kInvalidDomain;
+  DomainState state = DomainState::kCreated;
+  std::string name;  // debugging / reports only, not part of identity
+
+  // Fixed entry point (physical address). Transitions may only enter here.
+  uint64_t entry_point = 0;
+  bool entry_point_set = false;
+
+  // Rolling measurement of explicitly registered content (extended via the
+  // ExtendMeasurement call, finalized at seal time with the config hash).
+  Sha256 measurement_ctx;
+  Digest measurement;  // valid once sealed
+
+  // VPID/ASID tag for the fast-transition path.
+  uint16_t asid = 0;
+
+  // Side-channel mitigation policy (§4.1: "revocation policies that flush
+  // micro-architectural state (caches) during a transition"): when set,
+  // every monitor-mediated exit from this domain scrubs the core's
+  // micro-architectural state. Incompatible with the unmediated fast path.
+  bool scrub_on_exit = false;
+
+  bool alive() const { return state != DomainState::kDead; }
+  bool sealed() const { return state == DomainState::kSealed; }
+};
+
+}  // namespace tyche
+
+#endif  // SRC_MONITOR_DOMAIN_H_

@@ -1,0 +1,760 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/monitor/monitor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/crypto/authenticated.h"
+#include "src/monitor/pmp_backend.h"
+#include "src/monitor/vtx_backend.h"
+#include "src/support/log.h"
+
+namespace tyche {
+
+const char* ApiOpName(ApiOp op) {
+  switch (op) {
+    case ApiOp::kCreateDomain:
+      return "create_domain";
+    case ApiOp::kSetEntryPoint:
+      return "set_entry_point";
+    case ApiOp::kShareMemory:
+      return "share_memory";
+    case ApiOp::kGrantMemory:
+      return "grant_memory";
+    case ApiOp::kShareUnit:
+      return "share_unit";
+    case ApiOp::kGrantUnit:
+      return "grant_unit";
+    case ApiOp::kRevoke:
+      return "revoke";
+    case ApiOp::kExtendMeasurement:
+      return "extend_measurement";
+    case ApiOp::kSeal:
+      return "seal";
+    case ApiOp::kAttestDomain:
+      return "attest_domain";
+    case ApiOp::kEnumerate:
+      return "enumerate";
+    case ApiOp::kTransition:
+      return "transition";
+    case ApiOp::kReturn:
+      return "return";
+    case ApiOp::kRegisterFastTransition:
+      return "register_fast_transition";
+    case ApiOp::kFastTransition:
+      return "fast_transition";
+    case ApiOp::kDestroyDomain:
+      return "destroy_domain";
+    case ApiOp::kRouteInterrupt:
+      return "route_interrupt";
+    case ApiOp::kTakeInterrupt:
+      return "take_interrupt";
+    case ApiOp::kSetTransitionPolicy:
+      return "set_transition_policy";
+    case ApiOp::kSealData:
+      return "seal_data";
+    case ApiOp::kUnsealData:
+      return "unseal_data";
+    case ApiOp::kOpCount:
+      break;
+  }
+  return "?";
+}
+
+Monitor::Monitor(Machine* machine, AddrRange monitor_range, FrameAllocator metadata_pool,
+                 SchnorrKeyPair key)
+    : machine_(machine),
+      monitor_range_(monitor_range),
+      metadata_pool_(metadata_pool),
+      key_(key) {
+  if (machine_->arch() == IsaArch::kX86_64) {
+    backend_ = std::make_unique<VtxBackend>(machine_, &engine_, &metadata_pool_);
+  } else {
+    backend_ = std::make_unique<PmpBackend>(machine_, &engine_, monitor_range_);
+  }
+  call_stacks_.resize(machine_->num_cores());
+
+  // Sealing root: bound to the monitor's (measurement-derived) identity key,
+  // so blobs only open under the same monitor image.
+  uint8_t key_bytes[8];
+  std::memcpy(key_bytes, &key_.priv.x, sizeof(key_bytes));
+  const std::string_view label = "tyche-sealing-root-v1";
+  sealing_root_ = HmacSha256(
+      std::span<const uint8_t>(key_bytes, sizeof(key_bytes)),
+      std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(label.data()),
+                               label.size()));
+}
+
+uint64_t Monitor::TrapCost() const {
+  const CostModel& cost = CostModel::Default();
+  return machine_->arch() == IsaArch::kX86_64 ? cost.vmcall_round_trip
+                                              : cost.smc_round_trip;
+}
+
+Status Monitor::ChargeCall(ApiOp op) {
+  machine_->cycles().Charge(TrapCost());
+  ++stats_.api_calls[static_cast<size_t>(op)];
+  return OkStatus();
+}
+
+Result<DomainId> Monitor::Caller(CoreId core) const {
+  if (core >= machine_->num_cores()) {
+    return Error(ErrorCode::kOutOfRange, "bad core id");
+  }
+  const DomainId domain = machine_->cpu(core).current_domain();
+  if (domain == kInvalidDomain || !domains_.contains(domain)) {
+    return Error(ErrorCode::kFailedPrecondition, "no domain running on core");
+  }
+  return domain;
+}
+
+Result<DomainId> Monitor::ResolveHandle(DomainId caller, CapId handle,
+                                        bool require_manage) const {
+  TYCHE_ASSIGN_OR_RETURN(const Capability* cap, engine_.Get(handle));
+  if (!cap->active()) {
+    return Error(ErrorCode::kCapabilityRevoked, "domain handle revoked");
+  }
+  if (cap->owner != caller) {
+    return Error(ErrorCode::kCapabilityNotOwned, "domain handle not owned by caller");
+  }
+  if (cap->kind != ResourceKind::kDomain) {
+    return Error(ErrorCode::kInvalidArgument, "capability is not a domain handle");
+  }
+  if (require_manage && !cap->rights.CanManage()) {
+    return Error(ErrorCode::kCapabilityRightsViolation, "handle lacks manage right");
+  }
+  const DomainId target = static_cast<DomainId>(cap->unit);
+  const auto it = domains_.find(target);
+  if (it == domains_.end() || !it->second.alive()) {
+    return Error(ErrorCode::kDomainDead, "target domain not alive");
+  }
+  return target;
+}
+
+Result<TrustDomain*> Monitor::GetDomainMutable(DomainId id) {
+  const auto it = domains_.find(id);
+  if (it == domains_.end()) {
+    return Error(ErrorCode::kNotFound, "no such domain");
+  }
+  return &it->second;
+}
+
+Result<const TrustDomain*> Monitor::GetDomain(DomainId id) const {
+  const auto it = domains_.find(id);
+  if (it == domains_.end()) {
+    return Error(ErrorCode::kNotFound, "no such domain");
+  }
+  return &it->second;
+}
+
+DomainId Monitor::CurrentDomain(CoreId core) const {
+  return machine_->cpu(core).current_domain();
+}
+
+uint64_t Monitor::num_domains_alive() const {
+  uint64_t count = 0;
+  for (const auto& [id, domain] : domains_) {
+    if (domain.alive()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Result<DomainId> Monitor::InstallInitialDomain(const std::string& name) {
+  if (next_domain_ != 0) {
+    return Error(ErrorCode::kFailedPrecondition, "initial domain already installed");
+  }
+  const DomainId id = next_domain_++;
+  TrustDomain& domain = domains_[id];
+  domain.id = id;
+  domain.creator = kInvalidDomain;
+  domain.name = name;
+  domain.asid = next_asid_++;
+  domain.entry_point = 0;
+  domain.entry_point_set = true;
+
+  engine_.RegisterDomain(id, CapabilityEngine::kNoCreator);
+  TYCHE_RETURN_IF_ERROR(backend_->CreateDomainContext(id, domain.asid));
+
+  // Endow the initial domain with everything outside the monitor.
+  const AddrRange rest{monitor_range_.end(),
+                       machine_->memory().size() - monitor_range_.end()};
+  CapEffects effects;
+  TYCHE_ASSIGN_OR_RETURN(
+      const CapId mem_cap,
+      engine_.MintMemory(id, rest, Perms(Perms::kRWX), CapRights(CapRights::kAll)));
+  effects.Add(CapEffect{CapEffect::Kind::kMapMemory, id, ResourceKind::kMemory, rest, 0,
+                        Perms(Perms::kRWX)});
+  (void)mem_cap;
+  for (CoreId core = 0; core < machine_->num_cores(); ++core) {
+    TYCHE_RETURN_IF_ERROR(
+        engine_.MintUnit(id, ResourceKind::kCpuCore, core, CapRights(CapRights::kAll))
+            .status());
+  }
+  for (const auto& device : machine_->devices()) {
+    TYCHE_ASSIGN_OR_RETURN(const CapId dev_cap,
+                           engine_.MintUnit(id, ResourceKind::kPciDevice,
+                                            device->bdf().value, CapRights(CapRights::kAll)));
+    (void)dev_cap;
+    effects.Add(CapEffect{CapEffect::Kind::kAttachUnit, id, ResourceKind::kPciDevice,
+                          AddrRange{}, device->bdf().value, Perms{}});
+  }
+  TYCHE_RETURN_IF_ERROR(ApplyEffects(effects));
+
+  // Put the initial domain on every core.
+  for (CoreId core = 0; core < machine_->num_cores(); ++core) {
+    machine_->cpu(core).set_current_domain(id);
+    machine_->cpu(core).set_mode(PrivilegeMode::kSupervisor);
+    TYCHE_RETURN_IF_ERROR(backend_->BindCore(id, core));
+  }
+  return id;
+}
+
+Status Monitor::ApplyEffects(const CapEffects& effects) {
+  // Best-effort over the WHOLE list: revocation cleanups are guaranteed
+  // (§3.2), so one failing projection (e.g. a PMP layout that stopped
+  // fitting -- which fail-safes to deny-all) must not prevent the remaining
+  // unmaps, zeroing, and restores. The first error is still reported so
+  // policy operations can compensate.
+  Status first_error = OkStatus();
+  auto note = [&first_error](const Status& status) {
+    if (!status.ok() && first_error.ok()) {
+      first_error = status;
+    }
+  };
+  for (const CapEffect& effect : effects.effects) {
+    switch (effect.kind) {
+      case CapEffect::Kind::kMapMemory:
+      case CapEffect::Kind::kUnmapMemory:
+        note(backend_->SyncMemory(effect.domain, effect.range));
+        break;
+      case CapEffect::Kind::kZeroMemory:
+        note(machine_->ZeroRange(effect.range.base, effect.range.size));
+        break;
+      case CapEffect::Kind::kFlushCache:
+        machine_->FlushCacheRange(effect.range.base, effect.range.size);
+        break;
+      case CapEffect::Kind::kAttachUnit:
+      case CapEffect::Kind::kDetachUnit:
+        if (effect.resource == ResourceKind::kPciDevice) {
+          note(ReconcileDevice(effect.unit));
+        }
+        // Core and domain-handle movements need no hardware action: cores
+        // are checked at transition time, handles are pure bookkeeping.
+        break;
+    }
+  }
+  return first_error;
+}
+
+Status Monitor::ReconcileDevice(uint64_t bdf) {
+  // A device DMAs on behalf of exactly one trust domain: it is attached iff
+  // a single domain holds its capability; shared devices are quiesced.
+  DomainId sole_holder = kInvalidDomain;
+  uint32_t holders = 0;
+  for (const auto& [id, domain] : domains_) {
+    if (domain.alive() && engine_.HasUnit(id, ResourceKind::kPciDevice, bdf)) {
+      ++holders;
+      sole_holder = id;
+    }
+  }
+  // Detach from everyone first (idempotent at the hardware layer).
+  for (const auto& [id, domain] : domains_) {
+    if (domain.alive()) {
+      (void)backend_->DetachDevice(id, static_cast<uint16_t>(bdf));
+    }
+  }
+  // Interrupt routes follow exclusive ownership: a route pointing anywhere
+  // but the sole holder is torn down.
+  const auto route = machine_->interrupts().RouteOf(PciBdf(static_cast<uint16_t>(bdf)));
+  if (route.has_value() && (holders != 1 || *route != sole_holder)) {
+    machine_->interrupts().Unroute(PciBdf(static_cast<uint16_t>(bdf)));
+  }
+  if (holders == 1) {
+    return backend_->AttachDevice(sole_holder, static_cast<uint16_t>(bdf));
+  }
+  return OkStatus();
+}
+
+Status Monitor::RouteInterrupt(CoreId core, CapId device_cap) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kRouteInterrupt));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const Capability* cap, engine_.Get(device_cap));
+  if (!cap->active() || cap->owner != caller) {
+    return Error(ErrorCode::kCapabilityNotOwned, "route: caller does not hold the device");
+  }
+  if (cap->kind != ResourceKind::kPciDevice) {
+    return Error(ErrorCode::kInvalidArgument, "route: not a device capability");
+  }
+  // Routing requires exclusive ownership: interrupts carry information, so
+  // a shared device must not leak its completion pattern to one holder.
+  if (engine_.UnitRefCount(ResourceKind::kPciDevice, cap->unit) != 1) {
+    return Error(ErrorCode::kPolicyViolation, "route: device is not exclusively owned");
+  }
+  machine_->interrupts().Route(PciBdf(static_cast<uint16_t>(cap->unit)), caller);
+  return OkStatus();
+}
+
+Result<Interrupt> Monitor::TakeInterrupt(CoreId core) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kTakeInterrupt));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  const auto interrupt = machine_->interrupts().Take(caller);
+  if (!interrupt.has_value()) {
+    return Error(ErrorCode::kNotFound, "no pending interrupt");
+  }
+  return *interrupt;
+}
+
+Status Monitor::SetTransitionPolicy(CoreId core, CapId domain_handle, bool scrub_on_exit) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kSetTransitionPolicy));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId target,
+                         ResolveHandle(caller, domain_handle, /*require_manage=*/true));
+  TYCHE_ASSIGN_OR_RETURN(TrustDomain * domain, GetDomainMutable(target));
+  if (domain->sealed()) {
+    return Error(ErrorCode::kDomainSealed, "transition policy is fixed at seal time");
+  }
+  domain->scrub_on_exit = scrub_on_exit;
+  return OkStatus();
+}
+
+Result<CreateDomainResult> Monitor::CreateDomain(CoreId core, const std::string& name) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kCreateDomain));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+
+  const DomainId id = next_domain_++;
+  TrustDomain& domain = domains_[id];
+  domain.id = id;
+  domain.creator = caller;
+  domain.name = name;
+  domain.asid = next_asid_++;
+
+  engine_.RegisterDomain(id, caller);
+  TYCHE_RETURN_IF_ERROR(backend_->CreateDomainContext(id, domain.asid));
+
+  TYCHE_ASSIGN_OR_RETURN(
+      const CapId handle,
+      engine_.MintUnit(caller, ResourceKind::kDomain, id, CapRights(CapRights::kAll)));
+  return CreateDomainResult{id, handle};
+}
+
+Status Monitor::SetEntryPoint(CoreId core, CapId domain_handle, uint64_t entry) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kSetEntryPoint));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId target,
+                         ResolveHandle(caller, domain_handle, /*require_manage=*/true));
+  TYCHE_ASSIGN_OR_RETURN(TrustDomain * domain, GetDomainMutable(target));
+  if (domain->sealed()) {
+    return Error(ErrorCode::kDomainSealed, "cannot move a sealed domain's entry point");
+  }
+  domain->entry_point = entry;
+  domain->entry_point_set = true;
+  return OkStatus();
+}
+
+Status Monitor::ExtendMeasurement(CoreId core, CapId domain_handle, AddrRange range) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kExtendMeasurement));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId target,
+                         ResolveHandle(caller, domain_handle, /*require_manage=*/true));
+  TYCHE_ASSIGN_OR_RETURN(TrustDomain * domain, GetDomainMutable(target));
+  if (domain->sealed()) {
+    return Error(ErrorCode::kDomainSealed, "measurement already finalized");
+  }
+  // The measured range must belong to the target (readable by it): the
+  // measurement covers the domain's own initial content.
+  for (uint64_t page = AlignDown(range.base, kPageSize); page < range.end();
+       page += kPageSize) {
+    if (!engine_.EffectivePerms(target, page).Allows(AccessType::kRead)) {
+      return Error(ErrorCode::kPolicyViolation, "measured range not owned by target");
+    }
+  }
+  TYCHE_ASSIGN_OR_RETURN(const Digest digest,
+                         machine_->MeasureRange(range.base, range.size));
+  domain->measurement_ctx.UpdateValue(range.base);
+  domain->measurement_ctx.UpdateValue(range.size);
+  domain->measurement_ctx.Update(
+      std::span<const uint8_t>(digest.bytes.data(), digest.bytes.size()));
+  return OkStatus();
+}
+
+Status Monitor::Seal(CoreId core, CapId domain_handle) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kSeal));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId target,
+                         ResolveHandle(caller, domain_handle, /*require_manage=*/true));
+  TYCHE_ASSIGN_OR_RETURN(TrustDomain * domain, GetDomainMutable(target));
+  if (domain->sealed()) {
+    return Error(ErrorCode::kDomainSealed, "already sealed");
+  }
+  if (!domain->entry_point_set) {
+    return Error(ErrorCode::kFailedPrecondition, "seal requires an entry point");
+  }
+  // The entry point must be executable by the domain.
+  if (!engine_.EffectivePerms(target, domain->entry_point).Allows(AccessType::kExecute)) {
+    return Error(ErrorCode::kPolicyViolation, "entry point not executable by domain");
+  }
+
+  // Finalize measurement with the configuration hash: entry point plus the
+  // canonical resource list (kind, range, perms). This is what makes the
+  // attested identity cover the isolation configuration, not just code.
+  domain->measurement_ctx.Update(std::string_view("tyche-config-v1"));
+  domain->measurement_ctx.UpdateValue(domain->entry_point);
+  std::vector<const Capability*> caps = engine_.DomainCaps(target);
+  std::sort(caps.begin(), caps.end(), [](const Capability* a, const Capability* b) {
+    return std::tuple(a->kind, a->range.base, a->range.size, a->unit) <
+           std::tuple(b->kind, b->range.base, b->range.size, b->unit);
+  });
+  for (const Capability* cap : caps) {
+    domain->measurement_ctx.UpdateValue(static_cast<uint8_t>(cap->kind));
+    domain->measurement_ctx.UpdateValue(cap->range.base);
+    domain->measurement_ctx.UpdateValue(cap->range.size);
+    domain->measurement_ctx.UpdateValue(cap->unit);
+    domain->measurement_ctx.UpdateValue(cap->perms.mask);
+  }
+  domain->measurement = domain->measurement_ctx.Finalize();
+  domain->state = DomainState::kSealed;
+  engine_.SealDomain(target);
+  return OkStatus();
+}
+
+Status Monitor::DestroyDomain(CoreId core, CapId domain_handle) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kDestroyDomain));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId target,
+                         ResolveHandle(caller, domain_handle, /*require_manage=*/true));
+  // Refuse while the domain is on a core or present in a return stack.
+  for (CoreId c = 0; c < machine_->num_cores(); ++c) {
+    if (machine_->cpu(c).current_domain() == target) {
+      return Error(ErrorCode::kFailedPrecondition, "domain is running");
+    }
+    const auto& stack = call_stacks_[c];
+    if (std::find(stack.begin(), stack.end(), target) != stack.end()) {
+      return Error(ErrorCode::kFailedPrecondition, "domain is on a transition stack");
+    }
+  }
+  TYCHE_ASSIGN_OR_RETURN(const RevokeOutcome outcome, engine_.PurgeDomain(target));
+  stats_.revocations_cascaded += outcome.revoked_count;
+  TYCHE_RETURN_IF_ERROR(ApplyEffects(outcome.effects));
+  TYCHE_RETURN_IF_ERROR(backend_->DestroyDomainContext(target));
+  machine_->interrupts().PurgeDomain(target);
+  TYCHE_ASSIGN_OR_RETURN(TrustDomain * domain, GetDomainMutable(target));
+  domain->state = DomainState::kDead;
+  return OkStatus();
+}
+
+Result<CapId> Monitor::ShareMemory(CoreId core, CapId src_cap, CapId dst_domain_handle,
+                                   AddrRange sub, Perms perms, CapRights rights,
+                                   RevocationPolicy policy) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kShareMemory));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId dst,
+                         ResolveHandle(caller, dst_domain_handle, /*require_manage=*/false));
+  CapEffects effects;
+  TYCHE_ASSIGN_OR_RETURN(
+      const CapId child,
+      engine_.ShareMemory(caller, src_cap, dst, sub, perms, rights, policy, &effects));
+  const Status applied = ApplyEffects(effects);
+  if (!applied.ok()) {
+    // Compensate: the hardware could not accommodate the new mapping (e.g.
+    // PMP exhaustion); roll the capability back so tree and hardware agree.
+    (void)engine_.Revoke(caller, child);
+    (void)backend_->SyncMemory(dst, sub);
+    return applied;
+  }
+  return child;
+}
+
+Result<GrantResult> Monitor::GrantMemory(CoreId core, CapId src_cap, CapId dst_domain_handle,
+                                         AddrRange sub, Perms perms, CapRights rights,
+                                         RevocationPolicy policy) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kGrantMemory));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId dst,
+                         ResolveHandle(caller, dst_domain_handle, /*require_manage=*/false));
+  TYCHE_ASSIGN_OR_RETURN(GrantOutcome outcome, engine_.GrantMemory(caller, src_cap, dst, sub,
+                                                                   perms, rights, policy));
+  const Status applied = ApplyEffects(outcome.effects);
+  if (!applied.ok()) {
+    (void)engine_.Revoke(dst, outcome.granted);
+    (void)backend_->SyncMemory(dst, sub);
+    (void)backend_->SyncMemory(caller, sub);
+    return applied;
+  }
+  return GrantResult{outcome.granted, outcome.remainders};
+}
+
+Result<CapId> Monitor::ShareUnit(CoreId core, CapId src_cap, CapId dst_domain_handle,
+                                 CapRights rights, RevocationPolicy policy) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kShareUnit));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId dst,
+                         ResolveHandle(caller, dst_domain_handle, /*require_manage=*/false));
+  CapEffects effects;
+  TYCHE_ASSIGN_OR_RETURN(const CapId child,
+                         engine_.ShareUnit(caller, src_cap, dst, rights, policy, &effects));
+  TYCHE_RETURN_IF_ERROR(ApplyEffects(effects));
+  return child;
+}
+
+Result<CapId> Monitor::GrantUnit(CoreId core, CapId src_cap, CapId dst_domain_handle,
+                                 CapRights rights, RevocationPolicy policy) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kGrantUnit));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId dst,
+                         ResolveHandle(caller, dst_domain_handle, /*require_manage=*/false));
+  TYCHE_ASSIGN_OR_RETURN(GrantOutcome outcome,
+                         engine_.GrantUnit(caller, src_cap, dst, rights, policy));
+  TYCHE_RETURN_IF_ERROR(ApplyEffects(outcome.effects));
+  return outcome.granted;
+}
+
+Status Monitor::Revoke(CoreId core, CapId cap) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kRevoke));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const RevokeOutcome outcome, engine_.Revoke(caller, cap));
+  stats_.revocations_cascaded += outcome.revoked_count;
+  return ApplyEffects(outcome.effects);
+}
+
+Result<DomainAttestation> Monitor::BuildAttestation(DomainId target, uint64_t nonce) {
+  TYCHE_ASSIGN_OR_RETURN(const TrustDomain* domain, GetDomain(target));
+  DomainAttestation report;
+  report.domain = target;
+  report.nonce = nonce;
+  report.sealed = domain->sealed();
+  report.measurement = domain->measurement;
+
+  std::vector<const Capability*> caps = engine_.DomainCaps(target);
+  std::sort(caps.begin(), caps.end(), [](const Capability* a, const Capability* b) {
+    return std::tuple(a->kind, a->range.base, a->range.size, a->unit) <
+           std::tuple(b->kind, b->range.base, b->range.size, b->unit);
+  });
+  // Memory claims are reported at constant-refcount granularity (the
+  // resolution of the paper's Figure 4): a capability spanning both private
+  // and shared bytes is split, so a verifier's per-region policy can tell
+  // the attested channel from the private heap around it.
+  const std::vector<RegionView> view = engine_.MemoryView();
+  for (const Capability* cap : caps) {
+    if (cap->kind != ResourceKind::kMemory) {
+      ResourceClaim claim;
+      claim.kind = cap->kind;
+      claim.unit = cap->unit;
+      claim.ref_count = engine_.UnitRefCount(cap->kind, cap->unit);
+      report.resources.push_back(claim);
+      continue;
+    }
+    for (const RegionView& region : view) {
+      if (!region.range.Overlaps(cap->range)) {
+        continue;
+      }
+      ResourceClaim claim;
+      claim.kind = ResourceKind::kMemory;
+      claim.range.base = std::max(region.range.base, cap->range.base);
+      claim.range.size =
+          std::min(region.range.end(), cap->range.end()) - claim.range.base;
+      claim.perms = cap->perms;
+      claim.ref_count = region.ref_count();
+      report.resources.push_back(claim);
+    }
+  }
+  report.report_digest = report.ComputeDigest();
+  report.signature = SchnorrSign(key_.priv, report.report_digest);
+  machine_->cycles().Charge(CostModel::Default().sign);
+  return report;
+}
+
+Result<DomainAttestation> Monitor::AttestDomain(CoreId core, CapId domain_handle,
+                                                uint64_t nonce) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kAttestDomain));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId target,
+                         ResolveHandle(caller, domain_handle, /*require_manage=*/false));
+  return BuildAttestation(target, nonce);
+}
+
+Result<DomainAttestation> Monitor::AttestSelf(CoreId core, uint64_t nonce) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kAttestDomain));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  return BuildAttestation(caller, nonce);
+}
+
+Result<std::vector<ResourceClaim>> Monitor::Enumerate(CoreId core, CapId domain_handle) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kEnumerate));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId target,
+                         ResolveHandle(caller, domain_handle, /*require_manage=*/false));
+  TYCHE_ASSIGN_OR_RETURN(const DomainAttestation report, BuildAttestation(target, 0));
+  return report.resources;
+}
+
+Status Monitor::Transition(CoreId core, CapId domain_handle) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kTransition));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId target,
+                         ResolveHandle(caller, domain_handle, /*require_manage=*/false));
+  TYCHE_ASSIGN_OR_RETURN(const TrustDomain* domain, GetDomain(target));
+  if (!domain->entry_point_set) {
+    return Error(ErrorCode::kTransitionDenied, "target has no entry point");
+  }
+  // §3.1: "Domains ... are only allowed to run on CPU cores ... that are
+  // part of their resource configuration."
+  if (!engine_.HasUnit(target, ResourceKind::kCpuCore, core)) {
+    return Error(ErrorCode::kTransitionDenied, "target does not own this core");
+  }
+  ScrubOnExitIfRequested(caller, core);
+  call_stacks_[core].push_back(caller);
+  machine_->cpu(core).set_current_domain(target);
+  TYCHE_RETURN_IF_ERROR(backend_->BindCore(target, core));
+  ++stats_.transitions;
+  return OkStatus();
+}
+
+void Monitor::ScrubOnExitIfRequested(DomainId leaving, CoreId core) {
+  const auto it = domains_.find(leaving);
+  if (it == domains_.end() || !it->second.scrub_on_exit) {
+    return;
+  }
+  // Wipe the micro-architectural state the domain may have left behind:
+  // TLB entries plus (modelled) caches and predictors.
+  machine_->FlushTlb(core);
+  machine_->cycles().Charge(CostModel::Default().microarch_scrub);
+}
+
+Status Monitor::ReturnFromDomain(CoreId core) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kReturn));
+  TYCHE_RETURN_IF_ERROR(Caller(core).status());
+  if (call_stacks_[core].empty()) {
+    return Error(ErrorCode::kFailedPrecondition, "no domain to return to");
+  }
+  const DomainId leaving = machine_->cpu(core).current_domain();
+  ScrubOnExitIfRequested(leaving, core);
+  const DomainId previous = call_stacks_[core].back();
+  call_stacks_[core].pop_back();
+  machine_->cpu(core).set_current_domain(previous);
+  TYCHE_RETURN_IF_ERROR(backend_->BindCore(previous, core));
+  ++stats_.transitions;
+  return OkStatus();
+}
+
+Status Monitor::RegisterFastTransition(CoreId core, CapId domain_handle) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kRegisterFastTransition));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId target,
+                         ResolveHandle(caller, domain_handle, /*require_manage=*/false));
+  TYCHE_ASSIGN_OR_RETURN(const TrustDomain* domain, GetDomain(target));
+  if (!domain->entry_point_set) {
+    return Error(ErrorCode::kTransitionDenied, "target has no entry point");
+  }
+  if (!engine_.HasUnit(target, ResourceKind::kCpuCore, core)) {
+    return Error(ErrorCode::kTransitionDenied, "target does not own this core");
+  }
+  // The fast path bypasses the monitor, so it cannot honour a scrub-on-exit
+  // policy: domains that asked for the mitigation are excluded.
+  if (domains_[caller].scrub_on_exit || domains_[target].scrub_on_exit) {
+    return Error(ErrorCode::kPolicyViolation,
+                 "scrub-on-exit domains cannot use the unmediated fast path");
+  }
+  // Arm the fast path both ways so the pair can call and return.
+  TYCHE_RETURN_IF_ERROR(backend_->RegisterFastPath(target, core));
+  return backend_->RegisterFastPath(caller, core);
+}
+
+Status Monitor::FastTransition(CoreId core, DomainId target) {
+  if (core >= machine_->num_cores()) {
+    return Error(ErrorCode::kOutOfRange, "bad core id");
+  }
+  // No trap: the hardware validates against the pre-armed EPTP list. Only
+  // the VMFUNC-equivalent cost is charged.
+  machine_->cycles().Charge(CostModel::Default().vmfunc_switch);
+  ++stats_.api_calls[static_cast<size_t>(ApiOp::kFastTransition)];
+  const DomainId caller = machine_->cpu(core).current_domain();
+  TYCHE_RETURN_IF_ERROR(backend_->FastBindCore(target, core));
+  call_stacks_[core].push_back(caller);
+  machine_->cpu(core).set_current_domain(target);
+  ++stats_.fast_transitions;
+  return OkStatus();
+}
+
+Status Monitor::FastReturn(CoreId core) {
+  if (core >= machine_->num_cores()) {
+    return Error(ErrorCode::kOutOfRange, "bad core id");
+  }
+  machine_->cycles().Charge(CostModel::Default().vmfunc_switch);
+  if (call_stacks_[core].empty()) {
+    return Error(ErrorCode::kFailedPrecondition, "no domain to return to");
+  }
+  const DomainId previous = call_stacks_[core].back();
+  TYCHE_RETURN_IF_ERROR(backend_->FastBindCore(previous, core));
+  call_stacks_[core].pop_back();
+  machine_->cpu(core).set_current_domain(previous);
+  ++stats_.fast_transitions;
+  return OkStatus();
+}
+
+Result<std::vector<uint8_t>> Monitor::SealData(CoreId core, std::span<const uint8_t> data) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kSealData));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const TrustDomain* domain, GetDomain(caller));
+  if (!domain->sealed()) {
+    return Error(ErrorCode::kDomainNotSealed,
+                 "sealing requires a final measurement (seal the domain first)");
+  }
+  const Digest key =
+      HmacSha256(std::span<const uint8_t>(sealing_root_.bytes.data(), 32),
+                 std::span<const uint8_t>(domain->measurement.bytes.data(), 32));
+  // NOTE: the per-boot nonce counter is enough here because the simulation
+  // has no persistent storage; a production monitor must persist or
+  // randomize nonces to avoid cross-boot reuse.
+  const SealedBlob blob = AeadSeal(key, seal_nonce_++, data);
+  machine_->cycles().Charge(CostModel::Default().hash_per_page *
+                            (AlignUp(data.size(), kPageSize) / kPageSize + 1));
+  return blob.Serialize();
+}
+
+Result<std::vector<uint8_t>> Monitor::UnsealData(CoreId core,
+                                                 std::span<const uint8_t> blob_bytes) {
+  TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kUnsealData));
+  TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  TYCHE_ASSIGN_OR_RETURN(const TrustDomain* domain, GetDomain(caller));
+  if (!domain->sealed()) {
+    return Error(ErrorCode::kDomainNotSealed, "unsealing requires a final measurement");
+  }
+  TYCHE_ASSIGN_OR_RETURN(const SealedBlob blob, SealedBlob::Deserialize(blob_bytes));
+  const Digest key =
+      HmacSha256(std::span<const uint8_t>(sealing_root_.bytes.data(), 32),
+                 std::span<const uint8_t>(domain->measurement.bytes.data(), 32));
+  machine_->cycles().Charge(CostModel::Default().hash_per_page *
+                            (AlignUp(blob.ciphertext.size(), kPageSize) / kPageSize + 1));
+  return AeadOpen(key, blob);
+}
+
+Result<MonitorIdentity> Monitor::Identity(uint64_t nonce) const {
+  MonitorIdentity identity;
+  identity.tpm_key = machine_->tpm().attestation_key();
+  identity.monitor_key = key_.pub;
+  identity.firmware_measurement = firmware_measurement_;
+  identity.monitor_measurement = monitor_measurement_;
+  const uint32_t mask = (1u << Tpm::kPcrFirmware) | (1u << Tpm::kPcrMonitor);
+  TYCHE_ASSIGN_OR_RETURN(identity.boot_quote, machine_->tpm().Quote(nonce, mask));
+  return identity;
+}
+
+Result<bool> Monitor::AuditHardwareConsistency() {
+  for (const auto& [id, domain] : domains_) {
+    if (!domain.alive()) {
+      continue;
+    }
+    TYCHE_ASSIGN_OR_RETURN(const bool consistent, backend_->ValidateAgainst(engine_, id));
+    if (!consistent) {
+      TYCHE_LOG(kError) << "hardware state of domain " << id
+                        << " is not justified by the capability tree";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tyche

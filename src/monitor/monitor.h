@@ -1,0 +1,241 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// The isolation monitor (§3): the executive branch. It validates policies
+// expressed by ANY domain through a narrow API, projects them onto hardware
+// through a platform backend, mediates all inter-domain control transfers,
+// and signs attestations under a key bound to its own measurement.
+//
+// Deliberately NOT here (§3.5): resource management, device emulation,
+// scheduling, high-level abstractions. The monitor never chooses which
+// resources a domain gets -- it only validates grant / share / revoke
+// operations issued by the current holders.
+
+#ifndef SRC_MONITOR_MONITOR_H_
+#define SRC_MONITOR_MONITOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/capability/engine.h"
+#include "src/hw/machine.h"
+#include "src/monitor/attestation.h"
+#include "src/monitor/backend.h"
+#include "src/monitor/domain.h"
+#include "src/support/status.h"
+
+namespace tyche {
+
+// The narrow API surface (every external entry point of the monitor).
+// Exposed as an enum for dispatch cost accounting and TCB-surface metrics.
+enum class ApiOp : uint8_t {
+  kCreateDomain = 0,
+  kSetEntryPoint,
+  kShareMemory,
+  kGrantMemory,
+  kShareUnit,
+  kGrantUnit,
+  kRevoke,
+  kExtendMeasurement,
+  kSeal,
+  kAttestDomain,
+  kEnumerate,
+  kTransition,
+  kReturn,
+  kRegisterFastTransition,
+  kFastTransition,
+  kDestroyDomain,
+  kRouteInterrupt,
+  kTakeInterrupt,
+  kSetTransitionPolicy,
+  kSealData,
+  kUnsealData,
+  kOpCount,  // sentinel
+};
+
+const char* ApiOpName(ApiOp op);
+
+struct CreateDomainResult {
+  DomainId domain = kInvalidDomain;
+  CapId handle = kInvalidCap;  // management capability held by the creator
+};
+
+// Result of a grant: the recipient's capability plus the capabilities
+// covering the pieces of the source range the grantor keeps.
+struct GrantResult {
+  CapId granted = kInvalidCap;
+  std::vector<CapId> remainders;
+};
+
+struct MonitorStats {
+  uint64_t api_calls[static_cast<size_t>(ApiOp::kOpCount)] = {};
+  uint64_t transitions = 0;
+  uint64_t fast_transitions = 0;
+  uint64_t revocations_cascaded = 0;
+
+  uint64_t TotalCalls() const {
+    uint64_t total = 0;
+    for (const uint64_t count : api_calls) {
+      total += count;
+    }
+    return total;
+  }
+};
+
+class Monitor {
+ public:
+  // Construction happens through MeasuredBoot() (boot.h); the constructor is
+  // public only for the boot sequence and tests.
+  Monitor(Machine* machine, AddrRange monitor_range, FrameAllocator metadata_pool,
+          SchnorrKeyPair key);
+
+  Machine* machine() { return machine_; }
+  const CapabilityEngine& engine() const { return engine_; }
+  Backend& backend() { return *backend_; }
+  const MonitorStats& stats() const { return stats_; }
+  const SchnorrPublicKey& public_key() const { return key_.pub; }
+  const AddrRange& monitor_range() const { return monitor_range_; }
+
+  // Called once by the boot sequence: registers the initial domain (the
+  // commodity OS) and endows it with every resource the monitor does not
+  // keep for itself.
+  Result<DomainId> InstallInitialDomain(const std::string& name);
+
+  // ===== The isolation API (§3.2). All calls execute on behalf of the
+  // domain currently running on `core` and charge the trap cost. =====
+
+  // --- Domain lifecycle ---
+  Result<CreateDomainResult> CreateDomain(CoreId core, const std::string& name);
+  Status SetEntryPoint(CoreId core, CapId domain_handle, uint64_t entry);
+  // Hashes the *current* content of `range` (which must be accessible to the
+  // target domain) into the target's rolling measurement.
+  Status ExtendMeasurement(CoreId core, CapId domain_handle, AddrRange range);
+  // Freezes the resource set and finalizes the measurement with the
+  // configuration hash.
+  Status Seal(CoreId core, CapId domain_handle);
+  // Tears the domain down: revokes all its capabilities (running their
+  // revocation policies), destroys backend state. Fails while the domain is
+  // running on any core.
+  Status DestroyDomain(CoreId core, CapId domain_handle);
+
+  // --- Resource policies ---
+  Result<CapId> ShareMemory(CoreId core, CapId src_cap, CapId dst_domain_handle,
+                            AddrRange sub, Perms perms, CapRights rights,
+                            RevocationPolicy policy);
+  Result<GrantResult> GrantMemory(CoreId core, CapId src_cap, CapId dst_domain_handle,
+                                  AddrRange sub, Perms perms, CapRights rights,
+                                  RevocationPolicy policy);
+  Result<CapId> ShareUnit(CoreId core, CapId src_cap, CapId dst_domain_handle,
+                          CapRights rights, RevocationPolicy policy);
+  Result<CapId> GrantUnit(CoreId core, CapId src_cap, CapId dst_domain_handle,
+                          CapRights rights, RevocationPolicy policy);
+  Status Revoke(CoreId core, CapId cap);
+
+  // --- Attestation (tier 2) ---
+  Result<DomainAttestation> AttestDomain(CoreId core, CapId domain_handle, uint64_t nonce);
+  // A sealed domain attests itself (enclave-style).
+  Result<DomainAttestation> AttestSelf(CoreId core, uint64_t nonce);
+  Result<std::vector<ResourceClaim>> Enumerate(CoreId core, CapId domain_handle);
+
+  // --- Transitions ---
+  // Trap-mediated switch to the target domain on this core. The target must
+  // hold a capability for the core and have a fixed entry point.
+  Status Transition(CoreId core, CapId domain_handle);
+  // Return to the domain that transitioned here.
+  Status ReturnFromDomain(CoreId core);
+  // Pre-arms the hardware fast path (VMFUNC EPTP list) for target on core.
+  Status RegisterFastTransition(CoreId core, CapId domain_handle);
+  // Hardware fast switch: no monitor trap, ~100 cycles (§4.1).
+  Status FastTransition(CoreId core, DomainId target);
+  Status FastReturn(CoreId core);
+
+  // --- Interrupt routing (§4.1 "cross-domain interrupt routing") ---
+  // Routes the interrupts of a device the caller EXCLUSIVELY owns to the
+  // caller. Routing follows ownership: when the device capability moves,
+  // the route is torn down.
+  Status RouteInterrupt(CoreId core, CapId device_cap);
+  // Takes the calling domain's next pending interrupt (kNotFound if none).
+  Result<Interrupt> TakeInterrupt(CoreId core);
+
+  // --- Side-channel mitigation policy (§4.1) ---
+  // When enabled, every monitor-mediated exit from the target domain scrubs
+  // the core's micro-architectural state; the unmediated fast path becomes
+  // unavailable for it.
+  Status SetTransitionPolicy(CoreId core, CapId domain_handle, bool scrub_on_exit);
+
+  // --- Sealed storage ---
+  // Encrypts `data` under a key derived from (monitor identity, caller's
+  // measurement): only the SAME code, attested by the SAME monitor, can
+  // unseal -- across domain instances and reboots of the same image. The
+  // caller must be sealed (its measurement must be final). This is how the
+  // SaaS scenario's crypto engine persists the customer key.
+  Result<std::vector<uint8_t>> SealData(CoreId core, std::span<const uint8_t> data);
+  Result<std::vector<uint8_t>> UnsealData(CoreId core, std::span<const uint8_t> blob);
+
+  // ===== Judiciary support =====
+
+  // Tier-1 identity material (boot quote fetched fresh with the nonce).
+  Result<MonitorIdentity> Identity(uint64_t nonce) const;
+
+  // Self-audit: is every hardware enforcement structure a projection of the
+  // capability tree? (Invariant 5 in DESIGN.md.)
+  Result<bool> AuditHardwareConsistency();
+
+  // --- Introspection (tests, benches, examples) ---
+  Result<const TrustDomain*> GetDomain(DomainId id) const;
+  DomainId CurrentDomain(CoreId core) const;
+  std::vector<RegionView> MemoryView() const { return engine_.MemoryView(); }
+  uint64_t num_domains_alive() const;
+
+  // Set by the boot sequence so Identity() can report boot measurements.
+  void SetBootMeasurements(const Digest& firmware, const Digest& monitor_image) {
+    firmware_measurement_ = firmware;
+    monitor_measurement_ = monitor_image;
+  }
+
+ private:
+  // Resolves the caller: the domain currently running on `core`.
+  Result<DomainId> Caller(CoreId core) const;
+  // Validates a domain-handle capability: active, owned by `caller`, kind
+  // kDomain, with kManage. Returns the target domain id.
+  Result<DomainId> ResolveHandle(DomainId caller, CapId handle, bool require_manage) const;
+  Result<TrustDomain*> GetDomainMutable(DomainId id);
+
+  // Applies an effect list produced by the capability engine to hardware.
+  Status ApplyEffects(const CapEffects& effects);
+  // Re-binds a shared device: attached iff exactly one domain holds it.
+  Status ReconcileDevice(uint64_t bdf);
+
+  Status ChargeCall(ApiOp op);
+  uint64_t TrapCost() const;
+
+  // Applies the scrub-on-exit policy when execution leaves `leaving`.
+  void ScrubOnExitIfRequested(DomainId leaving, CoreId core);
+
+  Result<DomainAttestation> BuildAttestation(DomainId target, uint64_t nonce);
+
+  Machine* machine_;
+  AddrRange monitor_range_;
+  FrameAllocator metadata_pool_;
+  SchnorrKeyPair key_;
+  CapabilityEngine engine_;
+  std::unique_ptr<Backend> backend_;
+
+  std::map<DomainId, TrustDomain> domains_;
+  DomainId next_domain_ = 0;
+  uint16_t next_asid_ = 1;
+
+  // Per-core transition stack (who to return to).
+  std::vector<std::vector<DomainId>> call_stacks_;
+
+  Digest firmware_measurement_;
+  Digest monitor_measurement_;
+  Digest sealing_root_;     // derived from the monitor's identity key
+  uint64_t seal_nonce_ = 1;  // per-boot unique AEAD nonces
+
+  MonitorStats stats_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_MONITOR_MONITOR_H_

@@ -1,0 +1,247 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/monitor/pmp_backend.h"
+
+#include <algorithm>
+
+namespace tyche {
+
+PmpBackend::PmpBackend(Machine* machine, const CapabilityEngine* engine,
+                       AddrRange monitor_range)
+    : machine_(machine), engine_(engine), monitor_range_(monitor_range) {}
+
+Result<PmpBackend::DomainContext*> PmpBackend::ContextOf(DomainId domain) {
+  const auto it = contexts_.find(domain);
+  if (it == contexts_.end()) {
+    return Error(ErrorCode::kNotFound, "no backend context for domain");
+  }
+  return &it->second;
+}
+
+Status PmpBackend::CreateDomainContext(DomainId domain, uint16_t asid) {
+  if (contexts_.contains(domain)) {
+    return Error(ErrorCode::kAlreadyExists, "backend context exists");
+  }
+  DomainContext context;
+  context.asid = asid;
+  contexts_.emplace(domain, std::move(context));
+  return OkStatus();
+}
+
+Status PmpBackend::DestroyDomainContext(DomainId domain) {
+  TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  for (const uint16_t bdf : context->devices) {
+    machine_->io_pmp().Remove(PciBdf{bdf});
+  }
+  // Clear any hart still carrying this domain's entries.
+  for (CoreId core = 0; core < machine_->num_cores(); ++core) {
+    if (machine_->cpu(core).current_domain() == domain) {
+      for (int i = kFirstDomainEntry; i < PmpFile::kNumEntries; ++i) {
+        (void)machine_->cpu(core).pmp().ClearEntry(i, &machine_->cycles());
+      }
+    }
+  }
+  contexts_.erase(domain);
+  return OkStatus();
+}
+
+Result<PmpBackend::PmpProgram> PmpBackend::Compile(
+    const std::vector<CapabilityEngine::MappedRegion>& map, int budget) {
+  PmpProgram program;
+  int used = 0;
+  for (const auto& region : map) {
+    const bool napot_ok = region.range.size >= 8 && IsPowerOfTwo(region.range.size) &&
+                          IsAligned(region.range.base, region.range.size);
+    if (napot_ok) {
+      if (used + 1 > budget) {
+        return Error(ErrorCode::kPmpExhausted, "domain layout exceeds PMP entries");
+      }
+      TYCHE_ASSIGN_OR_RETURN(const uint64_t addr,
+                             PmpFile::EncodeNapot(region.range.base, region.range.size));
+      PmpEntry entry;
+      entry.mode = PmpAddressMode::kNapot;
+      entry.perms = region.perms;
+      entry.addr = addr;
+      program.entries.push_back(entry);
+      used += 1;
+    } else {
+      if (used + 2 > budget) {
+        return Error(ErrorCode::kPmpExhausted, "domain layout exceeds PMP entries");
+      }
+      // TOR pair: an OFF entry carrying the base, then the TOR entry.
+      PmpEntry bottom;
+      bottom.mode = PmpAddressMode::kOff;
+      bottom.addr = PmpFile::EncodeTorAddr(region.range.base);
+      PmpEntry top;
+      top.mode = PmpAddressMode::kTor;
+      top.perms = region.perms;
+      top.addr = PmpFile::EncodeTorAddr(region.range.end());
+      program.entries.push_back(bottom);
+      program.entries.push_back(top);
+      used += 2;
+    }
+  }
+  return program;
+}
+
+Status PmpBackend::SyncMemory(DomainId domain, const AddrRange& range) {
+  (void)range;  // PMP has no page granularity: recompile the whole layout.
+  TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  auto program = Compile(engine_->DomainMemoryMap(domain), kDomainEntryBudget);
+  if (!program.ok()) {
+    // FAIL SAFE. The new layout does not fit the entry budget; leaving the
+    // OLD entries programmed would keep enforcing stale (possibly revoked)
+    // access. Deny the whole domain instead -- the hardware may enforce a
+    // subset of the capability tree, never a superset -- and report the
+    // error so policy operations can be rolled back (a later successful
+    // sync restores enforcement).
+    context->program.entries.clear();
+    for (CoreId core = 0; core < machine_->num_cores(); ++core) {
+      if (machine_->cpu(core).current_domain() == domain) {
+        (void)BindCore(domain, core);
+      }
+    }
+    for (const uint16_t bdf : context->devices) {
+      (void)SyncDevice(*context, bdf);
+    }
+    return program.status();
+  }
+  context->program = std::move(*program);
+
+  // Rewrite harts currently running this domain and any bound devices.
+  for (CoreId core = 0; core < machine_->num_cores(); ++core) {
+    if (machine_->cpu(core).current_domain() == domain) {
+      TYCHE_RETURN_IF_ERROR(BindCore(domain, core));
+    }
+  }
+  for (const uint16_t bdf : context->devices) {
+    TYCHE_RETURN_IF_ERROR(SyncDevice(*context, bdf));
+  }
+  return OkStatus();
+}
+
+Status PmpBackend::SyncDevice(const DomainContext& context, uint16_t bdf) {
+  PmpFile& file = machine_->io_pmp().FileFor(PciBdf{bdf});
+  for (int i = 0; i < PmpFile::kNumEntries; ++i) {
+    TYCHE_RETURN_IF_ERROR(file.ClearEntry(i, &machine_->cycles()));
+  }
+  int slot = 0;
+  for (const PmpEntry& entry : context.program.entries) {
+    TYCHE_RETURN_IF_ERROR(file.SetEntry(slot++, entry, &machine_->cycles()));
+  }
+  return OkStatus();
+}
+
+Status PmpBackend::AttachDevice(DomainId domain, uint16_t bdf) {
+  TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  context->devices.insert(bdf);
+  return SyncDevice(*context, bdf);
+}
+
+Status PmpBackend::DetachDevice(DomainId domain, uint16_t bdf) {
+  TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  if (context->devices.erase(bdf) == 0) {
+    return Error(ErrorCode::kNotFound, "device not attached to domain");
+  }
+  machine_->io_pmp().Remove(PciBdf{bdf});
+  return OkStatus();
+}
+
+void PmpBackend::InstallGuard(CoreId core) {
+  if (guarded_cores_.contains(core)) {
+    return;
+  }
+  PmpEntry guard;
+  guard.mode = PmpAddressMode::kNapot;
+  guard.perms = Perms{};  // match-and-deny for S/U mode
+  guard.locked = true;
+  const auto addr = PmpFile::EncodeNapot(monitor_range_.base, monitor_range_.size);
+  if (addr.ok()) {
+    guard.addr = *addr;
+    (void)machine_->cpu(core).pmp().SetEntry(0, guard, &machine_->cycles());
+    guarded_cores_.insert(core);
+  }
+}
+
+Status PmpBackend::BindCore(DomainId domain, CoreId core) {
+  TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  InstallGuard(core);
+  PmpFile& pmp = machine_->cpu(core).pmp();
+  // Deterministic switch cost: rewrite every domain-owned entry.
+  int slot = kFirstDomainEntry;
+  for (const PmpEntry& entry : context->program.entries) {
+    TYCHE_RETURN_IF_ERROR(pmp.SetEntry(slot++, entry, &machine_->cycles()));
+  }
+  for (; slot < PmpFile::kNumEntries; ++slot) {
+    TYCHE_RETURN_IF_ERROR(pmp.ClearEntry(slot, &machine_->cycles()));
+  }
+  machine_->cpu(core).set_asid(context->asid);
+  return OkStatus();
+}
+
+Status PmpBackend::RegisterFastPath(DomainId domain, CoreId core) {
+  (void)domain;
+  (void)core;
+  return Error(ErrorCode::kUnimplemented, "PMP has no hardware fast-transition path");
+}
+
+Status PmpBackend::FastBindCore(DomainId domain, CoreId core) {
+  (void)domain;
+  (void)core;
+  return Error(ErrorCode::kUnimplemented, "PMP has no hardware fast-transition path");
+}
+
+void PmpBackend::FlushDomain(DomainId domain) {
+  // PMP checks are not cached in this model; nothing to flush.
+  (void)domain;
+}
+
+Result<bool> PmpBackend::ValidateAgainst(const CapabilityEngine& engine, DomainId domain) {
+  TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+
+  // Recompile from the engine (source of truth) and compare with what the
+  // hardware would enforce.
+  auto expected = Compile(engine.DomainMemoryMap(domain), kDomainEntryBudget);
+  if (!expected.ok()) {
+    // The layout is not expressible: the only sound hardware state is the
+    // deny-all fallback (a strict subset of the tree).
+    return context->program.entries.empty();
+  }
+  if (expected->entries.size() != context->program.entries.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < expected->entries.size(); ++i) {
+    const PmpEntry& a = expected->entries[i];
+    const PmpEntry& b = context->program.entries[i];
+    if (a.mode != b.mode || a.addr != b.addr || !(a.perms == b.perms)) {
+      return false;
+    }
+  }
+
+  // Harts running this domain must carry exactly the compiled program.
+  for (CoreId core = 0; core < machine_->num_cores(); ++core) {
+    if (machine_->cpu(core).current_domain() != domain) {
+      continue;
+    }
+    const PmpFile& pmp = machine_->cpu(core).pmp();
+    int slot = kFirstDomainEntry;
+    for (const PmpEntry& entry : context->program.entries) {
+      const auto installed = pmp.GetEntry(slot++);
+      if (!installed.ok() || installed->mode != entry.mode || installed->addr != entry.addr ||
+          !(installed->perms == entry.perms)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Result<int> PmpBackend::DomainEntryCount(DomainId domain) const {
+  const auto it = contexts_.find(domain);
+  if (it == contexts_.end()) {
+    return Error(ErrorCode::kNotFound, "no backend context for domain");
+  }
+  return static_cast<int>(it->second.program.entries.size());
+}
+
+}  // namespace tyche

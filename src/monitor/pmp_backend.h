@@ -1,0 +1,84 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// The RISC-V backend (§4): enforces capabilities with per-hart PMP files.
+//
+// "PMP only supports a fixed number of segments, which requires a careful
+// memory layout of trust domains and validation by the monitor." This
+// backend makes that constraint concrete: each capability mutation
+// recomputes the domain's memory map and re-validates that it can be encoded
+// into the available PMP entries (NAPOT regions cost one entry, irregular
+// regions cost a TOR pair = two). Domains whose layout does not fit are
+// rejected with kPmpExhausted / kPmpLayoutUnsupported.
+
+#ifndef SRC_MONITOR_PMP_BACKEND_H_
+#define SRC_MONITOR_PMP_BACKEND_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/hw/machine.h"
+#include "src/monitor/backend.h"
+
+namespace tyche {
+
+class PmpBackend : public Backend {
+ public:
+  // `monitor_range`: physical memory holding the monitor itself, protected
+  // on every hart by a locked deny-all entry 0.
+  PmpBackend(Machine* machine, const CapabilityEngine* engine, AddrRange monitor_range);
+
+  Status CreateDomainContext(DomainId domain, uint16_t asid) override;
+  Status DestroyDomainContext(DomainId domain) override;
+  Status SyncMemory(DomainId domain, const AddrRange& range) override;
+  Status AttachDevice(DomainId domain, uint16_t bdf) override;
+  Status DetachDevice(DomainId domain, uint16_t bdf) override;
+  Status BindCore(DomainId domain, CoreId core) override;
+  Status RegisterFastPath(DomainId domain, CoreId core) override;
+  Status FastBindCore(DomainId domain, CoreId core) override;
+  void FlushDomain(DomainId domain) override;
+  Result<bool> ValidateAgainst(const CapabilityEngine& engine, DomainId domain) override;
+  const char* name() const override { return "pmp"; }
+
+  // One encoded PMP program: the concrete entries for a domain's layout.
+  struct PmpProgram {
+    std::vector<PmpEntry> entries;  // placed starting at kFirstDomainEntry
+  };
+
+  // Compiles a memory map into PMP entries. Public for tests and the
+  // backend-comparison bench. Fails when the layout needs more than
+  // `budget` entries.
+  static Result<PmpProgram> Compile(const std::vector<CapabilityEngine::MappedRegion>& map,
+                                    int budget);
+
+  // Entry 0 is the monitor's locked guard; domains use the rest.
+  static constexpr int kFirstDomainEntry = 1;
+  static constexpr int kDomainEntryBudget = PmpFile::kNumEntries - kFirstDomainEntry;
+
+  // Number of PMP entries a domain's current layout consumes.
+  Result<int> DomainEntryCount(DomainId domain) const;
+
+ private:
+  struct DomainContext {
+    uint16_t asid = 0;
+    PmpProgram program;
+    std::set<uint16_t> devices;
+  };
+
+  Result<DomainContext*> ContextOf(DomainId domain);
+
+  // Installs the monitor guard entry on a hart (idempotent).
+  void InstallGuard(CoreId core);
+
+  // Reprograms the IOPMP file of a device bound to `context`.
+  Status SyncDevice(const DomainContext& context, uint16_t bdf);
+
+  Machine* machine_;
+  const CapabilityEngine* engine_;
+  AddrRange monitor_range_;
+  std::map<DomainId, DomainContext> contexts_;
+  std::set<CoreId> guarded_cores_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_MONITOR_PMP_BACKEND_H_

@@ -1,0 +1,187 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/monitor/vtx_backend.h"
+
+#include "src/support/log.h"
+
+namespace tyche {
+
+VtxBackend::VtxBackend(Machine* machine, const CapabilityEngine* engine,
+                       FrameAllocator* metadata)
+    : machine_(machine), engine_(engine), metadata_(metadata) {}
+
+Result<VtxBackend::DomainContext*> VtxBackend::ContextOf(DomainId domain) {
+  const auto it = contexts_.find(domain);
+  if (it == contexts_.end()) {
+    return Error(ErrorCode::kNotFound, "no backend context for domain");
+  }
+  return &it->second;
+}
+
+Status VtxBackend::CreateDomainContext(DomainId domain, uint16_t asid) {
+  if (contexts_.contains(domain)) {
+    return Error(ErrorCode::kAlreadyExists, "backend context exists");
+  }
+  TYCHE_ASSIGN_OR_RETURN(NestedPageTable table,
+                         NestedPageTable::Create(&machine_->memory(), metadata_,
+                                                 &machine_->cycles()));
+  DomainContext context;
+  context.ept = std::make_unique<NestedPageTable>(std::move(table));
+  context.asid = asid;
+  contexts_.emplace(domain, std::move(context));
+  return OkStatus();
+}
+
+Status VtxBackend::DestroyDomainContext(DomainId domain) {
+  TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  // Detach any devices still bound to this context.
+  for (const uint16_t bdf : context->devices) {
+    (void)machine_->iommu().DetachDevice(PciBdf{bdf});
+  }
+  // Make sure no core keeps the dying EPT installed.
+  for (CoreId core = 0; core < machine_->num_cores(); ++core) {
+    if (machine_->CoreEpt(core) == context->ept.get()) {
+      machine_->SetCoreEpt(core, nullptr, /*flush_tlb=*/true);
+    }
+  }
+  for (auto& [core, domains] : fast_paths_) {
+    domains.erase(domain);
+  }
+  TYCHE_RETURN_IF_ERROR(context->ept->Destroy());
+  contexts_.erase(domain);
+  return OkStatus();
+}
+
+Status VtxBackend::SyncMemory(DomainId domain, const AddrRange& range) {
+  TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  NestedPageTable* ept = context->ept.get();
+
+  for (uint64_t page = AlignDown(range.base, kPageSize); page < range.end();
+       page += kPageSize) {
+    const Perms effective = engine_->EffectivePerms(domain, page);
+    const auto current = ept->Lookup(page);
+    if (effective.empty()) {
+      if (current.ok()) {
+        TYCHE_RETURN_IF_ERROR(ept->UnmapPage(page));
+      }
+    } else if (!current.ok()) {
+      // Identity mapping: domains name physical memory directly.
+      TYCHE_RETURN_IF_ERROR(ept->MapPage(page, page, effective));
+    } else if (current->perms != effective) {
+      TYCHE_RETURN_IF_ERROR(ept->ProtectPage(page, effective));
+    }
+  }
+  FlushDomain(domain);
+  return OkStatus();
+}
+
+Status VtxBackend::AttachDevice(DomainId domain, uint16_t bdf) {
+  TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  TYCHE_RETURN_IF_ERROR(machine_->iommu().AttachDevice(PciBdf{bdf}, context->ept.get()));
+  context->devices.insert(bdf);
+  return OkStatus();
+}
+
+Status VtxBackend::DetachDevice(DomainId domain, uint16_t bdf) {
+  TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  if (context->devices.erase(bdf) == 0) {
+    return Error(ErrorCode::kNotFound, "device not attached to domain");
+  }
+  return machine_->iommu().DetachDevice(PciBdf{bdf});
+}
+
+Status VtxBackend::BindCore(DomainId domain, CoreId core) {
+  TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  // Slow path: full EPTP load; without VPID tagging this flushes the TLB.
+  machine_->SetCoreEpt(core, context->ept.get(), /*flush_tlb=*/true);
+  machine_->cpu(core).set_asid(context->asid);
+  return OkStatus();
+}
+
+Status VtxBackend::RegisterFastPath(DomainId domain, CoreId core) {
+  if (!contexts_.contains(domain)) {
+    return Error(ErrorCode::kNotFound, "no backend context for domain");
+  }
+  std::set<DomainId>& list = fast_paths_[core];
+  if (list.size() >= kEptpListSize) {
+    return Error(ErrorCode::kResourceExhausted, "EPTP list full");
+  }
+  list.insert(domain);
+  return OkStatus();
+}
+
+Status VtxBackend::FastBindCore(DomainId domain, CoreId core) {
+  const auto it = fast_paths_.find(core);
+  if (it == fast_paths_.end() || !it->second.contains(domain)) {
+    return Error(ErrorCode::kTransitionDenied, "domain not in core's EPTP list");
+  }
+  TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  // VMFUNC path: EPTP switch with VPID-tagged TLB, no flush, no VM exit.
+  machine_->SetCoreEpt(core, context->ept.get(), /*flush_tlb=*/false);
+  machine_->cpu(core).set_asid(context->asid);
+  return OkStatus();
+}
+
+void VtxBackend::FlushDomain(DomainId domain) {
+  const auto it = contexts_.find(domain);
+  if (it == contexts_.end()) {
+    return;
+  }
+  for (CoreId core = 0; core < machine_->num_cores(); ++core) {
+    if (machine_->CoreEpt(core) == it->second.ept.get()) {
+      machine_->FlushTlb(core);
+    }
+  }
+}
+
+Result<bool> VtxBackend::ValidateAgainst(const CapabilityEngine& engine, DomainId domain) {
+  TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  bool consistent = true;
+
+  // 1. Every hardware mapping must be justified by an active capability
+  //    with at least those permissions, and must be an identity mapping.
+  context->ept->ForEachMapping([&](uint64_t gpa, uint64_t hpa, Perms perms) {
+    if (gpa != hpa) {
+      consistent = false;
+      return;
+    }
+    if (!engine.EffectivePerms(domain, gpa).Covers(perms)) {
+      consistent = false;
+    }
+  });
+
+  // 2. Every capability-mandated region must be mapped with exactly the
+  //    effective permissions.
+  for (const auto& region : engine.DomainMemoryMap(domain)) {
+    for (uint64_t page = region.range.base; page < region.range.end(); page += kPageSize) {
+      const auto mapping = context->ept->Lookup(page);
+      if (!mapping.ok() || mapping->perms != region.perms) {
+        consistent = false;
+        break;
+      }
+    }
+  }
+
+  // 3. Devices attached to this domain must point at this domain's EPT.
+  for (const uint16_t bdf : context->devices) {
+    if (machine_->iommu().ContextOf(PciBdf{bdf}) != context->ept.get()) {
+      consistent = false;
+    }
+  }
+  return consistent;
+}
+
+const NestedPageTable* VtxBackend::DomainEpt(DomainId domain) const {
+  const auto it = contexts_.find(domain);
+  return it == contexts_.end() ? nullptr : it->second.ept.get();
+}
+
+uint64_t VtxBackend::TotalTableFrames() const {
+  uint64_t total = 0;
+  for (const auto& [id, context] : contexts_) {
+    total += context.ept->table_frames();
+  }
+  return total;
+}
+
+}  // namespace tyche

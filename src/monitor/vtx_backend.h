@@ -1,0 +1,62 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// The x86 backend (§4): enforces capabilities with VT-x-style nested page
+// tables, an IOMMU for device DMA, and a VMFUNC-style EPTP list for fast
+// domain transitions.
+
+#ifndef SRC_MONITOR_VTX_BACKEND_H_
+#define SRC_MONITOR_VTX_BACKEND_H_
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "src/hw/machine.h"
+#include "src/monitor/backend.h"
+
+namespace tyche {
+
+class VtxBackend : public Backend {
+ public:
+  // `metadata` provides frames for page tables; it must cover memory the
+  // monitor owns exclusively.
+  VtxBackend(Machine* machine, const CapabilityEngine* engine, FrameAllocator* metadata);
+
+  Status CreateDomainContext(DomainId domain, uint16_t asid) override;
+  Status DestroyDomainContext(DomainId domain) override;
+  Status SyncMemory(DomainId domain, const AddrRange& range) override;
+  Status AttachDevice(DomainId domain, uint16_t bdf) override;
+  Status DetachDevice(DomainId domain, uint16_t bdf) override;
+  Status BindCore(DomainId domain, CoreId core) override;
+  Status RegisterFastPath(DomainId domain, CoreId core) override;
+  Status FastBindCore(DomainId domain, CoreId core) override;
+  void FlushDomain(DomainId domain) override;
+  Result<bool> ValidateAgainst(const CapabilityEngine& engine, DomainId domain) override;
+  const char* name() const override { return "vtx"; }
+
+  // Exposed for TCB accounting and tests.
+  const NestedPageTable* DomainEpt(DomainId domain) const;
+  uint64_t TotalTableFrames() const;
+
+  // Architectural EPTP-list size (VMFUNC leaf 0).
+  static constexpr size_t kEptpListSize = 512;
+
+ private:
+  struct DomainContext {
+    std::unique_ptr<NestedPageTable> ept;
+    uint16_t asid = 0;
+    std::set<uint16_t> devices;
+  };
+
+  Result<DomainContext*> ContextOf(DomainId domain);
+
+  Machine* machine_;
+  const CapabilityEngine* engine_;
+  FrameAllocator* metadata_;
+  std::map<DomainId, DomainContext> contexts_;
+  // Per-core EPTP list for VMFUNC transitions.
+  std::map<CoreId, std::set<DomainId>> fast_paths_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_MONITOR_VTX_BACKEND_H_

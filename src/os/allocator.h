@@ -1,0 +1,37 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// First-fit range allocator used by the mini OS for process memory and by
+// examples for carving domain regions. Operates on abstract address ranges;
+// the OS points it at the physical memory it owns.
+
+#ifndef SRC_OS_ALLOCATOR_H_
+#define SRC_OS_ALLOCATOR_H_
+
+#include <vector>
+
+#include "src/support/align.h"
+#include "src/support/status.h"
+
+namespace tyche {
+
+class RangeAllocator {
+ public:
+  explicit RangeAllocator(AddrRange pool);
+
+  // Allocates `size` bytes aligned to `alignment` (power of two >= page).
+  Result<AddrRange> Alloc(uint64_t size, uint64_t alignment = kPageSize);
+  // Returns a previously allocated range. Coalesces adjacent free ranges.
+  Status Free(AddrRange range);
+
+  uint64_t free_bytes() const;
+  uint64_t largest_free() const;
+  size_t fragment_count() const { return free_list_.size(); }
+  const AddrRange& pool() const { return pool_; }
+
+ private:
+  AddrRange pool_;
+  std::vector<AddrRange> free_list_;  // sorted by base, pairwise disjoint
+};
+
+}  // namespace tyche
+
+#endif  // SRC_OS_ALLOCATOR_H_

@@ -1,0 +1,258 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/os/kernel.h"
+
+#include <algorithm>
+
+namespace tyche {
+
+LinOs::LinOs(Monitor* monitor, DomainId self, CapId memory_cap, AddrRange managed)
+    : monitor_(monitor),
+      self_(self),
+      memory_cap_(memory_cap),
+      allocator_(managed),
+      scheduler_(&monitor->machine()->cycles()) {
+  // Reserve a slice of the managed pool for process page tables.
+  const uint64_t pool_bytes = std::min<uint64_t>(4ull << 20, managed.size / 8);
+  const auto pool = allocator_.Alloc(pool_bytes);
+  if (pool.ok()) {
+    pt_frames_ = std::make_unique<FrameAllocator>(*pool);
+  }
+}
+
+Result<Pid> LinOs::CreateProcess(const std::string& name, uint64_t memory_bytes) {
+  TYCHE_ASSIGN_OR_RETURN(const AddrRange memory, allocator_.Alloc(memory_bytes));
+  const Pid pid = next_pid_++;
+  OsProcess process;
+  process.pid = pid;
+  process.name = name;
+  process.memory = memory;
+  if (pt_frames_ != nullptr) {
+    auto table = NestedPageTable::Create(&monitor_->machine()->memory(), pt_frames_.get(),
+                                         &monitor_->machine()->cycles());
+    if (!table.ok()) {
+      (void)allocator_.Free(memory);
+      return table.status();
+    }
+    process.address_space = std::make_unique<NestedPageTable>(std::move(*table));
+    const Status mapped = process.address_space->MapRange(kUserBase, memory.base,
+                                                          memory.size, Perms(Perms::kRWX));
+    if (!mapped.ok()) {
+      (void)process.address_space->Destroy();
+      (void)allocator_.Free(memory);
+      return mapped;
+    }
+  }
+  processes_[pid] = std::move(process);
+  scheduler_.AddTask(pid);
+  return pid;
+}
+
+Status LinOs::KillProcess(Pid pid) {
+  const auto it = processes_.find(pid);
+  if (it == processes_.end() || !it->second.alive) {
+    return Error(ErrorCode::kNotFound, "no such process");
+  }
+  // Pull its address space off any core still running it.
+  std::vector<CoreId> cores;
+  for (const auto& [core, running] : running_) {
+    if (running == pid) {
+      cores.push_back(core);
+    }
+  }
+  for (const CoreId core : cores) {
+    StopUserMode(core);
+  }
+  if (it->second.address_space != nullptr) {
+    (void)it->second.address_space->Destroy();
+    it->second.address_space.reset();
+  }
+  it->second.alive = false;
+  (void)scheduler_.RemoveTask(pid);
+  return allocator_.Free(it->second.memory);
+}
+
+Status LinOs::RunProcess(CoreId core, Pid pid) {
+  const auto it = processes_.find(pid);
+  if (it == processes_.end() || !it->second.alive) {
+    return Error(ErrorCode::kNotFound, "no such process");
+  }
+  if (it->second.address_space == nullptr) {
+    return Error(ErrorCode::kFailedPrecondition, "process has no address space");
+  }
+  monitor_->machine()->SetCoreGuestPageTable(core, it->second.address_space.get());
+  monitor_->machine()->cpu(core).set_mode(PrivilegeMode::kUser);
+  running_[core] = pid;
+  monitor_->machine()->cycles().Charge(CostModel::Default().context_switch);
+  return OkStatus();
+}
+
+void LinOs::StopUserMode(CoreId core) {
+  monitor_->machine()->SetCoreGuestPageTable(core, nullptr);
+  monitor_->machine()->cpu(core).set_mode(PrivilegeMode::kSupervisor);
+  running_.erase(core);
+}
+
+Pid LinOs::RunningOn(CoreId core) const {
+  const auto it = running_.find(core);
+  return it == running_.end() ? kInvalidPid : it->second;
+}
+
+Result<const OsProcess*> LinOs::GetProcess(Pid pid) const {
+  const auto it = processes_.find(pid);
+  if (it == processes_.end()) {
+    return Error(ErrorCode::kNotFound, "no such process");
+  }
+  return &it->second;
+}
+
+uint64_t LinOs::process_count() const {
+  uint64_t count = 0;
+  for (const auto& [pid, process] : processes_) {
+    if (process.alive) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+Status LinOs::SysWrite(CoreId core, Pid pid, uint64_t addr, std::span<const uint8_t> data) {
+  const auto it = processes_.find(pid);
+  if (it == processes_.end() || !it->second.alive) {
+    return Error(ErrorCode::kNotFound, "no such process");
+  }
+  // Software bounds check: the OS's notion of process isolation.
+  if (!it->second.memory.Contains(AddrRange{addr, data.size()})) {
+    return Error(ErrorCode::kAccessViolation, "address outside process");
+  }
+  monitor_->machine()->cycles().Charge(CostModel::Default().syscall_round_trip);
+  ++it->second.syscalls;
+  return monitor_->machine()->CheckedWrite(core, addr, data);
+}
+
+Result<std::vector<uint8_t>> LinOs::SysRead(CoreId core, Pid pid, uint64_t addr,
+                                            uint64_t size) {
+  const auto it = processes_.find(pid);
+  if (it == processes_.end() || !it->second.alive) {
+    return Error(ErrorCode::kNotFound, "no such process");
+  }
+  if (!it->second.memory.Contains(AddrRange{addr, size})) {
+    return Error(ErrorCode::kAccessViolation, "address outside process");
+  }
+  monitor_->machine()->cycles().Charge(CostModel::Default().syscall_round_trip);
+  ++it->second.syscalls;
+  std::vector<uint8_t> out(size);
+  TYCHE_RETURN_IF_ERROR(monitor_->machine()->CheckedRead(core, addr, std::span<uint8_t>(out)));
+  return out;
+}
+
+Status LinOs::SysWriteUser(CoreId core, Pid pid, uint64_t vaddr,
+                           std::span<const uint8_t> data) {
+  const auto it = processes_.find(pid);
+  if (it == processes_.end() || !it->second.alive ||
+      it->second.address_space == nullptr) {
+    return Error(ErrorCode::kNotFound, "no such process");
+  }
+  monitor_->machine()->cycles().Charge(CostModel::Default().syscall_round_trip);
+  ++it->second.syscalls;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const uint64_t va = vaddr + offset;
+    const size_t in_page =
+        std::min<size_t>(data.size() - offset, kPageSize - (va & (kPageSize - 1)));
+    TYCHE_ASSIGN_OR_RETURN(const Translation t,
+                           it->second.address_space->Translate(va, AccessType::kWrite));
+    TYCHE_RETURN_IF_ERROR(
+        monitor_->machine()->CheckedWrite(core, t.host_addr, data.subspan(offset, in_page)));
+    offset += in_page;
+  }
+  return OkStatus();
+}
+
+Result<std::vector<uint8_t>> LinOs::SysReadUser(CoreId core, Pid pid, uint64_t vaddr,
+                                                uint64_t size) {
+  const auto it = processes_.find(pid);
+  if (it == processes_.end() || !it->second.alive ||
+      it->second.address_space == nullptr) {
+    return Error(ErrorCode::kNotFound, "no such process");
+  }
+  monitor_->machine()->cycles().Charge(CostModel::Default().syscall_round_trip);
+  ++it->second.syscalls;
+  std::vector<uint8_t> out(size);
+  size_t offset = 0;
+  while (offset < size) {
+    const uint64_t va = vaddr + offset;
+    const size_t in_page =
+        std::min<size_t>(size - offset, kPageSize - (va & (kPageSize - 1)));
+    TYCHE_ASSIGN_OR_RETURN(const Translation t,
+                           it->second.address_space->Translate(va, AccessType::kRead));
+    TYCHE_RETURN_IF_ERROR(monitor_->machine()->CheckedRead(
+        core, t.host_addr, std::span<uint8_t>(out).subspan(offset, in_page)));
+    offset += in_page;
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> LinOs::KernelPeek(CoreId core, uint64_t addr, uint64_t size) {
+  // No bounds check at all: privileged code "allows arbitrary modifications
+  // to access control mechanisms" (§2.2). Whether this succeeds depends
+  // only on whether the MONITOR still maps the range for domain 0.
+  std::vector<uint8_t> out(size);
+  TYCHE_RETURN_IF_ERROR(monitor_->machine()->CheckedRead(core, addr, std::span<uint8_t>(out)));
+  return out;
+}
+
+Result<Sandbox> LinOs::LoadDriverSandboxed(CoreId core, const std::string& name,
+                                           uint64_t window_bytes, CapId device_cap,
+                                           CoreId driver_core, CapId driver_core_cap) {
+  TYCHE_ASSIGN_OR_RETURN(const AddrRange window, allocator_.Alloc(window_bytes));
+  SandboxOptions options;
+  options.src_cap = kInvalidCap;  // discover: grants split the root capability
+  options.regions.push_back(SandboxRegion{window, Perms(Perms::kRWX)});
+  options.entry = window.base;
+  options.cores = {driver_core};
+  options.core_caps = {driver_core_cap};
+  options.device_caps = {device_cap};
+  auto sandbox = Sandbox::Create(monitor_, core, name, options);
+  if (!sandbox.ok()) {
+    (void)allocator_.Free(window);
+  }
+  return sandbox;
+}
+
+Result<Enclave> LinOs::SpawnProcessEnclave(CoreId core, Pid pid, const TycheImage& image,
+                                           uint64_t enclave_bytes, CoreId enclave_core,
+                                           CapId enclave_core_cap) {
+  const auto it = processes_.find(pid);
+  if (it == processes_.end() || !it->second.alive) {
+    return Error(ErrorCode::kNotFound, "no such process");
+  }
+  if (enclave_bytes > it->second.memory.size) {
+    return Error(ErrorCode::kInvalidArgument, "enclave larger than process");
+  }
+  // Carve the enclave from the TOP of the process's memory. The grant
+  // removes the carved range from domain 0 -- after this, neither the
+  // process nor the kernel itself can touch it.
+  LoadOptions options;
+  options.src_cap = kInvalidCap;  // discover: grants split the root capability
+  options.base = it->second.memory.end() - AlignUp(enclave_bytes, kPageSize);
+  options.size = AlignUp(enclave_bytes, kPageSize);
+  options.cores = {enclave_core};
+  options.core_caps = {enclave_core_cap};
+  options.seal = true;
+  options.policy = RevocationPolicy(RevocationPolicy::kObfuscate);
+  TYCHE_ASSIGN_OR_RETURN(Enclave enclave,
+                         Enclave::Create(monitor_, core, image, options));
+  // The OS shrinks its software bookkeeping accordingly, and removes the
+  // carved range from the process's address space -- the enclave's frames
+  // vanish from the process's world at BOTH translation layers (even if
+  // the guest mapping were left stale, the monitor's layer would fault it).
+  if (it->second.address_space != nullptr) {
+    const uint64_t carved_va = kUserBase + (options.base - it->second.memory.base);
+    (void)it->second.address_space->UnmapRange(carved_va, options.size);
+  }
+  it->second.memory.size -= options.size;
+  return enclave;
+}
+
+}  // namespace tyche

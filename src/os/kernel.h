@@ -1,0 +1,124 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// LinOS: the miniature commodity kernel that runs as the INITIAL DOMAIN on
+// the isolation monitor (the paper boots unmodified Linux here; we boot this
+// instead -- see DESIGN.md substitutions).
+//
+// LinOS demonstrates the paper's central architectural point (§3.5): the
+// monitor does not replace the OS. LinOS keeps providing processes, a
+// scheduler, syscalls, and memory management -- all *software* abstractions
+// inside domain 0 -- while the monitor transparently lets LinOS (or anyone)
+// carve hardware-isolated sub-compartments: driver sandboxes, per-process
+// enclaves, confidential VMs.
+//
+// It also embodies the problem statement (§2.2): LinOS process "isolation"
+// is bookkeeping that privileged code can bypass at will (KernelPeek),
+// which the threat-model tests contrast with monitor-enforced domains.
+
+#ifndef SRC_OS_KERNEL_H_
+#define SRC_OS_KERNEL_H_
+
+#include <map>
+#include <string>
+
+#include "src/monitor/monitor.h"
+#include "src/os/allocator.h"
+#include "src/os/scheduler.h"
+#include "src/tyche/enclave.h"
+#include "src/tyche/sandbox.h"
+
+namespace tyche {
+
+using Pid = uint32_t;
+
+struct OsProcess {
+  Pid pid = 0;
+  std::string name;
+  AddrRange memory;  // physical range backing the process
+  bool alive = true;
+  uint64_t syscalls = 0;
+  // The process's guest-virtual address space: user memory appears at
+  // kUserBase regardless of where its frames physically live. Table frames
+  // come from the kernel's page-table pool -- they are NOT mapped into any
+  // process, so user code cannot rewrite its own translations.
+  std::unique_ptr<NestedPageTable> address_space;
+};
+
+class LinOs {
+ public:
+  // `memory_cap` is the OS's root memory capability; `managed` the part of
+  // it handed to the process allocator (the rest stays kernel-reserved).
+  LinOs(Monitor* monitor, DomainId self, CapId memory_cap, AddrRange managed);
+
+  DomainId domain() const { return self_; }
+  CapId memory_cap() const { return memory_cap_; }
+  RangeAllocator& allocator() { return allocator_; }
+  RoundRobinScheduler& scheduler() { return scheduler_; }
+
+  // Canonical base of every process's user segment (classic commodity-OS
+  // address-space layout: same VA, different frames).
+  static constexpr uint64_t kUserBase = 0x10000000;
+
+  // --- Process management (pure OS business, no monitor involved) ---
+  Result<Pid> CreateProcess(const std::string& name, uint64_t memory_bytes);
+  Status KillProcess(Pid pid);
+  Result<const OsProcess*> GetProcess(Pid pid) const;
+  uint64_t process_count() const;
+
+  // Puts `pid`'s address space on `core` (context switch into user mode);
+  // guest-virtual accesses on that core then see the process's world.
+  Status RunProcess(CoreId core, Pid pid);
+  // Back to kernel mode (paging off).
+  void StopUserMode(CoreId core);
+  // The pid whose address space is installed on `core` (kInvalid if none).
+  Pid RunningOn(CoreId core) const;
+
+  // --- Syscalls (charged, bounds-checked against the process) ---
+  // Physical-address variants (kernel-internal copies).
+  Status SysWrite(CoreId core, Pid pid, uint64_t addr, std::span<const uint8_t> data);
+  Result<std::vector<uint8_t>> SysRead(CoreId core, Pid pid, uint64_t addr, uint64_t size);
+  // User-virtual variants: the classic copy_{to,from}_user -- addresses are
+  // translated through the PROCESS's page tables, so the process's own
+  // address space is the bounds check.
+  Status SysWriteUser(CoreId core, Pid pid, uint64_t vaddr, std::span<const uint8_t> data);
+  Result<std::vector<uint8_t>> SysReadUser(CoreId core, Pid pid, uint64_t vaddr,
+                                           uint64_t size);
+
+  // --- The monopoly problem, made concrete ---
+  // Privileged code reading arbitrary process memory: ALWAYS succeeds in a
+  // commodity design, because the kernel's mappings cover every process.
+  Result<std::vector<uint8_t>> KernelPeek(CoreId core, uint64_t addr, uint64_t size);
+
+  // --- Monitor-backed extensions (what the isolation monitor adds) ---
+
+  // Confines an untrusted driver to a sandbox owning only its code/data
+  // window and its device. Returns the sandbox; the kernel keeps the handle.
+  Result<Sandbox> LoadDriverSandboxed(CoreId core, const std::string& name,
+                                      uint64_t window_bytes, CapId device_cap,
+                                      CoreId driver_core, CapId driver_core_cap);
+
+  // Carves an enclave out of an existing process's memory: the
+  // "sub-compartments within a process" of §3.5. The process (and kernel!)
+  // lose access to the carved range.
+  Result<Enclave> SpawnProcessEnclave(CoreId core, Pid pid, const TycheImage& image,
+                                      uint64_t enclave_bytes, CoreId enclave_core,
+                                      CapId enclave_core_cap);
+
+ private:
+  Monitor* monitor_;
+  DomainId self_;
+  CapId memory_cap_;
+  RangeAllocator allocator_;
+  RoundRobinScheduler scheduler_;
+  std::map<Pid, OsProcess> processes_;
+  std::map<CoreId, Pid> running_;
+  // Frames for process page tables, carved from the managed pool at boot.
+  std::unique_ptr<FrameAllocator> pt_frames_;
+  Pid next_pid_ = 1;
+
+ public:
+  static constexpr Pid kInvalidPid = 0;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_OS_KERNEL_H_

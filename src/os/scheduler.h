@@ -1,0 +1,77 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Round-robin scheduler for LinOS processes. Exists for two reasons: it
+// makes LinOS a believable commodity kernel, and it provides the
+// context-switch cost baseline the transition benchmarks (experiment C1)
+// compare against.
+
+#ifndef SRC_OS_SCHEDULER_H_
+#define SRC_OS_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/hw/cost_model.h"
+#include "src/support/status.h"
+
+namespace tyche {
+
+class RoundRobinScheduler {
+ public:
+  explicit RoundRobinScheduler(CycleAccount* cycles) : cycles_(cycles) {}
+
+  void AddTask(uint32_t pid) { run_queue_.push_back(pid); }
+
+  Status RemoveTask(uint32_t pid) {
+    for (auto it = run_queue_.begin(); it != run_queue_.end(); ++it) {
+      if (*it == pid) {
+        run_queue_.erase(it);
+        if (current_ == pid) {
+          current_ = kIdle;
+        }
+        return OkStatus();
+      }
+    }
+    if (current_ == pid) {
+      current_ = kIdle;
+      return OkStatus();
+    }
+    return Error(ErrorCode::kNotFound, "pid not scheduled");
+  }
+
+  // One scheduling decision: picks the next task, charging the context
+  // switch cost if the task changes. Returns the running pid (kIdle if the
+  // queue is empty).
+  uint32_t Tick() {
+    if (run_queue_.empty()) {
+      // Nothing else runnable: keep the current task (or stay idle).
+      return current_;
+    }
+    const uint32_t next = run_queue_.front();
+    run_queue_.pop_front();
+    if (current_ != kIdle) {
+      run_queue_.push_back(current_);
+    }
+    if (next != current_) {
+      cycles_->Charge(CostModel::Default().context_switch);
+      ++switches_;
+    }
+    current_ = next;
+    return current_;
+  }
+
+  uint32_t current() const { return current_; }
+  uint64_t switches() const { return switches_; }
+  size_t runnable() const { return run_queue_.size() + (current_ == kIdle ? 0 : 1); }
+
+  static constexpr uint32_t kIdle = ~0u;
+
+ private:
+  CycleAccount* cycles_;
+  std::deque<uint32_t> run_queue_;
+  uint32_t current_ = kIdle;
+  uint64_t switches_ = 0;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_OS_SCHEDULER_H_

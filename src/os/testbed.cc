@@ -1,0 +1,45 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/os/testbed.h"
+
+namespace tyche {
+
+Result<Testbed> Testbed::Create(const TestbedOptions& options) {
+  Testbed testbed;
+  MachineConfig config;
+  config.arch = options.arch;
+  config.memory_bytes = options.memory_bytes;
+  config.num_cores = options.cores;
+  testbed.machine_ = std::make_unique<Machine>(config);
+  if (options.with_nic) {
+    TYCHE_RETURN_IF_ERROR(
+        testbed.machine_->AddDevice(std::make_unique<DmaEngine>(kNicBdf, "nic0")));
+  }
+  if (options.with_gpu) {
+    TYCHE_RETURN_IF_ERROR(
+        testbed.machine_->AddDevice(std::make_unique<GpuDevice>(kGpuBdf, "gpu0")));
+  }
+
+  testbed.firmware_image_ = DemoFirmwareImage();
+  testbed.monitor_image_ = DemoMonitorImage();
+  BootParams params;
+  params.firmware_image = testbed.firmware_image_;
+  params.monitor_image = testbed.monitor_image_;
+  params.monitor_memory_bytes = options.monitor_memory_bytes;
+  TYCHE_ASSIGN_OR_RETURN(BootOutcome outcome, MeasuredBoot(testbed.machine_.get(), params));
+  testbed.monitor_ = std::move(outcome.monitor);
+  testbed.os_domain_ = outcome.initial_domain;
+  testbed.golden_firmware_ = outcome.firmware_measurement;
+  testbed.golden_monitor_ = outcome.monitor_measurement;
+
+  const uint64_t os_base = testbed.monitor_->monitor_range().end();
+  const uint64_t os_size = options.memory_bytes - os_base;
+  TYCHE_ASSIGN_OR_RETURN(const CapId os_mem,
+                         FindMemoryCap(*testbed.monitor_, testbed.os_domain_,
+                                       AddrRange{os_base, os_size}));
+  testbed.os_ = std::make_unique<LinOs>(testbed.monitor_.get(), testbed.os_domain_, os_mem,
+                                        AddrRange{os_base + os_size / 2, os_size / 2});
+  return testbed;
+}
+
+}  // namespace tyche

@@ -1,0 +1,75 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Testbed: the full system assembled -- simulated machine, measured boot,
+// isolation monitor, LinOS as the initial domain. This is the entry point
+// benchmarks, examples, and downstream experiments use to get a running
+// deployment in one call.
+
+#ifndef SRC_OS_TESTBED_H_
+#define SRC_OS_TESTBED_H_
+
+#include <memory>
+
+#include "src/monitor/boot.h"
+#include "src/os/kernel.h"
+#include "src/tyche/loader.h"
+
+namespace tyche {
+
+struct TestbedOptions {
+  IsaArch arch = IsaArch::kX86_64;
+  uint64_t memory_bytes = 128ull << 20;
+  uint32_t cores = 4;
+  bool with_nic = false;  // DmaEngine at 0:3.0
+  bool with_gpu = false;  // GpuDevice at 0:4.0
+  // Monitor reservation (image + metadata pool for page tables). The pool
+  // bounds how many domain contexts can exist concurrently on the VT-x
+  // backend -- a deliberate, configurable budget.
+  uint64_t monitor_memory_bytes = 4ull << 20;
+};
+
+class Testbed {
+ public:
+  static constexpr PciBdf kNicBdf = PciBdf(0, 3, 0);
+  static constexpr PciBdf kGpuBdf = PciBdf(0, 4, 0);
+
+  static Result<Testbed> Create(const TestbedOptions& options);
+
+  Machine& machine() { return *machine_; }
+  Monitor& monitor() { return *monitor_; }
+  LinOs& os() { return *os_; }
+  DomainId os_domain() const { return os_domain_; }
+  const Digest& golden_firmware() const { return golden_firmware_; }
+  const Digest& golden_monitor() const { return golden_monitor_; }
+
+  // Capability handle discovery for the initial domain.
+  Result<CapId> OsMemCap(AddrRange range) const {
+    return FindMemoryCap(*monitor_, os_domain_, range);
+  }
+  Result<CapId> OsCoreCap(CoreId core) const {
+    return FindUnitCap(*monitor_, os_domain_, ResourceKind::kCpuCore, core);
+  }
+  Result<CapId> OsDeviceCap(uint16_t bdf) const {
+    return FindUnitCap(*monitor_, os_domain_, ResourceKind::kPciDevice, bdf);
+  }
+
+  // Kernel-reserved scratch address (outside the LinOS allocator pool).
+  uint64_t Scratch(uint64_t offset) const {
+    return monitor_->monitor_range().end() + offset;
+  }
+
+ private:
+  Testbed() = default;
+
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<Monitor> monitor_;
+  std::unique_ptr<LinOs> os_;
+  DomainId os_domain_ = kInvalidDomain;
+  Digest golden_firmware_;
+  Digest golden_monitor_;
+  std::vector<uint8_t> firmware_image_;
+  std::vector<uint8_t> monitor_image_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_OS_TESTBED_H_

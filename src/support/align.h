@@ -1,0 +1,64 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Alignment and address-range helpers shared by the memory subsystems.
+
+#ifndef SRC_SUPPORT_ALIGN_H_
+#define SRC_SUPPORT_ALIGN_H_
+
+#include <cstdint>
+
+namespace tyche {
+
+inline constexpr uint64_t kPageSize = 4096;
+inline constexpr uint64_t kPageShift = 12;
+
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+constexpr uint64_t AlignDown(uint64_t value, uint64_t alignment) {
+  return value & ~(alignment - 1);
+}
+
+constexpr uint64_t AlignUp(uint64_t value, uint64_t alignment) {
+  return AlignDown(value + alignment - 1, alignment);
+}
+
+constexpr bool IsAligned(uint64_t value, uint64_t alignment) {
+  return (value & (alignment - 1)) == 0;
+}
+
+constexpr bool IsPageAligned(uint64_t value) { return IsAligned(value, kPageSize); }
+
+// Half-open physical/virtual address range [base, base + size).
+struct AddrRange {
+  uint64_t base = 0;
+  uint64_t size = 0;
+
+  uint64_t end() const { return base + size; }
+  bool empty() const { return size == 0; }
+  // True when base + size overflows uint64: such a range is never valid and
+  // every containment/overlap query treats it as hostile input.
+  bool Wraps() const { return base + size < base; }
+
+  bool Contains(uint64_t addr) const {
+    return !Wraps() && addr >= base && addr < end();
+  }
+
+  bool Contains(const AddrRange& other) const {
+    if (Wraps() || other.Wraps()) {
+      return false;
+    }
+    return other.base >= base && other.end() <= end();
+  }
+
+  bool Overlaps(const AddrRange& other) const {
+    if (empty() || other.empty() || Wraps() || other.Wraps()) {
+      return false;
+    }
+    return base < other.end() && other.base < end();
+  }
+
+  bool operator==(const AddrRange& other) const = default;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_SUPPORT_ALIGN_H_

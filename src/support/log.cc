@@ -1,0 +1,73 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/support/log.h"
+
+#include <cstdio>
+
+namespace tyche {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, const std::string& message) {
+      std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+    };
+  }
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  sink_(level, message);
+}
+
+namespace log_internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  // Keep only the basename to keep log lines short.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << base << ":" << line << " ";
+}
+
+LogMessage::~LogMessage() { Logger::Get().Write(level_, stream_.str()); }
+
+}  // namespace log_internal
+
+}  // namespace tyche

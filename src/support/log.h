@@ -1,0 +1,72 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Minimal leveled logging. The monitor logs policy decisions at kDebug and
+// security-relevant rejections at kWarn; tests can capture and assert on them.
+
+#ifndef SRC_SUPPORT_LOG_H_
+#define SRC_SUPPORT_LOG_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace tyche {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Global log configuration. Defaults: level kWarn, writing to stderr.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& Get();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // Replaces the output sink (e.g. a capturing sink in tests). Passing
+  // nullptr restores the default stderr sink.
+  void set_sink(Sink sink);
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define TYCHE_LOG(severity)                                              \
+  if (static_cast<int>(::tyche::LogLevel::severity) <                    \
+      static_cast<int>(::tyche::Logger::Get().level()))                  \
+    ;                                                                    \
+  else                                                                   \
+    ::tyche::log_internal::LogMessage(::tyche::LogLevel::severity,       \
+                                      __FILE__, __LINE__)                \
+        .stream()
+
+}  // namespace tyche
+
+#endif  // SRC_SUPPORT_LOG_H_

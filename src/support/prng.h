@@ -1,0 +1,62 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Deterministic PRNG (splitmix64 + xoshiro256**) for workload generation in
+// benches and property tests. Not a cryptographic source; the crypto library
+// derives its nonces deterministically instead.
+
+#ifndef SRC_SUPPORT_PRNG_H_
+#define SRC_SUPPORT_PRNG_H_
+
+#include <cstdint>
+
+namespace tyche {
+
+class Prng {
+ public:
+  explicit Prng(uint64_t seed) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound); returns 0 for bound == 0.
+  uint64_t Below(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  // Uniform value in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Bernoulli draw with probability numerator/denominator.
+  bool Chance(uint64_t numerator, uint64_t denominator) {
+    return Below(denominator) < numerator;
+  }
+
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace tyche
+
+#endif  // SRC_SUPPORT_PRNG_H_

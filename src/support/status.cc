@@ -1,0 +1,68 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/support/status.h"
+
+namespace tyche {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+    case ErrorCode::kCapabilityRevoked:
+      return "CAPABILITY_REVOKED";
+    case ErrorCode::kCapabilityRightsViolation:
+      return "CAPABILITY_RIGHTS_VIOLATION";
+    case ErrorCode::kCapabilityNotOwned:
+      return "CAPABILITY_NOT_OWNED";
+    case ErrorCode::kDomainSealed:
+      return "DOMAIN_SEALED";
+    case ErrorCode::kDomainNotSealed:
+      return "DOMAIN_NOT_SEALED";
+    case ErrorCode::kDomainDead:
+      return "DOMAIN_DEAD";
+    case ErrorCode::kPolicyViolation:
+      return "POLICY_VIOLATION";
+    case ErrorCode::kTransitionDenied:
+      return "TRANSITION_DENIED";
+    case ErrorCode::kAccessViolation:
+      return "ACCESS_VIOLATION";
+    case ErrorCode::kPmpExhausted:
+      return "PMP_EXHAUSTED";
+    case ErrorCode::kPmpLayoutUnsupported:
+      return "PMP_LAYOUT_UNSUPPORTED";
+    case ErrorCode::kIommuFault:
+      return "IOMMU_FAULT";
+    case ErrorCode::kAttestationMismatch:
+      return "ATTESTATION_MISMATCH";
+    case ErrorCode::kSignatureInvalid:
+      return "SIGNATURE_INVALID";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace tyche

@@ -1,0 +1,139 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Error codes and a lightweight Result<T> used across the whole stack.
+//
+// The isolation monitor never throws: every fallible operation returns a
+// Status or a Result<T>. Error codes mirror the failure classes the paper's
+// monitor must distinguish (invalid policies, capability violations,
+// hardware-backend exhaustion, attestation mismatches).
+
+#ifndef SRC_SUPPORT_STATUS_H_
+#define SRC_SUPPORT_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tyche {
+
+enum class ErrorCode : uint8_t {
+  kOk = 0,
+  // Generic argument / state errors.
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  // Capability-model errors.
+  kCapabilityRevoked,
+  kCapabilityRightsViolation,
+  kCapabilityNotOwned,
+  // Monitor / domain errors.
+  kDomainSealed,
+  kDomainNotSealed,
+  kDomainDead,
+  kPolicyViolation,
+  kTransitionDenied,
+  // Hardware-backend errors.
+  kAccessViolation,
+  kPmpExhausted,
+  kPmpLayoutUnsupported,
+  kIommuFault,
+  // Attestation errors.
+  kAttestationMismatch,
+  kSignatureInvalid,
+};
+
+// Human-readable name for an error code (stable, used in logs and tests).
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A status: either OK or an error code plus a context message.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  explicit Status(ErrorCode code, std::string message = "")
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status Error(ErrorCode code, std::string message = "") {
+  return Status(code, std::move(message));
+}
+
+// Result<T>: either a value or an error Status. Minimal analogue of
+// absl::StatusOr<T>, sufficient for the monitor's no-exception style.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` works in functions
+  // returning Result<T>.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)), status_(Status::Ok()) {}
+  Result(Status status)                          // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+  Result(ErrorCode code, std::string message = "")
+      : status_(code, std::move(message)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+  ErrorCode code() const { return status_.code(); }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_{ErrorCode::kInternal, "result not initialized"};
+};
+
+// Propagation helpers.
+#define TYCHE_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::tyche::Status _status = (expr);        \
+    if (!_status.ok()) {                     \
+      return _status;                        \
+    }                                        \
+  } while (0)
+
+#define TYCHE_ASSIGN_OR_RETURN(lhs, expr)    \
+  TYCHE_ASSIGN_OR_RETURN_IMPL(               \
+      TYCHE_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define TYCHE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+#define TYCHE_CONCAT_INNER_(a, b) a##b
+#define TYCHE_CONCAT_(a, b) TYCHE_CONCAT_INNER_(a, b)
+
+}  // namespace tyche
+
+#endif  // SRC_SUPPORT_STATUS_H_

@@ -1,0 +1,73 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/tyche/channel.h"
+
+namespace tyche {
+
+Result<Channel> Channel::Create(Monitor* monitor, CoreId core, AddrRange region) {
+  if (!IsPageAligned(region.base) || !IsPageAligned(region.size) ||
+      region.size < 2 * kPageSize) {
+    return Error(ErrorCode::kInvalidArgument, "channel region must be >= 2 aligned pages");
+  }
+  Channel channel(monitor, region);
+  Machine* machine = monitor->machine();
+  TYCHE_RETURN_IF_ERROR(machine->CheckedWrite64(core, channel.head_addr_, 0));
+  TYCHE_RETURN_IF_ERROR(machine->CheckedWrite64(core, channel.tail_addr_, 0));
+  return channel;
+}
+
+Status Channel::Send(CoreId core, std::span<const uint8_t> message) {
+  Machine* machine = monitor_->machine();
+  TYCHE_ASSIGN_OR_RETURN(const uint64_t head, machine->CheckedRead64(core, head_addr_));
+  TYCHE_ASSIGN_OR_RETURN(const uint64_t tail, machine->CheckedRead64(core, tail_addr_));
+  const uint64_t needed = 8 + message.size();
+  if (tail - head + needed > data_size_) {
+    return Error(ErrorCode::kResourceExhausted, "channel full");
+  }
+  // Length prefix, then payload, both byte-wise modulo the ring size.
+  uint64_t cursor = tail;
+  uint64_t length = message.size();
+  for (int i = 0; i < 8; ++i) {
+    const uint8_t byte = static_cast<uint8_t>(length >> (8 * i));
+    TYCHE_RETURN_IF_ERROR(machine->CheckedWrite(
+        core, data_base_ + (cursor % data_size_), std::span<const uint8_t>(&byte, 1)));
+    ++cursor;
+  }
+  for (const uint8_t byte : message) {
+    TYCHE_RETURN_IF_ERROR(machine->CheckedWrite(
+        core, data_base_ + (cursor % data_size_), std::span<const uint8_t>(&byte, 1)));
+    ++cursor;
+  }
+  return machine->CheckedWrite64(core, tail_addr_, cursor);
+}
+
+Result<std::vector<uint8_t>> Channel::Recv(CoreId core) {
+  Machine* machine = monitor_->machine();
+  TYCHE_ASSIGN_OR_RETURN(const uint64_t head, machine->CheckedRead64(core, head_addr_));
+  TYCHE_ASSIGN_OR_RETURN(const uint64_t tail, machine->CheckedRead64(core, tail_addr_));
+  if (head == tail) {
+    return Error(ErrorCode::kNotFound, "channel empty");
+  }
+  uint64_t cursor = head;
+  uint64_t length = 0;
+  for (int i = 0; i < 8; ++i) {
+    uint8_t byte = 0;
+    TYCHE_RETURN_IF_ERROR(machine->CheckedRead(core, data_base_ + (cursor % data_size_),
+                                               std::span<uint8_t>(&byte, 1)));
+    length |= static_cast<uint64_t>(byte) << (8 * i);
+    ++cursor;
+  }
+  if (length > data_size_) {
+    return Error(ErrorCode::kInternal, "corrupt channel length");
+  }
+  std::vector<uint8_t> message(length);
+  for (uint64_t i = 0; i < length; ++i) {
+    TYCHE_RETURN_IF_ERROR(machine->CheckedRead(core, data_base_ + (cursor % data_size_),
+                                               std::span<uint8_t>(&message[i], 1)));
+    ++cursor;
+  }
+  TYCHE_RETURN_IF_ERROR(machine->CheckedWrite64(core, head_addr_, cursor));
+  return message;
+}
+
+}  // namespace tyche

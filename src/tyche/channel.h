@@ -1,0 +1,58 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Attested shared-memory channels: the "secured communication channels"
+// enclaves build from exclusively-owned shared pages (§4.2). A channel is a
+// single-producer ring buffer in a memory region shared between exactly two
+// domains; VerifyPrivate() checks the attested property (reference count 2).
+
+#ifndef SRC_TYCHE_CHANNEL_H_
+#define SRC_TYCHE_CHANNEL_H_
+
+#include <vector>
+
+#include "src/monitor/monitor.h"
+
+namespace tyche {
+
+class Channel {
+ public:
+  // Lays a ring buffer over `region`. The region must be RW for both
+  // endpoints and at least 3 pages (head, tail, data). Construction zeroes
+  // the control words through `core` (so the caller must currently have
+  // write access).
+  static Result<Channel> Create(Monitor* monitor, CoreId core, AddrRange region);
+
+  // Sends one message (length-prefixed). Fails when the ring is full.
+  Status Send(CoreId core, std::span<const uint8_t> message);
+
+  // Receives one message; kNotFound when the ring is empty.
+  Result<std::vector<uint8_t>> Recv(CoreId core);
+
+  // Judiciary check: the channel region is visible to exactly `expected`
+  // domains (2 for a private pair).
+  bool VerifyRefCount(uint32_t expected) const {
+    return monitor_->engine().MemoryRefCount(region_) == expected;
+  }
+
+  const AddrRange& region() const { return region_; }
+  uint64_t capacity() const { return data_size_; }
+
+ private:
+  Channel(Monitor* monitor, AddrRange region)
+      : monitor_(monitor),
+        region_(region),
+        head_addr_(region.base),
+        tail_addr_(region.base + 8),
+        data_base_(region.base + kPageSize),
+        data_size_(region.size - kPageSize) {}
+
+  Monitor* monitor_ = nullptr;
+  AddrRange region_;
+  uint64_t head_addr_;  // read cursor (bytes consumed)
+  uint64_t tail_addr_;  // write cursor (bytes produced)
+  uint64_t data_base_;
+  uint64_t data_size_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_TYCHE_CHANNEL_H_

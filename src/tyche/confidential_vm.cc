@@ -1,0 +1,30 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/tyche/confidential_vm.h"
+
+namespace tyche {
+
+Result<ConfidentialVm> ConfidentialVm::Create(Monitor* monitor, CoreId core,
+                                              const TycheImage& guest_image,
+                                              const ConfidentialVmOptions& options) {
+  LoadOptions load;
+  load.src_cap = options.src_cap;
+  load.base = options.base;
+  load.size = options.size;
+  load.cores = options.cores;
+  load.core_caps = options.core_caps;
+  load.seal = false;  // devices are attached before sealing
+  load.policy = RevocationPolicy(RevocationPolicy::kObfuscate);
+  TYCHE_ASSIGN_OR_RETURN(LoadedDomain loaded, LoadImage(monitor, core, guest_image, load));
+
+  for (const CapId device_cap : options.device_caps) {
+    TYCHE_RETURN_IF_ERROR(monitor
+                              ->GrantUnit(core, device_cap, loaded.handle, CapRights{},
+                                          RevocationPolicy{})
+                              .status());
+  }
+  TYCHE_RETURN_IF_ERROR(monitor->Seal(core, loaded.handle));
+  return ConfidentialVm(monitor, loaded);
+}
+
+}  // namespace tyche

@@ -1,0 +1,63 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Confidential VMs on the isolation monitor: the largest trust-domain shape
+// the paper describes ("as large as a full confidential VM", §3.1). A
+// confidential VM is simply a sealed domain with exclusively granted memory
+// (holding a guest kernel image), several CPU cores, and optionally
+// exclusively granted devices -- there is no separate mechanism, which is
+// exactly the unification argument of §3.5.
+
+#ifndef SRC_TYCHE_CONFIDENTIAL_VM_H_
+#define SRC_TYCHE_CONFIDENTIAL_VM_H_
+
+#include <vector>
+
+#include "src/tyche/loader.h"
+
+namespace tyche {
+
+struct ConfidentialVmOptions {
+  CapId src_cap = kInvalidCap;
+  uint64_t base = 0;
+  uint64_t size = 0;
+  std::vector<CoreId> cores;
+  std::vector<CapId> core_caps;
+  std::vector<CapId> device_caps;  // devices granted exclusively to the VM
+};
+
+class ConfidentialVm {
+ public:
+  // `guest_image` is the VM's (measured, confidential) guest kernel.
+  static Result<ConfidentialVm> Create(Monitor* monitor, CoreId core,
+                                       const TycheImage& guest_image,
+                                       const ConfidentialVmOptions& options);
+
+  DomainId domain() const { return loaded_.domain; }
+  CapId handle() const { return loaded_.handle; }
+  const LoadedDomain& loaded() const { return loaded_; }
+
+  // Boots a virtual CPU: transitions the given core into the VM.
+  Status StartVcpu(CoreId core) { return monitor_->Transition(core, loaded_.handle); }
+  Status StopVcpu(CoreId core) { return monitor_->ReturnFromDomain(core); }
+
+  Result<DomainAttestation> Attest(CoreId core, uint64_t nonce) {
+    return monitor_->AttestDomain(core, loaded_.handle, nonce);
+  }
+
+  // True iff every byte of VM memory is exclusive (refcount 1): what a
+  // customer checks before provisioning secrets.
+  bool MemoryIsExclusive() const {
+    return monitor_->engine().ExclusivelyOwned(loaded_.domain,
+                                               AddrRange{loaded_.base, loaded_.size});
+  }
+
+ private:
+  ConfidentialVm(Monitor* monitor, LoadedDomain loaded)
+      : monitor_(monitor), loaded_(loaded) {}
+
+  Monitor* monitor_ = nullptr;
+  LoadedDomain loaded_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_TYCHE_CONFIDENTIAL_VM_H_

@@ -1,0 +1,80 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Tyche-enclaves (§4.2): confidential, attestable trust domains built on the
+// monitor API by libtyche. "Notable improvements over SGX ones":
+//   1. untrusted memory must be EXPLICITLY shared (no accidental leakage
+//      through an implicitly accessible host address space);
+//   2. arbitrary layout and number of enclaves in the same process
+//      (no single reserved enclave range, physical addresses are reusable);
+//   3. nesting and sharing among enclaves: an enclave can map libtyche and
+//      spawn nested enclaves, and share exclusively owned pages with them to
+//      create secured communication channels.
+
+#ifndef SRC_TYCHE_ENCLAVE_H_
+#define SRC_TYCHE_ENCLAVE_H_
+
+#include <memory>
+
+#include "src/tyche/loader.h"
+
+namespace tyche {
+
+class Enclave {
+ public:
+  // Loads `image` as a sealed enclave. The caller (current domain on `core`)
+  // provides the memory and cores through `options`.
+  static Result<Enclave> Create(Monitor* monitor, CoreId core, const TycheImage& image,
+                                const LoadOptions& options);
+
+  DomainId domain() const { return loaded_.domain; }
+  CapId handle() const { return loaded_.handle; }
+  uint64_t base() const { return loaded_.base; }
+  uint64_t size() const { return loaded_.size; }
+  const LoadedDomain& loaded() const { return loaded_; }
+
+  // Synchronous enclave call: transition in; the caller resumes after the
+  // enclave returns (ReturnFromDomain / Exit).
+  Status Enter(CoreId core) { return monitor_->Transition(core, loaded_.handle); }
+  Status Exit(CoreId core) { return monitor_->ReturnFromDomain(core); }
+
+  // Arms and uses the hardware fast path (VMFUNC-style).
+  Status EnableFastCalls(CoreId core) {
+    return monitor_->RegisterFastTransition(core, loaded_.handle);
+  }
+  Status FastEnter(CoreId core) { return monitor_->FastTransition(core, loaded_.domain); }
+  Status FastExit(CoreId core) { return monitor_->FastReturn(core); }
+
+  Result<DomainAttestation> Attest(CoreId core, uint64_t nonce) {
+    return monitor_->AttestDomain(core, loaded_.handle, nonce);
+  }
+
+  // --- Operations executed FROM INSIDE the enclave (the enclave must be the
+  // domain currently running on `core`); this is the "map libtyche in their
+  // domains" story. ---
+
+  // Spawns a nested enclave carved out of this enclave's own memory. With
+  // `seal` false the child is left open so the parent can share additional
+  // pages (ShareWithChild) before sealing it through the monitor.
+  Result<Enclave> SpawnNested(CoreId core, const TycheImage& image, uint64_t base,
+                              uint64_t size, const std::vector<CoreId>& cores,
+                              bool seal = true);
+
+  // Shares exclusively-owned pages of this (sealed) enclave with a domain it
+  // created -- the secured communication channel of §4.2.
+  Result<CapId> ShareWithChild(CoreId core, CapId child_handle, AddrRange range,
+                               Perms perms);
+
+  // Finds this enclave's active memory capability containing `range`.
+  Result<CapId> FindOwnCap(AddrRange range) const;
+
+  Monitor* monitor() { return monitor_; }
+
+ private:
+  Enclave(Monitor* monitor, LoadedDomain loaded) : monitor_(monitor), loaded_(loaded) {}
+
+  Monitor* monitor_ = nullptr;
+  LoadedDomain loaded_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_TYCHE_ENCLAVE_H_

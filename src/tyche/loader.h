@@ -1,0 +1,91 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// libtyche's loader: turns a TycheImage into a sealed trust domain through
+// the monitor's isolation API, and computes the golden measurement offline
+// so remote verifiers can check the resulting attestation (§4.2).
+
+#ifndef SRC_TYCHE_LOADER_H_
+#define SRC_TYCHE_LOADER_H_
+
+#include <vector>
+
+#include "src/monitor/monitor.h"
+#include "src/tyche/image.h"
+
+namespace tyche {
+
+struct LoadOptions {
+  // Caller's memory capability covering the region. kInvalidCap = discover
+  // automatically (the loader finds the caller's active capability covering
+  // each region; grants split capabilities, so discovery per region is the
+  // robust default).
+  CapId src_cap = kInvalidCap;
+  uint64_t base = 0;            // physical load base (page-aligned)
+  uint64_t size = 0;            // total memory for the domain (>= image extent)
+  std::vector<CoreId> cores;    // cores to share with the domain
+  std::vector<CapId> core_caps; // caller's capabilities for those cores
+  bool seal = true;
+  // Cleanup obligation attached to the confidential grants.
+  RevocationPolicy policy = RevocationPolicy(RevocationPolicy::kObfuscate);
+};
+
+struct LoadedDomain {
+  DomainId domain = kInvalidDomain;
+  CapId handle = kInvalidCap;
+  uint64_t base = 0;
+  uint64_t size = 0;
+  // Capabilities the caller keeps for the shared segments (source side).
+  std::vector<CapId> shared_caps;
+  // Caller's remainder capabilities after the confidential grants.
+  std::vector<CapId> remainder_caps;
+  // Capabilities now owned by the loaded domain (granted regions).
+  std::vector<CapId> granted_caps;
+};
+
+// One region of the computed load layout.
+struct LayoutRegion {
+  AddrRange range;  // absolute physical range
+  Perms perms;
+  bool shared = false;
+  bool heap = false;  // gap region not described by any segment (granted RWX)
+};
+
+// Deterministic layout shared by the loader and the offline verifier:
+// shared segments stay shared; confidential segments and the remaining gaps
+// are granted exclusively.
+Result<std::vector<LayoutRegion>> ComputeLoadLayout(const TycheImage& image, uint64_t base,
+                                                    uint64_t size);
+
+// Loads `image` as a new trust domain on behalf of the domain currently
+// running on `core`.
+Result<LoadedDomain> LoadImage(Monitor* monitor, CoreId core, const TycheImage& image,
+                               const LoadOptions& options);
+
+// Finds an active memory capability owned by `domain` whose range contains
+// `range` (capability handle discovery, used by libtyche helpers).
+Result<CapId> FindMemoryCap(const Monitor& monitor, DomainId domain, AddrRange range);
+
+// Same for unit resources (cores, devices).
+Result<CapId> FindUnitCap(const Monitor& monitor, DomainId domain, ResourceKind kind,
+                          uint64_t unit);
+
+// Offline golden measurement: exactly what the monitor will report for a
+// domain loaded with LoadImage(image, options). Runs entirely outside the
+// machine (customer side).
+// Memory shared into the domain after loading but before sealing (e.g.
+// attested channel pages).
+struct ExtraRegion {
+  AddrRange range;
+  Perms perms;
+};
+
+// `devices` lists PCI functions granted before sealing (BDF values), e.g.
+// for confidential VMs with passthrough devices; `extra` lists post-load,
+// pre-seal shared regions.
+Result<Digest> ComputeExpectedMeasurement(const TycheImage& image, uint64_t base,
+                                          uint64_t size, const std::vector<CoreId>& cores,
+                                          const std::vector<uint16_t>& devices = {},
+                                          const std::vector<ExtraRegion>& extra = {});
+
+}  // namespace tyche
+
+#endif  // SRC_TYCHE_LOADER_H_

@@ -1,0 +1,50 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/tyche/sandbox.h"
+
+#include "src/tyche/loader.h"
+
+namespace tyche {
+
+Result<Sandbox> Sandbox::Create(Monitor* monitor, CoreId core, const std::string& name,
+                                const SandboxOptions& options) {
+  if (options.cores.size() != options.core_caps.size()) {
+    return Error(ErrorCode::kInvalidArgument, "cores and core_caps must align");
+  }
+  TYCHE_ASSIGN_OR_RETURN(const CreateDomainResult created,
+                         monitor->CreateDomain(core, name));
+
+  const DomainId caller = monitor->CurrentDomain(core);
+  std::vector<CapId> region_caps;
+  for (const SandboxRegion& region : options.regions) {
+    CapId src = options.src_cap;
+    if (src == kInvalidCap) {
+      TYCHE_ASSIGN_OR_RETURN(src, FindMemoryCap(*monitor, caller, region.range));
+    }
+    TYCHE_ASSIGN_OR_RETURN(
+        const CapId cap,
+        monitor->ShareMemory(core, src, created.handle, region.range, region.perms,
+                             CapRights{},
+                             RevocationPolicy(RevocationPolicy::kFlushCache)));
+    region_caps.push_back(cap);
+  }
+  for (const CapId core_cap : options.core_caps) {
+    TYCHE_RETURN_IF_ERROR(
+        monitor->ShareUnit(core, core_cap, created.handle, CapRights{}, RevocationPolicy{})
+            .status());
+  }
+  for (const CapId device_cap : options.device_caps) {
+    // Devices are granted: DMA must be confined to the sandbox's view.
+    TYCHE_RETURN_IF_ERROR(monitor
+                              ->GrantUnit(core, device_cap, created.handle, CapRights{},
+                                          RevocationPolicy{})
+                              .status());
+  }
+  TYCHE_RETURN_IF_ERROR(monitor->SetEntryPoint(core, created.handle, options.entry));
+  if (options.seal) {
+    TYCHE_RETURN_IF_ERROR(monitor->Seal(core, created.handle));
+  }
+  return Sandbox(monitor, created.domain, created.handle, std::move(region_caps));
+}
+
+}  // namespace tyche

@@ -1,0 +1,72 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Sandboxes (§4.2 "user and kernel compartments"): trust domains that
+// confine a component to a SUBSET of the creator's resources. Unlike an
+// enclave, the creator keeps access (regions are shared, not granted) and
+// the domain usually stays unsealed so the creator can adjust its policy.
+//
+//  - A user sandbox confines an untrusted library inside an application:
+//    RX view of its code, RW scratch, nothing else.
+//  - A kernel sandbox confines an untrusted driver: the kernel shares the
+//    driver code/data and GRANTS the device, so driver DMA is checked
+//    against the sandbox's resources instead of the kernel's.
+
+#ifndef SRC_TYCHE_SANDBOX_H_
+#define SRC_TYCHE_SANDBOX_H_
+
+#include <string>
+#include <vector>
+
+#include "src/monitor/monitor.h"
+
+namespace tyche {
+
+struct SandboxRegion {
+  AddrRange range;
+  Perms perms;
+};
+
+struct SandboxOptions {
+  CapId src_cap = kInvalidCap;          // creator's memory capability
+  std::vector<SandboxRegion> regions;   // shared views (first must contain entry)
+  uint64_t entry = 0;                   // entry point (must be executable)
+  std::vector<CoreId> cores;
+  std::vector<CapId> core_caps;
+  std::vector<CapId> device_caps;       // devices GRANTED to the sandbox
+  bool seal = false;
+};
+
+class Sandbox {
+ public:
+  static Result<Sandbox> Create(Monitor* monitor, CoreId core, const std::string& name,
+                                const SandboxOptions& options);
+
+  DomainId domain() const { return domain_; }
+  CapId handle() const { return handle_; }
+  const std::vector<CapId>& region_caps() const { return region_caps_; }
+
+  Status Enter(CoreId core) { return monitor_->Transition(core, handle_); }
+  Status Exit(CoreId core) { return monitor_->ReturnFromDomain(core); }
+
+  // Revokes one shared region (e.g. after the library call returns) --
+  // policy adjustment without tearing the sandbox down.
+  Status RevokeRegion(CoreId core, CapId region_cap) {
+    return monitor_->Revoke(core, region_cap);
+  }
+
+  // Tears the sandbox down entirely.
+  Status Destroy(CoreId core) { return monitor_->DestroyDomain(core, handle_); }
+
+ private:
+  Sandbox(Monitor* monitor, DomainId domain, CapId handle, std::vector<CapId> region_caps)
+      : monitor_(monitor), domain_(domain), handle_(handle),
+        region_caps_(std::move(region_caps)) {}
+
+  Monitor* monitor_ = nullptr;
+  DomainId domain_ = kInvalidDomain;
+  CapId handle_ = kInvalidCap;
+  std::vector<CapId> region_caps_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_TYCHE_SANDBOX_H_

@@ -1,0 +1,138 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/tyche/verifier.h"
+
+namespace tyche {
+
+namespace {
+
+// Finds the channel covering `range`, if any.
+const DeploymentChannel* ChannelFor(const DeploymentPolicy& policy, const AddrRange& range) {
+  for (const DeploymentChannel& channel : policy.channels) {
+    if (channel.range.Contains(range)) {
+      return &channel;
+    }
+  }
+  return nullptr;
+}
+
+bool ChannelNamesDomain(const DeploymentChannel& channel, uint32_t domain) {
+  for (const uint32_t endpoint : channel.endpoints) {
+    if (endpoint == domain) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status VerifyDeployment(std::span<const DomainAttestation> reports,
+                        const DeploymentPolicy& policy) {
+  // Pass 1: every memory claim must be either exclusive or a declared
+  // channel with exactly the expected reference count.
+  for (const DomainAttestation& report : reports) {
+    for (const ResourceClaim& claim : report.resources) {
+      if (claim.kind != ResourceKind::kMemory) {
+        continue;
+      }
+      const DeploymentChannel* channel = ChannelFor(policy, claim.range);
+      if (channel == nullptr) {
+        if (claim.ref_count != 1) {
+          return Error(ErrorCode::kPolicyViolation,
+                       "undeclared sharing on a non-channel region of domain " +
+                           std::to_string(report.domain));
+        }
+        continue;
+      }
+      if (!ChannelNamesDomain(*channel, report.domain)) {
+        return Error(ErrorCode::kPolicyViolation,
+                     "domain " + std::to_string(report.domain) +
+                         " holds a channel it is not an endpoint of");
+      }
+      const uint32_t expected =
+          static_cast<uint32_t>(channel->endpoints.size()) + channel->external_parties;
+      if (claim.ref_count != expected) {
+        return Error(ErrorCode::kPolicyViolation,
+                     "channel refcount mismatch (eavesdropper?) on domain " +
+                         std::to_string(report.domain));
+      }
+    }
+  }
+  // Pass 2: every declared channel must actually appear in each endpoint's
+  // report (a missing claim means the path was never established).
+  for (const DeploymentChannel& channel : policy.channels) {
+    for (const uint32_t endpoint : channel.endpoints) {
+      const DomainAttestation* report = nullptr;
+      for (const DomainAttestation& candidate : reports) {
+        if (candidate.domain == endpoint) {
+          report = &candidate;
+          break;
+        }
+      }
+      if (report == nullptr) {
+        return Error(ErrorCode::kPolicyViolation,
+                     "no report for channel endpoint " + std::to_string(endpoint));
+      }
+      bool covered = false;
+      for (const ResourceClaim& claim : report->resources) {
+        if (claim.kind == ResourceKind::kMemory && channel.range.Contains(claim.range) &&
+            claim.range.base == channel.range.base &&
+            claim.range.size == channel.range.size) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        return Error(ErrorCode::kPolicyViolation,
+                     "endpoint " + std::to_string(endpoint) +
+                         " does not hold the declared channel");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Status CustomerVerifier::VerifyMonitor(const MonitorIdentity& identity, uint64_t nonce) {
+  TYCHE_RETURN_IF_ERROR(verifier_.VerifyMonitor(identity, nonce));
+  monitor_key_ = identity.monitor_key;
+  return OkStatus();
+}
+
+Status CustomerVerifier::VerifyDomainAgainstImage(const DomainAttestation& report,
+                                                  const TycheImage& image, uint64_t base,
+                                                  uint64_t size,
+                                                  const std::vector<CoreId>& cores,
+                                                  uint64_t nonce) {
+  if (!monitor_verified()) {
+    return Error(ErrorCode::kFailedPrecondition, "verify the monitor first (tier 1)");
+  }
+  TYCHE_ASSIGN_OR_RETURN(const Digest golden,
+                         ComputeExpectedMeasurement(image, base, size, cores));
+  return verifier_.VerifyDomain(report, *monitor_key_, nonce, &golden);
+}
+
+Status CustomerVerifier::CheckSharingPolicy(const DomainAttestation& report,
+                                            const SharingPolicy& policy) {
+  for (const ResourceClaim& claim : report.resources) {
+    if (claim.kind != ResourceKind::kMemory) {
+      continue;
+    }
+    bool expected_shared = false;
+    for (const AddrRange& range : policy.expected_shared) {
+      if (range.Contains(claim.range)) {
+        expected_shared = true;
+        break;
+      }
+    }
+    const uint32_t limit =
+        expected_shared ? policy.shared_ref_count : policy.max_memory_ref_count;
+    if (claim.ref_count > limit) {
+      return Error(ErrorCode::kPolicyViolation,
+                   "memory region shared more widely than the policy allows");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace tyche

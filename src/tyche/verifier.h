@@ -1,0 +1,87 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// The customer-side verification workflow (§2.1 / Figure 2): before handing
+// sensitive data to software running on an untrusted machine, the customer
+//   1. verifies the machine runs the golden isolation monitor (tier 1),
+//   2. verifies each participating domain: identity (golden measurement
+//      computed offline from the image) and isolation configuration
+//      (reference counts expose every sharing relationship),
+//   3. only then provisions its secrets.
+
+#ifndef SRC_TYCHE_VERIFIER_H_
+#define SRC_TYCHE_VERIFIER_H_
+
+#include <optional>
+
+#include "src/monitor/attestation.h"
+#include "src/tyche/loader.h"
+
+namespace tyche {
+
+// Policy the customer applies to a verified domain report.
+struct SharingPolicy {
+  // Every memory resource must have ref_count <= this.
+  uint32_t max_memory_ref_count = 1;
+  // Ranges that ARE expected to be shared (e.g. the channel to the GPU);
+  // these may have ref_count up to `shared_ref_count`.
+  std::vector<AddrRange> expected_shared;
+  uint32_t shared_ref_count = 2;
+};
+
+// A multi-domain deployment policy (§4.2: "extend attestation to
+// multi-domain deployments with the insurance that all communication paths
+// are secured and attested"). The deployment is a set of verified domain
+// reports plus the channels the customer EXPECTS between them; verification
+// checks that the reports agree with each other:
+//   - every declared channel appears in BOTH endpoints' reports, with a
+//     reference count equal to the number of endpoints (no eavesdropper);
+//   - no undeclared cross-domain sharing exists anywhere in the set;
+//   - memory not on any channel is exclusive to its domain.
+struct DeploymentChannel {
+  AddrRange range;
+  std::vector<uint32_t> endpoints;  // domain ids of the report set
+  // Extra parties outside the report set allowed on this range (e.g. the
+  // untrusted OS on a network buffer). Counted into the expected refcount.
+  uint32_t external_parties = 0;
+};
+
+struct DeploymentPolicy {
+  std::vector<DeploymentChannel> channels;
+};
+
+// Cross-checks a set of already-signature-verified reports against the
+// deployment policy. Returns kPolicyViolation with a message naming the
+// first inconsistency.
+Status VerifyDeployment(std::span<const DomainAttestation> reports,
+                        const DeploymentPolicy& policy);
+
+class CustomerVerifier {
+ public:
+  CustomerVerifier(SchnorrPublicKey trusted_tpm_key, Digest golden_firmware,
+                   Digest golden_monitor)
+      : verifier_(trusted_tpm_key, golden_firmware, golden_monitor) {}
+
+  // Tier 1. On success caches the monitor key for tier-2 checks.
+  Status VerifyMonitor(const MonitorIdentity& identity, uint64_t nonce);
+
+  // Tier 2 with code identity: recomputes the golden measurement offline
+  // from the image + load parameters.
+  Status VerifyDomainAgainstImage(const DomainAttestation& report, const TycheImage& image,
+                                  uint64_t base, uint64_t size,
+                                  const std::vector<CoreId>& cores, uint64_t nonce);
+
+  // Checks the isolation configuration of a verified report against a
+  // sharing policy.
+  static Status CheckSharingPolicy(const DomainAttestation& report,
+                                   const SharingPolicy& policy);
+
+  bool monitor_verified() const { return monitor_key_.has_value(); }
+  const SchnorrPublicKey& monitor_key() const { return *monitor_key_; }
+
+ private:
+  RemoteVerifier verifier_;
+  std::optional<SchnorrPublicKey> monitor_key_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_TYCHE_VERIFIER_H_

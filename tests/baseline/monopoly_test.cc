@@ -1,0 +1,70 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/baseline/monopoly.h"
+
+#include <gtest/gtest.h>
+
+namespace tyche {
+namespace {
+
+constexpr uint64_t kMiB = 1ull << 20;
+
+class MonopolyTest : public ::testing::Test {
+ protected:
+  MonopolyTest() {
+    kernel_ = stack_.AddActor("linux", PrivLevel::kGuestKernel, 0);
+    app_ = stack_.AddActor("app", PrivLevel::kUserProcess, kernel_);
+    other_app_ = stack_.AddActor("other", PrivLevel::kUserProcess, kernel_);
+    EXPECT_TRUE(stack_.Assign(0, kernel_, AddrRange{0, 64 * kMiB}).ok());
+    EXPECT_TRUE(stack_.Assign(kernel_, app_, AddrRange{8 * kMiB, kMiB}).ok());
+    EXPECT_TRUE(stack_.Assign(kernel_, other_app_, AddrRange{16 * kMiB, kMiB}).ok());
+  }
+
+  CommodityStack stack_;
+  uint32_t kernel_ = 0;
+  uint32_t app_ = 0;
+  uint32_t other_app_ = 0;
+};
+
+TEST_F(MonopolyTest, ActorsSeeTheirOwnMemory) {
+  EXPECT_TRUE(stack_.CanAccess(app_, AddrRange{8 * kMiB, kPageSize}));
+  EXPECT_TRUE(stack_.CanAccess(other_app_, AddrRange{16 * kMiB, kPageSize}));
+}
+
+TEST_F(MonopolyTest, SiblingsAreIsolatedFromEachOther) {
+  // Process isolation DOES work sideways...
+  EXPECT_FALSE(stack_.CanAccess(app_, AddrRange{16 * kMiB, kPageSize}));
+  EXPECT_FALSE(stack_.CanAccess(other_app_, AddrRange{8 * kMiB, kPageSize}));
+}
+
+TEST_F(MonopolyTest, PrivilegedCodeSeesEverything) {
+  // ... but NOT upwards: the kernel and the hypervisor read every process.
+  EXPECT_TRUE(stack_.CanAccess(kernel_, AddrRange{8 * kMiB, kPageSize}));
+  EXPECT_TRUE(stack_.CanAccess(kernel_, AddrRange{16 * kMiB, kPageSize}));
+  EXPECT_TRUE(stack_.CanAccess(0, AddrRange{8 * kMiB, kPageSize}));
+}
+
+TEST_F(MonopolyTest, ChildrenCannotProtectThemselves) {
+  EXPECT_EQ(stack_.ProtectFromAncestors(app_, AddrRange{8 * kMiB, kPageSize}).code(),
+            ErrorCode::kUnimplemented);
+}
+
+TEST_F(MonopolyTest, NoAttestation) {
+  EXPECT_EQ(stack_.Attest(app_).code(), ErrorCode::kUnimplemented);
+}
+
+TEST_F(MonopolyTest, OnlyParentsAssign) {
+  EXPECT_EQ(stack_.Assign(app_, other_app_, AddrRange{32 * kMiB, kMiB}).code(),
+            ErrorCode::kPolicyViolation);
+  EXPECT_EQ(stack_.Assign(0, 999, AddrRange{32 * kMiB, kMiB}).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(MonopolyTest, ActorLookup) {
+  ASSERT_NE(stack_.GetActor(kernel_), nullptr);
+  EXPECT_EQ(stack_.GetActor(kernel_)->name, "linux");
+  EXPECT_EQ(stack_.GetActor(424242), nullptr);
+}
+
+}  // namespace
+}  // namespace tyche

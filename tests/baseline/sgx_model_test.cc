@@ -1,0 +1,138 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/baseline/sgx_model.h"
+
+#include <gtest/gtest.h>
+
+namespace tyche {
+namespace {
+
+constexpr uint64_t kMiB = 1ull << 20;
+
+class SgxTest : public ::testing::Test {
+ protected:
+  SgxTest() : sgx_(/*epc_pages=*/64, &cycles_) {}
+
+  SgxEnclaveId MakeInitialized(uint32_t process, AddrRange elrange, int pages = 2) {
+    const auto id = sgx_.Ecreate(process, elrange);
+    EXPECT_TRUE(id.ok());
+    const std::vector<uint8_t> content(128, 0x42);
+    for (int i = 0; i < pages; ++i) {
+      EXPECT_TRUE(sgx_.Eadd(*id, static_cast<uint64_t>(i) * kPageSize,
+                            std::span<const uint8_t>(content))
+                      .ok());
+    }
+    EXPECT_TRUE(sgx_.Einit(*id).ok());
+    return *id;
+  }
+
+  CycleAccount cycles_;
+  SgxProcessor sgx_;
+};
+
+TEST_F(SgxTest, LifecycleAndMeasurement) {
+  const SgxEnclaveId id = MakeInitialized(1, AddrRange{0x100000, kMiB});
+  const auto mr = sgx_.MrEnclave(id);
+  ASSERT_TRUE(mr.ok());
+  EXPECT_FALSE(mr->IsZero());
+  ASSERT_TRUE(sgx_.Eenter(id).ok());
+  ASSERT_TRUE(sgx_.Eexit(id).ok());
+  ASSERT_TRUE(sgx_.Eremove(id).ok());
+  EXPECT_FALSE(sgx_.Eenter(id).ok());
+}
+
+TEST_F(SgxTest, MeasurementDependsOnContentAndLayout) {
+  const SgxEnclaveId a = MakeInitialized(1, AddrRange{0x100000, kMiB});
+  const SgxEnclaveId b = MakeInitialized(2, AddrRange{0x100000, kMiB});
+  EXPECT_EQ(*sgx_.MrEnclave(a), *sgx_.MrEnclave(b));  // same recipe, same hash
+  const SgxEnclaveId c = MakeInitialized(3, AddrRange{0x200000, kMiB});
+  EXPECT_NE(*sgx_.MrEnclave(a), *sgx_.MrEnclave(c));  // ELRANGE differs
+}
+
+TEST_F(SgxTest, ElrangeValidation) {
+  EXPECT_FALSE(sgx_.Ecreate(1, AddrRange{0x100000, 3 * kPageSize}).ok());  // not pow2
+  EXPECT_FALSE(sgx_.Ecreate(1, AddrRange{0x101000, kMiB}).ok());  // misaligned
+}
+
+TEST_F(SgxTest, NoAddressReuse) {
+  const SgxEnclaveId id = MakeInitialized(1, AddrRange{0x100000, kMiB});
+  ASSERT_TRUE(sgx_.Eremove(id).ok());
+  // Same process, same (or overlapping) range: forbidden forever.
+  EXPECT_EQ(sgx_.Ecreate(1, AddrRange{0x100000, kMiB}).code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(sgx_.Ecreate(1, AddrRange{0, 2 * kMiB}).code(), ErrorCode::kAlreadyExists);
+  // Different process: fine.
+  EXPECT_TRUE(sgx_.Ecreate(2, AddrRange{0x100000, kMiB}).ok());
+}
+
+TEST_F(SgxTest, NoNesting) {
+  const SgxEnclaveId id = MakeInitialized(1, AddrRange{0x100000, kMiB});
+  ASSERT_TRUE(sgx_.Eenter(id).ok());
+  // From enclave mode, creating another enclave is architecturally
+  // impossible.
+  EXPECT_EQ(sgx_.Ecreate(1, AddrRange{0x400000, kMiB}).code(), ErrorCode::kUnimplemented);
+  ASSERT_TRUE(sgx_.Eexit(id).ok());
+}
+
+TEST_F(SgxTest, NoEnclaveToEnclaveSharing) {
+  const SgxEnclaveId a = MakeInitialized(1, AddrRange{0x100000, kMiB});
+  const SgxEnclaveId b = MakeInitialized(1, AddrRange{0x400000, kMiB});
+  EXPECT_EQ(sgx_.ShareBetweenEnclaves(a, b, AddrRange{0x100000, kPageSize}).code(),
+            ErrorCode::kUnimplemented);
+}
+
+TEST_F(SgxTest, EpcExhaustion) {
+  // 64 EPC pages; each enclave adds 2. The 33rd EADD pair fails.
+  int built = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto id =
+        sgx_.Ecreate(static_cast<uint32_t>(i), AddrRange{0x100000, kMiB});
+    ASSERT_TRUE(id.ok());
+    const std::vector<uint8_t> content(16, 1);
+    const Status first = sgx_.Eadd(*id, 0, std::span<const uint8_t>(content));
+    if (!first.ok()) {
+      EXPECT_EQ(first.code(), ErrorCode::kResourceExhausted);
+      break;
+    }
+    ASSERT_TRUE(sgx_.Eadd(*id, kPageSize, std::span<const uint8_t>(content)).ok());
+    ++built;
+  }
+  EXPECT_EQ(built, 32);
+  EXPECT_EQ(sgx_.epc_free_pages(), 0u);
+}
+
+TEST_F(SgxTest, EremoveFreesEpc) {
+  const SgxEnclaveId id = MakeInitialized(1, AddrRange{0x100000, kMiB}, /*pages=*/8);
+  EXPECT_EQ(sgx_.epc_free_pages(), 64u - 8u);
+  ASSERT_TRUE(sgx_.Eremove(id).ok());
+  EXPECT_EQ(sgx_.epc_free_pages(), 64u);
+}
+
+TEST_F(SgxTest, OrderingRulesEnforced) {
+  const auto id = sgx_.Ecreate(1, AddrRange{0x100000, kMiB});
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(sgx_.Eenter(*id).ok());  // before EINIT
+  EXPECT_FALSE(sgx_.MrEnclave(*id).ok());
+  ASSERT_TRUE(sgx_.Einit(*id).ok());
+  EXPECT_FALSE(sgx_.Einit(*id).ok());  // double init
+  const std::vector<uint8_t> content(16, 1);
+  EXPECT_FALSE(sgx_.Eadd(*id, 0, std::span<const uint8_t>(content)).ok());  // after EINIT
+  ASSERT_TRUE(sgx_.Eenter(*id).ok());
+  EXPECT_FALSE(sgx_.Eremove(*id).ok());  // while executing
+  ASSERT_TRUE(sgx_.Eexit(*id).ok());
+  EXPECT_FALSE(sgx_.Eexit(*id).ok());
+}
+
+TEST_F(SgxTest, CostsCharged) {
+  cycles_.Reset();
+  const SgxEnclaveId id = MakeInitialized(1, AddrRange{0x100000, kMiB});
+  const uint64_t build_cost = cycles_.cycles();
+  EXPECT_EQ(build_cost, sgx_.costs().ecreate + 2 * sgx_.costs().eadd_per_page +
+                            sgx_.costs().einit);
+  cycles_.Reset();
+  ASSERT_TRUE(sgx_.Eenter(id).ok());
+  ASSERT_TRUE(sgx_.Eexit(id).ok());
+  EXPECT_EQ(cycles_.cycles(), sgx_.costs().eenter + sgx_.costs().eexit);
+}
+
+}  // namespace
+}  // namespace tyche

@@ -1,0 +1,194 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Second batch of capability-engine tests: unit-resource lineage, restore
+// semantics, view limits, purge interactions -- the paths the first batch
+// and the property test exercise only incidentally.
+
+#include <gtest/gtest.h>
+
+#include "src/capability/engine.h"
+
+namespace tyche {
+namespace {
+
+constexpr uint64_t kMiB = 1ull << 20;
+
+class EngineEdgeTest : public ::testing::Test {
+ protected:
+  EngineEdgeTest() {
+    engine_.RegisterDomain(0, CapabilityEngine::kNoCreator);
+    engine_.RegisterDomain(1, 0);
+    engine_.RegisterDomain(2, 0);
+  }
+
+  CapabilityEngine engine_;
+};
+
+TEST_F(EngineEdgeTest, GrantUnitRevokeRestoresHolder) {
+  const CapId core = *engine_.MintUnit(0, ResourceKind::kCpuCore, 3,
+                                       CapRights(CapRights::kAll));
+  const auto grant = engine_.GrantUnit(0, core, 1, CapRights(CapRights::kAll),
+                                       RevocationPolicy{});
+  ASSERT_TRUE(grant.ok());
+  EXPECT_FALSE(engine_.HasUnit(0, ResourceKind::kCpuCore, 3));
+  EXPECT_TRUE(engine_.HasUnit(1, ResourceKind::kCpuCore, 3));
+
+  const auto revoke = engine_.Revoke(0, grant->granted);
+  ASSERT_TRUE(revoke.ok());
+  EXPECT_NE(revoke->restored, kInvalidCap);
+  EXPECT_TRUE(engine_.HasUnit(0, ResourceKind::kCpuCore, 3));
+  EXPECT_FALSE(engine_.HasUnit(1, ResourceKind::kCpuCore, 3));
+  // The restore effect names the unit for the backend.
+  bool saw_attach = false;
+  for (const CapEffect& effect : revoke->effects.effects) {
+    if (effect.kind == CapEffect::Kind::kAttachUnit && effect.domain == 0) {
+      saw_attach = true;
+      EXPECT_EQ(effect.unit, 3u);
+    }
+  }
+  EXPECT_TRUE(saw_attach);
+}
+
+TEST_F(EngineEdgeTest, RevokeOfRestoreCreatesNoSecondRestore) {
+  const CapId core = *engine_.MintUnit(0, ResourceKind::kCpuCore, 1,
+                                       CapRights(CapRights::kAll));
+  const auto grant = engine_.GrantUnit(0, core, 1, CapRights(CapRights::kAll),
+                                       RevocationPolicy{});
+  const auto first = engine_.Revoke(0, grant->granted);
+  ASSERT_TRUE(first.ok());
+  const auto second = engine_.Revoke(0, first->restored);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->restored, kInvalidCap);  // dropping a restore is final
+  EXPECT_FALSE(engine_.HasUnit(0, ResourceKind::kCpuCore, 1));
+}
+
+TEST_F(EngineEdgeTest, DomainHandlesAreShareableUnits) {
+  const CapId handle = *engine_.MintUnit(0, ResourceKind::kDomain, 2,
+                                         CapRights(CapRights::kAll));
+  CapEffects effects;
+  const auto shared = engine_.ShareUnit(0, handle, 1, CapRights(CapRights::kManage),
+                                        RevocationPolicy{}, &effects);
+  ASSERT_TRUE(shared.ok());
+  EXPECT_TRUE(engine_.HasUnit(1, ResourceKind::kDomain, 2));
+  // Attenuation holds for handles too.
+  EXPECT_FALSE((*engine_.Get(*shared))->rights.CanShare());
+  EXPECT_TRUE((*engine_.Get(*shared))->rights.CanManage());
+}
+
+TEST_F(EngineEdgeTest, MemoryViewHonoursLimit) {
+  (void)*engine_.MintMemory(0, AddrRange{0, 4 * kMiB}, Perms(Perms::kRW),
+                            CapRights(CapRights::kAll));
+  (void)*engine_.MintMemory(0, AddrRange{64 * kMiB, 4 * kMiB}, Perms(Perms::kRW),
+                            CapRights(CapRights::kAll));
+  const auto full = engine_.MemoryView();
+  const auto limited = engine_.MemoryView(8 * kMiB);
+  EXPECT_EQ(full.size(), 2u);
+  ASSERT_EQ(limited.size(), 1u);
+  EXPECT_EQ(limited[0].range.base, 0u);
+}
+
+TEST_F(EngineEdgeTest, PurgeRestoresGrantorsOfReceivedGrants) {
+  // Domain 1 received a grant from domain 0. Purging domain 1 must give the
+  // memory back to domain 0 (with the restore capability).
+  const CapId root = *engine_.MintMemory(0, AddrRange{0, kMiB}, Perms(Perms::kRWX),
+                                         CapRights(CapRights::kAll));
+  const auto grant = engine_.GrantMemory(0, root, 1, AddrRange{0, kMiB},
+                                         Perms(Perms::kRW), CapRights(CapRights::kAll),
+                                         RevocationPolicy{});
+  ASSERT_TRUE(grant.ok());
+  ASSERT_TRUE(engine_.EffectivePerms(0, 0).empty());
+  const auto purge = engine_.PurgeDomain(1);
+  ASSERT_TRUE(purge.ok());
+  // The restore carries the PARENT capability's permissions: the grantor
+  // regains what it originally had (RWX), not the attenuated grant.
+  EXPECT_EQ(engine_.EffectivePerms(0, 0).mask, Perms::kRWX);
+  EXPECT_FALSE(engine_.IsRegistered(1));
+}
+
+TEST_F(EngineEdgeTest, PurgeUnregisteredDomainFails) {
+  EXPECT_EQ(engine_.PurgeDomain(42).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(EngineEdgeTest, RevokeAuthorizationViaParentNeedsRevokeRight) {
+  const CapId root = *engine_.MintMemory(0, AddrRange{0, kMiB}, Perms(Perms::kRWX),
+                                         CapRights(CapRights::kAll));
+  CapEffects effects;
+  // Domain 1 gets a cap WITHOUT revoke rights, shares onward to domain 2.
+  const CapId mid = *engine_.ShareMemory(0, root, 1, AddrRange{0, kMiB},
+                                         Perms(Perms::kRW),
+                                         CapRights(CapRights::kShare), RevocationPolicy{},
+                                         &effects);
+  const CapId leaf = *engine_.ShareMemory(1, mid, 2, AddrRange{0, kMiB},
+                                          Perms(Perms::kRead), CapRights{},
+                                          RevocationPolicy{}, &effects);
+  // Domain 1 owns `mid` (leaf's parent) but lacks kRevoke: it cannot revoke
+  // the leaf...
+  EXPECT_EQ(engine_.Revoke(1, leaf).code(), ErrorCode::kCapabilityRightsViolation);
+  // ... though domain 2 may always drop its own.
+  EXPECT_TRUE(engine_.Revoke(2, leaf).ok());
+}
+
+TEST_F(EngineEdgeTest, ShareUnitValidation) {
+  const CapId mem = *engine_.MintMemory(0, AddrRange{0, kMiB}, Perms(Perms::kRW),
+                                        CapRights(CapRights::kAll));
+  CapEffects effects;
+  // Memory caps must go through ShareMemory.
+  EXPECT_EQ(engine_.ShareUnit(0, mem, 1, CapRights{}, RevocationPolicy{}, &effects).code(),
+            ErrorCode::kInvalidArgument);
+  const CapId core = *engine_.MintUnit(0, ResourceKind::kCpuCore, 0, CapRights{});
+  // Without the share right.
+  EXPECT_EQ(engine_.ShareUnit(0, core, 1, CapRights{}, RevocationPolicy{}, &effects).code(),
+            ErrorCode::kCapabilityRightsViolation);
+  // Unit caps must not go through ShareMemory.
+  const CapId core2 = *engine_.MintUnit(0, ResourceKind::kCpuCore, 1,
+                                        CapRights(CapRights::kAll));
+  EXPECT_EQ(engine_
+                .ShareMemory(0, core2, 1, AddrRange{0, kMiB}, Perms(Perms::kRW),
+                             CapRights{}, RevocationPolicy{}, &effects)
+                .code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(EngineEdgeTest, ExclusivelyOwnedNeedsFullCoverage) {
+  (void)*engine_.MintMemory(0, AddrRange{0, kMiB}, Perms(Perms::kRW),
+                            CapRights(CapRights::kAll));
+  (void)*engine_.MintMemory(0, AddrRange{2 * kMiB, kMiB}, Perms(Perms::kRW),
+                            CapRights(CapRights::kAll));
+  // The hole at [1M, 2M) breaks coverage.
+  EXPECT_FALSE(engine_.ExclusivelyOwned(0, AddrRange{0, 3 * kMiB}));
+  EXPECT_TRUE(engine_.ExclusivelyOwned(0, AddrRange{0, kMiB}));
+  EXPECT_TRUE(engine_.ExclusivelyOwned(0, AddrRange{2 * kMiB, kMiB}));
+}
+
+TEST_F(EngineEdgeTest, CapToStringIsInformative) {
+  const CapId mem = *engine_.MintMemory(0, AddrRange{0x1000, 0x1000}, Perms(Perms::kRW),
+                                        CapRights(CapRights::kAll));
+  const std::string text = (*engine_.Get(mem))->ToString();
+  EXPECT_NE(text.find("memory"), std::string::npos);
+  EXPECT_NE(text.find("rw-"), std::string::npos);
+  EXPECT_NE(text.find("active"), std::string::npos);
+  const CapId core = *engine_.MintUnit(0, ResourceKind::kCpuCore, 5, CapRights{});
+  EXPECT_NE((*engine_.Get(core))->ToString().find("unit=5"), std::string::npos);
+}
+
+TEST_F(EngineEdgeTest, SealedDomainMayGrantToOwnChild) {
+  // The nested-enclave allowance covers grants, not just shares.
+  engine_.RegisterDomain(7, /*creator=*/1);
+  const CapId root = *engine_.MintMemory(1, AddrRange{0, kMiB}, Perms(Perms::kRWX),
+                                         CapRights(CapRights::kAll));
+  engine_.SealDomain(1);
+  const auto grant = engine_.GrantMemory(1, root, 7, AddrRange{0, kMiB},
+                                         Perms(Perms::kRW), CapRights(CapRights::kAll),
+                                         RevocationPolicy{});
+  EXPECT_TRUE(grant.ok());
+  // But not to a stranger (domain 2, created by 0).
+  engine_.RegisterDomain(8, 1);
+  const CapId root2 = *engine_.MintMemory(8, AddrRange{2 * kMiB, kMiB},
+                                          Perms(Perms::kRWX), CapRights(CapRights::kAll));
+  engine_.SealDomain(8);
+  const auto leak = engine_.GrantMemory(8, root2, 2, AddrRange{2 * kMiB, kMiB},
+                                        Perms(Perms::kRW), CapRights{}, RevocationPolicy{});
+  EXPECT_EQ(leak.code(), ErrorCode::kDomainSealed);
+}
+
+}  // namespace
+}  // namespace tyche

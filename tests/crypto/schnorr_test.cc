@@ -1,0 +1,117 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/crypto/schnorr.h"
+
+#include <gtest/gtest.h>
+
+namespace tyche {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+TEST(SchnorrParamsTest, SafePrimeGroup) {
+  const SchnorrParams& p = SchnorrParams::Default();
+  EXPECT_EQ(p.p, 2 * p.q + 1);
+  // g generates the order-q subgroup: g^q == 1 and g != 1.
+  EXPECT_EQ(PowMod(p.g, p.q, p.p), 1u);
+  EXPECT_NE(p.g, 1u);
+}
+
+TEST(ModArithTest, MulModMatchesSmallCases) {
+  EXPECT_EQ(MulMod(7, 9, 13), 63 % 13);
+  EXPECT_EQ(MulMod(0, 9, 13), 0u);
+  // Large operands that would overflow 64-bit multiplication.
+  const uint64_t big = 0x3ffffffffffff000ULL;
+  EXPECT_EQ(MulMod(big, big, SchnorrParams::Default().p),
+            static_cast<uint64_t>(static_cast<unsigned __int128>(big) * big %
+                                  SchnorrParams::Default().p));
+}
+
+TEST(ModArithTest, PowModIdentities) {
+  EXPECT_EQ(PowMod(5, 0, 97), 1u);
+  EXPECT_EQ(PowMod(5, 1, 97), 5u);
+  EXPECT_EQ(PowMod(2, 10, 100000), 1024u);
+  // Fermat: a^(p-1) == 1 mod p for prime p.
+  EXPECT_EQ(PowMod(1234567, SchnorrParams::Default().p - 1, SchnorrParams::Default().p), 1u);
+}
+
+TEST(SchnorrTest, DeriveIsDeterministic) {
+  const SchnorrKeyPair a = DeriveKeyPair(Bytes("seed-a"));
+  const SchnorrKeyPair b = DeriveKeyPair(Bytes("seed-a"));
+  EXPECT_EQ(a.priv.x, b.priv.x);
+  EXPECT_EQ(a.pub, b.pub);
+  const SchnorrKeyPair c = DeriveKeyPair(Bytes("seed-c"));
+  EXPECT_NE(a.priv.x, c.priv.x);
+}
+
+TEST(SchnorrTest, SignVerifyRoundTrip) {
+  const SchnorrKeyPair key = DeriveKeyPair(Bytes("tpm-endorsement"));
+  const std::string message = "attestation report body";
+  const SchnorrSignature sig = SchnorrSign(key.priv, Bytes(message));
+  EXPECT_TRUE(SchnorrVerify(key.pub, Bytes(message), sig));
+}
+
+TEST(SchnorrTest, RejectsTamperedMessage) {
+  const SchnorrKeyPair key = DeriveKeyPair(Bytes("k"));
+  const SchnorrSignature sig = SchnorrSign(key.priv, Bytes("original"));
+  EXPECT_FALSE(SchnorrVerify(key.pub, Bytes("tampered"), sig));
+}
+
+TEST(SchnorrTest, RejectsWrongKey) {
+  const SchnorrKeyPair key = DeriveKeyPair(Bytes("k1"));
+  const SchnorrKeyPair other = DeriveKeyPair(Bytes("k2"));
+  const SchnorrSignature sig = SchnorrSign(key.priv, Bytes("msg"));
+  EXPECT_FALSE(SchnorrVerify(other.pub, Bytes("msg"), sig));
+}
+
+TEST(SchnorrTest, RejectsTamperedSignature) {
+  const SchnorrKeyPair key = DeriveKeyPair(Bytes("k"));
+  SchnorrSignature sig = SchnorrSign(key.priv, Bytes("msg"));
+  sig.s ^= 1;
+  EXPECT_FALSE(SchnorrVerify(key.pub, Bytes("msg"), sig));
+  SchnorrSignature sig2 = SchnorrSign(key.priv, Bytes("msg"));
+  sig2.e.bytes[0] ^= 0x80;
+  EXPECT_FALSE(SchnorrVerify(key.pub, Bytes("msg"), sig2));
+}
+
+TEST(SchnorrTest, RejectsMalformedKeyOrScalar) {
+  const SchnorrKeyPair key = DeriveKeyPair(Bytes("k"));
+  const SchnorrSignature sig = SchnorrSign(key.priv, Bytes("msg"));
+  EXPECT_FALSE(SchnorrVerify(SchnorrPublicKey{0}, Bytes("msg"), sig));
+  SchnorrSignature oversize = sig;
+  oversize.s = SchnorrParams::Default().q;  // out of range
+  EXPECT_FALSE(SchnorrVerify(key.pub, Bytes("msg"), oversize));
+}
+
+TEST(SchnorrTest, DeterministicSignature) {
+  const SchnorrKeyPair key = DeriveKeyPair(Bytes("k"));
+  EXPECT_EQ(SchnorrSign(key.priv, Bytes("m")), SchnorrSign(key.priv, Bytes("m")));
+}
+
+TEST(SchnorrTest, DigestOverloadMatchesBytes) {
+  const SchnorrKeyPair key = DeriveKeyPair(Bytes("k"));
+  const Digest digest = Sha256::Hash(Bytes("payload"));
+  const SchnorrSignature a = SchnorrSign(key.priv, Bytes("payload"));
+  const SchnorrSignature b = SchnorrSign(key.priv, digest);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(SchnorrVerify(key.pub, digest, a));
+}
+
+TEST(DhTest, SharedSecretAgreesAndBindsToKeys) {
+  const SchnorrKeyPair a = DeriveKeyPair(Bytes("party-a"));
+  const SchnorrKeyPair b = DeriveKeyPair(Bytes("party-b"));
+  const Digest ab = DhSharedSecret(a.priv, b.pub);
+  const Digest ba = DhSharedSecret(b.priv, a.pub);
+  EXPECT_EQ(ab, ba);
+  // A third party computes something else.
+  const SchnorrKeyPair eve = DeriveKeyPair(Bytes("party-e"));
+  EXPECT_NE(DhSharedSecret(eve.priv, a.pub), ab);
+  EXPECT_NE(DhSharedSecret(eve.priv, b.pub), ab);
+  // Different peers give different secrets.
+  EXPECT_NE(DhSharedSecret(a.priv, eve.pub), ab);
+}
+
+}  // namespace
+}  // namespace tyche

@@ -1,0 +1,81 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/hw/interrupts.h"
+
+#include <gtest/gtest.h>
+
+namespace tyche {
+namespace {
+
+TEST(InterruptPlaneTest, RouteDeliverTake) {
+  InterruptPlane plane;
+  const PciBdf nic(0, 3, 0);
+  plane.Route(nic, /*domain=*/5);
+  EXPECT_TRUE(plane.Raise(nic, 11));
+  EXPECT_TRUE(plane.Raise(nic, 12));
+  EXPECT_EQ(plane.PendingCount(5), 2u);
+  const auto first = plane.Take(5);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->vector, 11u);  // FIFO order
+  EXPECT_EQ(first->source, nic);
+  EXPECT_EQ(plane.Take(5)->vector, 12u);
+  EXPECT_FALSE(plane.Take(5).has_value());
+  EXPECT_EQ(plane.stats().delivered, 2u);
+}
+
+TEST(InterruptPlaneTest, UnroutedDropsAndCounts) {
+  InterruptPlane plane;
+  EXPECT_FALSE(plane.Raise(PciBdf(0, 1, 0), 3));
+  EXPECT_EQ(plane.stats().dropped, 1u);
+  EXPECT_EQ(plane.stats().delivered, 0u);
+}
+
+TEST(InterruptPlaneTest, RoutesAreIndependentPerDevice) {
+  InterruptPlane plane;
+  const PciBdf vf0(0, 3, 1);
+  const PciBdf vf1(0, 3, 2);
+  plane.Route(vf0, 1);
+  plane.Route(vf1, 2);
+  EXPECT_TRUE(plane.Raise(vf0, 10));
+  EXPECT_TRUE(plane.Raise(vf1, 20));
+  EXPECT_EQ(plane.Take(1)->vector, 10u);
+  EXPECT_EQ(plane.Take(2)->vector, 20u);
+  EXPECT_FALSE(plane.Take(1).has_value());  // no cross-delivery
+}
+
+TEST(InterruptPlaneTest, UnrouteStopsDelivery) {
+  InterruptPlane plane;
+  const PciBdf nic(0, 3, 0);
+  plane.Route(nic, 1);
+  EXPECT_EQ(*plane.RouteOf(nic), 1u);
+  plane.Unroute(nic);
+  EXPECT_FALSE(plane.RouteOf(nic).has_value());
+  EXPECT_FALSE(plane.Raise(nic, 1));
+}
+
+TEST(InterruptPlaneTest, PurgeDomainDropsRoutesAndPending) {
+  InterruptPlane plane;
+  const PciBdf a(0, 3, 0);
+  const PciBdf b(0, 4, 0);
+  plane.Route(a, 1);
+  plane.Route(b, 2);
+  EXPECT_TRUE(plane.Raise(a, 1));
+  plane.PurgeDomain(1);
+  EXPECT_EQ(plane.PendingCount(1), 0u);
+  EXPECT_FALSE(plane.RouteOf(a).has_value());
+  EXPECT_TRUE(plane.RouteOf(b).has_value());  // other domains untouched
+}
+
+TEST(InterruptPlaneTest, RerouteRedirectsNewInterrupts) {
+  InterruptPlane plane;
+  const PciBdf nic(0, 3, 0);
+  plane.Route(nic, 1);
+  EXPECT_TRUE(plane.Raise(nic, 7));
+  plane.Route(nic, 2);  // ownership moved
+  EXPECT_TRUE(plane.Raise(nic, 8));
+  EXPECT_EQ(plane.Take(1)->vector, 7u);  // pre-move interrupt stays
+  EXPECT_EQ(plane.Take(2)->vector, 8u);
+}
+
+}  // namespace
+}  // namespace tyche

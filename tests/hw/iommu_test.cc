@@ -1,0 +1,91 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/hw/iommu.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/io_pmp.h"
+
+namespace tyche {
+namespace {
+
+class IommuTest : public ::testing::Test {
+ protected:
+  IommuTest()
+      : memory_(16ull << 20),
+        frames_(AddrRange{0, 4ull << 20}),
+        table_(*NestedPageTable::Create(&memory_, &frames_, &cycles_)),
+        iommu_(&cycles_) {}
+
+  PhysMemory memory_;
+  FrameAllocator frames_;
+  CycleAccount cycles_;
+  NestedPageTable table_;
+  Iommu iommu_;
+};
+
+TEST_F(IommuTest, UnattachedDeviceFaults) {
+  const PciBdf bdf(0, 3, 0);
+  EXPECT_EQ(iommu_.Translate(bdf, 0x5000, AccessType::kRead).code(), ErrorCode::kIommuFault);
+}
+
+TEST_F(IommuTest, AttachedDeviceTranslates) {
+  const PciBdf bdf(0, 3, 0);
+  ASSERT_TRUE(table_.MapPage(0x5000, 0x9000, Perms(Perms::kRW)).ok());
+  ASSERT_TRUE(iommu_.AttachDevice(bdf, &table_).ok());
+  const auto t = iommu_.Translate(bdf, 0x5010, AccessType::kRead);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->host_addr, 0x9010u);
+}
+
+TEST_F(IommuTest, PermissionViolationIsIommuFault) {
+  const PciBdf bdf(0, 3, 0);
+  ASSERT_TRUE(table_.MapPage(0x5000, 0x9000, Perms(Perms::kRead)).ok());
+  ASSERT_TRUE(iommu_.AttachDevice(bdf, &table_).ok());
+  EXPECT_EQ(iommu_.Translate(bdf, 0x5000, AccessType::kWrite).code(),
+            ErrorCode::kIommuFault);
+}
+
+TEST_F(IommuTest, DetachRestoresDefaultDeny) {
+  const PciBdf bdf(0, 3, 0);
+  ASSERT_TRUE(table_.MapPage(0x5000, 0x9000, Perms(Perms::kRW)).ok());
+  ASSERT_TRUE(iommu_.AttachDevice(bdf, &table_).ok());
+  ASSERT_TRUE(iommu_.DetachDevice(bdf).ok());
+  EXPECT_FALSE(iommu_.Translate(bdf, 0x5000, AccessType::kRead).ok());
+  EXPECT_EQ(iommu_.ContextOf(bdf), nullptr);
+}
+
+TEST_F(IommuTest, AttachNullDetaches) {
+  const PciBdf bdf(0, 3, 0);
+  ASSERT_TRUE(iommu_.AttachDevice(bdf, &table_).ok());
+  ASSERT_TRUE(iommu_.AttachDevice(bdf, nullptr).ok());
+  EXPECT_FALSE(iommu_.IsAttached(bdf));
+}
+
+TEST(PciBdfTest, EncodingIsStable) {
+  const PciBdf bdf(1, 2, 3);
+  EXPECT_EQ(bdf.value, (1 << 8) | (2 << 3) | 3);
+  EXPECT_EQ(PciBdf(bdf.value), bdf);
+  EXPECT_LT(PciBdf(0, 1, 0), PciBdf(0, 2, 0));
+}
+
+TEST(IoPmpTest, DefaultDenyAndProgrammedAllow) {
+  CycleAccount cycles;
+  IoPmp io_pmp(&cycles);
+  const PciBdf bdf(0, 4, 0);
+  EXPECT_EQ(io_pmp.Check(bdf, 0x1000, 8, AccessType::kRead).code(), ErrorCode::kIommuFault);
+
+  PmpEntry entry;
+  entry.mode = PmpAddressMode::kNapot;
+  entry.perms = Perms(Perms::kRW);
+  entry.addr = *PmpFile::EncodeNapot(0x1000, 0x1000);
+  ASSERT_TRUE(io_pmp.FileFor(bdf).SetEntry(0, entry, &cycles).ok());
+  EXPECT_TRUE(io_pmp.Check(bdf, 0x1000, 8, AccessType::kRead).ok());
+  EXPECT_FALSE(io_pmp.Check(bdf, 0x2000, 8, AccessType::kRead).ok());
+
+  io_pmp.Remove(bdf);
+  EXPECT_FALSE(io_pmp.Check(bdf, 0x1000, 8, AccessType::kRead).ok());
+}
+
+}  // namespace
+}  // namespace tyche

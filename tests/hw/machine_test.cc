@@ -1,0 +1,173 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/hw/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace tyche {
+namespace {
+
+class X86MachineTest : public ::testing::Test {
+ protected:
+  X86MachineTest()
+      : machine_([] {
+          MachineConfig config;
+          config.arch = IsaArch::kX86_64;
+          config.memory_bytes = 32ull << 20;
+          config.num_cores = 2;
+          return config;
+        }()),
+        frames_(AddrRange{0, 4ull << 20}),
+        table_(*NestedPageTable::Create(&machine_.memory(), &frames_, &machine_.cycles())) {}
+
+  Machine machine_;
+  FrameAllocator frames_;
+  NestedPageTable table_;
+};
+
+TEST_F(X86MachineTest, MonitorModeBypassesProtection) {
+  machine_.cpu(0).set_mode(PrivilegeMode::kMonitor);
+  EXPECT_TRUE(machine_.CheckedWrite64(0, 16ull << 20, 42).ok());
+  EXPECT_EQ(*machine_.CheckedRead64(0, 16ull << 20), 42u);
+}
+
+TEST_F(X86MachineTest, NoEptMeansNoAccess) {
+  machine_.cpu(0).set_mode(PrivilegeMode::kSupervisor);
+  EXPECT_EQ(machine_.CheckedRead64(0, 16ull << 20).code(), ErrorCode::kAccessViolation);
+}
+
+TEST_F(X86MachineTest, EptGrantsAndDeniesByPage) {
+  machine_.cpu(0).set_mode(PrivilegeMode::kSupervisor);
+  const uint64_t page = 16ull << 20;
+  ASSERT_TRUE(table_.MapPage(page, page, Perms(Perms::kRW)).ok());
+  machine_.SetCoreEpt(0, &table_, /*flush_tlb=*/true);
+
+  EXPECT_TRUE(machine_.CheckedWrite64(0, page + 8, 7).ok());
+  EXPECT_EQ(*machine_.CheckedRead64(0, page + 8), 7u);
+  EXPECT_FALSE(machine_.CheckedRead64(0, page + kPageSize).ok());
+  EXPECT_FALSE(machine_.CheckedFetch(0, page, 4).ok());  // no exec permission
+}
+
+TEST_F(X86MachineTest, TlbCachesTranslation) {
+  machine_.cpu(0).set_mode(PrivilegeMode::kSupervisor);
+  const uint64_t page = 16ull << 20;
+  ASSERT_TRUE(table_.MapPage(page, page, Perms(Perms::kRW)).ok());
+  machine_.SetCoreEpt(0, &table_, true);
+
+  const auto first = machine_.CheckAccess(0, page, 8, AccessType::kRead);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->tlb_hit);
+  const auto second = machine_.CheckAccess(0, page, 8, AccessType::kRead);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->tlb_hit);
+}
+
+TEST_F(X86MachineTest, StaleTlbPersistsUntilFlush) {
+  machine_.cpu(0).set_mode(PrivilegeMode::kSupervisor);
+  const uint64_t page = 16ull << 20;
+  ASSERT_TRUE(table_.MapPage(page, page, Perms(Perms::kRW)).ok());
+  machine_.SetCoreEpt(0, &table_, true);
+  ASSERT_TRUE(machine_.CheckAccess(0, page, 8, AccessType::kWrite).ok());
+
+  // Downgrade in the EPT without flushing: the stale TLB entry still allows
+  // writes -- exactly the hazard the monitor's revocation must handle.
+  ASSERT_TRUE(table_.ProtectPage(page, Perms(Perms::kRead)).ok());
+  EXPECT_TRUE(machine_.CheckAccess(0, page, 8, AccessType::kWrite).ok());
+  machine_.FlushTlb(0);
+  EXPECT_FALSE(machine_.CheckAccess(0, page, 8, AccessType::kWrite).ok());
+}
+
+TEST_F(X86MachineTest, StraddlingAccessChecksBothPages) {
+  machine_.cpu(0).set_mode(PrivilegeMode::kSupervisor);
+  const uint64_t page = 16ull << 20;
+  ASSERT_TRUE(table_.MapPage(page, page, Perms(Perms::kRW)).ok());
+  // Next page unmapped: an access straddling the boundary must fault.
+  EXPECT_FALSE(machine_.CheckAccess(0, page + kPageSize - 4, 8, AccessType::kRead).ok());
+}
+
+TEST_F(X86MachineTest, DmaRequiresIommuContext) {
+  const PciBdf bdf(0, 5, 0);
+  std::vector<uint8_t> buffer(8);
+  EXPECT_EQ(machine_.DmaRead(bdf, 16ull << 20, std::span<uint8_t>(buffer)).code(),
+            ErrorCode::kIommuFault);
+  const uint64_t page = 16ull << 20;
+  ASSERT_TRUE(table_.MapPage(page, page, Perms(Perms::kRW)).ok());
+  ASSERT_TRUE(machine_.iommu().AttachDevice(bdf, &table_).ok());
+  EXPECT_TRUE(machine_.DmaRead(bdf, page, std::span<uint8_t>(buffer)).ok());
+  EXPECT_TRUE(machine_.DmaWrite(bdf, page, std::span<const uint8_t>(buffer)).ok());
+}
+
+TEST_F(X86MachineTest, DeviceRegistry) {
+  ASSERT_TRUE(
+      machine_.AddDevice(std::make_unique<DmaEngine>(PciBdf(0, 6, 0), "dma0")).ok());
+  EXPECT_NE(machine_.FindDevice(PciBdf(0, 6, 0)), nullptr);
+  EXPECT_EQ(machine_.FindDevice(PciBdf(0, 7, 0)), nullptr);
+  EXPECT_EQ(machine_.AddDevice(std::make_unique<DmaEngine>(PciBdf(0, 6, 0), "dup")).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST_F(X86MachineTest, MeasureRangeIsContentHash) {
+  ASSERT_TRUE(machine_.memory().Write64(0x1000, 0x1234).ok());
+  const auto a = machine_.MeasureRange(0x1000, 0x100);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(machine_.memory().Write64(0x1000, 0x5678).ok());
+  const auto b = machine_.MeasureRange(0x1000, 0x100);
+  EXPECT_NE(*a, *b);
+}
+
+TEST_F(X86MachineTest, ZeroRangeChargesPerPage) {
+  const uint64_t before = machine_.cycles().cycles();
+  ASSERT_TRUE(machine_.ZeroRange(0x10000, 4 * kPageSize).ok());
+  EXPECT_GE(machine_.cycles().cycles() - before, 4 * CostModel::Default().zero_per_page);
+}
+
+class RiscVMachineTest : public ::testing::Test {
+ protected:
+  RiscVMachineTest()
+      : machine_([] {
+          MachineConfig config;
+          config.arch = IsaArch::kRiscV;
+          config.memory_bytes = 32ull << 20;
+          config.num_cores = 2;
+          return config;
+        }()) {}
+
+  Machine machine_;
+};
+
+TEST_F(RiscVMachineTest, PmpGatesSupervisorAccess) {
+  machine_.cpu(0).set_mode(PrivilegeMode::kSupervisor);
+  EXPECT_FALSE(machine_.CheckedRead64(0, 0x100000).ok());
+
+  PmpEntry entry;
+  entry.mode = PmpAddressMode::kNapot;
+  entry.perms = Perms(Perms::kRW);
+  entry.addr = *PmpFile::EncodeNapot(0x100000, 0x1000);
+  ASSERT_TRUE(machine_.cpu(0).pmp().SetEntry(0, entry, &machine_.cycles()).ok());
+  EXPECT_TRUE(machine_.CheckedWrite64(0, 0x100000, 99).ok());
+  EXPECT_EQ(*machine_.CheckedRead64(0, 0x100000), 99u);
+  // Other core unaffected: PMP is per-hart.
+  machine_.cpu(1).set_mode(PrivilegeMode::kSupervisor);
+  EXPECT_FALSE(machine_.CheckedRead64(1, 0x100000).ok());
+}
+
+TEST_F(RiscVMachineTest, MachineModeBypassesPmp) {
+  machine_.cpu(0).set_mode(PrivilegeMode::kMonitor);
+  EXPECT_TRUE(machine_.CheckedRead64(0, 0x100000).ok());
+}
+
+TEST_F(RiscVMachineTest, DmaGoesThroughIoPmp) {
+  const PciBdf bdf(0, 5, 0);
+  std::vector<uint8_t> buffer(8);
+  EXPECT_FALSE(machine_.DmaRead(bdf, 0x100000, std::span<uint8_t>(buffer)).ok());
+  PmpEntry entry;
+  entry.mode = PmpAddressMode::kNapot;
+  entry.perms = Perms(Perms::kRead);
+  entry.addr = *PmpFile::EncodeNapot(0x100000, 0x1000);
+  ASSERT_TRUE(machine_.io_pmp().FileFor(bdf).SetEntry(0, entry, nullptr).ok());
+  EXPECT_TRUE(machine_.DmaRead(bdf, 0x100000, std::span<uint8_t>(buffer)).ok());
+  EXPECT_FALSE(machine_.DmaWrite(bdf, 0x100000, std::span<const uint8_t>(buffer)).ok());
+}
+
+}  // namespace
+}  // namespace tyche

@@ -1,0 +1,128 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/hw/nested_page_table.h"
+
+#include <gtest/gtest.h>
+
+namespace tyche {
+namespace {
+
+class NptTest : public ::testing::Test {
+ protected:
+  NptTest()
+      : memory_(16ull << 20),
+        frames_(AddrRange{0, 4ull << 20}),
+        table_(*NestedPageTable::Create(&memory_, &frames_, &cycles_)) {}
+
+  PhysMemory memory_;
+  FrameAllocator frames_;
+  CycleAccount cycles_;
+  NestedPageTable table_;
+};
+
+TEST_F(NptTest, MapAndTranslate) {
+  ASSERT_TRUE(table_.MapPage(0x5000, 0x9000, Perms(Perms::kRW)).ok());
+  const auto t = table_.Translate(0x5000, AccessType::kRead);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->host_addr, 0x9000u);
+  EXPECT_EQ(t->perms.mask, Perms::kRW);
+  EXPECT_EQ(t->levels_walked, 4);
+  // Offset preserved.
+  const auto t2 = table_.Translate(0x5123, AccessType::kWrite);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->host_addr, 0x9123u);
+}
+
+TEST_F(NptTest, PermissionEnforced) {
+  ASSERT_TRUE(table_.MapPage(0x5000, 0x9000, Perms(Perms::kRead)).ok());
+  EXPECT_TRUE(table_.Translate(0x5000, AccessType::kRead).ok());
+  EXPECT_EQ(table_.Translate(0x5000, AccessType::kWrite).code(),
+            ErrorCode::kAccessViolation);
+  EXPECT_EQ(table_.Translate(0x5000, AccessType::kExecute).code(),
+            ErrorCode::kAccessViolation);
+}
+
+TEST_F(NptTest, UnmappedFaults) {
+  EXPECT_FALSE(table_.Translate(0x5000, AccessType::kRead).ok());
+  ASSERT_TRUE(table_.MapPage(0x5000, 0x9000, Perms(Perms::kRead)).ok());
+  EXPECT_FALSE(table_.Translate(0x6000, AccessType::kRead).ok());
+}
+
+TEST_F(NptTest, DoubleMapRejected) {
+  ASSERT_TRUE(table_.MapPage(0x5000, 0x9000, Perms(Perms::kRead)).ok());
+  EXPECT_EQ(table_.MapPage(0x5000, 0xa000, Perms(Perms::kRead)).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST_F(NptTest, UnalignedRejected) {
+  EXPECT_FALSE(table_.MapPage(0x5001, 0x9000, Perms(Perms::kRead)).ok());
+  EXPECT_FALSE(table_.MapPage(0x5000, 0x9001, Perms(Perms::kRead)).ok());
+  EXPECT_FALSE(table_.MapPage(0x5000, 0x9000, Perms{}).ok());
+}
+
+TEST_F(NptTest, UnmapRemovesAccess) {
+  ASSERT_TRUE(table_.MapPage(0x5000, 0x9000, Perms(Perms::kRW)).ok());
+  ASSERT_TRUE(table_.UnmapPage(0x5000).ok());
+  EXPECT_FALSE(table_.Translate(0x5000, AccessType::kRead).ok());
+  EXPECT_EQ(table_.UnmapPage(0x5000).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(table_.mapped_pages(), 0u);
+}
+
+TEST_F(NptTest, ProtectChangesPerms) {
+  ASSERT_TRUE(table_.MapPage(0x5000, 0x9000, Perms(Perms::kRWX)).ok());
+  ASSERT_TRUE(table_.ProtectPage(0x5000, Perms(Perms::kRead)).ok());
+  EXPECT_TRUE(table_.Translate(0x5000, AccessType::kRead).ok());
+  EXPECT_FALSE(table_.Translate(0x5000, AccessType::kWrite).ok());
+  // Protecting an unmapped page fails.
+  EXPECT_FALSE(table_.ProtectPage(0x8000, Perms(Perms::kRead)).ok());
+}
+
+TEST_F(NptTest, MapRangeCoversAllPages) {
+  ASSERT_TRUE(table_.MapRange(0x10000, 0x10000, 16 * kPageSize, Perms(Perms::kRW)).ok());
+  EXPECT_EQ(table_.mapped_pages(), 16u);
+  for (uint64_t off = 0; off < 16 * kPageSize; off += kPageSize) {
+    EXPECT_TRUE(table_.Translate(0x10000 + off, AccessType::kRead).ok());
+  }
+}
+
+TEST_F(NptTest, SparseAddressesAllocateSeparateTables) {
+  const uint64_t frames_before = frames_.free_frames();
+  // Two GPAs far apart (different L3 entries).
+  ASSERT_TRUE(table_.MapPage(0, 0, Perms(Perms::kRead)).ok());
+  ASSERT_TRUE(table_.MapPage(1ull << 39, 0x1000, Perms(Perms::kRead)).ok());
+  // 3 tables for the first path + 3 for the second (shared root).
+  EXPECT_EQ(frames_before - frames_.free_frames(), 6u);
+  EXPECT_EQ(table_.table_frames(), 7u);
+}
+
+TEST_F(NptTest, ForEachMappingEnumerates) {
+  ASSERT_TRUE(table_.MapPage(0x5000, 0x9000, Perms(Perms::kRead)).ok());
+  ASSERT_TRUE(table_.MapPage(0x7000, 0xb000, Perms(Perms::kRW)).ok());
+  std::map<uint64_t, std::pair<uint64_t, uint8_t>> seen;
+  table_.ForEachMapping([&](uint64_t gpa, uint64_t hpa, Perms perms) {
+    seen[gpa] = {hpa, perms.mask};
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0x5000].first, 0x9000u);
+  EXPECT_EQ(seen[0x7000].second, Perms::kRW);
+}
+
+TEST_F(NptTest, DestroyReleasesFrames) {
+  const uint64_t before = frames_.free_frames();
+  ASSERT_TRUE(table_.MapRange(0, 0, 64 * kPageSize, Perms(Perms::kRW)).ok());
+  ASSERT_LT(frames_.free_frames(), before);
+  ASSERT_TRUE(table_.Destroy().ok());
+  // All table frames returned (the root was allocated pre-`before`).
+  EXPECT_EQ(frames_.free_frames(), before + 1);
+  EXPECT_FALSE(table_.Destroy().ok());
+}
+
+TEST_F(NptTest, WalkChargesCycles) {
+  ASSERT_TRUE(table_.MapPage(0x5000, 0x9000, Perms(Perms::kRead)).ok());
+  cycles_.Reset();
+  ASSERT_TRUE(table_.Translate(0x5000, AccessType::kRead).ok());
+  EXPECT_EQ(cycles_.cycles(), 4 * CostModel::Default().page_walk_per_level);
+}
+
+}  // namespace
+}  // namespace tyche

@@ -1,0 +1,101 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/hw/phys_memory.h"
+
+#include <gtest/gtest.h>
+
+namespace tyche {
+namespace {
+
+TEST(PhysMemoryTest, ReadWriteRoundTrip) {
+  PhysMemory memory(64 * 1024);
+  const std::vector<uint8_t> data = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(memory.Write(0x100, std::span<const uint8_t>(data)).ok());
+  std::vector<uint8_t> out(5);
+  ASSERT_TRUE(memory.Read(0x100, std::span<uint8_t>(out)).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(PhysMemoryTest, OutOfRangeRejected) {
+  PhysMemory memory(4096);
+  std::vector<uint8_t> buffer(16);
+  EXPECT_EQ(memory.Read(4090, std::span<uint8_t>(buffer)).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(memory.Write(4096, std::span<const uint8_t>(buffer)).code(),
+            ErrorCode::kOutOfRange);
+  // Overflow-safe: addr + size wrapping must not pass the check.
+  EXPECT_FALSE(memory.Read(~0ull - 4, std::span<uint8_t>(buffer)).ok());
+}
+
+TEST(PhysMemoryTest, Read64Write64) {
+  PhysMemory memory(4096);
+  ASSERT_TRUE(memory.Write64(8, 0xdeadbeefcafef00dULL).ok());
+  const auto value = memory.Read64(8);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 0xdeadbeefcafef00dULL);
+}
+
+TEST(PhysMemoryTest, ZeroErasesContent) {
+  PhysMemory memory(8192);
+  const std::vector<uint8_t> data(128, 0xff);
+  ASSERT_TRUE(memory.Write(4096, std::span<const uint8_t>(data)).ok());
+  ASSERT_TRUE(memory.Zero(4096, 128).ok());
+  std::vector<uint8_t> out(128);
+  ASSERT_TRUE(memory.Read(4096, std::span<uint8_t>(out)).ok());
+  for (uint8_t b : out) {
+    EXPECT_EQ(b, 0);
+  }
+}
+
+TEST(PhysMemoryTest, ViewReflectsMemory) {
+  PhysMemory memory(4096);
+  ASSERT_TRUE(memory.Write64(0, 0x1122334455667788ULL).ok());
+  const auto view = memory.View(0, 8);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)[0], 0x88);
+  EXPECT_EQ((*view)[7], 0x11);
+  EXPECT_FALSE(memory.View(4000, 200).ok());
+}
+
+TEST(FrameAllocatorTest, AllocUnique) {
+  FrameAllocator alloc(AddrRange{0x10000, 16 * kPageSize});
+  std::set<uint64_t> frames;
+  for (int i = 0; i < 16; ++i) {
+    const auto frame = alloc.Alloc();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_TRUE(IsPageAligned(*frame));
+    EXPECT_TRUE(frames.insert(*frame).second) << "duplicate frame";
+  }
+  EXPECT_EQ(alloc.free_frames(), 0u);
+  EXPECT_EQ(alloc.Alloc().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(FrameAllocatorTest, FreeAndReuse) {
+  FrameAllocator alloc(AddrRange{0, 2 * kPageSize});
+  const uint64_t a = *alloc.Alloc();
+  const uint64_t b = *alloc.Alloc();
+  ASSERT_FALSE(alloc.Alloc().ok());
+  ASSERT_TRUE(alloc.Free(a).ok());
+  EXPECT_EQ(*alloc.Alloc(), a);
+  (void)b;
+}
+
+TEST(FrameAllocatorTest, FreeOutsidePoolRejected) {
+  FrameAllocator alloc(AddrRange{0x1000, kPageSize});
+  EXPECT_FALSE(alloc.Free(0x100000).ok());
+  EXPECT_FALSE(alloc.Free(0x1001).ok());  // unaligned
+}
+
+TEST(FrameAllocatorTest, ContiguousAllocation) {
+  FrameAllocator alloc(AddrRange{0, 8 * kPageSize});
+  const auto base = alloc.AllocContiguous(4);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(*base, 0u);
+  const auto next = alloc.AllocContiguous(4);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, 4 * kPageSize);
+  EXPECT_FALSE(alloc.AllocContiguous(1).ok());
+  EXPECT_FALSE(alloc.AllocContiguous(0).ok());
+}
+
+}  // namespace
+}  // namespace tyche

@@ -1,0 +1,147 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/hw/pmp.h"
+
+#include <gtest/gtest.h>
+
+namespace tyche {
+namespace {
+
+PmpEntry Napot(uint64_t base, uint64_t size, uint8_t perms, bool locked = false) {
+  PmpEntry entry;
+  entry.mode = PmpAddressMode::kNapot;
+  entry.perms = Perms(perms);
+  entry.locked = locked;
+  entry.addr = *PmpFile::EncodeNapot(base, size);
+  return entry;
+}
+
+TEST(PmpEncodingTest, NapotRoundTrip) {
+  PmpFile pmp;
+  ASSERT_TRUE(pmp.SetEntry(0, Napot(0x10000, 0x10000, Perms::kRW), nullptr).ok());
+  const auto range = pmp.EntryRange(0);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->base, 0x10000u);
+  EXPECT_EQ(range->size, 0x10000u);
+}
+
+TEST(PmpEncodingTest, NapotMinimumEightBytes) {
+  PmpFile pmp;
+  ASSERT_TRUE(pmp.SetEntry(0, Napot(0x1000, 8, Perms::kRead), nullptr).ok());
+  const auto range = pmp.EntryRange(0);
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->base, 0x1000u);
+  EXPECT_EQ(range->size, 8u);
+}
+
+TEST(PmpEncodingTest, RejectsBadNapot) {
+  EXPECT_FALSE(PmpFile::EncodeNapot(0x1000, 4).ok());       // too small
+  EXPECT_FALSE(PmpFile::EncodeNapot(0x1000, 3000).ok());    // not a power of two
+  EXPECT_FALSE(PmpFile::EncodeNapot(0x1234, 0x1000).ok());  // misaligned base
+}
+
+TEST(PmpCheckTest, NapotAllowsContainedAccess) {
+  PmpFile pmp;
+  ASSERT_TRUE(pmp.SetEntry(0, Napot(0x10000, 0x1000, Perms::kRW), nullptr).ok());
+  EXPECT_TRUE(pmp.Check(0x10000, 8, AccessType::kRead, nullptr).ok());
+  EXPECT_TRUE(pmp.Check(0x10ff8, 8, AccessType::kWrite, nullptr).ok());
+  EXPECT_FALSE(pmp.Check(0x10000, 8, AccessType::kExecute, nullptr).ok());
+}
+
+TEST(PmpCheckTest, NoMatchDenies) {
+  PmpFile pmp;
+  ASSERT_TRUE(pmp.SetEntry(0, Napot(0x10000, 0x1000, Perms::kRW), nullptr).ok());
+  EXPECT_EQ(pmp.Check(0x20000, 8, AccessType::kRead, nullptr).code(),
+            ErrorCode::kAccessViolation);
+}
+
+TEST(PmpCheckTest, PartialOverlapFaults) {
+  PmpFile pmp;
+  ASSERT_TRUE(pmp.SetEntry(0, Napot(0x10000, 0x1000, Perms::kRW), nullptr).ok());
+  // Straddles the top of the region.
+  EXPECT_FALSE(pmp.Check(0x10ffc, 8, AccessType::kRead, nullptr).ok());
+}
+
+TEST(PmpCheckTest, LowestNumberedEntryWins) {
+  PmpFile pmp;
+  // Entry 0: deny-all over the region; entry 1: allow. Priority rule says
+  // the access is denied.
+  ASSERT_TRUE(pmp.SetEntry(0, Napot(0x10000, 0x1000, Perms::kNone), nullptr).ok());
+  ASSERT_TRUE(pmp.SetEntry(1, Napot(0x10000, 0x1000, Perms::kRW), nullptr).ok());
+  EXPECT_FALSE(pmp.Check(0x10000, 8, AccessType::kRead, nullptr).ok());
+}
+
+TEST(PmpTorTest, TorPairEnforced) {
+  PmpFile pmp;
+  PmpEntry bottom;
+  bottom.mode = PmpAddressMode::kOff;
+  bottom.addr = PmpFile::EncodeTorAddr(0x3000);
+  PmpEntry top;
+  top.mode = PmpAddressMode::kTor;
+  top.perms = Perms(Perms::kRX);
+  top.addr = PmpFile::EncodeTorAddr(0x6000);
+  ASSERT_TRUE(pmp.SetEntry(4, bottom, nullptr).ok());
+  ASSERT_TRUE(pmp.SetEntry(5, top, nullptr).ok());
+
+  EXPECT_TRUE(pmp.Check(0x3000, 8, AccessType::kRead, nullptr).ok());
+  EXPECT_TRUE(pmp.Check(0x5ff8, 8, AccessType::kExecute, nullptr).ok());
+  EXPECT_FALSE(pmp.Check(0x3000, 8, AccessType::kWrite, nullptr).ok());
+  EXPECT_FALSE(pmp.Check(0x2ff8, 8, AccessType::kRead, nullptr).ok());
+  EXPECT_FALSE(pmp.Check(0x6000, 8, AccessType::kRead, nullptr).ok());
+}
+
+TEST(PmpTorTest, TorAtIndexZeroUsesZeroBase) {
+  PmpFile pmp;
+  PmpEntry top;
+  top.mode = PmpAddressMode::kTor;
+  top.perms = Perms(Perms::kRead);
+  top.addr = PmpFile::EncodeTorAddr(0x2000);
+  ASSERT_TRUE(pmp.SetEntry(0, top, nullptr).ok());
+  EXPECT_TRUE(pmp.Check(0x0, 8, AccessType::kRead, nullptr).ok());
+  EXPECT_TRUE(pmp.Check(0x1ff8, 8, AccessType::kRead, nullptr).ok());
+  EXPECT_FALSE(pmp.Check(0x2000, 8, AccessType::kRead, nullptr).ok());
+}
+
+TEST(PmpLockTest, LockedEntryCannotBeReprogrammed) {
+  PmpFile pmp;
+  ASSERT_TRUE(pmp.SetEntry(0, Napot(0x0, 0x10000, Perms::kNone, /*locked=*/true), nullptr)
+                  .ok());
+  EXPECT_EQ(pmp.SetEntry(0, Napot(0x0, 0x10000, Perms::kRW), nullptr).code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_FALSE(pmp.ClearEntry(0, nullptr).ok());
+}
+
+TEST(PmpTest, IndexBounds) {
+  PmpFile pmp;
+  EXPECT_FALSE(pmp.SetEntry(-1, PmpEntry{}, nullptr).ok());
+  EXPECT_FALSE(pmp.SetEntry(PmpFile::kNumEntries, PmpEntry{}, nullptr).ok());
+  EXPECT_FALSE(pmp.GetEntry(PmpFile::kNumEntries).ok());
+}
+
+TEST(PmpTest, UsedEntriesCountsProgrammed) {
+  PmpFile pmp;
+  EXPECT_EQ(pmp.used_entries(), 0);
+  ASSERT_TRUE(pmp.SetEntry(0, Napot(0x1000, 0x1000, Perms::kRead), nullptr).ok());
+  ASSERT_TRUE(pmp.SetEntry(3, Napot(0x4000, 0x1000, Perms::kRead), nullptr).ok());
+  EXPECT_EQ(pmp.used_entries(), 2);
+}
+
+TEST(PmpTest, CheckChargesPerEntryScanned) {
+  PmpFile pmp;
+  ASSERT_TRUE(pmp.SetEntry(7, Napot(0x1000, 0x1000, Perms::kRead), nullptr).ok());
+  CycleAccount cycles;
+  ASSERT_TRUE(pmp.Check(0x1000, 8, AccessType::kRead, &cycles).ok());
+  EXPECT_EQ(cycles.cycles(), 8 * CostModel::Default().pmp_check_per_entry);
+}
+
+TEST(PmpTest, DumpListsEntries) {
+  PmpFile pmp;
+  ASSERT_TRUE(pmp.SetEntry(2, Napot(0x1000, 0x1000, Perms::kRW), nullptr).ok());
+  const std::string dump = pmp.Dump();
+  EXPECT_NE(dump.find("pmp2"), std::string::npos);
+  EXPECT_NE(dump.find("NAPOT"), std::string::npos);
+  EXPECT_NE(dump.find("rw-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tyche

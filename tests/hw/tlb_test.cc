@@ -1,0 +1,70 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/hw/tlb.h"
+
+#include <gtest/gtest.h>
+
+namespace tyche {
+namespace {
+
+TEST(TlbTest, MissThenHit) {
+  Tlb tlb;
+  uint64_t frame = 0;
+  Perms perms;
+  EXPECT_FALSE(tlb.Lookup(0x5000, 1, &frame, &perms));
+  tlb.Insert(0x5000, 1, 0x9000, Perms(Perms::kRW));
+  ASSERT_TRUE(tlb.Lookup(0x5000, 1, &frame, &perms));
+  EXPECT_EQ(frame, 0x9000u);
+  EXPECT_EQ(perms.mask, Perms::kRW);
+  EXPECT_EQ(tlb.stats().hits, 1u);
+  EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(TlbTest, AsidTagsSeparateDomains) {
+  Tlb tlb;
+  tlb.Insert(0x5000, 1, 0x9000, Perms(Perms::kRW));
+  uint64_t frame = 0;
+  Perms perms;
+  // Same page, different ASID: miss (this is what makes VMFUNC switches
+  // safe without a flush).
+  EXPECT_FALSE(tlb.Lookup(0x5000, 2, &frame, &perms));
+}
+
+TEST(TlbTest, FlushDropsEverything) {
+  Tlb tlb;
+  CycleAccount cycles;
+  tlb.Insert(0x5000, 1, 0x9000, Perms(Perms::kRW));
+  tlb.Flush(&cycles);
+  uint64_t frame = 0;
+  Perms perms;
+  EXPECT_FALSE(tlb.Lookup(0x5000, 1, &frame, &perms));
+  EXPECT_EQ(tlb.stats().flushes, 1u);
+  EXPECT_EQ(cycles.cycles(), CostModel::Default().tlb_flush);
+}
+
+TEST(TlbTest, ConflictEvicts) {
+  Tlb tlb;
+  // Two pages mapping to the same direct-mapped slot: the second insert
+  // evicts the first.
+  const uint64_t page_a = 0x0;
+  const uint64_t page_b = static_cast<uint64_t>(Tlb::kEntries) << kPageShift;
+  tlb.Insert(page_a, 1, 0x1000, Perms(Perms::kRead));
+  tlb.Insert(page_b, 1, 0x2000, Perms(Perms::kRead));
+  uint64_t frame = 0;
+  Perms perms;
+  EXPECT_FALSE(tlb.Lookup(page_a, 1, &frame, &perms));
+  EXPECT_TRUE(tlb.Lookup(page_b, 1, &frame, &perms));
+}
+
+TEST(TlbTest, StatsReset) {
+  Tlb tlb;
+  uint64_t frame = 0;
+  Perms perms;
+  (void)tlb.Lookup(0, 0, &frame, &perms);
+  tlb.ResetStats();
+  EXPECT_EQ(tlb.stats().misses, 0u);
+  EXPECT_EQ(tlb.stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace tyche

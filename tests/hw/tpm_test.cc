@@ -1,0 +1,102 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/hw/tpm.h"
+
+#include <gtest/gtest.h>
+
+namespace tyche {
+namespace {
+
+std::span<const uint8_t> Bytes(const std::string& s) {
+  return std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+class TpmTest : public ::testing::Test {
+ protected:
+  TpmTest() : tpm_(Bytes("endorsement"), &cycles_) {}
+
+  CycleAccount cycles_;
+  Tpm tpm_;
+};
+
+TEST_F(TpmTest, PcrsStartZero) {
+  for (uint32_t i = 0; i < Tpm::kNumPcrs; ++i) {
+    EXPECT_TRUE(tpm_.ReadPcr(i)->IsZero());
+  }
+  EXPECT_FALSE(tpm_.ReadPcr(Tpm::kNumPcrs).ok());
+}
+
+TEST_F(TpmTest, ExtendFoldsDigest) {
+  const Digest m = Sha256::Hash(std::string_view("firmware"));
+  ASSERT_TRUE(tpm_.Extend(0, m, "firmware").ok());
+  // PCR = H(zero || m)
+  Sha256 expect;
+  expect.Update(std::span<const uint8_t>(Digest{}.bytes.data(), 32));
+  expect.Update(std::span<const uint8_t>(m.bytes.data(), 32));
+  EXPECT_EQ(*tpm_.ReadPcr(0), expect.Finalize());
+}
+
+TEST_F(TpmTest, ExtendIsOrderSensitive) {
+  Tpm other(Bytes("endorsement"), &cycles_);
+  const Digest a = Sha256::Hash(std::string_view("a"));
+  const Digest b = Sha256::Hash(std::string_view("b"));
+  ASSERT_TRUE(tpm_.Extend(0, a, "a").ok());
+  ASSERT_TRUE(tpm_.Extend(0, b, "b").ok());
+  ASSERT_TRUE(other.Extend(0, b, "b").ok());
+  ASSERT_TRUE(other.Extend(0, a, "a").ok());
+  EXPECT_NE(*tpm_.ReadPcr(0), *other.ReadPcr(0));
+}
+
+TEST_F(TpmTest, EventLogRecordsExtends) {
+  ASSERT_TRUE(tpm_.Extend(1, Sha256::Hash(std::string_view("x")), "monitor").ok());
+  ASSERT_EQ(tpm_.event_log().size(), 1u);
+  EXPECT_EQ(tpm_.event_log()[0].pcr_index, 1u);
+  EXPECT_EQ(tpm_.event_log()[0].description, "monitor");
+}
+
+TEST_F(TpmTest, QuoteVerifies) {
+  ASSERT_TRUE(tpm_.Extend(0, Sha256::Hash(std::string_view("fw")), "fw").ok());
+  ASSERT_TRUE(tpm_.Extend(1, Sha256::Hash(std::string_view("mon")), "mon").ok());
+  const auto quote = tpm_.Quote(/*nonce=*/777, /*pcr_mask=*/0b11);
+  ASSERT_TRUE(quote.ok());
+  EXPECT_EQ(quote->nonce, 777u);
+  ASSERT_EQ(quote->pcr_values.size(), 2u);
+  EXPECT_EQ(quote->pcr_values[0], *tpm_.ReadPcr(0));
+  EXPECT_TRUE(Tpm::VerifyQuote(*quote, tpm_.attestation_key()));
+}
+
+TEST_F(TpmTest, QuoteRejectsTamperedPcrValue) {
+  ASSERT_TRUE(tpm_.Extend(0, Sha256::Hash(std::string_view("fw")), "fw").ok());
+  auto quote = *tpm_.Quote(1, 0b1);
+  quote.pcr_values[0].bytes[0] ^= 1;
+  EXPECT_FALSE(Tpm::VerifyQuote(quote, tpm_.attestation_key()));
+}
+
+TEST_F(TpmTest, QuoteRejectsTamperedNonce) {
+  auto quote = *tpm_.Quote(1, 0b1);
+  quote.nonce = 2;
+  EXPECT_FALSE(Tpm::VerifyQuote(quote, tpm_.attestation_key()));
+}
+
+TEST_F(TpmTest, QuoteRejectsWrongKey) {
+  Tpm other(Bytes("other-seed"), &cycles_);
+  const auto quote = *tpm_.Quote(1, 0b1);
+  EXPECT_FALSE(Tpm::VerifyQuote(quote, other.attestation_key()));
+}
+
+TEST_F(TpmTest, DifferentSeedsDifferentKeys) {
+  Tpm other(Bytes("other-seed"), &cycles_);
+  EXPECT_FALSE(tpm_.attestation_key() == other.attestation_key());
+}
+
+TEST_F(TpmTest, OperationsChargeCycles) {
+  cycles_.Reset();
+  ASSERT_TRUE(tpm_.Extend(0, Digest{}, "e").ok());
+  EXPECT_EQ(cycles_.cycles(), CostModel::Default().tpm_extend);
+  cycles_.Reset();
+  ASSERT_TRUE(tpm_.Quote(1, 0b1).ok());
+  EXPECT_EQ(cycles_.cycles(), CostModel::Default().tpm_quote);
+}
+
+}  // namespace
+}  // namespace tyche

@@ -1,0 +1,142 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// The same isolation story on both simulated architectures (§4: the design
+// works on virtualization hardware AND on bare PMP). TEST_P runs each
+// scenario on x86_64/VT-x and RISC-V/PMP.
+
+#include <gtest/gtest.h>
+
+#include "src/os/testbed.h"
+#include "src/tyche/enclave.h"
+#include "src/tyche/verifier.h"
+
+namespace tyche {
+namespace {
+
+class CrossArchTest : public ::testing::TestWithParam<IsaArch> {
+ protected:
+  static constexpr uint64_t kMiB = 1ull << 20;
+
+  void SetUp() override {
+    TestbedOptions options;
+    options.arch = GetParam();
+    options.memory_bytes = 128ull << 20;
+    auto testbed = Testbed::Create(options);
+    ASSERT_TRUE(testbed.ok()) << testbed.status().ToString();
+    testbed_ = std::make_unique<Testbed>(std::move(*testbed));
+  }
+
+  Testbed& tb() { return *testbed_; }
+  Machine& machine() { return testbed_->machine(); }
+  Monitor& monitor() { return testbed_->monitor(); }
+
+  std::unique_ptr<Testbed> testbed_;
+};
+
+TEST_P(CrossArchTest, EnclaveLifecycleAndConfidentiality) {
+  const TycheImage image = TycheImage::MakeDemo("xarch", 2 * kPageSize, kPageSize);
+  LoadOptions load;
+  // NAPOT-friendly placement so the PMP backend's layout stays cheap.
+  load.base = AlignUp(tb().Scratch(0), kMiB);
+  load.size = kMiB;
+  load.cores = {1};
+  load.core_caps = {*tb().OsCoreCap(1)};
+  auto enclave = Enclave::Create(&monitor(), 0, image, load);
+  ASSERT_TRUE(enclave.ok()) << enclave.status().ToString();
+
+  // Confidentiality from the OS, on whichever mechanism enforces it.
+  EXPECT_FALSE(machine().CheckedRead64(0, enclave->base()).ok());
+  // Shared segment stays visible to both.
+  const uint64_t shared = enclave->base() + image.segments()[1].offset;
+  EXPECT_TRUE(machine().CheckedRead64(0, shared).ok());
+
+  ASSERT_TRUE(enclave->Enter(1).ok());
+  EXPECT_TRUE(machine().CheckedWrite64(1, enclave->base() + kPageSize, 0xAB).ok());
+  EXPECT_FALSE(machine().CheckedRead64(1, tb().Scratch(32 * kMiB)).ok());
+  // The monitor's own memory is out of reach from inside the domain.
+  EXPECT_FALSE(machine().CheckedRead64(1, 0x1000).ok());
+  ASSERT_TRUE(enclave->Exit(1).ok());
+
+  ASSERT_TRUE(monitor().DestroyDomain(0, enclave->handle()).ok());
+  EXPECT_EQ(*machine().CheckedRead64(0, enclave->base() + kPageSize), 0u);
+  EXPECT_TRUE(*monitor().AuditHardwareConsistency());
+}
+
+TEST_P(CrossArchTest, AttestationIsBackendIndependent) {
+  // The measurement must not depend on the enforcement mechanism: the same
+  // image + configuration yields the same digest on both backends.
+  const TycheImage image = TycheImage::MakeDemo("measured", 2 * kPageSize, 0);
+  LoadOptions load;
+  load.base = AlignUp(tb().Scratch(0), kMiB);
+  load.size = kMiB;
+  load.cores = {1};
+  load.core_caps = {*tb().OsCoreCap(1)};
+  auto enclave = Enclave::Create(&monitor(), 0, image, load);
+  ASSERT_TRUE(enclave.ok());
+  const auto report = enclave->Attest(0, 1);
+  ASSERT_TRUE(report.ok());
+  // The offline computation knows nothing about the backend either.
+  const auto golden =
+      ComputeExpectedMeasurement(image, load.base, load.size, load.cores);
+  ASSERT_TRUE(golden.ok());
+  EXPECT_EQ(report->measurement, *golden);
+
+  CustomerVerifier customer(machine().tpm().attestation_key(), tb().golden_firmware(),
+                            tb().golden_monitor());
+  ASSERT_TRUE(customer.VerifyMonitor(*monitor().Identity(3), 3).ok());
+  EXPECT_TRUE(customer
+                  .VerifyDomainAgainstImage(*report, image, load.base, load.size,
+                                            load.cores, 1)
+                  .ok());
+}
+
+TEST_P(CrossArchTest, NestedDomainsWork) {
+  const TycheImage image = TycheImage::MakeDemo("outer", 2 * kPageSize, 0);
+  LoadOptions load;
+  load.base = AlignUp(tb().Scratch(0), 8 * kMiB);
+  load.size = 8 * kMiB;
+  load.cores = {1};
+  load.core_caps = {*tb().OsCoreCap(1)};
+  auto outer = Enclave::Create(&monitor(), 0, image, load);
+  ASSERT_TRUE(outer.ok()) << outer.status().ToString();
+
+  ASSERT_TRUE(outer->Enter(1).ok());
+  const TycheImage inner_image = TycheImage::MakeDemo("inner", kPageSize, 0);
+  // NAPOT-aligned nested placement keeps the PMP layout within budget.
+  auto inner = outer->SpawnNested(1, inner_image, outer->base() + 4 * kMiB, kMiB, {1});
+  ASSERT_TRUE(inner.ok()) << inner.status().ToString();
+  EXPECT_FALSE(machine().CheckedRead64(1, inner->base()).ok());  // parent lost it
+  ASSERT_TRUE(inner->Enter(1).ok());
+  EXPECT_TRUE(machine().CheckedRead64(1, inner->base()).ok());
+  ASSERT_TRUE(inner->Exit(1).ok());
+  ASSERT_TRUE(outer->Exit(1).ok());
+  EXPECT_TRUE(*monitor().AuditHardwareConsistency());
+}
+
+TEST_P(CrossArchTest, SealingRulesIdentical) {
+  const auto created = monitor().CreateDomain(0, "sealed");
+  ASSERT_TRUE(created.ok());
+  const AddrRange window{AlignUp(tb().Scratch(0), kMiB), kMiB};
+  ASSERT_TRUE(monitor()
+                  .GrantMemory(0, *tb().OsMemCap(window), created->handle, window,
+                               Perms(Perms::kRWX), CapRights(CapRights::kAll),
+                               RevocationPolicy{})
+                  .ok());
+  ASSERT_TRUE(monitor().SetEntryPoint(0, created->handle, window.base).ok());
+  ASSERT_TRUE(monitor().Seal(0, created->handle).ok());
+  const AddrRange extra{AlignUp(tb().Scratch(16 * kMiB), kMiB), kMiB};
+  EXPECT_EQ(monitor()
+                .ShareMemory(0, *tb().OsMemCap(extra), created->handle, extra,
+                             Perms(Perms::kRW), CapRights{}, RevocationPolicy{})
+                .code(),
+            ErrorCode::kDomainSealed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Arch, CrossArchTest,
+                         ::testing::Values(IsaArch::kX86_64, IsaArch::kRiscV),
+                         [](const ::testing::TestParamInfo<IsaArch>& info) {
+                           return info.param == IsaArch::kX86_64 ? "x86_64_vtx"
+                                                                 : "riscv_pmp";
+                         });
+
+}  // namespace
+}  // namespace tyche

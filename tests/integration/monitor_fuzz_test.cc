@@ -1,0 +1,149 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// API-level fuzzing: random sequences of monitor calls, valid and invalid,
+// issued from the OS and from inside domains. The monitor may reject
+// anything; what it must NEVER do is crash, corrupt the capability tree, or
+// let hardware state diverge from the tree (the invariant the judiciary
+// depends on). Checked continuously:
+//   - AuditHardwareConsistency() holds after every batch;
+//   - a software probe (CheckAccess as the OS) agrees with
+//     EffectivePerms(os) at random addresses;
+//   - destroyed/never-created handles never work.
+
+#include <gtest/gtest.h>
+
+#include "src/support/prng.h"
+#include "tests/testing/booted_machine.h"
+
+namespace tyche {
+namespace {
+
+class MonitorFuzzTest : public BootedMachineTest,
+                        public ::testing::WithParamInterface<uint64_t> {
+ protected:
+  MonitorFuzzTest() : BootedMachineTest(FixtureOptions{.memory_bytes = 64ull << 20}) {}
+};
+
+TEST_P(MonitorFuzzTest, RandomApiSequencesKeepInvariants) {
+  Prng prng(GetParam());
+  std::vector<CapId> handles;  // domain handles held by the OS (may be stale)
+
+  const uint64_t arena_base = Scratch(0, 0).base;
+  const uint64_t arena_size = 32 * kMiB;
+
+  auto random_range = [&]() {
+    const uint64_t pages = arena_size / kPageSize;
+    const uint64_t off = prng.Below(pages - 1);
+    const uint64_t len = 1 + prng.Below(std::min<uint64_t>(pages - off, 64) - 1 + 1);
+    return AddrRange{arena_base + off * kPageSize, len * kPageSize};
+  };
+  auto random_perms = [&]() {
+    return Perms(static_cast<uint8_t>(1 + prng.Below(7)));
+  };
+  auto random_os_cap = [&]() -> CapId {
+    // Any active cap owned by the OS (memory or unit), or a bogus id.
+    if (prng.Chance(1, 10)) {
+      return static_cast<CapId>(prng.Below(100000));  // likely bogus
+    }
+    std::vector<CapId> candidates;
+    monitor_->engine().ForEachActive([&](const Capability& cap) {
+      if (cap.owner == os_domain_) {
+        candidates.push_back(cap.id);
+      }
+    });
+    if (candidates.empty()) {
+      // The fuzzer dropped every OS capability; only bogus ids remain.
+      return static_cast<CapId>(prng.Below(100000));
+    }
+    return candidates[prng.Below(candidates.size())];
+  };
+  auto random_handle = [&]() -> CapId {
+    if (handles.empty() || prng.Chance(1, 10)) {
+      return static_cast<CapId>(prng.Below(100000));
+    }
+    return handles[prng.Below(handles.size())];
+  };
+
+  const int kSteps = 400;
+  for (int step = 0; step < kSteps; ++step) {
+    switch (prng.Below(10)) {
+      case 0: {  // create
+        const auto created = monitor_->CreateDomain(0, "fuzz");
+        if (created.ok()) {
+          handles.push_back(created->handle);
+        }
+        break;
+      }
+      case 1:  // share memory
+        (void)monitor_->ShareMemory(0, random_os_cap(), random_handle(), random_range(),
+                                    random_perms(), CapRights(CapRights::kAll),
+                                    RevocationPolicy(static_cast<uint8_t>(prng.Below(4))));
+        break;
+      case 2:  // grant memory
+        (void)monitor_->GrantMemory(0, random_os_cap(), random_handle(), random_range(),
+                                    random_perms(), CapRights(CapRights::kAll),
+                                    RevocationPolicy(static_cast<uint8_t>(prng.Below(4))));
+        break;
+      case 3:  // share a unit (core or device or handle)
+        (void)monitor_->ShareUnit(0, random_os_cap(), random_handle(),
+                                  CapRights(CapRights::kShare), RevocationPolicy{});
+        break;
+      case 4:  // revoke something
+        (void)monitor_->Revoke(0, random_os_cap());
+        break;
+      case 5:  // entry point
+        (void)monitor_->SetEntryPoint(0, random_handle(),
+                                      arena_base + prng.Below(arena_size));
+        break;
+      case 6:  // seal
+        (void)monitor_->Seal(0, random_handle());
+        break;
+      case 7: {  // transition + immediate return on core 1
+        const CapId handle = random_handle();
+        if (monitor_->Transition(1, handle).ok()) {
+          EXPECT_TRUE(monitor_->ReturnFromDomain(1).ok());
+        }
+        break;
+      }
+      case 8:  // destroy
+        (void)monitor_->DestroyDomain(0, random_handle());
+        break;
+      case 9:  // measurement extension
+        (void)monitor_->ExtendMeasurement(0, random_handle(), random_range());
+        break;
+    }
+
+    // Continuous probe: the hardware answer for the OS must equal the
+    // capability tree's answer.
+    for (int probe = 0; probe < 4; ++probe) {
+      const uint64_t addr =
+          arena_base + AlignDown(prng.Below(arena_size - 8), 8);
+      const Perms perms = monitor_->engine().EffectivePerms(os_domain_, addr);
+      const bool hw_read = machine_->CheckAccess(0, addr, 8, AccessType::kRead).ok();
+      ASSERT_EQ(hw_read, perms.Allows(AccessType::kRead))
+          << "divergence at 0x" << std::hex << addr << " step " << std::dec << step;
+    }
+
+    if (step % 50 == 0) {
+      const auto audit = monitor_->AuditHardwareConsistency();
+      ASSERT_TRUE(audit.ok());
+      ASSERT_TRUE(*audit) << "audit failed at step " << step;
+    }
+  }
+
+  // Final: audit + teardown of everything still alive.
+  const auto audit = monitor_->AuditHardwareConsistency();
+  ASSERT_TRUE(audit.ok());
+  EXPECT_TRUE(*audit);
+  for (const CapId handle : handles) {
+    (void)monitor_->DestroyDomain(0, handle);
+  }
+  const auto final_audit = monitor_->AuditHardwareConsistency();
+  ASSERT_TRUE(final_audit.ok());
+  EXPECT_TRUE(*final_audit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonitorFuzzTest,
+                         ::testing::Values(7, 77, 777, 7777, 77777));
+
+}  // namespace
+}  // namespace tyche

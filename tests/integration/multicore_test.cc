@@ -1,0 +1,120 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Multi-core interleavings: revocation must take effect on EVERY core a
+// domain occupies (stale-TLB shootdown), per-core transition stacks stay
+// independent, and concurrent tenants stay confined.
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/booted_machine.h"
+
+namespace tyche {
+namespace {
+
+class MulticoreTest : public BootedMachineTest {
+ protected:
+  // A sealed domain with `cores` shared and a window granted.
+  Result<Enclave> MakeTenant(const std::string& name, uint64_t offset,
+                             const std::vector<CoreId>& cores) {
+    const TycheImage image = TycheImage::MakeDemo(name, 2 * kPageSize, 4 * kPageSize);
+    LoadOptions load;
+    load.base = Scratch(offset, 0).base;
+    load.size = kMiB;
+    load.cores = cores;
+    for (const CoreId core : cores) {
+      load.core_caps.push_back(OsCoreCap(core));
+    }
+    return Enclave::Create(monitor_.get(), 0, image, load);
+  }
+};
+
+TEST_F(MulticoreTest, RevocationShootsDownEveryOccupiedCore) {
+  auto tenant = MakeTenant("multi", kMiB, {1, 2});
+  ASSERT_TRUE(tenant.ok());
+  const AddrRange shared{tenant->base() + 2 * kPageSize, 4 * kPageSize};
+
+  // The tenant runs on BOTH cores and warms both TLBs on the shared pages.
+  ASSERT_TRUE(tenant->Enter(1).ok());
+  ASSERT_TRUE(tenant->Enter(2).ok());
+  ASSERT_TRUE(machine_->CheckedWrite64(1, shared.base, 1).ok());
+  ASSERT_TRUE(machine_->CheckedWrite64(2, shared.base + kPageSize, 2).ok());
+
+  // The OS revokes the tenant's shared segment from core 0.
+  CapId victim = kInvalidCap;
+  monitor_->engine().ForEachActive([&](const Capability& cap) {
+    if (cap.owner == tenant->domain() && cap.kind == ResourceKind::kMemory &&
+        cap.range == shared) {
+      victim = cap.id;
+    }
+  });
+  ASSERT_NE(victim, kInvalidCap);
+  ASSERT_TRUE(monitor_->Revoke(0, victim).ok());
+
+  // BOTH cores lose the access immediately -- no stale translations.
+  EXPECT_FALSE(machine_->CheckedRead64(1, shared.base).ok());
+  EXPECT_FALSE(machine_->CheckedRead64(2, shared.base).ok());
+  // The tenant's private memory still works on both cores.
+  EXPECT_TRUE(machine_->CheckedRead64(1, tenant->base()).ok());
+  EXPECT_TRUE(machine_->CheckedRead64(2, tenant->base()).ok());
+  ASSERT_TRUE(tenant->Exit(2).ok());
+  ASSERT_TRUE(tenant->Exit(1).ok());
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+}
+
+TEST_F(MulticoreTest, ConcurrentTenantsStayConfined) {
+  auto a = MakeTenant("tenant-a", kMiB, {1});
+  auto b = MakeTenant("tenant-b", 4 * kMiB, {2});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a->Enter(1).ok());
+  ASSERT_TRUE(b->Enter(2).ok());
+  // Interleave accesses: each core sees its own tenant's world only.
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_TRUE(machine_->CheckedWrite64(1, a->base(), round).ok());
+    EXPECT_TRUE(machine_->CheckedWrite64(2, b->base(), round).ok());
+    EXPECT_FALSE(machine_->CheckedRead64(1, b->base()).ok());
+    EXPECT_FALSE(machine_->CheckedRead64(2, a->base()).ok());
+  }
+  ASSERT_TRUE(a->Exit(1).ok());
+  ASSERT_TRUE(b->Exit(2).ok());
+}
+
+TEST_F(MulticoreTest, TransitionStacksArePerCore) {
+  auto a = MakeTenant("stack-a", kMiB, {1, 2});
+  ASSERT_TRUE(a.ok());
+  // Enter on core 1 only; returning on core 2 must fail (nothing pushed).
+  ASSERT_TRUE(a->Enter(1).ok());
+  EXPECT_EQ(monitor_->ReturnFromDomain(2).code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(monitor_->CurrentDomain(1), a->domain());
+  EXPECT_EQ(monitor_->CurrentDomain(2), os_domain_);
+  ASSERT_TRUE(a->Exit(1).ok());
+}
+
+TEST_F(MulticoreTest, DestroyRefusedWhileOnAnyCore) {
+  auto a = MakeTenant("sticky", kMiB, {1, 2});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(a->Enter(1).ok());
+  ASSERT_TRUE(a->Enter(2).ok());
+  EXPECT_EQ(monitor_->DestroyDomain(0, a->handle()).code(),
+            ErrorCode::kFailedPrecondition);
+  ASSERT_TRUE(a->Exit(2).ok());
+  EXPECT_EQ(monitor_->DestroyDomain(0, a->handle()).code(),
+            ErrorCode::kFailedPrecondition);  // still on core 1
+  ASSERT_TRUE(a->Exit(1).ok());
+  EXPECT_TRUE(monitor_->DestroyDomain(0, a->handle()).ok());
+}
+
+TEST_F(MulticoreTest, FastPathIsPerCoreArming) {
+  auto a = MakeTenant("fast", kMiB, {1, 2});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(a->EnableFastCalls(1).ok());
+  // Armed on core 1 only: core 2 must still take the trap path.
+  EXPECT_TRUE(monitor_->FastTransition(1, a->domain()).ok());
+  EXPECT_TRUE(monitor_->FastReturn(1).ok());
+  EXPECT_EQ(monitor_->FastTransition(2, a->domain()).code(),
+            ErrorCode::kTransitionDenied);
+  EXPECT_TRUE(a->Enter(2).ok());  // trap path works
+  EXPECT_TRUE(a->Exit(2).ok());
+}
+
+}  // namespace
+}  // namespace tyche

@@ -1,0 +1,158 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Composition and nesting: the paper's central API claim is that ONE
+// mechanism covers sandboxes, enclaves and confidential VMs, "including
+// arbitrary nesting" (§3.5). These tests compose the abstractions in shapes
+// no prior point solution supports.
+
+#include <gtest/gtest.h>
+
+#include "src/tyche/confidential_vm.h"
+#include "tests/testing/booted_machine.h"
+
+namespace tyche {
+namespace {
+
+class NestingTest : public BootedMachineTest {
+ protected:
+  NestingTest() : BootedMachineTest(FixtureOptions{.memory_bytes = 256ull << 20}) {}
+};
+
+TEST_F(NestingTest, DeepEnclaveChain) {
+  // enclave_0 contains enclave_1 contains enclave_2 ... to depth 5 (SGX
+  // supports depth 0). Each level carves half of its heap for the child.
+  const uint64_t top_size = 32 * kMiB;
+  const TycheImage image = TycheImage::MakeDemo("level", 2 * kPageSize, 0);
+  LoadOptions options;
+  options.base = Scratch(kMiB, 0).base;
+  options.size = top_size;
+  options.cores = {1};
+  options.core_caps = {OsCoreCap(1)};
+  auto current = Enclave::Create(monitor_.get(), 0, image, options);
+  ASSERT_TRUE(current.ok());
+
+  std::vector<Enclave> chain;
+  chain.push_back(std::move(*current));
+  uint64_t size = top_size;
+  for (int depth = 1; depth <= 5; ++depth) {
+    ASSERT_TRUE(chain.back().Enter(1).ok());
+    size /= 2;
+    const uint64_t child_base = chain.back().base() + chain.back().size() - size;
+    auto child = chain.back().SpawnNested(1, image, child_base, size, {1});
+    ASSERT_TRUE(child.ok()) << "depth " << depth << ": " << child.status().ToString();
+    chain.push_back(std::move(*child));
+  }
+  // We are now 5 transitions deep (each SpawnNested left us inside the
+  // parent). Verify the chain: each level's memory is invisible to every
+  // ANCESTOR level and to the OS.
+  EXPECT_EQ(monitor_->CurrentDomain(1), chain[4].domain());
+  // Enter the innermost.
+  ASSERT_TRUE(chain[5].Enter(1).ok());
+  EXPECT_TRUE(machine_->CheckedWrite64(1, chain[5].base() + kPageSize, 55).ok());
+  // Unwind all six levels.
+  for (int depth = 5; depth >= 1; --depth) {
+    ASSERT_TRUE(monitor_->ReturnFromDomain(1).ok());
+  }
+  ASSERT_TRUE(monitor_->ReturnFromDomain(1).ok());
+  EXPECT_EQ(monitor_->CurrentDomain(1), os_domain_);
+  // The OS sees none of the chain's memory.
+  for (const Enclave& level : chain) {
+    EXPECT_FALSE(machine_->CheckedRead64(0, level.base() + kPageSize).ok());
+  }
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+  EXPECT_EQ(monitor_->num_domains_alive(), 1u + 6u);
+}
+
+TEST_F(NestingTest, EnclaveInsideConfidentialVm) {
+  // A confidential VM whose guest spawns an enclave INSIDE the VM: the
+  // "combine and nest" case hardware TEEs struggle with (SGX inside SEV
+  // does not compose).
+  TycheImage guest("guest-kernel");
+  ImageSegment kernel;
+  kernel.name = "kernel";
+  kernel.offset = 0;
+  kernel.size = 4 * kPageSize;
+  kernel.perms = Perms(Perms::kRWX);
+  kernel.measured = true;
+  kernel.data.assign(100, 0x42);
+  ASSERT_TRUE(guest.AddSegment(std::move(kernel)).ok());
+  guest.set_entry_offset(0);
+
+  ConfidentialVmOptions vm_options;
+  vm_options.base = Scratch(64 * kMiB, 0).base;
+  vm_options.size = 64 * kMiB;
+  vm_options.cores = {1, 2};
+  vm_options.core_caps = {OsCoreCap(1), OsCoreCap(2)};
+  auto vm = ConfidentialVm::Create(monitor_.get(), 0, guest, vm_options);
+  ASSERT_TRUE(vm.ok()) << vm.status().ToString();
+
+  // Boot a vCPU; the guest kernel creates an enclave out of guest memory.
+  ASSERT_TRUE(vm->StartVcpu(1).ok());
+  const DomainId guest_domain = monitor_->CurrentDomain(1);
+  const TycheImage enclave_image = TycheImage::MakeDemo("guest-enclave", kPageSize, 0);
+  LoadOptions enclave_options;
+  enclave_options.base = vm_options.base + 32 * kMiB;
+  enclave_options.size = 2 * kMiB;
+  enclave_options.cores = {1};
+  enclave_options.core_caps = {
+      *FindUnitCap(*monitor_, guest_domain, ResourceKind::kCpuCore, 1)};
+  auto enclave = Enclave::Create(monitor_.get(), 1, enclave_image, enclave_options);
+  ASSERT_TRUE(enclave.ok()) << enclave.status().ToString();
+
+  // Now: host can read nothing of the VM; the VM can read nothing of the
+  // enclave; the enclave is attestable on its own.
+  EXPECT_FALSE(machine_->CheckedRead64(0, vm_options.base).ok());
+  EXPECT_FALSE(machine_->CheckedRead64(1, enclave_options.base).ok());
+  const auto report = monitor_->AttestDomain(1, enclave->handle(), 9);
+  ASSERT_TRUE(report.ok());
+  const auto golden = ComputeExpectedMeasurement(enclave_image, enclave_options.base,
+                                                 enclave_options.size,
+                                                 enclave_options.cores);
+  EXPECT_EQ(report->measurement, *golden);
+
+  // vCPU 2 still boots into the VM (the enclave took core 1 only as a
+  // SHARED resource; the VM keeps running).
+  ASSERT_TRUE(vm->StartVcpu(2).ok());
+  EXPECT_EQ(monitor_->CurrentDomain(2), vm->domain());
+  ASSERT_TRUE(vm->StopVcpu(2).ok());
+  ASSERT_TRUE(vm->StopVcpu(1).ok());
+}
+
+TEST_F(NestingTest, SandboxInsideEnclave) {
+  // An enclave distrusting one of ITS OWN libraries sandboxes it: the
+  // compartmentalization and confidential-computing abstractions compose.
+  const TycheImage image = TycheImage::MakeDemo("app-enclave", 2 * kPageSize, 0);
+  LoadOptions options;
+  options.base = Scratch(160 * kMiB, 0).base;
+  options.size = 8 * kMiB;
+  options.cores = {1};
+  options.core_caps = {OsCoreCap(1)};
+  auto enclave = Enclave::Create(monitor_.get(), 0, image, options);
+  ASSERT_TRUE(enclave.ok());
+
+  ASSERT_TRUE(enclave->Enter(1).ok());
+  const DomainId enclave_domain = monitor_->CurrentDomain(1);
+  SandboxOptions sandbox_options;
+  const AddrRange lib_code{enclave->base() + 4 * kMiB, 64 * 1024};
+  sandbox_options.regions = {{lib_code, Perms(Perms::kRX)}};
+  sandbox_options.entry = lib_code.base;
+  sandbox_options.cores = {1};
+  sandbox_options.core_caps = {
+      *FindUnitCap(*monitor_, enclave_domain, ResourceKind::kCpuCore, 1)};
+  auto sandbox = Sandbox::Create(monitor_.get(), 1, "untrusted-lib", sandbox_options);
+  ASSERT_TRUE(sandbox.ok()) << sandbox.status().ToString();
+
+  // The sandboxed lib sees ONLY its code window -- not the rest of the
+  // enclave, not the OS.
+  ASSERT_TRUE(sandbox->Enter(1).ok());
+  EXPECT_TRUE(machine_->CheckedFetch(1, lib_code.base, 16).ok());
+  EXPECT_FALSE(machine_->CheckedRead64(1, enclave->base()).ok());
+  EXPECT_FALSE(machine_->CheckedRead64(1, managed_.base).ok());
+  ASSERT_TRUE(sandbox->Exit(1).ok());
+  // The enclave still sees the window (sandbox regions are shared).
+  EXPECT_TRUE(machine_->CheckedRead64(1, lib_code.base).ok());
+  ASSERT_TRUE(enclave->Exit(1).ok());
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+}
+
+}  // namespace
+}  // namespace tyche

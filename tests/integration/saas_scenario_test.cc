@@ -1,0 +1,249 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Experiment F2/F3 (paper Figures 2 and 3): confidential processing of
+// customer data through an untrusted SaaS stack.
+//
+// Cast:
+//   - cloud provider / OS: domain 0, UNTRUSTED by the customer;
+//   - SaaS application: sealed domain processing the data;
+//   - crypto engine: enclave NESTED in the SaaS app, holds the customer key,
+//     (de/en)crypts all traffic; talks to the app over an exclusive channel;
+//   - GPU: an I/O trust domain restricted to its firmware + a frame buffer
+//     explicitly shared with the SaaS app.
+// The customer verifies the monitor (tier 1), each domain's measurement and
+// reference counts (tier 2), and only then provisions its key.
+
+#include <gtest/gtest.h>
+
+#include "src/tyche/verifier.h"
+#include "tests/testing/booted_machine.h"
+
+namespace tyche {
+namespace {
+
+// Toy stream cipher standing in for the crypto engine's work.
+void XorCrypt(std::span<uint8_t> data, uint64_t key) {
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= static_cast<uint8_t>(key >> (8 * (i % 8)));
+  }
+}
+
+class SaasScenarioTest : public BootedMachineTest {
+ protected:
+  SaasScenarioTest() : BootedMachineTest(FixtureOptions{.with_gpu = true}) {}
+
+  // --- Layout constants (offsets within the SaaS app's region) ---
+  static constexpr uint64_t kSaasSize = 16ull << 20;
+  static constexpr uint64_t kNetbufOffset = 8 * kPageSize;   // shared with OS
+  static constexpr uint64_t kCryptoOffset = 4ull << 20;      // nested crypto engine
+  static constexpr uint64_t kCryptoSize = 1ull << 20;
+  static constexpr uint64_t kChannelOffset = 6ull << 20;     // SaaS <-> crypto
+  static constexpr uint64_t kGpuFwOffset = 8ull << 20;       // gpu firmware region
+  static constexpr uint64_t kGpuFwSize = 64 * 1024;
+  static constexpr uint64_t kFramebufOffset = 9ull << 20;    // SaaS <-> GPU
+  static constexpr uint64_t kFramebufSize = 64 * 1024;
+
+  TycheImage SaasImage() {
+    TycheImage image("saas-app");
+    ImageSegment text;
+    text.name = "text";
+    text.offset = 0;
+    text.size = 4 * kPageSize;
+    text.perms = Perms(Perms::kRWX);
+    text.measured = true;
+    text.data.assign(1234, 0xaa);
+    (void)image.AddSegment(std::move(text));
+    ImageSegment netbuf;
+    netbuf.name = "netbuf";
+    netbuf.offset = kNetbufOffset;
+    netbuf.size = 4 * kPageSize;
+    netbuf.perms = Perms(Perms::kRW);
+    netbuf.shared = true;  // the untrusted network path
+    (void)image.AddSegment(std::move(netbuf));
+    image.set_entry_offset(0);
+    return image;
+  }
+
+  TycheImage CryptoImage() { return TycheImage::MakeDemo("crypto-engine", 2 * kPageSize, 0); }
+};
+
+TEST_F(SaasScenarioTest, EndToEndConfidentialPipeline) {
+  // ---------- 1. The untrusted OS deploys the SaaS app ----------
+  const TycheImage saas_image = SaasImage();
+  LoadOptions load;
+  load.base = Scratch(16 * kMiB, 0).base;
+  load.size = kSaasSize;
+  load.cores = {1};
+  load.core_caps = {OsCoreCap(1)};
+  load.seal = false;  // the GPU device is granted before sealing
+  auto saas = LoadImage(monitor_.get(), 0, saas_image, load);
+  ASSERT_TRUE(saas.ok()) << saas.status().ToString();
+  // The grant right lets the SaaS app delegate the GPU onward to its own
+  // I/O domain.
+  ASSERT_TRUE(monitor_
+                  ->GrantUnit(0, OsDeviceCap(kGpuBdf.value), saas->handle,
+                              CapRights(CapRights::kGrant), RevocationPolicy{})
+                  .ok());
+  ASSERT_TRUE(monitor_->Seal(0, saas->handle).ok());
+
+  const uint64_t base = load.base;
+
+  // ---------- 2. Inside the SaaS app: build crypto engine + GPU domain ----
+  ASSERT_TRUE(monitor_->Transition(1, saas->handle).ok());
+  const DomainId saas_domain = monitor_->CurrentDomain(1);
+
+  // 2a. Crypto engine: nested enclave with an exclusive channel.
+  const TycheImage crypto_image = CryptoImage();
+  LoadOptions crypto_load;
+  crypto_load.base = base + kCryptoOffset;
+  crypto_load.size = kCryptoSize;
+  crypto_load.cores = {1};
+  crypto_load.core_caps = {*FindUnitCap(*monitor_, saas_domain, ResourceKind::kCpuCore, 1)};
+  crypto_load.seal = false;
+  auto crypto = LoadImage(monitor_.get(), 1, crypto_image, crypto_load);
+  ASSERT_TRUE(crypto.ok()) << crypto.status().ToString();
+  const AddrRange channel{base + kChannelOffset, kPageSize};
+  ASSERT_TRUE(monitor_
+                  ->ShareMemory(1, *FindMemoryCap(*monitor_, saas_domain, channel),
+                                crypto->handle, channel, Perms(Perms::kRW), CapRights{},
+                                RevocationPolicy(RevocationPolicy::kObfuscate))
+                  .ok());
+  ASSERT_TRUE(monitor_->Seal(1, crypto->handle).ok());
+
+  // 2b. GPU I/O domain: firmware + frame buffer + the device itself.
+  const auto gpu_created = monitor_->CreateDomain(1, "gpu-domain");
+  ASSERT_TRUE(gpu_created.ok());
+  const AddrRange gpu_fw{base + kGpuFwOffset, kGpuFwSize};
+  const AddrRange framebuf{base + kFramebufOffset, kFramebufSize};
+  ASSERT_TRUE(monitor_
+                  ->GrantMemory(1, *FindMemoryCap(*monitor_, saas_domain, gpu_fw),
+                                gpu_created->handle, gpu_fw, Perms(Perms::kRWX),
+                                CapRights{}, RevocationPolicy(RevocationPolicy::kObfuscate))
+                  .ok());
+  ASSERT_TRUE(monitor_
+                  ->ShareMemory(1, *FindMemoryCap(*monitor_, saas_domain, framebuf),
+                                gpu_created->handle, framebuf, Perms(Perms::kRW),
+                                CapRights{}, RevocationPolicy(RevocationPolicy::kObfuscate))
+                  .ok());
+  ASSERT_TRUE(monitor_
+                  ->GrantUnit(1, *FindUnitCap(*monitor_, saas_domain,
+                                              ResourceKind::kPciDevice, kGpuBdf.value),
+                              gpu_created->handle, CapRights{}, RevocationPolicy{})
+                  .ok());
+  ASSERT_TRUE(monitor_->SetEntryPoint(1, gpu_created->handle, gpu_fw.base).ok());
+  ASSERT_TRUE(monitor_->Seal(1, gpu_created->handle).ok());
+
+  // 2c. Collect attestations while inside (the SaaS app relays them).
+  const auto saas_report = monitor_->AttestSelf(1, 101);
+  const auto crypto_report = monitor_->AttestDomain(1, crypto->handle, 102);
+  const auto gpu_report = monitor_->AttestDomain(1, gpu_created->handle, 103);
+  ASSERT_TRUE(saas_report.ok());
+  ASSERT_TRUE(crypto_report.ok());
+  ASSERT_TRUE(gpu_report.ok());
+  ASSERT_TRUE(monitor_->ReturnFromDomain(1).ok());
+
+  // ---------- 3. The customer verifies the whole deployment ----------
+  CustomerVerifier customer(machine_->tpm().attestation_key(), golden_firmware_,
+                            golden_monitor_);
+  const auto identity = monitor_->Identity(100);
+  ASSERT_TRUE(identity.ok());
+  ASSERT_TRUE(customer.VerifyMonitor(*identity, 100).ok());
+
+  // Crypto engine: golden measurement (image + channel share + core).
+  const auto crypto_golden = ComputeExpectedMeasurement(
+      crypto_image, crypto_load.base, crypto_load.size, crypto_load.cores, {},
+      {ExtraRegion{channel, Perms(Perms::kRW)}});
+  ASSERT_TRUE(crypto_golden.ok());
+  EXPECT_EQ(crypto_report->measurement, *crypto_golden);
+  ASSERT_TRUE(RemoteVerifier(machine_->tpm().attestation_key(), golden_firmware_,
+                             golden_monitor_)
+                  .VerifyDomain(*crypto_report, customer.monitor_key(), 102,
+                                &*crypto_golden)
+                  .ok());
+
+  // Sharing policy: the crypto engine may share ONLY the channel (rc 2);
+  // the SaaS app may share netbuf (with the OS), channel, framebuf.
+  SharingPolicy crypto_policy;
+  crypto_policy.expected_shared = {channel};
+  EXPECT_TRUE(CustomerVerifier::CheckSharingPolicy(*crypto_report, crypto_policy).ok());
+
+  SharingPolicy saas_policy;
+  saas_policy.expected_shared = {AddrRange{base + kNetbufOffset, 4 * kPageSize}, channel,
+                                 framebuf};
+  EXPECT_TRUE(CustomerVerifier::CheckSharingPolicy(*saas_report, saas_policy).ok());
+
+  SharingPolicy gpu_policy;
+  gpu_policy.expected_shared = {framebuf};
+  EXPECT_TRUE(CustomerVerifier::CheckSharingPolicy(*gpu_report, gpu_policy).ok());
+
+  // ---------- 4. Key provisioning + confidential processing ----------
+  const uint64_t customer_key = 0x1122334455667788ULL;
+  // Provision: the key lands in the crypto engine's confidential memory
+  // (modelled as a direct write while executing as the crypto engine).
+  ASSERT_TRUE(monitor_->Transition(1, saas->handle).ok());
+  ASSERT_TRUE(monitor_->Transition(1, crypto->handle).ok());
+  const uint64_t key_slot = crypto_load.base + kCryptoSize - kPageSize;
+  ASSERT_TRUE(machine_->CheckedWrite64(1, key_slot, customer_key).ok());
+  ASSERT_TRUE(monitor_->ReturnFromDomain(1).ok());
+
+  // The customer sends encrypted data over the untrusted network (netbuf).
+  std::vector<uint8_t> wire(64);
+  for (size_t i = 0; i < wire.size(); ++i) {
+    wire[i] = static_cast<uint8_t>(i * 7 + 1);
+  }
+  std::vector<uint8_t> plaintext = wire;  // customer-side copy
+  XorCrypt(std::span<uint8_t>(wire), customer_key);  // customer encrypts
+  ASSERT_TRUE(monitor_->ReturnFromDomain(1).ok());    // leave SaaS: OS delivers
+  const uint64_t netbuf = base + kNetbufOffset;
+  ASSERT_TRUE(machine_->CheckedWrite(0, netbuf, std::span<const uint8_t>(wire)).ok());
+
+  // SaaS app: move ciphertext to the channel, ask the crypto engine to
+  // decrypt, hand plaintext to the GPU, and send the encrypted result back.
+  ASSERT_TRUE(monitor_->Transition(1, saas->handle).ok());
+  std::vector<uint8_t> buffer(64);
+  ASSERT_TRUE(machine_->CheckedRead(1, netbuf, std::span<uint8_t>(buffer)).ok());
+  ASSERT_TRUE(machine_->CheckedWrite(1, channel.base, std::span<const uint8_t>(buffer)).ok());
+  // Crypto engine decrypts in place on the channel.
+  ASSERT_TRUE(monitor_->Transition(1, crypto->handle).ok());
+  {
+    std::vector<uint8_t> scratch(64);
+    ASSERT_TRUE(machine_->CheckedRead(1, channel.base, std::span<uint8_t>(scratch)).ok());
+    const uint64_t key = *machine_->CheckedRead64(1, key_slot);
+    XorCrypt(std::span<uint8_t>(scratch), key);
+    ASSERT_TRUE(
+        machine_->CheckedWrite(1, channel.base, std::span<const uint8_t>(scratch)).ok());
+  }
+  ASSERT_TRUE(monitor_->ReturnFromDomain(1).ok());
+  // SaaS moves plaintext into the frame buffer; the GPU computes.
+  ASSERT_TRUE(machine_->CheckedRead(1, channel.base, std::span<uint8_t>(buffer)).ok());
+  EXPECT_EQ(buffer, plaintext);  // decryption worked
+  ASSERT_TRUE(
+      machine_->CheckedWrite(1, framebuf.base, std::span<const uint8_t>(buffer)).ok());
+  auto* gpu = static_cast<GpuDevice*>(machine_->FindDevice(kGpuBdf));
+  ASSERT_TRUE(gpu->RunKernel(machine_.get(), framebuf.base, framebuf.base + kPageSize,
+                             64, /*key=*/0x5a)
+                  .ok());
+  ASSERT_TRUE(monitor_->ReturnFromDomain(1).ok());
+
+  // ---------- 5. The attacks that MUST fail ----------
+  // The OS cannot read the plaintext channel, the frame buffer, the crypto
+  // engine's key, or the SaaS app's text.
+  EXPECT_FALSE(machine_->CheckedRead64(0, channel.base).ok());
+  EXPECT_FALSE(machine_->CheckedRead64(0, framebuf.base).ok());
+  EXPECT_FALSE(machine_->CheckedRead64(0, key_slot).ok());
+  EXPECT_FALSE(machine_->CheckedRead64(0, base).ok());
+  // The OS CAN read the netbuf -- and sees only ciphertext there.
+  std::vector<uint8_t> os_view(64);
+  ASSERT_TRUE(machine_->CheckedRead(0, netbuf, std::span<uint8_t>(os_view)).ok());
+  EXPECT_EQ(os_view, wire);
+  EXPECT_NE(os_view, plaintext);
+  // The GPU cannot DMA outside its domain (e.g. into the crypto engine).
+  EXPECT_EQ(gpu->RunKernel(machine_.get(), key_slot, framebuf.base, 8, 0).code(),
+            ErrorCode::kIommuFault);
+  EXPECT_EQ(gpu->RunKernel(machine_.get(), framebuf.base, key_slot, 8, 0).code(),
+            ErrorCode::kIommuFault);
+  // Hardware state still a projection of the capability tree.
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+}
+
+}  // namespace
+}  // namespace tyche

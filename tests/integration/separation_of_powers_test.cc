@@ -1,0 +1,122 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Experiment F1 (paper Figure 1): the separation of powers, end to end.
+//   Legislative -- ANY domain defines policies through the API.
+//   Executive   -- the monitor enforces them and emits attestations.
+//   Judiciary   -- a root of trust + remote verifier oversee both.
+
+#include <gtest/gtest.h>
+
+#include "src/tyche/verifier.h"
+#include "tests/testing/booted_machine.h"
+
+namespace tyche {
+namespace {
+
+class SeparationOfPowersTest : public BootedMachineTest {};
+
+TEST_F(SeparationOfPowersTest, LegislativePowerIsUniversal) {
+  // Not only the OS: an unprivileged domain (an enclave) exercises the SAME
+  // policy API to create and manage its own sub-domains. Isolation is
+  // decoupled from privilege.
+  const TycheImage image = TycheImage::MakeDemo("app", 2 * kPageSize, 0);
+  LoadOptions options;
+  options.base = Scratch(kMiB, 0).base;
+  options.size = 8 * kMiB;
+  options.cores = {1};
+  options.core_caps = {OsCoreCap(1)};
+  auto app = Enclave::Create(monitor_.get(), 0, image, options);
+  ASSERT_TRUE(app.ok());
+
+  // The app (a non-privileged domain!) legislates: it creates a nested
+  // domain with a policy of its choosing.
+  ASSERT_TRUE(app->Enter(1).ok());
+  const TycheImage nested = TycheImage::MakeDemo("lib", kPageSize, 0);
+  auto lib = app->SpawnNested(1, nested, app->base() + 4 * kMiB, kMiB, {1});
+  ASSERT_TRUE(lib.ok()) << lib.status().ToString();
+  ASSERT_TRUE(app->Exit(1).ok());
+
+  // Both the OS's and the app's policies are enforced by the same executive.
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+}
+
+TEST_F(SeparationOfPowersTest, ExecutiveOnlyValidatesNeverAllocates) {
+  // The monitor rejects invalid policies rather than choosing resources:
+  // here a domain tries to legislate beyond its own resources.
+  const auto created = monitor_->CreateDomain(0, "greedy");
+  ASSERT_TRUE(created.ok());
+  // Sharing memory the caller does not own is rejected by validation.
+  const TycheImage image = TycheImage::MakeDemo("victim", kPageSize, 0);
+  LoadOptions options;
+  options.base = Scratch(kMiB, 0).base;
+  options.size = kMiB;
+  options.cores = {1};
+  options.core_caps = {OsCoreCap(1)};
+  auto victim = Enclave::Create(monitor_.get(), 0, image, options);
+  ASSERT_TRUE(victim.ok());
+  // The OS tries to share the *enclave's* memory (it has no capability).
+  const auto theft = FindMemoryCap(*monitor_, os_domain_, AddrRange{options.base, kPageSize});
+  EXPECT_FALSE(theft.ok());
+}
+
+TEST_F(SeparationOfPowersTest, JudiciaryVerifiesTheWholeChain) {
+  // The customer: golden values + trusted TPM key.
+  CustomerVerifier customer(machine_->tpm().attestation_key(), golden_firmware_,
+                            golden_monitor_);
+
+  // Tier 1: the machine proves it runs the golden monitor.
+  const auto identity = monitor_->Identity(/*nonce=*/2026);
+  ASSERT_TRUE(identity.ok());
+  ASSERT_TRUE(customer.VerifyMonitor(*identity, 2026).ok());
+
+  // Tier 2: a domain proves its code identity and isolation configuration.
+  const TycheImage image = TycheImage::MakeDemo("workload", 2 * kPageSize, 0);
+  LoadOptions options;
+  options.base = Scratch(2 * kMiB, 0).base;
+  options.size = kMiB;
+  options.cores = {1};
+  options.core_caps = {OsCoreCap(1)};
+  auto enclave = Enclave::Create(monitor_.get(), 0, image, options);
+  ASSERT_TRUE(enclave.ok());
+  const auto report = enclave->Attest(0, 2027);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(customer
+                  .VerifyDomainAgainstImage(*report, image, options.base, options.size,
+                                            options.cores, 2027)
+                  .ok());
+  // Policy: all memory exclusive.
+  EXPECT_TRUE(CustomerVerifier::CheckSharingPolicy(*report, SharingPolicy{}).ok());
+}
+
+TEST_F(SeparationOfPowersTest, JudiciaryCatchesExecutiveImpersonation) {
+  // A different (modified) monitor cannot produce reports the customer
+  // accepts: its key derivation is measurement-bound and PCR1 diverges.
+  MachineConfig config;
+  config.memory_bytes = 64ull << 20;
+  Machine evil(config);
+  std::vector<uint8_t> evil_image = DemoMonitorImage();
+  evil_image[42] ^= 0x1;
+  BootParams params;
+  params.firmware_image = firmware_;
+  params.monitor_image = evil_image;
+  auto outcome = MeasuredBoot(&evil, params);
+  ASSERT_TRUE(outcome.ok());
+
+  CustomerVerifier customer(evil.tpm().attestation_key(), golden_firmware_,
+                            golden_monitor_);
+  const auto identity = outcome->monitor->Identity(1);
+  EXPECT_FALSE(customer.VerifyMonitor(*identity, 1).ok());
+  // Tier 2 cannot even start.
+  DomainAttestation fake;
+  EXPECT_EQ(customer.VerifyDomainAgainstImage(fake, TycheImage("x"), 0, kPageSize, {}, 1)
+                .code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(SeparationOfPowersTest, ApiSurfaceIsNarrow) {
+  // §3.5: the monitor is minimal. The entire external surface is the ApiOp
+  // set -- document the number so growth is conscious.
+  EXPECT_EQ(static_cast<int>(ApiOp::kOpCount), 21);
+}
+
+}  // namespace
+}  // namespace tyche

@@ -1,0 +1,158 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Backend-level tests: effect projection, PMP compilation, device binding.
+
+#include <gtest/gtest.h>
+
+#include "src/monitor/pmp_backend.h"
+#include "src/monitor/vtx_backend.h"
+
+namespace tyche {
+namespace {
+
+constexpr uint64_t kMiB = 1ull << 20;
+
+using MappedRegion = CapabilityEngine::MappedRegion;
+
+TEST(PmpCompileTest, NapotRegionCostsOneEntry) {
+  const std::vector<MappedRegion> map = {
+      {AddrRange{16 * kMiB, kMiB}, Perms(Perms::kRWX)},
+  };
+  const auto program = PmpBackend::Compile(map, 15);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->entries.size(), 1u);
+  EXPECT_EQ(program->entries[0].mode, PmpAddressMode::kNapot);
+}
+
+TEST(PmpCompileTest, IrregularRegionCostsTorPair) {
+  const std::vector<MappedRegion> map = {
+      {AddrRange{4 * kMiB, 12 * kMiB}, Perms(Perms::kRW)},  // 12 MiB: not pow2
+  };
+  const auto program = PmpBackend::Compile(map, 15);
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program->entries.size(), 2u);
+  EXPECT_EQ(program->entries[0].mode, PmpAddressMode::kOff);
+  EXPECT_EQ(program->entries[1].mode, PmpAddressMode::kTor);
+}
+
+TEST(PmpCompileTest, MisalignedPowerOfTwoFallsBackToTor) {
+  // Size is a power of two but the base is not size-aligned.
+  const std::vector<MappedRegion> map = {
+      {AddrRange{3 * kMiB, 2 * kMiB}, Perms(Perms::kRW)},
+  };
+  const auto program = PmpBackend::Compile(map, 15);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->entries.size(), 2u);
+}
+
+TEST(PmpCompileTest, BudgetEnforced) {
+  std::vector<MappedRegion> map;
+  for (int i = 0; i < 8; ++i) {
+    map.push_back({AddrRange{static_cast<uint64_t>(i) * 2 * kMiB, kMiB},
+                   Perms(Perms::kRead)});
+  }
+  EXPECT_TRUE(PmpBackend::Compile(map, 8).ok());
+  EXPECT_EQ(PmpBackend::Compile(map, 7).code(), ErrorCode::kPmpExhausted);
+}
+
+TEST(PmpCompileTest, MixedLayoutCounting) {
+  const std::vector<MappedRegion> map = {
+      {AddrRange{0, kMiB}, Perms(Perms::kRead)},            // NAPOT: 1
+      {AddrRange{3 * kMiB, 5 * kMiB}, Perms(Perms::kRW)},   // TOR: 2
+      {AddrRange{16 * kMiB, 4 * kMiB}, Perms(Perms::kRX)},  // NAPOT: 1
+  };
+  const auto program = PmpBackend::Compile(map, 4);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->entries.size(), 4u);
+  EXPECT_FALSE(PmpBackend::Compile(map, 3).ok());
+}
+
+class VtxBackendTest : public ::testing::Test {
+ protected:
+  VtxBackendTest()
+      : machine_([] {
+          MachineConfig config;
+          config.memory_bytes = 64ull << 20;
+          config.num_cores = 2;
+          return config;
+        }()),
+        metadata_(AddrRange{0, 4ull << 20}) {
+    engine_.RegisterDomain(0, CapabilityEngine::kNoCreator);
+    engine_.RegisterDomain(1, 0);
+    backend_ = std::make_unique<VtxBackend>(&machine_, &engine_, &metadata_);
+    root_ = *engine_.MintMemory(0, AddrRange{4 * kMiB, 60 * kMiB}, Perms(Perms::kRWX),
+                                CapRights(CapRights::kAll));
+  }
+
+  Machine machine_;
+  FrameAllocator metadata_;
+  CapabilityEngine engine_;
+  std::unique_ptr<VtxBackend> backend_;
+  CapId root_ = kInvalidCap;
+};
+
+TEST_F(VtxBackendTest, SyncProjectsCapabilities) {
+  ASSERT_TRUE(backend_->CreateDomainContext(0, 1).ok());
+  ASSERT_TRUE(backend_->SyncMemory(0, AddrRange{4 * kMiB, 60 * kMiB}).ok());
+  const NestedPageTable* ept = backend_->DomainEpt(0);
+  ASSERT_NE(ept, nullptr);
+  EXPECT_EQ(ept->mapped_pages(), 60 * kMiB / kPageSize);
+  EXPECT_TRUE(*backend_->ValidateAgainst(engine_, 0));
+}
+
+TEST_F(VtxBackendTest, SyncRemovesRevokedAccess) {
+  ASSERT_TRUE(backend_->CreateDomainContext(0, 1).ok());
+  ASSERT_TRUE(backend_->CreateDomainContext(1, 2).ok());
+  ASSERT_TRUE(backend_->SyncMemory(0, AddrRange{4 * kMiB, 60 * kMiB}).ok());
+
+  CapEffects effects;
+  const AddrRange sub{16 * kMiB, kMiB};
+  const CapId child = *engine_.ShareMemory(0, root_, 1, sub, Perms(Perms::kRW),
+                                           CapRights(CapRights::kAll), RevocationPolicy{},
+                                           &effects);
+  ASSERT_TRUE(backend_->SyncMemory(1, sub).ok());
+  EXPECT_EQ(backend_->DomainEpt(1)->mapped_pages(), kMiB / kPageSize);
+  EXPECT_TRUE(*backend_->ValidateAgainst(engine_, 1));
+
+  ASSERT_TRUE(engine_.Revoke(0, child).ok());
+  ASSERT_TRUE(backend_->SyncMemory(1, sub).ok());
+  EXPECT_EQ(backend_->DomainEpt(1)->mapped_pages(), 0u);
+  EXPECT_TRUE(*backend_->ValidateAgainst(engine_, 1));
+}
+
+TEST_F(VtxBackendTest, ValidateDetectsRogueMapping) {
+  ASSERT_TRUE(backend_->CreateDomainContext(1, 2).ok());
+  // Map a page into domain 1's EPT that no capability justifies (simulating
+  // a compromised executive). The audit must catch it.
+  NestedPageTable* ept = const_cast<NestedPageTable*>(backend_->DomainEpt(1));
+  ASSERT_TRUE(ept->MapPage(8 * kMiB, 8 * kMiB, Perms(Perms::kRW)).ok());
+  EXPECT_FALSE(*backend_->ValidateAgainst(engine_, 1));
+}
+
+TEST_F(VtxBackendTest, FastPathRequiresRegistration) {
+  ASSERT_TRUE(backend_->CreateDomainContext(0, 1).ok());
+  EXPECT_EQ(backend_->FastBindCore(0, 0).code(), ErrorCode::kTransitionDenied);
+  ASSERT_TRUE(backend_->RegisterFastPath(0, 0).ok());
+  EXPECT_TRUE(backend_->FastBindCore(0, 0).ok());
+  EXPECT_EQ(machine_.CoreEpt(0), backend_->DomainEpt(0));
+}
+
+TEST_F(VtxBackendTest, DeviceAttachFollowsDomain) {
+  ASSERT_TRUE(backend_->CreateDomainContext(0, 1).ok());
+  ASSERT_TRUE(backend_->AttachDevice(0, PciBdf(0, 3, 0).value).ok());
+  EXPECT_EQ(machine_.iommu().ContextOf(PciBdf(0, 3, 0)), backend_->DomainEpt(0));
+  ASSERT_TRUE(backend_->DetachDevice(0, PciBdf(0, 3, 0).value).ok());
+  EXPECT_EQ(machine_.iommu().ContextOf(PciBdf(0, 3, 0)), nullptr);
+  EXPECT_EQ(backend_->DetachDevice(0, PciBdf(0, 3, 0).value).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(VtxBackendTest, DestroyReleasesTableFrames) {
+  ASSERT_TRUE(backend_->CreateDomainContext(0, 1).ok());
+  ASSERT_TRUE(backend_->SyncMemory(0, AddrRange{4 * kMiB, 16 * kMiB}).ok());
+  const uint64_t frames_used = metadata_.total_frames() - metadata_.free_frames();
+  EXPECT_GT(frames_used, 0u);
+  ASSERT_TRUE(backend_->DestroyDomainContext(0).ok());
+  EXPECT_EQ(metadata_.free_frames(), metadata_.total_frames());
+}
+
+}  // namespace
+}  // namespace tyche

@@ -1,0 +1,102 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// PMP fail-safe: when a capability mutation leaves a domain's layout
+// inexpressible in the PMP entry budget, the backend must degrade to
+// DENY-ALL for that domain (hardware enforces a subset of the tree, never
+// stale access), and recover once the layout fits again.
+//
+// The tricky trigger is REVOCATION: revoking the middle capability of a
+// merged region can SPLIT it and increase the entry count past the budget.
+
+#include <gtest/gtest.h>
+
+#include "src/monitor/pmp_backend.h"
+#include "tests/testing/booted_machine.h"
+
+namespace tyche {
+namespace {
+
+class PmpFailsafeTest : public BootedMachineTest {
+ protected:
+  PmpFailsafeTest() : BootedMachineTest(FixtureOptions{.arch = IsaArch::kRiscV}) {}
+};
+
+TEST_F(PmpFailsafeTest, RevocationSplitNeverLeavesStaleAccess) {
+  const auto created = monitor_->CreateDomain(0, "tight");
+  ASSERT_TRUE(created.ok());
+  const CapId handle = created->handle;
+
+  // 13 disjoint NAPOT single pages: 13 entries. SHARED (not granted) so the
+  // OS's own layout stays compact and expressible.
+  std::vector<CapId> single_pages;
+  for (int i = 0; i < 13; ++i) {
+    const AddrRange page{Scratch(static_cast<uint64_t>(i) * 2 * kPageSize, 0).base,
+                         kPageSize};
+    const auto share = monitor_->ShareMemory(0, OsMemCap(page), handle, page,
+                                             Perms(Perms::kRW), CapRights{},
+                                             RevocationPolicy{});
+    ASSERT_TRUE(share.ok()) << i << ": " << share.status().ToString();
+    single_pages.push_back(*share);
+  }
+  // One merged 7-page region built from three grants (3p + 1p + 3p): the
+  // merged map compiles to one TOR pair (2 entries). Total now 15 = budget.
+  const uint64_t merged_base = Scratch(kMiB, 0).base;
+  const AddrRange piece_a{merged_base, 3 * kPageSize};
+  const AddrRange piece_b{merged_base + 3 * kPageSize, kPageSize};
+  const AddrRange piece_c{merged_base + 4 * kPageSize, 3 * kPageSize};
+  CapId bridge = kInvalidCap;
+  for (const AddrRange& piece : {piece_a, piece_b, piece_c}) {
+    const auto grant = monitor_->GrantMemory(0, OsMemCap(piece), handle, piece,
+                                             Perms(Perms::kRW), CapRights(CapRights::kAll),
+                                             RevocationPolicy{});
+    ASSERT_TRUE(grant.ok()) << grant.status().ToString();
+    if (piece.base == piece_b.base) {
+      bridge = grant->granted;
+    }
+  }
+  auto* backend = static_cast<PmpBackend*>(&monitor_->backend());
+  EXPECT_EQ(*backend->DomainEntryCount(created->domain), 15);
+
+  // Give the domain a core and run it, warming its PMP file.
+  ASSERT_TRUE(monitor_
+                  ->ShareUnit(0, OsCoreCap(1), handle, CapRights{}, RevocationPolicy{})
+                  .ok());
+  ASSERT_TRUE(monitor_->SetEntryPoint(0, handle, merged_base).ok());
+  ASSERT_TRUE(monitor_->Transition(1, handle).ok());
+  EXPECT_TRUE(machine_->CheckedRead64(1, merged_base).ok());
+  EXPECT_TRUE(machine_->CheckedRead64(1, piece_b.base).ok());
+
+  // Revoke the bridge: the merged region splits into two TOR pairs
+  // (15 - 2 + 4 = 17 > 15): inexpressible. The revocation itself reports
+  // the backend failure...
+  const Status revoke = monitor_->Revoke(0, bridge);
+  EXPECT_EQ(revoke.code(), ErrorCode::kPmpExhausted);
+
+  // ... but the CRITICAL property holds: the domain has NO stale access.
+  // Fail-safe means deny-all, so even still-owned pages fault -- and the
+  // revoked bridge page faults above all.
+  EXPECT_FALSE(machine_->CheckedRead64(1, piece_b.base).ok());
+  EXPECT_FALSE(machine_->CheckedRead64(1, merged_base).ok());
+  EXPECT_EQ(*backend->DomainEntryCount(created->domain), 0);
+  // Sound (subset) state passes the audit.
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+
+  // Recovery: drop enough single pages that the layout fits again; the next
+  // sync reinstates enforcement of exactly the remaining capabilities.
+  ASSERT_TRUE(monitor_->ReturnFromDomain(1).ok());
+  // Dropping the first page still leaves 16 required entries: the revoke
+  // lands in the tree but the backend reports the layout is still too big.
+  EXPECT_EQ(monitor_->Revoke(0, single_pages[0]).code(), ErrorCode::kPmpExhausted);
+  // The second drop brings the layout to 15 entries: enforcement resumes.
+  ASSERT_TRUE(monitor_->Revoke(0, single_pages[1]).ok());
+  ASSERT_TRUE(monitor_->Transition(1, handle).ok());
+  EXPECT_TRUE(machine_->CheckedRead64(1, merged_base).ok());       // piece_a is back
+  EXPECT_FALSE(machine_->CheckedRead64(1, piece_b.base).ok());     // bridge stays gone
+  EXPECT_TRUE(machine_->CheckedRead64(1, piece_c.base).ok());      // piece_c is back
+  EXPECT_FALSE(machine_->CheckedRead64(1, Scratch(0, 0).base).ok());  // dropped page gone
+  EXPECT_GT(*backend->DomainEntryCount(created->domain), 0);
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+  ASSERT_TRUE(monitor_->ReturnFromDomain(1).ok());
+}
+
+}  // namespace
+}  // namespace tyche

@@ -1,0 +1,238 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Measurement-bound sealed storage: data sealed by a domain opens only for
+// the SAME code identity under the SAME monitor -- across instances -- and
+// for nobody else.
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/authenticated.h"
+#include "src/monitor/dispatch.h"
+#include "tests/testing/booted_machine.h"
+
+namespace tyche {
+namespace {
+
+class SealedStorageTest : public BootedMachineTest {
+ protected:
+  // Builds a sealed enclave from `image` at `offset`, returns its handle.
+  Result<Enclave> MakeEnclave(const TycheImage& image, uint64_t offset) {
+    LoadOptions load;
+    load.base = Scratch(offset, 0).base;
+    load.size = kMiB;
+    load.cores = {1};
+    load.core_caps = {OsCoreCap(1)};
+    return Enclave::Create(monitor_.get(), 0, image, load);
+  }
+
+  std::vector<uint8_t> Secret() { return {'k', '3', 'y', '!', 0x00, 0xff, 0x42}; }
+};
+
+TEST_F(SealedStorageTest, SealUnsealRoundTripSameInstance) {
+  const TycheImage image = TycheImage::MakeDemo("sealer", 2 * kPageSize, 0);
+  auto enclave = MakeEnclave(image, kMiB);
+  ASSERT_TRUE(enclave.ok());
+  ASSERT_TRUE(enclave->Enter(1).ok());
+  const auto blob = monitor_->SealData(1, Secret());
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+  const auto opened = monitor_->UnsealData(1, *blob);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(*opened, Secret());
+  ASSERT_TRUE(enclave->Exit(1).ok());
+}
+
+TEST_F(SealedStorageTest, SameImageNewInstanceCanUnseal) {
+  const TycheImage image = TycheImage::MakeDemo("persist", 2 * kPageSize, 0);
+  std::vector<uint8_t> blob;
+  {
+    auto first = MakeEnclave(image, kMiB);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first->Enter(1).ok());
+    const auto sealed = monitor_->SealData(1, Secret());
+    ASSERT_TRUE(sealed.ok());
+    blob = *sealed;
+    ASSERT_TRUE(first->Exit(1).ok());
+    ASSERT_TRUE(monitor_->DestroyDomain(0, first->handle()).ok());
+  }
+  // A fresh instance of the SAME image, at the SAME address/config: same
+  // measurement, so the blob opens.
+  auto second = MakeEnclave(image, kMiB);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->Enter(1).ok());
+  const auto opened = monitor_->UnsealData(1, blob);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(*opened, Secret());
+  ASSERT_TRUE(second->Exit(1).ok());
+}
+
+TEST_F(SealedStorageTest, DifferentCodeCannotUnseal) {
+  const TycheImage image = TycheImage::MakeDemo("honest", 2 * kPageSize, 0);
+  auto sealer = MakeEnclave(image, kMiB);
+  ASSERT_TRUE(sealer.ok());
+  ASSERT_TRUE(sealer->Enter(1).ok());
+  const auto blob = monitor_->SealData(1, Secret());
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(sealer->Exit(1).ok());
+
+  // A DIFFERENT image (one byte of code differs) gets a different key.
+  TycheImage evil_image = TycheImage::MakeDemo("honest", 2 * kPageSize, 0);
+  const_cast<std::vector<uint8_t>&>(evil_image.segments()[0].data)[0] ^= 1;
+  auto evil = MakeEnclave(evil_image, 4 * kMiB);
+  ASSERT_TRUE(evil.ok());
+  ASSERT_TRUE(evil->Enter(1).ok());
+  const auto opened = monitor_->UnsealData(1, *blob);
+  EXPECT_EQ(opened.code(), ErrorCode::kSignatureInvalid);
+  ASSERT_TRUE(evil->Exit(1).ok());
+}
+
+TEST_F(SealedStorageTest, UnsealedDomainRefused) {
+  // The OS (never sealed) can neither seal nor unseal.
+  EXPECT_EQ(monitor_->SealData(0, Secret()).code(), ErrorCode::kDomainNotSealed);
+  EXPECT_EQ(monitor_->UnsealData(0, std::vector<uint8_t>(64)).code(),
+            ErrorCode::kDomainNotSealed);
+}
+
+TEST_F(SealedStorageTest, TamperedBlobRejected) {
+  const TycheImage image = TycheImage::MakeDemo("sealer", 2 * kPageSize, 0);
+  auto enclave = MakeEnclave(image, kMiB);
+  ASSERT_TRUE(enclave.ok());
+  ASSERT_TRUE(enclave->Enter(1).ok());
+  const auto blob = monitor_->SealData(1, Secret());
+  ASSERT_TRUE(blob.ok());
+  for (size_t i = 0; i < blob->size(); i += 5) {
+    std::vector<uint8_t> tampered = *blob;
+    tampered[i] ^= 0x80;
+    EXPECT_FALSE(monitor_->UnsealData(1, tampered).ok()) << "byte " << i;
+  }
+  // Truncation.
+  std::vector<uint8_t> truncated(blob->begin(), blob->begin() + 10);
+  EXPECT_FALSE(monitor_->UnsealData(1, truncated).ok());
+  ASSERT_TRUE(enclave->Exit(1).ok());
+}
+
+TEST_F(SealedStorageTest, DifferentMonitorCannotUnseal) {
+  const TycheImage image = TycheImage::MakeDemo("sealer", 2 * kPageSize, 0);
+  auto enclave = MakeEnclave(image, kMiB);
+  ASSERT_TRUE(enclave.ok());
+  ASSERT_TRUE(enclave->Enter(1).ok());
+  const auto blob = monitor_->SealData(1, Secret());
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(enclave->Exit(1).ok());
+
+  // A machine running a modified monitor image derives a different sealing
+  // root; the same enclave there cannot open the blob.
+  MachineConfig config;
+  config.memory_bytes = 128ull << 20;
+  config.num_cores = 4;
+  Machine other_machine(config);
+  std::vector<uint8_t> other_image = DemoMonitorImage();
+  other_image[3] ^= 1;
+  BootParams params;
+  params.firmware_image = firmware_;
+  params.monitor_image = other_image;
+  auto outcome = MeasuredBoot(&other_machine, params);
+  ASSERT_TRUE(outcome.ok());
+  Monitor& other_monitor = *outcome->monitor;
+  LoadOptions load;
+  load.base = other_monitor.monitor_range().end() + kMiB;
+  load.size = kMiB;
+  load.cores = {1};
+  load.core_caps = {
+      *FindUnitCap(other_monitor, outcome->initial_domain, ResourceKind::kCpuCore, 1)};
+  auto twin = Enclave::Create(&other_monitor, 0, image, load);
+  ASSERT_TRUE(twin.ok());
+  ASSERT_TRUE(twin->Enter(1).ok());
+  EXPECT_FALSE(other_monitor.UnsealData(1, *blob).ok());
+}
+
+TEST_F(SealedStorageTest, DispatchAbiSealUnseal) {
+  const TycheImage image = TycheImage::MakeDemo("abi", 2 * kPageSize, 0);
+  auto enclave = MakeEnclave(image, kMiB);
+  ASSERT_TRUE(enclave.ok());
+  ASSERT_TRUE(enclave->Enter(1).ok());
+
+  // Buffers inside the enclave's own heap.
+  const uint64_t in = enclave->base() + 16 * kPageSize;
+  const uint64_t out = enclave->base() + 32 * kPageSize;
+  const std::vector<uint8_t> secret = Secret();
+  ASSERT_TRUE(machine_->CheckedWrite(1, in, std::span<const uint8_t>(secret)).ok());
+
+  ApiRegs seal;
+  seal.op = static_cast<uint64_t>(ApiOp::kSealData);
+  seal.arg0 = in;
+  seal.arg1 = secret.size();
+  seal.arg2 = out;
+  seal.arg3 = 4096;
+  const ApiResult sealed = Dispatch(monitor_.get(), 1, seal);
+  ASSERT_EQ(sealed.error, 0u);
+
+  ApiRegs unseal;
+  unseal.op = static_cast<uint64_t>(ApiOp::kUnsealData);
+  unseal.arg0 = out;
+  unseal.arg1 = sealed.ret0;
+  unseal.arg2 = in + kPageSize;
+  unseal.arg3 = 4096;
+  const ApiResult opened = Dispatch(monitor_.get(), 1, unseal);
+  ASSERT_EQ(opened.error, 0u);
+  std::vector<uint8_t> recovered(opened.ret0);
+  ASSERT_TRUE(machine_->CheckedRead(1, in + kPageSize, std::span<uint8_t>(recovered)).ok());
+  EXPECT_EQ(recovered, secret);
+  ASSERT_TRUE(enclave->Exit(1).ok());
+
+  // The OS cannot abuse the ABI to read the enclave's buffers: it has no
+  // mapping there, so the CheckedRead in dispatch faults.
+  ApiRegs steal = seal;
+  const ApiResult stolen = Dispatch(monitor_.get(), 0, steal);
+  EXPECT_NE(stolen.error, 0u);
+}
+
+class AeadTest : public ::testing::Test {};
+
+TEST_F(AeadTest, RoundTripAndTamper) {
+  const Digest key = Sha256::Hash(std::string_view("key"));
+  const std::vector<uint8_t> plaintext(1000, 0x5a);
+  const SealedBlob blob = AeadSeal(key, 7, plaintext);
+  EXPECT_NE(blob.ciphertext, plaintext);  // actually encrypted
+  EXPECT_EQ(*AeadOpen(key, blob), plaintext);
+
+  SealedBlob bad = blob;
+  bad.ciphertext[0] ^= 1;
+  EXPECT_FALSE(AeadOpen(key, bad).ok());
+  SealedBlob bad_nonce = blob;
+  bad_nonce.nonce ^= 1;
+  EXPECT_FALSE(AeadOpen(key, bad_nonce).ok());
+  const Digest other = Sha256::Hash(std::string_view("other"));
+  EXPECT_FALSE(AeadOpen(other, blob).ok());
+}
+
+TEST_F(AeadTest, EmptyAndLargePayloads) {
+  const Digest key = Sha256::Hash(std::string_view("key"));
+  const SealedBlob empty = AeadSeal(key, 1, {});
+  EXPECT_TRUE(AeadOpen(key, empty)->empty());
+  std::vector<uint8_t> big(100000);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<uint8_t>(i);
+  }
+  const SealedBlob blob = AeadSeal(key, 2, big);
+  EXPECT_EQ(*AeadOpen(key, blob), big);
+}
+
+TEST_F(AeadTest, SerializeRoundTrip) {
+  const Digest key = Sha256::Hash(std::string_view("key"));
+  const SealedBlob blob = AeadSeal(key, 9, std::vector<uint8_t>{1, 2, 3});
+  const auto parsed = SealedBlob::Deserialize(blob.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*AeadOpen(key, *parsed), (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_FALSE(SealedBlob::Deserialize(std::vector<uint8_t>(10)).ok());
+  std::vector<uint8_t> bad_length = blob.Serialize();
+  bad_length[8] ^= 1;  // corrupt the length field
+  EXPECT_FALSE(SealedBlob::Deserialize(bad_length).ok());
+}
+
+TEST_F(AeadTest, DistinctNoncesDistinctCiphertexts) {
+  const Digest key = Sha256::Hash(std::string_view("key"));
+  const std::vector<uint8_t> plaintext(64, 0);
+  EXPECT_NE(AeadSeal(key, 1, plaintext).ciphertext, AeadSeal(key, 2, plaintext).ciphertext);
+}
+
+}  // namespace
+}  // namespace tyche

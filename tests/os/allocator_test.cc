@@ -1,0 +1,115 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/os/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/prng.h"
+
+namespace tyche {
+namespace {
+
+constexpr uint64_t kMiB = 1ull << 20;
+
+TEST(RangeAllocatorTest, AllocWithinPool) {
+  RangeAllocator alloc(AddrRange{kMiB, 4 * kMiB});
+  const auto a = alloc.Alloc(64 * 1024);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(AddrRange(kMiB, 4 * kMiB).Contains(*a));
+  EXPECT_TRUE(IsPageAligned(a->base));
+  EXPECT_EQ(a->size, 64 * 1024u);
+}
+
+TEST(RangeAllocatorTest, RoundsUpToPages) {
+  RangeAllocator alloc(AddrRange{0, kMiB});
+  const auto a = alloc.Alloc(100);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->size, kPageSize);
+}
+
+TEST(RangeAllocatorTest, DisjointAllocations) {
+  RangeAllocator alloc(AddrRange{0, kMiB});
+  const auto a = alloc.Alloc(128 * 1024);
+  const auto b = alloc.Alloc(128 * 1024);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a->Overlaps(*b));
+}
+
+TEST(RangeAllocatorTest, ExhaustionAndRecovery) {
+  RangeAllocator alloc(AddrRange{0, 4 * kPageSize});
+  const auto a = alloc.Alloc(2 * kPageSize);
+  const auto b = alloc.Alloc(2 * kPageSize);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(alloc.Alloc(kPageSize).code(), ErrorCode::kResourceExhausted);
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  EXPECT_TRUE(alloc.Alloc(2 * kPageSize).ok());
+}
+
+TEST(RangeAllocatorTest, AlignmentHonored) {
+  RangeAllocator alloc(AddrRange{kPageSize, 8 * kMiB});
+  const auto a = alloc.Alloc(kPageSize, kMiB);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(IsAligned(a->base, kMiB));
+}
+
+TEST(RangeAllocatorTest, CoalescingPreventsFragmentation) {
+  RangeAllocator alloc(AddrRange{0, kMiB});
+  const auto a = alloc.Alloc(256 * 1024);
+  const auto b = alloc.Alloc(256 * 1024);
+  const auto c = alloc.Alloc(256 * 1024);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  ASSERT_TRUE(alloc.Free(*c).ok());
+  ASSERT_TRUE(alloc.Free(*b).ok());  // middle last: must coalesce into one
+  EXPECT_EQ(alloc.fragment_count(), 1u);
+  EXPECT_EQ(alloc.largest_free(), kMiB);
+}
+
+TEST(RangeAllocatorTest, DoubleFreeDetected) {
+  RangeAllocator alloc(AddrRange{0, kMiB});
+  const auto a = alloc.Alloc(kPageSize);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  EXPECT_EQ(alloc.Free(*a).code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(RangeAllocatorTest, FreeOutsidePoolRejected) {
+  RangeAllocator alloc(AddrRange{kMiB, kMiB});
+  EXPECT_FALSE(alloc.Free(AddrRange{0, kPageSize}).ok());
+  EXPECT_FALSE(alloc.Free(AddrRange{kMiB, 0}).ok());
+}
+
+TEST(RangeAllocatorTest, RandomizedChurnConservesBytes) {
+  Prng prng(4242);
+  RangeAllocator alloc(AddrRange{0, 16 * kMiB});
+  std::vector<AddrRange> live;
+  for (int step = 0; step < 2000; ++step) {
+    if (live.empty() || prng.Chance(3, 5)) {
+      const auto range = alloc.Alloc((1 + prng.Below(16)) * kPageSize);
+      if (range.ok()) {
+        live.push_back(*range);
+      }
+    } else {
+      const size_t index = prng.Below(live.size());
+      ASSERT_TRUE(alloc.Free(live[index]).ok());
+      live.erase(live.begin() + static_cast<long>(index));
+    }
+    // Conservation: free + live == pool.
+    uint64_t live_bytes = 0;
+    for (const AddrRange& range : live) {
+      live_bytes += range.size;
+    }
+    ASSERT_EQ(alloc.free_bytes() + live_bytes, 16 * kMiB);
+  }
+  for (const AddrRange& range : live) {
+    ASSERT_TRUE(alloc.Free(range).ok());
+  }
+  EXPECT_EQ(alloc.fragment_count(), 1u);
+}
+
+}  // namespace
+}  // namespace tyche

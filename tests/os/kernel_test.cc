@@ -1,0 +1,99 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// LinOS: processes, syscalls, the monopoly problem, and the monitor-backed
+// extensions (driver sandboxes, per-process enclaves).
+
+#include "src/os/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/booted_machine.h"
+
+namespace tyche {
+namespace {
+
+class KernelTest : public BootedMachineTest {};
+
+TEST_F(KernelTest, ProcessLifecycle) {
+  const auto pid = os_->CreateProcess("init", kMiB);
+  ASSERT_TRUE(pid.ok());
+  EXPECT_EQ(os_->process_count(), 1u);
+  const auto process = os_->GetProcess(*pid);
+  ASSERT_TRUE(process.ok());
+  EXPECT_EQ((*process)->name, "init");
+  EXPECT_EQ((*process)->memory.size, kMiB);
+  ASSERT_TRUE(os_->KillProcess(*pid).ok());
+  EXPECT_EQ(os_->process_count(), 0u);
+  EXPECT_EQ(os_->KillProcess(*pid).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(KernelTest, SyscallsBoundsChecked) {
+  const Pid pid = *os_->CreateProcess("app", kMiB);
+  const AddrRange memory = (*os_->GetProcess(pid))->memory;
+  const std::vector<uint8_t> data = {1, 2, 3};
+  EXPECT_TRUE(os_->SysWrite(0, pid, memory.base, std::span<const uint8_t>(data)).ok());
+  EXPECT_EQ(*os_->SysRead(0, pid, memory.base, 3), data);
+  // Outside the process: rejected by the OS (software check).
+  EXPECT_EQ(os_->SysWrite(0, pid, memory.end(), std::span<const uint8_t>(data)).code(),
+            ErrorCode::kAccessViolation);
+  EXPECT_EQ((*os_->GetProcess(pid))->syscalls, 2u);
+}
+
+TEST_F(KernelTest, ProcessesShareTheSchedulerFairly) {
+  const Pid a = *os_->CreateProcess("a", kMiB);
+  const Pid b = *os_->CreateProcess("b", kMiB);
+  std::map<uint32_t, int> slices;
+  for (int i = 0; i < 10; ++i) {
+    ++slices[os_->scheduler().Tick()];
+  }
+  EXPECT_EQ(slices[a], 5);
+  EXPECT_EQ(slices[b], 5);
+}
+
+TEST_F(KernelTest, TheMonopolyProblem) {
+  // A commodity kernel reads any process's memory: process isolation does
+  // not protect the user from privileged code (§2.2).
+  const Pid victim = *os_->CreateProcess("victim", kMiB);
+  const AddrRange memory = (*os_->GetProcess(victim))->memory;
+  const std::vector<uint8_t> secret = {0xde, 0xad};
+  ASSERT_TRUE(os_->SysWrite(0, victim, memory.base, std::span<const uint8_t>(secret)).ok());
+  // KernelPeek has no bounds check and the hardware lets domain 0 through.
+  const auto peeked = os_->KernelPeek(0, memory.base, 2);
+  ASSERT_TRUE(peeked.ok());
+  EXPECT_EQ(*peeked, secret);
+}
+
+TEST_F(KernelTest, ProcessEnclaveEscapesTheMonopoly) {
+  // The same kernel, now using the monitor: the process carves an enclave,
+  // and KernelPeek STOPS working on the carved range.
+  const Pid app = *os_->CreateProcess("app", 8 * kMiB);
+  const TycheImage image = TycheImage::MakeDemo("wallet", 2 * kPageSize, 0);
+  auto enclave = os_->SpawnProcessEnclave(0, app, image, 2 * kMiB, 1, OsCoreCap(1));
+  ASSERT_TRUE(enclave.ok()) << enclave.status().ToString();
+
+  // The enclave writes a secret into its exclusive memory.
+  ASSERT_TRUE(enclave->Enter(1).ok());
+  ASSERT_TRUE(machine_->CheckedWrite64(1, enclave->base() + kMiB, 0x5ec4e7).ok());
+  ASSERT_TRUE(enclave->Exit(1).ok());
+
+  // Privileged code can no longer peek.
+  EXPECT_FALSE(os_->KernelPeek(0, enclave->base() + kMiB, 8).ok());
+  // The process's remaining memory shrank in the OS's bookkeeping.
+  EXPECT_EQ((*os_->GetProcess(app))->memory.size, 6 * kMiB);
+  // And the OS still works for everything else.
+  EXPECT_TRUE(os_->KernelPeek(0, (*os_->GetProcess(app))->memory.base, 8).ok());
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+}
+
+TEST_F(KernelTest, EnclaveLargerThanProcessRejected) {
+  const Pid app = *os_->CreateProcess("small", kMiB);
+  const TycheImage image = TycheImage::MakeDemo("big", kPageSize, 0);
+  EXPECT_FALSE(os_->SpawnProcessEnclave(0, app, image, 2 * kMiB, 1, OsCoreCap(1)).ok());
+}
+
+TEST_F(KernelTest, AllocatorExhaustionSurfacesAsProcessFailure) {
+  // Managed pool is 62 MiB; a 100 MiB process cannot exist.
+  EXPECT_EQ(os_->CreateProcess("huge", 100 * kMiB).code(), ErrorCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace tyche

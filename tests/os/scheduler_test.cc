@@ -1,0 +1,85 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/os/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace tyche {
+namespace {
+
+TEST(SchedulerTest, IdleWhenEmpty) {
+  CycleAccount cycles;
+  RoundRobinScheduler scheduler(&cycles);
+  EXPECT_EQ(scheduler.Tick(), RoundRobinScheduler::kIdle);
+  EXPECT_EQ(cycles.cycles(), 0u);
+}
+
+TEST(SchedulerTest, RoundRobinOrder) {
+  CycleAccount cycles;
+  RoundRobinScheduler scheduler(&cycles);
+  scheduler.AddTask(1);
+  scheduler.AddTask(2);
+  scheduler.AddTask(3);
+  EXPECT_EQ(scheduler.Tick(), 1u);
+  EXPECT_EQ(scheduler.Tick(), 2u);
+  EXPECT_EQ(scheduler.Tick(), 3u);
+  EXPECT_EQ(scheduler.Tick(), 1u);  // wraps around
+}
+
+TEST(SchedulerTest, SingleTaskNoSwitchCost) {
+  CycleAccount cycles;
+  RoundRobinScheduler scheduler(&cycles);
+  scheduler.AddTask(7);
+  (void)scheduler.Tick();  // first dispatch charges one switch
+  const uint64_t after_first = cycles.cycles();
+  (void)scheduler.Tick();  // same task again: no switch
+  EXPECT_EQ(cycles.cycles(), after_first);
+  EXPECT_EQ(scheduler.switches(), 1u);
+}
+
+TEST(SchedulerTest, SwitchesChargeContextSwitchCost) {
+  CycleAccount cycles;
+  RoundRobinScheduler scheduler(&cycles);
+  scheduler.AddTask(1);
+  scheduler.AddTask(2);
+  (void)scheduler.Tick();
+  (void)scheduler.Tick();
+  (void)scheduler.Tick();
+  EXPECT_EQ(cycles.cycles(), 3 * CostModel::Default().context_switch);
+  EXPECT_EQ(scheduler.switches(), 3u);
+}
+
+TEST(SchedulerTest, RemoveTask) {
+  CycleAccount cycles;
+  RoundRobinScheduler scheduler(&cycles);
+  scheduler.AddTask(1);
+  scheduler.AddTask(2);
+  EXPECT_EQ(scheduler.Tick(), 1u);
+  ASSERT_TRUE(scheduler.RemoveTask(2).ok());
+  EXPECT_EQ(scheduler.Tick(), 1u);
+  EXPECT_EQ(scheduler.RemoveTask(99).code(), ErrorCode::kNotFound);
+}
+
+TEST(SchedulerTest, RemoveRunningTask) {
+  CycleAccount cycles;
+  RoundRobinScheduler scheduler(&cycles);
+  scheduler.AddTask(1);
+  EXPECT_EQ(scheduler.Tick(), 1u);
+  ASSERT_TRUE(scheduler.RemoveTask(1).ok());
+  EXPECT_EQ(scheduler.current(), RoundRobinScheduler::kIdle);
+  EXPECT_EQ(scheduler.Tick(), RoundRobinScheduler::kIdle);
+}
+
+TEST(SchedulerTest, RunnableCount) {
+  CycleAccount cycles;
+  RoundRobinScheduler scheduler(&cycles);
+  EXPECT_EQ(scheduler.runnable(), 0u);
+  scheduler.AddTask(1);
+  scheduler.AddTask(2);
+  EXPECT_EQ(scheduler.runnable(), 2u);
+  (void)scheduler.Tick();
+  EXPECT_EQ(scheduler.runnable(), 2u);  // one running + one queued
+}
+
+}  // namespace
+}  // namespace tyche

@@ -1,0 +1,176 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Guest virtual memory: per-process address spaces under the monitor's
+// layer. Demonstrates the two-layer argument of §3.5 concretely -- the OS
+// keeps its own paging, the monitor's enforcement sits underneath, and a
+// guest mapping can never resurrect physically revoked access.
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/booted_machine.h"
+
+namespace tyche {
+namespace {
+
+class VirtualMemoryTest : public BootedMachineTest {};
+
+TEST_F(VirtualMemoryTest, ProcessesShareVaDifferentFrames) {
+  const Pid a = *os_->CreateProcess("a", kMiB);
+  const Pid b = *os_->CreateProcess("b", kMiB);
+
+  // Both processes use the SAME virtual address; each sees its own frame.
+  ASSERT_TRUE(os_->RunProcess(1, a).ok());
+  ASSERT_TRUE(machine_->CheckedWrite64Virt(1, LinOs::kUserBase, 0xAAAA).ok());
+  ASSERT_TRUE(os_->RunProcess(1, b).ok());
+  ASSERT_TRUE(machine_->CheckedWrite64Virt(1, LinOs::kUserBase, 0xBBBB).ok());
+  ASSERT_TRUE(os_->RunProcess(1, a).ok());
+  EXPECT_EQ(*machine_->CheckedRead64Virt(1, LinOs::kUserBase), 0xAAAAu);
+  ASSERT_TRUE(os_->RunProcess(1, b).ok());
+  EXPECT_EQ(*machine_->CheckedRead64Virt(1, LinOs::kUserBase), 0xBBBBu);
+  os_->StopUserMode(1);
+  EXPECT_EQ(os_->RunningOn(1), LinOs::kInvalidPid);
+
+  // The physical frames really differ.
+  const uint64_t pa_a = (*os_->GetProcess(a))->memory.base;
+  const uint64_t pa_b = (*os_->GetProcess(b))->memory.base;
+  EXPECT_NE(pa_a, pa_b);
+  EXPECT_EQ(*machine_->CheckedRead64(0, pa_a), 0xAAAAu);
+  EXPECT_EQ(*machine_->CheckedRead64(0, pa_b), 0xBBBBu);
+}
+
+TEST_F(VirtualMemoryTest, UserModeSeesOnlyItsAddressSpace) {
+  const Pid pid = *os_->CreateProcess("jail", kMiB);
+  ASSERT_TRUE(os_->RunProcess(1, pid).ok());
+  EXPECT_EQ(os_->RunningOn(1), pid);
+
+  // Inside the process's VA space: fine.
+  EXPECT_TRUE(machine_->CheckedWrite64Virt(1, LinOs::kUserBase + kMiB - 8, 1).ok());
+  // Below / beyond the user segment: unmapped VAs fault in the guest walk.
+  EXPECT_FALSE(machine_->CheckedRead64Virt(1, LinOs::kUserBase - kPageSize).ok());
+  EXPECT_FALSE(machine_->CheckedRead64Virt(1, LinOs::kUserBase + kMiB).ok());
+  EXPECT_FALSE(machine_->CheckedRead64Virt(1, 0x0).ok());
+  // Kernel physical addresses are simply not in the process's VA space.
+  EXPECT_FALSE(machine_->CheckedRead64Virt(1, managed_.base).ok());
+  os_->StopUserMode(1);
+}
+
+TEST_F(VirtualMemoryTest, PageTablesAreOutOfUserReach) {
+  // The process cannot rewrite its own translations: its page-table frames
+  // live in the kernel's pool, which no user VA maps.
+  const Pid pid = *os_->CreateProcess("sneaky", kMiB);
+  const OsProcess* process = *os_->GetProcess(pid);
+  const uint64_t pt_root = process->address_space->root();
+  ASSERT_TRUE(os_->RunProcess(1, pid).ok());
+  // Try every page of the user segment: none of them aliases the PT root.
+  EXPECT_FALSE(machine_->CheckedRead64Virt(1, pt_root).ok());  // VA = that PA? unmapped
+  // And the root itself is a kernel physical address outside the process.
+  EXPECT_FALSE(process->memory.Contains(pt_root));
+  os_->StopUserMode(1);
+}
+
+TEST_F(VirtualMemoryTest, StraddlingVirtAccessesChunkCorrectly) {
+  const Pid pid = *os_->CreateProcess("straddle", kMiB);
+  ASSERT_TRUE(os_->RunProcess(1, pid).ok());
+  // A write crossing a page boundary must land in both frames correctly.
+  const uint64_t va = LinOs::kUserBase + kPageSize - 3;
+  std::vector<uint8_t> data = {1, 2, 3, 4, 5, 6};
+  ASSERT_TRUE(machine_->CheckedWriteVirt(1, va, std::span<const uint8_t>(data)).ok());
+  std::vector<uint8_t> back(6);
+  ASSERT_TRUE(machine_->CheckedReadVirt(1, va, std::span<uint8_t>(back)).ok());
+  EXPECT_EQ(back, data);
+  os_->StopUserMode(1);
+}
+
+TEST_F(VirtualMemoryTest, GuestMappingCannotResurrectRevokedMemory) {
+  // The crown jewel: the process carves an enclave; the OS's guest mapping
+  // for the carved range is gone -- but EVEN IF the OS maliciously remapped
+  // it, the monitor's layer (EPT) faults the access. Two-layer enforcement.
+  const Pid pid = *os_->CreateProcess("victim", 8 * kMiB);
+  const TycheImage image = TycheImage::MakeDemo("wallet", 2 * kPageSize, 0);
+  auto enclave = os_->SpawnProcessEnclave(0, pid, image, 2 * kMiB, 2, OsCoreCap(2));
+  ASSERT_TRUE(enclave.ok()) << enclave.status().ToString();
+
+  // (a) The honest path: the carved VA range is unmapped in the guest PT.
+  ASSERT_TRUE(os_->RunProcess(1, pid).ok());
+  const uint64_t carved_va = LinOs::kUserBase + 6 * kMiB;
+  EXPECT_FALSE(machine_->CheckedRead64Virt(1, carved_va).ok());
+  // The uncarved part still works.
+  EXPECT_TRUE(machine_->CheckedRead64Virt(1, LinOs::kUserBase).ok());
+  os_->StopUserMode(1);
+
+  // (b) The malicious path: the "kernel" force-remaps the carved VA to the
+  // enclave's physical frames in the guest PT...
+  const OsProcess* process = *os_->GetProcess(pid);
+  ASSERT_TRUE(process->address_space
+                  ->MapRange(carved_va, enclave->base(), kPageSize, Perms(Perms::kRWX))
+                  .ok());
+  ASSERT_TRUE(os_->RunProcess(1, pid).ok());
+  // ... and the access STILL faults: the monitor's layer has no mapping for
+  // domain 0 over the enclave's frames.
+  EXPECT_FALSE(machine_->CheckedRead64Virt(1, carved_va).ok());
+  os_->StopUserMode(1);
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+}
+
+TEST_F(VirtualMemoryTest, KillReleasesPageTableFrames) {
+  std::vector<Pid> pids;
+  for (int i = 0; i < 8; ++i) {
+    const auto pid = os_->CreateProcess("churn", kMiB);
+    ASSERT_TRUE(pid.ok());
+    pids.push_back(*pid);
+  }
+  for (const Pid pid : pids) {
+    ASSERT_TRUE(os_->KillProcess(pid).ok());
+  }
+  // Churn again: if frames leaked, this would eventually exhaust the pool.
+  for (int round = 0; round < 64; ++round) {
+    const auto pid = os_->CreateProcess("churn2", kMiB);
+    ASSERT_TRUE(pid.ok()) << "round " << round;
+    ASSERT_TRUE(os_->KillProcess(*pid).ok());
+  }
+}
+
+TEST_F(VirtualMemoryTest, RunProcessValidation) {
+  EXPECT_EQ(os_->RunProcess(1, 9999).code(), ErrorCode::kNotFound);
+  const Pid pid = *os_->CreateProcess("gone", kMiB);
+  ASSERT_TRUE(os_->KillProcess(pid).ok());
+  EXPECT_EQ(os_->RunProcess(1, pid).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(VirtualMemoryTest, KillWhileRunningDropsAddressSpace) {
+  const Pid pid = *os_->CreateProcess("running", kMiB);
+  ASSERT_TRUE(os_->RunProcess(1, pid).ok());
+  ASSERT_TRUE(os_->KillProcess(pid).ok());
+  EXPECT_EQ(os_->RunningOn(1), LinOs::kInvalidPid);
+  // Core 1 is back in kernel mode: physical accesses work again.
+  EXPECT_TRUE(machine_->CheckedRead64(1, managed_.base).ok());
+}
+
+TEST_F(VirtualMemoryTest, CopyToFromUserSyscalls) {
+  const Pid pid = *os_->CreateProcess("user-io", kMiB);
+  const std::vector<uint8_t> data = {9, 8, 7, 6, 5};
+  // Kernel writes into the process at a USER virtual address.
+  ASSERT_TRUE(os_->SysWriteUser(0, pid, LinOs::kUserBase + 100,
+                                std::span<const uint8_t>(data))
+                  .ok());
+  // The process sees it at that VA.
+  ASSERT_TRUE(os_->RunProcess(1, pid).ok());
+  std::vector<uint8_t> seen(5);
+  ASSERT_TRUE(
+      machine_->CheckedReadVirt(1, LinOs::kUserBase + 100, std::span<uint8_t>(seen)).ok());
+  EXPECT_EQ(seen, data);
+  os_->StopUserMode(1);
+  // And the kernel reads it back through the same path.
+  EXPECT_EQ(*os_->SysReadUser(0, pid, LinOs::kUserBase + 100, 5), data);
+  // Unmapped user VAs fault inside the syscall (the page table IS the
+  // bounds check).
+  EXPECT_FALSE(os_->SysReadUser(0, pid, LinOs::kUserBase + 2 * kMiB, 8).ok());
+  EXPECT_FALSE(os_->SysWriteUser(0, pid, 0x1000, std::span<const uint8_t>(data)).ok());
+  // Straddling a page boundary works.
+  ASSERT_TRUE(os_->SysWriteUser(0, pid, LinOs::kUserBase + kPageSize - 2,
+                                std::span<const uint8_t>(data))
+                  .ok());
+  EXPECT_EQ(*os_->SysReadUser(0, pid, LinOs::kUserBase + kPageSize - 2, 5), data);
+}
+
+}  // namespace
+}  // namespace tyche

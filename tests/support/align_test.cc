@@ -1,0 +1,75 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/support/align.h"
+
+#include <gtest/gtest.h>
+
+namespace tyche {
+namespace {
+
+TEST(AlignTest, PowerOfTwo) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(4096));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(4097));
+}
+
+TEST(AlignTest, AlignDownUp) {
+  EXPECT_EQ(AlignDown(4097, 4096), 4096u);
+  EXPECT_EQ(AlignDown(4096, 4096), 4096u);
+  EXPECT_EQ(AlignUp(4097, 4096), 8192u);
+  EXPECT_EQ(AlignUp(4096, 4096), 4096u);
+  EXPECT_EQ(AlignUp(0, 4096), 0u);
+}
+
+TEST(AlignTest, IsAligned) {
+  EXPECT_TRUE(IsPageAligned(0));
+  EXPECT_TRUE(IsPageAligned(8192));
+  EXPECT_FALSE(IsPageAligned(8193));
+}
+
+TEST(AddrRangeTest, ContainsAddr) {
+  const AddrRange r{0x1000, 0x1000};
+  EXPECT_TRUE(r.Contains(0x1000));
+  EXPECT_TRUE(r.Contains(0x1fff));
+  EXPECT_FALSE(r.Contains(0x2000));
+  EXPECT_FALSE(r.Contains(0xfff));
+}
+
+TEST(AddrRangeTest, ContainsRange) {
+  const AddrRange outer{0x1000, 0x3000};
+  EXPECT_TRUE(outer.Contains(AddrRange{0x2000, 0x1000}));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(AddrRange{0x3000, 0x2000}));
+  EXPECT_FALSE(outer.Contains(AddrRange{0x0, 0x2000}));
+}
+
+TEST(AddrRangeTest, Overlaps) {
+  const AddrRange r{0x1000, 0x1000};
+  EXPECT_TRUE(r.Overlaps(AddrRange{0x1800, 0x1000}));
+  EXPECT_TRUE(r.Overlaps(AddrRange{0x0, 0x1001}));
+  EXPECT_FALSE(r.Overlaps(AddrRange{0x2000, 0x1000}));  // touching is disjoint
+  EXPECT_FALSE(r.Overlaps(AddrRange{0x0, 0x1000}));
+}
+
+TEST(AddrRangeTest, EmptyRangeOverlapsNothing) {
+  const AddrRange empty{0x1000, 0};
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(empty.Overlaps(AddrRange{0, 0x10000}));
+}
+
+TEST(AddrRangeTest, WrappingRangesAreHostile) {
+  const AddrRange wrap{~0ull - 4095, 8192};  // base + size overflows
+  EXPECT_TRUE(wrap.Wraps());
+  EXPECT_FALSE(wrap.Contains(0ull));
+  EXPECT_FALSE(wrap.Contains(~0ull));
+  const AddrRange whole{0, ~0ull};
+  EXPECT_FALSE(whole.Contains(wrap));
+  EXPECT_FALSE(wrap.Overlaps(whole));
+  EXPECT_FALSE(whole.Overlaps(wrap));
+  EXPECT_FALSE((AddrRange{0, 4096}.Wraps()));
+}
+
+}  // namespace
+}  // namespace tyche

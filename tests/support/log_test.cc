@@ -1,0 +1,58 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/support/log.h"
+
+#include <gtest/gtest.h>
+
+namespace tyche {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::Get().set_sink([this](LogLevel level, const std::string& message) {
+      captured_.emplace_back(level, message);
+    });
+    saved_level_ = Logger::Get().level();
+  }
+
+  void TearDown() override {
+    Logger::Get().set_sink(nullptr);
+    Logger::Get().set_level(saved_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, MessagesBelowLevelAreSuppressed) {
+  Logger::Get().set_level(LogLevel::kWarn);
+  TYCHE_LOG(kDebug) << "hidden";
+  TYCHE_LOG(kWarn) << "visible";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kWarn);
+  EXPECT_NE(captured_[0].second.find("visible"), std::string::npos);
+}
+
+TEST_F(LogTest, MessageIncludesFileAndLine) {
+  Logger::Get().set_level(LogLevel::kInfo);
+  TYCHE_LOG(kInfo) << "located";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_NE(captured_[0].second.find("log_test.cc"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSuppressesEverything) {
+  Logger::Get().set_level(LogLevel::kOff);
+  TYCHE_LOG(kError) << "nope";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, StreamFormatting) {
+  Logger::Get().set_level(LogLevel::kInfo);
+  TYCHE_LOG(kInfo) << "x=" << 42 << " y=" << 3.5;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_NE(captured_[0].second.find("x=42 y=3.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tyche

@@ -1,0 +1,73 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/support/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tyche {
+namespace {
+
+TEST(PrngTest, Deterministic) {
+  Prng a(12345);
+  Prng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(PrngTest, DifferentSeedsDiverge) {
+  Prng a(1);
+  Prng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(PrngTest, BelowStaysInBounds) {
+  Prng prng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(prng.Below(17), 17u);
+  }
+}
+
+TEST(PrngTest, RangeInclusive) {
+  Prng prng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = prng.Range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(PrngTest, ChanceRoughlyCalibrated) {
+  Prng prng(11);
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (prng.Chance(1, 4)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.03);
+}
+
+TEST(PrngTest, DoubleInUnitInterval) {
+  Prng prng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = prng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace tyche

@@ -1,0 +1,81 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/support/status.h"
+
+#include <gtest/gtest.h>
+
+namespace tyche {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = Error(ErrorCode::kPolicyViolation, "bad policy");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kPolicyViolation);
+  EXPECT_EQ(status.message(), "bad policy");
+  EXPECT_EQ(status.ToString(), "POLICY_VIOLATION: bad policy");
+}
+
+TEST(StatusTest, EveryErrorCodeHasAName) {
+  for (int code = 0; code <= static_cast<int>(ErrorCode::kSignatureInvalid); ++code) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(code)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Error(ErrorCode::kNotFound, "missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ErrorCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  ASSERT_TRUE(result.ok());
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Result<int> Doubler(Result<int> input) {
+  TYCHE_ASSIGN_OR_RETURN(const int value, input);
+  return value * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  const Result<int> failed = Doubler(Error(ErrorCode::kInternal));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), ErrorCode::kInternal);
+}
+
+Status FailIfNegative(int value) {
+  if (value < 0) {
+    return Error(ErrorCode::kInvalidArgument);
+  }
+  return OkStatus();
+}
+
+Status Chain(int value) {
+  TYCHE_RETURN_IF_ERROR(FailIfNegative(value));
+  return OkStatus();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_EQ(Chain(-1).code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace tyche

@@ -1,0 +1,116 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/tyche/channel.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/booted_machine.h"
+
+namespace tyche {
+namespace {
+
+class ChannelTest : public BootedMachineTest {};
+
+std::vector<uint8_t> Msg(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST_F(ChannelTest, CreateValidation) {
+  EXPECT_FALSE(Channel::Create(monitor_.get(), 0, AddrRange{Scratch(0, 0).base, kPageSize})
+                   .ok());
+  EXPECT_FALSE(
+      Channel::Create(monitor_.get(), 0, AddrRange{Scratch(0, 0).base + 1, 2 * kPageSize})
+          .ok());
+  EXPECT_TRUE(
+      Channel::Create(monitor_.get(), 0, AddrRange{Scratch(0, 0).base, 2 * kPageSize}).ok());
+}
+
+TEST_F(ChannelTest, SendRecvRoundTrip) {
+  auto channel = Channel::Create(monitor_.get(), 0, Scratch(kMiB, 4 * kPageSize));
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE(channel->Send(0, Msg("hello")).ok());
+  ASSERT_TRUE(channel->Send(0, Msg("world")).ok());
+  EXPECT_EQ(*channel->Recv(0), Msg("hello"));
+  EXPECT_EQ(*channel->Recv(0), Msg("world"));
+  EXPECT_EQ(channel->Recv(0).code(), ErrorCode::kNotFound);  // empty
+}
+
+TEST_F(ChannelTest, WrapsAroundRing) {
+  auto channel = Channel::Create(monitor_.get(), 0, Scratch(kMiB, 2 * kPageSize));
+  ASSERT_TRUE(channel.ok());
+  // Capacity is one page; cycle enough data to wrap several times.
+  const std::vector<uint8_t> payload(1000, 0xab);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(channel->Send(0, payload).ok()) << i;
+    const auto received = channel->Recv(0);
+    ASSERT_TRUE(received.ok()) << i;
+    EXPECT_EQ(*received, payload);
+  }
+}
+
+TEST_F(ChannelTest, FullChannelRejectsSend) {
+  auto channel = Channel::Create(monitor_.get(), 0, Scratch(kMiB, 2 * kPageSize));
+  ASSERT_TRUE(channel.ok());
+  const std::vector<uint8_t> big(3000, 1);
+  ASSERT_TRUE(channel->Send(0, big).ok());
+  EXPECT_EQ(channel->Send(0, big).code(), ErrorCode::kResourceExhausted);
+  // Draining frees space.
+  ASSERT_TRUE(channel->Recv(0).ok());
+  EXPECT_TRUE(channel->Send(0, big).ok());
+}
+
+TEST_F(ChannelTest, CrossDomainChannelWithRefCountCheck) {
+  // Build an enclave sharing a buffer region with the OS, lay a channel
+  // over it, talk across the boundary.
+  const TycheImage image = TycheImage::MakeDemo("peer", 2 * kPageSize, 4 * kPageSize);
+  LoadOptions options;
+  options.base = Scratch(2 * kMiB, 0).base;
+  options.size = kMiB;
+  options.cores = {1};
+  options.core_caps = {OsCoreCap(1)};
+  const auto loaded = LoadImage(monitor_.get(), 0, image, options);
+  ASSERT_TRUE(loaded.ok());
+
+  const AddrRange shared{options.base + image.segments()[1].offset,
+                         image.segments()[1].size};
+  auto channel = Channel::Create(monitor_.get(), 0, shared);
+  ASSERT_TRUE(channel.ok());
+  EXPECT_TRUE(channel->VerifyRefCount(2));  // exactly OS + enclave
+
+  // OS sends, enclave receives (and answers).
+  ASSERT_TRUE(channel->Send(0, Msg("request")).ok());
+  ASSERT_TRUE(monitor_->Transition(1, loaded->handle).ok());
+  EXPECT_EQ(*channel->Recv(1), Msg("request"));
+  ASSERT_TRUE(channel->Send(1, Msg("response")).ok());
+  ASSERT_TRUE(monitor_->ReturnFromDomain(1).ok());
+  EXPECT_EQ(*channel->Recv(0), Msg("response"));
+}
+
+TEST_F(ChannelTest, RefCountCheckDetectsEavesdropper) {
+  const TycheImage image = TycheImage::MakeDemo("peer", 2 * kPageSize, 4 * kPageSize);
+  LoadOptions options;
+  options.base = Scratch(4 * kMiB, 0).base;
+  options.size = kMiB;
+  options.cores = {1};
+  options.core_caps = {OsCoreCap(1)};
+  options.seal = false;  // leave open so the "attack" below is expressible
+  const auto loaded = LoadImage(monitor_.get(), 0, image, options);
+  ASSERT_TRUE(loaded.ok());
+  const AddrRange shared{options.base + image.segments()[1].offset,
+                         image.segments()[1].size};
+  auto channel = Channel::Create(monitor_.get(), 0, shared);
+  ASSERT_TRUE(channel.ok());
+  EXPECT_TRUE(channel->VerifyRefCount(2));
+
+  // The OS also shares the buffer with a third domain: the judiciary check
+  // on the channel fails from then on.
+  const auto third = monitor_->CreateDomain(0, "eavesdropper");
+  ASSERT_TRUE(third.ok());
+  ASSERT_TRUE(monitor_->ShareMemory(0, OsMemCap(shared), third->handle, shared,
+                                    Perms(Perms::kRead), CapRights{}, RevocationPolicy{})
+                  .ok());
+  EXPECT_FALSE(channel->VerifyRefCount(2));
+}
+
+}  // namespace
+}  // namespace tyche

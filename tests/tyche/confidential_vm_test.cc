@@ -1,0 +1,123 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/tyche/confidential_vm.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/booted_machine.h"
+
+namespace tyche {
+namespace {
+
+class ConfidentialVmTest : public BootedMachineTest {
+ protected:
+  ConfidentialVmTest() : BootedMachineTest(FixtureOptions{.with_nic = true}) {}
+
+  TycheImage GuestKernel() {
+    TycheImage image("guest-kernel");
+    ImageSegment kernel;
+    kernel.name = "kernel";
+    kernel.offset = 0;
+    kernel.size = 4 * kPageSize;
+    kernel.perms = Perms(Perms::kRWX);
+    kernel.measured = true;
+    kernel.data.assign(4 * kPageSize, 0x90);
+    (void)image.AddSegment(std::move(kernel));
+    image.set_entry_offset(0);
+    return image;
+  }
+};
+
+TEST_F(ConfidentialVmTest, VmIsExclusiveAndMultiCore) {
+  ConfidentialVmOptions options;
+  options.base = Scratch(8 * kMiB, 0).base;
+  options.size = 16 * kMiB;
+  options.cores = {1, 2};
+  options.core_caps = {OsCoreCap(1), OsCoreCap(2)};
+  auto vm = ConfidentialVm::Create(monitor_.get(), 0, GuestKernel(), options);
+  ASSERT_TRUE(vm.ok()) << vm.status().ToString();
+
+  EXPECT_TRUE(vm->MemoryIsExclusive());
+  // The host (cloud provider) cannot read guest memory.
+  EXPECT_FALSE(machine_->CheckedRead64(0, options.base).ok());
+
+  // Two vCPUs run concurrently on two cores.
+  ASSERT_TRUE(vm->StartVcpu(1).ok());
+  ASSERT_TRUE(vm->StartVcpu(2).ok());
+  EXPECT_EQ(monitor_->CurrentDomain(1), vm->domain());
+  EXPECT_EQ(monitor_->CurrentDomain(2), vm->domain());
+  EXPECT_TRUE(machine_->CheckedWrite64(1, options.base + kMiB, 1).ok());
+  EXPECT_TRUE(machine_->CheckedWrite64(2, options.base + 2 * kMiB, 2).ok());
+  // Not on core 3 (never given to the VM).
+  EXPECT_EQ(vm->StartVcpu(3).code(), ErrorCode::kTransitionDenied);
+  ASSERT_TRUE(vm->StopVcpu(1).ok());
+  ASSERT_TRUE(vm->StopVcpu(2).ok());
+}
+
+TEST_F(ConfidentialVmTest, DeviceGrantedExclusively) {
+  ConfidentialVmOptions options;
+  options.base = Scratch(8 * kMiB, 0).base;
+  options.size = 8 * kMiB;
+  options.cores = {1};
+  options.core_caps = {OsCoreCap(1)};
+  options.device_caps = {OsDeviceCap(kNicBdf.value)};
+  auto vm = ConfidentialVm::Create(monitor_.get(), 0, GuestKernel(), options);
+  ASSERT_TRUE(vm.ok()) << vm.status().ToString();
+
+  auto* nic = static_cast<DmaEngine*>(machine_->FindDevice(kNicBdf));
+  // The NIC now DMAs with the VM's view: inside VM memory OK, host memory
+  // faults.
+  EXPECT_TRUE(nic->Copy(machine_.get(), options.base + kMiB, options.base + 2 * kMiB, 64)
+                  .ok());
+  EXPECT_EQ(nic->Copy(machine_.get(), options.base, managed_.base, 64).code(),
+            ErrorCode::kIommuFault);
+  // And the host no longer holds the device capability.
+  EXPECT_FALSE(monitor_->engine().HasUnit(os_domain_, ResourceKind::kPciDevice,
+                                          kNicBdf.value));
+}
+
+TEST_F(ConfidentialVmTest, VmAttestationVerifiesEndToEnd) {
+  ConfidentialVmOptions options;
+  options.base = Scratch(8 * kMiB, 0).base;
+  options.size = 8 * kMiB;
+  options.cores = {1};
+  options.core_caps = {OsCoreCap(1)};
+  const TycheImage guest = GuestKernel();
+  auto vm = ConfidentialVm::Create(monitor_.get(), 0, guest, options);
+  ASSERT_TRUE(vm.ok());
+
+  const auto report = vm->Attest(0, 1234);
+  ASSERT_TRUE(report.ok());
+  const auto golden =
+      ComputeExpectedMeasurement(guest, options.base, options.size, options.cores);
+  ASSERT_TRUE(golden.ok());
+  EXPECT_EQ(report->measurement, *golden);
+  // Every memory claim exclusive.
+  for (const ResourceClaim& claim : report->resources) {
+    if (claim.kind == ResourceKind::kMemory) {
+      EXPECT_EQ(claim.ref_count, 1u);
+    }
+  }
+}
+
+TEST_F(ConfidentialVmTest, TeardownReturnsMemoryZeroed) {
+  ConfidentialVmOptions options;
+  options.base = Scratch(8 * kMiB, 0).base;
+  options.size = 8 * kMiB;
+  options.cores = {1};
+  options.core_caps = {OsCoreCap(1)};
+  auto vm = ConfidentialVm::Create(monitor_.get(), 0, GuestKernel(), options);
+  ASSERT_TRUE(vm.ok());
+
+  // Guest writes a secret.
+  ASSERT_TRUE(vm->StartVcpu(1).ok());
+  ASSERT_TRUE(machine_->CheckedWrite64(1, options.base + kMiB, 0x5ec4e7).ok());
+  ASSERT_TRUE(vm->StopVcpu(1).ok());
+
+  ASSERT_TRUE(monitor_->DestroyDomain(0, vm->handle()).ok());
+  // Obfuscating revocation policy: the host regains ZEROED memory.
+  EXPECT_EQ(*machine_->CheckedRead64(0, options.base + kMiB), 0u);
+}
+
+}  // namespace
+}  // namespace tyche

@@ -1,0 +1,142 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/tyche/loader.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/booted_machine.h"
+
+namespace tyche {
+namespace {
+
+class LoaderTest : public BootedMachineTest {};
+
+TEST_F(LoaderTest, LayoutCoversWholeRegion) {
+  const TycheImage image = TycheImage::MakeDemo("demo", 2 * kPageSize, kPageSize);
+  const auto layout = ComputeLoadLayout(image, 0x100000, 16 * kPageSize);
+  ASSERT_TRUE(layout.ok());
+  // text (confidential) + shared + heap tail.
+  ASSERT_EQ(layout->size(), 3u);
+  EXPECT_FALSE((*layout)[0].shared);
+  EXPECT_TRUE((*layout)[1].shared);
+  EXPECT_TRUE((*layout)[2].heap);
+  uint64_t covered = 0;
+  for (const LayoutRegion& region : *layout) {
+    covered += region.range.size;
+  }
+  EXPECT_EQ(covered, 16 * kPageSize);
+}
+
+TEST_F(LoaderTest, LayoutRejectsOversizedImage) {
+  const TycheImage image = TycheImage::MakeDemo("demo", 8 * kPageSize, 0);
+  EXPECT_FALSE(ComputeLoadLayout(image, 0x100000, 4 * kPageSize).ok());
+  EXPECT_FALSE(ComputeLoadLayout(image, 0x100001, 16 * kPageSize).ok());
+}
+
+TEST_F(LoaderTest, LoadImageBuildsSealedDomain) {
+  const TycheImage image = TycheImage::MakeDemo("worker", 2 * kPageSize, kPageSize);
+  LoadOptions options;
+  options.base = Scratch(kMiB, 0).base;
+  options.size = kMiB;
+  options.cores = {1};
+  options.core_caps = {OsCoreCap(1)};
+  const auto loaded = LoadImage(monitor_.get(), 0, image, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const auto domain = monitor_->GetDomain(loaded->domain);
+  ASSERT_TRUE(domain.ok());
+  EXPECT_TRUE((*domain)->sealed());
+  EXPECT_EQ((*domain)->entry_point, options.base);
+
+  // Segment content was copied into place (read through the domain itself).
+  ASSERT_TRUE(monitor_->Transition(1, loaded->handle).ok());
+  std::vector<uint8_t> buffer(16);
+  ASSERT_TRUE(machine_->CheckedRead(1, options.base, std::span<uint8_t>(buffer)).ok());
+  EXPECT_EQ(buffer[0], image.segments()[0].data[0]);
+  ASSERT_TRUE(monitor_->ReturnFromDomain(1).ok());
+
+  // The OS kept access to the shared segment but not to the text segment.
+  const uint64_t shared_base = options.base + image.segments()[1].offset;
+  EXPECT_TRUE(machine_->CheckedRead64(0, shared_base).ok());
+  EXPECT_FALSE(machine_->CheckedRead64(0, options.base).ok());
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+}
+
+TEST_F(LoaderTest, OfflineMeasurementMatchesAttestation) {
+  const TycheImage image = TycheImage::MakeDemo("verified", 3 * kPageSize, 2 * kPageSize);
+  LoadOptions options;
+  options.base = Scratch(2 * kMiB, 0).base;
+  options.size = kMiB;
+  options.cores = {1};
+  options.core_caps = {OsCoreCap(1)};
+  const auto loaded = LoadImage(monitor_.get(), 0, image, options);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const auto report = monitor_->AttestDomain(0, loaded->handle, 99);
+  ASSERT_TRUE(report.ok());
+  const auto golden =
+      ComputeExpectedMeasurement(image, options.base, options.size, options.cores);
+  ASSERT_TRUE(golden.ok());
+  EXPECT_EQ(report->measurement, *golden);
+}
+
+TEST_F(LoaderTest, MeasurementDetectsTamperedContent) {
+  TycheImage image = TycheImage::MakeDemo("tamper", 2 * kPageSize, 0);
+  LoadOptions options;
+  options.base = Scratch(3 * kMiB, 0).base;
+  options.size = 512 * 1024;
+  options.cores = {1};
+  options.core_caps = {OsCoreCap(1)};
+  // The OS tampers with the image before loading (supply-chain attack).
+  TycheImage tampered = image;
+  const_cast<std::vector<uint8_t>&>(tampered.segments()[0].data)[0] ^= 0xff;
+  const auto loaded = LoadImage(monitor_.get(), 0, tampered, options);
+  ASSERT_TRUE(loaded.ok());
+  const auto report = monitor_->AttestDomain(0, loaded->handle, 1);
+  const auto golden =
+      ComputeExpectedMeasurement(image, options.base, options.size, options.cores);
+  EXPECT_NE(report->measurement, *golden);
+}
+
+TEST_F(LoaderTest, MeasurementBindsConfiguration) {
+  // Same image, different core set => different measurement: the attested
+  // identity covers the isolation configuration, not just code.
+  const TycheImage image = TycheImage::MakeDemo("cfg", 2 * kPageSize, 0);
+  const uint64_t base = Scratch(4 * kMiB, 0).base;
+  const auto a = ComputeExpectedMeasurement(image, base, kMiB, {1});
+  const auto b = ComputeExpectedMeasurement(image, base, kMiB, {1, 2});
+  const auto c = ComputeExpectedMeasurement(image, base, 2 * kMiB, {1});
+  ASSERT_TRUE(a.ok());
+  EXPECT_NE(*a, *b);
+  EXPECT_NE(*a, *c);
+}
+
+TEST_F(LoaderTest, SequentialLoadsDespiteSplitCapabilities) {
+  // Loading several domains exercises capability rediscovery after grants
+  // split the OS's root capability.
+  for (int i = 0; i < 4; ++i) {
+    const TycheImage image = TycheImage::MakeDemo("multi", 2 * kPageSize, kPageSize);
+    LoadOptions options;
+    options.base = Scratch(8 * kMiB + static_cast<uint64_t>(i) * kMiB, 0).base;
+    options.size = kMiB;
+    options.cores = {1};
+    options.core_caps = {OsCoreCap(1)};
+    const auto loaded = LoadImage(monitor_.get(), 0, image, options);
+    ASSERT_TRUE(loaded.ok()) << "iteration " << i << ": " << loaded.status().ToString();
+  }
+  EXPECT_EQ(monitor_->num_domains_alive(), 1u + 4u);
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+}
+
+TEST_F(LoaderTest, CoreCapsMismatchRejected) {
+  const TycheImage image = TycheImage::MakeDemo("bad", kPageSize, 0);
+  LoadOptions options;
+  options.base = Scratch(16 * kMiB, 0).base;
+  options.size = kMiB;
+  options.cores = {1, 2};
+  options.core_caps = {OsCoreCap(1)};
+  EXPECT_FALSE(LoadImage(monitor_.get(), 0, image, options).ok());
+}
+
+}  // namespace
+}  // namespace tyche

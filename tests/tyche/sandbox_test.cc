@@ -1,0 +1,128 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/tyche/sandbox.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/booted_machine.h"
+
+namespace tyche {
+namespace {
+
+class SandboxTest : public BootedMachineTest {
+ protected:
+  SandboxTest() : BootedMachineTest(FixtureOptions{.with_nic = true}) {}
+};
+
+TEST_F(SandboxTest, SandboxSeesOnlyItsRegions) {
+  SandboxOptions options;
+  const AddrRange code = Scratch(kMiB, 64 * 1024);
+  const AddrRange data = Scratch(2 * kMiB, 64 * 1024);
+  options.regions = {{code, Perms(Perms::kRX)}, {data, Perms(Perms::kRW)}};
+  options.entry = code.base;
+  options.cores = {1};
+  options.core_caps = {OsCoreCap(1)};
+  auto sandbox = Sandbox::Create(monitor_.get(), 0, "libfoo", options);
+  ASSERT_TRUE(sandbox.ok()) << sandbox.status().ToString();
+
+  ASSERT_TRUE(sandbox->Enter(1).ok());
+  // Code is executable but not writable; data is RW; everything else faults.
+  EXPECT_TRUE(machine_->CheckedFetch(1, code.base, 16).ok());
+  EXPECT_FALSE(machine_->CheckedWrite64(1, code.base, 1).ok());
+  EXPECT_TRUE(machine_->CheckedWrite64(1, data.base, 1).ok());
+  EXPECT_FALSE(machine_->CheckedRead64(1, Scratch(8 * kMiB, 0).base).ok());
+  ASSERT_TRUE(sandbox->Exit(1).ok());
+
+  // Unlike an enclave: the creator KEEPS access to the shared regions.
+  EXPECT_TRUE(machine_->CheckedRead64(0, code.base).ok());
+  EXPECT_TRUE(machine_->CheckedWrite64(0, data.base, 2).ok());
+}
+
+TEST_F(SandboxTest, RegionRevocationShrinksTheSandbox) {
+  SandboxOptions options;
+  const AddrRange code = Scratch(kMiB, 64 * 1024);
+  const AddrRange scratch = Scratch(2 * kMiB, 64 * 1024);
+  options.regions = {{code, Perms(Perms::kRX)}, {scratch, Perms(Perms::kRW)}};
+  options.entry = code.base;
+  options.cores = {1};
+  options.core_caps = {OsCoreCap(1)};
+  auto sandbox = Sandbox::Create(monitor_.get(), 0, "libbar", options);
+  ASSERT_TRUE(sandbox.ok());
+
+  ASSERT_TRUE(sandbox->Enter(1).ok());
+  EXPECT_TRUE(machine_->CheckedWrite64(1, scratch.base, 42).ok());
+  ASSERT_TRUE(sandbox->Exit(1).ok());
+
+  // The app revokes the scratch window after the call returns.
+  ASSERT_TRUE(sandbox->RevokeRegion(0, sandbox->region_caps()[1]).ok());
+  ASSERT_TRUE(sandbox->Enter(1).ok());
+  EXPECT_FALSE(machine_->CheckedRead64(1, scratch.base).ok());
+  EXPECT_TRUE(machine_->CheckedFetch(1, code.base, 16).ok());
+  ASSERT_TRUE(sandbox->Exit(1).ok());
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+}
+
+TEST_F(SandboxTest, DestroyTearsDown) {
+  SandboxOptions options;
+  const AddrRange code = Scratch(kMiB, 64 * 1024);
+  options.regions = {{code, Perms(Perms::kRX)}};
+  options.entry = code.base;
+  auto sandbox = Sandbox::Create(monitor_.get(), 0, "temp", options);
+  ASSERT_TRUE(sandbox.ok());
+  const DomainId id = sandbox->domain();
+  ASSERT_TRUE(sandbox->Destroy(0).ok());
+  EXPECT_EQ((*monitor_->GetDomain(id))->state, DomainState::kDead);
+}
+
+TEST_F(SandboxTest, SealedSandboxFreezesPolicy) {
+  SandboxOptions options;
+  const AddrRange code = Scratch(kMiB, 64 * 1024);
+  options.regions = {{code, Perms(Perms::kRX)}};
+  options.entry = code.base;
+  options.seal = true;
+  auto sandbox = Sandbox::Create(monitor_.get(), 0, "frozen", options);
+  ASSERT_TRUE(sandbox.ok());
+  // Adding another region now fails: the sandbox is sealed.
+  const AddrRange extra = Scratch(2 * kMiB, 64 * 1024);
+  const auto share =
+      monitor_->ShareMemory(0, OsMemCap(extra), sandbox->handle(), extra,
+                            Perms(Perms::kRW), CapRights{}, RevocationPolicy{});
+  EXPECT_EQ(share.code(), ErrorCode::kDomainSealed);
+}
+
+TEST_F(SandboxTest, DriverSandboxConfinesDma) {
+  // The kernel sandboxes an untrusted driver with a 1 MiB window and grants
+  // it the NIC. Driver DMA inside the window works; DMA anywhere else is
+  // blocked by the IOMMU.
+  auto sandbox = os_->LoadDriverSandboxed(0, "nic-driver", kMiB,
+                                          OsDeviceCap(kNicBdf.value), 1, OsCoreCap(1));
+  ASSERT_TRUE(sandbox.ok()) << sandbox.status().ToString();
+
+  auto* nic = static_cast<DmaEngine*>(machine_->FindDevice(kNicBdf));
+  ASSERT_NE(nic, nullptr);
+
+  // Find the driver window (the sandbox's only memory region).
+  const auto map = monitor_->engine().DomainMemoryMap(sandbox->domain());
+  ASSERT_EQ(map.size(), 1u);
+  const AddrRange window = map[0].range;
+
+  // DMA within the window: OK.
+  EXPECT_TRUE(nic->Copy(machine_.get(), window.base, window.base + kPageSize, 256).ok());
+  // DMA targeting kernel memory outside the window: IOMMU fault.
+  EXPECT_EQ(nic->Copy(machine_.get(), window.base, Scratch(8 * kMiB, 0).base, 256).code(),
+            ErrorCode::kIommuFault);
+  EXPECT_EQ(nic->Copy(machine_.get(), Scratch(8 * kMiB, 0).base, window.base, 256).code(),
+            ErrorCode::kIommuFault);
+}
+
+TEST_F(SandboxTest, InKernelDriverDmaIsUnconfined) {
+  // Baseline contrast: with the device still held by the OS (no sandbox),
+  // driver DMA reaches ALL kernel memory.
+  auto* nic = static_cast<DmaEngine*>(machine_->FindDevice(kNicBdf));
+  ASSERT_NE(nic, nullptr);
+  ASSERT_TRUE(machine_->CheckedWrite64(0, managed_.base, 0x41).ok());
+  EXPECT_TRUE(nic->Copy(machine_.get(), managed_.base, managed_.base + kPageSize, 256).ok());
+}
+
+}  // namespace
+}  // namespace tyche

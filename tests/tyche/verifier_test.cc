@@ -1,0 +1,180 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Customer-side verification, including multi-domain deployment attestation
+// (§4.2: "all communication paths are secured and attested").
+
+#include "src/tyche/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/booted_machine.h"
+
+namespace tyche {
+namespace {
+
+class VerifierTest : public BootedMachineTest {};
+
+// Builds the two-domain deployment used by the deployment tests: domain A
+// (parent) with a nested domain B and one declared channel page.
+struct TwoDomainWorld {
+  LoadedDomain a;
+  LoadedDomain b;
+  AddrRange channel;
+  DomainAttestation report_a;
+  DomainAttestation report_b;
+};
+
+class DeploymentTest : public BootedMachineTest {
+ protected:
+  Result<TwoDomainWorld> Build() {
+    TwoDomainWorld world;
+    const TycheImage image_a = TycheImage::MakeDemo("a", 2 * kPageSize, 0);
+    LoadOptions load_a;
+    load_a.base = Scratch(kMiB, 0).base;
+    load_a.size = 8 * kMiB;
+    load_a.cores = {1};
+    load_a.core_caps = {OsCoreCap(1)};
+    load_a.seal = false;
+    TYCHE_ASSIGN_OR_RETURN(world.a, LoadImage(monitor_.get(), 0, image_a, load_a));
+
+    // From inside A: spawn B (unsealed), share the channel, seal both.
+    TYCHE_RETURN_IF_ERROR(monitor_->Transition(1, world.a.handle));
+    const DomainId a_id = monitor_->CurrentDomain(1);
+    const TycheImage image_b = TycheImage::MakeDemo("b", kPageSize, 0);
+    LoadOptions load_b;
+    load_b.base = load_a.base + 4 * kMiB;
+    load_b.size = kMiB;
+    load_b.cores = {1};
+    load_b.core_caps = {*FindUnitCap(*monitor_, a_id, ResourceKind::kCpuCore, 1)};
+    load_b.seal = false;
+    TYCHE_ASSIGN_OR_RETURN(world.b, LoadImage(monitor_.get(), 1, image_b, load_b));
+    world.channel = AddrRange{load_a.base + 2 * kMiB, kPageSize};
+    TYCHE_RETURN_IF_ERROR(
+        monitor_
+            ->ShareMemory(1, *FindMemoryCap(*monitor_, a_id, world.channel),
+                          world.b.handle, world.channel, Perms(Perms::kRW), CapRights{},
+                          RevocationPolicy(RevocationPolicy::kObfuscate))
+            .status());
+    TYCHE_RETURN_IF_ERROR(monitor_->Seal(1, world.b.handle));
+    TYCHE_ASSIGN_OR_RETURN(world.report_b, monitor_->AttestDomain(1, world.b.handle, 2));
+    TYCHE_RETURN_IF_ERROR(monitor_->ReturnFromDomain(1));
+    TYCHE_RETURN_IF_ERROR(monitor_->Seal(0, world.a.handle));
+    TYCHE_ASSIGN_OR_RETURN(world.report_a, monitor_->AttestDomain(0, world.a.handle, 1));
+    return world;
+  }
+
+  DeploymentPolicy PolicyFor(const TwoDomainWorld& world) {
+    DeploymentPolicy policy;
+    policy.channels.push_back(
+        DeploymentChannel{world.channel, {world.a.domain, world.b.domain}, 0});
+    return policy;
+  }
+};
+
+TEST_F(DeploymentTest, HonestDeploymentVerifies) {
+  auto world = Build();
+  ASSERT_TRUE(world.ok()) << world.status().ToString();
+  const DomainAttestation reports[] = {world->report_a, world->report_b};
+  EXPECT_TRUE(VerifyDeployment(reports, PolicyFor(*world)).ok());
+}
+
+TEST_F(DeploymentTest, UndeclaredChannelRejected) {
+  auto world = Build();
+  ASSERT_TRUE(world.ok());
+  const DomainAttestation reports[] = {world->report_a, world->report_b};
+  // The customer declares NO channels: the existing one must be flagged.
+  EXPECT_EQ(VerifyDeployment(reports, DeploymentPolicy{}).code(),
+            ErrorCode::kPolicyViolation);
+}
+
+TEST_F(DeploymentTest, EavesdropperDetectedByRefCount) {
+  auto world = Build();
+  ASSERT_TRUE(world.ok());
+  // Forge: the relaying OS doctors B's channel refcount down (hiding a
+  // third party). Cross-checking still fails against A's honest report...
+  DomainAttestation doctored_b = world->report_b;
+  for (ResourceClaim& claim : doctored_b.resources) {
+    if (world->channel.Contains(claim.range) && claim.ref_count == 2) {
+      claim.ref_count = 3;  // pretend an eavesdropper joined
+    }
+  }
+  const DomainAttestation reports[] = {world->report_a, doctored_b};
+  EXPECT_EQ(VerifyDeployment(reports, PolicyFor(*world)).code(),
+            ErrorCode::kPolicyViolation);
+}
+
+TEST_F(DeploymentTest, MissingEndpointReportRejected) {
+  auto world = Build();
+  ASSERT_TRUE(world.ok());
+  const DomainAttestation reports[] = {world->report_a};  // B's report withheld
+  EXPECT_EQ(VerifyDeployment(reports, PolicyFor(*world)).code(),
+            ErrorCode::kPolicyViolation);
+}
+
+TEST_F(DeploymentTest, ChannelNeverEstablishedRejected) {
+  auto world = Build();
+  ASSERT_TRUE(world.ok());
+  // The customer expects a SECOND channel that was never set up.
+  DeploymentPolicy policy = PolicyFor(*world);
+  policy.channels.push_back(DeploymentChannel{
+      AddrRange{world->a.base + 3 * kMiB, kPageSize}, {world->a.domain, world->b.domain},
+      0});
+  const DomainAttestation reports[] = {world->report_a, world->report_b};
+  EXPECT_EQ(VerifyDeployment(reports, policy).code(), ErrorCode::kPolicyViolation);
+}
+
+TEST_F(DeploymentTest, ExternalPartiesAccounted) {
+  // A channel declared as "shared with 1 external party" (e.g. the OS): a
+  // refcount of endpoints+1 is accepted, anything else rejected.
+  const TycheImage image = TycheImage::MakeDemo("ext", 2 * kPageSize, 4 * kPageSize);
+  LoadOptions load;
+  load.base = Scratch(32 * kMiB, 0).base;
+  load.size = kMiB;
+  load.cores = {1};
+  load.core_caps = {OsCoreCap(1)};
+  auto loaded = LoadImage(monitor_.get(), 0, image, load);
+  ASSERT_TRUE(loaded.ok());
+  const AddrRange netbuf{load.base + image.segments()[1].offset, image.segments()[1].size};
+  const auto report = monitor_->AttestDomain(0, loaded->handle, 5);
+  ASSERT_TRUE(report.ok());
+
+  DeploymentPolicy policy;
+  policy.channels.push_back(DeploymentChannel{netbuf, {loaded->domain}, 1});
+  const DomainAttestation reports[] = {*report};
+  EXPECT_TRUE(VerifyDeployment(reports, policy).ok());
+  policy.channels[0].external_parties = 0;
+  EXPECT_FALSE(VerifyDeployment(reports, policy).ok());
+}
+
+TEST_F(VerifierTest, SharingPolicyWithExpectedShared) {
+  const TycheImage image = TycheImage::MakeDemo("p", 2 * kPageSize, 4 * kPageSize);
+  LoadOptions load;
+  load.base = Scratch(2 * kMiB, 0).base;
+  load.size = kMiB;
+  load.cores = {1};
+  load.core_caps = {OsCoreCap(1)};
+  auto loaded = LoadImage(monitor_.get(), 0, image, load);
+  ASSERT_TRUE(loaded.ok());
+  const auto report = monitor_->AttestDomain(0, loaded->handle, 5);
+  ASSERT_TRUE(report.ok());
+
+  // Default policy (all exclusive) fails because of the shared segment...
+  EXPECT_FALSE(CustomerVerifier::CheckSharingPolicy(*report, SharingPolicy{}).ok());
+  // ... declaring it makes the report pass.
+  SharingPolicy policy;
+  policy.expected_shared = {
+      AddrRange{load.base + image.segments()[1].offset, image.segments()[1].size}};
+  EXPECT_TRUE(CustomerVerifier::CheckSharingPolicy(*report, policy).ok());
+}
+
+TEST_F(VerifierTest, Tier2BeforeTier1Refused) {
+  CustomerVerifier customer(machine_->tpm().attestation_key(), golden_firmware_,
+                            golden_monitor_);
+  DomainAttestation report;
+  EXPECT_EQ(customer.VerifyDomainAgainstImage(report, TycheImage("x"), 0, kPageSize, {}, 0)
+                .code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_FALSE(customer.monitor_verified());
+}
+
+}  // namespace
+}  // namespace tyche
