@@ -85,6 +85,9 @@ int Run() {
   std::printf("\nquickstart complete: %llu monitor API calls, %llu simulated cycles\n",
               static_cast<unsigned long long>(world.monitor->stats().TotalCalls()),
               static_cast<unsigned long long>(world.machine->cycles().cycles()));
+
+  Banner("5. telemetry");
+  std::printf("%s", world.monitor->DumpTelemetry().ToString().c_str());
   return 0;
 }
 

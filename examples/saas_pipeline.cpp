@@ -211,6 +211,7 @@ int Run() {
 
   DEMO_CHECK(*monitor->AuditHardwareConsistency());
   std::printf("\npipeline complete; hardware state consistent with the capability tree\n");
+  std::printf("\n%s", monitor->DumpTelemetry().ToString().c_str());
   return 0;
 }
 

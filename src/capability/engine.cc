@@ -132,11 +132,15 @@ Status CapabilityEngine::CheckSealingRules(CapDomainId src_owner, CapDomainId ds
   // A sealed domain's resource set cannot be extended (§3.1) -- not even by
   // its creator, or the attested configuration would be mutable.
   if (dst_it->second.sealed) {
+    TYCHE_LOG(kWarn) << "sealing rules deny transfer: domain " << dst
+                     << " is sealed (requested by domain " << src_owner << ")";
     return Error(ErrorCode::kDomainSealed, "cannot extend a sealed domain's resources");
   }
   // A sealed domain cannot share onward -- except into domains it created
   // itself (nested enclaves, §4.2).
   if (IsSealed(src_owner) && dst_it->second.creator != src_owner) {
+    TYCHE_LOG(kWarn) << "sealing rules deny transfer: sealed domain " << src_owner
+                     << " may only delegate to its children, not domain " << dst;
     return Error(ErrorCode::kDomainSealed, "sealed domain may only delegate to its children");
   }
   return OkStatus();
@@ -381,6 +385,11 @@ uint64_t CapabilityEngine::RevokeSubtree(CapId cap_id, std::set<CapId>* visited,
     if (cap.state == CapState::kActive) {
       EmitRevokeEffects(cap, effects);
       ++revoked;
+      // One line per cascaded deactivation; the visited-set size is the
+      // evidence that cyclic sharing (A→B→A) still terminates.
+      TYCHE_LOG(kTrace) << "revoke cascade: cap#" << cap_id << " owner=" << cap.owner
+                        << " " << ResourceKindName(cap.kind)
+                        << " visited=" << visited->size();
     }
     cap.state = CapState::kRevoked;
   }
@@ -643,6 +652,12 @@ void CapabilityEngine::ForEachActive(const std::function<void(const Capability&)
     if (cap.active()) {
       fn(cap);
     }
+  }
+}
+
+void CapabilityEngine::ForEach(const std::function<void(const Capability&)>& fn) const {
+  for (const auto& [id, cap] : caps_) {
+    fn(cap);
   }
 }
 

@@ -183,6 +183,10 @@ class CapabilityEngine {
   // Walks every active capability (hardware-consistency validator support).
   void ForEachActive(const std::function<void(const Capability&)>& fn) const;
 
+  // Walks EVERY lineage node, active or not, in id order. Revoked and
+  // donated nodes are history a verifier may want to see (graph export).
+  void ForEach(const std::function<void(const Capability&)>& fn) const;
+
  private:
   Capability& NewCap(CapDomainId owner, ResourceKind kind);
   Result<Capability*> GetMutable(CapId cap);

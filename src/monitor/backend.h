@@ -16,6 +16,22 @@
 
 namespace tyche {
 
+// What the enforcement hardware actually did on the monitor's behalf.
+// Maintained by every backend; exported through Monitor::DumpTelemetry() so
+// the cost of projecting policy onto hardware is observable per deployment.
+struct BackendStats {
+  uint64_t memory_syncs = 0;      // SyncMemory invocations
+  uint64_t pages_mapped = 0;      // EPT pages installed (VT-x)
+  uint64_t pages_unmapped = 0;    // EPT pages removed (VT-x)
+  uint64_t pages_protected = 0;   // EPT permission rewrites (VT-x)
+  uint64_t pmp_recompiles = 0;    // full PMP program recompilations (RISC-V)
+  uint64_t pmp_entry_writes = 0;  // PMP/IOPMP entry register writes (RISC-V)
+  uint64_t tlb_shootdowns = 0;    // TLB flushes issued to cores
+  uint64_t iommu_updates = 0;     // device attach/detach reprogramming
+  uint64_t core_binds = 0;        // slow-path protection-context switches
+  uint64_t fast_binds = 0;        // VMFUNC-style fast switches
+};
+
 class Backend {
  public:
   virtual ~Backend() = default;
@@ -52,6 +68,12 @@ class Backend {
   virtual Result<bool> ValidateAgainst(const CapabilityEngine& engine, DomainId domain) = 0;
 
   virtual const char* name() const = 0;
+
+  const BackendStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BackendStats{}; }
+
+ protected:
+  BackendStats stats_;
 };
 
 }  // namespace tyche

@@ -2,6 +2,8 @@
 
 #include "src/monitor/dispatch.h"
 
+#include <chrono>
+
 namespace tyche {
 
 namespace {
@@ -24,9 +26,7 @@ RevocationPolicy UnpackPolicy(uint64_t arg) {
   return RevocationPolicy(static_cast<uint8_t>(arg & RevocationPolicy::kObfuscate));
 }
 
-}  // namespace
-
-ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
+ApiResult DispatchInner(Monitor* monitor, CoreId core, const ApiRegs& regs) {
   if (regs.op >= static_cast<uint64_t>(ApiOp::kOpCount)) {
     return Fail(ErrorCode::kInvalidArgument);
   }
@@ -173,6 +173,38 @@ ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
       break;
   }
   return Fail(ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+
+ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
+  Telemetry& telemetry = monitor->telemetry();
+  // With telemetry fully off the boundary adds two relaxed loads and a
+  // branch -- measured by bench_telemetry against the seed baseline.
+  if (!telemetry.any_enabled()) {
+    return DispatchInner(monitor, core, regs);
+  }
+  // Resolve the caller BEFORE the call: ops like kTransition change it.
+  const uint32_t caller = core < monitor->machine()->num_cores()
+                              ? monitor->CurrentDomain(core)
+                              : kTraceNoDomain;
+  const auto start = std::chrono::steady_clock::now();
+  const ApiResult result = DispatchInner(monitor, core, regs);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  TraceEntry entry;
+  entry.op = static_cast<uint16_t>(
+      regs.op < static_cast<uint64_t>(ApiOp::kOpCount) ? regs.op : ~0ull);
+  entry.core = core;
+  entry.domain = caller;
+  const uint64_t args[] = {regs.arg0, regs.arg1, regs.arg2,
+                           regs.arg3, regs.arg4, regs.arg5};
+  entry.args_digest = Fnv1aDigest(args, 6);
+  entry.error = result.error;
+  entry.duration_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  telemetry.RecordCall(entry);
+  return result;
 }
 
 }  // namespace tyche

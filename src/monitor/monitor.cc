@@ -4,7 +4,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iomanip>
+#include <sstream>
 
+#include "src/capability/graph_export.h"
 #include "src/crypto/authenticated.h"
 #include "src/monitor/pmp_backend.h"
 #include "src/monitor/vtx_backend.h"
@@ -58,6 +61,24 @@ const char* ApiOpName(ApiOp op) {
       return "unseal_data";
     case ApiOp::kOpCount:
       break;
+  }
+  return "?";
+}
+
+const char* CapEffectKindName(CapEffect::Kind kind) {
+  switch (kind) {
+    case CapEffect::Kind::kMapMemory:
+      return "map";
+    case CapEffect::Kind::kUnmapMemory:
+      return "unmap";
+    case CapEffect::Kind::kZeroMemory:
+      return "zero";
+    case CapEffect::Kind::kFlushCache:
+      return "flush";
+    case CapEffect::Kind::kAttachUnit:
+      return "attach";
+    case CapEffect::Kind::kDetachUnit:
+      return "detach";
   }
   return "?";
 }
@@ -225,6 +246,10 @@ Status Monitor::ApplyEffects(const CapEffects& effects) {
     }
   };
   for (const CapEffect& effect : effects.effects) {
+    const auto kind_index = static_cast<size_t>(effect.kind);
+    if (kind_index < MonitorStats::kEffectKinds) {
+      ++stats_.effects_by_kind[kind_index];
+    }
     switch (effect.kind) {
       case CapEffect::Kind::kMapMemory:
       case CapEffect::Kind::kUnmapMemory:
@@ -464,6 +489,7 @@ Result<CapId> Monitor::ShareMemory(CoreId core, CapId src_cap, CapId dst_domain_
     (void)backend_->SyncMemory(dst, sub);
     return applied;
   }
+  ++stats_.shares;
   return child;
 }
 
@@ -483,6 +509,7 @@ Result<GrantResult> Monitor::GrantMemory(CoreId core, CapId src_cap, CapId dst_d
     (void)backend_->SyncMemory(caller, sub);
     return applied;
   }
+  ++stats_.grants;
   return GrantResult{outcome.granted, outcome.remainders};
 }
 
@@ -496,6 +523,7 @@ Result<CapId> Monitor::ShareUnit(CoreId core, CapId src_cap, CapId dst_domain_ha
   TYCHE_ASSIGN_OR_RETURN(const CapId child,
                          engine_.ShareUnit(caller, src_cap, dst, rights, policy, &effects));
   TYCHE_RETURN_IF_ERROR(ApplyEffects(effects));
+  ++stats_.shares;
   return child;
 }
 
@@ -508,6 +536,7 @@ Result<CapId> Monitor::GrantUnit(CoreId core, CapId src_cap, CapId dst_domain_ha
   TYCHE_ASSIGN_OR_RETURN(GrantOutcome outcome,
                          engine_.GrantUnit(caller, src_cap, dst, rights, policy));
   TYCHE_RETURN_IF_ERROR(ApplyEffects(outcome.effects));
+  ++stats_.grants;
   return outcome.granted;
 }
 
@@ -515,6 +544,7 @@ Status Monitor::Revoke(CoreId core, CapId cap) {
   TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kRevoke));
   TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
   TYCHE_ASSIGN_OR_RETURN(const RevokeOutcome outcome, engine_.Revoke(caller, cap));
+  ++stats_.revokes;
   stats_.revocations_cascaded += outcome.revoked_count;
   return ApplyEffects(outcome.effects);
 }
@@ -740,6 +770,68 @@ Result<MonitorIdentity> Monitor::Identity(uint64_t nonce) const {
   const uint32_t mask = (1u << Tpm::kPcrFirmware) | (1u << Tpm::kPcrMonitor);
   TYCHE_ASSIGN_OR_RETURN(identity.boot_quote, machine_->tpm().Quote(nonce, mask));
   return identity;
+}
+
+TelemetrySnapshot Monitor::DumpTelemetry() const {
+  TelemetrySnapshot snapshot;
+  snapshot.stats = stats_;
+  snapshot.backend = backend_->stats();
+  snapshot.trace = telemetry_.ring().Snapshot();
+  snapshot.trace_recorded = telemetry_.ring().recorded();
+  snapshot.trace_dropped = telemetry_.ring().dropped();
+  snapshot.per_op_latency = telemetry_.AllHistograms();
+  snapshot.capability_graph_dot = ExportCapabilityGraphDot(engine_);
+  snapshot.capability_graph_json = ExportCapabilityGraphJson(engine_);
+  return snapshot;
+}
+
+std::string TelemetrySnapshot::ToString() const {
+  std::ostringstream out;
+  out << "=== monitor telemetry ===\n";
+  out << "api calls: " << stats.TotalCalls() << " total\n";
+  out << "op                          calls   p50(ns)   p99(ns)   max(ns)\n";
+  for (size_t op = 0; op < static_cast<size_t>(ApiOp::kOpCount); ++op) {
+    if (stats.api_calls[op] == 0) {
+      continue;
+    }
+    std::string name = ApiOpName(static_cast<ApiOp>(op));
+    name.resize(26, ' ');
+    out << name << std::setw(7) << stats.api_calls[op];
+    if (op < per_op_latency.size() && per_op_latency[op].count() > 0) {
+      const LatencyHistogram& histogram = per_op_latency[op];
+      out << std::setw(10) << histogram.Percentile(50) << std::setw(10)
+          << histogram.Percentile(99) << std::setw(10) << histogram.max();
+    } else {
+      out << std::setw(10) << "-" << std::setw(10) << "-" << std::setw(10) << "-";
+    }
+    out << "\n";
+  }
+  out << "transitions=" << stats.transitions << " fast=" << stats.fast_transitions
+      << " shares=" << stats.shares << " grants=" << stats.grants
+      << " revokes=" << stats.revokes << " cascaded=" << stats.revocations_cascaded
+      << "\n";
+  out << "effects:";
+  constexpr CapEffect::Kind kKinds[] = {
+      CapEffect::Kind::kMapMemory,  CapEffect::Kind::kUnmapMemory,
+      CapEffect::Kind::kZeroMemory, CapEffect::Kind::kFlushCache,
+      CapEffect::Kind::kAttachUnit, CapEffect::Kind::kDetachUnit,
+  };
+  for (const CapEffect::Kind kind : kKinds) {
+    out << " " << CapEffectKindName(kind) << "="
+        << stats.effects_by_kind[static_cast<size_t>(kind)];
+  }
+  out << "\n";
+  out << "backend: syncs=" << backend.memory_syncs << " pages(map/unmap/prot)="
+      << backend.pages_mapped << "/" << backend.pages_unmapped << "/"
+      << backend.pages_protected << " pmp(recompiles/writes)=" << backend.pmp_recompiles
+      << "/" << backend.pmp_entry_writes << " tlb_shootdowns=" << backend.tlb_shootdowns
+      << " iommu_updates=" << backend.iommu_updates << " binds(slow/fast)="
+      << backend.core_binds << "/" << backend.fast_binds << "\n";
+  out << "trace: " << trace.size() << " held, " << trace_recorded << " recorded, "
+      << trace_dropped << " dropped\n";
+  out << "capability graph: " << capability_graph_json.size() << " bytes json, "
+      << capability_graph_dot.size() << " bytes dot\n";
+  return out.str();
 }
 
 Result<bool> Monitor::AuditHardwareConsistency() {

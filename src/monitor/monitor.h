@@ -23,6 +23,7 @@
 #include "src/monitor/backend.h"
 #include "src/monitor/domain.h"
 #include "src/support/status.h"
+#include "src/support/telemetry.h"
 
 namespace tyche {
 
@@ -73,6 +74,15 @@ struct MonitorStats {
   uint64_t fast_transitions = 0;
   uint64_t revocations_cascaded = 0;
 
+  // Capability-engine events: successful policy mutations...
+  uint64_t shares = 0;       // ShareMemory + ShareUnit
+  uint64_t grants = 0;       // GrantMemory + GrantUnit
+  uint64_t revokes = 0;      // explicit Revoke calls that cascaded
+  // ...and the hardware obligations they produced, by effect kind
+  // (indexed by CapEffect::Kind: map/unmap/zero/flush/attach/detach).
+  static constexpr size_t kEffectKinds = 6;
+  uint64_t effects_by_kind[kEffectKinds] = {};
+
   uint64_t TotalCalls() const {
     uint64_t total = 0;
     for (const uint64_t count : api_calls) {
@@ -80,6 +90,36 @@ struct MonitorStats {
     }
     return total;
   }
+
+  uint64_t TotalEffects() const {
+    uint64_t total = 0;
+    for (const uint64_t count : effects_by_kind) {
+      total += count;
+    }
+    return total;
+  }
+};
+
+// The name telemetry dumps use for each effect-kind counter slot.
+const char* CapEffectKindName(CapEffect::Kind kind);
+
+// Everything an external verifier (or a bench) needs about what the monitor
+// did: per-op call counts and latency distributions, the trace of recent
+// ABI calls, the hardware-projection counters, and the capability graph a
+// judiciary would attest. Produced by Monitor::DumpTelemetry().
+struct TelemetrySnapshot {
+  MonitorStats stats;
+  BackendStats backend;
+  std::vector<TraceEntry> trace;                 // oldest first
+  uint64_t trace_recorded = 0;                   // total traced calls
+  uint64_t trace_dropped = 0;                    // overwritten by the ring
+  std::vector<LatencyHistogram> per_op_latency;  // indexed by ApiOp
+  std::string capability_graph_dot;
+  std::string capability_graph_json;
+
+  // Human-readable summary: per-op table (count/p50/p99/max), effect and
+  // backend counters, trace ring occupancy, graph size.
+  std::string ToString() const;
 };
 
 class Monitor {
@@ -93,6 +133,8 @@ class Monitor {
   const CapabilityEngine& engine() const { return engine_; }
   Backend& backend() { return *backend_; }
   const MonitorStats& stats() const { return stats_; }
+  Telemetry& telemetry() { return telemetry_; }
+  const Telemetry& telemetry() const { return telemetry_; }
   const SchnorrPublicKey& public_key() const { return key_.pub; }
   const AddrRange& monitor_range() const { return monitor_range_; }
 
@@ -182,6 +224,9 @@ class Monitor {
   Result<bool> AuditHardwareConsistency();
 
   // --- Introspection (tests, benches, examples) ---
+  // Full observability snapshot; see TelemetrySnapshot. Cheap relative to
+  // the work it describes, but it does walk the capability tree.
+  TelemetrySnapshot DumpTelemetry() const;
   Result<const TrustDomain*> GetDomain(DomainId id) const;
   DomainId CurrentDomain(CoreId core) const;
   std::vector<RegionView> MemoryView() const { return engine_.MemoryView(); }
@@ -234,6 +279,7 @@ class Monitor {
   uint64_t seal_nonce_ = 1;  // per-boot unique AEAD nonces
 
   MonitorStats stats_;
+  Telemetry telemetry_{static_cast<size_t>(ApiOp::kOpCount)};
 };
 
 }  // namespace tyche

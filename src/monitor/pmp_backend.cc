@@ -87,6 +87,8 @@ Result<PmpBackend::PmpProgram> PmpBackend::Compile(
 Status PmpBackend::SyncMemory(DomainId domain, const AddrRange& range) {
   (void)range;  // PMP has no page granularity: recompile the whole layout.
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  ++stats_.memory_syncs;
+  ++stats_.pmp_recompiles;
   auto program = Compile(engine_->DomainMemoryMap(domain), kDomainEntryBudget);
   if (!program.ok()) {
     // FAIL SAFE. The new layout does not fit the entry budget; leaving the
@@ -124,11 +126,14 @@ Status PmpBackend::SyncDevice(const DomainContext& context, uint16_t bdf) {
   PmpFile& file = machine_->io_pmp().FileFor(PciBdf{bdf});
   for (int i = 0; i < PmpFile::kNumEntries; ++i) {
     TYCHE_RETURN_IF_ERROR(file.ClearEntry(i, &machine_->cycles()));
+    ++stats_.pmp_entry_writes;
   }
   int slot = 0;
   for (const PmpEntry& entry : context.program.entries) {
     TYCHE_RETURN_IF_ERROR(file.SetEntry(slot++, entry, &machine_->cycles()));
+    ++stats_.pmp_entry_writes;
   }
+  ++stats_.iommu_updates;
   return OkStatus();
 }
 
@@ -144,6 +149,7 @@ Status PmpBackend::DetachDevice(DomainId domain, uint16_t bdf) {
     return Error(ErrorCode::kNotFound, "device not attached to domain");
   }
   machine_->io_pmp().Remove(PciBdf{bdf});
+  ++stats_.iommu_updates;
   return OkStatus();
 }
 
@@ -171,11 +177,14 @@ Status PmpBackend::BindCore(DomainId domain, CoreId core) {
   int slot = kFirstDomainEntry;
   for (const PmpEntry& entry : context->program.entries) {
     TYCHE_RETURN_IF_ERROR(pmp.SetEntry(slot++, entry, &machine_->cycles()));
+    ++stats_.pmp_entry_writes;
   }
   for (; slot < PmpFile::kNumEntries; ++slot) {
     TYCHE_RETURN_IF_ERROR(pmp.ClearEntry(slot, &machine_->cycles()));
+    ++stats_.pmp_entry_writes;
   }
   machine_->cpu(core).set_asid(context->asid);
+  ++stats_.core_binds;
   return OkStatus();
 }
 

@@ -56,6 +56,7 @@ Status VtxBackend::SyncMemory(DomainId domain, const AddrRange& range) {
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
   NestedPageTable* ept = context->ept.get();
 
+  ++stats_.memory_syncs;
   for (uint64_t page = AlignDown(range.base, kPageSize); page < range.end();
        page += kPageSize) {
     const Perms effective = engine_->EffectivePerms(domain, page);
@@ -63,12 +64,15 @@ Status VtxBackend::SyncMemory(DomainId domain, const AddrRange& range) {
     if (effective.empty()) {
       if (current.ok()) {
         TYCHE_RETURN_IF_ERROR(ept->UnmapPage(page));
+        ++stats_.pages_unmapped;
       }
     } else if (!current.ok()) {
       // Identity mapping: domains name physical memory directly.
       TYCHE_RETURN_IF_ERROR(ept->MapPage(page, page, effective));
+      ++stats_.pages_mapped;
     } else if (current->perms != effective) {
       TYCHE_RETURN_IF_ERROR(ept->ProtectPage(page, effective));
+      ++stats_.pages_protected;
     }
   }
   FlushDomain(domain);
@@ -79,6 +83,7 @@ Status VtxBackend::AttachDevice(DomainId domain, uint16_t bdf) {
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
   TYCHE_RETURN_IF_ERROR(machine_->iommu().AttachDevice(PciBdf{bdf}, context->ept.get()));
   context->devices.insert(bdf);
+  ++stats_.iommu_updates;
   return OkStatus();
 }
 
@@ -87,6 +92,7 @@ Status VtxBackend::DetachDevice(DomainId domain, uint16_t bdf) {
   if (context->devices.erase(bdf) == 0) {
     return Error(ErrorCode::kNotFound, "device not attached to domain");
   }
+  ++stats_.iommu_updates;
   return machine_->iommu().DetachDevice(PciBdf{bdf});
 }
 
@@ -95,6 +101,8 @@ Status VtxBackend::BindCore(DomainId domain, CoreId core) {
   // Slow path: full EPTP load; without VPID tagging this flushes the TLB.
   machine_->SetCoreEpt(core, context->ept.get(), /*flush_tlb=*/true);
   machine_->cpu(core).set_asid(context->asid);
+  ++stats_.core_binds;
+  ++stats_.tlb_shootdowns;
   return OkStatus();
 }
 
@@ -119,6 +127,7 @@ Status VtxBackend::FastBindCore(DomainId domain, CoreId core) {
   // VMFUNC path: EPTP switch with VPID-tagged TLB, no flush, no VM exit.
   machine_->SetCoreEpt(core, context->ept.get(), /*flush_tlb=*/false);
   machine_->cpu(core).set_asid(context->asid);
+  ++stats_.fast_binds;
   return OkStatus();
 }
 
@@ -130,6 +139,7 @@ void VtxBackend::FlushDomain(DomainId domain) {
   for (CoreId core = 0; core < machine_->num_cores(); ++core) {
     if (machine_->CoreEpt(core) == it->second.ept.get()) {
       machine_->FlushTlb(core);
+      ++stats_.tlb_shootdowns;
     }
   }
 }

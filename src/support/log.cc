@@ -33,8 +33,10 @@ Logger& Logger::Get() {
   return logger;
 }
 
-Logger::Logger() {
-  sink_ = [](LogLevel level, const std::string& message) {
+Logger::Logger() { sink_ = DefaultSink(); }
+
+Logger::Sink Logger::DefaultSink() {
+  return [](LogLevel level, const std::string& message) {
     std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
   };
 }
@@ -42,10 +44,10 @@ Logger::Logger() {
 void Logger::set_sink(Sink sink) {
   if (sink) {
     sink_ = std::move(sink);
+    default_sink_ = false;
   } else {
-    sink_ = [](LogLevel level, const std::string& message) {
-      std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
-    };
+    sink_ = DefaultSink();
+    default_sink_ = true;
   }
 }
 

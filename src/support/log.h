@@ -34,12 +34,20 @@ class Logger {
   // nullptr restores the default stderr sink.
   void set_sink(Sink sink);
 
+  // True while the default stderr sink is installed (i.e. no capturing sink
+  // is active). Lets tests assert the restore semantics of set_sink(nullptr)
+  // without intercepting stderr.
+  bool is_default_sink() const { return default_sink_; }
+
   void Write(LogLevel level, const std::string& message);
 
  private:
   Logger();
+  static Sink DefaultSink();
+
   LogLevel level_ = LogLevel::kWarn;
   Sink sink_;
+  bool default_sink_ = true;
 };
 
 namespace log_internal {

@@ -1,0 +1,172 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Zero-dependency observability primitives for the monitor stack.
+//
+// The paper's auditability story needs more than enforcement: every policy
+// decision the monitor takes must be *observable and attributable*. This
+// layer provides the measurement substrate:
+//
+//  - TraceRing: a lock-protected, fixed-capacity ring buffer recording one
+//    entry per ABI call crossing Dispatch() -- op, core, caller domain, an
+//    FNV-1a digest of the argument registers, the error code, and the
+//    wall-clock nanoseconds the monitor spent on the call. Old entries are
+//    overwritten (and counted as dropped) so tracing never allocates on the
+//    hot path after construction.
+//  - LatencyHistogram: log2-bucketed, mergeable. Bucket i counts values v
+//    with 2^(i-1) < v <= 2^i (bucket 0 counts 0 and 1). Good enough for
+//    p50/p99 at power-of-two resolution without storing samples.
+//  - Telemetry: per-op histograms plus the ring, with independent enable
+//    switches so the instrumentation cost itself can be benchmarked
+//    (bench_telemetry) and turned off on production hot paths.
+//
+// Everything here is deliberately independent of the monitor's types: the
+// per-op dimension is just an index, named via a caller-provided callback
+// when dumping. This keeps src/support free of upward dependencies.
+
+#ifndef SRC_SUPPORT_TELEMETRY_H_
+#define SRC_SUPPORT_TELEMETRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tyche {
+
+// FNV-1a over an array of 64-bit words; used to attribute a trace entry to
+// its arguments without storing (possibly sensitive) raw register values.
+uint64_t Fnv1aDigest(const uint64_t* words, size_t count);
+
+// One record per monitor ABI call.
+struct TraceEntry {
+  uint64_t seq = 0;          // monotonically increasing, first call = 0
+  uint16_t op = 0;           // ApiOp value at the dispatch boundary
+  uint32_t core = 0;
+  uint32_t domain = 0;       // caller domain (~0u when unresolvable)
+  uint64_t args_digest = 0;  // FNV-1a of the six argument registers
+  uint64_t error = 0;        // ErrorCode (0 = OK)
+  uint64_t duration_ns = 0;  // monitor-side wall-clock time
+};
+
+inline constexpr uint32_t kTraceNoDomain = ~0u;
+
+// Fixed-capacity, lock-protected ring of TraceEntry. Thread-safe.
+class TraceRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  explicit TraceRing(size_t capacity = kDefaultCapacity);
+
+  // Start / stop recording. Record() is a no-op while stopped.
+  void Start() { enabled_.store(true, std::memory_order_relaxed); }
+  void Stop() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Records one entry, assigning its sequence number. Overwrites the oldest
+  // entry when full.
+  void Record(TraceEntry entry);
+
+  // Entries currently held, oldest first.
+  std::vector<TraceEntry> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+  uint64_t recorded() const;  // total Record() calls that took effect
+  uint64_t dropped() const;   // of those, how many overwrote an older entry
+  void Clear();
+
+  // Human-readable dump, one line per entry (oldest first).
+  std::string DumpText(const std::function<std::string(uint16_t)>& op_name) const;
+  // JSON array of entry objects.
+  std::string DumpJson(const std::function<std::string(uint16_t)>& op_name) const;
+
+ private:
+  const size_t capacity_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;
+  std::vector<TraceEntry> ring_;  // size capacity_, slot = seq % capacity_
+  uint64_t next_seq_ = 0;
+};
+
+// Log2-bucketed histogram of non-negative 64-bit values. Not thread-safe by
+// itself (Telemetry serializes access); plain data so it copies and merges.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Record(uint64_t value);
+  void Merge(const LatencyHistogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+
+  // Upper bound of the bucket containing the p-th percentile (p in [0,100]).
+  // Returns 0 on an empty histogram. Percentile(50) / Percentile(99) are the
+  // p50/p99 used in telemetry summaries.
+  uint64_t Percentile(double p) const;
+
+  // Inclusive upper bound of values landing in bucket i.
+  static uint64_t BucketUpperBound(size_t i);
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_ = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
+// The aggregate carried by the monitor: one latency histogram per ABI op
+// plus the trace ring. Thread-safe.
+class Telemetry {
+ public:
+  explicit Telemetry(size_t op_count, size_t ring_capacity = TraceRing::kDefaultCapacity);
+
+  // Independent switches: the ring and the histograms can be costed apart.
+  void set_trace_enabled(bool enabled);
+  void set_histograms_enabled(bool enabled) {
+    histograms_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool trace_enabled() const { return ring_.enabled(); }
+  bool histograms_enabled() const {
+    return histograms_enabled_.load(std::memory_order_relaxed);
+  }
+  // True when any instrumentation is live; the dispatcher skips clock reads
+  // entirely when this is false, so disabled telemetry costs two loads.
+  bool any_enabled() const { return trace_enabled() || histograms_enabled(); }
+
+  // Records one ABI call into the ring (if tracing) and the op's histogram
+  // (if histograms are on). `entry.seq` is assigned by the ring.
+  void RecordCall(const TraceEntry& entry);
+
+  size_t op_count() const { return op_count_; }
+  TraceRing& ring() { return ring_; }
+  const TraceRing& ring() const { return ring_; }
+
+  LatencyHistogram OpHistogram(size_t op) const;
+  std::vector<LatencyHistogram> AllHistograms() const;
+  // All per-op histograms merged into one.
+  LatencyHistogram MergedHistogram() const;
+  void ClearHistograms();
+
+  // Per-op latency table: "op  count  p50  p99  max  total_ns" lines for
+  // ops with at least one sample.
+  std::string SummaryText(const std::function<std::string(uint16_t)>& op_name) const;
+
+ private:
+  const size_t op_count_;
+  std::atomic<bool> histograms_enabled_{true};
+  mutable std::mutex mu_;  // guards per_op_
+  std::vector<LatencyHistogram> per_op_;
+  TraceRing ring_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_SUPPORT_TELEMETRY_H_

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "src/monitor/boot.h"
 #include "src/monitor/pmp_backend.h"
 
@@ -13,6 +16,22 @@ namespace tyche {
 namespace {
 
 constexpr uint64_t kMiB = 1ull << 20;
+
+TEST(ApiOpNameTest, EveryOpHasAUniqueName) {
+  // Telemetry dumps index this table by raw op value; a newly added ApiOp
+  // without a name would silently render as the fallback marker.
+  std::set<std::string> seen;
+  for (uint64_t raw = 0; raw < static_cast<uint64_t>(ApiOp::kOpCount); ++raw) {
+    const char* name = ApiOpName(static_cast<ApiOp>(raw));
+    ASSERT_NE(name, nullptr) << "op " << raw;
+    const std::string text(name);
+    EXPECT_FALSE(text.empty()) << "op " << raw;
+    EXPECT_NE(text, "?") << "op " << raw;
+    EXPECT_NE(text, "unknown") << "op " << raw;
+    EXPECT_TRUE(seen.insert(text).second) << "duplicate name '" << text << "' for op " << raw;
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(ApiOp::kOpCount));
+}
 
 class MonitorTest : public ::testing::Test {
  protected:

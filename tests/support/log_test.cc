@@ -54,5 +54,23 @@ TEST_F(LogTest, StreamFormatting) {
   EXPECT_NE(captured_[0].second.find("x=42 y=3.5"), std::string::npos);
 }
 
+TEST_F(LogTest, NullSinkRestoresDefaultStderrSink) {
+  // The fixture installed a capturing sink in SetUp.
+  EXPECT_FALSE(Logger::Get().is_default_sink());
+
+  Logger::Get().set_sink(nullptr);
+  EXPECT_TRUE(Logger::Get().is_default_sink());
+
+  // The old capturing sink must be fully detached: a message written now
+  // goes to the restored stderr sink (visible in test output), not to
+  // captured_.
+  Logger::Get().Write(LogLevel::kWarn, "log_test: expected stderr line after sink restore");
+  EXPECT_TRUE(captured_.empty());
+
+  // Re-installing a sink flips the flag back.
+  Logger::Get().set_sink([](LogLevel, const std::string&) {});
+  EXPECT_FALSE(Logger::Get().is_default_sink());
+}
+
 }  // namespace
 }  // namespace tyche

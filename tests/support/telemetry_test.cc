@@ -1,0 +1,197 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// TraceRing and LatencyHistogram: capacity/overwrite semantics, percentile
+// math, merge, enable gating, and multi-threaded recording (the concurrency
+// the ASan/UBSan CI job gates).
+
+#include "src/support/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace tyche {
+namespace {
+
+TraceEntry MakeEntry(uint16_t op, uint64_t duration_ns) {
+  TraceEntry entry;
+  entry.op = op;
+  entry.duration_ns = duration_ns;
+  return entry;
+}
+
+TEST(TraceRingTest, AssignsSequenceNumbersOldestFirst) {
+  TraceRing ring(8);
+  for (uint16_t i = 0; i < 5; ++i) {
+    ring.Record(MakeEntry(i, 10 * i));
+  }
+  const auto snapshot = ring.Snapshot();
+  ASSERT_EQ(snapshot.size(), 5u);
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    EXPECT_EQ(snapshot[i].seq, i);
+    EXPECT_EQ(snapshot[i].op, i);
+  }
+  EXPECT_EQ(ring.recorded(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TraceRingTest, OverwritesOldestWhenFull) {
+  TraceRing ring(4);
+  for (uint16_t i = 0; i < 10; ++i) {
+    ring.Record(MakeEntry(i, 0));
+  }
+  const auto snapshot = ring.Snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  EXPECT_EQ(snapshot.front().op, 6);  // ops 0..5 overwritten
+  EXPECT_EQ(snapshot.back().op, 9);
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+}
+
+TEST(TraceRingTest, StopGatesRecording) {
+  TraceRing ring(4);
+  ring.Stop();
+  ring.Record(MakeEntry(1, 0));
+  EXPECT_EQ(ring.recorded(), 0u);
+  ring.Start();
+  ring.Record(MakeEntry(2, 0));
+  EXPECT_EQ(ring.recorded(), 1u);
+}
+
+TEST(TraceRingTest, ClearResets) {
+  TraceRing ring(4);
+  ring.Record(MakeEntry(1, 0));
+  ring.Clear();
+  EXPECT_TRUE(ring.Snapshot().empty());
+  EXPECT_EQ(ring.recorded(), 0u);
+}
+
+TEST(TraceRingTest, DumpFormatsContainOpNames) {
+  TraceRing ring(4);
+  ring.Record(MakeEntry(3, 42));
+  const auto name = [](uint16_t op) { return std::string("op") + std::to_string(op); };
+  EXPECT_NE(ring.DumpText(name).find("op3"), std::string::npos);
+  const std::string json = ring.DumpJson(name);
+  EXPECT_NE(json.find("\"op\":\"op3\""), std::string::npos);
+  EXPECT_NE(json.find("\"duration_ns\":42"), std::string::npos);
+}
+
+TEST(LatencyHistogramTest, BucketsArePowersOfTwo) {
+  LatencyHistogram histogram;
+  histogram.Record(0);
+  histogram.Record(1);
+  histogram.Record(2);
+  histogram.Record(3);
+  histogram.Record(1024);
+  EXPECT_EQ(histogram.count(), 5u);
+  EXPECT_EQ(histogram.sum(), 1030u);
+  EXPECT_EQ(histogram.min(), 0u);
+  EXPECT_EQ(histogram.max(), 1024u);
+  EXPECT_EQ(histogram.buckets()[0], 2u);   // 0, 1
+  EXPECT_EQ(histogram.buckets()[1], 1u);   // 2
+  EXPECT_EQ(histogram.buckets()[2], 1u);   // 3..4
+  EXPECT_EQ(histogram.buckets()[10], 1u);  // 513..1024
+}
+
+TEST(LatencyHistogramTest, PercentilesAtBucketResolution) {
+  LatencyHistogram histogram;
+  // 99 cheap samples and one expensive one: p50 stays in the cheap bucket,
+  // p99+ reaches the tail.
+  for (int i = 0; i < 99; ++i) {
+    histogram.Record(100);  // bucket upper bound 128
+  }
+  histogram.Record(1u << 20);
+  EXPECT_EQ(histogram.Percentile(50), 128u);
+  EXPECT_EQ(histogram.Percentile(99), 128u);
+  EXPECT_EQ(histogram.Percentile(100), 1u << 20);
+  EXPECT_EQ(LatencyHistogram{}.Percentile(99), 0u);
+}
+
+TEST(LatencyHistogramTest, MergeAddsCountsAndExtremes) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(4);
+  b.Record(4096);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 4u);
+  EXPECT_EQ(a.max(), 4096u);
+  EXPECT_EQ(a.Percentile(100), 4096u);
+}
+
+TEST(TelemetryTest, RecordsPerOpHistogramsAndRing) {
+  Telemetry telemetry(/*op_count=*/4, /*ring_capacity=*/16);
+  TraceEntry entry = MakeEntry(2, 100);
+  telemetry.RecordCall(entry);
+  telemetry.RecordCall(MakeEntry(2, 200));
+  telemetry.RecordCall(MakeEntry(0, 1));
+  EXPECT_EQ(telemetry.OpHistogram(2).count(), 2u);
+  EXPECT_EQ(telemetry.OpHistogram(0).count(), 1u);
+  EXPECT_EQ(telemetry.OpHistogram(1).count(), 0u);
+  EXPECT_EQ(telemetry.MergedHistogram().count(), 3u);
+  EXPECT_EQ(telemetry.ring().recorded(), 3u);
+  // Out-of-range op: traced but not histogrammed.
+  telemetry.RecordCall(MakeEntry(9, 5));
+  EXPECT_EQ(telemetry.ring().recorded(), 4u);
+  EXPECT_EQ(telemetry.MergedHistogram().count(), 3u);
+}
+
+TEST(TelemetryTest, EnableSwitchesAreIndependent) {
+  Telemetry telemetry(2);
+  EXPECT_TRUE(telemetry.any_enabled());
+  telemetry.set_trace_enabled(false);
+  EXPECT_TRUE(telemetry.any_enabled());  // histograms still on
+  telemetry.RecordCall(MakeEntry(0, 1));
+  EXPECT_EQ(telemetry.ring().recorded(), 0u);
+  EXPECT_EQ(telemetry.OpHistogram(0).count(), 1u);
+  telemetry.set_histograms_enabled(false);
+  EXPECT_FALSE(telemetry.any_enabled());
+  telemetry.RecordCall(MakeEntry(0, 1));
+  EXPECT_EQ(telemetry.OpHistogram(0).count(), 1u);
+}
+
+TEST(TelemetryTest, SummaryTextListsOpsWithSamples) {
+  Telemetry telemetry(3);
+  telemetry.RecordCall(MakeEntry(1, 50));
+  const std::string summary = telemetry.SummaryText(
+      [](uint16_t op) { return std::string("op") + std::to_string(op); });
+  EXPECT_NE(summary.find("op1"), std::string::npos);
+  EXPECT_EQ(summary.find("op0"), std::string::npos);
+}
+
+TEST(TelemetryTest, ConcurrentRecordingIsConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  Telemetry telemetry(/*op_count=*/4, /*ring_capacity=*/1024);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&telemetry, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        telemetry.RecordCall(MakeEntry(static_cast<uint16_t>(t % 4), i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(telemetry.ring().recorded(), kTotal);
+  EXPECT_EQ(telemetry.ring().dropped(), kTotal - 1024);
+  EXPECT_EQ(telemetry.MergedHistogram().count(), kTotal);
+  // Every sequence number in the snapshot is unique and the snapshot is
+  // sorted oldest-first.
+  const auto snapshot = telemetry.ring().Snapshot();
+  ASSERT_EQ(snapshot.size(), 1024u);
+  for (size_t i = 1; i < snapshot.size(); ++i) {
+    EXPECT_EQ(snapshot[i].seq, snapshot[i - 1].seq + 1);
+  }
+}
+
+TEST(Fnv1aDigestTest, DistinguishesArguments) {
+  const uint64_t a[] = {1, 2, 3, 4, 5, 6};
+  const uint64_t b[] = {1, 2, 3, 4, 5, 7};
+  EXPECT_NE(Fnv1aDigest(a, 6), Fnv1aDigest(b, 6));
+  EXPECT_EQ(Fnv1aDigest(a, 6), Fnv1aDigest(a, 6));
+}
+
+}  // namespace
+}  // namespace tyche
