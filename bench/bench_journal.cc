@@ -1,0 +1,116 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Audit-journal overhead. Two questions:
+//
+//  1. Raw append cost: chain hash per record (enabled), nothing (disabled),
+//     and the amortized Schnorr signature when checkpoints are on.
+//  2. Dispatch-path cost: with the journal disabled the wrapper must stay
+//     within 2x of the telemetry-off fast path from bench_telemetry (one
+//     extra relaxed load and a branch); with it enabled the cost of the
+//     record build plus chain hash is visible and bounded.
+//
+// Like bench_telemetry, the dispatched op is kTakeInterrupt with an empty
+// queue so the measurement is dispatch plumbing, not capability work.
+
+#include <benchmark/benchmark.h>
+
+#include "src/crypto/schnorr.h"
+#include "src/monitor/dispatch.h"
+#include "src/os/testbed.h"
+#include "src/support/journal.h"
+
+namespace tyche {
+namespace {
+
+JournalRecord SampleRecord() {
+  JournalRecord record;
+  record.span = 7;
+  record.event = static_cast<uint8_t>(JournalEvent::kShareMemory);
+  record.domain = 1;
+  record.dst = 2;
+  record.cap = 42;
+  record.parent = 3;
+  record.base = 0x100000;
+  record.size = 0x4000;
+  return record;
+}
+
+// Appends grow the in-memory log, so drop it outside the timed region every
+// 64k records to keep the working set (and allocator effects) bounded.
+void AppendLoop(benchmark::State& state, Journal& journal) {
+  const JournalRecord record = SampleRecord();
+  size_t appended = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(journal.Append(record));
+    if (++appended == (64u << 10)) {
+      state.PauseTiming();
+      journal.Clear();
+      appended = 0;
+      state.ResumeTiming();
+    }
+  }
+}
+
+void BM_JournalAppend_Disabled(benchmark::State& state) {
+  Journal journal;
+  journal.set_enabled(false);
+  AppendLoop(state, journal);
+}
+
+void BM_JournalAppend_Enabled(benchmark::State& state) {
+  Journal journal;
+  AppendLoop(state, journal);
+}
+
+void BM_JournalAppend_Checkpointed(benchmark::State& state) {
+  Journal journal(/*checkpoint_interval=*/64);
+  const uint8_t seed[] = {'b', 'e', 'n', 'c', 'h'};
+  const SchnorrKeyPair key = DeriveKeyPair(seed);
+  journal.set_signer([key](const Digest& digest) { return SchnorrSign(key.priv, digest); });
+  AppendLoop(state, journal);
+}
+
+BENCHMARK(BM_JournalAppend_Disabled);
+BENCHMARK(BM_JournalAppend_Enabled);
+BENCHMARK(BM_JournalAppend_Checkpointed);
+
+void DispatchLoop(benchmark::State& state, bool journal_on) {
+  auto testbed = Testbed::Create(TestbedOptions{});
+  if (!testbed.ok()) {
+    std::abort();
+  }
+  Monitor& monitor = testbed->monitor();
+  monitor.telemetry().set_trace_enabled(false);
+  monitor.telemetry().set_histograms_enabled(false);
+  monitor.audit().set_enabled(journal_on);
+
+  ApiRegs regs;
+  regs.op = static_cast<uint64_t>(ApiOp::kTakeInterrupt);
+  size_t dispatched = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dispatch(&monitor, 0, regs));
+    if (journal_on && ++dispatched == (64u << 10)) {
+      state.PauseTiming();
+      monitor.audit().journal().Clear();
+      dispatched = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.counters["journal_records"] =
+      static_cast<double>(monitor.audit().journal().size());
+}
+
+// The acceptance bar: within 2x of BM_Dispatch_TelemetryOff.
+void BM_Dispatch_JournalOff(benchmark::State& state) {
+  DispatchLoop(state, /*journal_on=*/false);
+}
+void BM_Dispatch_JournalOn(benchmark::State& state) {
+  DispatchLoop(state, /*journal_on=*/true);
+}
+
+BENCHMARK(BM_Dispatch_JournalOff);
+BENCHMARK(BM_Dispatch_JournalOn);
+
+}  // namespace
+}  // namespace tyche
+
+BENCHMARK_MAIN();

@@ -25,6 +25,9 @@ void DispatchLoop(benchmark::State& state, bool trace, bool histograms) {
   Monitor& monitor = testbed->monitor();
   monitor.telemetry().set_trace_enabled(trace);
   monitor.telemetry().set_histograms_enabled(histograms);
+  // Journal cost is measured separately in bench_journal; keep these numbers
+  // comparable to the telemetry-only baseline.
+  monitor.audit().set_enabled(false);
 
   ApiRegs regs;
   regs.op = static_cast<uint64_t>(ApiOp::kTakeInterrupt);

@@ -147,6 +147,8 @@ int Run() {
               direct_blocked ? "BLOCKED" : "LEAKED!");
   DEMO_CHECK(direct_blocked);
 
+  DumpObservability(*monitor);
+
   DEMO_CHECK(*monitor->AuditHardwareConsistency());
   std::printf("\nvault demo complete; audit OK\n");
   return 0;

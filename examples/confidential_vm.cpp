@@ -119,6 +119,7 @@ int RunRiscV() {
   const bool host_read_blocked = !machine->CheckedRead64(0, options.base).ok();
   std::printf("host read of guest memory: %s\n", host_read_blocked ? "BLOCKED" : "LEAKED!");
   DEMO_CHECK(host_read_blocked);
+  DumpObservability(*monitor);
   DEMO_CHECK(*monitor->AuditHardwareConsistency());
   std::printf("PMP backend audit OK\n");
   return 0;

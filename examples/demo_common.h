@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "src/monitor/attestation.h"
 #include "src/monitor/boot.h"
 #include "src/os/kernel.h"
 #include "src/tyche/loader.h"
@@ -85,6 +86,24 @@ inline DemoWorld MakeDemoWorld(IsaArch arch = IsaArch::kX86_64,
 
 inline void Banner(const char* title) {
   std::printf("\n=== %s ===\n", title);
+}
+
+// Prints the telemetry snapshot and audit-journal summary, then closes the
+// loop: exports the journal and verifies it offline (hash chain, checkpoint
+// signatures, shadow replay against the live capability-graph snapshot), the
+// same path a remote verifier would run on a captured journal.
+inline void DumpObservability(Monitor& monitor) {
+  Banner("observability");
+  const TelemetrySnapshot snapshot = monitor.DumpTelemetry();
+  std::printf("%s", snapshot.ToString().c_str());
+  std::printf("%s\n", monitor.audit().Summary().c_str());
+  const std::vector<uint8_t> wire = monitor.ExportJournal();
+  const Status verdict = RemoteVerifier::VerifyJournal(wire, monitor.public_key(),
+                                                       &snapshot.capability_graph_json);
+  std::printf("offline journal verification (%zu bytes): %s\n", wire.size(),
+              verdict.ok() ? "chain + checkpoint signatures + graph replay OK"
+                           : verdict.ToString().c_str());
+  DEMO_CHECK(verdict.ok());
 }
 
 }  // namespace tyche

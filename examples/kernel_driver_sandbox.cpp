@@ -91,6 +91,7 @@ int Run() {
   DEMO_CHECK(monitor->DestroyDomain(0, enclave->handle()).ok());
   DEMO_CHECK(os->KillProcess(editor).ok());
   DEMO_CHECK(os->KillProcess(browser).ok());
+  DumpObservability(*monitor);
   DEMO_CHECK(*monitor->AuditHardwareConsistency());
   std::printf("all compartments destroyed, audit OK, %llu context switches charged\n",
               static_cast<unsigned long long>(os->scheduler().switches()));

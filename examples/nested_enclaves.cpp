@@ -110,6 +110,8 @@ int Run() {
   DEMO_CHECK(!nested.ok());
   DEMO_CHECK(sgx.Eexit(*outer).ok());
 
+  DumpObservability(*monitor);
+
   DEMO_CHECK(*monitor->AuditHardwareConsistency());
   std::printf("\nnesting demo complete: %llu domains alive, audit OK\n",
               static_cast<unsigned long long>(monitor->num_domains_alive()));

@@ -86,8 +86,7 @@ int Run() {
               static_cast<unsigned long long>(world.monitor->stats().TotalCalls()),
               static_cast<unsigned long long>(world.machine->cycles().cycles()));
 
-  Banner("5. telemetry");
-  std::printf("%s", world.monitor->DumpTelemetry().ToString().c_str());
+  DumpObservability(*world.monitor);
   return 0;
 }
 

@@ -211,7 +211,7 @@ int Run() {
 
   DEMO_CHECK(*monitor->AuditHardwareConsistency());
   std::printf("\npipeline complete; hardware state consistent with the capability tree\n");
-  std::printf("\n%s", monitor->DumpTelemetry().ToString().c_str());
+  DumpObservability(*monitor);
   return 0;
 }
 

@@ -364,7 +364,8 @@ void CapabilityEngine::EmitRevokeEffects(const Capability& cap, CapEffects* effe
 }
 
 uint64_t CapabilityEngine::RevokeSubtree(CapId cap_id, std::set<CapId>* visited,
-                                         CapEffects* effects) {
+                                         CapEffects* effects,
+                                         std::vector<CapId>* revoked_ids) {
   if (visited->contains(cap_id)) {
     return 0;  // cycle tolerance: each node processed at most once
   }
@@ -378,13 +379,14 @@ uint64_t CapabilityEngine::RevokeSubtree(CapId cap_id, std::set<CapId>* visited,
   // Children first: a shared-out mapping must disappear before the sharer's.
   const std::vector<CapId> children = it->second.children;
   for (const CapId child : children) {
-    revoked += RevokeSubtree(child, visited, effects);
+    revoked += RevokeSubtree(child, visited, effects, revoked_ids);
   }
   Capability& cap = caps_[cap_id];
   if (cap.state != CapState::kRevoked) {
     if (cap.state == CapState::kActive) {
       EmitRevokeEffects(cap, effects);
       ++revoked;
+      revoked_ids->push_back(cap_id);
       // One line per cascaded deactivation; the visited-set size is the
       // evidence that cyclic sharing (A→B→A) still terminates.
       TYCHE_LOG(kTrace) << "revoke cascade: cap#" << cap_id << " owner=" << cap.owner
@@ -425,7 +427,8 @@ Result<RevokeOutcome> CapabilityEngine::Revoke(CapDomainId requester, CapId cap_
   const uint64_t unit = cap->unit;
   const CapId parent = cap->parent;
 
-  outcome.revoked_count = RevokeSubtree(cap_id, &visited, &outcome.effects);
+  outcome.revoked_count = RevokeSubtree(cap_id, &visited, &outcome.effects,
+                                        &outcome.revoked_caps);
 
   // Revoking a grant returns ownership to the grantor.
   if (was_grant && grantor != kNoCreator && parent != kInvalidCap) {
@@ -471,6 +474,8 @@ Result<RevokeOutcome> CapabilityEngine::PurgeDomain(CapDomainId domain) {
     auto result = Revoke(domain, id);
     if (result.ok()) {
       total.revoked_count += result->revoked_count;
+      total.revoked_caps.insert(total.revoked_caps.end(), result->revoked_caps.begin(),
+                                result->revoked_caps.end());
       total.effects.Append(result->effects);
     }
   }

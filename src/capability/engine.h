@@ -80,6 +80,9 @@ struct GrantOutcome {
 struct RevokeOutcome {
   // Number of capabilities deactivated by the cascade.
   uint64_t revoked_count = 0;
+  // The deactivated capabilities in cascade (post-order) sequence. The audit
+  // journal emits one cascade record per entry; replay cross-checks them.
+  std::vector<CapId> revoked_caps;
   // Capability restoring ownership to the grantor (grants only).
   CapId restored = kInvalidCap;
   CapEffects effects;
@@ -195,8 +198,9 @@ class CapabilityEngine {
   Status CheckSealingRules(CapDomainId src_owner, CapDomainId dst) const;
 
   // Cascade: deactivates the subtree rooted at `cap` (inclusive), appending
-  // effects. Returns number of caps deactivated.
-  uint64_t RevokeSubtree(CapId cap, std::set<CapId>* visited, CapEffects* effects);
+  // effects and the deactivated ids. Returns number of caps deactivated.
+  uint64_t RevokeSubtree(CapId cap, std::set<CapId>* visited, CapEffects* effects,
+                         std::vector<CapId>* revoked_ids);
 
   // Emits the unmap/detach + cleanup effects for one deactivated cap.
   void EmitRevokeEffects(const Capability& cap, CapEffects* effects);

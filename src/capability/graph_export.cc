@@ -2,6 +2,7 @@
 
 #include "src/capability/graph_export.h"
 
+#include <cstdio>
 #include <sstream>
 
 namespace tyche {
@@ -54,6 +55,61 @@ std::string ResourceLabel(const Capability& cap) {
 
 }  // namespace
 
+std::string EscapeGraphLabel(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";  // literal backslash-n: a DOT label line break
+        break;
+      case '\r':
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeJsonString(const std::string& text) {
+  std::ostringstream out;
+  for (const char c : text) {
+    switch (c) {
+      case '\\':
+        out << "\\\\";
+        break;
+      case '"':
+        out << "\\\"";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  return out.str();
+}
+
 std::string ExportCapabilityGraphDot(const CapabilityEngine& engine,
                                      const GraphExportOptions& options) {
   std::ostringstream out;
@@ -65,7 +121,7 @@ std::string ExportCapabilityGraphDot(const CapabilityEngine& engine,
       return;
     }
     out << "  cap" << cap.id << " [label=\"cap#" << cap.id << " d" << cap.owner << "\\n"
-        << ResourceLabel(cap) << "\\n" << OriginName(cap.origin)
+        << EscapeGraphLabel(ResourceLabel(cap)) << "\\n" << OriginName(cap.origin)
         << " refcount=" << RefCountOf(engine, cap) << "\"";
     switch (cap.state) {
       case CapState::kActive:
@@ -117,7 +173,7 @@ std::string ExportCapabilityGraphJson(const CapabilityEngine& engine,
         << "\",\"ref_count\":" << RefCountOf(engine, cap);
     if (cap.kind == ResourceKind::kMemory) {
       out << ",\"base\":" << cap.range.base << ",\"size\":" << cap.range.size
-          << ",\"perms\":\"" << cap.perms.ToString() << "\"";
+          << ",\"perms\":\"" << EscapeJsonString(cap.perms.ToString()) << "\"";
     } else {
       out << ",\"unit\":" << cap.unit;
     }

@@ -2,6 +2,8 @@
 
 #include "src/monitor/attestation.h"
 
+#include "src/monitor/audit.h"
+
 namespace tyche {
 
 namespace {
@@ -257,6 +259,20 @@ Status RemoteVerifier::VerifyDomain(const DomainAttestation& report,
   }
   if (expected_measurement != nullptr && report.measurement != *expected_measurement) {
     return Error(ErrorCode::kAttestationMismatch, "measurement does not match golden value");
+  }
+  return OkStatus();
+}
+
+Status RemoteVerifier::VerifyJournal(std::span<const uint8_t> journal_bytes,
+                                     const SchnorrPublicKey& monitor_key,
+                                     const std::string* expected_graph_json) {
+  TYCHE_ASSIGN_OR_RETURN(const ParsedJournal parsed, Journal::Deserialize(journal_bytes));
+  TYCHE_RETURN_IF_ERROR(
+      Journal::VerifyChain(parsed.records, parsed.checkpoints, monitor_key));
+  TYCHE_ASSIGN_OR_RETURN(const JournalReplay replay, ReplayJournal(parsed.records));
+  if (expected_graph_json != nullptr && replay.graph_json != *expected_graph_json) {
+    return Error(ErrorCode::kAttestationMismatch,
+                 "journal: replayed capability graph does not match the snapshot");
   }
   return OkStatus();
 }

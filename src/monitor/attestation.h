@@ -99,6 +99,16 @@ class RemoteVerifier {
   Status VerifyDomain(const DomainAttestation& report, const SchnorrPublicKey& monitor_key,
                       uint64_t expected_nonce, const Digest* expected_measurement) const;
 
+  // History: verifies a serialized audit journal end-to-end -- wire format,
+  // hash chain, checkpoint signatures under the (verified) monitor key --
+  // then replays it through a shadow capability engine. When
+  // `expected_graph_json` is non-null, the replayed graph (including
+  // refcounts) must match that graph_export snapshot byte-for-byte. Detects
+  // any single-record tamper, drop, reorder, or tail truncation.
+  static Status VerifyJournal(std::span<const uint8_t> journal_bytes,
+                              const SchnorrPublicKey& monitor_key,
+                              const std::string* expected_graph_json);
+
   // Controlled-sharing policy checks over a verified report (§3.4: e.g.
   // "exclusive access to a resource (reference count of 1) coupled with an
   // obfuscating revocation policy guarantees integrity and

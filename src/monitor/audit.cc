@@ -1,0 +1,391 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/monitor/audit.h"
+
+#include <deque>
+#include <sstream>
+
+#include "src/capability/graph_export.h"
+#include "src/monitor/monitor.h"
+
+namespace tyche {
+
+namespace {
+
+JournalRecord Base(uint64_t span, JournalEvent event) {
+  JournalRecord record;
+  record.span = span;
+  record.event = static_cast<uint8_t>(event);
+  return record;
+}
+
+}  // namespace
+
+void AuditJournal::Dispatch(uint64_t span, uint16_t op, uint32_t caller,
+                            uint64_t args_digest, uint64_t error) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kDispatch);
+  record.op = static_cast<uint8_t>(op <= 0xff ? op : 0xff);
+  record.domain = caller;
+  record.aux = args_digest;
+  record.result = error;
+  journal_.Append(record);
+}
+
+void AuditJournal::RegisterDomain(uint64_t span, uint32_t domain, uint32_t creator) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kRegisterDomain);
+  record.domain = domain;
+  record.dst = creator;
+  journal_.Append(record);
+}
+
+void AuditJournal::SealDomain(uint64_t span, uint32_t domain) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kSealDomain);
+  record.domain = domain;
+  journal_.Append(record);
+}
+
+void AuditJournal::MintMemory(uint64_t span, uint32_t owner, uint64_t cap, AddrRange range,
+                              Perms perms, CapRights rights) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kMintMemory);
+  record.domain = owner;
+  record.cap = cap;
+  record.base = range.base;
+  record.size = range.size;
+  record.perms = perms.mask;
+  record.rights = rights.mask;
+  record.resource = static_cast<uint8_t>(ResourceKind::kMemory);
+  journal_.Append(record);
+}
+
+void AuditJournal::MintUnit(uint64_t span, uint32_t owner, uint64_t cap, ResourceKind kind,
+                            uint64_t unit, CapRights rights) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kMintUnit);
+  record.domain = owner;
+  record.cap = cap;
+  record.base = unit;
+  record.rights = rights.mask;
+  record.resource = static_cast<uint8_t>(kind);
+  journal_.Append(record);
+}
+
+void AuditJournal::ShareMemory(uint64_t span, uint32_t requester, uint32_t dst,
+                               uint64_t src_cap, uint64_t child, AddrRange sub, Perms perms,
+                               CapRights rights, RevocationPolicy policy) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kShareMemory);
+  record.domain = requester;
+  record.dst = dst;
+  record.parent = src_cap;
+  record.cap = child;
+  record.base = sub.base;
+  record.size = sub.size;
+  record.perms = perms.mask;
+  record.rights = rights.mask;
+  record.policy = policy.mask;
+  record.resource = static_cast<uint8_t>(ResourceKind::kMemory);
+  journal_.Append(record);
+}
+
+void AuditJournal::GrantMemory(uint64_t span, uint32_t requester, uint32_t dst,
+                               uint64_t src_cap, uint64_t granted, AddrRange sub, Perms perms,
+                               CapRights rights, RevocationPolicy policy,
+                               uint64_t remainder_count) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kGrantMemory);
+  record.domain = requester;
+  record.dst = dst;
+  record.parent = src_cap;
+  record.cap = granted;
+  record.base = sub.base;
+  record.size = sub.size;
+  record.perms = perms.mask;
+  record.rights = rights.mask;
+  record.policy = policy.mask;
+  record.aux = remainder_count;
+  record.resource = static_cast<uint8_t>(ResourceKind::kMemory);
+  journal_.Append(record);
+}
+
+void AuditJournal::ShareUnit(uint64_t span, uint32_t requester, uint32_t dst,
+                             uint64_t src_cap, uint64_t child, ResourceKind kind,
+                             uint64_t unit, CapRights rights, RevocationPolicy policy) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kShareUnit);
+  record.domain = requester;
+  record.dst = dst;
+  record.parent = src_cap;
+  record.cap = child;
+  record.base = unit;
+  record.rights = rights.mask;
+  record.policy = policy.mask;
+  record.resource = static_cast<uint8_t>(kind);
+  journal_.Append(record);
+}
+
+void AuditJournal::GrantUnit(uint64_t span, uint32_t requester, uint32_t dst,
+                             uint64_t src_cap, uint64_t granted, ResourceKind kind,
+                             uint64_t unit, CapRights rights, RevocationPolicy policy) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kGrantUnit);
+  record.domain = requester;
+  record.dst = dst;
+  record.parent = src_cap;
+  record.cap = granted;
+  record.base = unit;
+  record.rights = rights.mask;
+  record.policy = policy.mask;
+  record.resource = static_cast<uint8_t>(kind);
+  journal_.Append(record);
+}
+
+void AuditJournal::Cascades(uint64_t span, uint64_t root_cap, const RevokeOutcome& outcome,
+                            const CapabilityEngine& engine) {
+  for (const CapId revoked : outcome.revoked_caps) {
+    JournalRecord record = Base(span, JournalEvent::kCascade);
+    record.cap = revoked;
+    record.parent = root_cap;
+    const auto cap = engine.Get(revoked);
+    if (cap.ok()) {
+      record.domain = (*cap)->owner;
+      record.resource = static_cast<uint8_t>((*cap)->kind);
+    }
+    journal_.Append(record);
+  }
+}
+
+void AuditJournal::Revoke(uint64_t span, uint32_t requester, uint64_t cap,
+                          const RevokeOutcome& outcome, const CapabilityEngine& engine) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kRevoke);
+  record.domain = requester;
+  record.cap = cap;
+  record.aux = outcome.revoked_count;
+  journal_.Append(record);
+  Cascades(span, cap, outcome, engine);
+  if (outcome.restored != kInvalidCap) {
+    JournalRecord restore = Base(span, JournalEvent::kRestore);
+    restore.cap = outcome.restored;
+    restore.parent = cap;
+    const auto restored_cap = engine.Get(outcome.restored);
+    if (restored_cap.ok()) {
+      restore.domain = (*restored_cap)->owner;
+      restore.resource = static_cast<uint8_t>((*restored_cap)->kind);
+    }
+    journal_.Append(restore);
+  }
+}
+
+void AuditJournal::PurgeDomain(uint64_t span, uint32_t domain, const RevokeOutcome& outcome,
+                               const CapabilityEngine& engine) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kPurgeDomain);
+  record.domain = domain;
+  record.aux = outcome.revoked_count;
+  journal_.Append(record);
+  Cascades(span, 0, outcome, engine);
+}
+
+void AuditJournal::Effect(uint64_t span, const CapEffect& effect) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kEffect);
+  record.domain = effect.domain;
+  record.resource = static_cast<uint8_t>(effect.resource);
+  record.base = effect.range.empty() ? effect.unit : effect.range.base;
+  record.size = effect.range.size;
+  record.perms = effect.perms.mask;
+  record.aux = static_cast<uint64_t>(effect.kind);
+  journal_.Append(record);
+}
+
+std::string AuditJournal::Summary() const {
+  std::ostringstream out;
+  out << "journal: " << journal_.size() << " records, " << journal_.checkpoint_count()
+      << " checkpoints, head=" << journal_.head().ToHex().substr(0, 16) << "\n ";
+  for (size_t i = 0; i < static_cast<size_t>(JournalEvent::kEventCount); ++i) {
+    const uint64_t count = journal_.EventCount(static_cast<JournalEvent>(i));
+    if (count == 0) {
+      continue;
+    }
+    out << " " << JournalEventName(static_cast<JournalEvent>(i)) << "=" << count;
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::string AuditJournal::SpanTreeJson() const {
+  return ExportSpanTreeJson(journal_.Records(), [](uint8_t op) {
+    return std::string(op < static_cast<uint8_t>(ApiOp::kOpCount)
+                           ? ApiOpName(static_cast<ApiOp>(op))
+                           : "?");
+  });
+}
+
+std::vector<uint8_t> AuditJournal::Export() {
+  journal_.Checkpoint();
+  return journal_.Serialize();
+}
+
+Result<JournalReplay> ReplayJournal(const std::vector<JournalRecord>& records) {
+  CapabilityEngine shadow;
+  JournalReplay replay;
+  // Cascade/restore records are cross-checked against the outcome of the
+  // enclosing revoke: drops and reorders the hash chain would also catch
+  // become *semantic* divergences here.
+  std::deque<CapId> expected_cascades;
+  CapId expected_restore = kInvalidCap;
+
+  auto diverged = [](uint64_t seq, const std::string& what) {
+    return Error(ErrorCode::kAttestationMismatch,
+                 "journal replay diverged at seq " + std::to_string(seq) + ": " + what);
+  };
+
+  for (const JournalRecord& record : records) {
+    const auto event = static_cast<JournalEvent>(record.event);
+    if (event != JournalEvent::kCascade && event != JournalEvent::kRestore) {
+      if (!expected_cascades.empty()) {
+        return diverged(record.seq, "cascade records missing");
+      }
+      expected_restore = kInvalidCap;
+    }
+    switch (event) {
+      case JournalEvent::kDispatch:
+      case JournalEvent::kEffect:
+        ++replay.skipped;
+        continue;
+      case JournalEvent::kRegisterDomain:
+        shadow.RegisterDomain(record.domain, record.dst);
+        break;
+      case JournalEvent::kSealDomain:
+        shadow.SealDomain(record.domain);
+        break;
+      case JournalEvent::kMintMemory: {
+        const auto cap = shadow.MintMemory(record.domain, AddrRange{record.base, record.size},
+                                           Perms(record.perms), CapRights(record.rights));
+        if (!cap.ok() || *cap != record.cap) {
+          return diverged(record.seq, "mint_memory id mismatch");
+        }
+        break;
+      }
+      case JournalEvent::kMintUnit: {
+        const auto cap =
+            shadow.MintUnit(record.domain, static_cast<ResourceKind>(record.resource),
+                            record.base, CapRights(record.rights));
+        if (!cap.ok() || *cap != record.cap) {
+          return diverged(record.seq, "mint_unit id mismatch");
+        }
+        break;
+      }
+      case JournalEvent::kShareMemory: {
+        const auto cap = shadow.ShareMemory(
+            record.domain, record.parent, record.dst, AddrRange{record.base, record.size},
+            Perms(record.perms), CapRights(record.rights), RevocationPolicy(record.policy),
+            nullptr);
+        if (!cap.ok() || *cap != record.cap) {
+          return diverged(record.seq, "share_memory id mismatch");
+        }
+        break;
+      }
+      case JournalEvent::kGrantMemory: {
+        const auto outcome = shadow.GrantMemory(
+            record.domain, record.parent, record.dst, AddrRange{record.base, record.size},
+            Perms(record.perms), CapRights(record.rights), RevocationPolicy(record.policy));
+        if (!outcome.ok() || outcome->granted != record.cap ||
+            outcome->remainders.size() != record.aux) {
+          return diverged(record.seq, "grant_memory outcome mismatch");
+        }
+        break;
+      }
+      case JournalEvent::kShareUnit: {
+        const auto cap =
+            shadow.ShareUnit(record.domain, record.parent, record.dst,
+                             CapRights(record.rights), RevocationPolicy(record.policy),
+                             nullptr);
+        if (!cap.ok() || *cap != record.cap) {
+          return diverged(record.seq, "share_unit id mismatch");
+        }
+        break;
+      }
+      case JournalEvent::kGrantUnit: {
+        const auto outcome =
+            shadow.GrantUnit(record.domain, record.parent, record.dst,
+                             CapRights(record.rights), RevocationPolicy(record.policy));
+        if (!outcome.ok() || outcome->granted != record.cap) {
+          return diverged(record.seq, "grant_unit outcome mismatch");
+        }
+        break;
+      }
+      case JournalEvent::kRevoke: {
+        const auto outcome = shadow.Revoke(record.domain, record.cap);
+        if (!outcome.ok() || outcome->revoked_count != record.aux) {
+          return diverged(record.seq, "revoke outcome mismatch");
+        }
+        expected_cascades.assign(outcome->revoked_caps.begin(),
+                                 outcome->revoked_caps.end());
+        expected_restore = outcome->restored;
+        break;
+      }
+      case JournalEvent::kCascade:
+        if (expected_cascades.empty() || expected_cascades.front() != record.cap) {
+          return diverged(record.seq, "cascade id mismatch");
+        }
+        expected_cascades.pop_front();
+        break;
+      case JournalEvent::kRestore:
+        if (record.cap != expected_restore) {
+          return diverged(record.seq, "restore id mismatch");
+        }
+        expected_restore = kInvalidCap;
+        break;
+      case JournalEvent::kPurgeDomain: {
+        const auto outcome = shadow.PurgeDomain(record.domain);
+        if (!outcome.ok() || outcome->revoked_count != record.aux) {
+          return diverged(record.seq, "purge outcome mismatch");
+        }
+        expected_cascades.assign(outcome->revoked_caps.begin(),
+                                 outcome->revoked_caps.end());
+        expected_restore = kInvalidCap;
+        break;
+      }
+      case JournalEvent::kEventCount:
+        return diverged(record.seq, "unknown event");
+    }
+    ++replay.applied;
+  }
+  if (!expected_cascades.empty()) {
+    return Error(ErrorCode::kAttestationMismatch,
+                 "journal replay: trailing cascade records missing");
+  }
+  replay.graph_json = ExportCapabilityGraphJson(shadow);
+  return replay;
+}
+
+}  // namespace tyche

@@ -1,0 +1,96 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// The monitor-side face of the audit journal (§3.4 extended to history):
+// typed record builders for every capability mutation, human/JSON summaries,
+// and the shadow-replay verifier. The journal itself (hash chain, signed
+// checkpoints, wire format) lives in src/support/journal.h; this layer binds
+// it to the monitor's vocabulary -- ApiOps, capability ids, revoke outcomes.
+//
+// Replay is the strongest check the journal affords: because the capability
+// engine allocates ids deterministically (validation happens before any id
+// is consumed), re-applying the journaled root operations to a fresh shadow
+// engine must reproduce the exact lineage tree, including every cascade,
+// remainder, and restore id. A journal that verifies AND replays to the
+// attested graph snapshot is evidence of *how* the current sharing state
+// came to be, not just what it is.
+
+#ifndef SRC_MONITOR_AUDIT_H_
+#define SRC_MONITOR_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/capability/engine.h"
+#include "src/support/journal.h"
+
+namespace tyche {
+
+// Owned by the Monitor; all builders are no-ops while the journal is
+// disabled. Builders take the causal span id threaded from Dispatch().
+class AuditJournal {
+ public:
+  AuditJournal() = default;
+
+  Journal& journal() { return journal_; }
+  const Journal& journal() const { return journal_; }
+  bool enabled() const { return journal_.enabled(); }
+  void set_enabled(bool enabled) { journal_.set_enabled(enabled); }
+
+  // --- Record builders (one per monitor event) ---
+  void Dispatch(uint64_t span, uint16_t op, uint32_t caller, uint64_t args_digest,
+                uint64_t error);
+  void RegisterDomain(uint64_t span, uint32_t domain, uint32_t creator);
+  void SealDomain(uint64_t span, uint32_t domain);
+  void MintMemory(uint64_t span, uint32_t owner, uint64_t cap, AddrRange range, Perms perms,
+                  CapRights rights);
+  void MintUnit(uint64_t span, uint32_t owner, uint64_t cap, ResourceKind kind, uint64_t unit,
+                CapRights rights);
+  void ShareMemory(uint64_t span, uint32_t requester, uint32_t dst, uint64_t src_cap,
+                   uint64_t child, AddrRange sub, Perms perms, CapRights rights,
+                   RevocationPolicy policy);
+  void GrantMemory(uint64_t span, uint32_t requester, uint32_t dst, uint64_t src_cap,
+                   uint64_t granted, AddrRange sub, Perms perms, CapRights rights,
+                   RevocationPolicy policy, uint64_t remainder_count);
+  void ShareUnit(uint64_t span, uint32_t requester, uint32_t dst, uint64_t src_cap,
+                 uint64_t child, ResourceKind kind, uint64_t unit, CapRights rights,
+                 RevocationPolicy policy);
+  void GrantUnit(uint64_t span, uint32_t requester, uint32_t dst, uint64_t src_cap,
+                 uint64_t granted, ResourceKind kind, uint64_t unit, CapRights rights,
+                 RevocationPolicy policy);
+  // Emits kRevoke plus one kCascade per deactivated capability plus kRestore
+  // when the revocation returned ownership: N+1 records, one span.
+  void Revoke(uint64_t span, uint32_t requester, uint64_t cap, const RevokeOutcome& outcome,
+              const CapabilityEngine& engine);
+  void PurgeDomain(uint64_t span, uint32_t domain, const RevokeOutcome& outcome,
+                   const CapabilityEngine& engine);
+  void Effect(uint64_t span, const CapEffect& effect);
+
+  // --- Introspection / export ---
+  // One-paragraph text: record/checkpoint counts, per-event tallies, head.
+  std::string Summary() const;
+  // Causal span tree (flamegraph-style), ops named via ApiOpName.
+  std::string SpanTreeJson() const;
+  // Checkpoints the head, then serializes the whole journal for transport.
+  std::vector<uint8_t> Export();
+
+ private:
+  void Cascades(uint64_t span, uint64_t root_cap, const RevokeOutcome& outcome,
+                const CapabilityEngine& engine);
+
+  Journal journal_;
+};
+
+struct JournalReplay {
+  uint64_t applied = 0;  // engine mutations re-applied
+  uint64_t skipped = 0;  // context records (dispatch, effects)
+  std::string graph_json;  // full-lineage export of the shadow engine
+};
+
+// Replays journaled engine mutations through a fresh shadow engine,
+// asserting every journaled capability id (shares, grants, cascades,
+// restores, remainder counts) matches what the shadow engine produced.
+// Fails with the diverging sequence number on any mismatch.
+Result<JournalReplay> ReplayJournal(const std::vector<JournalRecord>& records);
+
+}  // namespace tyche
+
+#endif  // SRC_MONITOR_AUDIT_H_

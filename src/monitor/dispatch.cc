@@ -179,31 +179,50 @@ ApiResult DispatchInner(Monitor* monitor, CoreId core, const ApiRegs& regs) {
 
 ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
   Telemetry& telemetry = monitor->telemetry();
-  // With telemetry fully off the boundary adds two relaxed loads and a
-  // branch -- measured by bench_telemetry against the seed baseline.
-  if (!telemetry.any_enabled()) {
+  AuditJournal& audit = monitor->audit();
+  // With telemetry AND the journal fully off the boundary adds three relaxed
+  // loads and a branch -- measured by bench_telemetry / bench_journal
+  // against the seed baseline.
+  const bool journal_on = audit.enabled();
+  if (!telemetry.any_enabled() && !journal_on) {
     return DispatchInner(monitor, core, regs);
   }
   // Resolve the caller BEFORE the call: ops like kTransition change it.
   const uint32_t caller = core < monitor->machine()->num_cores()
                               ? monitor->CurrentDomain(core)
                               : kTraceNoDomain;
-  const auto start = std::chrono::steady_clock::now();
-  const ApiResult result = DispatchInner(monitor, core, regs);
-  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const bool timing = telemetry.any_enabled();
+  const auto start =
+      timing ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
 
-  TraceEntry entry;
-  entry.op = static_cast<uint16_t>(
+  // Every journal record caused by this call -- engine mutations, cascades,
+  // backend effects -- shares this span id with the TraceEntry.
+  const uint64_t span = monitor->BeginSpan(core);
+  const ApiResult result = DispatchInner(monitor, core, regs);
+  monitor->EndSpan(core);
+
+  const uint16_t op = static_cast<uint16_t>(
       regs.op < static_cast<uint64_t>(ApiOp::kOpCount) ? regs.op : ~0ull);
-  entry.core = core;
-  entry.domain = caller;
   const uint64_t args[] = {regs.arg0, regs.arg1, regs.arg2,
                            regs.arg3, regs.arg4, regs.arg5};
-  entry.args_digest = Fnv1aDigest(args, 6);
-  entry.error = result.error;
-  entry.duration_ns = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
-  telemetry.RecordCall(entry);
+  const uint64_t args_digest = Fnv1aDigest(args, 6);
+
+  if (journal_on) {
+    audit.Dispatch(span, op, caller, args_digest, result.error);
+  }
+  if (timing) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    TraceEntry entry;
+    entry.op = op;
+    entry.core = core;
+    entry.domain = caller;
+    entry.span = span;
+    entry.args_digest = args_digest;
+    entry.error = result.error;
+    entry.duration_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    telemetry.RecordCall(entry);
+  }
   return result;
 }
 

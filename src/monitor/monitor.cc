@@ -95,6 +95,14 @@ Monitor::Monitor(Machine* machine, AddrRange monitor_range, FrameAllocator metad
     backend_ = std::make_unique<PmpBackend>(machine_, &engine_, monitor_range_);
   }
   call_stacks_.resize(machine_->num_cores());
+  active_spans_.resize(machine_->num_cores(), 0);
+
+  // The journal's ticks come from the simulated cycle account; checkpoints
+  // are signed under the monitor's attestation key, binding the history to
+  // the same identity as domain attestations.
+  audit_.journal().set_tick_source([this] { return machine_->cycles().cycles(); });
+  audit_.journal().set_signer(
+      [this](const Digest& digest) { return SchnorrSign(key_.priv, digest); });
 
   // Sealing root: bound to the monitor's (measurement-derived) identity key,
   // so blobs only open under the same monitor image.
@@ -117,6 +125,27 @@ Status Monitor::ChargeCall(ApiOp op) {
   machine_->cycles().Charge(TrapCost());
   ++stats_.api_calls[static_cast<size_t>(op)];
   return OkStatus();
+}
+
+uint64_t Monitor::BeginSpan(CoreId core) {
+  const uint64_t span = next_span_.fetch_add(1, std::memory_order_relaxed);
+  if (core < active_spans_.size()) {
+    active_spans_[core] = span;
+  }
+  return span;
+}
+
+void Monitor::EndSpan(CoreId core) {
+  if (core < active_spans_.size()) {
+    active_spans_[core] = 0;
+  }
+}
+
+uint64_t Monitor::SpanForCore(CoreId core) {
+  if (core < active_spans_.size() && active_spans_[core] != 0) {
+    return active_spans_[core];
+  }
+  return next_span_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Result<DomainId> Monitor::Caller(CoreId core) const {
@@ -196,7 +225,9 @@ Result<DomainId> Monitor::InstallInitialDomain(const std::string& name) {
   domain.entry_point = 0;
   domain.entry_point_set = true;
 
+  const uint64_t span = next_span_.fetch_add(1, std::memory_order_relaxed);
   engine_.RegisterDomain(id, CapabilityEngine::kNoCreator);
+  audit_.RegisterDomain(span, id, kJournalNoDomain);
   TYCHE_RETURN_IF_ERROR(backend_->CreateDomainContext(id, domain.asid));
 
   // Endow the initial domain with everything outside the monitor.
@@ -206,23 +237,26 @@ Result<DomainId> Monitor::InstallInitialDomain(const std::string& name) {
   TYCHE_ASSIGN_OR_RETURN(
       const CapId mem_cap,
       engine_.MintMemory(id, rest, Perms(Perms::kRWX), CapRights(CapRights::kAll)));
+  audit_.MintMemory(span, id, mem_cap, rest, Perms(Perms::kRWX), CapRights(CapRights::kAll));
   effects.Add(CapEffect{CapEffect::Kind::kMapMemory, id, ResourceKind::kMemory, rest, 0,
                         Perms(Perms::kRWX)});
-  (void)mem_cap;
   for (CoreId core = 0; core < machine_->num_cores(); ++core) {
-    TYCHE_RETURN_IF_ERROR(
-        engine_.MintUnit(id, ResourceKind::kCpuCore, core, CapRights(CapRights::kAll))
-            .status());
+    TYCHE_ASSIGN_OR_RETURN(
+        const CapId core_cap,
+        engine_.MintUnit(id, ResourceKind::kCpuCore, core, CapRights(CapRights::kAll)));
+    audit_.MintUnit(span, id, core_cap, ResourceKind::kCpuCore, core,
+                    CapRights(CapRights::kAll));
   }
   for (const auto& device : machine_->devices()) {
     TYCHE_ASSIGN_OR_RETURN(const CapId dev_cap,
                            engine_.MintUnit(id, ResourceKind::kPciDevice,
                                             device->bdf().value, CapRights(CapRights::kAll)));
-    (void)dev_cap;
+    audit_.MintUnit(span, id, dev_cap, ResourceKind::kPciDevice, device->bdf().value,
+                    CapRights(CapRights::kAll));
     effects.Add(CapEffect{CapEffect::Kind::kAttachUnit, id, ResourceKind::kPciDevice,
                           AddrRange{}, device->bdf().value, Perms{}});
   }
-  TYCHE_RETURN_IF_ERROR(ApplyEffects(effects));
+  TYCHE_RETURN_IF_ERROR(ApplyEffects(effects, span));
 
   // Put the initial domain on every core.
   for (CoreId core = 0; core < machine_->num_cores(); ++core) {
@@ -233,7 +267,7 @@ Result<DomainId> Monitor::InstallInitialDomain(const std::string& name) {
   return id;
 }
 
-Status Monitor::ApplyEffects(const CapEffects& effects) {
+Status Monitor::ApplyEffects(const CapEffects& effects, uint64_t span) {
   // Best-effort over the WHOLE list: revocation cleanups are guaranteed
   // (§3.2), so one failing projection (e.g. a PMP layout that stopped
   // fitting -- which fail-safes to deny-all) must not prevent the remaining
@@ -250,6 +284,7 @@ Status Monitor::ApplyEffects(const CapEffects& effects) {
     if (kind_index < MonitorStats::kEffectKinds) {
       ++stats_.effects_by_kind[kind_index];
     }
+    audit_.Effect(span, effect);
     switch (effect.kind) {
       case CapEffect::Kind::kMapMemory:
       case CapEffect::Kind::kUnmapMemory:
@@ -356,12 +391,15 @@ Result<CreateDomainResult> Monitor::CreateDomain(CoreId core, const std::string&
   domain.name = name;
   domain.asid = next_asid_++;
 
+  const uint64_t span = SpanForCore(core);
   engine_.RegisterDomain(id, caller);
+  audit_.RegisterDomain(span, id, caller);
   TYCHE_RETURN_IF_ERROR(backend_->CreateDomainContext(id, domain.asid));
 
   TYCHE_ASSIGN_OR_RETURN(
       const CapId handle,
       engine_.MintUnit(caller, ResourceKind::kDomain, id, CapRights(CapRights::kAll)));
+  audit_.MintUnit(span, caller, handle, ResourceKind::kDomain, id, CapRights(CapRights::kAll));
   return CreateDomainResult{id, handle};
 }
 
@@ -442,6 +480,7 @@ Status Monitor::Seal(CoreId core, CapId domain_handle) {
   domain->measurement = domain->measurement_ctx.Finalize();
   domain->state = DomainState::kSealed;
   engine_.SealDomain(target);
+  audit_.SealDomain(SpanForCore(core), target);
   return OkStatus();
 }
 
@@ -460,9 +499,11 @@ Status Monitor::DestroyDomain(CoreId core, CapId domain_handle) {
       return Error(ErrorCode::kFailedPrecondition, "domain is on a transition stack");
     }
   }
+  const uint64_t span = SpanForCore(core);
   TYCHE_ASSIGN_OR_RETURN(const RevokeOutcome outcome, engine_.PurgeDomain(target));
+  audit_.PurgeDomain(span, target, outcome, engine_);
   stats_.revocations_cascaded += outcome.revoked_count;
-  TYCHE_RETURN_IF_ERROR(ApplyEffects(outcome.effects));
+  TYCHE_RETURN_IF_ERROR(ApplyEffects(outcome.effects, span));
   TYCHE_RETURN_IF_ERROR(backend_->DestroyDomainContext(target));
   machine_->interrupts().PurgeDomain(target);
   TYCHE_ASSIGN_OR_RETURN(TrustDomain * domain, GetDomainMutable(target));
@@ -477,15 +518,22 @@ Result<CapId> Monitor::ShareMemory(CoreId core, CapId src_cap, CapId dst_domain_
   TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
   TYCHE_ASSIGN_OR_RETURN(const DomainId dst,
                          ResolveHandle(caller, dst_domain_handle, /*require_manage=*/false));
+  const uint64_t span = SpanForCore(core);
   CapEffects effects;
   TYCHE_ASSIGN_OR_RETURN(
       const CapId child,
       engine_.ShareMemory(caller, src_cap, dst, sub, perms, rights, policy, &effects));
-  const Status applied = ApplyEffects(effects);
+  audit_.ShareMemory(span, caller, dst, src_cap, child, sub, perms, rights, policy);
+  const Status applied = ApplyEffects(effects, span);
   if (!applied.ok()) {
     // Compensate: the hardware could not accommodate the new mapping (e.g.
     // PMP exhaustion); roll the capability back so tree and hardware agree.
-    (void)engine_.Revoke(caller, child);
+    // The share itself stays journaled (the engine DID mutate) followed by
+    // the compensating revoke, so replay stays in lockstep.
+    const auto comp = engine_.Revoke(caller, child);
+    if (comp.ok()) {
+      audit_.Revoke(span, caller, child, *comp, engine_);
+    }
     (void)backend_->SyncMemory(dst, sub);
     return applied;
   }
@@ -500,11 +548,17 @@ Result<GrantResult> Monitor::GrantMemory(CoreId core, CapId src_cap, CapId dst_d
   TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
   TYCHE_ASSIGN_OR_RETURN(const DomainId dst,
                          ResolveHandle(caller, dst_domain_handle, /*require_manage=*/false));
+  const uint64_t span = SpanForCore(core);
   TYCHE_ASSIGN_OR_RETURN(GrantOutcome outcome, engine_.GrantMemory(caller, src_cap, dst, sub,
                                                                    perms, rights, policy));
-  const Status applied = ApplyEffects(outcome.effects);
+  audit_.GrantMemory(span, caller, dst, src_cap, outcome.granted, sub, perms, rights, policy,
+                     outcome.remainders.size());
+  const Status applied = ApplyEffects(outcome.effects, span);
   if (!applied.ok()) {
-    (void)engine_.Revoke(dst, outcome.granted);
+    const auto comp = engine_.Revoke(dst, outcome.granted);
+    if (comp.ok()) {
+      audit_.Revoke(span, dst, outcome.granted, *comp, engine_);
+    }
     (void)backend_->SyncMemory(dst, sub);
     (void)backend_->SyncMemory(caller, sub);
     return applied;
@@ -519,10 +573,15 @@ Result<CapId> Monitor::ShareUnit(CoreId core, CapId src_cap, CapId dst_domain_ha
   TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
   TYCHE_ASSIGN_OR_RETURN(const DomainId dst,
                          ResolveHandle(caller, dst_domain_handle, /*require_manage=*/false));
+  const uint64_t span = SpanForCore(core);
   CapEffects effects;
   TYCHE_ASSIGN_OR_RETURN(const CapId child,
                          engine_.ShareUnit(caller, src_cap, dst, rights, policy, &effects));
-  TYCHE_RETURN_IF_ERROR(ApplyEffects(effects));
+  if (const auto child_cap = engine_.Get(child); child_cap.ok()) {
+    audit_.ShareUnit(span, caller, dst, src_cap, child, (*child_cap)->kind,
+                     (*child_cap)->unit, rights, policy);
+  }
+  TYCHE_RETURN_IF_ERROR(ApplyEffects(effects, span));
   ++stats_.shares;
   return child;
 }
@@ -533,9 +592,14 @@ Result<CapId> Monitor::GrantUnit(CoreId core, CapId src_cap, CapId dst_domain_ha
   TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
   TYCHE_ASSIGN_OR_RETURN(const DomainId dst,
                          ResolveHandle(caller, dst_domain_handle, /*require_manage=*/false));
+  const uint64_t span = SpanForCore(core);
   TYCHE_ASSIGN_OR_RETURN(GrantOutcome outcome,
                          engine_.GrantUnit(caller, src_cap, dst, rights, policy));
-  TYCHE_RETURN_IF_ERROR(ApplyEffects(outcome.effects));
+  if (const auto granted = engine_.Get(outcome.granted); granted.ok()) {
+    audit_.GrantUnit(span, caller, dst, src_cap, outcome.granted, (*granted)->kind,
+                     (*granted)->unit, rights, policy);
+  }
+  TYCHE_RETURN_IF_ERROR(ApplyEffects(outcome.effects, span));
   ++stats_.grants;
   return outcome.granted;
 }
@@ -543,10 +607,12 @@ Result<CapId> Monitor::GrantUnit(CoreId core, CapId src_cap, CapId dst_domain_ha
 Status Monitor::Revoke(CoreId core, CapId cap) {
   TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kRevoke));
   TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  const uint64_t span = SpanForCore(core);
   TYCHE_ASSIGN_OR_RETURN(const RevokeOutcome outcome, engine_.Revoke(caller, cap));
+  audit_.Revoke(span, caller, cap, outcome, engine_);
   ++stats_.revokes;
   stats_.revocations_cascaded += outcome.revoked_count;
-  return ApplyEffects(outcome.effects);
+  return ApplyEffects(outcome.effects, span);
 }
 
 Result<DomainAttestation> Monitor::BuildAttestation(DomainId target, uint64_t nonce) {
@@ -782,6 +848,11 @@ TelemetrySnapshot Monitor::DumpTelemetry() const {
   snapshot.per_op_latency = telemetry_.AllHistograms();
   snapshot.capability_graph_dot = ExportCapabilityGraphDot(engine_);
   snapshot.capability_graph_json = ExportCapabilityGraphJson(engine_);
+  snapshot.journal_records = audit_.journal().size();
+  snapshot.journal_checkpoints = audit_.journal().checkpoint_count();
+  snapshot.journal_head = audit_.journal().head().ToHex();
+  snapshot.journal_summary = audit_.Summary();
+  snapshot.span_tree_json = audit_.SpanTreeJson();
   return snapshot;
 }
 
@@ -831,6 +902,8 @@ std::string TelemetrySnapshot::ToString() const {
       << trace_dropped << " dropped\n";
   out << "capability graph: " << capability_graph_json.size() << " bytes json, "
       << capability_graph_dot.size() << " bytes dot\n";
+  out << "journal: " << journal_records << " records, " << journal_checkpoints
+      << " checkpoints, head=" << journal_head.substr(0, 16) << "\n";
   return out.str();
 }
 

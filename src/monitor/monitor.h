@@ -17,9 +17,12 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "src/capability/engine.h"
 #include "src/hw/machine.h"
 #include "src/monitor/attestation.h"
+#include "src/monitor/audit.h"
 #include "src/monitor/backend.h"
 #include "src/monitor/domain.h"
 #include "src/support/status.h"
@@ -117,6 +120,14 @@ struct TelemetrySnapshot {
   std::string capability_graph_dot;
   std::string capability_graph_json;
 
+  // Audit-journal view: record/checkpoint counts, chain head (hex), the
+  // per-event summary paragraph, and the causal span tree.
+  uint64_t journal_records = 0;
+  uint64_t journal_checkpoints = 0;
+  std::string journal_head;
+  std::string journal_summary;
+  std::string span_tree_json;
+
   // Human-readable summary: per-op table (count/p50/p99/max), effect and
   // backend counters, trace ring occupancy, graph size.
   std::string ToString() const;
@@ -135,6 +146,8 @@ class Monitor {
   const MonitorStats& stats() const { return stats_; }
   Telemetry& telemetry() { return telemetry_; }
   const Telemetry& telemetry() const { return telemetry_; }
+  AuditJournal& audit() { return audit_; }
+  const AuditJournal& audit() const { return audit_; }
   const SchnorrPublicKey& public_key() const { return key_.pub; }
   const AddrRange& monitor_range() const { return monitor_range_; }
 
@@ -227,6 +240,16 @@ class Monitor {
   // Full observability snapshot; see TelemetrySnapshot. Cheap relative to
   // the work it describes, but it does walk the capability tree.
   TelemetrySnapshot DumpTelemetry() const;
+  // Checkpoints and serializes the audit journal (wire format for
+  // RemoteVerifier::VerifyJournal / tools/journal_verify).
+  std::vector<uint8_t> ExportJournal() { return audit_.Export(); }
+
+  // --- Causal spans ---
+  // Dispatch() brackets every ABI call in a span; direct monitor calls (as
+  // tests and examples make) get a fresh root span per call instead.
+  uint64_t BeginSpan(CoreId core);
+  void EndSpan(CoreId core);
+
   Result<const TrustDomain*> GetDomain(DomainId id) const;
   DomainId CurrentDomain(CoreId core) const;
   std::vector<RegionView> MemoryView() const { return engine_.MemoryView(); }
@@ -246,8 +269,13 @@ class Monitor {
   Result<DomainId> ResolveHandle(DomainId caller, CapId handle, bool require_manage) const;
   Result<TrustDomain*> GetDomainMutable(DomainId id);
 
-  // Applies an effect list produced by the capability engine to hardware.
-  Status ApplyEffects(const CapEffects& effects);
+  // The span the journal attributes work on `core` to: the active dispatch
+  // span when inside Dispatch(), else a fresh root span.
+  uint64_t SpanForCore(CoreId core);
+
+  // Applies an effect list produced by the capability engine to hardware,
+  // journaling each applied effect under `span`.
+  Status ApplyEffects(const CapEffects& effects, uint64_t span);
   // Re-binds a shared device: attached iff exactly one domain holds it.
   Status ReconcileDevice(uint64_t bdf);
 
@@ -280,6 +308,9 @@ class Monitor {
 
   MonitorStats stats_;
   Telemetry telemetry_{static_cast<size_t>(ApiOp::kOpCount)};
+  AuditJournal audit_;
+  std::atomic<uint64_t> next_span_{1};
+  std::vector<uint64_t> active_spans_;  // per-core; 0 = no dispatch in flight
 };
 
 }  // namespace tyche

@@ -1,0 +1,452 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/support/journal.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace tyche {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'Y', 'J', 'L'};
+constexpr uint32_t kVersion = 1;
+
+// Little-endian scalar append; the wire format and the hashed canonical
+// bytes share these helpers so they cannot drift apart.
+template <typename T>
+void AppendValue(std::vector<uint8_t>* out, T value) {
+  static_assert(std::is_integral_v<T>);
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out->push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void AppendDigest(std::vector<uint8_t>* out, const Digest& digest) {
+  out->insert(out->end(), digest.bytes.begin(), digest.bytes.end());
+}
+
+// Bounds-checked cursor over the wire bytes.
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool Read(T* value) {
+    static_assert(std::is_integral_v<T>);
+    if (pos_ + sizeof(T) > bytes_.size()) {
+      return false;
+    }
+    T out = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out |= static_cast<T>(static_cast<T>(bytes_[pos_ + i]) << (8 * i));
+    }
+    *value = out;
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadDigest(Digest* digest) {
+    if (pos_ + digest->bytes.size() > bytes_.size()) {
+      return false;
+    }
+    std::memcpy(digest->bytes.data(), bytes_.data() + pos_, digest->bytes.size());
+    pos_ += digest->bytes.size();
+    return true;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+void AppendHex(std::ostringstream* out, const Digest& digest, size_t bytes) {
+  static const char kHex[] = "0123456789abcdef";
+  for (size_t i = 0; i < bytes && i < digest.bytes.size(); ++i) {
+    *out << kHex[digest.bytes[i] >> 4] << kHex[digest.bytes[i] & 0xf];
+  }
+}
+
+}  // namespace
+
+const char* JournalEventName(JournalEvent event) {
+  switch (event) {
+    case JournalEvent::kDispatch:
+      return "dispatch";
+    case JournalEvent::kRegisterDomain:
+      return "register_domain";
+    case JournalEvent::kSealDomain:
+      return "seal_domain";
+    case JournalEvent::kMintMemory:
+      return "mint_memory";
+    case JournalEvent::kMintUnit:
+      return "mint_unit";
+    case JournalEvent::kShareMemory:
+      return "share_memory";
+    case JournalEvent::kGrantMemory:
+      return "grant_memory";
+    case JournalEvent::kShareUnit:
+      return "share_unit";
+    case JournalEvent::kGrantUnit:
+      return "grant_unit";
+    case JournalEvent::kRevoke:
+      return "revoke";
+    case JournalEvent::kCascade:
+      return "cascade";
+    case JournalEvent::kRestore:
+      return "restore";
+    case JournalEvent::kPurgeDomain:
+      return "purge_domain";
+    case JournalEvent::kEffect:
+      return "effect";
+    case JournalEvent::kEventCount:
+      break;
+  }
+  return "?";
+}
+
+Digest JournalGenesis() { return Sha256::Hash("tyche-journal-genesis-v1"); }
+
+Digest JournalCheckpointDigest(uint64_t seq, const Digest& head) {
+  Sha256 ctx;
+  ctx.Update(std::string_view("tyche-journal-checkpoint-v1"));
+  ctx.UpdateValue(seq);
+  ctx.Update(std::span<const uint8_t>(head.bytes.data(), head.bytes.size()));
+  return ctx.Finalize();
+}
+
+std::vector<uint8_t> CanonicalRecordBytes(const JournalRecord& record) {
+  std::vector<uint8_t> out;
+  out.reserve(84);
+  AppendValue(&out, record.seq);
+  AppendValue(&out, record.tick);
+  AppendValue(&out, record.span);
+  AppendValue(&out, record.event);
+  AppendValue(&out, record.op);
+  AppendValue(&out, record.domain);
+  AppendValue(&out, record.dst);
+  AppendValue(&out, record.resource);
+  AppendValue(&out, record.perms);
+  AppendValue(&out, record.rights);
+  AppendValue(&out, record.policy);
+  AppendValue(&out, record.cap);
+  AppendValue(&out, record.parent);
+  AppendValue(&out, record.base);
+  AppendValue(&out, record.size);
+  AppendValue(&out, record.result);
+  AppendValue(&out, record.aux);
+  return out;
+}
+
+Digest ChainLink(const Digest& prev, const JournalRecord& record) {
+  Sha256 ctx;
+  ctx.Update(std::span<const uint8_t>(prev.bytes.data(), prev.bytes.size()));
+  const std::vector<uint8_t> canon = CanonicalRecordBytes(record);
+  ctx.Update(std::span<const uint8_t>(canon.data(), canon.size()));
+  return ctx.Finalize();
+}
+
+Journal::Journal(size_t checkpoint_interval)
+    : checkpoint_interval_(checkpoint_interval == 0 ? 1 : checkpoint_interval),
+      head_(JournalGenesis()) {}
+
+void Journal::set_tick_source(TickSource tick) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tick_ = std::move(tick);
+}
+
+void Journal::set_signer(Signer signer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  signer_ = std::move(signer);
+}
+
+uint64_t Journal::Append(JournalRecord record) {
+  if (!enabled()) {
+    return kNoSeq;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  record.seq = records_.size();
+  record.tick = tick_ ? tick_() : 0;
+  record.link = ChainLink(head_, record);
+  head_ = record.link;
+  if (record.event < static_cast<uint8_t>(JournalEvent::kEventCount)) {
+    ++event_counts_[record.event];
+  }
+  records_.push_back(record);
+  if (signer_ && records_.size() % checkpoint_interval_ == 0) {
+    CheckpointLocked();
+  }
+  return record.seq;
+}
+
+void Journal::CheckpointLocked() {
+  if (!signer_ || records_.empty()) {
+    return;
+  }
+  const uint64_t seq = records_.size() - 1;
+  if (!checkpoints_.empty() && checkpoints_.back().seq == seq) {
+    return;  // head already covered
+  }
+  JournalCheckpoint checkpoint;
+  checkpoint.seq = seq;
+  checkpoint.head = head_;
+  checkpoint.signature = signer_(JournalCheckpointDigest(seq, head_));
+  checkpoints_.push_back(checkpoint);
+}
+
+void Journal::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckpointLocked();
+}
+
+size_t Journal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+size_t Journal::checkpoint_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoints_.size();
+}
+
+Digest Journal::head() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+uint64_t Journal::EventCount(JournalEvent event) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto index = static_cast<size_t>(event);
+  return index < event_counts_.size() ? event_counts_[index] : 0;
+}
+
+std::vector<JournalRecord> Journal::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::vector<JournalCheckpoint> Journal::Checkpoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoints_;
+}
+
+void Journal::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+  checkpoints_.clear();
+  head_ = JournalGenesis();
+  event_counts_ = {};
+}
+
+std::vector<uint8_t> Journal::SerializeParts(
+    const std::vector<JournalRecord>& records,
+    const std::vector<JournalCheckpoint>& checkpoints) {
+  std::vector<uint8_t> out;
+  out.reserve(16 + records.size() * 116 + checkpoints.size() * 80);
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  AppendValue(&out, kVersion);
+  AppendValue(&out, static_cast<uint64_t>(records.size()));
+  AppendValue(&out, static_cast<uint64_t>(checkpoints.size()));
+  for (const JournalRecord& record : records) {
+    const std::vector<uint8_t> canon = CanonicalRecordBytes(record);
+    out.insert(out.end(), canon.begin(), canon.end());
+    AppendDigest(&out, record.link);
+  }
+  for (const JournalCheckpoint& checkpoint : checkpoints) {
+    AppendValue(&out, checkpoint.seq);
+    AppendDigest(&out, checkpoint.head);
+    AppendValue(&out, checkpoint.signature.s);
+    AppendDigest(&out, checkpoint.signature.e);
+  }
+  return out;
+}
+
+std::vector<uint8_t> Journal::Serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SerializeParts(records_, checkpoints_);
+}
+
+Result<ParsedJournal> Journal::Deserialize(std::span<const uint8_t> bytes) {
+  Reader reader(bytes);
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Error(ErrorCode::kInvalidArgument, "journal: bad magic");
+  }
+  uint32_t skip_magic = 0;
+  (void)reader.Read(&skip_magic);  // consumes the 4 magic bytes
+  uint32_t version = 0;
+  if (!reader.Read(&version) || version != kVersion) {
+    return Error(ErrorCode::kInvalidArgument, "journal: unsupported version");
+  }
+  uint64_t record_count = 0;
+  uint64_t checkpoint_count = 0;
+  if (!reader.Read(&record_count) || !reader.Read(&checkpoint_count)) {
+    return Error(ErrorCode::kInvalidArgument, "journal: truncated header");
+  }
+  // A record is at least 84 + 32 bytes on the wire; reject absurd counts
+  // before allocating.
+  if (record_count > bytes.size() || checkpoint_count > bytes.size()) {
+    return Error(ErrorCode::kInvalidArgument, "journal: implausible counts");
+  }
+  ParsedJournal parsed;
+  parsed.records.reserve(record_count);
+  for (uint64_t i = 0; i < record_count; ++i) {
+    JournalRecord record;
+    const bool ok = reader.Read(&record.seq) && reader.Read(&record.tick) &&
+                    reader.Read(&record.span) && reader.Read(&record.event) &&
+                    reader.Read(&record.op) && reader.Read(&record.domain) &&
+                    reader.Read(&record.dst) && reader.Read(&record.resource) &&
+                    reader.Read(&record.perms) && reader.Read(&record.rights) &&
+                    reader.Read(&record.policy) && reader.Read(&record.cap) &&
+                    reader.Read(&record.parent) && reader.Read(&record.base) &&
+                    reader.Read(&record.size) && reader.Read(&record.result) &&
+                    reader.Read(&record.aux) && reader.ReadDigest(&record.link);
+    if (!ok) {
+      return Error(ErrorCode::kInvalidArgument, "journal: truncated record");
+    }
+    parsed.records.push_back(record);
+  }
+  parsed.checkpoints.reserve(checkpoint_count);
+  for (uint64_t i = 0; i < checkpoint_count; ++i) {
+    JournalCheckpoint checkpoint;
+    const bool ok = reader.Read(&checkpoint.seq) && reader.ReadDigest(&checkpoint.head) &&
+                    reader.Read(&checkpoint.signature.s) &&
+                    reader.ReadDigest(&checkpoint.signature.e);
+    if (!ok) {
+      return Error(ErrorCode::kInvalidArgument, "journal: truncated checkpoint");
+    }
+    parsed.checkpoints.push_back(checkpoint);
+  }
+  if (reader.remaining() != 0) {
+    return Error(ErrorCode::kInvalidArgument, "journal: trailing bytes");
+  }
+  return parsed;
+}
+
+Status Journal::VerifyChain(const std::vector<JournalRecord>& records,
+                            const std::vector<JournalCheckpoint>& checkpoints,
+                            const SchnorrPublicKey& key) {
+  Digest prev = JournalGenesis();
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JournalRecord& record = records[i];
+    if (record.seq != i) {
+      return Error(ErrorCode::kAttestationMismatch,
+                   "journal: record " + std::to_string(i) + " has seq " +
+                       std::to_string(record.seq) + " (drop or reorder)");
+    }
+    if (ChainLink(prev, record) != record.link) {
+      return Error(ErrorCode::kAttestationMismatch,
+                   "journal: hash chain broken at seq " + std::to_string(i));
+    }
+    prev = record.link;
+  }
+  uint64_t last_seq = 0;
+  bool have_checkpoint = false;
+  for (const JournalCheckpoint& checkpoint : checkpoints) {
+    if (have_checkpoint && checkpoint.seq <= last_seq) {
+      return Error(ErrorCode::kAttestationMismatch,
+                   "journal: checkpoints out of order");
+    }
+    if (checkpoint.seq >= records.size()) {
+      return Error(ErrorCode::kAttestationMismatch,
+                   "journal: checkpoint beyond the last record");
+    }
+    if (records[checkpoint.seq].link != checkpoint.head) {
+      return Error(ErrorCode::kAttestationMismatch,
+                   "journal: checkpoint head does not match the chain");
+    }
+    if (!SchnorrVerify(key, JournalCheckpointDigest(checkpoint.seq, checkpoint.head),
+                       checkpoint.signature)) {
+      return Error(ErrorCode::kAttestationMismatch,
+                   "journal: checkpoint signature invalid");
+    }
+    last_seq = checkpoint.seq;
+    have_checkpoint = true;
+  }
+  // Freshness / truncation: the tail must be covered by a signature, or an
+  // attacker could silently drop the most recent history.
+  if (!records.empty() &&
+      (!have_checkpoint || last_seq != records.size() - 1)) {
+    return Error(ErrorCode::kAttestationMismatch,
+                 "journal: tail not covered by a signed checkpoint");
+  }
+  return OkStatus();
+}
+
+std::string ExportSpanTreeJson(const std::vector<JournalRecord>& records,
+                               const std::function<std::string(uint8_t)>& op_name) {
+  // Group by span id, preserving first-seen order. Spans are small (one root
+  // op plus its cascade/effects), so a linear scan with an index map is fine.
+  std::vector<uint64_t> order;
+  std::vector<std::vector<const JournalRecord*>> groups;
+  for (const JournalRecord& record : records) {
+    size_t slot = order.size();
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == record.span) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == order.size()) {
+      order.push_back(record.span);
+      groups.emplace_back();
+    }
+    groups[slot].push_back(&record);
+  }
+
+  std::ostringstream out;
+  out << "{\"spans\":[";
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i != 0) {
+      out << ",";
+    }
+    // Root label: the dispatch record's op when the span crossed Dispatch(),
+    // otherwise the first record's event (direct monitor call / boot).
+    std::string root;
+    for (const JournalRecord* record : groups[i]) {
+      if (record->event == static_cast<uint8_t>(JournalEvent::kDispatch)) {
+        root = op_name(record->op);
+        break;
+      }
+    }
+    if (root.empty()) {
+      root = JournalEventName(static_cast<JournalEvent>(groups[i][0]->event));
+    }
+    out << "{\"span\":" << order[i] << ",\"root\":\"" << root
+        << "\",\"records\":[";
+    for (size_t j = 0; j < groups[i].size(); ++j) {
+      const JournalRecord& record = *groups[i][j];
+      if (j != 0) {
+        out << ",";
+      }
+      out << "{\"seq\":" << record.seq << ",\"event\":\""
+          << JournalEventName(static_cast<JournalEvent>(record.event)) << "\"";
+      if (record.op != kJournalNoOp) {
+        out << ",\"op\":\"" << op_name(record.op) << "\"";
+      }
+      if (record.cap != 0) {
+        out << ",\"cap\":" << record.cap;
+      }
+      if (record.result != 0) {
+        out << ",\"error\":" << record.result;
+      }
+      out << "}";
+    }
+    out << "]}";
+  }
+  out << "]}";
+
+  // Head digest prefix so two span trees from the same chain are linkable.
+  if (!records.empty()) {
+    std::ostringstream head;
+    AppendHex(&head, records.back().link, 8);
+    std::string body = out.str();
+    body.pop_back();  // trailing '}'
+    return body + ",\"head\":\"" + head.str() + "\"}";
+  }
+  return out.str();
+}
+
+}  // namespace tyche

@@ -1,0 +1,192 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Append-only, hash-chained audit journal: observability turned into
+// evidence. Every security-relevant monitor event becomes one fixed-shape
+// record whose `link` field is SHA-256 over the previous record's link and
+// the record's canonical serialization. Periodic checkpoints sign the chain
+// head under the monitor's attestation key, so a remote party holding the
+// (tier-1 verified) monitor public key can check integrity AND freshness of
+// the whole history -- not just the current capability-graph snapshot.
+//
+// Threat model (see DESIGN.md §6):
+//  - Any single-bit mutation of a record breaks that record's link.
+//  - Dropping or reordering records breaks the seq/index correspondence and
+//    the chain.
+//  - Truncating the tail is caught because verification requires the FINAL
+//    checkpoint to cover the last record.
+//  - Rewriting the whole suffix (mutate + recompute links) is caught by the
+//    checkpoint signatures, which an attacker without the monitor's private
+//    key cannot re-produce.
+//  - What is NOT detected: a malicious *monitor* (it holds the key). The
+//    journal makes the monitor auditable, not untrusted.
+//
+// The journal is deliberately independent of monitor types (like telemetry):
+// ops and domains are plain integers, named via callbacks when exporting.
+// It lives in its own library (tyche_journal) because it needs SHA-256 and
+// Schnorr from src/crypto, which itself links tyche_support.
+
+#ifndef SRC_SUPPORT_JOURNAL_H_
+#define SRC_SUPPORT_JOURNAL_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/crypto/schnorr.h"
+#include "src/crypto/sha256.h"
+#include "src/support/status.h"
+
+namespace tyche {
+
+// What kind of monitor event a record describes. kDispatch and kEffect are
+// context (skipped by replay); everything else is an engine mutation that a
+// shadow capability engine can re-apply deterministically.
+enum class JournalEvent : uint8_t {
+  kDispatch = 0,     // one ABI call crossed Dispatch() (root of a span)
+  kRegisterDomain,   // domain registered with the engine
+  kSealDomain,       // domain sealed (resource set frozen)
+  kMintMemory,       // boot/monitor minted a memory capability
+  kMintUnit,         // boot/monitor minted a core/device/handle capability
+  kShareMemory,      // duplicate access to a memory sub-range
+  kGrantMemory,      // move exclusive control of a memory sub-range
+  kShareUnit,        // duplicate a unit capability
+  kGrantUnit,        // move a unit capability
+  kRevoke,           // explicit revocation (root of a cascade)
+  kCascade,          // one capability deactivated by an enclosing cascade
+  kRestore,          // revoking a grant returned ownership to the grantor
+  kPurgeDomain,      // domain teardown revoked everything it owned
+  kEffect,           // one hardware obligation applied by the backend
+  kEventCount,       // sentinel
+};
+
+const char* JournalEventName(JournalEvent event);
+
+inline constexpr uint8_t kJournalNoOp = 0xff;     // record not tied to an ApiOp
+inline constexpr uint32_t kJournalNoDomain = ~0u;
+
+// One journal record. Fixed shape so the canonical serialization (and hence
+// the hash chain) is unambiguous; unused fields stay zero for an event kind.
+struct JournalRecord {
+  uint64_t seq = 0;    // index in the journal, assigned by Append()
+  uint64_t tick = 0;   // monotonic tick (simulated cycles), from the source
+  uint64_t span = 0;   // causal span id: all records caused by one root op
+  uint8_t event = 0;   // JournalEvent
+  uint8_t op = kJournalNoOp;  // ApiOp at the dispatch boundary (kDispatch)
+  uint32_t domain = kJournalNoDomain;  // acting / owning domain
+  uint32_t dst = kJournalNoDomain;     // destination domain (share/grant)
+  uint8_t resource = 0;  // ResourceKind
+  uint8_t perms = 0;     // Perms mask (memory)
+  uint8_t rights = 0;    // CapRights mask
+  uint8_t policy = 0;    // RevocationPolicy mask
+  uint64_t cap = 0;      // capability created / revoked by this event
+  uint64_t parent = 0;   // source capability (share/grant/restore)
+  uint64_t base = 0;     // memory base, or unit id for unit events
+  uint64_t size = 0;     // memory size
+  uint64_t result = 0;   // ErrorCode of the operation (0 = OK)
+  uint64_t aux = 0;      // event-specific: cascade size, remainder count, ...
+  Digest link;           // SHA-256(prev_link || canonical record bytes)
+};
+
+// A signed statement that the chain head at `seq` was `head`. Verifiable
+// against the monitor's attestation public key.
+struct JournalCheckpoint {
+  uint64_t seq = 0;  // sequence number of the last record covered
+  Digest head;       // link of that record
+  SchnorrSignature signature;  // over JournalCheckpointDigest(seq, head)
+};
+
+struct ParsedJournal {
+  std::vector<JournalRecord> records;
+  std::vector<JournalCheckpoint> checkpoints;
+};
+
+// Chain constants, shared by writer and verifier.
+Digest JournalGenesis();
+Digest JournalCheckpointDigest(uint64_t seq, const Digest& head);
+
+// Canonical byte serialization of a record EXCLUDING the link field: the
+// exact bytes the chain hashes and the wire format carries.
+std::vector<uint8_t> CanonicalRecordBytes(const JournalRecord& record);
+
+// link = SHA-256(prev.bytes || CanonicalRecordBytes(record)).
+Digest ChainLink(const Digest& prev, const JournalRecord& record);
+
+// Thread-safe append-only journal. Appends assign seq/tick/link under one
+// lock so the chain is total-ordered even under concurrent writers.
+class Journal {
+ public:
+  static constexpr size_t kDefaultCheckpointInterval = 128;
+  static constexpr uint64_t kNoSeq = ~0ull;
+
+  using TickSource = std::function<uint64_t()>;
+  using Signer = std::function<SchnorrSignature(const Digest&)>;
+
+  explicit Journal(size_t checkpoint_interval = kDefaultCheckpointInterval);
+
+  // Recording switch; Append() is a no-op while disabled. The dispatcher
+  // reads this with one relaxed load on its fast path.
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void set_tick_source(TickSource tick);
+  // Installing a signer enables checkpoints: one every checkpoint_interval
+  // records, plus explicit Checkpoint() calls.
+  void set_signer(Signer signer);
+
+  // Appends one record, assigning seq, tick, and link. Returns the assigned
+  // seq, or kNoSeq when disabled.
+  uint64_t Append(JournalRecord record);
+
+  // Signs the current head (no-op when empty, unsigned, or already covered).
+  // Exporters call this so the tail is always covered by a signature.
+  void Checkpoint();
+
+  size_t size() const;
+  size_t checkpoint_count() const;
+  Digest head() const;  // genesis when empty
+  uint64_t EventCount(JournalEvent event) const;
+  std::vector<JournalRecord> Records() const;
+  std::vector<JournalCheckpoint> Checkpoints() const;
+  void Clear();  // drops everything and resets the chain to genesis
+
+  // Wire format: magic, version, counts, then records and checkpoints.
+  // Deserialization is hardened against truncation and garbage.
+  std::vector<uint8_t> Serialize() const;
+  static std::vector<uint8_t> SerializeParts(const std::vector<JournalRecord>& records,
+                                             const std::vector<JournalCheckpoint>& checkpoints);
+  static Result<ParsedJournal> Deserialize(std::span<const uint8_t> bytes);
+
+  // Offline chain verification: recomputes every link from genesis, checks
+  // seq/index correspondence, every checkpoint signature, and that the final
+  // checkpoint covers the last record (truncation evidence).
+  static Status VerifyChain(const std::vector<JournalRecord>& records,
+                            const std::vector<JournalCheckpoint>& checkpoints,
+                            const SchnorrPublicKey& key);
+
+ private:
+  void CheckpointLocked();
+
+  const size_t checkpoint_interval_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mu_;  // guards everything below
+  TickSource tick_;
+  Signer signer_;
+  std::vector<JournalRecord> records_;
+  std::vector<JournalCheckpoint> checkpoints_;
+  Digest head_;
+  std::array<uint64_t, static_cast<size_t>(JournalEvent::kEventCount)> event_counts_{};
+};
+
+// Flamegraph-style causal view: records grouped by span id in first-seen
+// order, each span labelled with its root operation (the kDispatch record's
+// op when present). `op_name` maps the ApiOp byte to a printable name.
+std::string ExportSpanTreeJson(const std::vector<JournalRecord>& records,
+                               const std::function<std::string(uint8_t)>& op_name);
+
+}  // namespace tyche
+
+#endif  // SRC_SUPPORT_JOURNAL_H_

@@ -70,8 +70,8 @@ std::string TraceRing::DumpText(
     } else {
       out << " domain=" << entry.domain;
     }
-    out << " args=0x" << std::hex << entry.args_digest << std::dec
-        << " err=" << entry.error << " ns=" << entry.duration_ns << "\n";
+    out << " span=" << entry.span << " args=0x" << std::hex << entry.args_digest
+        << std::dec << " err=" << entry.error << " ns=" << entry.duration_ns << "\n";
   }
   return out.str();
 }
@@ -93,8 +93,8 @@ std::string TraceRing::DumpJson(
     } else {
       out << entry.domain;
     }
-    out << ",\"args_digest\":" << entry.args_digest << ",\"error\":" << entry.error
-        << ",\"duration_ns\":" << entry.duration_ns << "}";
+    out << ",\"span\":" << entry.span << ",\"args_digest\":" << entry.args_digest
+        << ",\"error\":" << entry.error << ",\"duration_ns\":" << entry.duration_ns << "}";
   }
   out << "]";
   return out.str();
@@ -106,8 +106,11 @@ size_t BucketIndex(uint64_t value) {
   if (value <= 1) {
     return 0;
   }
-  // Smallest i with value <= 2^i, i.e. ceil(log2(value)).
-  return static_cast<size_t>(64 - __builtin_clzll(value - 1));
+  // Smallest i with value <= 2^i, i.e. ceil(log2(value)). Values above 2^63
+  // have no power-of-two upper bound in 64 bits; they land in the last
+  // bucket (whose upper bound saturates to ~0) instead of indexing past it.
+  return std::min<size_t>(LatencyHistogram::kBuckets - 1,
+                          static_cast<size_t>(64 - __builtin_clzll(value - 1)));
 }
 
 }  // namespace

@@ -46,6 +46,7 @@ struct TraceEntry {
   uint16_t op = 0;           // ApiOp value at the dispatch boundary
   uint32_t core = 0;
   uint32_t domain = 0;       // caller domain (~0u when unresolvable)
+  uint64_t span = 0;         // causal span id shared with journal records
   uint64_t args_digest = 0;  // FNV-1a of the six argument registers
   uint64_t error = 0;        // ErrorCode (0 = OK)
   uint64_t duration_ns = 0;  // monitor-side wall-clock time

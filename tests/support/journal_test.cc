@@ -1,0 +1,258 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Unit tests for the hash-chained audit journal: chain construction and
+// verification, tamper/drop/reorder/truncation detection, checkpoint
+// signatures, wire round-trips, concurrency, and the span-tree export.
+
+#include "src/support/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tyche {
+namespace {
+
+SchnorrKeyPair TestKey() {
+  const uint8_t seed[] = {'j', 'o', 'u', 'r', 'n', 'a', 'l'};
+  return DeriveKeyPair(seed);
+}
+
+// Installs TestKey() as the checkpoint signer (Journal owns a mutex, so it
+// is configured in place rather than returned from a factory).
+void SignWithTestKey(Journal& journal) {
+  journal.set_signer(
+      [](const Digest& digest) { return SchnorrSign(TestKey().priv, digest); });
+}
+
+JournalRecord Record(JournalEvent event, uint64_t span, uint64_t cap) {
+  JournalRecord record;
+  record.event = static_cast<uint8_t>(event);
+  record.span = span;
+  record.cap = cap;
+  return record;
+}
+
+TEST(JournalTest, AppendAssignsDenseSequenceAndTicks) {
+  Journal journal;
+  uint64_t tick = 100;
+  journal.set_tick_source([&tick] { return tick++; });
+  EXPECT_EQ(journal.Append(Record(JournalEvent::kMintMemory, 1, 7)), 0u);
+  EXPECT_EQ(journal.Append(Record(JournalEvent::kShareMemory, 1, 8)), 1u);
+  const std::vector<JournalRecord> records = journal.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].tick, 100u);
+  EXPECT_EQ(records[1].tick, 101u);
+  EXPECT_EQ(journal.EventCount(JournalEvent::kMintMemory), 1u);
+  EXPECT_EQ(journal.EventCount(JournalEvent::kShareMemory), 1u);
+}
+
+TEST(JournalTest, DisabledAppendIsANoOp) {
+  Journal journal;
+  journal.set_enabled(false);
+  EXPECT_EQ(journal.Append(Record(JournalEvent::kRevoke, 1, 1)), Journal::kNoSeq);
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.head(), JournalGenesis());
+}
+
+TEST(JournalTest, EmptyJournalVerifies) {
+  EXPECT_TRUE(Journal::VerifyChain({}, {}, TestKey().pub).ok());
+}
+
+TEST(JournalTest, SignedChainVerifies) {
+  Journal journal;
+  SignWithTestKey(journal);
+  for (int i = 0; i < 5; ++i) {
+    journal.Append(Record(JournalEvent::kShareMemory, 1, 10 + i));
+  }
+  // No auto checkpoint yet (interval 128): the tail is uncovered.
+  const Status uncovered =
+      Journal::VerifyChain(journal.Records(), journal.Checkpoints(), TestKey().pub);
+  EXPECT_FALSE(uncovered.ok());
+  journal.Checkpoint();
+  ASSERT_EQ(journal.checkpoint_count(), 1u);
+  EXPECT_TRUE(
+      Journal::VerifyChain(journal.Records(), journal.Checkpoints(), TestKey().pub).ok());
+}
+
+TEST(JournalTest, AutoCheckpointEveryInterval) {
+  Journal journal(/*checkpoint_interval=*/4);
+  SignWithTestKey(journal);
+  for (int i = 0; i < 8; ++i) {
+    journal.Append(Record(JournalEvent::kCascade, 2, i));
+  }
+  EXPECT_EQ(journal.checkpoint_count(), 2u);
+  EXPECT_TRUE(
+      Journal::VerifyChain(journal.Records(), journal.Checkpoints(), TestKey().pub).ok());
+  // A second explicit checkpoint over the same head is deduplicated.
+  journal.Checkpoint();
+  EXPECT_EQ(journal.checkpoint_count(), 2u);
+}
+
+TEST(JournalTest, MutatedRecordBreaksTheChain) {
+  Journal journal(/*checkpoint_interval=*/4);
+  SignWithTestKey(journal);
+  for (int i = 0; i < 8; ++i) {
+    journal.Append(Record(JournalEvent::kShareUnit, 3, i));
+  }
+  std::vector<JournalRecord> records = journal.Records();
+  records[5].cap ^= 1;  // single-bit change in one field
+  const Status status = Journal::VerifyChain(records, journal.Checkpoints(), TestKey().pub);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("hash chain broken"), std::string::npos);
+}
+
+TEST(JournalTest, DroppedRecordIsDetected) {
+  Journal journal(/*checkpoint_interval=*/4);
+  SignWithTestKey(journal);
+  for (int i = 0; i < 8; ++i) {
+    journal.Append(Record(JournalEvent::kGrantUnit, 4, i));
+  }
+  std::vector<JournalRecord> records = journal.Records();
+  records.erase(records.begin() + 2);
+  EXPECT_FALSE(Journal::VerifyChain(records, journal.Checkpoints(), TestKey().pub).ok());
+}
+
+TEST(JournalTest, ReorderedRecordsAreDetected) {
+  Journal journal(/*checkpoint_interval=*/4);
+  SignWithTestKey(journal);
+  for (int i = 0; i < 8; ++i) {
+    journal.Append(Record(JournalEvent::kEffect, 5, i));
+  }
+  std::vector<JournalRecord> records = journal.Records();
+  std::swap(records[1], records[6]);
+  EXPECT_FALSE(Journal::VerifyChain(records, journal.Checkpoints(), TestKey().pub).ok());
+}
+
+TEST(JournalTest, TailTruncationIsDetected) {
+  Journal journal;
+  SignWithTestKey(journal);
+  for (int i = 0; i < 6; ++i) {
+    journal.Append(Record(JournalEvent::kRevoke, 6, i));
+  }
+  journal.Checkpoint();
+  std::vector<JournalRecord> records = journal.Records();
+  records.pop_back();  // drop the newest record; checkpoint now dangles
+  const Status status = Journal::VerifyChain(records, journal.Checkpoints(), TestKey().pub);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("checkpoint beyond the last record"), std::string::npos);
+}
+
+TEST(JournalTest, ForgedCheckpointSignatureIsRejected) {
+  Journal journal;
+  SignWithTestKey(journal);
+  journal.Append(Record(JournalEvent::kSealDomain, 7, 0));
+  journal.Checkpoint();
+  std::vector<JournalCheckpoint> checkpoints = journal.Checkpoints();
+  ASSERT_EQ(checkpoints.size(), 1u);
+  checkpoints[0].signature.s ^= 1;
+  EXPECT_FALSE(Journal::VerifyChain(journal.Records(), checkpoints, TestKey().pub).ok());
+  // And a valid signature under the WRONG key is equally useless.
+  const uint8_t other_seed[] = {'o', 't', 'h', 'e', 'r'};
+  const SchnorrKeyPair other = DeriveKeyPair(other_seed);
+  EXPECT_FALSE(Journal::VerifyChain(journal.Records(), journal.Checkpoints(), other.pub).ok());
+}
+
+TEST(JournalTest, SerializeRoundTrip) {
+  Journal journal(/*checkpoint_interval=*/3);
+  SignWithTestKey(journal);
+  for (int i = 0; i < 10; ++i) {
+    JournalRecord record = Record(JournalEvent::kGrantMemory, 8, 20 + i);
+    record.domain = 1;
+    record.dst = 2;
+    record.base = 0x1000 * i;
+    record.size = 0x1000;
+    record.aux = i;
+    journal.Append(record);
+  }
+  journal.Checkpoint();
+  const std::vector<uint8_t> wire = journal.Serialize();
+  const auto parsed = Journal::Deserialize(wire);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->records.size(), journal.size());
+  ASSERT_EQ(parsed->checkpoints.size(), journal.checkpoint_count());
+  for (size_t i = 0; i < parsed->records.size(); ++i) {
+    EXPECT_EQ(parsed->records[i].cap, journal.Records()[i].cap);
+    EXPECT_EQ(parsed->records[i].link, journal.Records()[i].link);
+  }
+  EXPECT_TRUE(
+      Journal::VerifyChain(parsed->records, parsed->checkpoints, TestKey().pub).ok());
+}
+
+TEST(JournalTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Journal::Deserialize(std::vector<uint8_t>{}).ok());
+  EXPECT_FALSE(Journal::Deserialize(std::vector<uint8_t>{'T', 'Y', 'J', 'L'}).ok());
+  std::vector<uint8_t> wrong_magic(64, 0xab);
+  EXPECT_FALSE(Journal::Deserialize(wrong_magic).ok());
+
+  Journal journal;
+  SignWithTestKey(journal);
+  journal.Append(Record(JournalEvent::kMintUnit, 9, 1));
+  journal.Checkpoint();
+  std::vector<uint8_t> wire = journal.Serialize();
+  wire.resize(wire.size() / 2);  // truncated mid-record
+  EXPECT_FALSE(Journal::Deserialize(wire).ok());
+}
+
+TEST(JournalTest, ConcurrentAppendsKeepTheChainConsistent) {
+  Journal journal(/*checkpoint_interval=*/64);
+  SignWithTestKey(journal);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&journal, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        journal.Append(Record(JournalEvent::kCascade, t + 1, i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(journal.size(), static_cast<size_t>(kThreads * kPerThread));
+  journal.Checkpoint();
+  EXPECT_TRUE(
+      Journal::VerifyChain(journal.Records(), journal.Checkpoints(), TestKey().pub).ok());
+}
+
+TEST(JournalTest, ClearResetsToGenesis) {
+  Journal journal(/*checkpoint_interval=*/2);
+  SignWithTestKey(journal);
+  for (int i = 0; i < 4; ++i) {
+    journal.Append(Record(JournalEvent::kRevoke, 10, i));
+  }
+  journal.Clear();
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.checkpoint_count(), 0u);
+  EXPECT_EQ(journal.head(), JournalGenesis());
+  EXPECT_EQ(journal.EventCount(JournalEvent::kRevoke), 0u);
+}
+
+TEST(JournalTest, SpanTreeGroupsRecordsByCausalRoot) {
+  std::vector<JournalRecord> records;
+  // Span 11: a dispatch (the root label) plus two cascade records; span 12
+  // interleaves to prove grouping is by span id, not adjacency.
+  JournalRecord dispatch = Record(JournalEvent::kDispatch, 11, 0);
+  dispatch.op = 4;
+  records.push_back(dispatch);
+  records.push_back(Record(JournalEvent::kCascade, 12, 30));
+  records.push_back(Record(JournalEvent::kCascade, 11, 31));
+  records.push_back(Record(JournalEvent::kCascade, 11, 32));
+  const std::string json = ExportSpanTreeJson(
+      records, [](uint8_t op) { return "op" + std::to_string(op); });
+  EXPECT_NE(json.find("\"span\":11"), std::string::npos);
+  EXPECT_NE(json.find("\"span\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"root\":\"op4\""), std::string::npos);
+  // Span 11 has three records, grouped despite the interleaving.
+  const size_t span11 = json.find("\"span\":11");
+  const size_t span12 = json.find("\"span\":12");
+  ASSERT_NE(span11, std::string::npos);
+  ASSERT_NE(span12, std::string::npos);
+  EXPECT_LT(span11, span12);  // first-seen order preserved
+}
+
+}  // namespace
+}  // namespace tyche

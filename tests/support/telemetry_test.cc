@@ -106,6 +106,60 @@ TEST(LatencyHistogramTest, PercentilesAtBucketResolution) {
   EXPECT_EQ(LatencyHistogram{}.Percentile(99), 0u);
 }
 
+TEST(LatencyHistogramTest, EmptyHistogramIsAllZero) {
+  const LatencyHistogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.min(), 0u);
+  EXPECT_EQ(histogram.max(), 0u);
+  EXPECT_EQ(histogram.Percentile(0), 0u);
+  EXPECT_EQ(histogram.Percentile(50), 0u);
+  EXPECT_EQ(histogram.Percentile(100), 0u);
+}
+
+TEST(LatencyHistogramTest, SingleSampleAnswersEveryPercentile) {
+  LatencyHistogram histogram;
+  histogram.Record(300);  // bucket upper bound 512
+  EXPECT_EQ(histogram.min(), 300u);
+  EXPECT_EQ(histogram.max(), 300u);
+  // With one sample the nearest rank is 1 for every p, including p=0.
+  EXPECT_EQ(histogram.Percentile(0), 512u);
+  EXPECT_EQ(histogram.Percentile(50), 512u);
+  EXPECT_EQ(histogram.Percentile(100), 512u);
+}
+
+TEST(LatencyHistogramTest, HugeValuesClampToTheLastBucket) {
+  LatencyHistogram histogram;
+  // Values above 2^63 used to compute bucket index 64 -- one past the end.
+  histogram.Record(~0ull);
+  histogram.Record((1ull << 63) + 1);
+  EXPECT_EQ(histogram.buckets()[LatencyHistogram::kBuckets - 1], 2u);
+  EXPECT_EQ(histogram.Percentile(100), ~0ull);
+  EXPECT_EQ(histogram.max(), ~0ull);
+}
+
+TEST(LatencyHistogramTest, DisjointBucketMergeKeepsRanksInRange) {
+  LatencyHistogram low;
+  LatencyHistogram high;
+  for (int i = 0; i < 10; ++i) {
+    low.Record(3);  // bucket upper bound 4
+  }
+  for (int i = 0; i < 10; ++i) {
+    high.Record(1ull << 40);
+  }
+  low.Merge(high);
+  ASSERT_EQ(low.count(), 20u);
+  // Ranks land inside real buckets on both sides of the empty middle; the
+  // nearest-rank scan must terminate inside the table for every p.
+  EXPECT_EQ(low.Percentile(0), 4u);
+  EXPECT_EQ(low.Percentile(50), 4u);
+  EXPECT_EQ(low.Percentile(55), 1ull << 40);
+  EXPECT_EQ(low.Percentile(100), 1ull << 40);
+  for (double p = 0; p <= 100.0; p += 0.5) {
+    const uint64_t value = low.Percentile(p);
+    EXPECT_TRUE(value == 4u || value == (1ull << 40)) << "p=" << p;
+  }
+}
+
 TEST(LatencyHistogramTest, MergeAddsCountsAndExtremes) {
   LatencyHistogram a;
   LatencyHistogram b;
