@@ -1,0 +1,113 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Fault-injection hook overhead. The contract from faults.h: a disabled
+// TYCHE_FAULT_POINT is one relaxed atomic load plus a predicted-not-taken
+// branch, so production dispatch latency must be indistinguishable from the
+// pre-fault-injection baseline (~39-42 ns dispatch fast path, see
+// bench_telemetry / bench_journal).
+//
+//  1. Raw hook cost: a Status-returning function that is nothing but the
+//     hook, disabled vs counting vs armed-elsewhere vs armed-here-future.
+//  2. Dispatch-path cost: the full ABI dispatch loop (kTakeInterrupt, empty
+//     queue) with the injector disabled -- the number to compare against
+//     BM_Dispatch_JournalOff/TelemetryOff in the bench JSON artifacts.
+
+#include <benchmark/benchmark.h>
+
+#include "src/monitor/dispatch.h"
+#include "src/os/testbed.h"
+#include "src/support/faults.h"
+
+namespace tyche {
+namespace {
+
+constexpr std::string_view kBenchSite = "bench.hook";
+constexpr std::string_view kOtherSite = "bench.other";
+
+Status HookedNoop() {
+  TYCHE_FAULT_POINT(kBenchSite);
+  return OkStatus();
+}
+
+// The disabled fast path: this is the cost every production call site pays.
+void BM_FaultPoint_Disabled(benchmark::State& state) {
+  FaultInjector::Instance().Disarm();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HookedNoop());
+  }
+}
+
+// Counting mode: mutex + map lookup per hit; only test harnesses pay this.
+void BM_FaultPoint_Counting(benchmark::State& state) {
+  FaultInjector::Instance().StartCounting();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HookedNoop());
+  }
+  benchmark::DoNotOptimize(FaultInjector::Instance().StopCounting());
+}
+
+// Armed, but the plan names a different site: the slow path filters it out.
+void BM_FaultPoint_ArmedOtherSite(benchmark::State& state) {
+  FaultInjector::Instance().Arm(FaultPlan::Single(kOtherSite, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HookedNoop());
+  }
+  FaultInjector::Instance().Disarm();
+}
+
+// Armed for this site at an occurrence the loop never reaches: the full
+// matching cost without ever firing.
+void BM_FaultPoint_ArmedNeverFires(benchmark::State& state) {
+  FaultInjector::Instance().Arm(
+      FaultPlan::Single(kBenchSite, ~0ull, ErrorCode::kInternal));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HookedNoop());
+  }
+  FaultInjector::Instance().Disarm();
+}
+
+BENCHMARK(BM_FaultPoint_Disabled);
+BENCHMARK(BM_FaultPoint_Counting);
+BENCHMARK(BM_FaultPoint_ArmedOtherSite);
+BENCHMARK(BM_FaultPoint_ArmedNeverFires);
+
+// The end-to-end number: ABI dispatch with the injector disabled must match
+// the ~39-42 ns baseline from bench_telemetry/bench_journal.
+void DispatchLoop(benchmark::State& state, bool injector_active) {
+  auto testbed = Testbed::Create(TestbedOptions{});
+  if (!testbed.ok()) {
+    std::abort();
+  }
+  Monitor& monitor = testbed->monitor();
+  monitor.telemetry().set_trace_enabled(false);
+  monitor.telemetry().set_histograms_enabled(false);
+  monitor.audit().set_enabled(false);
+  if (injector_active) {
+    FaultInjector::Instance().Arm(FaultPlan::Single(kOtherSite, 1));
+  } else {
+    FaultInjector::Instance().Disarm();
+  }
+
+  ApiRegs regs;
+  regs.op = static_cast<uint64_t>(ApiOp::kTakeInterrupt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dispatch(&monitor, 0, regs));
+  }
+  FaultInjector::Instance().Disarm();
+}
+
+void BM_Dispatch_FaultsDisabled(benchmark::State& state) {
+  DispatchLoop(state, /*injector_active=*/false);
+}
+// Armed (for sites the dispatch path never hits): the worst case a test run
+// pays while a plan is live.
+void BM_Dispatch_FaultsArmed(benchmark::State& state) {
+  DispatchLoop(state, /*injector_active=*/true);
+}
+
+BENCHMARK(BM_Dispatch_FaultsDisabled);
+BENCHMARK(BM_Dispatch_FaultsArmed);
+
+}  // namespace
+}  // namespace tyche
+
+BENCHMARK_MAIN();

@@ -4,6 +4,8 @@
 
 #include <cstring>
 
+#include "src/support/faults.h"
+
 namespace tyche {
 
 namespace {
@@ -91,6 +93,7 @@ SealedBlob AeadSeal(const Digest& key, uint64_t nonce, std::span<const uint8_t> 
 }
 
 Result<std::vector<uint8_t>> AeadOpen(const Digest& key, const SealedBlob& blob) {
+  TYCHE_FAULT_POINT(faults::kAeadOpen);
   const Digest key_enc = SubKey(key, "tyche-aead-enc");
   const Digest key_mac = SubKey(key, "tyche-aead-mac");
   const Digest expected =

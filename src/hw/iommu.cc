@@ -2,12 +2,15 @@
 
 #include "src/hw/iommu.h"
 
+#include "src/support/faults.h"
+
 namespace tyche {
 
 Status Iommu::AttachDevice(PciBdf bdf, const NestedPageTable* table) {
   if (table == nullptr) {
     return DetachDevice(bdf);
   }
+  TYCHE_FAULT_POINT(faults::kIommuAttach);
   contexts_[bdf] = table;
   cycles_->Charge(CostModel::Default().iommu_entry_update);
   return OkStatus();

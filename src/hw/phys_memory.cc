@@ -4,6 +4,8 @@
 
 #include <cstring>
 
+#include "src/support/faults.h"
+
 namespace tyche {
 
 PhysMemory::PhysMemory(uint64_t size_bytes) : bytes_(size_bytes, 0) {}
@@ -70,6 +72,7 @@ FrameAllocator::FrameAllocator(AddrRange pool)
       free_count_(total_frames_) {}
 
 Result<uint64_t> FrameAllocator::Alloc() {
+  TYCHE_FAULT_POINT(faults::kFrameAlloc);
   if (!free_list_.empty()) {
     const uint64_t frame = free_list_.back();
     free_list_.pop_back();

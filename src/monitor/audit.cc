@@ -212,6 +212,17 @@ void AuditJournal::PurgeDomain(uint64_t span, uint32_t domain, const RevokeOutco
   Cascades(span, 0, outcome, engine);
 }
 
+void AuditJournal::Abort(uint64_t span, uint16_t op, uint32_t requester, ErrorCode error) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kOpAbort);
+  record.op = static_cast<uint8_t>(op <= 0xff ? op : 0xff);
+  record.domain = requester;
+  record.result = static_cast<uint64_t>(error);
+  journal_.Append(record);
+}
+
 void AuditJournal::Effect(uint64_t span, const CapEffect& effect) {
   if (!enabled()) {
     return;
@@ -279,6 +290,10 @@ Result<JournalReplay> ReplayJournal(const std::vector<JournalRecord>& records) {
     switch (event) {
       case JournalEvent::kDispatch:
       case JournalEvent::kEffect:
+      case JournalEvent::kOpAbort:
+        // Context records. An abort's compensating engine mutations were
+        // journaled as ordinary records, so the shadow engine stays in
+        // lockstep without special handling here.
         ++replay.skipped;
         continue;
       case JournalEvent::kRegisterDomain:

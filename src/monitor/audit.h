@@ -63,6 +63,10 @@ class AuditJournal {
   void PurgeDomain(uint64_t span, uint32_t domain, const RevokeOutcome& outcome,
                    const CapabilityEngine& engine);
   void Effect(uint64_t span, const CapEffect& effect);
+  // An operation failed mid-flight: its compensating mutations (if any) were
+  // journaled as ordinary records, and this marks the whole span as aborted
+  // with the operation's error code. Context-only for replay.
+  void Abort(uint64_t span, uint16_t op, uint32_t requester, ErrorCode error);
 
   // --- Introspection / export ---
   // One-paragraph text: record/checkpoint counts, per-event tallies, head.

@@ -320,10 +320,17 @@ Status Monitor::ReconcileDevice(uint64_t bdf) {
       sole_holder = id;
     }
   }
-  // Detach from everyone first (idempotent at the hardware layer).
+  // Detach from everyone first. kNotFound just means "was not attached"
+  // (the common case); any other failure is a device that refused to
+  // quiesce and must be surfaced to the enclosing operation.
+  Status first_error = OkStatus();
   for (const auto& [id, domain] : domains_) {
-    if (domain.alive()) {
-      (void)backend_->DetachDevice(id, static_cast<uint16_t>(bdf));
+    if (!domain.alive()) {
+      continue;
+    }
+    const Status detached = backend_->DetachDevice(id, static_cast<uint16_t>(bdf));
+    if (!detached.ok() && detached.code() != ErrorCode::kNotFound && first_error.ok()) {
+      first_error = detached;
     }
   }
   // Interrupt routes follow exclusive ownership: a route pointing anywhere
@@ -333,9 +340,40 @@ Status Monitor::ReconcileDevice(uint64_t bdf) {
     machine_->interrupts().Unroute(PciBdf(static_cast<uint16_t>(bdf)));
   }
   if (holders == 1) {
-    return backend_->AttachDevice(sole_holder, static_cast<uint16_t>(bdf));
+    const Status attached = backend_->AttachDevice(sole_holder, static_cast<uint16_t>(bdf));
+    if (!attached.ok() && first_error.ok()) {
+      first_error = attached;
+    }
   }
-  return OkStatus();
+  return first_error;
+}
+
+Status Monitor::RollbackTransfer(ApiOp op, uint64_t span, DomainId requester,
+                                 DomainId owner, CapId created, const Status& cause) {
+  // The forward mutation is already journaled; revoking the created
+  // capability as its owner (a domain may always drop what it holds) emits
+  // the compensating records, so shadow replay performs the same
+  // compensation and the graphs converge.
+  const auto comp = engine_.Revoke(owner, created);
+  if (!comp.ok()) {
+    // Unreachable unless the engine lost the capability underneath us; the
+    // abort record below still marks the span as failed.
+    TYCHE_LOG(kError) << "rollback: revoke of cap " << created
+                      << " failed: " << comp.status().ToString();
+  } else {
+    audit_.Revoke(span, owner, created, *comp, engine_);
+    stats_.revocations_cascaded += comp->revoked_count;
+    const Status reverted = ApplyEffects(comp->effects, span);
+    if (!reverted.ok()) {
+      // The compensation itself could not be fully projected: the failing
+      // backend has already fail-safed to deny, so hardware still enforces
+      // a subset of the (now restored) tree.
+      TYCHE_LOG(kWarn) << "rollback: compensating effects degraded to fail-safe: "
+                       << reverted.ToString();
+    }
+  }
+  audit_.Abort(span, static_cast<uint16_t>(op), requester, cause.code());
+  return cause;
 }
 
 Status Monitor::RouteInterrupt(CoreId core, CapId device_cap) {
@@ -394,7 +432,19 @@ Result<CreateDomainResult> Monitor::CreateDomain(CoreId core, const std::string&
   const uint64_t span = SpanForCore(core);
   engine_.RegisterDomain(id, caller);
   audit_.RegisterDomain(span, id, caller);
-  TYCHE_RETURN_IF_ERROR(backend_->CreateDomainContext(id, domain.asid));
+  const Status context = backend_->CreateDomainContext(id, domain.asid);
+  if (!context.ok()) {
+    // Unwind: a domain the backend cannot enforce must not stay registered.
+    // The purge is journaled like any other mutation so shadow replay stays
+    // in lockstep; the id is simply never reused (next_domain_ moved on).
+    const auto purge = engine_.PurgeDomain(id);
+    if (purge.ok()) {
+      audit_.PurgeDomain(span, id, *purge, engine_);
+    }
+    domains_.erase(id);
+    audit_.Abort(span, static_cast<uint16_t>(ApiOp::kCreateDomain), caller, context.code());
+    return context;
+  }
 
   TYCHE_ASSIGN_OR_RETURN(
       const CapId handle,
@@ -503,12 +553,23 @@ Status Monitor::DestroyDomain(CoreId core, CapId domain_handle) {
   TYCHE_ASSIGN_OR_RETURN(const RevokeOutcome outcome, engine_.PurgeDomain(target));
   audit_.PurgeDomain(span, target, outcome, engine_);
   stats_.revocations_cascaded += outcome.revoked_count;
-  TYCHE_RETURN_IF_ERROR(ApplyEffects(outcome.effects, span));
-  TYCHE_RETURN_IF_ERROR(backend_->DestroyDomainContext(target));
+  // The engine purge is the commit point: teardown is never rolled back,
+  // because a dead domain with live hardware state would be the worst torn
+  // state of all. Push through every cleanup step (failed projections have
+  // already fail-safed to deny), mark the domain dead, and report the first
+  // failure as a terminal-but-contained error.
+  Status first = ApplyEffects(outcome.effects, span);
+  const Status context = backend_->DestroyDomainContext(target);
+  if (!context.ok() && first.ok()) {
+    first = context;
+  }
   machine_->interrupts().PurgeDomain(target);
   TYCHE_ASSIGN_OR_RETURN(TrustDomain * domain, GetDomainMutable(target));
   domain->state = DomainState::kDead;
-  return OkStatus();
+  if (!first.ok()) {
+    audit_.Abort(span, static_cast<uint16_t>(ApiOp::kDestroyDomain), caller, first.code());
+  }
+  return first;
 }
 
 Result<CapId> Monitor::ShareMemory(CoreId core, CapId src_cap, CapId dst_domain_handle,
@@ -528,14 +589,7 @@ Result<CapId> Monitor::ShareMemory(CoreId core, CapId src_cap, CapId dst_domain_
   if (!applied.ok()) {
     // Compensate: the hardware could not accommodate the new mapping (e.g.
     // PMP exhaustion); roll the capability back so tree and hardware agree.
-    // The share itself stays journaled (the engine DID mutate) followed by
-    // the compensating revoke, so replay stays in lockstep.
-    const auto comp = engine_.Revoke(caller, child);
-    if (comp.ok()) {
-      audit_.Revoke(span, caller, child, *comp, engine_);
-    }
-    (void)backend_->SyncMemory(dst, sub);
-    return applied;
+    return RollbackTransfer(ApiOp::kShareMemory, span, caller, dst, child, applied);
   }
   ++stats_.shares;
   return child;
@@ -555,13 +609,11 @@ Result<GrantResult> Monitor::GrantMemory(CoreId core, CapId src_cap, CapId dst_d
                      outcome.remainders.size());
   const Status applied = ApplyEffects(outcome.effects, span);
   if (!applied.ok()) {
-    const auto comp = engine_.Revoke(dst, outcome.granted);
-    if (comp.ok()) {
-      audit_.Revoke(span, dst, outcome.granted, *comp, engine_);
-    }
-    (void)backend_->SyncMemory(dst, sub);
-    (void)backend_->SyncMemory(caller, sub);
-    return applied;
+    // Revoking the granted capability mints a restore capability back to the
+    // grantor (the engine's grant-revocation rule), so the rollback is
+    // access-equivalent to the pre-grant state.
+    return RollbackTransfer(ApiOp::kGrantMemory, span, caller, dst, outcome.granted,
+                            applied);
   }
   ++stats_.grants;
   return GrantResult{outcome.granted, outcome.remainders};
@@ -581,7 +633,10 @@ Result<CapId> Monitor::ShareUnit(CoreId core, CapId src_cap, CapId dst_domain_ha
     audit_.ShareUnit(span, caller, dst, src_cap, child, (*child_cap)->kind,
                      (*child_cap)->unit, rights, policy);
   }
-  TYCHE_RETURN_IF_ERROR(ApplyEffects(effects, span));
+  const Status applied = ApplyEffects(effects, span);
+  if (!applied.ok()) {
+    return RollbackTransfer(ApiOp::kShareUnit, span, caller, dst, child, applied);
+  }
   ++stats_.shares;
   return child;
 }
@@ -599,7 +654,10 @@ Result<CapId> Monitor::GrantUnit(CoreId core, CapId src_cap, CapId dst_domain_ha
     audit_.GrantUnit(span, caller, dst, src_cap, outcome.granted, (*granted)->kind,
                      (*granted)->unit, rights, policy);
   }
-  TYCHE_RETURN_IF_ERROR(ApplyEffects(outcome.effects, span));
+  const Status applied = ApplyEffects(outcome.effects, span);
+  if (!applied.ok()) {
+    return RollbackTransfer(ApiOp::kGrantUnit, span, caller, dst, outcome.granted, applied);
+  }
   ++stats_.grants;
   return outcome.granted;
 }
@@ -612,7 +670,16 @@ Status Monitor::Revoke(CoreId core, CapId cap) {
   audit_.Revoke(span, caller, cap, outcome, engine_);
   ++stats_.revokes;
   stats_.revocations_cascaded += outcome.revoked_count;
-  return ApplyEffects(outcome.effects, span);
+  const Status applied = ApplyEffects(outcome.effects, span);
+  if (!applied.ok()) {
+    // Revocation is never rolled back (§3.2: cleanups are guaranteed). The
+    // failing projection already fail-safed to deny, so hardware enforces a
+    // subset of the tree; the abort record plus the typed error tell the
+    // caller the degraded state is theirs to repair (any later successful
+    // sync restores full enforcement).
+    audit_.Abort(span, static_cast<uint16_t>(ApiOp::kRevoke), caller, applied.code());
+  }
+  return applied;
 }
 
 Result<DomainAttestation> Monitor::BuildAttestation(DomainId target, uint64_t nonce) {
@@ -701,9 +768,11 @@ Status Monitor::Transition(CoreId core, CapId domain_handle) {
     return Error(ErrorCode::kTransitionDenied, "target does not own this core");
   }
   ScrubOnExitIfRequested(caller, core);
+  // Bind first: if the backend refuses the switch, the call stack and the
+  // core's current domain must still describe the caller, not the target.
+  TYCHE_RETURN_IF_ERROR(backend_->BindCore(target, core));
   call_stacks_[core].push_back(caller);
   machine_->cpu(core).set_current_domain(target);
-  TYCHE_RETURN_IF_ERROR(backend_->BindCore(target, core));
   ++stats_.transitions;
   return OkStatus();
 }
@@ -728,9 +797,10 @@ Status Monitor::ReturnFromDomain(CoreId core) {
   const DomainId leaving = machine_->cpu(core).current_domain();
   ScrubOnExitIfRequested(leaving, core);
   const DomainId previous = call_stacks_[core].back();
+  // Bind first (see Transition): a refused switch leaves the stack intact.
+  TYCHE_RETURN_IF_ERROR(backend_->BindCore(previous, core));
   call_stacks_[core].pop_back();
   machine_->cpu(core).set_current_domain(previous);
-  TYCHE_RETURN_IF_ERROR(backend_->BindCore(previous, core));
   ++stats_.transitions;
   return OkStatus();
 }

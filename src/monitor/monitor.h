@@ -276,6 +276,13 @@ class Monitor {
   // Applies an effect list produced by the capability engine to hardware,
   // journaling each applied effect under `span`.
   Status ApplyEffects(const CapEffects& effects, uint64_t span);
+  // Rolls back a share/grant whose hardware projection failed: revokes the
+  // capability the operation created (as `owner`, the recipient — an owner
+  // may always drop its own capability), applies the compensating effects,
+  // and journals the compensation plus an abort record so replay stays in
+  // lockstep. Returns `cause` so callers can `return RollbackTransfer(...)`.
+  Status RollbackTransfer(ApiOp op, uint64_t span, DomainId requester, DomainId owner,
+                          CapId created, const Status& cause);
   // Re-binds a shared device: attached iff exactly one domain holds it.
   Status ReconcileDevice(uint64_t bdf);
 

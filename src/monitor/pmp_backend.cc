@@ -4,6 +4,9 @@
 
 #include <algorithm>
 
+#include "src/support/faults.h"
+#include "src/support/log.h"
+
 namespace tyche {
 
 PmpBackend::PmpBackend(Machine* machine, const CapabilityEngine* engine,
@@ -22,6 +25,7 @@ Status PmpBackend::CreateDomainContext(DomainId domain, uint16_t asid) {
   if (contexts_.contains(domain)) {
     return Error(ErrorCode::kAlreadyExists, "backend context exists");
   }
+  TYCHE_FAULT_POINT(faults::kPmpCreateContext);
   DomainContext context;
   context.asid = asid;
   contexts_.emplace(domain, std::move(context));
@@ -33,11 +37,17 @@ Status PmpBackend::DestroyDomainContext(DomainId domain) {
   for (const uint16_t bdf : context->devices) {
     machine_->io_pmp().Remove(PciBdf{bdf});
   }
-  // Clear any hart still carrying this domain's entries.
+  // Clear any hart still carrying this domain's entries. Teardown keeps
+  // going past individual write failures (there is nothing safer to fall
+  // back to than continuing to clear), but they are reported, not swallowed.
   for (CoreId core = 0; core < machine_->num_cores(); ++core) {
     if (machine_->cpu(core).current_domain() == domain) {
       for (int i = kFirstDomainEntry; i < PmpFile::kNumEntries; ++i) {
-        (void)machine_->cpu(core).pmp().ClearEntry(i, &machine_->cycles());
+        const Status cleared = machine_->cpu(core).pmp().ClearEntry(i, &machine_->cycles());
+        if (!cleared.ok()) {
+          TYCHE_LOG(kError) << "pmp: teardown clear of core " << core << " entry " << i
+                            << " failed: " << cleared.ToString();
+        }
       }
     }
   }
@@ -89,40 +99,71 @@ Status PmpBackend::SyncMemory(DomainId domain, const AddrRange& range) {
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
   ++stats_.memory_syncs;
   ++stats_.pmp_recompiles;
-  auto program = Compile(engine_->DomainMemoryMap(domain), kDomainEntryBudget);
-  if (!program.ok()) {
-    // FAIL SAFE. The new layout does not fit the entry budget; leaving the
-    // OLD entries programmed would keep enforcing stale (possibly revoked)
-    // access. Deny the whole domain instead -- the hardware may enforce a
-    // subset of the capability tree, never a superset -- and report the
-    // error so policy operations can be rolled back (a later successful
-    // sync restores enforcement).
-    context->program.entries.clear();
+  auto compile = [&]() -> Result<PmpProgram> {
+    TYCHE_FAULT_POINT(faults::kPmpRecompile);
+    return Compile(engine_->DomainMemoryMap(domain), kDomainEntryBudget);
+  };
+  Result<PmpProgram> program = compile();
+  Status failure = program.ok() ? OkStatus() : program.status();
+  if (program.ok()) {
+    context->program = std::move(*program);
+    context->denied = false;
+    // Rewrite harts currently running this domain and any bound devices.
+    // Visit EVERY hart and device even after a failure — an early return
+    // here would silently leave the remaining cores enforcing the stale
+    // (possibly revoked) program — then fall into the deny path below with
+    // the first error.
     for (CoreId core = 0; core < machine_->num_cores(); ++core) {
-      if (machine_->cpu(core).current_domain() == domain) {
-        (void)BindCore(domain, core);
+      if (machine_->cpu(core).current_domain() != domain) {
+        continue;
+      }
+      const Status bound = BindCore(domain, core);
+      if (!bound.ok() && failure.ok()) {
+        failure = bound;
       }
     }
     for (const uint16_t bdf : context->devices) {
-      (void)SyncDevice(*context, bdf);
+      const Status synced = SyncDevice(*context, bdf);
+      if (!synced.ok() && failure.ok()) {
+        failure = synced;
+      }
     }
-    return program.status();
+    if (failure.ok()) {
+      return OkStatus();
+    }
   }
-  context->program = std::move(*program);
-
-  // Rewrite harts currently running this domain and any bound devices.
+  // FAIL SAFE. Either the new layout does not fit the entry budget, or a
+  // hart/device write failed half-way; leaving the OLD (or a torn) program
+  // installed would keep enforcing stale access. Deny the whole domain
+  // instead -- the hardware may enforce a subset of the capability tree,
+  // never a superset -- and report the error so policy operations can be
+  // rolled back (a later successful sync restores enforcement).
+  context->program.entries.clear();
+  context->denied = true;
   for (CoreId core = 0; core < machine_->num_cores(); ++core) {
-    if (machine_->cpu(core).current_domain() == domain) {
-      TYCHE_RETURN_IF_ERROR(BindCore(domain, core));
+    if (machine_->cpu(core).current_domain() != domain) {
+      continue;
+    }
+    const Status denied = BindCore(domain, core);
+    if (!denied.ok()) {
+      // Clearing entries cannot allocate; a failure here means even the
+      // deny write was refused. Nothing sounder is reachable — report it.
+      TYCHE_LOG(kError) << "pmp: deny-all write to core " << core
+                        << " failed: " << denied.ToString();
     }
   }
   for (const uint16_t bdf : context->devices) {
-    TYCHE_RETURN_IF_ERROR(SyncDevice(*context, bdf));
+    const Status synced = SyncDevice(*context, bdf);
+    if (!synced.ok()) {
+      TYCHE_LOG(kError) << "pmp: deny-all write to device " << bdf
+                        << " failed: " << synced.ToString();
+    }
   }
-  return OkStatus();
+  return failure;
 }
 
 Status PmpBackend::SyncDevice(const DomainContext& context, uint16_t bdf) {
+  TYCHE_FAULT_POINT(faults::kPmpSyncDevice);
   PmpFile& file = machine_->io_pmp().FileFor(PciBdf{bdf});
   for (int i = 0; i < PmpFile::kNumEntries; ++i) {
     TYCHE_RETURN_IF_ERROR(file.ClearEntry(i, &machine_->cycles()));
@@ -139,15 +180,26 @@ Status PmpBackend::SyncDevice(const DomainContext& context, uint16_t bdf) {
 
 Status PmpBackend::AttachDevice(DomainId domain, uint16_t bdf) {
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  TYCHE_FAULT_POINT(faults::kPmpAttachDevice);
   context->devices.insert(bdf);
-  return SyncDevice(*context, bdf);
+  const Status synced = SyncDevice(*context, bdf);
+  if (!synced.ok()) {
+    // A device whose IOPMP could not be programmed must not be remembered
+    // as attached: undo the insert and drop its file (default-deny).
+    context->devices.erase(bdf);
+    machine_->io_pmp().Remove(PciBdf{bdf});
+    return synced;
+  }
+  return OkStatus();
 }
 
 Status PmpBackend::DetachDevice(DomainId domain, uint16_t bdf) {
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
-  if (context->devices.erase(bdf) == 0) {
+  if (!context->devices.contains(bdf)) {
     return Error(ErrorCode::kNotFound, "device not attached to domain");
   }
+  TYCHE_FAULT_POINT(faults::kPmpDetachDevice);
+  context->devices.erase(bdf);
   machine_->io_pmp().Remove(PciBdf{bdf});
   ++stats_.iommu_updates;
   return OkStatus();
@@ -164,13 +216,20 @@ void PmpBackend::InstallGuard(CoreId core) {
   const auto addr = PmpFile::EncodeNapot(monitor_range_.base, monitor_range_.size);
   if (addr.ok()) {
     guard.addr = *addr;
-    (void)machine_->cpu(core).pmp().SetEntry(0, guard, &machine_->cycles());
+    const Status installed = machine_->cpu(core).pmp().SetEntry(0, guard, &machine_->cycles());
+    if (!installed.ok()) {
+      // Leave the core out of guarded_cores_ so the next bind retries.
+      TYCHE_LOG(kError) << "pmp: monitor guard install on core " << core
+                        << " failed: " << installed.ToString();
+      return;
+    }
     guarded_cores_.insert(core);
   }
 }
 
 Status PmpBackend::BindCore(DomainId domain, CoreId core) {
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  TYCHE_FAULT_POINT(faults::kPmpBindCore);
   InstallGuard(core);
   PmpFile& pmp = machine_->cpu(core).pmp();
   // Deterministic switch cost: rewrite every domain-owned entry.
@@ -211,9 +270,10 @@ Result<bool> PmpBackend::ValidateAgainst(const CapabilityEngine& engine, DomainI
   // Recompile from the engine (source of truth) and compare with what the
   // hardware would enforce.
   auto expected = Compile(engine.DomainMemoryMap(domain), kDomainEntryBudget);
-  if (!expected.ok()) {
-    // The layout is not expressible: the only sound hardware state is the
-    // deny-all fallback (a strict subset of the tree).
+  if (!expected.ok() || context->denied) {
+    // Deny-all fallback is the only sound hardware state here: either the
+    // layout is not expressible, or a hart/device write failure forced
+    // fail-safe denial (a strict subset of the tree in both cases).
     return context->program.entries.empty();
   }
   if (expected->entries.size() != context->program.entries.size()) {
@@ -243,6 +303,11 @@ Result<bool> PmpBackend::ValidateAgainst(const CapabilityEngine& engine, DomainI
     }
   }
   return true;
+}
+
+bool PmpBackend::Denied(DomainId domain) const {
+  const auto it = contexts_.find(domain);
+  return it != contexts_.end() && it->second.denied;
 }
 
 Result<int> PmpBackend::DomainEntryCount(DomainId domain) const {

@@ -57,11 +57,20 @@ class PmpBackend : public Backend {
   // Number of PMP entries a domain's current layout consumes.
   Result<int> DomainEntryCount(DomainId domain) const;
 
+  // True while the domain sits in the fail-safe deny-all state. Exposed for
+  // tests.
+  bool Denied(DomainId domain) const;
+
  private:
   struct DomainContext {
     uint16_t asid = 0;
     PmpProgram program;
     std::set<uint16_t> devices;
+    // Fail-safe state: set when a recompile or a hart/device write failed
+    // and the backend fell back to an empty (deny-all) program even though
+    // the layout may be expressible. The validator accepts the empty program
+    // while this is set; the next successful sync clears it.
+    bool denied = false;
   };
 
   Result<DomainContext*> ContextOf(DomainId domain);

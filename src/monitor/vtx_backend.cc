@@ -2,6 +2,9 @@
 
 #include "src/monitor/vtx_backend.h"
 
+#include <algorithm>
+
+#include "src/support/faults.h"
 #include "src/support/log.h"
 
 namespace tyche {
@@ -22,6 +25,7 @@ Status VtxBackend::CreateDomainContext(DomainId domain, uint16_t asid) {
   if (contexts_.contains(domain)) {
     return Error(ErrorCode::kAlreadyExists, "backend context exists");
   }
+  TYCHE_FAULT_POINT(faults::kVtxCreateContext);
   TYCHE_ASSIGN_OR_RETURN(NestedPageTable table,
                          NestedPageTable::Create(&machine_->memory(), metadata_,
                                                  &machine_->cycles()));
@@ -34,9 +38,16 @@ Status VtxBackend::CreateDomainContext(DomainId domain, uint16_t asid) {
 
 Status VtxBackend::DestroyDomainContext(DomainId domain) {
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
-  // Detach any devices still bound to this context.
+  // Detach any devices still bound to this context. Teardown must not stop
+  // half-way, so failures here are logged and the walk continues; a device
+  // that would not detach still loses its translation when the EPT below is
+  // destroyed.
   for (const uint16_t bdf : context->devices) {
-    (void)machine_->iommu().DetachDevice(PciBdf{bdf});
+    const Status detached = machine_->iommu().DetachDevice(PciBdf{bdf});
+    if (!detached.ok()) {
+      TYCHE_LOG(kWarn) << "vtx: teardown detach of device " << bdf
+                       << " failed: " << detached.ToString();
+    }
   }
   // Make sure no core keeps the dying EPT installed.
   for (CoreId core = 0; core < machine_->num_cores(); ++core) {
@@ -57,30 +68,80 @@ Status VtxBackend::SyncMemory(DomainId domain, const AddrRange& range) {
   NestedPageTable* ept = context->ept.get();
 
   ++stats_.memory_syncs;
-  for (uint64_t page = AlignDown(range.base, kPageSize); page < range.end();
-       page += kPageSize) {
-    const Perms effective = engine_->EffectivePerms(domain, page);
-    const auto current = ept->Lookup(page);
-    if (effective.empty()) {
-      if (current.ok()) {
-        TYCHE_RETURN_IF_ERROR(ept->UnmapPage(page));
-        ++stats_.pages_unmapped;
+  auto sync_pages = [&]() -> Status {
+    TYCHE_FAULT_POINT(faults::kVtxSyncMemory);
+    for (uint64_t page = AlignDown(range.base, kPageSize); page < range.end();
+         page += kPageSize) {
+      const Perms effective = engine_->EffectivePerms(domain, page);
+      const auto current = ept->Lookup(page);
+      if (effective.empty()) {
+        if (current.ok()) {
+          TYCHE_RETURN_IF_ERROR(ept->UnmapPage(page));
+          ++stats_.pages_unmapped;
+        }
+      } else if (!current.ok()) {
+        // Identity mapping: domains name physical memory directly.
+        TYCHE_RETURN_IF_ERROR(ept->MapPage(page, page, effective));
+        ++stats_.pages_mapped;
+      } else if (current->perms != effective) {
+        TYCHE_RETURN_IF_ERROR(ept->ProtectPage(page, effective));
+        ++stats_.pages_protected;
       }
-    } else if (!current.ok()) {
-      // Identity mapping: domains name physical memory directly.
-      TYCHE_RETURN_IF_ERROR(ept->MapPage(page, page, effective));
-      ++stats_.pages_mapped;
-    } else if (current->perms != effective) {
-      TYCHE_RETURN_IF_ERROR(ept->ProtectPage(page, effective));
-      ++stats_.pages_protected;
     }
+    return OkStatus();
+  };
+  const Status synced = sync_pages();
+  if (!synced.ok()) {
+    // FAIL SAFE: a half-applied sync could leave a page mapped that the tree
+    // no longer justifies. Deny the whole range instead; hardware then
+    // enforces a subset of the capability tree until a later sync repairs it.
+    DenyRange(context, range);
+    FlushDomain(domain);
+    return synced;
+  }
+  if (!context->degraded.empty() && range.base <= context->degraded.base &&
+      context->degraded.end() <= range.end()) {
+    // A full, successful sync over the degraded hull restores liveness.
+    context->degraded = AddrRange{0, 0};
   }
   FlushDomain(domain);
   return OkStatus();
 }
 
+void VtxBackend::DenyRange(DomainContext* context, const AddrRange& range) {
+  const uint64_t begin = AlignDown(range.base, kPageSize);
+  const uint64_t end = range.end();
+  for (uint64_t page = begin; page < end; page += kPageSize) {
+    if (!context->ept->Lookup(page).ok()) {
+      continue;
+    }
+    const Status unmapped = context->ept->UnmapPage(page);
+    if (!unmapped.ok()) {
+      // Unmapping an existing leaf cannot allocate and should never fail;
+      // if it somehow does, scream — this is the one path with no fallback.
+      TYCHE_LOG(kError) << "vtx: deny-range unmap of page " << page
+                        << " failed: " << unmapped.ToString();
+    } else {
+      ++stats_.pages_unmapped;
+    }
+  }
+  if (context->degraded.empty()) {
+    context->degraded = AddrRange{begin, end - begin};
+  } else {
+    const uint64_t lo = std::min(context->degraded.base, begin);
+    const uint64_t hi = std::max(context->degraded.end(), end);
+    context->degraded = AddrRange{lo, hi - lo};
+  }
+}
+
+bool VtxBackend::Degraded(DomainId domain) const {
+  const auto it = contexts_.find(domain);
+  return it != contexts_.end() && !it->second.degraded.empty();
+}
+
 Status VtxBackend::AttachDevice(DomainId domain, uint16_t bdf) {
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  TYCHE_FAULT_POINT(faults::kVtxAttachDevice);
   TYCHE_RETURN_IF_ERROR(machine_->iommu().AttachDevice(PciBdf{bdf}, context->ept.get()));
   context->devices.insert(bdf);
   ++stats_.iommu_updates;
@@ -89,15 +150,22 @@ Status VtxBackend::AttachDevice(DomainId domain, uint16_t bdf) {
 
 Status VtxBackend::DetachDevice(DomainId domain, uint16_t bdf) {
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
-  if (context->devices.erase(bdf) == 0) {
+  if (!context->devices.contains(bdf)) {
     return Error(ErrorCode::kNotFound, "device not attached to domain");
   }
+  TYCHE_FAULT_POINT(faults::kVtxDetachDevice);
+  // Drop the bookkeeping entry only once the IOMMU walk succeeded, so a
+  // failed detach stays visible to the validator (rule 3) instead of
+  // leaving a silently-forgotten live translation.
+  TYCHE_RETURN_IF_ERROR(machine_->iommu().DetachDevice(PciBdf{bdf}));
+  context->devices.erase(bdf);
   ++stats_.iommu_updates;
-  return machine_->iommu().DetachDevice(PciBdf{bdf});
+  return OkStatus();
 }
 
 Status VtxBackend::BindCore(DomainId domain, CoreId core) {
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
+  TYCHE_FAULT_POINT(faults::kVtxBindCore);
   // Slow path: full EPTP load; without VPID tagging this flushes the TLB.
   machine_->SetCoreEpt(core, context->ept.get(), /*flush_tlb=*/true);
   machine_->cpu(core).set_asid(context->asid);
@@ -161,9 +229,14 @@ Result<bool> VtxBackend::ValidateAgainst(const CapabilityEngine& engine, DomainI
   });
 
   // 2. Every capability-mandated region must be mapped with exactly the
-  //    effective permissions.
+  //    effective permissions — except inside a fail-safe denied hull, where
+  //    missing mappings are the *intended* degraded state (rule 1 above
+  //    still forbids any mapping the tree does not justify).
   for (const auto& region : engine.DomainMemoryMap(domain)) {
     for (uint64_t page = region.range.base; page < region.range.end(); page += kPageSize) {
+      if (!context->degraded.empty() && context->degraded.Contains(page)) {
+        continue;
+      }
       const auto mapping = context->ept->Lookup(page);
       if (!mapping.ok() || mapping->perms != region.perms) {
         consistent = false;

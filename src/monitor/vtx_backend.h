@@ -40,14 +40,25 @@ class VtxBackend : public Backend {
   // Architectural EPTP-list size (VMFUNC leaf 0).
   static constexpr size_t kEptpListSize = 512;
 
+  // True when a failed sync forced part of this domain's address space into
+  // fail-safe denial (see DenyRange). Exposed for tests.
+  bool Degraded(DomainId domain) const;
+
  private:
   struct DomainContext {
     std::unique_ptr<NestedPageTable> ept;
     uint16_t asid = 0;
     std::set<uint16_t> devices;
+    // Fail-safe state: when a SyncMemory cannot complete, every page in the
+    // affected range is unmapped (deny) and the range is recorded here. The
+    // validator accepts missing mappings inside this hull — hardware then
+    // enforces a SUBSET of the capability tree, never a superset — and a
+    // later successful sync covering the hull clears it.
+    AddrRange degraded{0, 0};
   };
 
   Result<DomainContext*> ContextOf(DomainId domain);
+  void DenyRange(DomainContext* context, const AddrRange& range);
 
   Machine* machine_;
   const CapabilityEngine* engine_;

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "src/support/faults.h"
+
 namespace tyche {
 
 RangeAllocator::RangeAllocator(AddrRange pool) : pool_(pool) {
@@ -16,6 +18,7 @@ Result<AddrRange> RangeAllocator::Alloc(uint64_t size, uint64_t alignment) {
   if (size == 0 || !IsPowerOfTwo(alignment)) {
     return Error(ErrorCode::kInvalidArgument, "bad allocation request");
   }
+  TYCHE_FAULT_POINT(faults::kRangeAlloc);
   size = AlignUp(size, kPageSize);
   for (size_t i = 0; i < free_list_.size(); ++i) {
     const AddrRange& candidate = free_list_[i];

@@ -101,6 +101,8 @@ const char* JournalEventName(JournalEvent event) {
       return "purge_domain";
     case JournalEvent::kEffect:
       return "effect";
+    case JournalEvent::kOpAbort:
+      return "op_abort";
     case JournalEvent::kEventCount:
       break;
   }

@@ -60,6 +60,9 @@ enum class JournalEvent : uint8_t {
   kRestore,          // revoking a grant returned ownership to the grantor
   kPurgeDomain,      // domain teardown revoked everything it owned
   kEffect,           // one hardware obligation applied by the backend
+  kOpAbort,          // an operation failed mid-flight and was rolled back /
+                     // contained; context only (the compensating mutations
+                     // are journaled as ordinary records before it)
   kEventCount,       // sentinel
 };
 

@@ -52,7 +52,12 @@ enum class ErrorCode : uint8_t {
 std::string_view ErrorCodeName(ErrorCode code);
 
 // A status: either OK or an error code plus a context message.
-class Status {
+//
+// [[nodiscard]]: a dropped Status is a swallowed failure — exactly the class
+// of bug that tears capability state from hardware state. Call sites that
+// genuinely cannot act on an error must route it through a logging helper
+// (see Monitor's BestEffort) rather than discarding it.
+class [[nodiscard]] Status {
  public:
   Status() : code_(ErrorCode::kOk) {}
   explicit Status(ErrorCode code, std::string message = "")
@@ -82,7 +87,7 @@ inline Status Error(ErrorCode code, std::string message = "") {
 // Result<T>: either a value or an error Status. Minimal analogue of
 // absl::StatusOr<T>, sufficient for the monitor's no-exception style.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so `return value;` works in functions
   // returning Result<T>.

@@ -159,6 +159,77 @@ TEST_F(EngineEdgeTest, ExclusivelyOwnedNeedsFullCoverage) {
   EXPECT_TRUE(engine_.ExclusivelyOwned(0, AddrRange{2 * kMiB, kMiB}));
 }
 
+TEST_F(EngineEdgeTest, RevokeRootOfCircularShareKillsTheWholeLoop) {
+  // 0 -> 1 -> 2 -> 1: a cycle in the domain graph, still a tree in the
+  // lineage graph. Revoking the root must cascade through every cap in the
+  // loop -- including the one 1 received "back" from 2.
+  const CapId root = *engine_.MintMemory(0, AddrRange{0, kMiB}, Perms(Perms::kRWX),
+                                         CapRights(CapRights::kAll));
+  CapEffects effects;
+  const CapId to_1 = *engine_.ShareMemory(0, root, 1, AddrRange{0, kMiB},
+                                          Perms(Perms::kRW), CapRights(CapRights::kAll),
+                                          RevocationPolicy{}, &effects);
+  const CapId to_2 = *engine_.ShareMemory(1, to_1, 2, AddrRange{0, kMiB / 2},
+                                          Perms(Perms::kRW), CapRights(CapRights::kAll),
+                                          RevocationPolicy{}, &effects);
+  const CapId back_to_1 = *engine_.ShareMemory(2, to_2, 1, AddrRange{0, kMiB / 4},
+                                               Perms(Perms::kRead), CapRights{},
+                                               RevocationPolicy{}, &effects);
+  ASSERT_FALSE(engine_.EffectivePerms(2, 0).empty());
+
+  const auto revoked = engine_.Revoke(0, to_1);
+  ASSERT_TRUE(revoked.ok());
+  EXPECT_EQ(revoked->revoked_count, 3u);  // to_1, to_2, back_to_1
+  for (const CapId cap : {to_1, to_2, back_to_1}) {
+    EXPECT_FALSE((*engine_.Get(cap))->active());
+  }
+  EXPECT_TRUE(engine_.EffectivePerms(1, 0).empty());
+  EXPECT_TRUE(engine_.EffectivePerms(2, 0).empty());
+  // The root itself survives with full access.
+  EXPECT_EQ(engine_.EffectivePerms(0, 0).mask, Perms::kRWX);
+}
+
+TEST_F(EngineEdgeTest, PurgeDomainInsideCircularShareLeavesPeersSound) {
+  // 1 and 2 hold slices of each other's view; purging 1 must deactivate the
+  // whole derivation chain that passes through 1, even the part owned by 2,
+  // without touching what 2 holds independently.
+  const CapId root = *engine_.MintMemory(0, AddrRange{0, kMiB}, Perms(Perms::kRWX),
+                                         CapRights(CapRights::kAll));
+  CapEffects effects;
+  const CapId to_1 = *engine_.ShareMemory(0, root, 1, AddrRange{0, kMiB},
+                                          Perms(Perms::kRW), CapRights(CapRights::kAll),
+                                          RevocationPolicy{}, &effects);
+  const CapId to_2 = *engine_.ShareMemory(1, to_1, 2, AddrRange{0, kMiB / 2},
+                                          Perms(Perms::kRW), CapRights(CapRights::kAll),
+                                          RevocationPolicy{}, &effects);
+  (void)*engine_.ShareMemory(2, to_2, 1, AddrRange{0, kMiB / 4}, Perms(Perms::kRead),
+                             CapRights{}, RevocationPolicy{}, &effects);
+  // 2 also holds an independent slice straight from 0.
+  const CapId direct_to_2 = *engine_.ShareMemory(0, root, 2,
+                                                 AddrRange{kMiB / 2, kMiB / 2},
+                                                 Perms(Perms::kRead), CapRights{},
+                                                 RevocationPolicy{}, &effects);
+
+  const auto purge = engine_.PurgeDomain(1);
+  ASSERT_TRUE(purge.ok());
+  EXPECT_FALSE(engine_.IsRegistered(1));
+  // Everything derived through 1 is dead -- including 2's received slice.
+  EXPECT_FALSE((*engine_.Get(to_2))->active());
+  EXPECT_TRUE(engine_.EffectivePerms(2, 0).empty());
+  // The independent slice survives untouched.
+  EXPECT_TRUE((*engine_.Get(direct_to_2))->active());
+  EXPECT_EQ(engine_.EffectivePerms(2, kMiB / 2).mask, Perms::kRead);
+  // Purge-generated effects must name the SURVIVING domain's lost range so
+  // the backend resyncs it -- not just the purged domain's.
+  bool unmaps_peer = false;
+  for (const CapEffect& effect : purge->effects.effects) {
+    if (effect.kind == CapEffect::Kind::kUnmapMemory && effect.domain == 2) {
+      unmaps_peer = true;
+    }
+  }
+  EXPECT_TRUE(unmaps_peer);
+}
+
 TEST_F(EngineEdgeTest, CapToStringIsInformative) {
   const CapId mem = *engine_.MintMemory(0, AddrRange{0x1000, 0x1000}, Perms(Perms::kRW),
                                         CapRights(CapRights::kAll));

@@ -5,13 +5,72 @@
 
 #include <gtest/gtest.h>
 
+#include "src/monitor/attestation.h"
+#include "src/monitor/vtx_backend.h"
+#include "src/support/faults.h"
 #include "src/tyche/channel.h"
 #include "tests/testing/booted_machine.h"
 
 namespace tyche {
 namespace {
 
-class FailureInjectionTest : public BootedMachineTest {};
+class FailureInjectionTest : public BootedMachineTest {
+ protected:
+  // A circular sharing loop: OS -> A -> B -> A over one scratch window.
+  // Returns the root share (OS -> A); revoking it cascades through the loop.
+  struct Loop {
+    DomainId domain_a = kInvalidDomain;
+    DomainId domain_b = kInvalidDomain;
+    CapId handle_a = kInvalidCap;
+    CapId handle_b = kInvalidCap;
+    CapId root_share = kInvalidCap;
+    AddrRange window;
+  };
+
+  Loop BuildCircularLoop() {
+    Loop loop;
+    const auto a = monitor_->CreateDomain(0, "a");
+    const auto b = monitor_->CreateDomain(0, "b");
+    EXPECT_TRUE(a.ok() && b.ok());
+    loop.domain_a = a->domain;
+    loop.domain_b = b->domain;
+    loop.handle_a = a->handle;
+    loop.handle_b = b->handle;
+    const auto b_for_a = monitor_->ShareUnit(0, loop.handle_b, loop.handle_a,
+                                             CapRights(CapRights::kAll), RevocationPolicy{});
+    const auto a_for_b = monitor_->ShareUnit(0, loop.handle_a, loop.handle_b,
+                                             CapRights(CapRights::kAll), RevocationPolicy{});
+    EXPECT_TRUE(b_for_a.ok() && a_for_b.ok());
+
+    loop.window = Scratch(kMiB, 16 * kPageSize);
+    const auto to_a = monitor_->ShareMemory(0, OsMemCap(loop.window), loop.handle_a,
+                                            loop.window, Perms(Perms::kRW),
+                                            CapRights(CapRights::kAll), RevocationPolicy{});
+    EXPECT_TRUE(to_a.ok());
+    loop.root_share = *to_a;
+    machine_->cpu(1).set_current_domain(loop.domain_a);
+    const auto to_b = monitor_->ShareMemory(
+        1, *to_a, *b_for_a, AddrRange{loop.window.base, 8 * kPageSize},
+        Perms(Perms::kRW), CapRights(CapRights::kAll), RevocationPolicy{});
+    EXPECT_TRUE(to_b.ok());
+    machine_->cpu(2).set_current_domain(loop.domain_b);
+    const auto back_to_a = monitor_->ShareMemory(
+        2, *to_b, *a_for_b, AddrRange{loop.window.base, 4 * kPageSize},
+        Perms(Perms::kRead), CapRights{}, RevocationPolicy{});
+    EXPECT_TRUE(back_to_a.ok());
+    machine_->cpu(1).set_current_domain(os_domain_);
+    machine_->cpu(2).set_current_domain(os_domain_);
+    return loop;
+  }
+
+  void VerifyJournalAgainstLiveGraph() {
+    const TelemetrySnapshot snapshot = monitor_->DumpTelemetry();
+    const Status verified = RemoteVerifier::VerifyJournal(
+        monitor_->ExportJournal(), monitor_->public_key(),
+        &snapshot.capability_graph_json);
+    EXPECT_TRUE(verified.ok()) << verified.ToString();
+  }
+};
 
 TEST_F(FailureInjectionTest, MetadataPoolExhaustionIsGraceful) {
   // A tiny monitor reservation: EPT frames run out after a few domains.
@@ -144,6 +203,79 @@ TEST_F(FailureInjectionTest, LoaderRejectsBrokenInputs) {
   EXPECT_FALSE(second.ok());
   // After all the failures: tree and hardware still agree.
   EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+}
+
+TEST_F(FailureInjectionTest, RevokeCascadeUnderBackendFailureNeverTearsState) {
+  const Loop loop = BuildCircularLoop();
+  {
+    // The first EPT sync of the cascade's effect application fails.
+    ScopedFaultPlan plan(FaultPlan::Single(faults::kVtxSyncMemory, /*trigger=*/1));
+    const Status revoked = monitor_->Revoke(0, loop.root_share);
+    // Revocation is a cleanup guarantee (§3.2): it is never rolled back. The
+    // backend failure surfaces as the typed injected error instead.
+    EXPECT_EQ(revoked.code(), ErrorCode::kAccessViolation) << revoked.ToString();
+  }
+  // The tree committed: the whole loop is gone for BOTH domains.
+  EXPECT_TRUE(monitor_->engine().EffectivePerms(loop.domain_a, loop.window.base).empty());
+  EXPECT_TRUE(monitor_->engine().EffectivePerms(loop.domain_b, loop.window.base).empty());
+  // The backend fell back to its fail-safe (deny) state for the domain whose
+  // sync was torn: hardware enforces a subset of the tree, so the audit and
+  // the offline journal replay both still hold.
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+  VerifyJournalAgainstLiveGraph();
+
+  // Liveness: a later successful operation repairs enforcement fully.
+  const AddrRange fresh{loop.window.base, 4 * kPageSize};
+  const auto reshared = monitor_->ShareMemory(0, OsMemCap(loop.window), loop.handle_a,
+                                              fresh, Perms(Perms::kRW),
+                                              CapRights(CapRights::kAll), RevocationPolicy{});
+  ASSERT_TRUE(reshared.ok()) << reshared.status().ToString();
+  auto* backend = static_cast<VtxBackend*>(&monitor_->backend());
+  EXPECT_FALSE(backend->Degraded(loop.domain_a));
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+}
+
+TEST_F(FailureInjectionTest, DestroyDomainUnderBackendFailureStillPurges) {
+  const Loop loop = BuildCircularLoop();
+  Status destroyed = OkStatus();
+  {
+    ScopedFaultPlan plan(FaultPlan::Single(faults::kVtxSyncMemory, /*trigger=*/1));
+    destroyed = monitor_->DestroyDomain(0, loop.handle_b);
+  }
+  // The purge is the commit point: B is gone and its handle is stale, even
+  // though the backend reported a (typed) failure applying the effects.
+  EXPECT_EQ(destroyed.code(), ErrorCode::kAccessViolation) << destroyed.ToString();
+  EXPECT_FALSE(monitor_->engine().IsRegistered(loop.domain_b));
+  EXPECT_FALSE(monitor_->DestroyDomain(0, loop.handle_b).ok());
+  // A keeps what it holds independently of B; what it received from B died
+  // with the purge.
+  EXPECT_FALSE(monitor_->engine().EffectivePerms(loop.domain_a, loop.window.base).empty());
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+  VerifyJournalAgainstLiveGraph();
+
+  // The other domain can still be destroyed cleanly afterwards.
+  EXPECT_TRUE(monitor_->DestroyDomain(0, loop.handle_a).ok());
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+  VerifyJournalAgainstLiveGraph();
+}
+
+TEST_F(FailureInjectionTest, ShareRollbackRestoresTreeAndJournalReplays) {
+  const Loop loop = BuildCircularLoop();
+  const auto before = monitor_->engine().DomainCaps(loop.domain_b).size();
+  const AddrRange extra = Scratch(4 * kMiB, 4 * kPageSize);
+  {
+    ScopedFaultPlan plan(FaultPlan::Single(faults::kVtxSyncMemory, /*trigger=*/1));
+    const auto shared = monitor_->ShareMemory(0, OsMemCap(extra), loop.handle_b, extra,
+                                              Perms(Perms::kRW), CapRights(CapRights::kAll),
+                                              RevocationPolicy{});
+    // The share is transactional: backend failure -> typed error AND the
+    // capability-tree mutation is rolled back.
+    EXPECT_EQ(shared.status().code(), ErrorCode::kAccessViolation);
+  }
+  EXPECT_EQ(monitor_->engine().DomainCaps(loop.domain_b).size(), before);
+  EXPECT_TRUE(monitor_->engine().EffectivePerms(loop.domain_b, extra.base).empty());
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+  VerifyJournalAgainstLiveGraph();
 }
 
 TEST_F(FailureInjectionTest, ChannelSurvivesHostileCounters) {

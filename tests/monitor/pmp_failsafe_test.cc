@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "src/monitor/pmp_backend.h"
+#include "src/support/faults.h"
 #include "tests/testing/booted_machine.h"
 
 namespace tyche {
@@ -96,6 +97,54 @@ TEST_F(PmpFailsafeTest, RevocationSplitNeverLeavesStaleAccess) {
   EXPECT_GT(*backend->DomainEntryCount(created->domain), 0);
   EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
   ASSERT_TRUE(monitor_->ReturnFromDomain(1).ok());
+}
+
+// Regression: SyncMemory visits EVERY hart running the domain. It used to
+// return after the first hart's rewrite, so a failure on a later hart was
+// silently skipped -- leaving that core enforcing the stale (possibly
+// revoked) program. Now the per-core failure propagates to the caller and
+// the domain drops to deny-all on ALL harts: no torn split where one core
+// runs the new program and another the old one.
+TEST_F(PmpFailsafeTest, PerCoreWriteFailurePropagatesAndDeniesAllHarts) {
+  const auto created = monitor_->CreateDomain(0, "twocore");
+  ASSERT_TRUE(created.ok());
+  const CapId handle = created->handle;
+  const AddrRange page{Scratch(0, 0).base, kPageSize};
+  ASSERT_TRUE(monitor_
+                  ->ShareMemory(0, OsMemCap(page), handle, page, Perms(Perms::kRW),
+                                CapRights{}, RevocationPolicy{})
+                  .ok());
+  for (const CoreId core : {CoreId{1}, CoreId{2}}) {
+    ASSERT_TRUE(monitor_
+                    ->ShareUnit(0, OsCoreCap(core), handle, CapRights{},
+                                RevocationPolicy{})
+                    .ok());
+  }
+  ASSERT_TRUE(monitor_->SetEntryPoint(0, handle, page.base).ok());
+  ASSERT_TRUE(monitor_->Transition(1, handle).ok());
+  ASSERT_TRUE(monitor_->Transition(2, handle).ok());
+  EXPECT_TRUE(machine_->CheckedRead64(1, page.base).ok());
+  EXPECT_TRUE(machine_->CheckedRead64(2, page.base).ok());
+
+  auto* backend = static_cast<PmpBackend*>(&monitor_->backend());
+  {
+    // The recompile succeeds; the rewrite of the SECOND hart fails.
+    ScopedFaultPlan plan(FaultPlan::Single(faults::kPmpBindCore, /*trigger=*/2));
+    const Status synced = backend->SyncMemory(created->domain, page);
+    EXPECT_EQ(synced.code(), ErrorCode::kInternal) << synced.ToString();
+  }
+  // Fail safe: BOTH harts deny, not just the one whose write failed.
+  EXPECT_TRUE(backend->Denied(created->domain));
+  EXPECT_FALSE(machine_->CheckedRead64(1, page.base).ok());
+  EXPECT_FALSE(machine_->CheckedRead64(2, page.base).ok());
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
+
+  // Recovery: the next clean sync reinstates enforcement on every hart.
+  ASSERT_TRUE(backend->SyncMemory(created->domain, page).ok());
+  EXPECT_FALSE(backend->Denied(created->domain));
+  EXPECT_TRUE(machine_->CheckedRead64(1, page.base).ok());
+  EXPECT_TRUE(machine_->CheckedRead64(2, page.base).ok());
+  EXPECT_TRUE(*monitor_->AuditHardwareConsistency());
 }
 
 }  // namespace

@@ -1,0 +1,156 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Unit tests for the deterministic fault injector: Nth-occurrence firing,
+// repeat mode, counting mode, seeded plan derivation, and the disabled
+// fast path.
+
+#include "src/support/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace tyche {
+namespace {
+
+constexpr std::string_view kSiteA = "test.site_a";
+constexpr std::string_view kSiteB = "test.site_b";
+
+// A function body the way production code uses the hook: the macro returns
+// the injected Status from the enclosing function.
+Status HookedOperation(std::string_view site) {
+  TYCHE_FAULT_POINT(site);
+  return OkStatus();
+}
+
+Result<int> HookedResultOperation(std::string_view site, int value) {
+  TYCHE_FAULT_POINT(site);
+  return value;
+}
+
+class FaultsTest : public ::testing::Test {
+ protected:
+  ~FaultsTest() override { FaultInjector::Instance().Disarm(); }
+};
+
+TEST_F(FaultsTest, DisabledHookIsInvisible) {
+  ASSERT_FALSE(FaultInjector::active());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(HookedOperation(kSiteA).ok());
+  }
+  // Nothing was counted: a later counting run starts from zero.
+  FaultInjector::Instance().StartCounting();
+  EXPECT_TRUE(HookedOperation(kSiteA).ok());
+  const auto counts = FaultInjector::Instance().StopCounting();
+  ASSERT_TRUE(counts.contains(std::string(kSiteA)));
+  EXPECT_EQ(counts.at(std::string(kSiteA)), 1u);
+}
+
+TEST_F(FaultsTest, FiresAtExactlyTheNthOccurrence) {
+  ScopedFaultPlan plan(
+      FaultPlan::Single(kSiteA, /*trigger=*/3, ErrorCode::kIommuFault));
+  EXPECT_TRUE(HookedOperation(kSiteA).ok());  // occurrence 1
+  EXPECT_TRUE(HookedOperation(kSiteA).ok());  // occurrence 2
+  const Status injected = HookedOperation(kSiteA);  // occurrence 3
+  ASSERT_FALSE(injected.ok());
+  EXPECT_EQ(injected.code(), ErrorCode::kIommuFault);
+  EXPECT_NE(injected.message().find("injected fault"), std::string::npos);
+  EXPECT_TRUE(HookedOperation(kSiteA).ok());  // single-shot: 4 passes
+  // A different site under the same plan never fails.
+  EXPECT_TRUE(HookedOperation(kSiteB).ok());
+
+  EXPECT_EQ(FaultInjector::Instance().fired_count(), 1u);
+  const auto fired = FaultInjector::Instance().fired_sites();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], std::string(kSiteA));
+}
+
+TEST_F(FaultsTest, WorksInResultReturningFunctions) {
+  ScopedFaultPlan plan(
+      FaultPlan::Single(kSiteA, /*trigger=*/1, ErrorCode::kResourceExhausted));
+  const Result<int> failed = HookedResultOperation(kSiteA, 7);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), ErrorCode::kResourceExhausted);
+  const Result<int> passed = HookedResultOperation(kSiteA, 7);
+  ASSERT_TRUE(passed.ok());
+  EXPECT_EQ(*passed, 7);
+}
+
+TEST_F(FaultsTest, RepeatSpecFailsEveryOccurrenceFromTrigger) {
+  FaultPlan plan;
+  plan.Add(FaultSpec{std::string(kSiteA), /*trigger=*/2,
+                     ErrorCode::kPmpExhausted, /*repeat=*/true});
+  ScopedFaultPlan scoped(plan);
+  EXPECT_TRUE(HookedOperation(kSiteA).ok());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(HookedOperation(kSiteA).code(), ErrorCode::kPmpExhausted);
+  }
+  EXPECT_EQ(FaultInjector::Instance().fired_count(), 5u);
+}
+
+TEST_F(FaultsTest, CountingModeObservesWithoutFailing) {
+  FaultInjector::Instance().StartCounting();
+  ASSERT_TRUE(FaultInjector::active());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(HookedOperation(kSiteA).ok());
+  }
+  EXPECT_TRUE(HookedOperation(kSiteB).ok());
+  const auto counts = FaultInjector::Instance().StopCounting();
+  EXPECT_FALSE(FaultInjector::active());
+  EXPECT_EQ(counts.at(std::string(kSiteA)), 3u);
+  EXPECT_EQ(counts.at(std::string(kSiteB)), 1u);
+}
+
+TEST_F(FaultsTest, ArmResetsOccurrenceCounters) {
+  {
+    ScopedFaultPlan plan(FaultPlan::Single(kSiteA, /*trigger=*/2));
+    EXPECT_TRUE(HookedOperation(kSiteA).ok());
+  }
+  // Re-arming starts occurrence numbering from scratch: the first hit after
+  // Arm() is occurrence 1 again, so trigger 2 needs two fresh hits.
+  ScopedFaultPlan plan(FaultPlan::Single(kSiteA, /*trigger=*/2));
+  EXPECT_TRUE(HookedOperation(kSiteA).ok());
+  EXPECT_FALSE(HookedOperation(kSiteA).ok());
+}
+
+TEST_F(FaultsTest, FromSeedIsDeterministicAndRespectsCounts) {
+  const std::map<std::string, uint64_t> counts = {
+      {std::string(kSiteA), 5}, {std::string(kSiteB), 2}, {"test.site_c", 1}};
+  std::set<std::string> plans_seen;
+  std::set<std::string> sites_seen;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    const FaultPlan plan = FaultPlan::FromSeed(seed, counts);
+    ASSERT_EQ(plan.specs().size(), 1u) << "seed " << seed;
+    const FaultSpec& spec = plan.specs()[0];
+    ASSERT_TRUE(counts.contains(spec.site)) << spec.site;
+    EXPECT_GE(spec.trigger, 1u);
+    EXPECT_LE(spec.trigger, counts.at(spec.site));
+    EXPECT_EQ(spec.code, DefaultFaultCode(spec.site));
+    // Determinism: the same seed and counts always produce the same plan.
+    EXPECT_EQ(plan.ToString(), FaultPlan::FromSeed(seed, counts).ToString());
+    plans_seen.insert(plan.ToString());
+    sites_seen.insert(spec.site);
+  }
+  // The weighted pick actually spreads across sites and occurrences.
+  EXPECT_GE(sites_seen.size(), 2u);
+  EXPECT_GE(plans_seen.size(), 4u);
+}
+
+TEST_F(FaultsTest, FromSeedWithNoOccurrencesIsEmpty) {
+  EXPECT_TRUE(FaultPlan::FromSeed(42, {}).empty());
+}
+
+TEST_F(FaultsTest, CanonicalSitesAreUniqueWithHardwareShapedCodes) {
+  const auto& sites = AllFaultSites();
+  EXPECT_GE(sites.size(), 15u);
+  std::set<std::string_view> unique(sites.begin(), sites.end());
+  EXPECT_EQ(unique.size(), sites.size());
+  EXPECT_EQ(DefaultFaultCode(faults::kFrameAlloc), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(DefaultFaultCode(faults::kPmpRecompile), ErrorCode::kPmpExhausted);
+  EXPECT_EQ(DefaultFaultCode(faults::kIommuAttach), ErrorCode::kIommuFault);
+  EXPECT_EQ(DefaultFaultCode(faults::kAeadOpen), ErrorCode::kSignatureInvalid);
+  EXPECT_EQ(DefaultFaultCode(faults::kVtxSyncMemory), ErrorCode::kAccessViolation);
+}
+
+}  // namespace
+}  // namespace tyche
