@@ -1,0 +1,211 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Recovery-subsystem cost. Four questions:
+//
+//  1. Snapshot capture: what does a signed checkpoint pay to serialize and
+//     hash-commit the full monitor state (engine tree, domain table,
+//     allocators)?
+//  2. Replay throughput: records/second through the shadow-replay engine --
+//     this bounds how much journal suffix a recovery can afford.
+//  3. End-to-end Recover(): verify + restore + replay + full hardware
+//     re-sync, on both backends.
+//  4. The fast-path bill: dispatch latency with the recovery machinery
+//     armed (snapshot store bound, checkpoints signing) must stay within
+//     noise of the journal-on dispatch path, and with the journal off it
+//     must stay at the journal-off baseline -- the machinery is free when
+//     idle because the snapshot provider only runs when a checkpoint signs.
+//
+// Like bench_journal, the dispatched op is kTakeInterrupt with an empty
+// queue so the fast-path numbers measure plumbing, not capability work.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/monitor/audit.h"
+#include "src/monitor/dispatch.h"
+#include "src/monitor/recovery.h"
+#include "src/os/testbed.h"
+#include "src/support/log.h"
+
+namespace tyche {
+namespace {
+
+constexpr uint64_t kMiB = 1ull << 20;
+
+// A populated monitor: extra domains with shares and one grant each, so
+// snapshots and replays work on a non-trivial capability tree.
+void PopulateState(Testbed& bed, int domains) {
+  Monitor& monitor = bed.monitor();
+  const CapRights all{CapRights::kAll};
+  const RevocationPolicy policy;
+  for (int i = 0; i < domains; ++i) {
+    const auto domain = monitor.CreateDomain(0, "bench-" + std::to_string(i));
+    if (!domain.ok()) {
+      std::abort();
+    }
+    const AddrRange share_window{bed.Scratch((1 + 2 * i) * kMiB), 8 * kPageSize};
+    const auto share_cap = bed.OsMemCap(share_window);
+    if (!share_cap.ok() ||
+        !monitor
+             .ShareMemory(0, *share_cap, domain->handle, share_window,
+                          Perms(Perms::kRW), all, policy)
+             .ok()) {
+      std::abort();
+    }
+    const AddrRange grant_window{bed.Scratch((2 + 2 * i) * kMiB), 4 * kPageSize};
+    const auto grant_cap = bed.OsMemCap(grant_window);
+    if (!grant_cap.ok() ||
+        !monitor
+             .GrantMemory(0, *grant_cap, domain->handle, grant_window,
+                          Perms(Perms::kRW), all, policy)
+             .ok()) {
+      std::abort();
+    }
+  }
+}
+
+Testbed MakeBed(IsaArch arch, int domains) {
+  TestbedOptions options;
+  options.arch = arch;
+  auto bed = Testbed::Create(options);
+  if (!bed.ok()) {
+    std::abort();
+  }
+  PopulateState(*bed, domains);
+  return std::move(*bed);
+}
+
+void BM_SnapshotCapture(benchmark::State& state) {
+  Testbed bed = MakeBed(IsaArch::kX86_64, static_cast<int>(state.range(0)));
+  std::vector<uint8_t> snapshot;
+  for (auto _ : state) {
+    snapshot = bed.monitor().CaptureSnapshot();
+    benchmark::DoNotOptimize(snapshot.data());
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(snapshot.size());
+}
+BENCHMARK(BM_SnapshotCapture)->Arg(2)->Arg(8)->Arg(24);
+
+void BM_SnapshotDigest(benchmark::State& state) {
+  Testbed bed = MakeBed(IsaArch::kX86_64, 8);
+  const std::vector<uint8_t> snapshot = bed.monitor().CaptureSnapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SnapshotDigest(snapshot));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(snapshot.size()));
+}
+BENCHMARK(BM_SnapshotDigest);
+
+void BM_JournalReplay(benchmark::State& state) {
+  Testbed bed = MakeBed(IsaArch::kX86_64, static_cast<int>(state.range(0)));
+  const std::vector<JournalRecord> records = bed.monitor().audit().journal().Records();
+  for (auto _ : state) {
+    CapabilityEngine shadow;
+    const auto replay = ReplayJournalInto(&shadow, records);
+    if (!replay.ok()) {
+      std::abort();
+    }
+    benchmark::DoNotOptimize(replay->applied);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(records.size()));
+  state.counters["journal_records"] = static_cast<double>(records.size());
+}
+BENCHMARK(BM_JournalReplay)->Arg(8)->Arg(24);
+
+// End-to-end: the live monitor recovers onto itself from its own journal
+// and latest snapshot -- chain verification, snapshot restore, suffix
+// replay, full backend rebuild, device reconciliation, core re-binding.
+// `domains` stays small on the PMP backend: each grant fragments the OS
+// domain's address space, and a 16-entry PMP file only holds so many ranges.
+void RecoverLoop(benchmark::State& state, IsaArch arch, int domains) {
+  Logger::Get().set_level(LogLevel::kError);  // one kWarn per recovery otherwise
+  Testbed bed = MakeBed(arch, domains);
+  Monitor& monitor = bed.monitor();
+  SnapshotStore store;
+  monitor.EnableSnapshots(&store);
+  monitor.audit().journal().Checkpoint();  // binds one snapshot at the head
+  const auto snapshot = store.Latest();
+  if (!snapshot.ok()) {
+    std::abort();
+  }
+  const auto parsed = Journal::Deserialize(monitor.audit().journal().Serialize());
+  if (!parsed.ok()) {
+    std::abort();
+  }
+  for (auto _ : state) {
+    const Status recovered = monitor.Recover(snapshot->bytes, *parsed);
+    if (!recovered.ok()) {
+      std::abort();
+    }
+  }
+  state.counters["journal_records"] = static_cast<double>(parsed->records.size());
+}
+
+void BM_RecoverEndToEnd_Vtx(benchmark::State& state) {
+  RecoverLoop(state, IsaArch::kX86_64, 8);
+}
+void BM_RecoverEndToEnd_Pmp(benchmark::State& state) {
+  RecoverLoop(state, IsaArch::kRiscV, 3);
+}
+BENCHMARK(BM_RecoverEndToEnd_Vtx);
+BENCHMARK(BM_RecoverEndToEnd_Pmp);
+
+// The fast-path bill. `armed` binds a snapshot store (checkpoints capture
+// and commit snapshots); `journal_on` controls the append path itself.
+void DispatchLoop(benchmark::State& state, bool journal_on, bool armed) {
+  auto bed = Testbed::Create(TestbedOptions{});
+  if (!bed.ok()) {
+    std::abort();
+  }
+  Monitor& monitor = bed->monitor();
+  monitor.telemetry().set_trace_enabled(false);
+  monitor.telemetry().set_histograms_enabled(false);
+  monitor.audit().set_enabled(journal_on);
+  SnapshotStore store;
+  if (armed) {
+    monitor.EnableSnapshots(&store);
+  }
+
+  ApiRegs regs;
+  regs.op = static_cast<uint64_t>(ApiOp::kTakeInterrupt);
+  size_t dispatched = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dispatch(&monitor, 0, regs));
+    if (journal_on && ++dispatched == (64u << 10)) {
+      state.PauseTiming();
+      monitor.audit().journal().Clear();  // seqs restart: the store re-overwrites
+      dispatched = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.counters["snapshots_taken"] = static_cast<double>(store.size());
+}
+
+// The acceptance bar: RecoveryArmed_JournalOff == JournalOff (idle recovery
+// machinery costs nothing), RecoveryArmed_JournalOn within noise of the
+// bench_journal BM_Dispatch_JournalOn path (snapshots amortize across the
+// checkpoint interval).
+void BM_Dispatch_JournalOff(benchmark::State& state) {
+  DispatchLoop(state, /*journal_on=*/false, /*armed=*/false);
+}
+void BM_Dispatch_RecoveryArmed_JournalOff(benchmark::State& state) {
+  DispatchLoop(state, /*journal_on=*/false, /*armed=*/true);
+}
+void BM_Dispatch_JournalOn(benchmark::State& state) {
+  DispatchLoop(state, /*journal_on=*/true, /*armed=*/false);
+}
+void BM_Dispatch_RecoveryArmed_JournalOn(benchmark::State& state) {
+  DispatchLoop(state, /*journal_on=*/true, /*armed=*/true);
+}
+BENCHMARK(BM_Dispatch_JournalOff);
+BENCHMARK(BM_Dispatch_RecoveryArmed_JournalOff);
+BENCHMARK(BM_Dispatch_JournalOn);
+BENCHMARK(BM_Dispatch_RecoveryArmed_JournalOn);
+
+}  // namespace
+}  // namespace tyche
+
+BENCHMARK_MAIN();

@@ -689,4 +689,56 @@ std::string CapabilityEngine::DumpTree() const {
   return out.str();
 }
 
+EngineImage CapabilityEngine::Capture() const {
+  EngineImage image;
+  image.caps.reserve(caps_.size());
+  for (const auto& [id, cap] : caps_) {
+    image.caps.push_back(cap);
+  }
+  image.domains.reserve(domains_.size());
+  for (const auto& [id, info] : domains_) {
+    image.domains.push_back(EngineImage::DomainEntry{id, info.creator, info.sealed});
+  }
+  image.next_id = next_id_;
+  return image;
+}
+
+Status CapabilityEngine::Restore(const EngineImage& image) {
+  // Validate before mutating anything: a corrupted snapshot must not leave
+  // the engine half-installed.
+  std::map<CapDomainId, DomainInfo> domains;
+  for (const EngineImage::DomainEntry& entry : image.domains) {
+    if (!domains.emplace(entry.id, DomainInfo{entry.creator, entry.sealed}).second) {
+      return Error(ErrorCode::kInvalidArgument, "engine image: duplicate domain");
+    }
+  }
+  std::map<CapId, Capability> caps;
+  for (const Capability& cap : image.caps) {
+    if (cap.id == kInvalidCap || cap.id >= image.next_id) {
+      return Error(ErrorCode::kInvalidArgument, "engine image: cap id out of range");
+    }
+    if (domains.find(cap.owner) == domains.end()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "engine image: cap owned by unregistered domain");
+    }
+    if (!caps.emplace(cap.id, cap).second) {
+      return Error(ErrorCode::kInvalidArgument, "engine image: duplicate cap id");
+    }
+  }
+  for (const auto& [id, cap] : caps) {
+    if (cap.parent != kInvalidCap && caps.find(cap.parent) == caps.end()) {
+      return Error(ErrorCode::kInvalidArgument, "engine image: dangling parent");
+    }
+    for (const CapId child : cap.children) {
+      if (caps.find(child) == caps.end()) {
+        return Error(ErrorCode::kInvalidArgument, "engine image: dangling child");
+      }
+    }
+  }
+  caps_ = std::move(caps);
+  domains_ = std::move(domains);
+  next_id_ = image.next_id;
+  return OkStatus();
+}
+
 }  // namespace tyche

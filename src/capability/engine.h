@@ -96,6 +96,20 @@ struct RegionView {
   uint32_t ref_count() const { return static_cast<uint32_t>(domains.size()); }
 };
 
+// A value-type copy of the engine's complete state — every lineage node
+// (active or not), the domain table, and the id allocator. Capture/Restore
+// round-trips through this for snapshots and recovery.
+struct EngineImage {
+  struct DomainEntry {
+    CapDomainId id = 0;
+    CapDomainId creator = 0;
+    bool sealed = false;
+  };
+  std::vector<Capability> caps;     // in id order
+  std::vector<DomainEntry> domains; // in id order
+  CapId next_id = 1;
+};
+
 class CapabilityEngine {
  public:
   CapabilityEngine() = default;
@@ -189,6 +203,15 @@ class CapabilityEngine {
   // Walks EVERY lineage node, active or not, in id order. Revoked and
   // donated nodes are history a verifier may want to see (graph export).
   void ForEach(const std::function<void(const Capability&)>& fn) const;
+
+  // --- Snapshot / recovery support ---
+
+  // A complete value copy of the engine state.
+  EngineImage Capture() const;
+  // Replaces the engine state with `image`. Rejects internally inconsistent
+  // images (id mismatches, parents pointing at missing nodes, caps owned by
+  // unregistered domains) so a corrupted snapshot cannot half-install.
+  Status Restore(const EngineImage& image);
 
  private:
   Capability& NewCap(CapDomainId owner, ResourceKind kind);

@@ -52,6 +52,11 @@ class PmpFile {
   Status ClearEntry(int index, CycleAccount* cycles);
   Result<PmpEntry> GetEntry(int index) const;
 
+  // Hart reset: every entry returns to kOff and lock bits clear. Lock bits
+  // only survive until the next reset -- that is what makes them safe to
+  // use for the monitor guard in the first place.
+  void Reset() { entries_ = {}; }
+
   // Architectural check: finds the lowest-numbered matching entry and applies
   // its permissions. If no entry matches, access is denied (the monitor runs
   // with no default-allow: machine mode would be exempt, but domains are not).

@@ -23,6 +23,11 @@ Status Tpm::Extend(uint32_t pcr_index, const Digest& digest, std::string descrip
   return OkStatus();
 }
 
+void Tpm::Reset() {
+  pcrs_.assign(kNumPcrs, Digest{});
+  events_.clear();
+}
+
 Result<Digest> Tpm::ReadPcr(uint32_t pcr_index) const {
   if (pcr_index >= kNumPcrs) {
     return Error(ErrorCode::kOutOfRange, "PCR index out of range");

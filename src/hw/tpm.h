@@ -50,6 +50,11 @@ class Tpm {
   // PCR extend: pcr = SHA256(pcr || digest). Appends to the event log.
   Status Extend(uint32_t pcr_index, const Digest& digest, std::string description);
 
+  // Platform reset (power cycle / crash reboot): PCR banks return to zero
+  // and the event log clears. The endorsement-derived attestation key
+  // survives — it is fused, not volatile.
+  void Reset();
+
   Result<Digest> ReadPcr(uint32_t pcr_index) const;
 
   // Produces a signed quote over the selected PCRs.

@@ -269,9 +269,20 @@ Status RemoteVerifier::VerifyJournal(std::span<const uint8_t> journal_bytes,
   TYCHE_ASSIGN_OR_RETURN(const ParsedJournal parsed, Journal::Deserialize(journal_bytes));
   TYCHE_RETURN_IF_ERROR(
       Journal::VerifyChain(parsed.records, parsed.checkpoints, monitor_key));
+  if (!parsed.records.empty() && parsed.records.front().seq != 0) {
+    // A compacted journal starts mid-history: the chain above is anchored to
+    // a signed checkpoint, but a genesis replay is impossible without the
+    // anchoring snapshot (VerifyJournalWithSnapshot in recovery.h).
+    if (expected_graph_json != nullptr) {
+      return Error(ErrorCode::kFailedPrecondition,
+                   "journal: truncated journal needs its snapshot to replay "
+                   "(use --snapshot)");
+    }
+    return OkStatus();
+  }
   TYCHE_ASSIGN_OR_RETURN(const JournalReplay replay, ReplayJournal(parsed.records));
   if (expected_graph_json != nullptr && replay.graph_json != *expected_graph_json) {
-    return Error(ErrorCode::kAttestationMismatch,
+    return Error(ErrorCode::kJournalReplayDivergence,
                  "journal: replayed capability graph does not match the snapshot");
   }
   return OkStatus();

@@ -44,12 +44,49 @@ void AuditJournal::RegisterDomain(uint64_t span, uint32_t domain, uint32_t creat
   journal_.Append(record);
 }
 
-void AuditJournal::SealDomain(uint64_t span, uint32_t domain) {
+namespace {
+
+// The 32-byte measurement rides in the four u64 payload fields of the seal
+// record (little-endian quarters). PackedSealDigest reverses it.
+void PackSealDigest(JournalRecord* record, const Digest& digest) {
+  auto quarter = [&digest](size_t offset) {
+    uint64_t value = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      value |= static_cast<uint64_t>(digest.bytes[offset + i]) << (8 * i);
+    }
+    return value;
+  };
+  record->cap = quarter(0);
+  record->parent = quarter(8);
+  record->base = quarter(16);
+  record->size = quarter(24);
+}
+
+}  // namespace
+
+Digest PackedSealDigest(const JournalRecord& record) {
+  Digest digest;
+  auto unpack = [&digest](size_t offset, uint64_t value) {
+    for (size_t i = 0; i < 8; ++i) {
+      digest.bytes[offset + i] = static_cast<uint8_t>(value >> (8 * i));
+    }
+  };
+  unpack(0, record.cap);
+  unpack(8, record.parent);
+  unpack(16, record.base);
+  unpack(24, record.size);
+  return digest;
+}
+
+void AuditJournal::SealDomain(uint64_t span, uint32_t domain, const Digest& measurement,
+                              uint64_t entry_point) {
   if (!enabled()) {
     return;
   }
   JournalRecord record = Base(span, JournalEvent::kSealDomain);
   record.domain = domain;
+  PackSealDigest(&record, measurement);
+  record.aux = entry_point;
   journal_.Append(record);
 }
 
@@ -223,6 +260,15 @@ void AuditJournal::Abort(uint64_t span, uint16_t op, uint32_t requester, ErrorCo
   journal_.Append(record);
 }
 
+void AuditJournal::Recovery(uint64_t span, uint64_t recovered_seq) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kRecovery);
+  record.aux = recovered_seq;
+  journal_.Append(record);
+}
+
 void AuditJournal::Effect(uint64_t span, const CapEffect& effect) {
   if (!enabled()) {
     return;
@@ -265,22 +311,45 @@ std::vector<uint8_t> AuditJournal::Export() {
   return journal_.Serialize();
 }
 
-Result<JournalReplay> ReplayJournal(const std::vector<JournalRecord>& records) {
-  CapabilityEngine shadow;
+Result<JournalReplay> ReplayJournalInto(CapabilityEngine* shadow,
+                                        std::span<const JournalRecord> records,
+                                        const ReplayOptions& options) {
   JournalReplay replay;
   // Cascade/restore records are cross-checked against the outcome of the
   // enclosing revoke: drops and reorders the hash chain would also catch
   // become *semantic* divergences here.
   std::deque<CapId> expected_cascades;
   CapId expected_restore = kInvalidCap;
+  bool at_leading_edge = options.skip_leading_orphans;
 
   auto diverged = [](uint64_t seq, const std::string& what) {
-    return Error(ErrorCode::kAttestationMismatch,
+    return Error(ErrorCode::kJournalReplayDivergence,
                  "journal replay diverged at seq " + std::to_string(seq) + ": " + what);
   };
 
   for (const JournalRecord& record : records) {
     const auto event = static_cast<JournalEvent>(record.event);
+    if (at_leading_edge) {
+      if (event == JournalEvent::kCascade || event == JournalEvent::kRestore) {
+        // Orphaned confirmations of a revoke that landed before the snapshot
+        // point; the snapshot already contains their effects.
+        ++replay.skipped;
+        continue;
+      }
+      at_leading_edge = false;
+    }
+    if (event == JournalEvent::kRecovery) {
+      // A crash boundary inside the journal: the enclosing revoke completed
+      // in the engine before its record was written, but the monitor died
+      // before journaling the trailing cascade/restore confirmations. The
+      // recovery replay tolerated that cut; the full-history replay must
+      // tolerate it at the same place. Only the monitor can mint this
+      // record -- it is chained and checkpoint-signed like any other.
+      expected_cascades.clear();
+      expected_restore = kInvalidCap;
+      ++replay.skipped;
+      continue;
+    }
     if (event != JournalEvent::kCascade && event != JournalEvent::kRestore) {
       if (!expected_cascades.empty()) {
         return diverged(record.seq, "cascade records missing");
@@ -291,20 +360,21 @@ Result<JournalReplay> ReplayJournal(const std::vector<JournalRecord>& records) {
       case JournalEvent::kDispatch:
       case JournalEvent::kEffect:
       case JournalEvent::kOpAbort:
+      case JournalEvent::kRecovery:
         // Context records. An abort's compensating engine mutations were
         // journaled as ordinary records, so the shadow engine stays in
         // lockstep without special handling here.
         ++replay.skipped;
         continue;
       case JournalEvent::kRegisterDomain:
-        shadow.RegisterDomain(record.domain, record.dst);
+        shadow->RegisterDomain(record.domain, record.dst);
         break;
       case JournalEvent::kSealDomain:
-        shadow.SealDomain(record.domain);
+        shadow->SealDomain(record.domain);
         break;
       case JournalEvent::kMintMemory: {
-        const auto cap = shadow.MintMemory(record.domain, AddrRange{record.base, record.size},
-                                           Perms(record.perms), CapRights(record.rights));
+        const auto cap = shadow->MintMemory(record.domain, AddrRange{record.base, record.size},
+                                            Perms(record.perms), CapRights(record.rights));
         if (!cap.ok() || *cap != record.cap) {
           return diverged(record.seq, "mint_memory id mismatch");
         }
@@ -312,15 +382,15 @@ Result<JournalReplay> ReplayJournal(const std::vector<JournalRecord>& records) {
       }
       case JournalEvent::kMintUnit: {
         const auto cap =
-            shadow.MintUnit(record.domain, static_cast<ResourceKind>(record.resource),
-                            record.base, CapRights(record.rights));
+            shadow->MintUnit(record.domain, static_cast<ResourceKind>(record.resource),
+                             record.base, CapRights(record.rights));
         if (!cap.ok() || *cap != record.cap) {
           return diverged(record.seq, "mint_unit id mismatch");
         }
         break;
       }
       case JournalEvent::kShareMemory: {
-        const auto cap = shadow.ShareMemory(
+        const auto cap = shadow->ShareMemory(
             record.domain, record.parent, record.dst, AddrRange{record.base, record.size},
             Perms(record.perms), CapRights(record.rights), RevocationPolicy(record.policy),
             nullptr);
@@ -330,7 +400,7 @@ Result<JournalReplay> ReplayJournal(const std::vector<JournalRecord>& records) {
         break;
       }
       case JournalEvent::kGrantMemory: {
-        const auto outcome = shadow.GrantMemory(
+        const auto outcome = shadow->GrantMemory(
             record.domain, record.parent, record.dst, AddrRange{record.base, record.size},
             Perms(record.perms), CapRights(record.rights), RevocationPolicy(record.policy));
         if (!outcome.ok() || outcome->granted != record.cap ||
@@ -341,9 +411,9 @@ Result<JournalReplay> ReplayJournal(const std::vector<JournalRecord>& records) {
       }
       case JournalEvent::kShareUnit: {
         const auto cap =
-            shadow.ShareUnit(record.domain, record.parent, record.dst,
-                             CapRights(record.rights), RevocationPolicy(record.policy),
-                             nullptr);
+            shadow->ShareUnit(record.domain, record.parent, record.dst,
+                              CapRights(record.rights), RevocationPolicy(record.policy),
+                              nullptr);
         if (!cap.ok() || *cap != record.cap) {
           return diverged(record.seq, "share_unit id mismatch");
         }
@@ -351,15 +421,15 @@ Result<JournalReplay> ReplayJournal(const std::vector<JournalRecord>& records) {
       }
       case JournalEvent::kGrantUnit: {
         const auto outcome =
-            shadow.GrantUnit(record.domain, record.parent, record.dst,
-                             CapRights(record.rights), RevocationPolicy(record.policy));
+            shadow->GrantUnit(record.domain, record.parent, record.dst,
+                              CapRights(record.rights), RevocationPolicy(record.policy));
         if (!outcome.ok() || outcome->granted != record.cap) {
           return diverged(record.seq, "grant_unit outcome mismatch");
         }
         break;
       }
       case JournalEvent::kRevoke: {
-        const auto outcome = shadow.Revoke(record.domain, record.cap);
+        const auto outcome = shadow->Revoke(record.domain, record.cap);
         if (!outcome.ok() || outcome->revoked_count != record.aux) {
           return diverged(record.seq, "revoke outcome mismatch");
         }
@@ -381,7 +451,7 @@ Result<JournalReplay> ReplayJournal(const std::vector<JournalRecord>& records) {
         expected_restore = kInvalidCap;
         break;
       case JournalEvent::kPurgeDomain: {
-        const auto outcome = shadow.PurgeDomain(record.domain);
+        const auto outcome = shadow->PurgeDomain(record.domain);
         if (!outcome.ok() || outcome->revoked_count != record.aux) {
           return diverged(record.seq, "purge outcome mismatch");
         }
@@ -395,12 +465,17 @@ Result<JournalReplay> ReplayJournal(const std::vector<JournalRecord>& records) {
     }
     ++replay.applied;
   }
-  if (!expected_cascades.empty()) {
-    return Error(ErrorCode::kAttestationMismatch,
+  if (!expected_cascades.empty() && !options.tolerate_truncated_tail) {
+    return Error(ErrorCode::kJournalReplayDivergence,
                  "journal replay: trailing cascade records missing");
   }
-  replay.graph_json = ExportCapabilityGraphJson(shadow);
+  replay.graph_json = ExportCapabilityGraphJson(*shadow);
   return replay;
+}
+
+Result<JournalReplay> ReplayJournal(const std::vector<JournalRecord>& records) {
+  CapabilityEngine shadow;
+  return ReplayJournalInto(&shadow, records);
 }
 
 }  // namespace tyche

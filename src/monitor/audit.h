@@ -16,6 +16,7 @@
 #ifndef SRC_MONITOR_AUDIT_H_
 #define SRC_MONITOR_AUDIT_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -39,7 +40,12 @@ class AuditJournal {
   void Dispatch(uint64_t span, uint16_t op, uint32_t caller, uint64_t args_digest,
                 uint64_t error);
   void RegisterDomain(uint64_t span, uint32_t domain, uint32_t creator);
-  void SealDomain(uint64_t span, uint32_t domain);
+  // The seal record carries the finalized measurement (packed into
+  // cap/parent/base/size) and the entry point (aux) so recovery can rebuild
+  // the domain's attested identity from the journal alone — the rolling
+  // measurement context is not durable, but its final digest is.
+  void SealDomain(uint64_t span, uint32_t domain, const Digest& measurement,
+                  uint64_t entry_point);
   void MintMemory(uint64_t span, uint32_t owner, uint64_t cap, AddrRange range, Perms perms,
                   CapRights rights);
   void MintUnit(uint64_t span, uint32_t owner, uint64_t cap, ResourceKind kind, uint64_t unit,
@@ -67,6 +73,8 @@ class AuditJournal {
   // journaled as ordinary records, and this marks the whole span as aborted
   // with the operation's error code. Context-only for replay.
   void Abort(uint64_t span, uint16_t op, uint32_t requester, ErrorCode error);
+  // The monitor recovered from a crash, having replayed up to `recovered_seq`.
+  void Recovery(uint64_t span, uint64_t recovered_seq);
 
   // --- Introspection / export ---
   // One-paragraph text: record/checkpoint counts, per-event tallies, head.
@@ -89,11 +97,37 @@ struct JournalReplay {
   std::string graph_json;  // full-lineage export of the shadow engine
 };
 
-// Replays journaled engine mutations through a fresh shadow engine,
-// asserting every journaled capability id (shares, grants, cascades,
-// restores, remainder counts) matches what the shadow engine produced.
-// Fails with the diverging sequence number on any mismatch.
+// Tolerances a recovery replay needs that a full-history audit must NOT
+// grant. Both default off: the strict verifier path stays strict.
+struct ReplayOptions {
+  // A journal cut at an arbitrary record boundary can end mid-span, with a
+  // revoke's trailing cascade records missing. The engine mutation itself
+  // was journaled AFTER it completed, so the state is already consistent —
+  // tolerate the missing confirmations instead of failing.
+  bool tolerate_truncated_tail = false;
+  // A suffix that starts mid-span can OPEN with cascade/restore records
+  // whose enclosing revoke landed before the snapshot point; the snapshot
+  // already contains their effects. Skip them until the first real record.
+  bool skip_leading_orphans = false;
+};
+
+// Replays journaled engine mutations into `shadow` (which carries the state
+// the records build on — fresh for a full-history replay, snapshot-restored
+// for a suffix replay), asserting every journaled capability id (shares,
+// grants, cascades, restores, remainder counts) matches what the engine
+// produced. Fails with kJournalReplayDivergence and the diverging sequence
+// number on any mismatch.
+Result<JournalReplay> ReplayJournalInto(CapabilityEngine* shadow,
+                                        std::span<const JournalRecord> records,
+                                        const ReplayOptions& options = {});
+
+// Strict full-history replay through a fresh shadow engine.
 Result<JournalReplay> ReplayJournal(const std::vector<JournalRecord>& records);
+
+// The measurement a kSealDomain record carries (packed across its
+// cap/parent/base/size fields). Recovery uses it to rebuild attested
+// identities from the journal alone.
+Digest PackedSealDigest(const JournalRecord& record);
 
 }  // namespace tyche
 

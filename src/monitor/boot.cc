@@ -6,7 +6,7 @@
 
 namespace tyche {
 
-Result<BootOutcome> MeasuredBoot(Machine* machine, const BootParams& params) {
+Result<BootOutcome> PrepareMonitor(Machine* machine, const BootParams& params) {
   if (!IsPageAligned(params.monitor_memory_bytes) || params.monitor_memory_bytes == 0) {
     return Error(ErrorCode::kInvalidArgument, "monitor memory must be page aligned");
   }
@@ -56,6 +56,11 @@ Result<BootOutcome> MeasuredBoot(Machine* machine, const BootParams& params) {
                                               FrameAllocator(metadata_pool), key);
   outcome.monitor->SetBootMeasurements(outcome.firmware_measurement,
                                        outcome.monitor_measurement);
+  return outcome;
+}
+
+Result<BootOutcome> MeasuredBoot(Machine* machine, const BootParams& params) {
+  TYCHE_ASSIGN_OR_RETURN(BootOutcome outcome, PrepareMonitor(machine, params));
 
   // 5. Hand everything else to the initial domain.
   TYCHE_ASSIGN_OR_RETURN(outcome.initial_domain,

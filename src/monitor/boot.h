@@ -41,6 +41,13 @@ struct BootOutcome {
 // monitor's reservation.
 Result<BootOutcome> MeasuredBoot(Machine* machine, const BootParams& params);
 
+// Steps 1–4 only: measure firmware + monitor, derive the measurement-bound
+// key, construct the monitor — WITHOUT installing the initial domain.
+// MeasuredBoot() completes it with InstallInitialDomain();
+// MeasuredRecovery() (recovery.h) completes it with Monitor::Recover().
+// `outcome.initial_domain` is left invalid.
+Result<BootOutcome> PrepareMonitor(Machine* machine, const BootParams& params);
+
 // Canonical demo images (deterministic content) so examples/tests/benches
 // share golden measurements.
 std::vector<uint8_t> DemoFirmwareImage();

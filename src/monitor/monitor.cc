@@ -530,7 +530,7 @@ Status Monitor::Seal(CoreId core, CapId domain_handle) {
   domain->measurement = domain->measurement_ctx.Finalize();
   domain->state = DomainState::kSealed;
   engine_.SealDomain(target);
-  audit_.SealDomain(SpanForCore(core), target);
+  audit_.SealDomain(SpanForCore(core), target, domain->measurement, domain->entry_point);
   return OkStatus();
 }
 

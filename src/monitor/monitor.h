@@ -30,6 +30,8 @@
 
 namespace tyche {
 
+class SnapshotStore;  // recovery.h
+
 // The narrow API surface (every external entry point of the monitor).
 // Exposed as an enum for dispatch cost accounting and TCB-surface metrics.
 enum class ApiOp : uint8_t {
@@ -76,6 +78,9 @@ struct MonitorStats {
   uint64_t transitions = 0;
   uint64_t fast_transitions = 0;
   uint64_t revocations_cascaded = 0;
+  // Crash recoveries survived. The ONLY counter that crosses a Recover():
+  // everything else is reset so post-recovery dumps never mix epochs.
+  uint64_t recoveries = 0;
 
   // Capability-engine events: successful policy mutations...
   uint64_t shares = 0;       // ShareMemory + ShareUnit
@@ -260,6 +265,34 @@ class Monitor {
     firmware_measurement_ = firmware;
     monitor_measurement_ = monitor_image;
   }
+
+  // ===== Crash recovery (implemented in recovery.cc; DESIGN.md §8) =====
+
+  // Binds `store` into the journal's checkpoint path: every signed
+  // checkpoint captures the monitor's durable state into the store and binds
+  // its digest into the checkpoint signature. Costs nothing on the dispatch
+  // fast path — the provider only runs when a checkpoint is signed.
+  void EnableSnapshots(SnapshotStore* store);
+
+  // Serializes the durable state (engine image, domain table, id allocators,
+  // measurements) into a hash-committed snapshot (src/support/snapshot.h).
+  std::vector<uint8_t> CaptureSnapshot() const;
+
+  // Rebuilds this monitor from a snapshot plus the journal that extends it,
+  // then re-syncs all hardware and resumes the journal chain. The journal
+  // must verify (anchored chain + signatures; the tail-coverage rule is
+  // relaxed — a crashed monitor cannot sign its own death). An empty
+  // snapshot span means fresh-boot recovery: replay the whole journal from
+  // genesis. Re-entrant: a Recover() that fails mid-way (e.g. an injected
+  // re-sync fault) can simply be called again.
+  Status Recover(std::span<const uint8_t> snapshot_bytes, const ParsedJournal& journal);
+
+  // Rebuilds every hardware enforcement structure from the capability
+  // engine: fresh backend, per-domain contexts, memory sync, device
+  // reconciliation, core bindings. This is the degraded-hull / deny-all
+  // self-repair path lifted to first class: after it succeeds, hardware is a
+  // projection of the capability tree again.
+  Status ResyncAll();
 
  private:
   // Resolves the caller: the domain currently running on `core`.

@@ -10,7 +10,10 @@ namespace tyche {
 namespace {
 
 constexpr char kMagic[4] = {'T', 'Y', 'J', 'L'};
-constexpr uint32_t kVersion = 1;
+// v2 added a snapshot digest to every checkpoint (and to the signed
+// checkpoint statement). v1 journals are rejected rather than silently
+// upgraded: a v1 checkpoint signature does not cover a snapshot binding.
+constexpr uint32_t kVersion = 2;
 
 // Little-endian scalar append; the wire format and the hashed canonical
 // bytes share these helpers so they cannot drift apart.
@@ -103,6 +106,8 @@ const char* JournalEventName(JournalEvent event) {
       return "effect";
     case JournalEvent::kOpAbort:
       return "op_abort";
+    case JournalEvent::kRecovery:
+      return "recovery";
     case JournalEvent::kEventCount:
       break;
   }
@@ -111,11 +116,13 @@ const char* JournalEventName(JournalEvent event) {
 
 Digest JournalGenesis() { return Sha256::Hash("tyche-journal-genesis-v1"); }
 
-Digest JournalCheckpointDigest(uint64_t seq, const Digest& head) {
+Digest JournalCheckpointDigest(uint64_t seq, const Digest& head,
+                               const Digest& snapshot) {
   Sha256 ctx;
-  ctx.Update(std::string_view("tyche-journal-checkpoint-v1"));
+  ctx.Update(std::string_view("tyche-journal-checkpoint-v2"));
   ctx.UpdateValue(seq);
   ctx.Update(std::span<const uint8_t>(head.bytes.data(), head.bytes.size()));
+  ctx.Update(std::span<const uint8_t>(snapshot.bytes.data(), snapshot.bytes.size()));
   return ctx.Finalize();
 }
 
@@ -164,12 +171,22 @@ void Journal::set_signer(Signer signer) {
   signer_ = std::move(signer);
 }
 
+void Journal::set_snapshot_provider(SnapshotProvider provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_provider_ = std::move(provider);
+}
+
+void Journal::set_checkpoint_interval(size_t interval) {
+  std::lock_guard<std::mutex> lock(mu_);
+  checkpoint_interval_ = interval == 0 ? 1 : interval;
+}
+
 uint64_t Journal::Append(JournalRecord record) {
   if (!enabled()) {
     return kNoSeq;
   }
   std::lock_guard<std::mutex> lock(mu_);
-  record.seq = records_.size();
+  record.seq = base_seq_ + records_.size();
   record.tick = tick_ ? tick_() : 0;
   record.link = ChainLink(head_, record);
   head_ = record.link;
@@ -187,14 +204,18 @@ void Journal::CheckpointLocked() {
   if (!signer_ || records_.empty()) {
     return;
   }
-  const uint64_t seq = records_.size() - 1;
+  const uint64_t seq = base_seq_ + records_.size() - 1;
   if (!checkpoints_.empty() && checkpoints_.back().seq == seq) {
     return;  // head already covered
   }
   JournalCheckpoint checkpoint;
   checkpoint.seq = seq;
   checkpoint.head = head_;
-  checkpoint.signature = signer_(JournalCheckpointDigest(seq, head_));
+  if (snapshot_provider_) {
+    checkpoint.snapshot = snapshot_provider_(seq);
+  }
+  checkpoint.signature =
+      signer_(JournalCheckpointDigest(seq, head_, checkpoint.snapshot));
   checkpoints_.push_back(checkpoint);
 }
 
@@ -218,6 +239,11 @@ Digest Journal::head() const {
   return head_;
 }
 
+uint64_t Journal::base_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_seq_;
+}
+
 uint64_t Journal::EventCount(JournalEvent event) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto index = static_cast<size_t>(event);
@@ -239,7 +265,73 @@ void Journal::Clear() {
   records_.clear();
   checkpoints_.clear();
   head_ = JournalGenesis();
+  base_seq_ = 0;
   event_counts_ = {};
+}
+
+Status Journal::TruncateBefore(uint64_t checkpoint_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (checkpoint_seq < base_seq_ ||
+      checkpoint_seq >= base_seq_ + records_.size()) {
+    return Error(ErrorCode::kOutOfRange,
+                 "journal: truncate seq " + std::to_string(checkpoint_seq) +
+                     " outside held records");
+  }
+  const JournalCheckpoint* anchor = nullptr;
+  for (const JournalCheckpoint& checkpoint : checkpoints_) {
+    if (checkpoint.seq == checkpoint_seq) {
+      anchor = &checkpoint;
+      break;
+    }
+  }
+  if (anchor == nullptr) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "journal: no checkpoint at seq " + std::to_string(checkpoint_seq));
+  }
+  if (anchor->snapshot.IsZero()) {
+    // Without a snapshot the dropped prefix would be unrecoverable: nothing
+    // could reconstruct the engine state the surviving suffix builds on.
+    return Error(ErrorCode::kFailedPrecondition,
+                 "journal: checkpoint at seq " + std::to_string(checkpoint_seq) +
+                     " carries no snapshot");
+  }
+  const size_t drop = static_cast<size_t>(checkpoint_seq - base_seq_) + 1;
+  records_.erase(records_.begin(), records_.begin() + drop);
+  std::vector<JournalCheckpoint> kept;
+  for (const JournalCheckpoint& checkpoint : checkpoints_) {
+    if (checkpoint.seq >= checkpoint_seq) {
+      kept.push_back(checkpoint);  // the anchor itself is kept
+    }
+  }
+  checkpoints_ = std::move(kept);
+  base_seq_ = checkpoint_seq + 1;
+  // head_ is unchanged: it is the link of the newest record, which survives
+  // (or equals the anchor head when everything was compacted away).
+  // event_counts_ stay cumulative: they describe the full history.
+  return OkStatus();
+}
+
+void Journal::Restore(const std::vector<JournalRecord>& records,
+                      const std::vector<JournalCheckpoint>& checkpoints) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_ = records;
+  checkpoints_ = checkpoints;
+  event_counts_ = {};
+  for (const JournalRecord& record : records_) {
+    if (record.event < static_cast<uint8_t>(JournalEvent::kEventCount)) {
+      ++event_counts_[record.event];
+    }
+  }
+  if (!records_.empty()) {
+    base_seq_ = records_.front().seq;
+    head_ = records_.back().link;
+  } else if (!checkpoints_.empty()) {
+    base_seq_ = checkpoints_.back().seq + 1;
+    head_ = checkpoints_.back().head;
+  } else {
+    base_seq_ = 0;
+    head_ = JournalGenesis();
+  }
 }
 
 std::vector<uint8_t> Journal::SerializeParts(
@@ -259,6 +351,7 @@ std::vector<uint8_t> Journal::SerializeParts(
   for (const JournalCheckpoint& checkpoint : checkpoints) {
     AppendValue(&out, checkpoint.seq);
     AppendDigest(&out, checkpoint.head);
+    AppendDigest(&out, checkpoint.snapshot);
     AppendValue(&out, checkpoint.signature.s);
     AppendDigest(&out, checkpoint.signature.e);
   }
@@ -314,6 +407,7 @@ Result<ParsedJournal> Journal::Deserialize(std::span<const uint8_t> bytes) {
   for (uint64_t i = 0; i < checkpoint_count; ++i) {
     JournalCheckpoint checkpoint;
     const bool ok = reader.Read(&checkpoint.seq) && reader.ReadDigest(&checkpoint.head) &&
+                    reader.ReadDigest(&checkpoint.snapshot) &&
                     reader.Read(&checkpoint.signature.s) &&
                     reader.ReadDigest(&checkpoint.signature.e);
     if (!ok) {
@@ -329,49 +423,77 @@ Result<ParsedJournal> Journal::Deserialize(std::span<const uint8_t> bytes) {
 
 Status Journal::VerifyChain(const std::vector<JournalRecord>& records,
                             const std::vector<JournalCheckpoint>& checkpoints,
-                            const SchnorrPublicKey& key) {
+                            const SchnorrPublicKey& key,
+                            bool require_covered_tail) {
   Digest prev = JournalGenesis();
+  uint64_t base = 0;
+  size_t first_checkpoint = 0;
+  if (!records.empty() && records.front().seq != 0) {
+    // Compacted journal: the first surviving record must chain off a SIGNED
+    // anchor checkpoint at exactly first_seq - 1. Without the signature an
+    // attacker could truncate anywhere and invent a matching head.
+    base = records.front().seq;
+    if (checkpoints.empty() || checkpoints.front().seq != base - 1) {
+      return Error(ErrorCode::kJournalChainBroken,
+                   "journal: truncated journal lacks an anchor checkpoint at seq " +
+                       std::to_string(base - 1));
+    }
+    const JournalCheckpoint& anchor = checkpoints.front();
+    if (!SchnorrVerify(key,
+                       JournalCheckpointDigest(anchor.seq, anchor.head, anchor.snapshot),
+                       anchor.signature)) {
+      return Error(ErrorCode::kJournalSignatureInvalid,
+                   "journal: anchor checkpoint signature invalid");
+    }
+    prev = anchor.head;
+    first_checkpoint = 1;  // the anchor has no backing record to cross-check
+  }
   for (size_t i = 0; i < records.size(); ++i) {
     const JournalRecord& record = records[i];
-    if (record.seq != i) {
-      return Error(ErrorCode::kAttestationMismatch,
-                   "journal: record " + std::to_string(i) + " has seq " +
+    if (record.seq != base + i) {
+      return Error(ErrorCode::kJournalChainBroken,
+                   "journal: record " + std::to_string(base + i) + " has seq " +
                        std::to_string(record.seq) + " (drop or reorder)");
     }
     if (ChainLink(prev, record) != record.link) {
-      return Error(ErrorCode::kAttestationMismatch,
-                   "journal: hash chain broken at seq " + std::to_string(i));
+      return Error(ErrorCode::kJournalChainBroken,
+                   "journal: hash chain broken at seq " + std::to_string(base + i));
     }
     prev = record.link;
   }
   uint64_t last_seq = 0;
   bool have_checkpoint = false;
-  for (const JournalCheckpoint& checkpoint : checkpoints) {
-    if (have_checkpoint && checkpoint.seq <= last_seq) {
-      return Error(ErrorCode::kAttestationMismatch,
+  for (size_t c = first_checkpoint; c < checkpoints.size(); ++c) {
+    const JournalCheckpoint& checkpoint = checkpoints[c];
+    if ((have_checkpoint && checkpoint.seq <= last_seq) ||
+        (first_checkpoint == 1 && checkpoint.seq <= base - 1)) {
+      return Error(ErrorCode::kJournalChainBroken,
                    "journal: checkpoints out of order");
     }
-    if (checkpoint.seq >= records.size()) {
-      return Error(ErrorCode::kAttestationMismatch,
+    if (checkpoint.seq < base || checkpoint.seq - base >= records.size()) {
+      return Error(ErrorCode::kJournalChainBroken,
                    "journal: checkpoint beyond the last record");
     }
-    if (records[checkpoint.seq].link != checkpoint.head) {
-      return Error(ErrorCode::kAttestationMismatch,
+    if (records[checkpoint.seq - base].link != checkpoint.head) {
+      return Error(ErrorCode::kJournalChainBroken,
                    "journal: checkpoint head does not match the chain");
     }
-    if (!SchnorrVerify(key, JournalCheckpointDigest(checkpoint.seq, checkpoint.head),
+    if (!SchnorrVerify(key,
+                       JournalCheckpointDigest(checkpoint.seq, checkpoint.head,
+                                               checkpoint.snapshot),
                        checkpoint.signature)) {
-      return Error(ErrorCode::kAttestationMismatch,
+      return Error(ErrorCode::kJournalSignatureInvalid,
                    "journal: checkpoint signature invalid");
     }
     last_seq = checkpoint.seq;
     have_checkpoint = true;
   }
   // Freshness / truncation: the tail must be covered by a signature, or an
-  // attacker could silently drop the most recent history.
-  if (!records.empty() &&
-      (!have_checkpoint || last_seq != records.size() - 1)) {
-    return Error(ErrorCode::kAttestationMismatch,
+  // attacker could silently drop the most recent history. Recovery relaxes
+  // this (a crashed monitor cannot sign its own death).
+  if (require_covered_tail && !records.empty() &&
+      (!have_checkpoint || last_seq != base + records.size() - 1)) {
+    return Error(ErrorCode::kJournalChainBroken,
                  "journal: tail not covered by a signed checkpoint");
   }
   return OkStatus();

@@ -63,6 +63,8 @@ enum class JournalEvent : uint8_t {
   kOpAbort,          // an operation failed mid-flight and was rolled back /
                      // contained; context only (the compensating mutations
                      // are journaled as ordinary records before it)
+  kRecovery,         // the monitor recovered from a crash; context only
+                     // (aux = the last seq the recovery replayed up to)
   kEventCount,       // sentinel
 };
 
@@ -94,12 +96,15 @@ struct JournalRecord {
   Digest link;           // SHA-256(prev_link || canonical record bytes)
 };
 
-// A signed statement that the chain head at `seq` was `head`. Verifiable
-// against the monitor's attestation public key.
+// A signed statement that the chain head at `seq` was `head`, optionally
+// binding the digest of an engine snapshot taken at that point. Verifiable
+// against the monitor's attestation public key. A zero snapshot digest means
+// "no snapshot was taken here".
 struct JournalCheckpoint {
   uint64_t seq = 0;  // sequence number of the last record covered
   Digest head;       // link of that record
-  SchnorrSignature signature;  // over JournalCheckpointDigest(seq, head)
+  Digest snapshot;   // digest of the engine snapshot at seq (zero = none)
+  SchnorrSignature signature;  // over JournalCheckpointDigest(seq, head, snapshot)
 };
 
 struct ParsedJournal {
@@ -109,7 +114,8 @@ struct ParsedJournal {
 
 // Chain constants, shared by writer and verifier.
 Digest JournalGenesis();
-Digest JournalCheckpointDigest(uint64_t seq, const Digest& head);
+Digest JournalCheckpointDigest(uint64_t seq, const Digest& head,
+                               const Digest& snapshot = Digest{});
 
 // Canonical byte serialization of a record EXCLUDING the link field: the
 // exact bytes the chain hashes and the wire format carries.
@@ -127,6 +133,11 @@ class Journal {
 
   using TickSource = std::function<uint64_t()>;
   using Signer = std::function<SchnorrSignature(const Digest&)>;
+  // Called (under the journal lock) when a checkpoint is about to be signed;
+  // returns the digest of a durable engine snapshot covering records up to
+  // and including `seq`, or a zero digest to skip snapshotting this one.
+  // MUST NOT call back into the Journal (the lock is not recursive).
+  using SnapshotProvider = std::function<Digest(uint64_t seq)>;
 
   explicit Journal(size_t checkpoint_interval = kDefaultCheckpointInterval);
 
@@ -139,6 +150,11 @@ class Journal {
   // Installing a signer enables checkpoints: one every checkpoint_interval
   // records, plus explicit Checkpoint() calls.
   void set_signer(Signer signer);
+  // Installing a snapshot provider binds a snapshot digest into every future
+  // checkpoint. Costs nothing on the append fast path: it is only consulted
+  // when a checkpoint is actually signed.
+  void set_snapshot_provider(SnapshotProvider provider);
+  void set_checkpoint_interval(size_t interval);
 
   // Appends one record, assigning seq, tick, and link. Returns the assigned
   // seq, or kNoSeq when disabled.
@@ -151,10 +167,26 @@ class Journal {
   size_t size() const;
   size_t checkpoint_count() const;
   Digest head() const;  // genesis when empty
+  // Seq of the first record still held in memory (0 until TruncateBefore).
+  uint64_t base_seq() const;
   uint64_t EventCount(JournalEvent event) const;
   std::vector<JournalRecord> Records() const;
   std::vector<JournalCheckpoint> Checkpoints() const;
   void Clear();  // drops everything and resets the chain to genesis
+
+  // Compaction: drops every record with seq <= checkpoint_seq and every
+  // checkpoint before it. The checkpoint AT checkpoint_seq is kept as the
+  // anchor the truncated journal verifies against; it must exist and carry a
+  // snapshot digest (otherwise the dropped prefix would be unrecoverable).
+  // Event counts stay cumulative across compaction — they describe the full
+  // history, not the records currently held.
+  Status TruncateBefore(uint64_t checkpoint_seq);
+
+  // Reinstalls a parsed (possibly truncated) journal after recovery so the
+  // recovered monitor continues the same chain: recomputes head, base seq,
+  // and event counts from the given records. Callers verify the chain first.
+  void Restore(const std::vector<JournalRecord>& records,
+               const std::vector<JournalCheckpoint>& checkpoints);
 
   // Wire format: magic, version, counts, then records and checkpoints.
   // Deserialization is hardened against truncation and garbage.
@@ -163,24 +195,31 @@ class Journal {
                                              const std::vector<JournalCheckpoint>& checkpoints);
   static Result<ParsedJournal> Deserialize(std::span<const uint8_t> bytes);
 
-  // Offline chain verification: recomputes every link from genesis, checks
-  // seq/index correspondence, every checkpoint signature, and that the final
-  // checkpoint covers the last record (truncation evidence).
+  // Offline chain verification: recomputes every link, checks seq/index
+  // correspondence, every checkpoint signature, and (by default) that the
+  // final checkpoint covers the last record (truncation evidence). A journal
+  // compacted with TruncateBefore() starts at seq > 0; it is accepted iff the
+  // first checkpoint is a signed anchor at exactly first_seq - 1 whose head
+  // seeds the chain. `require_covered_tail=false` relaxes only the tail rule
+  // — recovery uses it because a crashed monitor cannot sign its own death.
   static Status VerifyChain(const std::vector<JournalRecord>& records,
                             const std::vector<JournalCheckpoint>& checkpoints,
-                            const SchnorrPublicKey& key);
+                            const SchnorrPublicKey& key,
+                            bool require_covered_tail = true);
 
  private:
   void CheckpointLocked();
 
-  const size_t checkpoint_interval_;
+  size_t checkpoint_interval_;
   std::atomic<bool> enabled_{true};
   mutable std::mutex mu_;  // guards everything below
   TickSource tick_;
   Signer signer_;
+  SnapshotProvider snapshot_provider_;
   std::vector<JournalRecord> records_;
   std::vector<JournalCheckpoint> checkpoints_;
   Digest head_;
+  uint64_t base_seq_ = 0;  // seq of records_[0]; nonzero after compaction
   std::array<uint64_t, static_cast<size_t>(JournalEvent::kEventCount)> event_counts_{};
 };
 

@@ -52,6 +52,12 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "ATTESTATION_MISMATCH";
     case ErrorCode::kSignatureInvalid:
       return "SIGNATURE_INVALID";
+    case ErrorCode::kJournalChainBroken:
+      return "JOURNAL_CHAIN_BROKEN";
+    case ErrorCode::kJournalSignatureInvalid:
+      return "JOURNAL_SIGNATURE_INVALID";
+    case ErrorCode::kJournalReplayDivergence:
+      return "JOURNAL_REPLAY_DIVERGENCE";
   }
   return "UNKNOWN";
 }

@@ -46,6 +46,12 @@ enum class ErrorCode : uint8_t {
   // Attestation errors.
   kAttestationMismatch,
   kSignatureInvalid,
+  // Journal / recovery errors. Distinguished so an operator (and the
+  // journal_verify exit code) can tell "history was mutated" from "signature
+  // does not check out" from "replay disagrees with the claimed state".
+  kJournalChainBroken,
+  kJournalSignatureInvalid,
+  kJournalReplayDivergence,
 };
 
 // Human-readable name for an error code (stable, used in logs and tests).

@@ -231,6 +231,167 @@ TEST(JournalTest, ClearResetsToGenesis) {
   EXPECT_EQ(journal.EventCount(JournalEvent::kRevoke), 0u);
 }
 
+// Installs a snapshot provider that returns a fixed fake digest, so tests
+// can create checkpoints eligible as truncation anchors.
+Digest FakeSnapshotDigest() {
+  Digest digest;
+  digest.bytes[0] = 0x5a;
+  digest.bytes[31] = 0xa5;
+  return digest;
+}
+
+TEST(JournalTest, CheckpointBindsSnapshotDigestIntoSignature) {
+  Journal journal;
+  SignWithTestKey(journal);
+  journal.set_snapshot_provider([](uint64_t) { return FakeSnapshotDigest(); });
+  journal.Append(Record(JournalEvent::kMintMemory, 20, 1));
+  journal.Checkpoint();
+  std::vector<JournalCheckpoint> checkpoints = journal.Checkpoints();
+  ASSERT_EQ(checkpoints.size(), 1u);
+  EXPECT_EQ(checkpoints[0].snapshot, FakeSnapshotDigest());
+  EXPECT_TRUE(
+      Journal::VerifyChain(journal.Records(), checkpoints, TestKey().pub).ok());
+  // The signature covers the snapshot digest: swapping it in is detected.
+  checkpoints[0].snapshot.bytes[0] ^= 1;
+  const Status status =
+      Journal::VerifyChain(journal.Records(), checkpoints, TestKey().pub);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kJournalSignatureInvalid);
+}
+
+TEST(JournalTest, SnapshotRoundTripsThroughTheWireFormat) {
+  Journal journal;
+  SignWithTestKey(journal);
+  journal.set_snapshot_provider([](uint64_t) { return FakeSnapshotDigest(); });
+  journal.Append(Record(JournalEvent::kMintMemory, 21, 1));
+  journal.Checkpoint();
+  const auto parsed = Journal::Deserialize(journal.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->checkpoints.size(), 1u);
+  EXPECT_EQ(parsed->checkpoints[0].snapshot, FakeSnapshotDigest());
+}
+
+// Builds a 10-record signed journal with a snapshot-bearing checkpoint at
+// seq 5 and a covering checkpoint at the tail.
+void BuildCompactable(Journal& journal) {
+  SignWithTestKey(journal);
+  journal.set_snapshot_provider([](uint64_t) { return FakeSnapshotDigest(); });
+  for (int i = 0; i < 6; ++i) {
+    journal.Append(Record(JournalEvent::kShareMemory, 22, 100 + i));
+  }
+  journal.Checkpoint();  // anchor at seq 5, carries the snapshot digest
+  for (int i = 6; i < 10; ++i) {
+    journal.Append(Record(JournalEvent::kShareMemory, 22, 100 + i));
+  }
+  journal.Checkpoint();  // covers the tail (seq 9)
+}
+
+TEST(JournalTest, TruncateBeforeCompactsAndStillVerifies) {
+  Journal journal;
+  BuildCompactable(journal);
+  const Digest head_before = journal.head();
+  ASSERT_TRUE(journal.TruncateBefore(5).ok());
+  EXPECT_EQ(journal.base_seq(), 6u);
+  EXPECT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal.head(), head_before);  // the chain head is unchanged
+  // Event counts stay cumulative: all 10 shares are still accounted for.
+  EXPECT_EQ(journal.EventCount(JournalEvent::kShareMemory), 10u);
+  const std::vector<JournalRecord> records = journal.Records();
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records.front().seq, 6u);
+  // The truncated journal verifies: the anchor checkpoint at seq 5 seeds the
+  // chain, and the tail checkpoint covers the last record.
+  EXPECT_TRUE(
+      Journal::VerifyChain(records, journal.Checkpoints(), TestKey().pub).ok());
+  // New appends continue the same chain.
+  journal.Append(Record(JournalEvent::kRevoke, 23, 200));
+  journal.Checkpoint();
+  EXPECT_EQ(journal.Records().back().seq, 10u);
+  EXPECT_TRUE(
+      Journal::VerifyChain(journal.Records(), journal.Checkpoints(), TestKey().pub).ok());
+}
+
+TEST(JournalTest, TruncateBeforeRequiresASnapshotAnchor) {
+  Journal journal;
+  SignWithTestKey(journal);  // no snapshot provider: checkpoints carry none
+  for (int i = 0; i < 6; ++i) {
+    journal.Append(Record(JournalEvent::kShareMemory, 24, i));
+  }
+  journal.Checkpoint();
+  const Status status = journal.TruncateBefore(5);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kFailedPrecondition);
+  // And a seq without a checkpoint at all is equally rejected.
+  Journal with_snapshots;
+  BuildCompactable(with_snapshots);
+  EXPECT_EQ(with_snapshots.TruncateBefore(3).code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(with_snapshots.TruncateBefore(99).code(), ErrorCode::kOutOfRange);
+}
+
+TEST(JournalTest, TruncatedJournalWithoutAnchorIsRejected) {
+  Journal journal;
+  BuildCompactable(journal);
+  ASSERT_TRUE(journal.TruncateBefore(5).ok());
+  const std::vector<JournalRecord> records = journal.Records();
+  std::vector<JournalCheckpoint> checkpoints = journal.Checkpoints();
+  // Drop the anchor: the suffix chain has nothing to seed from.
+  std::vector<JournalCheckpoint> no_anchor(checkpoints.begin() + 1, checkpoints.end());
+  Status status = Journal::VerifyChain(records, no_anchor, TestKey().pub);
+  EXPECT_EQ(status.code(), ErrorCode::kJournalChainBroken);
+  // Tamper with the anchor's head: its signature no longer matches.
+  checkpoints[0].head.bytes[7] ^= 1;
+  status = Journal::VerifyChain(records, checkpoints, TestKey().pub);
+  EXPECT_EQ(status.code(), ErrorCode::kJournalSignatureInvalid);
+  // Re-signing the tampered anchor under a different key fails too: the
+  // verifier only trusts the monitor's key.
+  const uint8_t other_seed[] = {'e', 'v', 'i', 'l'};
+  const SchnorrKeyPair other = DeriveKeyPair(other_seed);
+  checkpoints[0].head.bytes[7] ^= 1;  // restore the head
+  checkpoints[0].signature = SchnorrSign(
+      other.priv, JournalCheckpointDigest(checkpoints[0].seq, checkpoints[0].head,
+                                          checkpoints[0].snapshot));
+  status = Journal::VerifyChain(records, checkpoints, TestKey().pub);
+  EXPECT_EQ(status.code(), ErrorCode::kJournalSignatureInvalid);
+}
+
+TEST(JournalTest, UncoveredTailRuleCanBeRelaxedForRecovery) {
+  Journal journal;
+  SignWithTestKey(journal);
+  for (int i = 0; i < 3; ++i) {
+    journal.Append(Record(JournalEvent::kGrantMemory, 25, i));
+  }
+  journal.Checkpoint();
+  // Two more records after the last checkpoint: a crash leaves exactly this.
+  journal.Append(Record(JournalEvent::kGrantMemory, 25, 3));
+  journal.Append(Record(JournalEvent::kGrantMemory, 25, 4));
+  const Status strict =
+      Journal::VerifyChain(journal.Records(), journal.Checkpoints(), TestKey().pub);
+  EXPECT_EQ(strict.code(), ErrorCode::kJournalChainBroken);
+  EXPECT_TRUE(Journal::VerifyChain(journal.Records(), journal.Checkpoints(),
+                                   TestKey().pub, /*require_covered_tail=*/false)
+                  .ok());
+}
+
+TEST(JournalTest, RestoreResumesTheChain) {
+  Journal journal;
+  BuildCompactable(journal);
+  const auto parsed = Journal::Deserialize(journal.Serialize());
+  ASSERT_TRUE(parsed.ok());
+
+  Journal resumed;
+  SignWithTestKey(resumed);
+  resumed.Restore(parsed->records, parsed->checkpoints);
+  EXPECT_EQ(resumed.size(), journal.size());
+  EXPECT_EQ(resumed.head(), journal.head());
+  EXPECT_EQ(resumed.checkpoint_count(), journal.checkpoint_count());
+  EXPECT_EQ(resumed.EventCount(JournalEvent::kShareMemory), 10u);
+  resumed.Append(Record(JournalEvent::kRevoke, 26, 300));
+  resumed.Checkpoint();
+  EXPECT_TRUE(Journal::VerifyChain(resumed.Records(), resumed.Checkpoints(),
+                                   TestKey().pub)
+                  .ok());
+}
+
 TEST(JournalTest, SpanTreeGroupsRecordsByCausalRoot) {
   std::vector<JournalRecord> records;
   // Span 11: a dispatch (the root label) plus two cascade records; span 12

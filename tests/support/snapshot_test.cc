@@ -1,0 +1,138 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Unit tests for the hash-committed snapshot container: round-trips,
+// commitment self-check, parse hardening (truncation, duplicate tags,
+// trailing bytes), and the section reader/writer primitives.
+
+#include "src/support/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tyche {
+namespace {
+
+TEST(SnapshotTest, SectionWriterReaderRoundTrip) {
+  SectionWriter writer;
+  writer.Append<uint64_t>(0xdeadbeefcafef00dull);
+  writer.Append<uint32_t>(42);
+  writer.Append<uint16_t>(7);
+  writer.Append<uint8_t>(1);
+  Digest digest;
+  digest.bytes[0] = 0xaa;
+  digest.bytes[31] = 0x55;
+  writer.AppendDigest(digest);
+  writer.AppendString("trust-domain");
+  const std::vector<uint8_t> bytes = writer.Take();
+
+  SectionReader reader(std::span<const uint8_t>(bytes.data(), bytes.size()));
+  uint64_t u64 = 0;
+  uint32_t u32 = 0;
+  uint16_t u16 = 0;
+  uint8_t u8 = 0;
+  Digest read_digest;
+  std::string name;
+  ASSERT_TRUE(reader.Read(&u64));
+  ASSERT_TRUE(reader.Read(&u32));
+  ASSERT_TRUE(reader.Read(&u16));
+  ASSERT_TRUE(reader.Read(&u8));
+  ASSERT_TRUE(reader.ReadDigest(&read_digest));
+  ASSERT_TRUE(reader.ReadString(&name));
+  EXPECT_EQ(u64, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(u32, 42u);
+  EXPECT_EQ(u16, 7u);
+  EXPECT_EQ(u8, 1u);
+  EXPECT_EQ(read_digest, digest);
+  EXPECT_EQ(name, "trust-domain");
+  EXPECT_EQ(reader.remaining(), 0u);
+  // Reading past the end fails without moving the cursor into garbage.
+  EXPECT_FALSE(reader.Read(&u8));
+}
+
+TEST(SnapshotTest, ReaderRejectsTruncatedString) {
+  SectionWriter writer;
+  writer.AppendString("hello");
+  std::vector<uint8_t> bytes = writer.Take();
+  bytes.resize(bytes.size() - 2);  // cut into the string body
+  SectionReader reader(std::span<const uint8_t>(bytes.data(), bytes.size()));
+  std::string value;
+  EXPECT_FALSE(reader.ReadString(&value));
+}
+
+std::vector<uint8_t> SampleSnapshot() {
+  SnapshotWriter writer;
+  SectionWriter a;
+  a.Append<uint64_t>(123);
+  writer.AddSection(1, a.Take());
+  SectionWriter b;
+  b.AppendString("engine");
+  writer.AddSection(2, b.Take());
+  writer.AddSection(3, {});  // empty section is legal
+  return writer.Finish();
+}
+
+TEST(SnapshotTest, ContainerRoundTrip) {
+  const std::vector<uint8_t> bytes = SampleSnapshot();
+  const auto view = SnapshotView::Parse(bytes);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->section_count(), 3u);
+
+  const auto section_a = view->Section(1);
+  ASSERT_TRUE(section_a.ok());
+  SectionReader reader(*section_a);
+  uint64_t value = 0;
+  ASSERT_TRUE(reader.Read(&value));
+  EXPECT_EQ(value, 123u);
+
+  const auto empty = view->Section(3);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  EXPECT_EQ(view->Section(99).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(SnapshotTest, AnyBitFlipBreaksTheCommitment) {
+  const std::vector<uint8_t> pristine = SampleSnapshot();
+  ASSERT_TRUE(SnapshotView::Parse(pristine).ok());
+  // Flip a bit at several strategic offsets: header, section body, and the
+  // commitment itself. Every one must be caught by the self-check.
+  for (const size_t offset :
+       {size_t{5}, pristine.size() / 2, pristine.size() - 1}) {
+    std::vector<uint8_t> tampered = pristine;
+    tampered[offset] ^= 0x01;
+    EXPECT_FALSE(SnapshotView::Parse(tampered).ok()) << "offset " << offset;
+  }
+  // And the digest a checkpoint would bind changes with any flip.
+  std::vector<uint8_t> tampered = pristine;
+  tampered[6] ^= 0x80;
+  EXPECT_NE(SnapshotDigest(pristine), SnapshotDigest(tampered));
+}
+
+TEST(SnapshotTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(SnapshotView::Parse(std::vector<uint8_t>{}).ok());
+  EXPECT_FALSE(SnapshotView::Parse(std::vector<uint8_t>{'T', 'Y', 'S', 'N'}).ok());
+  std::vector<uint8_t> wrong_magic(128, 0xcd);
+  EXPECT_FALSE(SnapshotView::Parse(wrong_magic).ok());
+  // Truncation anywhere (here: drop the tail) breaks the commitment.
+  std::vector<uint8_t> truncated = SampleSnapshot();
+  truncated.resize(truncated.size() - 8);
+  EXPECT_FALSE(SnapshotView::Parse(truncated).ok());
+}
+
+TEST(SnapshotTest, DuplicateTagsAreRejected) {
+  SnapshotWriter writer;
+  writer.AddSection(7, {0x01});
+  writer.AddSection(7, {0x02});
+  const std::vector<uint8_t> bytes = writer.Finish();
+  const auto view = SnapshotView::Parse(bytes);
+  ASSERT_FALSE(view.ok());
+  EXPECT_NE(view.status().ToString().find("duplicate"), std::string::npos);
+}
+
+TEST(SnapshotTest, DigestIsDeterministic) {
+  EXPECT_EQ(SnapshotDigest(SampleSnapshot()), SnapshotDigest(SampleSnapshot()));
+}
+
+}  // namespace
+}  // namespace tyche

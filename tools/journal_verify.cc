@@ -6,13 +6,26 @@
 // checkpoint signatures, shadow replay against the graph snapshot), and then
 // demonstrates tamper detection by flipping one byte.
 //
-// With arguments: `journal_verify <journal.bin> <monitor_pubkey_y> [graph.json]`
+// With arguments:
+//   `journal_verify [--snapshot snap.bin] <journal.bin> <monitor_pubkey_y> [graph.json]`
 // verifies a journal captured from a live run against the monitor's public
 // key (the decimal y coordinate printed by the examples) and, optionally, a
-// graph_export JSON snapshot file.
+// graph_export JSON snapshot file. `--snapshot` enables snapshot-anchored
+// verification: the snapshot's digest must be bound into a signed
+// checkpoint, and the journal suffix replays on top of its engine image —
+// the only way to fully verify a journal compacted with TruncateBefore().
+//
+// Exit codes:
+//   0  verified
+//   1  verification failed (unclassified)
+//   2  usage / IO error
+//   3  hash chain broken (record tamper, drop, reorder, missing anchor)
+//   4  a checkpoint signature is invalid (or snapshot not bound to one)
+//   5  replay divergence (journal and claimed state disagree)
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -21,19 +34,41 @@
 #include "src/monitor/attestation.h"
 #include "src/monitor/audit.h"
 #include "src/monitor/dispatch.h"
+#include "src/monitor/recovery.h"
 #include "src/os/testbed.h"
 
 namespace tyche {
 namespace {
 
-int VerifyFile(const char* journal_path, const char* pubkey_str, const char* graph_path) {
-  std::ifstream in(journal_path, std::ios::binary);
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case ErrorCode::kJournalChainBroken:
+      return 3;
+    case ErrorCode::kJournalSignatureInvalid:
+      return 4;
+    case ErrorCode::kJournalReplayDivergence:
+      return 5;
+    default:
+      return 1;
+  }
+}
+
+bool ReadFile(const char* path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
+    return false;
+  }
+  out->assign((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return true;
+}
+
+int VerifyFile(const char* journal_path, const char* pubkey_str, const char* graph_path,
+               const char* snapshot_path) {
+  std::vector<uint8_t> bytes;
+  if (!ReadFile(journal_path, &bytes)) {
     std::fprintf(stderr, "cannot open %s\n", journal_path);
     return 2;
   }
-  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                             std::istreambuf_iterator<char>());
 
   SchnorrPublicKey key;
   key.y = std::strtoull(pubkey_str, nullptr, 0);
@@ -52,14 +87,25 @@ int VerifyFile(const char* journal_path, const char* pubkey_str, const char* gra
     expected = &graph;
   }
 
-  const Status status = RemoteVerifier::VerifyJournal(bytes, key, expected);
+  Status status = OkStatus();
+  if (snapshot_path != nullptr) {
+    std::vector<uint8_t> snapshot;
+    if (!ReadFile(snapshot_path, &snapshot)) {
+      std::fprintf(stderr, "cannot open %s\n", snapshot_path);
+      return 2;
+    }
+    status = VerifyJournalWithSnapshot(bytes, snapshot, key, expected ? *expected : "");
+  } else {
+    status = RemoteVerifier::VerifyJournal(bytes, key, expected);
+  }
   if (!status.ok()) {
     std::printf("FAIL: %s\n", status.ToString().c_str());
-    return 1;
+    return ExitCodeFor(status);
   }
   const auto parsed = Journal::Deserialize(bytes);
-  std::printf("OK: %zu records, %zu checkpoints verified%s\n", parsed->records.size(),
-              parsed->checkpoints.size(), expected ? ", graph replay matches" : "");
+  std::printf("OK: %zu records, %zu checkpoints verified%s%s\n", parsed->records.size(),
+              parsed->checkpoints.size(), snapshot_path ? ", snapshot-anchored" : "",
+              expected ? ", graph replay matches" : "");
   return 0;
 }
 
@@ -154,12 +200,27 @@ int main(int argc, char** argv) {
   if (argc == 1) {
     return tyche::SelfTest();
   }
-  if (argc < 3 || argc > 4) {
+  const char* snapshot_path = nullptr;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--snapshot") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--snapshot needs a file argument\n");
+        return 2;
+      }
+      snapshot_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2 || positional.size() > 3) {
     std::fprintf(stderr,
                  "usage: %s                       (self-test)\n"
-                 "       %s <journal.bin> <monitor_pubkey_y> [graph.json]\n",
+                 "       %s [--snapshot snap.bin] <journal.bin> <monitor_pubkey_y> "
+                 "[graph.json]\n",
                  argv[0], argv[0]);
     return 2;
   }
-  return tyche::VerifyFile(argv[1], argv[2], argc == 4 ? argv[3] : nullptr);
+  return tyche::VerifyFile(positional[0], positional[1],
+                           positional.size() == 3 ? positional[2] : nullptr, snapshot_path);
 }
