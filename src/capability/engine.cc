@@ -3,8 +3,11 @@
 #include "src/capability/engine.h"
 
 #include <algorithm>
+#include <mutex>
+#include <shared_mutex>
 #include <sstream>
 
+#include "src/support/faults.h"
 #include "src/support/log.h"
 
 namespace tyche {
@@ -48,11 +51,29 @@ std::string Capability::ToString() const {
   return out.str();
 }
 
+CapabilityEngine::CapabilityEngine(CapabilityEngine&& other) noexcept
+    : caps_(std::move(other.caps_)),
+      next_id_(other.next_id_),
+      owned_(std::move(other.owned_)),
+      domains_(std::move(other.domains_)) {}
+
+CapabilityEngine& CapabilityEngine::operator=(CapabilityEngine&& other) noexcept {
+  if (this != &other) {
+    caps_ = std::move(other.caps_);
+    next_id_ = other.next_id_;
+    owned_ = std::move(other.owned_);
+    domains_ = std::move(other.domains_);
+  }
+  return *this;
+}
+
 void CapabilityEngine::RegisterDomain(CapDomainId domain, CapDomainId creator) {
+  std::unique_lock lock(mu_);
   domains_[domain] = DomainInfo{creator, /*sealed=*/false};
 }
 
 void CapabilityEngine::SealDomain(CapDomainId domain) {
+  std::unique_lock lock(mu_);
   const auto it = domains_.find(domain);
   if (it != domains_.end()) {
     it->second.sealed = true;
@@ -60,11 +81,21 @@ void CapabilityEngine::SealDomain(CapDomainId domain) {
 }
 
 bool CapabilityEngine::IsSealed(CapDomainId domain) const {
+  std::shared_lock lock(mu_);
+  return IsSealedLocked(domain);
+}
+
+bool CapabilityEngine::IsSealedLocked(CapDomainId domain) const {
   const auto it = domains_.find(domain);
   return it != domains_.end() && it->second.sealed;
 }
 
 bool CapabilityEngine::IsRegistered(CapDomainId domain) const {
+  std::shared_lock lock(mu_);
+  return IsRegisteredLocked(domain);
+}
+
+bool CapabilityEngine::IsRegisteredLocked(CapDomainId domain) const {
   return domains_.contains(domain);
 }
 
@@ -74,6 +105,7 @@ Capability& CapabilityEngine::NewCap(CapDomainId owner, ResourceKind kind) {
   cap.id = id;
   cap.owner = owner;
   cap.kind = kind;
+  owned_[owner].push_back(id);
   return cap;
 }
 
@@ -86,6 +118,11 @@ Result<Capability*> CapabilityEngine::GetMutable(CapId cap) {
 }
 
 Result<const Capability*> CapabilityEngine::Get(CapId cap) const {
+  std::shared_lock lock(mu_);
+  return GetLocked(cap);
+}
+
+Result<const Capability*> CapabilityEngine::GetLocked(CapId cap) const {
   const auto it = caps_.find(cap);
   if (it == caps_.end()) {
     return Error(ErrorCode::kNotFound, "no such capability");
@@ -95,7 +132,8 @@ Result<const Capability*> CapabilityEngine::Get(CapId cap) const {
 
 Result<CapId> CapabilityEngine::MintMemory(CapDomainId owner, AddrRange range, Perms perms,
                                            CapRights rights) {
-  if (!IsRegistered(owner)) {
+  std::unique_lock lock(mu_);
+  if (!IsRegisteredLocked(owner)) {
     return Error(ErrorCode::kNotFound, "owner domain not registered");
   }
   if (range.empty() || !IsPageAligned(range.base) || !IsPageAligned(range.size)) {
@@ -111,7 +149,8 @@ Result<CapId> CapabilityEngine::MintMemory(CapDomainId owner, AddrRange range, P
 
 Result<CapId> CapabilityEngine::MintUnit(CapDomainId owner, ResourceKind kind, uint64_t unit,
                                          CapRights rights) {
-  if (!IsRegistered(owner)) {
+  std::unique_lock lock(mu_);
+  if (!IsRegisteredLocked(owner)) {
     return Error(ErrorCode::kNotFound, "owner domain not registered");
   }
   if (kind == ResourceKind::kMemory) {
@@ -138,7 +177,7 @@ Status CapabilityEngine::CheckSealingRules(CapDomainId src_owner, CapDomainId ds
   }
   // A sealed domain cannot share onward -- except into domains it created
   // itself (nested enclaves, §4.2).
-  if (IsSealed(src_owner) && dst_it->second.creator != src_owner) {
+  if (IsSealedLocked(src_owner) && dst_it->second.creator != src_owner) {
     TYCHE_LOG(kWarn) << "sealing rules deny transfer: sealed domain " << src_owner
                      << " may only delegate to its children, not domain " << dst;
     return Error(ErrorCode::kDomainSealed, "sealed domain may only delegate to its children");
@@ -150,6 +189,7 @@ Result<CapId> CapabilityEngine::ShareMemory(CapDomainId requester, CapId src_cap
                                             CapDomainId dst, AddrRange sub, Perms perms,
                                             CapRights rights, RevocationPolicy policy,
                                             CapEffects* effects) {
+  std::unique_lock lock(mu_);
   TYCHE_ASSIGN_OR_RETURN(Capability * src, GetMutable(src_cap));
   if (src->owner != requester) {
     return Error(ErrorCode::kCapabilityNotOwned, "share: requester does not own capability");
@@ -198,6 +238,7 @@ Result<GrantOutcome> CapabilityEngine::GrantMemory(CapDomainId requester, CapId 
                                                    CapDomainId dst, AddrRange sub,
                                                    Perms perms, CapRights rights,
                                                    RevocationPolicy policy) {
+  std::unique_lock lock(mu_);
   TYCHE_ASSIGN_OR_RETURN(Capability * src_ptr, GetMutable(src_cap));
   if (src_ptr->owner != requester) {
     return Error(ErrorCode::kCapabilityNotOwned, "grant: requester does not own capability");
@@ -268,6 +309,7 @@ Result<GrantOutcome> CapabilityEngine::GrantMemory(CapDomainId requester, CapId 
 Result<CapId> CapabilityEngine::ShareUnit(CapDomainId requester, CapId src_cap,
                                           CapDomainId dst, CapRights rights,
                                           RevocationPolicy policy, CapEffects* effects) {
+  std::unique_lock lock(mu_);
   TYCHE_ASSIGN_OR_RETURN(Capability * src, GetMutable(src_cap));
   if (src->owner != requester) {
     return Error(ErrorCode::kCapabilityNotOwned, "share: requester does not own capability");
@@ -306,6 +348,7 @@ Result<CapId> CapabilityEngine::ShareUnit(CapDomainId requester, CapId src_cap,
 Result<GrantOutcome> CapabilityEngine::GrantUnit(CapDomainId requester, CapId src_cap,
                                                  CapDomainId dst, CapRights rights,
                                                  RevocationPolicy policy) {
+  std::unique_lock lock(mu_);
   TYCHE_ASSIGN_OR_RETURN(Capability * src, GetMutable(src_cap));
   if (src->owner != requester) {
     return Error(ErrorCode::kCapabilityNotOwned, "grant: requester does not own capability");
@@ -399,7 +442,12 @@ uint64_t CapabilityEngine::RevokeSubtree(CapId cap_id, std::set<CapId>* visited,
 }
 
 Result<RevokeOutcome> CapabilityEngine::Revoke(CapDomainId requester, CapId cap_id) {
-  TYCHE_ASSIGN_OR_RETURN(const Capability* cap, Get(cap_id));
+  std::unique_lock lock(mu_);
+  return RevokeLocked(requester, cap_id);
+}
+
+Result<RevokeOutcome> CapabilityEngine::RevokeLocked(CapDomainId requester, CapId cap_id) {
+  TYCHE_ASSIGN_OR_RETURN(const Capability* cap, GetLocked(cap_id));
   if (cap->state == CapState::kRevoked) {
     return Error(ErrorCode::kCapabilityRevoked, "revoke: already revoked");
   }
@@ -454,50 +502,77 @@ Result<RevokeOutcome> CapabilityEngine::Revoke(CapDomainId requester, CapId cap_
   return outcome;
 }
 
-Result<RevokeOutcome> CapabilityEngine::PurgeDomain(CapDomainId domain) {
-  if (!IsRegistered(domain)) {
+Result<RevokeOutcome> CapabilityEngine::PurgeDomain(
+    CapDomainId domain, std::vector<std::pair<CapId, RevokeOutcome>>* partial) {
+  std::unique_lock lock(mu_);
+  if (!IsRegisteredLocked(domain)) {
     return Error(ErrorCode::kNotFound, "purge: domain not registered");
   }
   RevokeOutcome total;
-  // Collect first: revocation mutates the map.
+  // Collect first: revocation mutates the index. The owner index holds every
+  // id the domain ever owned; inactive ones are skipped below.
   std::vector<CapId> owned;
-  for (const auto& [id, cap] : caps_) {
-    if (cap.owner == domain && cap.active()) {
-      owned.push_back(id);
-    }
+  if (const auto owned_it = owned_.find(domain); owned_it != owned_.end()) {
+    owned = owned_it->second;
   }
   for (const CapId id : owned) {
     const auto it = caps_.find(id);
     if (it == caps_.end() || !it->second.active()) {
-      continue;  // revoked by an earlier cascade
+      continue;  // revoked by an earlier cascade, or never activated
     }
-    auto result = Revoke(domain, id);
-    if (result.ok()) {
-      total.revoked_count += result->revoked_count;
-      total.revoked_caps.insert(total.revoked_caps.end(), result->revoked_caps.begin(),
-                                result->revoked_caps.end());
-      total.effects.Append(result->effects);
+    // A failed revoke aborts the purge: the error propagates, the domain
+    // stays registered, and `partial` already names every root that DID
+    // commit, so the caller can journal those and retry the remainder.
+    // Revocation itself has no failing path today; the fault point models
+    // one (and any future organic failure takes the same exit).
+    TYCHE_FAULT_POINT(faults::kEnginePurgeRevoke);
+    auto result = RevokeLocked(domain, id);
+    if (!result.ok()) {
+      return result.status();
+    }
+    total.revoked_count += result->revoked_count;
+    total.revoked_caps.insert(total.revoked_caps.end(), result->revoked_caps.begin(),
+                              result->revoked_caps.end());
+    total.effects.Append(result->effects);
+    if (partial != nullptr) {
+      partial->emplace_back(id, *result);
     }
   }
+  owned_.erase(domain);
   domains_.erase(domain);
   return total;
 }
 
 std::vector<const Capability*> CapabilityEngine::DomainCaps(CapDomainId domain) const {
+  std::shared_lock lock(mu_);
   std::vector<const Capability*> out;
-  for (const auto& [id, cap] : caps_) {
-    if (cap.owner == domain && cap.active()) {
-      out.push_back(&cap);
+  const auto owned_it = owned_.find(domain);
+  if (owned_it == owned_.end()) {
+    return out;
+  }
+  for (const CapId id : owned_it->second) {
+    const auto it = caps_.find(id);
+    if (it != caps_.end() && it->second.active()) {
+      out.push_back(&it->second);
     }
   }
   return out;
 }
 
 Perms CapabilityEngine::EffectivePerms(CapDomainId domain, uint64_t addr) const {
+  std::shared_lock lock(mu_);
   uint8_t mask = Perms::kNone;
-  for (const auto& [id, cap] : caps_) {
-    if (cap.owner == domain && cap.active() && cap.kind == ResourceKind::kMemory &&
-        cap.range.Contains(addr)) {
+  const auto owned_it = owned_.find(domain);
+  if (owned_it == owned_.end()) {
+    return Perms(mask);
+  }
+  for (const CapId id : owned_it->second) {
+    const auto it = caps_.find(id);
+    if (it == caps_.end()) {
+      continue;
+    }
+    const Capability& cap = it->second;
+    if (cap.active() && cap.kind == ResourceKind::kMemory && cap.range.Contains(addr)) {
       mask |= cap.perms.mask;
     }
   }
@@ -505,8 +580,18 @@ Perms CapabilityEngine::EffectivePerms(CapDomainId domain, uint64_t addr) const 
 }
 
 bool CapabilityEngine::HasUnit(CapDomainId domain, ResourceKind kind, uint64_t unit) const {
-  for (const auto& [id, cap] : caps_) {
-    if (cap.owner == domain && cap.active() && cap.kind == kind && cap.unit == unit) {
+  std::shared_lock lock(mu_);
+  const auto owned_it = owned_.find(domain);
+  if (owned_it == owned_.end()) {
+    return false;
+  }
+  for (const CapId id : owned_it->second) {
+    const auto it = caps_.find(id);
+    if (it == caps_.end()) {
+      continue;
+    }
+    const Capability& cap = it->second;
+    if (cap.active() && cap.kind == kind && cap.unit == unit) {
       return true;
     }
   }
@@ -514,6 +599,7 @@ bool CapabilityEngine::HasUnit(CapDomainId domain, ResourceKind kind, uint64_t u
 }
 
 uint32_t CapabilityEngine::MemoryRefCount(AddrRange range) const {
+  std::shared_lock lock(mu_);
   std::set<CapDomainId> holders;
   for (const auto& [id, cap] : caps_) {
     if (cap.active() && cap.kind == ResourceKind::kMemory && cap.range.Overlaps(range)) {
@@ -524,6 +610,7 @@ uint32_t CapabilityEngine::MemoryRefCount(AddrRange range) const {
 }
 
 uint32_t CapabilityEngine::UnitRefCount(ResourceKind kind, uint64_t unit) const {
+  std::shared_lock lock(mu_);
   std::set<CapDomainId> holders;
   for (const auto& [id, cap] : caps_) {
     if (cap.active() && cap.kind == kind && cap.unit == unit) {
@@ -534,12 +621,13 @@ uint32_t CapabilityEngine::UnitRefCount(ResourceKind kind, uint64_t unit) const 
 }
 
 bool CapabilityEngine::ExclusivelyOwned(CapDomainId domain, AddrRange range) const {
+  std::shared_lock lock(mu_);
   if (range.empty()) {
     return false;
   }
   // Every byte must be covered by `domain` and by no one else. Check
   // coverage at region granularity using the view.
-  for (const RegionView& view : MemoryView()) {
+  for (const RegionView& view : MemoryViewLocked(0)) {
     if (!view.range.Overlaps(range)) {
       continue;
     }
@@ -548,12 +636,21 @@ bool CapabilityEngine::ExclusivelyOwned(CapDomainId domain, AddrRange range) con
     }
   }
   // Check full coverage: union of owned caps must contain range.
+  const auto owned_it = owned_.find(domain);
+  if (owned_it == owned_.end()) {
+    return false;
+  }
   uint64_t covered_until = range.base;
   bool progress = true;
   while (covered_until < range.end() && progress) {
     progress = false;
-    for (const auto& [id, cap] : caps_) {
-      if (cap.owner == domain && cap.active() && cap.kind == ResourceKind::kMemory &&
+    for (const CapId id : owned_it->second) {
+      const auto it = caps_.find(id);
+      if (it == caps_.end()) {
+        continue;
+      }
+      const Capability& cap = it->second;
+      if (cap.active() && cap.kind == ResourceKind::kMemory &&
           cap.range.Contains(covered_until)) {
         covered_until = cap.range.end();
         progress = true;
@@ -566,13 +663,21 @@ bool CapabilityEngine::ExclusivelyOwned(CapDomainId domain, AddrRange range) con
 
 std::vector<CapabilityEngine::MappedRegion> CapabilityEngine::DomainMemoryMap(
     CapDomainId domain) const {
+  std::shared_lock lock(mu_);
   std::vector<const Capability*> mem_caps;
   std::vector<uint64_t> boundaries;
-  for (const auto& [id, cap] : caps_) {
-    if (cap.owner == domain && cap.active() && cap.kind == ResourceKind::kMemory) {
-      mem_caps.push_back(&cap);
-      boundaries.push_back(cap.range.base);
-      boundaries.push_back(cap.range.end());
+  if (const auto owned_it = owned_.find(domain); owned_it != owned_.end()) {
+    for (const CapId id : owned_it->second) {
+      const auto it = caps_.find(id);
+      if (it == caps_.end()) {
+        continue;
+      }
+      const Capability& cap = it->second;
+      if (cap.active() && cap.kind == ResourceKind::kMemory) {
+        mem_caps.push_back(&cap);
+        boundaries.push_back(cap.range.base);
+        boundaries.push_back(cap.range.end());
+      }
     }
   }
   std::sort(boundaries.begin(), boundaries.end());
@@ -601,6 +706,11 @@ std::vector<CapabilityEngine::MappedRegion> CapabilityEngine::DomainMemoryMap(
 }
 
 std::vector<RegionView> CapabilityEngine::MemoryView(uint64_t limit) const {
+  std::shared_lock lock(mu_);
+  return MemoryViewLocked(limit);
+}
+
+std::vector<RegionView> CapabilityEngine::MemoryViewLocked(uint64_t limit) const {
   std::vector<uint64_t> boundaries;
   std::vector<const Capability*> mem_caps;
   for (const auto& [id, cap] : caps_) {
@@ -642,7 +752,13 @@ std::vector<RegionView> CapabilityEngine::MemoryView(uint64_t limit) const {
   return views;
 }
 
+uint64_t CapabilityEngine::total_caps() const {
+  std::shared_lock lock(mu_);
+  return static_cast<uint64_t>(caps_.size());
+}
+
 uint64_t CapabilityEngine::active_caps() const {
+  std::shared_lock lock(mu_);
   uint64_t count = 0;
   for (const auto& [id, cap] : caps_) {
     if (cap.active()) {
@@ -652,7 +768,10 @@ uint64_t CapabilityEngine::active_caps() const {
   return count;
 }
 
+// The ForEach walks and DumpTree run the callback under the shared lock:
+// callbacks must not call back into the engine.
 void CapabilityEngine::ForEachActive(const std::function<void(const Capability&)>& fn) const {
+  std::shared_lock lock(mu_);
   for (const auto& [id, cap] : caps_) {
     if (cap.active()) {
       fn(cap);
@@ -661,12 +780,14 @@ void CapabilityEngine::ForEachActive(const std::function<void(const Capability&)
 }
 
 void CapabilityEngine::ForEach(const std::function<void(const Capability&)>& fn) const {
+  std::shared_lock lock(mu_);
   for (const auto& [id, cap] : caps_) {
     fn(cap);
   }
 }
 
 std::string CapabilityEngine::DumpTree() const {
+  std::shared_lock lock(mu_);
   std::ostringstream out;
   std::function<void(CapId, int)> recurse = [&](CapId id, int depth) {
     const auto it = caps_.find(id);
@@ -690,6 +811,7 @@ std::string CapabilityEngine::DumpTree() const {
 }
 
 EngineImage CapabilityEngine::Capture() const {
+  std::shared_lock lock(mu_);
   EngineImage image;
   image.caps.reserve(caps_.size());
   for (const auto& [id, cap] : caps_) {
@@ -704,6 +826,7 @@ EngineImage CapabilityEngine::Capture() const {
 }
 
 Status CapabilityEngine::Restore(const EngineImage& image) {
+  std::unique_lock lock(mu_);
   // Validate before mutating anything: a corrupted snapshot must not leave
   // the engine half-installed.
   std::map<CapDomainId, DomainInfo> domains;
@@ -738,6 +861,12 @@ Status CapabilityEngine::Restore(const EngineImage& image) {
   caps_ = std::move(caps);
   domains_ = std::move(domains);
   next_id_ = image.next_id;
+  // Rebuild the derived owner index (images predate it / never carry it).
+  // std::map iteration is id order, matching NewCap's mint-order appends.
+  owned_.clear();
+  for (const auto& [id, cap] : caps_) {
+    owned_[cap.owner].push_back(id);
+  }
   return OkStatus();
 }
 

@@ -32,7 +32,9 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/capability/capability.h"
@@ -110,9 +112,23 @@ struct EngineImage {
   CapId next_id = 1;
 };
 
+// Thread-safety contract (DESIGN.md §10): every public method takes the
+// engine's internal reader-writer lock — shared for queries, exclusive for
+// mutations — so the engine is individually safe under concurrent dispatch.
+// Pointer-returning queries (Get, DomainCaps) hand out pointers into the
+// lineage map; std::map node stability keeps them alive across OTHER
+// insertions, but they are only meaningful until the next mutation. The
+// monitor's dispatch-level lock provides that ordering: readers holding such
+// pointers exclude mutators for the duration of their operation.
 class CapabilityEngine {
  public:
   CapabilityEngine() = default;
+
+  // Moves the STATE, not the lock (mutexes are not movable). Both engines
+  // must be externally quiesced — used by recovery to install a staged
+  // engine, which runs strictly single-threaded.
+  CapabilityEngine(CapabilityEngine&& other) noexcept;
+  CapabilityEngine& operator=(CapabilityEngine&& other) noexcept;
 
   // --- Domain lifecycle hooks (driven by the monitor) ---
 
@@ -122,8 +138,16 @@ class CapabilityEngine {
   void SealDomain(CapDomainId domain);
   bool IsSealed(CapDomainId domain) const;
   bool IsRegistered(CapDomainId domain) const;
-  // Removes a dead domain: revokes every active capability it owns.
-  Result<RevokeOutcome> PurgeDomain(CapDomainId domain);
+  // Removes a dead domain: revokes every active capability it owns, then
+  // unregisters it. All-or-unregister: if any per-root revoke fails, the
+  // error is propagated, the domain stays REGISTERED, and the caps already
+  // revoked stay revoked (revocation never resurrects). `partial`, when
+  // non-null, receives one (root cap, outcome) pair per revoke that DID
+  // commit before the failure, in order, so the caller can journal them and
+  // retry the purge over whatever remains.
+  Result<RevokeOutcome> PurgeDomain(
+      CapDomainId domain,
+      std::vector<std::pair<CapId, RevokeOutcome>>* partial = nullptr);
 
   // --- Minting (boot / monitor only; not reachable from the domain API) ---
 
@@ -193,7 +217,7 @@ class CapabilityEngine {
   std::vector<RegionView> MemoryView(uint64_t limit = 0) const;
 
   // Lineage inspection (for audits and tests).
-  uint64_t total_caps() const { return static_cast<uint64_t>(caps_.size()); }
+  uint64_t total_caps() const;
   uint64_t active_caps() const;
   std::string DumpTree() const;
 
@@ -214,6 +238,15 @@ class CapabilityEngine {
   Status Restore(const EngineImage& image);
 
  private:
+  // *Locked variants run with mu_ already held; public methods that other
+  // engine methods call internally split into a lock-taking wrapper and a
+  // Locked body (std::shared_mutex is not recursive).
+  bool IsSealedLocked(CapDomainId domain) const;
+  bool IsRegisteredLocked(CapDomainId domain) const;
+  Result<const Capability*> GetLocked(CapId cap) const;
+  Result<RevokeOutcome> RevokeLocked(CapDomainId requester, CapId cap);
+  std::vector<RegionView> MemoryViewLocked(uint64_t limit) const;
+
   Capability& NewCap(CapDomainId owner, ResourceKind kind);
   Result<Capability*> GetMutable(CapId cap);
 
@@ -228,8 +261,21 @@ class CapabilityEngine {
   // Emits the unmap/detach + cleanup effects for one deactivated cap.
   void EmitRevokeEffects(const Capability& cap, CapEffects* effects);
 
+  // Shared for queries, exclusive for mutations. Leaf lock: the engine never
+  // calls out of itself while holding it.
+  mutable std::shared_mutex mu_;
+
   std::map<CapId, Capability> caps_;
   CapId next_id_ = 1;
+
+  // Per-owner index: every cap id EVER owned by a domain, in mint order.
+  // Ownership is immutable (grants and restores mint NEW caps), so entries
+  // are only appended by NewCap, rebuilt by Restore, and dropped when a purge
+  // unregisters the domain. Readers filter on active(); this turns the
+  // owner-filtered queries (DomainCaps, EffectivePerms, DomainMemoryMap, the
+  // purge collection pass) from whole-lineage scans into direct lookups. Not
+  // part of EngineImage: it is derived state.
+  std::map<CapDomainId, std::vector<CapId>> owned_;
 
   struct DomainInfo {
     CapDomainId creator = kNoCreator;

@@ -16,6 +16,8 @@
 #ifndef SRC_HW_COST_MODEL_H_
 #define SRC_HW_COST_MODEL_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 
 namespace tyche {
@@ -57,14 +59,46 @@ struct CostModel {
 
 // Mutable global cycle account, one per machine (see Machine). Split out so
 // the page-table walker and TLB can charge cycles without a machine pointer.
+//
+// Charges land on cache-line-padded per-thread slots (relaxed fetch_add on a
+// slot no other thread writes), so concurrent dispatch threads never bounce a
+// shared counter line. cycles() sums the slots; each slot only grows, so the
+// sum is monotonic and stays a valid journal tick source even while other
+// threads keep charging.
 class CycleAccount {
  public:
-  void Charge(uint64_t cycles) { cycles_ += cycles; }
-  uint64_t cycles() const { return cycles_; }
-  void Reset() { cycles_ = 0; }
+  void Charge(uint64_t cycles) {
+    slots_[SlotIndex()].value.fetch_add(cycles, std::memory_order_relaxed);
+  }
+
+  uint64_t cycles() const {
+    uint64_t total = 0;
+    for (const Slot& slot : slots_) {
+      total += slot.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Slot& slot : slots_) {
+      slot.value.store(0, std::memory_order_relaxed);
+    }
+  }
 
  private:
-  uint64_t cycles_ = 0;
+  static constexpr size_t kSlots = 16;
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> value{0};
+  };
+
+  static size_t SlotIndex() {
+    static std::atomic<size_t> next{0};
+    thread_local const size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kSlots;
+    return slot;
+  }
+
+  std::array<Slot, kSlots> slots_{};
 };
 
 }  // namespace tyche

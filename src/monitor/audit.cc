@@ -198,7 +198,8 @@ void AuditJournal::GrantUnit(uint64_t span, uint32_t requester, uint32_t dst,
   journal_.Append(record);
 }
 
-void AuditJournal::Cascades(uint64_t span, uint64_t root_cap, const RevokeOutcome& outcome,
+void AuditJournal::Cascades(std::vector<JournalRecord>* out, uint64_t span,
+                            uint64_t root_cap, const RevokeOutcome& outcome,
                             const CapabilityEngine& engine) {
   for (const CapId revoked : outcome.revoked_caps) {
     JournalRecord record = Base(span, JournalEvent::kCascade);
@@ -209,21 +210,27 @@ void AuditJournal::Cascades(uint64_t span, uint64_t root_cap, const RevokeOutcom
       record.domain = (*cap)->owner;
       record.resource = static_cast<uint8_t>((*cap)->kind);
     }
-    journal_.Append(record);
+    out->push_back(record);
   }
 }
 
+// A revoke's record family (kRevoke, its kCascades, an optional kRestore) is
+// appended as ONE atomic group: replay requires the cascades to follow their
+// root with nothing but context records in between, and under concurrent
+// dispatch a reader's kDispatch record could otherwise land mid-family.
 void AuditJournal::Revoke(uint64_t span, uint32_t requester, uint64_t cap,
                           const RevokeOutcome& outcome, const CapabilityEngine& engine) {
   if (!enabled()) {
     return;
   }
+  std::vector<JournalRecord> records;
+  records.reserve(outcome.revoked_caps.size() + 2);
   JournalRecord record = Base(span, JournalEvent::kRevoke);
   record.domain = requester;
   record.cap = cap;
   record.aux = outcome.revoked_count;
-  journal_.Append(record);
-  Cascades(span, cap, outcome, engine);
+  records.push_back(record);
+  Cascades(&records, span, cap, outcome, engine);
   if (outcome.restored != kInvalidCap) {
     JournalRecord restore = Base(span, JournalEvent::kRestore);
     restore.cap = outcome.restored;
@@ -233,8 +240,9 @@ void AuditJournal::Revoke(uint64_t span, uint32_t requester, uint64_t cap,
       restore.domain = (*restored_cap)->owner;
       restore.resource = static_cast<uint8_t>((*restored_cap)->kind);
     }
-    journal_.Append(restore);
+    records.push_back(restore);
   }
+  journal_.AppendGroup(records);
 }
 
 void AuditJournal::PurgeDomain(uint64_t span, uint32_t domain, const RevokeOutcome& outcome,
@@ -242,11 +250,14 @@ void AuditJournal::PurgeDomain(uint64_t span, uint32_t domain, const RevokeOutco
   if (!enabled()) {
     return;
   }
+  std::vector<JournalRecord> records;
+  records.reserve(outcome.revoked_caps.size() + 1);
   JournalRecord record = Base(span, JournalEvent::kPurgeDomain);
   record.domain = domain;
   record.aux = outcome.revoked_count;
-  journal_.Append(record);
-  Cascades(span, 0, outcome, engine);
+  records.push_back(record);
+  Cascades(&records, span, 0, outcome, engine);
+  journal_.AppendGroup(records);
 }
 
 void AuditJournal::Abort(uint64_t span, uint16_t op, uint32_t requester, ErrorCode error) {

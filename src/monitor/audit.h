@@ -85,8 +85,9 @@ class AuditJournal {
   std::vector<uint8_t> Export();
 
  private:
-  void Cascades(uint64_t span, uint64_t root_cap, const RevokeOutcome& outcome,
-                const CapabilityEngine& engine);
+  // Builds (does not append) one kCascade record per revoked cap.
+  void Cascades(std::vector<JournalRecord>* out, uint64_t span, uint64_t root_cap,
+                const RevokeOutcome& outcome, const CapabilityEngine& engine);
 
   Journal journal_;
 };

@@ -4,9 +4,36 @@
 
 #include <chrono>
 
+#include "src/support/locking.h"
+
 namespace tyche {
 
 namespace {
+
+// Dispatch-level reader/writer classification (DESIGN.md §10). SHARED ops
+// never mutate the capability tree, the domain table's shape, or backend
+// mappings; whatever per-domain state they do touch is ordered by the
+// per-domain shard locks the monitor takes internally. Everything else --
+// transfers, revocations, transitions, domain lifecycle -- runs exclusive.
+// The classification lives HERE and not inside the monitor because the
+// boundary work around some ops (attestation serialization, seal-data
+// buffer reads through CheckedRead/CheckedWrite) walks guest memory that an
+// exclusive op may be remapping: the lock has to cover the whole call.
+bool IsSharedDispatchOp(uint64_t op) {
+  switch (static_cast<ApiOp>(op)) {
+    case ApiOp::kAttestDomain:
+    case ApiOp::kEnumerate:
+    case ApiOp::kSetEntryPoint:
+    case ApiOp::kExtendMeasurement:
+    case ApiOp::kSeal:
+    case ApiOp::kSetTransitionPolicy:
+    case ApiOp::kSealData:
+    case ApiOp::kUnsealData:
+      return true;
+    default:
+      return false;
+  }
+}
 
 ApiResult Ok(uint64_t ret0 = 0, uint64_t ret1 = 0) {
   return ApiResult{0, ret0, ret1};
@@ -180,11 +207,23 @@ ApiResult DispatchInner(Monitor* monitor, CoreId core, const ApiRegs& regs) {
 ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
   Telemetry& telemetry = monitor->telemetry();
   AuditJournal& audit = monitor->audit();
+  // Serial mode keeps the boundary overhead at a few relaxed loads and
+  // predicted branches; concurrent mode (EnableConcurrentDispatch) classifies
+  // the op and takes the api lock shared or exclusive around the WHOLE call,
+  // including the guest-memory staging above/below DispatchInner. Callers
+  // that want concurrency MUST come through Dispatch(): direct monitor
+  // method calls remain serial-only.
+  const bool concurrent = monitor->concurrent_dispatch();
+  const bool shared_op = concurrent && IsSharedDispatchOp(regs.op);
   // With telemetry AND the journal fully off the boundary adds three relaxed
   // loads and a branch -- measured by bench_telemetry / bench_journal
   // against the seed baseline.
   const bool journal_on = audit.enabled();
   if (!telemetry.any_enabled() && !journal_on) {
+    ConditionalSharedLock read_lock(monitor->api_mu(), shared_op,
+                                    telemetry.shared_contention());
+    ConditionalUniqueLock write_lock(monitor->api_mu(), concurrent && !shared_op,
+                                     telemetry.exclusive_contention());
     return DispatchInner(monitor, core, regs);
   }
   // Resolve the caller BEFORE the call: ops like kTransition change it.
@@ -198,7 +237,14 @@ ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
   // Every journal record caused by this call -- engine mutations, cascades,
   // backend effects -- shares this span id with the TraceEntry.
   const uint64_t span = monitor->BeginSpan(core);
-  const ApiResult result = DispatchInner(monitor, core, regs);
+  ApiResult result;
+  {
+    ConditionalSharedLock read_lock(monitor->api_mu(), shared_op,
+                                    telemetry.shared_contention());
+    ConditionalUniqueLock write_lock(monitor->api_mu(), concurrent && !shared_op,
+                                     telemetry.exclusive_contention());
+    result = DispatchInner(monitor, core, regs);
+  }
   monitor->EndSpan(core);
 
   const uint16_t op = static_cast<uint16_t>(

@@ -11,6 +11,7 @@
 #include "src/crypto/authenticated.h"
 #include "src/monitor/pmp_backend.h"
 #include "src/monitor/vtx_backend.h"
+#include "src/support/locking.h"
 #include "src/support/log.h"
 
 namespace tyche {
@@ -123,8 +124,24 @@ uint64_t Monitor::TrapCost() const {
 
 Status Monitor::ChargeCall(ApiOp op) {
   machine_->cycles().Charge(TrapCost());
-  ++stats_.api_calls[static_cast<size_t>(op)];
+  Bump(stats_.api_calls[static_cast<size_t>(op)]);
   return OkStatus();
+}
+
+Status Monitor::EnableConcurrentDispatch() {
+  if (snapshots_bound_) {
+    // The snapshot provider runs under the journal lock and reads monitor
+    // state; a concurrent dispatcher holding monitor locks while appending
+    // would invert that order. Pick one: snapshots or concurrency.
+    return Error(ErrorCode::kFailedPrecondition,
+                 "concurrent dispatch is incompatible with bound snapshots");
+  }
+  concurrent_.store(true, std::memory_order_relaxed);
+  return OkStatus();
+}
+
+void Monitor::DisableConcurrentDispatch() {
+  concurrent_.store(false, std::memory_order_relaxed);
 }
 
 uint64_t Monitor::BeginSpan(CoreId core) {
@@ -282,7 +299,7 @@ Status Monitor::ApplyEffects(const CapEffects& effects, uint64_t span) {
   for (const CapEffect& effect : effects.effects) {
     const auto kind_index = static_cast<size_t>(effect.kind);
     if (kind_index < MonitorStats::kEffectKinds) {
-      ++stats_.effects_by_kind[kind_index];
+      Bump(stats_.effects_by_kind[kind_index]);
     }
     audit_.Effect(span, effect);
     switch (effect.kind) {
@@ -362,7 +379,7 @@ Status Monitor::RollbackTransfer(ApiOp op, uint64_t span, DomainId requester,
                       << " failed: " << comp.status().ToString();
   } else {
     audit_.Revoke(span, owner, created, *comp, engine_);
-    stats_.revocations_cascaded += comp->revoked_count;
+    Bump(stats_.revocations_cascaded, comp->revoked_count);
     const Status reverted = ApplyEffects(comp->effects, span);
     if (!reverted.ok()) {
       // The compensation itself could not be fully projected: the failing
@@ -410,6 +427,8 @@ Status Monitor::SetTransitionPolicy(CoreId core, CapId domain_handle, bool scrub
   TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
   TYCHE_ASSIGN_OR_RETURN(const DomainId target,
                          ResolveHandle(caller, domain_handle, /*require_manage=*/true));
+  ConditionalUniqueLock shard(ShardFor(target), concurrent_dispatch(),
+                              telemetry_.exclusive_contention());
   TYCHE_ASSIGN_OR_RETURN(TrustDomain * domain, GetDomainMutable(target));
   if (domain->sealed()) {
     return Error(ErrorCode::kDomainSealed, "transition policy is fixed at seal time");
@@ -458,6 +477,8 @@ Status Monitor::SetEntryPoint(CoreId core, CapId domain_handle, uint64_t entry) 
   TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
   TYCHE_ASSIGN_OR_RETURN(const DomainId target,
                          ResolveHandle(caller, domain_handle, /*require_manage=*/true));
+  ConditionalUniqueLock shard(ShardFor(target), concurrent_dispatch(),
+                              telemetry_.exclusive_contention());
   TYCHE_ASSIGN_OR_RETURN(TrustDomain * domain, GetDomainMutable(target));
   if (domain->sealed()) {
     return Error(ErrorCode::kDomainSealed, "cannot move a sealed domain's entry point");
@@ -472,6 +493,8 @@ Status Monitor::ExtendMeasurement(CoreId core, CapId domain_handle, AddrRange ra
   TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
   TYCHE_ASSIGN_OR_RETURN(const DomainId target,
                          ResolveHandle(caller, domain_handle, /*require_manage=*/true));
+  ConditionalUniqueLock shard(ShardFor(target), concurrent_dispatch(),
+                              telemetry_.exclusive_contention());
   TYCHE_ASSIGN_OR_RETURN(TrustDomain * domain, GetDomainMutable(target));
   if (domain->sealed()) {
     return Error(ErrorCode::kDomainSealed, "measurement already finalized");
@@ -498,6 +521,8 @@ Status Monitor::Seal(CoreId core, CapId domain_handle) {
   TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
   TYCHE_ASSIGN_OR_RETURN(const DomainId target,
                          ResolveHandle(caller, domain_handle, /*require_manage=*/true));
+  ConditionalUniqueLock shard(ShardFor(target), concurrent_dispatch(),
+                              telemetry_.exclusive_contention());
   TYCHE_ASSIGN_OR_RETURN(TrustDomain * domain, GetDomainMutable(target));
   if (domain->sealed()) {
     return Error(ErrorCode::kDomainSealed, "already sealed");
@@ -550,9 +575,31 @@ Status Monitor::DestroyDomain(CoreId core, CapId domain_handle) {
     }
   }
   const uint64_t span = SpanForCore(core);
-  TYCHE_ASSIGN_OR_RETURN(const RevokeOutcome outcome, engine_.PurgeDomain(target));
+  std::vector<std::pair<CapId, RevokeOutcome>> partial;
+  const auto purged = engine_.PurgeDomain(target, &partial);
+  if (!purged.ok()) {
+    // The purge aborted mid-cascade: the domain is still registered and
+    // alive, but the per-root revocations that DID commit are real. Journal
+    // each as an ordinary revoke (the target owns its own roots, so replay
+    // authorization holds), project its effects so hardware tracks the tree,
+    // and surface the typed error. A retry purges whatever remains; its
+    // kPurgeDomain record then replays against the same remainder.
+    for (const auto& [root, committed] : partial) {
+      audit_.Revoke(span, target, root, committed, engine_);
+      Bump(stats_.revocations_cascaded, committed.revoked_count);
+      const Status projected = ApplyEffects(committed.effects, span);
+      if (!projected.ok()) {
+        TYCHE_LOG(kWarn) << "destroy: partial-purge effects degraded to fail-safe: "
+                         << projected.ToString();
+      }
+    }
+    audit_.Abort(span, static_cast<uint16_t>(ApiOp::kDestroyDomain), caller,
+                 purged.status().code());
+    return purged.status();
+  }
+  const RevokeOutcome& outcome = *purged;
   audit_.PurgeDomain(span, target, outcome, engine_);
-  stats_.revocations_cascaded += outcome.revoked_count;
+  Bump(stats_.revocations_cascaded, outcome.revoked_count);
   // The engine purge is the commit point: teardown is never rolled back,
   // because a dead domain with live hardware state would be the worst torn
   // state of all. Push through every cleanup step (failed projections have
@@ -591,7 +638,7 @@ Result<CapId> Monitor::ShareMemory(CoreId core, CapId src_cap, CapId dst_domain_
     // PMP exhaustion); roll the capability back so tree and hardware agree.
     return RollbackTransfer(ApiOp::kShareMemory, span, caller, dst, child, applied);
   }
-  ++stats_.shares;
+  Bump(stats_.shares);
   return child;
 }
 
@@ -615,7 +662,7 @@ Result<GrantResult> Monitor::GrantMemory(CoreId core, CapId src_cap, CapId dst_d
     return RollbackTransfer(ApiOp::kGrantMemory, span, caller, dst, outcome.granted,
                             applied);
   }
-  ++stats_.grants;
+  Bump(stats_.grants);
   return GrantResult{outcome.granted, outcome.remainders};
 }
 
@@ -637,7 +684,7 @@ Result<CapId> Monitor::ShareUnit(CoreId core, CapId src_cap, CapId dst_domain_ha
   if (!applied.ok()) {
     return RollbackTransfer(ApiOp::kShareUnit, span, caller, dst, child, applied);
   }
-  ++stats_.shares;
+  Bump(stats_.shares);
   return child;
 }
 
@@ -658,7 +705,7 @@ Result<CapId> Monitor::GrantUnit(CoreId core, CapId src_cap, CapId dst_domain_ha
   if (!applied.ok()) {
     return RollbackTransfer(ApiOp::kGrantUnit, span, caller, dst, outcome.granted, applied);
   }
-  ++stats_.grants;
+  Bump(stats_.grants);
   return outcome.granted;
 }
 
@@ -668,8 +715,8 @@ Status Monitor::Revoke(CoreId core, CapId cap) {
   const uint64_t span = SpanForCore(core);
   TYCHE_ASSIGN_OR_RETURN(const RevokeOutcome outcome, engine_.Revoke(caller, cap));
   audit_.Revoke(span, caller, cap, outcome, engine_);
-  ++stats_.revokes;
-  stats_.revocations_cascaded += outcome.revoked_count;
+  Bump(stats_.revokes);
+  Bump(stats_.revocations_cascaded, outcome.revoked_count);
   const Status applied = ApplyEffects(outcome.effects, span);
   if (!applied.ok()) {
     // Revocation is never rolled back (§3.2: cleanups are guaranteed). The
@@ -683,6 +730,8 @@ Status Monitor::Revoke(CoreId core, CapId cap) {
 }
 
 Result<DomainAttestation> Monitor::BuildAttestation(DomainId target, uint64_t nonce) {
+  ConditionalSharedLock shard(ShardFor(target), concurrent_dispatch(),
+                              telemetry_.shared_contention());
   TYCHE_ASSIGN_OR_RETURN(const TrustDomain* domain, GetDomain(target));
   DomainAttestation report;
   report.domain = target;
@@ -773,7 +822,7 @@ Status Monitor::Transition(CoreId core, CapId domain_handle) {
   TYCHE_RETURN_IF_ERROR(backend_->BindCore(target, core));
   call_stacks_[core].push_back(caller);
   machine_->cpu(core).set_current_domain(target);
-  ++stats_.transitions;
+  Bump(stats_.transitions);
   return OkStatus();
 }
 
@@ -801,7 +850,7 @@ Status Monitor::ReturnFromDomain(CoreId core) {
   TYCHE_RETURN_IF_ERROR(backend_->BindCore(previous, core));
   call_stacks_[core].pop_back();
   machine_->cpu(core).set_current_domain(previous);
-  ++stats_.transitions;
+  Bump(stats_.transitions);
   return OkStatus();
 }
 
@@ -835,12 +884,12 @@ Status Monitor::FastTransition(CoreId core, DomainId target) {
   // No trap: the hardware validates against the pre-armed EPTP list. Only
   // the VMFUNC-equivalent cost is charged.
   machine_->cycles().Charge(CostModel::Default().vmfunc_switch);
-  ++stats_.api_calls[static_cast<size_t>(ApiOp::kFastTransition)];
+  Bump(stats_.api_calls[static_cast<size_t>(ApiOp::kFastTransition)]);
   const DomainId caller = machine_->cpu(core).current_domain();
   TYCHE_RETURN_IF_ERROR(backend_->FastBindCore(target, core));
   call_stacks_[core].push_back(caller);
   machine_->cpu(core).set_current_domain(target);
-  ++stats_.fast_transitions;
+  Bump(stats_.fast_transitions);
   return OkStatus();
 }
 
@@ -856,13 +905,15 @@ Status Monitor::FastReturn(CoreId core) {
   TYCHE_RETURN_IF_ERROR(backend_->FastBindCore(previous, core));
   call_stacks_[core].pop_back();
   machine_->cpu(core).set_current_domain(previous);
-  ++stats_.fast_transitions;
+  Bump(stats_.fast_transitions);
   return OkStatus();
 }
 
 Result<std::vector<uint8_t>> Monitor::SealData(CoreId core, std::span<const uint8_t> data) {
   TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kSealData));
   TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  ConditionalSharedLock shard(ShardFor(caller), concurrent_dispatch(),
+                              telemetry_.shared_contention());
   TYCHE_ASSIGN_OR_RETURN(const TrustDomain* domain, GetDomain(caller));
   if (!domain->sealed()) {
     return Error(ErrorCode::kDomainNotSealed,
@@ -884,6 +935,8 @@ Result<std::vector<uint8_t>> Monitor::UnsealData(CoreId core,
                                                  std::span<const uint8_t> blob_bytes) {
   TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kUnsealData));
   TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
+  ConditionalSharedLock shard(ShardFor(caller), concurrent_dispatch(),
+                              telemetry_.shared_contention());
   TYCHE_ASSIGN_OR_RETURN(const TrustDomain* domain, GetDomain(caller));
   if (!domain->sealed()) {
     return Error(ErrorCode::kDomainNotSealed, "unsealing requires a final measurement");
@@ -909,6 +962,8 @@ Result<MonitorIdentity> Monitor::Identity(uint64_t nonce) const {
 }
 
 TelemetrySnapshot Monitor::DumpTelemetry() const {
+  // Quiesce dispatchers while copying: the snapshot must be a consistent cut.
+  ConditionalUniqueLock api(api_mu_, concurrent_dispatch(), nullptr);
   TelemetrySnapshot snapshot;
   snapshot.stats = stats_;
   snapshot.backend = backend_->stats();
@@ -923,6 +978,12 @@ TelemetrySnapshot Monitor::DumpTelemetry() const {
   snapshot.journal_head = audit_.journal().head().ToHex();
   snapshot.journal_summary = audit_.Summary();
   snapshot.span_tree_json = audit_.SpanTreeJson();
+  snapshot.lock_exclusive_contention = telemetry_.exclusive_contention_count();
+  snapshot.lock_shared_contention = telemetry_.shared_contention_count();
+  const auto group = audit_.journal().group_commit_stats();
+  snapshot.journal_batches = group.batches;
+  snapshot.journal_batched_records = group.batched_records;
+  snapshot.journal_max_batch = group.max_batch;
   return snapshot;
 }
 
@@ -974,6 +1035,10 @@ std::string TelemetrySnapshot::ToString() const {
       << capability_graph_dot.size() << " bytes dot\n";
   out << "journal: " << journal_records << " records, " << journal_checkpoints
       << " checkpoints, head=" << journal_head.substr(0, 16) << "\n";
+  out << "concurrency: contended(excl/shared)=" << lock_exclusive_contention << "/"
+      << lock_shared_contention << " group-commit(batches/records/max)="
+      << journal_batches << "/" << journal_batched_records << "/" << journal_max_batch
+      << "\n";
   return out.str();
 }
 

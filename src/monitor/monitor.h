@@ -12,12 +12,13 @@
 #ifndef SRC_MONITOR_MONITOR_H_
 #define SRC_MONITOR_MONITOR_H_
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
-
-#include <atomic>
 
 #include "src/capability/engine.h"
 #include "src/hw/machine.h"
@@ -132,6 +133,15 @@ struct TelemetrySnapshot {
   std::string journal_head;
   std::string journal_summary;
   std::string span_tree_json;
+
+  // Concurrent-dispatch view: lock-contention counters (how often a
+  // conditional guard had to block) and journal group-commit batching. All
+  // zero in the default serial mode.
+  uint64_t lock_exclusive_contention = 0;
+  uint64_t lock_shared_contention = 0;
+  uint64_t journal_batches = 0;
+  uint64_t journal_batched_records = 0;
+  uint64_t journal_max_batch = 0;
 
   // Human-readable summary: per-op table (count/p50/p99/max), effect and
   // backend counters, trace ring occupancy, graph size.
@@ -294,6 +304,29 @@ class Monitor {
   // projection of the capability tree again.
   Status ResyncAll();
 
+  // ===== Concurrent dispatch (DESIGN.md §10) =====
+
+  // Switches the monitor into concurrent mode: Dispatch() brackets every ABI
+  // call in the api reader-writer lock (shared for the read-mostly ops,
+  // exclusive for graph mutations and transitions), per-domain shard locks
+  // order config mutations within the shared class, and stat counters flip
+  // to atomic updates. Contract: while concurrent mode is on, concurrent
+  // callers must enter through Dispatch() — direct Monitor method calls
+  // remain serial-only. Fails with kFailedPrecondition when snapshots are
+  // bound: the snapshot provider runs under the journal lock and reads
+  // monitor state, which would invert the lock order against a concurrent
+  // dispatcher.
+  Status EnableConcurrentDispatch();
+  // Back to serial mode. Callers must quiesce dispatch threads first.
+  void DisableConcurrentDispatch();
+  bool concurrent_dispatch() const {
+    return concurrent_.load(std::memory_order_relaxed);
+  }
+  // The dispatch-level lock. Taken by Dispatch() around the WHOLE call —
+  // including the guest-memory reads/writes some ops do outside the monitor
+  // methods — so EPT mutations by exclusive ops cannot race them.
+  std::shared_mutex& api_mu() { return api_mu_; }
+
  private:
   // Resolves the caller: the domain currently running on `core`.
   Result<DomainId> Caller(CoreId core) const;
@@ -322,6 +355,23 @@ class Monitor {
   Status ChargeCall(ApiOp op);
   uint64_t TrapCost() const;
 
+  // Stat-counter bump: plain add in serial mode, relaxed atomic_ref add in
+  // concurrent mode (shared-class ops run in parallel and share counters).
+  void Bump(uint64_t& counter, uint64_t delta = 1) {
+    if (concurrent_.load(std::memory_order_relaxed)) {
+      std::atomic_ref<uint64_t>(counter).fetch_add(delta, std::memory_order_relaxed);
+    } else {
+      counter += delta;
+    }
+  }
+
+  // Per-domain shard lock: orders config mutations (entry point, measurement,
+  // seal, transition policy) against attestation reads within the shared
+  // dispatch class. Locked AFTER api_mu_, BEFORE the engine lock.
+  std::shared_mutex& ShardFor(DomainId id) const {
+    return domain_shards_[id % kDomainShards].mu;
+  }
+
   // Applies the scrub-on-exit policy when execution leaves `leaving`.
   void ScrubOnExitIfRequested(DomainId leaving, CoreId core);
 
@@ -343,14 +393,28 @@ class Monitor {
 
   Digest firmware_measurement_;
   Digest monitor_measurement_;
-  Digest sealing_root_;     // derived from the monitor's identity key
-  uint64_t seal_nonce_ = 1;  // per-boot unique AEAD nonces
+  Digest sealing_root_;  // derived from the monitor's identity key
+  // Per-boot unique AEAD nonces. Atomic because SealData runs in the shared
+  // dispatch class: two concurrent seals must never reuse a nonce.
+  std::atomic<uint64_t> seal_nonce_{1};
 
   MonitorStats stats_;
   Telemetry telemetry_{static_cast<size_t>(ApiOp::kOpCount)};
   AuditJournal audit_;
   std::atomic<uint64_t> next_span_{1};
   std::vector<uint64_t> active_spans_;  // per-core; 0 = no dispatch in flight
+
+  // --- Concurrent dispatch state (DESIGN.md §10) ---
+  std::atomic<bool> concurrent_{false};
+  bool snapshots_bound_ = false;  // EnableSnapshots was called
+  // Lock order, strictly downward: api_mu_ -> domain shard -> engine lock ->
+  // journal locks.
+  mutable std::shared_mutex api_mu_;
+  static constexpr size_t kDomainShards = 8;
+  struct alignas(64) DomainShard {
+    std::shared_mutex mu;
+  };
+  mutable std::array<DomainShard, kDomainShards> domain_shards_;
 };
 
 }  // namespace tyche

@@ -241,7 +241,7 @@ std::vector<uint8_t> Monitor::CaptureSnapshot() const {
   SectionWriter monitor;
   monitor.Append<uint32_t>(next_domain_);
   monitor.Append<uint16_t>(next_asid_);
-  monitor.Append<uint64_t>(seal_nonce_);
+  monitor.Append<uint64_t>(seal_nonce_.load(std::memory_order_relaxed));
   monitor.Append<uint64_t>(monitor_range_.base);
   monitor.Append<uint64_t>(monitor_range_.size);
   monitor.AppendDigest(firmware_measurement_);
@@ -268,6 +268,9 @@ std::vector<uint8_t> Monitor::CaptureSnapshot() const {
 }
 
 void Monitor::EnableSnapshots(SnapshotStore* store) {
+  // The provider reads monitor state under the journal lock, which is why
+  // EnableConcurrentDispatch refuses to engage once this flag is set.
+  snapshots_bound_ = true;
   // Runs under the journal lock each time a checkpoint is signed; it must
   // not call back into the journal (and does not).
   audit_.journal().set_snapshot_provider([this, store](uint64_t seq) {

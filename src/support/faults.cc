@@ -17,7 +17,7 @@ const std::vector<std::string_view>& AllFaultSites() {
       faults::kVtxBindCore,      faults::kPmpCreateContext,
       faults::kPmpRecompile,     faults::kPmpBindCore,
       faults::kPmpSyncDevice,    faults::kPmpAttachDevice,
-      faults::kPmpDetachDevice,
+      faults::kPmpDetachDevice,  faults::kEnginePurgeRevoke,
   };
   return kSites;
 }

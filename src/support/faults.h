@@ -56,6 +56,8 @@ inline constexpr std::string_view kPmpBindCore = "pmp.bind_core";
 inline constexpr std::string_view kPmpSyncDevice = "pmp.sync_device";
 inline constexpr std::string_view kPmpAttachDevice = "pmp.attach_device";
 inline constexpr std::string_view kPmpDetachDevice = "pmp.detach_device";
+// Capability engine: one per-root revoke inside a domain purge.
+inline constexpr std::string_view kEnginePurgeRevoke = "engine.purge_revoke";
 }  // namespace faults
 
 // Every canonical site, in a stable order, for sweep enumeration.

@@ -29,7 +29,9 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <span>
@@ -126,6 +128,15 @@ Digest ChainLink(const Digest& prev, const JournalRecord& record);
 
 // Thread-safe append-only journal. Appends assign seq/tick/link under one
 // lock so the chain is total-ordered even under concurrent writers.
+//
+// Concurrent appends GROUP-COMMIT (flat combining): each caller enqueues its
+// record(s) on a pending queue; the first thread to find no combiner running
+// becomes the combiner, drains the whole queue under ONE chain-lock
+// acquisition, and wakes the waiters. The per-record chain is byte-identical
+// to sequential appends — seq, tick, and link are still assigned one record
+// at a time in arrival order — so the offline verifier replays batched and
+// unbatched histories identically. Under a single writer every "batch" has
+// size one and the path reduces to the old lock-append-unlock sequence.
 class Journal {
  public:
   static constexpr size_t kDefaultCheckpointInterval = 128;
@@ -159,6 +170,21 @@ class Journal {
   // Appends one record, assigning seq, tick, and link. Returns the assigned
   // seq, or kNoSeq when disabled.
   uint64_t Append(JournalRecord record);
+
+  // Appends `records` as one ATOMIC group: the records receive contiguous
+  // seqs with no concurrent append interleaving between them. Used for
+  // record families with adjacency invariants (a revoke and its cascade /
+  // restore records must stay contiguous for replay). Returns the seq of the
+  // first record, or kNoSeq when disabled or `records` is empty.
+  uint64_t AppendGroup(std::span<JournalRecord> records);
+
+  // Group-commit counters (cumulative since construction / Clear()).
+  struct GroupCommitStats {
+    uint64_t batches = 0;          // combiner drains (lock acquisitions)
+    uint64_t batched_records = 0;  // records appended across all batches
+    uint64_t max_batch = 0;        // largest single drain, in records
+  };
+  GroupCommitStats group_commit_stats() const;
 
   // Signs the current head (no-op when empty, unsigned, or already covered).
   // Exporters call this so the tail is always covered by a signature.
@@ -208,11 +234,32 @@ class Journal {
                             bool require_covered_tail = true);
 
  private:
+  // One caller's contribution to a group commit. Lives on the caller's
+  // stack: the caller blocks until `done`, so the combiner's pointer stays
+  // valid without allocation on the append path.
+  struct PendingAppend {
+    JournalRecord* records = nullptr;  // caller-owned array, written in place
+    size_t count = 0;
+    uint64_t first_seq = kNoSeq;
+    bool done = false;
+  };
+
   void CheckpointLocked();
+  void AppendOneLocked(JournalRecord* record);
+  uint64_t CommitPending(PendingAppend* own);
 
   size_t checkpoint_interval_;
   std::atomic<bool> enabled_{true};
+
+  // Group-commit staging. Lock order: queue_mu_ is never held while taking
+  // mu_ (the combiner drops it across the chain extension).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<PendingAppend*> pending_;
+  bool combiner_active_ = false;
+
   mutable std::mutex mu_;  // guards everything below
+  GroupCommitStats group_stats_;
   TickSource tick_;
   Signer signer_;
   SnapshotProvider snapshot_provider_;

@@ -1,0 +1,89 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Conditional reader-writer lock guards for the monitor's concurrent
+// dispatch mode (DESIGN.md §10 "Concurrency model").
+//
+// The monitor models one thread per core. In the default serial mode the
+// dispatch fast path must stay at its ~40ns baseline, so the monitor-level
+// locks are CONDITIONAL: each guard takes an `engage` flag (one relaxed
+// atomic load at the call site) and degenerates to a predicted-not-taken
+// branch when concurrent dispatch is off. The capability engine's internal
+// lock, by contrast, is unconditional -- engine operations are never on the
+// 40ns path.
+//
+// Both guards optionally count contention: when the uncontended try_lock
+// fails, a relaxed atomic counter is bumped before blocking. Telemetry
+// surfaces these counters so scaling benchmarks can attribute flat curves
+// to lock pressure instead of guessing.
+
+#ifndef SRC_SUPPORT_LOCKING_H_
+#define SRC_SUPPORT_LOCKING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+
+namespace tyche {
+
+class ConditionalUniqueLock {
+ public:
+  ConditionalUniqueLock(std::shared_mutex& mu, bool engage,
+                        std::atomic<uint64_t>* contended = nullptr)
+      : mu_(engage ? &mu : nullptr) {
+    if (mu_ == nullptr) {
+      return;
+    }
+    if (mu_->try_lock()) {
+      return;
+    }
+    if (contended != nullptr) {
+      contended->fetch_add(1, std::memory_order_relaxed);
+    }
+    mu_->lock();
+  }
+
+  ~ConditionalUniqueLock() {
+    if (mu_ != nullptr) {
+      mu_->unlock();
+    }
+  }
+
+  ConditionalUniqueLock(const ConditionalUniqueLock&) = delete;
+  ConditionalUniqueLock& operator=(const ConditionalUniqueLock&) = delete;
+
+ private:
+  std::shared_mutex* mu_;
+};
+
+class ConditionalSharedLock {
+ public:
+  ConditionalSharedLock(std::shared_mutex& mu, bool engage,
+                        std::atomic<uint64_t>* contended = nullptr)
+      : mu_(engage ? &mu : nullptr) {
+    if (mu_ == nullptr) {
+      return;
+    }
+    if (mu_->try_lock_shared()) {
+      return;
+    }
+    if (contended != nullptr) {
+      contended->fetch_add(1, std::memory_order_relaxed);
+    }
+    mu_->lock_shared();
+  }
+
+  ~ConditionalSharedLock() {
+    if (mu_ != nullptr) {
+      mu_->unlock_shared();
+    }
+  }
+
+  ConditionalSharedLock(const ConditionalSharedLock&) = delete;
+  ConditionalSharedLock& operator=(const ConditionalSharedLock&) = delete;
+
+ private:
+  std::shared_mutex* mu_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_SUPPORT_LOCKING_H_

@@ -39,8 +39,13 @@ class Prng {
   // Uniform value in [0, bound); returns 0 for bound == 0.
   uint64_t Below(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
 
-  // Uniform value in [lo, hi] inclusive.
-  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+  // Uniform value in [lo, hi] inclusive. The full 64-bit span is handled
+  // explicitly: `hi - lo + 1` would overflow to 0 there, and Below(0) would
+  // pin every draw to `lo`.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    const uint64_t span = hi - lo;
+    return span == ~0ull ? Next() : lo + Below(span + 1);
+  }
 
   // Bernoulli draw with probability numerator/denominator.
   bool Chance(uint64_t numerator, uint64_t denominator) {

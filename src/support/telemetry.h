@@ -160,9 +160,24 @@ class Telemetry {
   // ops with at least one sample.
   std::string SummaryText(const std::function<std::string(uint16_t)>& op_name) const;
 
+  // Lock-contention counters for concurrent dispatch: bumped by the monitor's
+  // conditional guards whenever a try_lock fails and the thread has to block
+  // (see src/support/locking.h). Always-on relaxed atomics — a contended
+  // acquisition already paid for a cache miss, one more relaxed add is noise.
+  std::atomic<uint64_t>* exclusive_contention() { return &exclusive_contention_; }
+  std::atomic<uint64_t>* shared_contention() { return &shared_contention_; }
+  uint64_t exclusive_contention_count() const {
+    return exclusive_contention_.load(std::memory_order_relaxed);
+  }
+  uint64_t shared_contention_count() const {
+    return shared_contention_.load(std::memory_order_relaxed);
+  }
+
  private:
   const size_t op_count_;
   std::atomic<bool> histograms_enabled_{true};
+  std::atomic<uint64_t> exclusive_contention_{0};
+  std::atomic<uint64_t> shared_contention_{0};
   mutable std::mutex mu_;  // guards per_op_
   std::vector<LatencyHistogram> per_op_;
   TraceRing ring_;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/capability/engine.h"
+#include "src/support/faults.h"
 
 namespace tyche {
 namespace {
@@ -259,6 +260,67 @@ TEST_F(EngineEdgeTest, SealedDomainMayGrantToOwnChild) {
   const auto leak = engine_.GrantMemory(8, root2, 2, AddrRange{2 * kMiB, kMiB},
                                         Perms(Perms::kRW), CapRights{}, RevocationPolicy{});
   EXPECT_EQ(leak.code(), ErrorCode::kDomainSealed);
+}
+
+TEST_F(EngineEdgeTest, PurgeFailureLeavesDomainRegisteredAndNothingOrphaned) {
+  // Regression: PurgeDomain used to drop a failed per-root revoke on the
+  // floor and erase the domain anyway, leaving its remaining caps active but
+  // ownerless. Now a mid-purge failure must propagate, keep the domain
+  // registered, and report exactly the roots that DID commit.
+  const CapId a = *engine_.MintMemory(1, AddrRange{0, kMiB}, Perms(Perms::kRW),
+                                      CapRights(CapRights::kAll));
+  const CapId b = *engine_.MintMemory(1, AddrRange{2 * kMiB, kMiB}, Perms(Perms::kRW),
+                                      CapRights(CapRights::kAll));
+  const CapId c = *engine_.MintMemory(1, AddrRange{4 * kMiB, kMiB}, Perms(Perms::kRW),
+                                      CapRights(CapRights::kAll));
+  // Give root b a child so its (committed) cascade is visible in the outcome.
+  CapEffects effects;
+  const CapId child = *engine_.ShareMemory(1, b, 2, AddrRange{2 * kMiB, kPageSize},
+                                           Perms(Perms::kRW), CapRights(CapRights::kAll),
+                                           RevocationPolicy{}, &effects);
+
+  std::vector<std::pair<CapId, RevokeOutcome>> partial;
+  {
+    ScopedFaultPlan plan(FaultPlan::Single(faults::kEnginePurgeRevoke, /*trigger=*/3,
+                                           ErrorCode::kResourceExhausted));
+    const auto purge = engine_.PurgeDomain(1, &partial);
+    ASSERT_FALSE(purge.ok());
+    EXPECT_EQ(purge.code(), ErrorCode::kResourceExhausted);
+  }
+  // The domain survived; the committed prefix (a, then b with its cascade)
+  // is reported and really revoked; the rest is untouched.
+  EXPECT_TRUE(engine_.IsRegistered(1));
+  ASSERT_EQ(partial.size(), 2u);
+  EXPECT_EQ(partial[0].first, a);
+  EXPECT_EQ(partial[1].first, b);
+  EXPECT_EQ(partial[1].second.revoked_count, 2u);  // b + the shared child
+  EXPECT_FALSE((*engine_.Get(a))->active());
+  EXPECT_FALSE((*engine_.Get(b))->active());
+  EXPECT_FALSE((*engine_.Get(child))->active());
+  EXPECT_TRUE((*engine_.Get(c))->active());
+  EXPECT_EQ(engine_.DomainCaps(1).size(), 1u);
+
+  // A retry purges the remainder and unregisters the domain for good.
+  const auto retry = engine_.PurgeDomain(1);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->revoked_count, 1u);
+  EXPECT_FALSE(engine_.IsRegistered(1));
+  EXPECT_TRUE(engine_.DomainCaps(1).empty());
+  EXPECT_FALSE((*engine_.Get(c))->active());
+}
+
+TEST_F(EngineEdgeTest, PurgeFailureOnFirstRootCommitsNothing) {
+  const CapId a = *engine_.MintMemory(1, AddrRange{0, kMiB}, Perms(Perms::kRW),
+                                      CapRights(CapRights::kAll));
+  std::vector<std::pair<CapId, RevokeOutcome>> partial;
+  {
+    ScopedFaultPlan plan(FaultPlan::Single(faults::kEnginePurgeRevoke, /*trigger=*/1,
+                                           ErrorCode::kInternal));
+    EXPECT_FALSE(engine_.PurgeDomain(1, &partial).ok());
+  }
+  EXPECT_TRUE(partial.empty());
+  EXPECT_TRUE(engine_.IsRegistered(1));
+  EXPECT_TRUE((*engine_.Get(a))->active());
 }
 
 }  // namespace

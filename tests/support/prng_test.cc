@@ -48,6 +48,22 @@ TEST(PrngTest, RangeInclusive) {
   EXPECT_EQ(seen.size(), 4u);  // all four values hit
 }
 
+TEST(PrngTest, RangeFullWidthDoesNotCollapse) {
+  // Regression: Range(0, ~0ull) used to compute a span of hi - lo + 1 == 0,
+  // and Below(0) pinned every draw to zero. The full 64-bit range must
+  // produce the whole word instead.
+  Prng prng(17);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    seen.insert(prng.Range(0, ~0ull));
+  }
+  EXPECT_GT(seen.size(), 60u);  // essentially all draws distinct
+  // A full-width range anchored above zero must stay above its floor.
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_GE(prng.Range(1, ~0ull), 1u);
+  }
+}
+
 TEST(PrngTest, ChanceRoughlyCalibrated) {
   Prng prng(11);
   int hits = 0;

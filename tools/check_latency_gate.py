@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""CI gate: the serial dispatch path must not regress under the lock guards.
+
+Reads two google-benchmark JSON artifacts produced in the same run and the
+recorded baseline policy, then fails (exit 1) if
+
+    real_time(subject) > max_ratio * real_time(reference)
+
+The subject (BM_Dispatch_SerialBaseline, from bench_concurrency) runs the
+dispatch boundary with the concurrency guards compiled in but disengaged;
+the reference (BM_Dispatch_JournalOff, from bench_journal) is the same
+boundary as the pre-concurrency releases measured it. Comparing two numbers
+from one machine and one run keeps the gate meaningful on heterogeneous CI
+runners, where an absolute nanosecond floor would be noise.
+
+Usage:
+    check_latency_gate.py --subject BENCH_concurrency.json \
+        --reference BENCH_journal.json \
+        --baseline bench/baselines/dispatch_baseline.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def find_benchmark(path, name):
+    with open(path) as f:
+        data = json.load(f)
+    for bench in data.get("benchmarks", []):
+        if bench.get("name") == name:
+            return bench
+    raise SystemExit(f"error: benchmark '{name}' not found in {path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--subject", required=True, help="JSON with the gated benchmark")
+    parser.add_argument("--reference", required=True, help="JSON with the reference benchmark")
+    parser.add_argument("--baseline", required=True, help="baseline policy JSON")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    subject = find_benchmark(args.subject, baseline["subject"])
+    reference = find_benchmark(args.reference, baseline["reference"])
+    subject_ns = float(subject["real_time"])
+    reference_ns = float(reference["real_time"])
+    max_ratio = float(baseline["max_ratio"])
+
+    ratio = subject_ns / reference_ns
+    print(f"{baseline['subject']}: {subject_ns:.1f} ns")
+    print(f"{baseline['reference']}: {reference_ns:.1f} ns")
+    print(f"ratio: {ratio:.3f} (allowed: {max_ratio:.2f})")
+    if ratio > max_ratio:
+        print("FAIL: serial dispatch latency regressed beyond the gate")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
