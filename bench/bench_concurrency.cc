@@ -45,7 +45,7 @@ struct ConcurrencyWorld {
   std::array<uint64_t, kMaxThreads> attest_buf{};
 };
 
-ConcurrencyWorld* MakeWorld(bool journal_on) {
+ConcurrencyWorld* MakeWorld(bool journal_on, bool counters_on = true) {
   TestbedOptions options;
   options.cores = kMaxThreads;
   options.memory_bytes = 256ull << 20;
@@ -57,6 +57,7 @@ ConcurrencyWorld* MakeWorld(bool journal_on) {
   Monitor& monitor = world->testbed.monitor();
   monitor.telemetry().set_trace_enabled(false);
   monitor.telemetry().set_histograms_enabled(false);
+  monitor.set_counters_enabled(counters_on);
   monitor.audit().set_enabled(journal_on);
   for (uint32_t t = 0; t < kMaxThreads; ++t) {
     const auto child = monitor.CreateDomain(0, "bench-child");
@@ -140,6 +141,21 @@ void BM_Dispatch_ReadHeavy(benchmark::State& state) {
   ReadHeavyLoop(state, world);
 }
 BENCHMARK(BM_Dispatch_ReadHeavy)->Threads(1)->Threads(2)->Threads(4)->Threads(8)->UseRealTime();
+
+// Striped-counter scaling control: the identical mix with the registry's
+// stat counters disabled. Comparing 8-thread throughput against
+// BM_Dispatch_ReadHeavy bounds the registry's concurrency tax -- striping
+// should make the two indistinguishable (a shared-line counter would show
+// up here as a scaling gap).
+void BM_Dispatch_ReadHeavyCountersOff(benchmark::State& state) {
+  static ConcurrencyWorld* world =
+      MakeWorld(/*journal_on=*/false, /*counters_on=*/false);
+  ReadHeavyLoop(state, world);
+}
+BENCHMARK(BM_Dispatch_ReadHeavyCountersOff)
+    ->Threads(1)
+    ->Threads(8)
+    ->UseRealTime();
 
 // Same mix with the journal on: every dispatch appends a record, so the
 // group-commit combiner is on the hot path even for reads.

@@ -6,11 +6,14 @@
 #define EXAMPLES_DEMO_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
 
 #include "src/monitor/attestation.h"
 #include "src/monitor/boot.h"
 #include "src/os/kernel.h"
+#include "src/support/trace_export.h"
 #include "src/tyche/loader.h"
 
 namespace tyche {
@@ -104,6 +107,38 @@ inline void DumpObservability(Monitor& monitor) {
               verdict.ok() ? "chain + checkpoint signatures + graph replay OK"
                            : verdict.ToString().c_str());
   DEMO_CHECK(verdict.ok());
+
+  // Optional scrape artifacts for CI and ad-hoc inspection: set
+  // TYCHE_METRICS_OUT / TYCHE_TRACE_OUT / TYCHE_FLIGHT_OUT to file paths and
+  // the demo writes the Prometheus snapshot, the chrome://tracing timeline,
+  // and the flight-recorder dump alongside its normal output.
+  const auto write_artifact = [](const char* env, const std::string& body,
+                                 const char* what) {
+    const char* path = std::getenv(env);
+    if (path == nullptr || *path == '\0') {
+      return;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    out << body;
+    out.close();
+    std::printf("wrote %s to %s (%zu bytes)\n", what, path, body.size());
+    DEMO_CHECK(out.good());
+  };
+  write_artifact("TYCHE_METRICS_OUT", monitor.ExportMetrics(), "metrics snapshot");
+  write_artifact(
+      "TYCHE_TRACE_OUT",
+      ExportChromeTrace(
+          snapshot.trace, monitor.audit().journal().Records(),
+          [](uint16_t op) { return std::string(ApiOpName(static_cast<ApiOp>(op))); },
+          [](uint8_t event) {
+            return std::string(JournalEventName(static_cast<JournalEvent>(event)));
+          }),
+      "chrome trace");
+  write_artifact("TYCHE_FLIGHT_OUT",
+                 monitor.flight_recorder().DumpJson([](uint16_t op) {
+                   return std::string(ApiOpName(static_cast<ApiOp>(op)));
+                 }),
+                 "flight-recorder dump");
 }
 
 }  // namespace tyche

@@ -4,6 +4,7 @@
 
 #include <chrono>
 
+#include "src/support/faults.h"
 #include "src/support/locking.h"
 
 namespace tyche {
@@ -220,11 +221,22 @@ ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
   // against the seed baseline.
   const bool journal_on = audit.enabled();
   if (!telemetry.any_enabled() && !journal_on) {
-    ConditionalSharedLock read_lock(monitor->api_mu(), shared_op,
-                                    telemetry.shared_contention());
-    ConditionalUniqueLock write_lock(monitor->api_mu(), concurrent && !shared_op,
-                                     telemetry.exclusive_contention());
-    return DispatchInner(monitor, core, regs);
+    ApiResult result;
+    {
+      ConditionalSharedLock read_lock(monitor->api_mu(), shared_op,
+                                      telemetry.shared_contention());
+      ConditionalUniqueLock write_lock(monitor->api_mu(), concurrent && !shared_op,
+                                       telemetry.exclusive_contention());
+      result = DispatchInner(monitor, core, regs);
+    }
+    if (result.error != 0) [[unlikely]] {
+      // First occurrence of each (op, error) shape snapshots a post-mortem
+      // record; repeats cost two relaxed loads (see FlightRecorder). No
+      // span id here -- the uninstrumented path never opens one.
+      monitor->flight_recorder().OnDispatchError(static_cast<uint16_t>(regs.op),
+                                                 /*span=*/0, result.error);
+    }
+    return result;
   }
   // Resolve the caller BEFORE the call: ops like kTransition change it.
   const uint32_t caller = core < monitor->machine()->num_cores()
@@ -233,6 +245,14 @@ ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
   const bool timing = telemetry.any_enabled();
   const auto start =
       timing ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
+
+  // Fault-site triggers are detected by delta: if the global injector
+  // delivered a fault during this call, the flight recorder captures the
+  // site alongside the dispatch outcome. Only sampled while a plan is
+  // armed, so production dispatch never reads the injector's mutex.
+  const bool faults_active = FaultInjector::active();
+  const uint64_t faults_before =
+      faults_active ? FaultInjector::Instance().fired_count() : 0;
 
   // Every journal record caused by this call -- engine mutations, cascades,
   // backend effects -- shares this span id with the TraceEntry.
@@ -267,7 +287,22 @@ ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
     entry.error = result.error;
     entry.duration_ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    entry.start_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(start.time_since_epoch())
+            .count());
     telemetry.RecordCall(entry);
+  }
+  // Post-mortem hooks, outside every dispatch lock. An injected fault that
+  // fired during this call is the stronger signal, so it wins over the
+  // generic dispatch-error capture.
+  if (faults_active &&
+      FaultInjector::Instance().fired_count() > faults_before) [[unlikely]] {
+    const std::vector<std::string> sites = FaultInjector::Instance().fired_sites();
+    monitor->flight_recorder().Capture(
+        "fault_site", op, span, result.error,
+        sites.empty() ? std::string() : "site " + sites.back());
+  } else if (result.error != 0) [[unlikely]] {
+    monitor->flight_recorder().OnDispatchError(op, span, result.error);
   }
   return result;
 }

@@ -11,6 +11,7 @@
 #include "src/crypto/authenticated.h"
 #include "src/monitor/pmp_backend.h"
 #include "src/monitor/vtx_backend.h"
+#include "src/support/faults.h"
 #include "src/support/locking.h"
 #include "src/support/log.h"
 
@@ -114,6 +115,194 @@ Monitor::Monitor(Machine* machine, AddrRange monitor_range, FrameAllocator metad
       std::span<const uint8_t>(key_bytes, sizeof(key_bytes)),
       std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(label.data()),
                                label.size()));
+
+  RegisterMetrics();
+}
+
+namespace {
+
+// Bridges a LatencyHistogram into the registry's neutral snapshot shape,
+// trimming trailing empty buckets so the export stays compact.
+HistogramSnapshot ToHistogramSnapshot(const LatencyHistogram& histogram) {
+  HistogramSnapshot snapshot;
+  snapshot.count = histogram.count();
+  snapshot.sum = histogram.sum();
+  size_t highest = 0;
+  bool any = false;
+  for (size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (histogram.buckets()[i] != 0) {
+      highest = i;
+      any = true;
+    }
+  }
+  if (any) {
+    for (size_t i = 0; i <= highest; ++i) {
+      snapshot.buckets.emplace_back(LatencyHistogram::BucketUpperBound(i),
+                                    histogram.buckets()[i]);
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace
+
+void Monitor::RegisterMetrics() {
+  // Native striped counters: the hot-path signals the dispatcher bumps.
+  for (size_t op = 0; op < static_cast<size_t>(ApiOp::kOpCount); ++op) {
+    const MetricLabels labels = {{"op", ApiOpName(static_cast<ApiOp>(op))}};
+    counters_.api_calls[op] = metrics_.AddCounter(
+        "tyche_api_calls_total", "ABI calls dispatched, by operation", labels);
+    metrics_.AddHistogram(
+        "tyche_dispatch_latency_ns",
+        "Monitor-side wall-clock latency per ABI call (log2 buckets)", labels,
+        [this, op] { return ToHistogramSnapshot(telemetry_.OpHistogram(op)); });
+  }
+  counters_.transitions = metrics_.AddCounter(
+      "tyche_transitions_total", "Inter-domain control transfers, by path",
+      {{"path", "trap"}});
+  counters_.fast_transitions = metrics_.AddCounter(
+      "tyche_transitions_total", "Inter-domain control transfers, by path",
+      {{"path", "fast"}});
+  counters_.shares =
+      metrics_.AddCounter("tyche_capability_ops_total",
+                          "Successful capability-graph mutations", {{"kind", "share"}});
+  counters_.grants =
+      metrics_.AddCounter("tyche_capability_ops_total",
+                          "Successful capability-graph mutations", {{"kind", "grant"}});
+  counters_.revokes =
+      metrics_.AddCounter("tyche_capability_ops_total",
+                          "Successful capability-graph mutations", {{"kind", "revoke"}});
+  counters_.revocations_cascaded = metrics_.AddCounter(
+      "tyche_revocations_cascaded_total",
+      "Capabilities revoked transitively by cascading revocation");
+  counters_.recoveries = metrics_.AddCounter(
+      "tyche_recoveries_total",
+      "Crash recoveries survived; the only counter that crosses Recover()");
+  constexpr CapEffect::Kind kKinds[] = {
+      CapEffect::Kind::kMapMemory,  CapEffect::Kind::kUnmapMemory,
+      CapEffect::Kind::kZeroMemory, CapEffect::Kind::kFlushCache,
+      CapEffect::Kind::kAttachUnit, CapEffect::Kind::kDetachUnit,
+  };
+  for (const CapEffect::Kind kind : kKinds) {
+    counters_.effects_by_kind[static_cast<size_t>(kind)] = metrics_.AddCounter(
+        "tyche_effects_total",
+        "Hardware obligations produced by capability operations, by effect kind",
+        {{"kind", CapEffectKindName(kind)}});
+  }
+
+  // Pull callbacks for signals owned elsewhere. All of these are read under
+  // the api lock at export time (ExportMetrics quiesces like DumpTelemetry),
+  // so plain-field sources (backend stats, domain table) are safe.
+  struct BackendField {
+    const char* op;
+    uint64_t BackendStats::*field;
+  };
+  static constexpr BackendField kBackendFields[] = {
+      {"memory_syncs", &BackendStats::memory_syncs},
+      {"pages_mapped", &BackendStats::pages_mapped},
+      {"pages_unmapped", &BackendStats::pages_unmapped},
+      {"pages_protected", &BackendStats::pages_protected},
+      {"pmp_recompiles", &BackendStats::pmp_recompiles},
+      {"pmp_entry_writes", &BackendStats::pmp_entry_writes},
+      {"tlb_shootdowns", &BackendStats::tlb_shootdowns},
+      {"iommu_updates", &BackendStats::iommu_updates},
+      {"core_binds", &BackendStats::core_binds},
+      {"fast_binds", &BackendStats::fast_binds},
+  };
+  for (const BackendField& field : kBackendFields) {
+    metrics_.AddCallback(
+        "tyche_backend_ops_total",
+        "Hardware projection operations performed by the platform backend", true,
+        {{"backend", backend_->name()}, {"op", field.op}},
+        [this, ptr = field.field] { return backend_->stats().*ptr; });
+  }
+  metrics_.AddCallback("tyche_journal_records", "Audit-journal chain length (records)",
+                       false, {}, [this] { return audit_.journal().size(); });
+  metrics_.AddCallback("tyche_journal_checkpoints",
+                       "Signed checkpoints in the audit journal", false, {},
+                       [this] { return audit_.journal().checkpoint_count(); });
+  metrics_.AddCallback(
+      "tyche_journal_group_commit_batches_total",
+      "Flat-combining group-commit batches flushed by the journal", true, {},
+      [this] { return audit_.journal().group_commit_stats().batches; });
+  metrics_.AddCallback(
+      "tyche_journal_group_commit_records_total",
+      "Records flushed through group-commit batches", true, {},
+      [this] { return audit_.journal().group_commit_stats().batched_records; });
+  metrics_.AddCallback(
+      "tyche_journal_group_commit_max_batch", "Largest group-commit batch observed",
+      false, {}, [this] { return audit_.journal().group_commit_stats().max_batch; });
+  metrics_.AddCallback("tyche_trace_recorded_total",
+                       "ABI calls recorded into the trace ring", true, {},
+                       [this] { return telemetry_.ring().recorded(); });
+  metrics_.AddCallback("tyche_trace_dropped_total",
+                       "Trace entries overwritten by ring wrap-around", true, {},
+                       [this] { return telemetry_.ring().dropped(); });
+  metrics_.AddCallback("tyche_lock_contention_total",
+                       "Conditional-guard acquisitions that had to block", true,
+                       {{"class", "exclusive"}},
+                       [this] { return telemetry_.exclusive_contention_count(); });
+  metrics_.AddCallback("tyche_lock_contention_total",
+                       "Conditional-guard acquisitions that had to block", true,
+                       {{"class", "shared"}},
+                       [this] { return telemetry_.shared_contention_count(); });
+  metrics_.AddCallback(
+      "tyche_fault_injections_fired_total",
+      "Deterministic fault injections delivered over the process lifetime", true, {},
+      [] { return FaultInjector::Instance().lifetime_fired_count(); });
+  metrics_.AddCallback(
+      "tyche_fault_injection_active",
+      "1 while a fault plan is armed or occurrence counting is on", false, {},
+      [] { return FaultInjector::active() ? 1u : 0u; });
+  metrics_.AddCallback("tyche_domains_alive", "Trust domains currently alive", false, {},
+                       [this] { return num_domains_alive(); });
+  // captures() is a bare atomic, so this callback never touches the flight
+  // recorder's mutex (a size() callback would deadlock against a capture
+  // that is concurrently reading ScalarValues from the registry).
+  metrics_.AddCallback("tyche_flight_captures_total",
+                       "Post-mortem flight records captured", true, {},
+                       [this] { return flight_.captures(); });
+}
+
+MonitorStats Monitor::stats() const {
+  MonitorStats stats;
+  for (size_t op = 0; op < static_cast<size_t>(ApiOp::kOpCount); ++op) {
+    stats.api_calls[op] = counters_.api_calls[op]->Value();
+  }
+  stats.transitions = counters_.transitions->Value();
+  stats.fast_transitions = counters_.fast_transitions->Value();
+  stats.revocations_cascaded = counters_.revocations_cascaded->Value();
+  stats.recoveries = counters_.recoveries->Value();
+  stats.shares = counters_.shares->Value();
+  stats.grants = counters_.grants->Value();
+  stats.revokes = counters_.revokes->Value();
+  for (size_t kind = 0; kind < MonitorStats::kEffectKinds; ++kind) {
+    stats.effects_by_kind[kind] = counters_.effects_by_kind[kind]->Value();
+  }
+  return stats;
+}
+
+void Monitor::ResetStatCounters() {
+  for (StripedCounter* counter : counters_.api_calls) {
+    counter->Reset();
+  }
+  counters_.transitions->Reset();
+  counters_.fast_transitions->Reset();
+  counters_.revocations_cascaded->Reset();
+  counters_.recoveries->Reset();
+  counters_.shares->Reset();
+  counters_.grants->Reset();
+  counters_.revokes->Reset();
+  for (StripedCounter* counter : counters_.effects_by_kind) {
+    counter->Reset();
+  }
+}
+
+std::string Monitor::ExportMetrics() const {
+  // Quiesce dispatchers like DumpTelemetry: callback metrics read plain
+  // fields (backend stats, domain table) that must not be mid-mutation.
+  ConditionalUniqueLock api(api_mu_, concurrent_dispatch(), nullptr);
+  return metrics_.ExportPrometheus();
 }
 
 uint64_t Monitor::TrapCost() const {
@@ -124,7 +313,7 @@ uint64_t Monitor::TrapCost() const {
 
 Status Monitor::ChargeCall(ApiOp op) {
   machine_->cycles().Charge(TrapCost());
-  Bump(stats_.api_calls[static_cast<size_t>(op)]);
+  Count(counters_.api_calls[static_cast<size_t>(op)]);
   return OkStatus();
 }
 
@@ -299,7 +488,7 @@ Status Monitor::ApplyEffects(const CapEffects& effects, uint64_t span) {
   for (const CapEffect& effect : effects.effects) {
     const auto kind_index = static_cast<size_t>(effect.kind);
     if (kind_index < MonitorStats::kEffectKinds) {
-      Bump(stats_.effects_by_kind[kind_index]);
+      Count(counters_.effects_by_kind[kind_index]);
     }
     audit_.Effect(span, effect);
     switch (effect.kind) {
@@ -379,7 +568,7 @@ Status Monitor::RollbackTransfer(ApiOp op, uint64_t span, DomainId requester,
                       << " failed: " << comp.status().ToString();
   } else {
     audit_.Revoke(span, owner, created, *comp, engine_);
-    Bump(stats_.revocations_cascaded, comp->revoked_count);
+    Count(counters_.revocations_cascaded, comp->revoked_count);
     const Status reverted = ApplyEffects(comp->effects, span);
     if (!reverted.ok()) {
       // The compensation itself could not be fully projected: the failing
@@ -586,7 +775,7 @@ Status Monitor::DestroyDomain(CoreId core, CapId domain_handle) {
     // kPurgeDomain record then replays against the same remainder.
     for (const auto& [root, committed] : partial) {
       audit_.Revoke(span, target, root, committed, engine_);
-      Bump(stats_.revocations_cascaded, committed.revoked_count);
+      Count(counters_.revocations_cascaded, committed.revoked_count);
       const Status projected = ApplyEffects(committed.effects, span);
       if (!projected.ok()) {
         TYCHE_LOG(kWarn) << "destroy: partial-purge effects degraded to fail-safe: "
@@ -599,7 +788,7 @@ Status Monitor::DestroyDomain(CoreId core, CapId domain_handle) {
   }
   const RevokeOutcome& outcome = *purged;
   audit_.PurgeDomain(span, target, outcome, engine_);
-  Bump(stats_.revocations_cascaded, outcome.revoked_count);
+  Count(counters_.revocations_cascaded, outcome.revoked_count);
   // The engine purge is the commit point: teardown is never rolled back,
   // because a dead domain with live hardware state would be the worst torn
   // state of all. Push through every cleanup step (failed projections have
@@ -638,7 +827,7 @@ Result<CapId> Monitor::ShareMemory(CoreId core, CapId src_cap, CapId dst_domain_
     // PMP exhaustion); roll the capability back so tree and hardware agree.
     return RollbackTransfer(ApiOp::kShareMemory, span, caller, dst, child, applied);
   }
-  Bump(stats_.shares);
+  Count(counters_.shares);
   return child;
 }
 
@@ -662,7 +851,7 @@ Result<GrantResult> Monitor::GrantMemory(CoreId core, CapId src_cap, CapId dst_d
     return RollbackTransfer(ApiOp::kGrantMemory, span, caller, dst, outcome.granted,
                             applied);
   }
-  Bump(stats_.grants);
+  Count(counters_.grants);
   return GrantResult{outcome.granted, outcome.remainders};
 }
 
@@ -684,7 +873,7 @@ Result<CapId> Monitor::ShareUnit(CoreId core, CapId src_cap, CapId dst_domain_ha
   if (!applied.ok()) {
     return RollbackTransfer(ApiOp::kShareUnit, span, caller, dst, child, applied);
   }
-  Bump(stats_.shares);
+  Count(counters_.shares);
   return child;
 }
 
@@ -705,7 +894,7 @@ Result<CapId> Monitor::GrantUnit(CoreId core, CapId src_cap, CapId dst_domain_ha
   if (!applied.ok()) {
     return RollbackTransfer(ApiOp::kGrantUnit, span, caller, dst, outcome.granted, applied);
   }
-  Bump(stats_.grants);
+  Count(counters_.grants);
   return outcome.granted;
 }
 
@@ -715,8 +904,8 @@ Status Monitor::Revoke(CoreId core, CapId cap) {
   const uint64_t span = SpanForCore(core);
   TYCHE_ASSIGN_OR_RETURN(const RevokeOutcome outcome, engine_.Revoke(caller, cap));
   audit_.Revoke(span, caller, cap, outcome, engine_);
-  Bump(stats_.revokes);
-  Bump(stats_.revocations_cascaded, outcome.revoked_count);
+  Count(counters_.revokes);
+  Count(counters_.revocations_cascaded, outcome.revoked_count);
   const Status applied = ApplyEffects(outcome.effects, span);
   if (!applied.ok()) {
     // Revocation is never rolled back (§3.2: cleanups are guaranteed). The
@@ -822,7 +1011,7 @@ Status Monitor::Transition(CoreId core, CapId domain_handle) {
   TYCHE_RETURN_IF_ERROR(backend_->BindCore(target, core));
   call_stacks_[core].push_back(caller);
   machine_->cpu(core).set_current_domain(target);
-  Bump(stats_.transitions);
+  Count(counters_.transitions);
   return OkStatus();
 }
 
@@ -850,7 +1039,7 @@ Status Monitor::ReturnFromDomain(CoreId core) {
   TYCHE_RETURN_IF_ERROR(backend_->BindCore(previous, core));
   call_stacks_[core].pop_back();
   machine_->cpu(core).set_current_domain(previous);
-  Bump(stats_.transitions);
+  Count(counters_.transitions);
   return OkStatus();
 }
 
@@ -884,12 +1073,12 @@ Status Monitor::FastTransition(CoreId core, DomainId target) {
   // No trap: the hardware validates against the pre-armed EPTP list. Only
   // the VMFUNC-equivalent cost is charged.
   machine_->cycles().Charge(CostModel::Default().vmfunc_switch);
-  Bump(stats_.api_calls[static_cast<size_t>(ApiOp::kFastTransition)]);
+  Count(counters_.api_calls[static_cast<size_t>(ApiOp::kFastTransition)]);
   const DomainId caller = machine_->cpu(core).current_domain();
   TYCHE_RETURN_IF_ERROR(backend_->FastBindCore(target, core));
   call_stacks_[core].push_back(caller);
   machine_->cpu(core).set_current_domain(target);
-  Bump(stats_.fast_transitions);
+  Count(counters_.fast_transitions);
   return OkStatus();
 }
 
@@ -905,7 +1094,7 @@ Status Monitor::FastReturn(CoreId core) {
   TYCHE_RETURN_IF_ERROR(backend_->FastBindCore(previous, core));
   call_stacks_[core].pop_back();
   machine_->cpu(core).set_current_domain(previous);
-  Bump(stats_.fast_transitions);
+  Count(counters_.fast_transitions);
   return OkStatus();
 }
 
@@ -965,7 +1154,7 @@ TelemetrySnapshot Monitor::DumpTelemetry() const {
   // Quiesce dispatchers while copying: the snapshot must be a consistent cut.
   ConditionalUniqueLock api(api_mu_, concurrent_dispatch(), nullptr);
   TelemetrySnapshot snapshot;
-  snapshot.stats = stats_;
+  snapshot.stats = stats();
   snapshot.backend = backend_->stats();
   snapshot.trace = telemetry_.ring().Snapshot();
   snapshot.trace_recorded = telemetry_.ring().recorded();

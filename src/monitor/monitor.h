@@ -26,6 +26,8 @@
 #include "src/monitor/audit.h"
 #include "src/monitor/backend.h"
 #include "src/monitor/domain.h"
+#include "src/support/flight_recorder.h"
+#include "src/support/metrics.h"
 #include "src/support/status.h"
 #include "src/support/telemetry.h"
 
@@ -74,6 +76,10 @@ struct GrantResult {
   std::vector<CapId> remainders;
 };
 
+// Aggregated view of the monitor's stat counters. Since PR 6 this is a
+// SNAPSHOT type: the live counters are per-core striped cells in the
+// metrics registry (src/support/metrics.h) so concurrent dispatchers never
+// bounce a shared cache line; Monitor::stats() sums the stripes on read.
 struct MonitorStats {
   uint64_t api_calls[static_cast<size_t>(ApiOp::kOpCount)] = {};
   uint64_t transitions = 0;
@@ -158,9 +164,21 @@ class Monitor {
   Machine* machine() { return machine_; }
   const CapabilityEngine& engine() const { return engine_; }
   Backend& backend() { return *backend_; }
-  const MonitorStats& stats() const { return stats_; }
+  // Aggregates the striped registry counters into the legacy snapshot shape.
+  MonitorStats stats() const;
   Telemetry& telemetry() { return telemetry_; }
   const Telemetry& telemetry() const { return telemetry_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  FlightRecorder& flight_recorder() { return flight_; }
+  const FlightRecorder& flight_recorder() const { return flight_; }
+  // Kill switch for the stat counters, mirroring the telemetry switches so
+  // bench_telemetry can cost the registry itself. Disabling freezes
+  // stats()/ExportMetrics() counter values; production leaves it on.
+  void set_counters_enabled(bool enabled) {
+    counters_on_.store(enabled, std::memory_order_relaxed);
+  }
+  bool counters_enabled() const { return counters_on_.load(std::memory_order_relaxed); }
   AuditJournal& audit() { return audit_; }
   const AuditJournal& audit() const { return audit_; }
   const SchnorrPublicKey& public_key() const { return key_.pub; }
@@ -255,6 +273,11 @@ class Monitor {
   // Full observability snapshot; see TelemetrySnapshot. Cheap relative to
   // the work it describes, but it does walk the capability tree.
   TelemetrySnapshot DumpTelemetry() const;
+  // Prometheus text-exposition snapshot of every registered metric: stat
+  // counters, backend/journal/trace/contention signals, fault-injection
+  // hits, per-op latency histograms. Safe against concurrent dispatchers
+  // (quiesces via api_mu_ exactly like DumpTelemetry).
+  std::string ExportMetrics() const;
   // Checkpoints and serializes the audit journal (wire format for
   // RemoteVerifier::VerifyJournal / tools/journal_verify).
   std::vector<uint8_t> ExportJournal() { return audit_.Export(); }
@@ -355,13 +378,21 @@ class Monitor {
   Status ChargeCall(ApiOp op);
   uint64_t TrapCost() const;
 
-  // Stat-counter bump: plain add in serial mode, relaxed atomic_ref add in
-  // concurrent mode (shared-class ops run in parallel and share counters).
-  void Bump(uint64_t& counter, uint64_t delta = 1) {
-    if (concurrent_.load(std::memory_order_relaxed)) {
-      std::atomic_ref<uint64_t>(counter).fetch_add(delta, std::memory_order_relaxed);
-    } else {
-      counter += delta;
+  // Registers every monitor signal with the registry: the native striped
+  // stat counters plus pull callbacks for backend, journal, trace ring,
+  // lock contention, fault injection, and per-op latency histograms.
+  void RegisterMetrics();
+  // Zeroes every MonitorStats-equivalent counter (recovery epoch reset).
+  // Contention counters and journal group-commit stats are NOT touched —
+  // the pre-PR-6 code never reset those either.
+  void ResetStatCounters();
+
+  // Stat-counter bump. Striped cells make this safe in both serial and
+  // concurrent mode; the flag is the bench kill switch (see
+  // set_counters_enabled).
+  void Count(StripedCounter* counter, uint64_t delta = 1) {
+    if (counters_on_.load(std::memory_order_relaxed)) {
+      counter->Add(delta);
     }
   }
 
@@ -398,8 +429,27 @@ class Monitor {
   // dispatch class: two concurrent seals must never reuse a nonce.
   std::atomic<uint64_t> seal_nonce_{1};
 
-  MonitorStats stats_;
+  // The live stat counters (MonitorStats is now just the snapshot shape).
+  // Cached pointers into metrics_; the registry owns the cells.
+  struct StatCounters {
+    std::array<StripedCounter*, static_cast<size_t>(ApiOp::kOpCount)> api_calls{};
+    StripedCounter* transitions = nullptr;
+    StripedCounter* fast_transitions = nullptr;
+    StripedCounter* revocations_cascaded = nullptr;
+    StripedCounter* recoveries = nullptr;
+    StripedCounter* shares = nullptr;
+    StripedCounter* grants = nullptr;
+    StripedCounter* revokes = nullptr;
+    std::array<StripedCounter*, MonitorStats::kEffectKinds> effects_by_kind{};
+  };
+  MetricsRegistry metrics_;
+  StatCounters counters_;
+  std::atomic<bool> counters_on_{true};
   Telemetry telemetry_{static_cast<size_t>(ApiOp::kOpCount)};
+  // Post-mortem ring: snapshots trace tail + metric deltas on dispatch
+  // errors, fault-site triggers, and recovery. Depends on telemetry_ and
+  // metrics_, so it is declared after both.
+  FlightRecorder flight_{&telemetry_.ring(), &metrics_};
   AuditJournal audit_;
   std::atomic<uint64_t> next_span_{1};
   std::vector<uint64_t> active_spans_;  // per-core; 0 = no dispatch in flight

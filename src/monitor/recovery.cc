@@ -490,18 +490,24 @@ Status Monitor::Recover(std::span<const uint8_t> snapshot_bytes,
   TYCHE_RETURN_IF_ERROR(ResyncAll());
 
   // 8. Telemetry reset-and-mark: only the recovery counter crosses the
-  //    epoch, so post-recovery dumps never mix pre-crash samples.
-  const uint64_t recoveries = stats_.recoveries + 1;
-  stats_ = MonitorStats{};
-  stats_.recoveries = recoveries;
-  telemetry_.ring().Clear();
-  telemetry_.ClearHistograms();
-
+  //    epoch, so post-recovery dumps never mix pre-crash samples. The
+  //    recovered-seq flight record is captured BEFORE the reset so its
+  //    metrics delta shows the pre-crash epoch draining to zero.
   const uint64_t recovered_seq =
       journal.records.empty()
           ? (journal.checkpoints.empty() ? 0 : journal.checkpoints.back().seq)
           : journal.records.back().seq;
-  audit_.Recovery(next_span_.fetch_add(1, std::memory_order_relaxed), recovered_seq);
+  const uint64_t recovery_span = next_span_.fetch_add(1, std::memory_order_relaxed);
+  flight_.Capture("recovery", static_cast<uint16_t>(ApiOp::kOpCount), recovery_span,
+                  /*error=*/0,
+                  "recovered to journal seq " + std::to_string(recovered_seq));
+  const uint64_t recoveries = counters_.recoveries->Value() + 1;
+  ResetStatCounters();
+  counters_.recoveries->Add(recoveries);
+  telemetry_.ring().Clear();
+  telemetry_.ClearHistograms();
+
+  audit_.Recovery(recovery_span, recovered_seq);
   TYCHE_LOG(kWarn) << "monitor recovered to journal seq " << recovered_seq << " ("
                    << (have_snapshot ? "snapshot + suffix replay" : "full replay")
                    << ", recovery #" << recoveries << ")";

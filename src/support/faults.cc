@@ -161,6 +161,7 @@ Status FaultInjector::Check(std::string_view site) {
         spec.repeat ? occurrence >= spec.trigger : occurrence == spec.trigger;
     if (hit) {
       fired_.push_back(std::string(site));
+      lifetime_fired_.fetch_add(1, std::memory_order_relaxed);
       return Error(spec.code, "injected fault: " + std::string(site) + "#" +
                                   std::to_string(occurrence));
     }
@@ -176,6 +177,15 @@ uint64_t FaultInjector::fired_count() const {
 std::vector<std::string> FaultInjector::fired_sites() const {
   std::lock_guard<std::mutex> lock(mu_);
   return fired_;
+}
+
+uint64_t FaultInjector::total_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [site, count] : hits_) {
+    total += count;
+  }
+  return total;
 }
 
 }  // namespace tyche

@@ -129,6 +129,14 @@ class FaultInjector {
   uint64_t fired_count() const;
   // Sites that delivered a fault since the last Arm(), in firing order.
   std::vector<std::string> fired_sites() const;
+  // Site occurrences observed in the current window (armed or counting).
+  uint64_t total_hits() const;
+  // Faults delivered over the process lifetime, across Arm()/Disarm()
+  // cycles. This is the counter the metrics registry scrapes: a fleet
+  // dashboard wants "has injection ever fired here", not the per-plan view.
+  uint64_t lifetime_fired_count() const {
+    return lifetime_fired_.load(std::memory_order_relaxed);
+  }
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -139,6 +147,7 @@ class FaultInjector {
 
   static std::atomic<bool> active_;
 
+  std::atomic<uint64_t> lifetime_fired_{0};
   mutable std::mutex mu_;
   bool armed_ = false;
   bool counting_ = false;

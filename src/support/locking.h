@@ -11,23 +11,25 @@
 // 40ns path.
 //
 // Both guards optionally count contention: when the uncontended try_lock
-// fails, a relaxed atomic counter is bumped before blocking. Telemetry
-// surfaces these counters so scaling benchmarks can attribute flat curves
-// to lock pressure instead of guessing.
+// fails, a striped metrics counter is bumped before blocking (per-thread
+// cells, so the counting never adds its own cache-line contention).
+// Telemetry surfaces these counters so scaling benchmarks can attribute
+// flat curves to lock pressure instead of guessing.
 
 #ifndef SRC_SUPPORT_LOCKING_H_
 #define SRC_SUPPORT_LOCKING_H_
 
-#include <atomic>
 #include <cstdint>
 #include <shared_mutex>
+
+#include "src/support/metrics.h"
 
 namespace tyche {
 
 class ConditionalUniqueLock {
  public:
   ConditionalUniqueLock(std::shared_mutex& mu, bool engage,
-                        std::atomic<uint64_t>* contended = nullptr)
+                        StripedCounter* contended = nullptr)
       : mu_(engage ? &mu : nullptr) {
     if (mu_ == nullptr) {
       return;
@@ -36,7 +38,7 @@ class ConditionalUniqueLock {
       return;
     }
     if (contended != nullptr) {
-      contended->fetch_add(1, std::memory_order_relaxed);
+      contended->Add();
     }
     mu_->lock();
   }
@@ -57,7 +59,7 @@ class ConditionalUniqueLock {
 class ConditionalSharedLock {
  public:
   ConditionalSharedLock(std::shared_mutex& mu, bool engage,
-                        std::atomic<uint64_t>* contended = nullptr)
+                        StripedCounter* contended = nullptr)
       : mu_(engage ? &mu : nullptr) {
     if (mu_ == nullptr) {
       return;
@@ -66,7 +68,7 @@ class ConditionalSharedLock {
       return;
     }
     if (contended != nullptr) {
-      contended->fetch_add(1, std::memory_order_relaxed);
+      contended->Add();
     }
     mu_->lock_shared();
   }

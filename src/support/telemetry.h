@@ -34,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "src/support/metrics.h"
+
 namespace tyche {
 
 // FNV-1a over an array of 64-bit words; used to attribute a trace entry to
@@ -50,6 +52,8 @@ struct TraceEntry {
   uint64_t args_digest = 0;  // FNV-1a of the six argument registers
   uint64_t error = 0;        // ErrorCode (0 = OK)
   uint64_t duration_ns = 0;  // monitor-side wall-clock time
+  uint64_t start_ns = 0;     // steady-clock start of the call (0 = unknown);
+                             // places the entry on the trace_export timeline
 };
 
 inline constexpr uint32_t kTraceNoDomain = ~0u;
@@ -162,22 +166,19 @@ class Telemetry {
 
   // Lock-contention counters for concurrent dispatch: bumped by the monitor's
   // conditional guards whenever a try_lock fails and the thread has to block
-  // (see src/support/locking.h). Always-on relaxed atomics — a contended
-  // acquisition already paid for a cache miss, one more relaxed add is noise.
-  std::atomic<uint64_t>* exclusive_contention() { return &exclusive_contention_; }
-  std::atomic<uint64_t>* shared_contention() { return &shared_contention_; }
-  uint64_t exclusive_contention_count() const {
-    return exclusive_contention_.load(std::memory_order_relaxed);
-  }
-  uint64_t shared_contention_count() const {
-    return shared_contention_.load(std::memory_order_relaxed);
-  }
+  // (see src/support/locking.h). Always-on striped counters — a contended
+  // acquisition already paid for a cache miss, and striping keeps eight
+  // blocking threads from fighting over the counter line too.
+  StripedCounter* exclusive_contention() { return &exclusive_contention_; }
+  StripedCounter* shared_contention() { return &shared_contention_; }
+  uint64_t exclusive_contention_count() const { return exclusive_contention_.Value(); }
+  uint64_t shared_contention_count() const { return shared_contention_.Value(); }
 
  private:
   const size_t op_count_;
   std::atomic<bool> histograms_enabled_{true};
-  std::atomic<uint64_t> exclusive_contention_{0};
-  std::atomic<uint64_t> shared_contention_{0};
+  StripedCounter exclusive_contention_;
+  StripedCounter shared_contention_;
   mutable std::mutex mu_;  // guards per_op_
   std::vector<LatencyHistogram> per_op_;
   TraceRing ring_;

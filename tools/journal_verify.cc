@@ -22,6 +22,10 @@
 //   3  hash chain broken (record tamper, drop, reorder, missing anchor)
 //   4  a checkpoint signature is invalid (or snapshot not bound to one)
 //   5  replay divergence (journal and claimed state disagree)
+//
+// `--json` switches the verdict to a single machine-readable JSON object on
+// stdout (chain length, checkpoint count, exit-code reason), for CI jobs
+// that archive verification results as artifacts. Exit codes are unchanged.
 
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +57,49 @@ int ExitCodeFor(const Status& status) {
   }
 }
 
+const char* ReasonFor(int exit_code) {
+  switch (exit_code) {
+    case 0:
+      return "ok";
+    case 2:
+      return "io_error";
+    case 3:
+      return "chain_broken";
+    case 4:
+      return "signature_invalid";
+    case 5:
+      return "replay_divergence";
+    default:
+      return "verification_failed";
+  }
+}
+
+// The machine-readable verdict, one JSON object on stdout. `error` is a
+// human-oriented status string (already free of quotes-sensitive content:
+// Status::ToString emits code names and plain messages).
+void PrintJsonVerdict(int exit_code, size_t records, size_t checkpoints,
+                      bool snapshot_anchored, bool graph_replay,
+                      const std::string& error) {
+  std::string escaped;
+  for (const char c : error) {
+    if (c == '"' || c == '\\') {
+      escaped += '\\';
+    }
+    if (static_cast<unsigned char>(c) < 0x20) {
+      escaped += ' ';
+      continue;
+    }
+    escaped += c;
+  }
+  std::printf(
+      "{\"verified\":%s,\"exit_code\":%d,\"reason\":\"%s\",\"records\":%zu,"
+      "\"checkpoints\":%zu,\"snapshot_anchored\":%s,\"graph_replay\":%s,"
+      "\"error\":\"%s\"}\n",
+      exit_code == 0 ? "true" : "false", exit_code, ReasonFor(exit_code), records,
+      checkpoints, snapshot_anchored ? "true" : "false",
+      graph_replay ? "true" : "false", escaped.c_str());
+}
+
 bool ReadFile(const char* path, std::vector<uint8_t>* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -63,10 +110,14 @@ bool ReadFile(const char* path, std::vector<uint8_t>* out) {
 }
 
 int VerifyFile(const char* journal_path, const char* pubkey_str, const char* graph_path,
-               const char* snapshot_path) {
+               const char* snapshot_path, bool json) {
   std::vector<uint8_t> bytes;
   if (!ReadFile(journal_path, &bytes)) {
     std::fprintf(stderr, "cannot open %s\n", journal_path);
+    if (json) {
+      PrintJsonVerdict(2, 0, 0, snapshot_path != nullptr, graph_path != nullptr,
+                       std::string("cannot open ") + journal_path);
+    }
     return 2;
   }
 
@@ -98,18 +149,33 @@ int VerifyFile(const char* journal_path, const char* pubkey_str, const char* gra
   } else {
     status = RemoteVerifier::VerifyJournal(bytes, key, expected);
   }
+  // Deserialize for the verdict's chain-length numbers; on failure the
+  // journal may still parse (tamper detection happens at verify, not parse).
+  size_t records = 0;
+  size_t checkpoints = 0;
+  if (const auto parsed = Journal::Deserialize(bytes); parsed.ok()) {
+    records = parsed->records.size();
+    checkpoints = parsed->checkpoints.size();
+  }
+  const int exit_code = status.ok() ? 0 : ExitCodeFor(status);
+  if (json) {
+    PrintJsonVerdict(exit_code, records, checkpoints, snapshot_path != nullptr,
+                     expected != nullptr, status.ok() ? "" : status.ToString());
+    return exit_code;
+  }
   if (!status.ok()) {
     std::printf("FAIL: %s\n", status.ToString().c_str());
-    return ExitCodeFor(status);
+    return exit_code;
   }
-  const auto parsed = Journal::Deserialize(bytes);
-  std::printf("OK: %zu records, %zu checkpoints verified%s%s\n", parsed->records.size(),
-              parsed->checkpoints.size(), snapshot_path ? ", snapshot-anchored" : "",
+  std::printf("OK: %zu records, %zu checkpoints verified%s%s\n", records, checkpoints,
+              snapshot_path ? ", snapshot-anchored" : "",
               expected ? ", graph replay matches" : "");
   return 0;
 }
 
-int SelfTest() {
+// `records`/`checkpoints` report the chain the self-test exported, so the
+// --json verdict carries real numbers.
+int SelfTest(size_t* records, size_t* checkpoints) {
   std::printf("journal_verify self-test: boot, workload, export, verify, tamper\n");
   auto testbed = Testbed::Create(TestbedOptions{});
   if (!testbed.ok()) {
@@ -168,9 +234,10 @@ int SelfTest() {
 
   const TelemetrySnapshot snapshot = monitor.DumpTelemetry();
   std::vector<uint8_t> wire = monitor.ExportJournal();
+  *records = monitor.audit().journal().size();
+  *checkpoints = monitor.audit().journal().checkpoint_count();
   std::printf("exported %zu bytes (%zu records, %zu checkpoints)\n", wire.size(),
-              monitor.audit().journal().size(),
-              monitor.audit().journal().checkpoint_count());
+              *records, *checkpoints);
 
   Status verdict = RemoteVerifier::VerifyJournal(wire, monitor.public_key(),
                                                  &snapshot.capability_graph_json);
@@ -197,10 +264,8 @@ int SelfTest() {
 }  // namespace tyche
 
 int main(int argc, char** argv) {
-  if (argc == 1) {
-    return tyche::SelfTest();
-  }
   const char* snapshot_path = nullptr;
+  bool json = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--snapshot") == 0) {
@@ -209,18 +274,33 @@ int main(int argc, char** argv) {
         return 2;
       }
       snapshot_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else {
       positional.push_back(argv[i]);
     }
   }
+  if (positional.empty()) {
+    // Self-test mode; with --json the final verdict line is machine-readable.
+    size_t records = 0;
+    size_t checkpoints = 0;
+    const int exit_code = tyche::SelfTest(&records, &checkpoints);
+    if (json) {
+      tyche::PrintJsonVerdict(exit_code, records, checkpoints, false,
+                              /*graph_replay=*/exit_code == 0,
+                              exit_code == 0 ? "" : "self-test failed");
+    }
+    return exit_code;
+  }
   if (positional.size() < 2 || positional.size() > 3) {
     std::fprintf(stderr,
-                 "usage: %s                       (self-test)\n"
-                 "       %s [--snapshot snap.bin] <journal.bin> <monitor_pubkey_y> "
-                 "[graph.json]\n",
+                 "usage: %s [--json]              (self-test)\n"
+                 "       %s [--json] [--snapshot snap.bin] <journal.bin> "
+                 "<monitor_pubkey_y> [graph.json]\n",
                  argv[0], argv[0]);
     return 2;
   }
   return tyche::VerifyFile(positional[0], positional[1],
-                           positional.size() == 3 ? positional[2] : nullptr, snapshot_path);
+                           positional.size() == 3 ? positional[2] : nullptr, snapshot_path,
+                           json);
 }
