@@ -23,9 +23,8 @@
 #include <array>
 #include <memory>
 
+#include "bench/bench_common.h"
 #include "src/monitor/dispatch.h"
-#include "src/os/testbed.h"
-#include "src/support/journal.h"
 #include "src/support/prng.h"
 
 namespace tyche {
@@ -164,10 +163,7 @@ void BM_Dispatch_ReadHeavyJournal(benchmark::State& state) {
   ReadHeavyLoop(state, world);
   if (state.thread_index() == 0) {
     // Cumulative across the per-thread-count runs of this benchmark.
-    const auto stats = world->testbed.monitor().audit().journal().group_commit_stats();
-    state.counters["batches"] = static_cast<double>(stats.batches);
-    state.counters["batched_records"] = static_cast<double>(stats.batched_records);
-    state.counters["max_batch"] = static_cast<double>(stats.max_batch);
+    bench::ExportGroupCommitStats(state, world->testbed.monitor().audit().journal());
   }
 }
 BENCHMARK(BM_Dispatch_ReadHeavyJournal)
@@ -209,10 +205,7 @@ void BM_Dispatch_WriteHeavy(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(ops));
   if (state.thread_index() == 0) {
-    const auto stats = world->testbed.monitor().audit().journal().group_commit_stats();
-    state.counters["batches"] = static_cast<double>(stats.batches);
-    state.counters["batched_records"] = static_cast<double>(stats.batched_records);
-    state.counters["max_batch"] = static_cast<double>(stats.max_batch);
+    bench::ExportGroupCommitStats(state, world->testbed.monitor().audit().journal());
   }
 }
 BENCHMARK(BM_Dispatch_WriteHeavy)
@@ -237,10 +230,7 @@ void BM_JournalAppend_Concurrent(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
   if (state.thread_index() == 0) {
-    const auto stats = journal->group_commit_stats();
-    state.counters["batches"] = static_cast<double>(stats.batches);
-    state.counters["batched_records"] = static_cast<double>(stats.batched_records);
-    state.counters["max_batch"] = static_cast<double>(stats.max_batch);
+    bench::ExportGroupCommitStats(state, *journal);
     // All threads have passed the stop barrier: bound the working set
     // before the next thread-count run.
     journal->Clear();

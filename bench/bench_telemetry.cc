@@ -16,18 +16,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "src/monitor/dispatch.h"
-#include "src/os/testbed.h"
 
 namespace tyche {
 namespace {
 
 void DispatchLoop(benchmark::State& state, bool trace, bool histograms, bool counters) {
-  auto testbed = Testbed::Create(TestbedOptions{});
-  if (!testbed.ok()) {
-    std::abort();
-  }
-  Monitor& monitor = testbed->monitor();
+  Testbed testbed = bench::MustTestbed();
+  Monitor& monitor = testbed.monitor();
   monitor.telemetry().set_trace_enabled(trace);
   monitor.telemetry().set_histograms_enabled(histograms);
   monitor.set_counters_enabled(counters);
@@ -43,12 +40,9 @@ void DispatchLoop(benchmark::State& state, bool trace, bool histograms, bool cou
   state.counters["trace_recorded"] =
       static_cast<double>(monitor.telemetry().ring().recorded());
   if (histograms) {
-    // Percentiles from the histogram view, exported into the bench JSON so
-    // the latency gate can bound the tail as well as the mean.
-    const LatencyHistogram merged = monitor.telemetry().MergedHistogram();
-    state.counters["p50_ns"] = static_cast<double>(merged.Percentile(50));
-    state.counters["p90_ns"] = static_cast<double>(merged.Percentile(90));
-    state.counters["p99_ns"] = static_cast<double>(merged.Percentile(99));
+    // Shared-schema percentiles from the histogram view, exported into the
+    // bench JSON so the latency gate can bound the tail as well as the mean.
+    bench::ExportPercentiles(state, monitor);
   }
 }
 
@@ -86,11 +80,8 @@ BENCHMARK(BM_Dispatch_TelemetryFull);
 // workload has filled the ring and built a capability graph. Run outside
 // the timed region: build state once, snapshot per iteration.
 void BM_DumpTelemetry(benchmark::State& state) {
-  auto testbed = Testbed::Create(TestbedOptions{});
-  if (!testbed.ok()) {
-    std::abort();
-  }
-  Monitor& monitor = testbed->monitor();
+  Testbed testbed = bench::MustTestbed();
+  Monitor& monitor = testbed.monitor();
   ApiRegs regs;
   regs.op = static_cast<uint64_t>(ApiOp::kTakeInterrupt);
   for (int i = 0; i < 1024; ++i) {
@@ -105,11 +96,8 @@ BENCHMARK(BM_DumpTelemetry);
 // The scrape path: rendering the full Prometheus snapshot, histograms and
 // pull callbacks included, over the same warmed-up state.
 void BM_ExportMetrics(benchmark::State& state) {
-  auto testbed = Testbed::Create(TestbedOptions{});
-  if (!testbed.ok()) {
-    std::abort();
-  }
-  Monitor& monitor = testbed->monitor();
+  Testbed testbed = bench::MustTestbed();
+  Monitor& monitor = testbed.monitor();
   ApiRegs regs;
   regs.op = static_cast<uint64_t>(ApiOp::kTakeInterrupt);
   for (int i = 0; i < 1024; ++i) {

@@ -12,7 +12,9 @@
 
 #include "src/monitor/attestation.h"
 #include "src/monitor/boot.h"
+#include "src/monitor/dispatch.h"
 #include "src/os/kernel.h"
+#include "src/support/profiler.h"
 #include "src/support/trace_export.h"
 #include "src/tyche/loader.h"
 
@@ -70,6 +72,18 @@ inline DemoWorld MakeDemoWorld(IsaArch arch = IsaArch::kX86_64,
   world.golden_firmware = outcome->firmware_measurement;
   world.golden_monitor = outcome->monitor_measurement;
 
+  // Opt-in observability for CI and ad-hoc runs, armed up front so the
+  // whole demo workload is covered: TYCHE_PROF_OUT=<path> enables the
+  // dispatch phase profiler (DumpObservability writes the folded stacks
+  // there on exit); TYCHE_WATCHDOG_N=<n> arms the invariant watchdog to
+  // check every n dispatches.
+  if (const char* prof = std::getenv("TYCHE_PROF_OUT"); prof != nullptr && *prof) {
+    world.monitor->profiler().set_enabled(true);
+  }
+  if (const char* wd = std::getenv("TYCHE_WATCHDOG_N"); wd != nullptr && *wd) {
+    world.monitor->EnableWatchdog(std::strtoull(wd, nullptr, 10));
+  }
+
   const uint64_t os_base = world.monitor->monitor_range().end();
   const uint64_t os_size = memory_bytes - os_base;
   world.os = std::make_unique<LinOs>(
@@ -108,6 +122,28 @@ inline void DumpObservability(Monitor& monitor) {
                            : verdict.ToString().c_str());
   DEMO_CHECK(verdict.ok());
 
+  // The demos exercise the high-level Monitor API; the phase profiler and
+  // the invariant watchdog instrument the raw dispatch ABI boundary. When
+  // profiling was armed, drive a short representative ABI load over the
+  // demo's final world state so the folded stacks have samples and the
+  // watchdog has dispatches to check -- the profile attributes dispatch
+  // phases on this world, not the high-level demo calls themselves.
+  if (monitor.profiler().enabled()) {
+    const auto call = [&monitor](ApiOp op, uint64_t a0 = 0) {
+      ApiRegs regs{static_cast<uint64_t>(op), a0, 0, 0, 0, 0, 0};
+      return Dispatch(&monitor, /*core=*/0, regs);
+    };
+    for (int i = 0; i < 64; ++i) {
+      const ApiResult created = call(ApiOp::kCreateDomain);
+      if (created.error != 0) {
+        break;  // pool exhausted by the demo: keep whatever was profiled
+      }
+      (void)call(ApiOp::kEnumerate, created.ret1);
+      (void)call(ApiOp::kDestroyDomain, created.ret1);
+      (void)call(ApiOp::kTakeInterrupt);  // routine kNotFound error path
+    }
+  }
+
   // Optional scrape artifacts for CI and ad-hoc inspection: set
   // TYCHE_METRICS_OUT / TYCHE_TRACE_OUT / TYCHE_FLIGHT_OUT to file paths and
   // the demo writes the Prometheus snapshot, the chrome://tracing timeline,
@@ -139,6 +175,11 @@ inline void DumpObservability(Monitor& monitor) {
                    return std::string(ApiOpName(static_cast<ApiOp>(op)));
                  }),
                  "flight-recorder dump");
+  write_artifact("TYCHE_PROF_OUT",
+                 ExportFoldedStacks(monitor.profiler(), [](uint16_t op) {
+                   return std::string(ApiOpName(static_cast<ApiOp>(op)));
+                 }),
+                 "folded phase stacks");
 }
 
 }  // namespace tyche

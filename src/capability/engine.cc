@@ -9,6 +9,7 @@
 
 #include "src/support/faults.h"
 #include "src/support/log.h"
+#include "src/support/profiler.h"
 
 namespace tyche {
 
@@ -68,11 +69,13 @@ CapabilityEngine& CapabilityEngine::operator=(CapabilityEngine&& other) noexcept
 }
 
 void CapabilityEngine::RegisterDomain(CapDomainId domain, CapDomainId creator) {
+  const ScopedPhase phase(DispatchPhase::kEngine);
   std::unique_lock lock(mu_);
   domains_[domain] = DomainInfo{creator, /*sealed=*/false};
 }
 
 void CapabilityEngine::SealDomain(CapDomainId domain) {
+  const ScopedPhase phase(DispatchPhase::kEngine);
   std::unique_lock lock(mu_);
   const auto it = domains_.find(domain);
   if (it != domains_.end()) {
@@ -106,6 +109,14 @@ Capability& CapabilityEngine::NewCap(CapDomainId owner, ResourceKind kind) {
   cap.owner = owner;
   cap.kind = kind;
   owned_[owner].push_back(id);
+  // Silent-corruption injection: drop the index entry the cap just earned.
+  // The operation still succeeds -- exactly the failure mode (derived state
+  // drifting from the lineage map) the invariant watchdog exists to catch.
+  if (FaultInjector::active()) [[unlikely]] {
+    if (!FaultInjector::Instance().Check(faults::kEngineOwnedDesync).ok()) {
+      owned_[owner].pop_back();
+    }
+  }
   return cap;
 }
 
@@ -132,6 +143,7 @@ Result<const Capability*> CapabilityEngine::GetLocked(CapId cap) const {
 
 Result<CapId> CapabilityEngine::MintMemory(CapDomainId owner, AddrRange range, Perms perms,
                                            CapRights rights) {
+  const ScopedPhase phase(DispatchPhase::kEngine);
   std::unique_lock lock(mu_);
   if (!IsRegisteredLocked(owner)) {
     return Error(ErrorCode::kNotFound, "owner domain not registered");
@@ -149,6 +161,7 @@ Result<CapId> CapabilityEngine::MintMemory(CapDomainId owner, AddrRange range, P
 
 Result<CapId> CapabilityEngine::MintUnit(CapDomainId owner, ResourceKind kind, uint64_t unit,
                                          CapRights rights) {
+  const ScopedPhase phase(DispatchPhase::kEngine);
   std::unique_lock lock(mu_);
   if (!IsRegisteredLocked(owner)) {
     return Error(ErrorCode::kNotFound, "owner domain not registered");
@@ -189,6 +202,7 @@ Result<CapId> CapabilityEngine::ShareMemory(CapDomainId requester, CapId src_cap
                                             CapDomainId dst, AddrRange sub, Perms perms,
                                             CapRights rights, RevocationPolicy policy,
                                             CapEffects* effects) {
+  const ScopedPhase phase(DispatchPhase::kEngine);
   std::unique_lock lock(mu_);
   TYCHE_ASSIGN_OR_RETURN(Capability * src, GetMutable(src_cap));
   if (src->owner != requester) {
@@ -238,6 +252,7 @@ Result<GrantOutcome> CapabilityEngine::GrantMemory(CapDomainId requester, CapId 
                                                    CapDomainId dst, AddrRange sub,
                                                    Perms perms, CapRights rights,
                                                    RevocationPolicy policy) {
+  const ScopedPhase phase(DispatchPhase::kEngine);
   std::unique_lock lock(mu_);
   TYCHE_ASSIGN_OR_RETURN(Capability * src_ptr, GetMutable(src_cap));
   if (src_ptr->owner != requester) {
@@ -309,6 +324,7 @@ Result<GrantOutcome> CapabilityEngine::GrantMemory(CapDomainId requester, CapId 
 Result<CapId> CapabilityEngine::ShareUnit(CapDomainId requester, CapId src_cap,
                                           CapDomainId dst, CapRights rights,
                                           RevocationPolicy policy, CapEffects* effects) {
+  const ScopedPhase phase(DispatchPhase::kEngine);
   std::unique_lock lock(mu_);
   TYCHE_ASSIGN_OR_RETURN(Capability * src, GetMutable(src_cap));
   if (src->owner != requester) {
@@ -348,6 +364,7 @@ Result<CapId> CapabilityEngine::ShareUnit(CapDomainId requester, CapId src_cap,
 Result<GrantOutcome> CapabilityEngine::GrantUnit(CapDomainId requester, CapId src_cap,
                                                  CapDomainId dst, CapRights rights,
                                                  RevocationPolicy policy) {
+  const ScopedPhase phase(DispatchPhase::kEngine);
   std::unique_lock lock(mu_);
   TYCHE_ASSIGN_OR_RETURN(Capability * src, GetMutable(src_cap));
   if (src->owner != requester) {
@@ -442,6 +459,7 @@ uint64_t CapabilityEngine::RevokeSubtree(CapId cap_id, std::set<CapId>* visited,
 }
 
 Result<RevokeOutcome> CapabilityEngine::Revoke(CapDomainId requester, CapId cap_id) {
+  const ScopedPhase phase(DispatchPhase::kEngine);
   std::unique_lock lock(mu_);
   return RevokeLocked(requester, cap_id);
 }
@@ -504,6 +522,7 @@ Result<RevokeOutcome> CapabilityEngine::RevokeLocked(CapDomainId requester, CapI
 
 Result<RevokeOutcome> CapabilityEngine::PurgeDomain(
     CapDomainId domain, std::vector<std::pair<CapId, RevokeOutcome>>* partial) {
+  const ScopedPhase phase(DispatchPhase::kEngine);
   std::unique_lock lock(mu_);
   if (!IsRegisteredLocked(domain)) {
     return Error(ErrorCode::kNotFound, "purge: domain not registered");
@@ -784,6 +803,44 @@ void CapabilityEngine::ForEach(const std::function<void(const Capability&)>& fn)
   for (const auto& [id, cap] : caps_) {
     fn(cap);
   }
+}
+
+Status CapabilityEngine::CheckOwnedIndex() const {
+  std::shared_lock lock(mu_);
+  // Expected per-owner counts from the lineage map (the source of truth).
+  std::map<CapDomainId, uint64_t> expected;
+  for (const auto& [id, cap] : caps_) {
+    if (domains_.contains(cap.owner)) {
+      ++expected[cap.owner];
+    }
+  }
+  uint64_t indexed_total = 0;
+  for (const auto& [owner, ids] : owned_) {
+    for (const CapId id : ids) {
+      const auto it = caps_.find(id);
+      if (it == caps_.end()) {
+        return Error(ErrorCode::kInternal, "owner index names a nonexistent capability");
+      }
+      if (it->second.owner != owner) {
+        return Error(ErrorCode::kInternal, "owner index entry under the wrong owner");
+      }
+    }
+    const auto want = expected.find(owner);
+    const uint64_t want_count = want == expected.end() ? 0 : want->second;
+    if (ids.size() != want_count) {
+      return Error(ErrorCode::kInternal, "owner index count disagrees with lineage map");
+    }
+    indexed_total += ids.size();
+  }
+  // Totals catch an owner bucket that is missing entirely.
+  uint64_t expected_total = 0;
+  for (const auto& [owner, count] : expected) {
+    expected_total += count;
+  }
+  if (indexed_total != expected_total) {
+    return Error(ErrorCode::kInternal, "owner index is missing a domain's bucket");
+  }
+  return OkStatus();
 }
 
 std::string CapabilityEngine::DumpTree() const {

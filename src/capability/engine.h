@@ -221,6 +221,14 @@ class CapabilityEngine {
   uint64_t active_caps() const;
   std::string DumpTree() const;
 
+  // Cross-checks the per-owner index (owned_) against the lineage map: every
+  // indexed id must exist with the matching owner, every cap must be indexed
+  // under its owner, and per-owner counts must agree. O(caps) under a shared
+  // lock; run by the invariant watchdog to catch silent index desync that no
+  // single query would notice (a missing entry just makes a cap invisible to
+  // owner-filtered queries).
+  Status CheckOwnedIndex() const;
+
   // Walks every active capability (hardware-consistency validator support).
   void ForEachActive(const std::function<void(const Capability&)>& fn) const;
 

@@ -8,6 +8,7 @@
 #ifndef SRC_MONITOR_BACKEND_H_
 #define SRC_MONITOR_BACKEND_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "src/capability/engine.h"
@@ -72,8 +73,24 @@ class Backend {
   const BackendStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BackendStats{}; }
 
+  // Fail-safe occupancy: domains currently parked in this backend's
+  // fail-safe state (VT-x degraded hull / PMP deny-all). Maintained with
+  // relaxed atomics at the fail-safe transitions so the invariant watchdog
+  // can read "backend sync dirtiness" without taking any monitor lock.
+  uint64_t failsafe_active() const {
+    return failsafe_active_.load(std::memory_order_relaxed);
+  }
+
  protected:
+  void NoteFailsafeEntered() {
+    failsafe_active_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteFailsafeCleared() {
+    failsafe_active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
   BackendStats stats_;
+  std::atomic<uint64_t> failsafe_active_{0};
 };
 
 }  // namespace tyche

@@ -208,6 +208,7 @@ ApiResult DispatchInner(Monitor* monitor, CoreId core, const ApiRegs& regs) {
 ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
   Telemetry& telemetry = monitor->telemetry();
   AuditJournal& audit = monitor->audit();
+  DispatchProfiler& profiler = monitor->profiler();
   // Serial mode keeps the boundary overhead at a few relaxed loads and
   // predicted branches; concurrent mode (EnableConcurrentDispatch) classifies
   // the op and takes the api lock shared or exclusive around the WHOLE call,
@@ -216,17 +217,22 @@ ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
   // method calls remain serial-only.
   const bool concurrent = monitor->concurrent_dispatch();
   const bool shared_op = concurrent && IsSharedDispatchOp(regs.op);
-  // With telemetry AND the journal fully off the boundary adds three relaxed
-  // loads and a branch -- measured by bench_telemetry / bench_journal
-  // against the seed baseline.
+  // With telemetry, the journal, AND the profiler fully off the boundary
+  // adds a handful of relaxed loads and branches (including the watchdog's
+  // disabled tick) -- measured by bench_telemetry / bench_profile against
+  // the seed baseline.
   const bool journal_on = audit.enabled();
-  if (!telemetry.any_enabled() && !journal_on) {
+  const bool prof_on = profiler.enabled();
+  if (!telemetry.any_enabled() && !journal_on && !prof_on) {
     ApiResult result;
     {
       ConditionalSharedLock read_lock(monitor->api_mu(), shared_op,
-                                      telemetry.shared_contention());
+                                      telemetry.shared_contention(),
+                                      telemetry.shared_wait_ns());
       ConditionalUniqueLock write_lock(monitor->api_mu(), concurrent && !shared_op,
-                                       telemetry.exclusive_contention());
+                                       telemetry.exclusive_contention(),
+                                       telemetry.exclusive_wait_ns(),
+                                       DispatchPhase::kApiLockWait);
       result = DispatchInner(monitor, core, regs);
     }
     if (result.error != 0) [[unlikely]] {
@@ -236,6 +242,7 @@ ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
       monitor->flight_recorder().OnDispatchError(static_cast<uint16_t>(regs.op),
                                                  /*span=*/0, result.error);
     }
+    monitor->watchdog().MaybeTick(static_cast<uint16_t>(regs.op), /*span=*/0);
     return result;
   }
   // Resolve the caller BEFORE the call: ops like kTransition change it.
@@ -243,8 +250,16 @@ ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
                               ? monitor->CurrentDomain(core)
                               : kTraceNoDomain;
   const bool timing = telemetry.any_enabled();
-  const auto start =
-      timing ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
+  const auto start = (timing || prof_on) ? std::chrono::steady_clock::now()
+                                         : std::chrono::steady_clock::time_point{};
+  const uint64_t start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start.time_since_epoch())
+          .count());
+  // The phase window opens on the SAME clock read the TraceEntry timing
+  // uses and closes on the same end read below, so the per-phase sums
+  // reconcile with the end-to-end duration exactly (kOther absorbs the
+  // residual boundary work; bench_profile gates the ratio).
+  const bool windowed = prof_on && profiler.BeginWindow(start_ns);
 
   // Fault-site triggers are detected by delta: if the global injector
   // delivered a fault during this call, the flight recorder captures the
@@ -260,9 +275,12 @@ ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
   ApiResult result;
   {
     ConditionalSharedLock read_lock(monitor->api_mu(), shared_op,
-                                    telemetry.shared_contention());
+                                    telemetry.shared_contention(),
+                                    telemetry.shared_wait_ns());
     ConditionalUniqueLock write_lock(monitor->api_mu(), concurrent && !shared_op,
-                                     telemetry.exclusive_contention());
+                                     telemetry.exclusive_contention(),
+                                     telemetry.exclusive_wait_ns(),
+                                     DispatchPhase::kApiLockWait);
     result = DispatchInner(monitor, core, regs);
   }
   monitor->EndSpan(core);
@@ -276,8 +294,15 @@ ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
   if (journal_on) {
     audit.Dispatch(span, op, caller, args_digest, result.error);
   }
+  const auto end = (timing || windowed) ? std::chrono::steady_clock::now()
+                                        : std::chrono::steady_clock::time_point{};
+  const uint64_t end_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end.time_since_epoch())
+          .count());
+  if (windowed) {
+    profiler.EndWindow(op, span, end_ns);
+  }
   if (timing) {
-    const auto elapsed = std::chrono::steady_clock::now() - start;
     TraceEntry entry;
     entry.op = op;
     entry.core = core;
@@ -285,12 +310,22 @@ ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
     entry.span = span;
     entry.args_digest = args_digest;
     entry.error = result.error;
-    entry.duration_ns = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
-    entry.start_ns = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(start.time_since_epoch())
-            .count());
+    entry.duration_ns = end_ns - start_ns;
+    entry.start_ns = start_ns;
+    // The telemetry-record overhead runs after the e2e clock stopped, so it
+    // is measured DETACHED: visible in the phase histograms without ever
+    // perturbing the reconciliation property above. Sampled 1-in-16 (keyed
+    // off the monotonic span id, so no extra state) because the measurement
+    // itself costs two clock reads -- full-rate sampling would tax every
+    // dispatch to time a ~constant-cost recording step.
+    const bool sample_telemetry = windowed && (span & 15) == 0;
+    const uint64_t record_start = sample_telemetry ? ProfilerNowNs() : 0;
     telemetry.RecordCall(entry);
+    if (sample_telemetry) {
+      const uint64_t record_end = ProfilerNowNs();
+      profiler.RecordDetached(op, DispatchPhase::kTelemetry,
+                              record_end - record_start, span, record_end);
+    }
   }
   // Post-mortem hooks, outside every dispatch lock. An injected fault that
   // fired during this call is the stronger signal, so it wins over the
@@ -304,6 +339,11 @@ ApiResult Dispatch(Monitor* monitor, CoreId core, const ApiRegs& regs) {
   } else if (result.error != 0) [[unlikely]] {
     monitor->flight_recorder().OnDispatchError(op, span, result.error);
   }
+  // Watchdog tick LAST, after every lock is released: the checks take only
+  // leaf locks (journal mutex, engine shared lock) plus one relaxed backend
+  // load. The span lets a violation capture name the dispatch whose tick
+  // detected it.
+  monitor->watchdog().MaybeTick(op, span);
   return result;
 }
 

@@ -96,6 +96,7 @@ Monitor::Monitor(Machine* machine, AddrRange monitor_range, FrameAllocator metad
   } else {
     backend_ = std::make_unique<PmpBackend>(machine_, &engine_, monitor_range_);
   }
+  watchdog_.set_backend(backend_.get());
   call_stacks_.resize(machine_->num_cores());
   active_spans_.resize(machine_->num_cores(), 0);
 
@@ -262,6 +263,85 @@ void Monitor::RegisterMetrics() {
   metrics_.AddCallback("tyche_flight_captures_total",
                        "Post-mortem flight records captured", true, {},
                        [this] { return flight_.captures(); });
+
+  // Phase-attribution profiler (DESIGN.md §6): per (op, phase) latency
+  // histograms plus the slowest sample's size / span / timestamp, so a
+  // histogram outlier is joinable into the Chrome trace. All empty until
+  // the profiler is enabled.
+  for (size_t op = 0; op < static_cast<size_t>(ApiOp::kOpCount); ++op) {
+    for (size_t phase = 0; phase < kDispatchPhaseCount; ++phase) {
+      const auto p = static_cast<DispatchPhase>(phase);
+      const uint16_t op16 = static_cast<uint16_t>(op);
+      const MetricLabels labels = {{"op", ApiOpName(static_cast<ApiOp>(op))},
+                                   {"phase", DispatchPhaseName(p)}};
+      metrics_.AddHistogram(
+          "tyche_dispatch_phase_latency_ns",
+          "Per-phase dispatch latency (log2 buckets)", labels,
+          [this, op16, p] { return profiler_.PhaseSnapshot(op16, p); });
+      metrics_.AddCallback(
+          "tyche_dispatch_phase_slowest_ns",
+          "Slowest sample recorded for this (op, phase)", false, labels,
+          [this, op16, p] { return profiler_.Exemplar(op16, p).ns; });
+      metrics_.AddCallback(
+          "tyche_dispatch_phase_slowest_span",
+          "Dispatch span id of the slowest sample (joins the Chrome trace)", false,
+          labels, [this, op16, p] { return profiler_.Exemplar(op16, p).span; });
+      metrics_.AddCallback(
+          "tyche_dispatch_phase_slowest_ts_ns",
+          "Steady-clock timestamp of the slowest sample", false, labels,
+          [this, op16, p] { return profiler_.Exemplar(op16, p).ts_ns; });
+    }
+  }
+  metrics_.AddCallback("tyche_profiler_samples_total",
+                       "Phase samples recorded by the dispatch profiler", true, {},
+                       [this] { return profiler_.TotalSamples(); });
+
+  // Attributed lock-wait time: measured at the guards (src/support/locking.h)
+  // and the journal's group-commit waiter path, not inferred from counts.
+  metrics_.AddCallback("tyche_lock_wait_ns_total",
+                       "Nanoseconds spent blocked on contended conditional guards",
+                       true, {{"class", "exclusive"}},
+                       [this] { return telemetry_.exclusive_wait_ns_total(); });
+  metrics_.AddCallback("tyche_lock_wait_ns_total",
+                       "Nanoseconds spent blocked on contended conditional guards",
+                       true, {{"class", "shared"}},
+                       [this] { return telemetry_.shared_wait_ns_total(); });
+  metrics_.AddCallback("tyche_lock_wait_ns_total",
+                       "Nanoseconds spent blocked on contended conditional guards",
+                       true, {{"class", "shard"}},
+                       [this] { return telemetry_.shard_wait_ns_total(); });
+  metrics_.AddCallback(
+      "tyche_journal_commit_waits_total",
+      "Group-commit appends that blocked waiting for a combiner", true, {},
+      [this] { return audit_.journal().commit_wait_stats().waits; });
+  metrics_.AddCallback(
+      "tyche_journal_commit_wait_ns_total",
+      "Nanoseconds spent blocked waiting for a group-commit combiner", true, {},
+      [this] { return audit_.journal().commit_wait_stats().wait_ns; });
+
+  // Invariant watchdog: per-invariant health (1 = holds), check/violation
+  // totals, and the backend fail-safe occupancy the dirtiness check reads.
+  metrics_.AddCallback("tyche_watchdog_healthy",
+                       "1 while the named invariant holds, 0 after a violation",
+                       false, {{"invariant", "journal_chain"}},
+                       [this] { return watchdog_.chain_healthy() ? 1u : 0u; });
+  metrics_.AddCallback("tyche_watchdog_healthy",
+                       "1 while the named invariant holds, 0 after a violation",
+                       false, {{"invariant", "owned_index"}},
+                       [this] { return watchdog_.index_healthy() ? 1u : 0u; });
+  metrics_.AddCallback("tyche_watchdog_healthy",
+                       "1 while the named invariant holds, 0 after a violation",
+                       false, {{"invariant", "backend_sync"}},
+                       [this] { return watchdog_.backend_healthy() ? 1u : 0u; });
+  metrics_.AddCallback("tyche_watchdog_checks_total",
+                       "Invariant check rounds run by the watchdog", true, {},
+                       [this] { return watchdog_.checks(); });
+  metrics_.AddCallback("tyche_watchdog_violations_total",
+                       "Invariant violations detected by the watchdog", true, {},
+                       [this] { return watchdog_.violations(); });
+  metrics_.AddCallback("tyche_backend_failsafe_active",
+                       "Domains currently parked in the backend's fail-safe state",
+                       false, {}, [this] { return backend_->failsafe_active(); });
 }
 
 MonitorStats Monitor::stats() const {
@@ -617,7 +697,8 @@ Status Monitor::SetTransitionPolicy(CoreId core, CapId domain_handle, bool scrub
   TYCHE_ASSIGN_OR_RETURN(const DomainId target,
                          ResolveHandle(caller, domain_handle, /*require_manage=*/true));
   ConditionalUniqueLock shard(ShardFor(target), concurrent_dispatch(),
-                              telemetry_.exclusive_contention());
+                              telemetry_.exclusive_contention(),
+                              telemetry_.shard_wait_ns());
   TYCHE_ASSIGN_OR_RETURN(TrustDomain * domain, GetDomainMutable(target));
   if (domain->sealed()) {
     return Error(ErrorCode::kDomainSealed, "transition policy is fixed at seal time");
@@ -667,7 +748,8 @@ Status Monitor::SetEntryPoint(CoreId core, CapId domain_handle, uint64_t entry) 
   TYCHE_ASSIGN_OR_RETURN(const DomainId target,
                          ResolveHandle(caller, domain_handle, /*require_manage=*/true));
   ConditionalUniqueLock shard(ShardFor(target), concurrent_dispatch(),
-                              telemetry_.exclusive_contention());
+                              telemetry_.exclusive_contention(),
+                              telemetry_.shard_wait_ns());
   TYCHE_ASSIGN_OR_RETURN(TrustDomain * domain, GetDomainMutable(target));
   if (domain->sealed()) {
     return Error(ErrorCode::kDomainSealed, "cannot move a sealed domain's entry point");
@@ -683,7 +765,8 @@ Status Monitor::ExtendMeasurement(CoreId core, CapId domain_handle, AddrRange ra
   TYCHE_ASSIGN_OR_RETURN(const DomainId target,
                          ResolveHandle(caller, domain_handle, /*require_manage=*/true));
   ConditionalUniqueLock shard(ShardFor(target), concurrent_dispatch(),
-                              telemetry_.exclusive_contention());
+                              telemetry_.exclusive_contention(),
+                              telemetry_.shard_wait_ns());
   TYCHE_ASSIGN_OR_RETURN(TrustDomain * domain, GetDomainMutable(target));
   if (domain->sealed()) {
     return Error(ErrorCode::kDomainSealed, "measurement already finalized");
@@ -711,7 +794,8 @@ Status Monitor::Seal(CoreId core, CapId domain_handle) {
   TYCHE_ASSIGN_OR_RETURN(const DomainId target,
                          ResolveHandle(caller, domain_handle, /*require_manage=*/true));
   ConditionalUniqueLock shard(ShardFor(target), concurrent_dispatch(),
-                              telemetry_.exclusive_contention());
+                              telemetry_.exclusive_contention(),
+                              telemetry_.shard_wait_ns());
   TYCHE_ASSIGN_OR_RETURN(TrustDomain * domain, GetDomainMutable(target));
   if (domain->sealed()) {
     return Error(ErrorCode::kDomainSealed, "already sealed");
@@ -920,7 +1004,9 @@ Status Monitor::Revoke(CoreId core, CapId cap) {
 
 Result<DomainAttestation> Monitor::BuildAttestation(DomainId target, uint64_t nonce) {
   ConditionalSharedLock shard(ShardFor(target), concurrent_dispatch(),
-                              telemetry_.shared_contention());
+                              telemetry_.shared_contention(),
+                              telemetry_.shard_wait_ns(),
+                              DispatchPhase::kShardLockWait);
   TYCHE_ASSIGN_OR_RETURN(const TrustDomain* domain, GetDomain(target));
   DomainAttestation report;
   report.domain = target;
@@ -1102,7 +1188,9 @@ Result<std::vector<uint8_t>> Monitor::SealData(CoreId core, std::span<const uint
   TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kSealData));
   TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
   ConditionalSharedLock shard(ShardFor(caller), concurrent_dispatch(),
-                              telemetry_.shared_contention());
+                              telemetry_.shared_contention(),
+                              telemetry_.shard_wait_ns(),
+                              DispatchPhase::kShardLockWait);
   TYCHE_ASSIGN_OR_RETURN(const TrustDomain* domain, GetDomain(caller));
   if (!domain->sealed()) {
     return Error(ErrorCode::kDomainNotSealed,
@@ -1125,7 +1213,9 @@ Result<std::vector<uint8_t>> Monitor::UnsealData(CoreId core,
   TYCHE_RETURN_IF_ERROR(ChargeCall(ApiOp::kUnsealData));
   TYCHE_ASSIGN_OR_RETURN(const DomainId caller, Caller(core));
   ConditionalSharedLock shard(ShardFor(caller), concurrent_dispatch(),
-                              telemetry_.shared_contention());
+                              telemetry_.shared_contention(),
+                              telemetry_.shard_wait_ns(),
+                              DispatchPhase::kShardLockWait);
   TYCHE_ASSIGN_OR_RETURN(const TrustDomain* domain, GetDomain(caller));
   if (!domain->sealed()) {
     return Error(ErrorCode::kDomainNotSealed, "unsealing requires a final measurement");

@@ -26,8 +26,10 @@
 #include "src/monitor/audit.h"
 #include "src/monitor/backend.h"
 #include "src/monitor/domain.h"
+#include "src/monitor/watchdog.h"
 #include "src/support/flight_recorder.h"
 #include "src/support/metrics.h"
+#include "src/support/profiler.h"
 #include "src/support/status.h"
 #include "src/support/telemetry.h"
 
@@ -181,6 +183,15 @@ class Monitor {
   bool counters_enabled() const { return counters_on_.load(std::memory_order_relaxed); }
   AuditJournal& audit() { return audit_; }
   const AuditJournal& audit() const { return audit_; }
+  // Per-op × per-phase dispatch profiler (DESIGN.md §6). Off by default;
+  // bench_profile gates the enabled-mode overhead.
+  DispatchProfiler& profiler() { return profiler_; }
+  const DispatchProfiler& profiler() const { return profiler_; }
+  // Online invariant watchdog. EnableWatchdog(N) checks every N dispatches;
+  // 0 (the default) keeps the tick to one relaxed load on the hot path.
+  InvariantWatchdog& watchdog() { return watchdog_; }
+  const InvariantWatchdog& watchdog() const { return watchdog_; }
+  void EnableWatchdog(uint64_t interval) { watchdog_.set_interval(interval); }
   const SchnorrPublicKey& public_key() const { return key_.pub; }
   const AddrRange& monitor_range() const { return monitor_range_; }
 
@@ -451,6 +462,13 @@ class Monitor {
   // metrics_, so it is declared after both.
   FlightRecorder flight_{&telemetry_.ring(), &metrics_};
   AuditJournal audit_;
+  // Depends on telemetry/metrics only through the registry callbacks wired
+  // in RegisterMetrics(); storage is lazily allocated on first enable.
+  DispatchProfiler profiler_{static_cast<size_t>(ApiOp::kOpCount)};
+  // Borrows the journal, engine, and flight recorder declared above; the
+  // backend pointer is installed by the constructor (and re-installed by
+  // recovery) since backend_ is rebuilt behind its unique_ptr.
+  InvariantWatchdog watchdog_{&audit_.journal(), &engine_, &flight_};
   std::atomic<uint64_t> next_span_{1};
   std::vector<uint64_t> active_spans_;  // per-core; 0 = no dispatch in flight
 

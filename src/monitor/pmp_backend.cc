@@ -6,6 +6,7 @@
 
 #include "src/support/faults.h"
 #include "src/support/log.h"
+#include "src/support/profiler.h"
 
 namespace tyche {
 
@@ -22,6 +23,7 @@ Result<PmpBackend::DomainContext*> PmpBackend::ContextOf(DomainId domain) {
 }
 
 Status PmpBackend::CreateDomainContext(DomainId domain, uint16_t asid) {
+  const ScopedPhase phase(DispatchPhase::kBackend);
   if (contexts_.contains(domain)) {
     return Error(ErrorCode::kAlreadyExists, "backend context exists");
   }
@@ -33,6 +35,7 @@ Status PmpBackend::CreateDomainContext(DomainId domain, uint16_t asid) {
 }
 
 Status PmpBackend::DestroyDomainContext(DomainId domain) {
+  const ScopedPhase phase(DispatchPhase::kBackend);
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
   for (const uint16_t bdf : context->devices) {
     machine_->io_pmp().Remove(PciBdf{bdf});
@@ -50,6 +53,9 @@ Status PmpBackend::DestroyDomainContext(DomainId domain) {
         }
       }
     }
+  }
+  if (context->denied) {
+    NoteFailsafeCleared();  // the fail-safe state dies with the context
   }
   contexts_.erase(domain);
   return OkStatus();
@@ -95,6 +101,7 @@ Result<PmpBackend::PmpProgram> PmpBackend::Compile(
 }
 
 Status PmpBackend::SyncMemory(DomainId domain, const AddrRange& range) {
+  const ScopedPhase phase(DispatchPhase::kBackend);
   (void)range;  // PMP has no page granularity: recompile the whole layout.
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
   ++stats_.memory_syncs;
@@ -107,6 +114,9 @@ Status PmpBackend::SyncMemory(DomainId domain, const AddrRange& range) {
   Status failure = program.ok() ? OkStatus() : program.status();
   if (program.ok()) {
     context->program = std::move(*program);
+    if (context->denied) {
+      NoteFailsafeCleared();
+    }
     context->denied = false;
     // Rewrite harts currently running this domain and any bound devices.
     // Visit EVERY hart and device even after a failure — an early return
@@ -139,6 +149,9 @@ Status PmpBackend::SyncMemory(DomainId domain, const AddrRange& range) {
   // never a superset -- and report the error so policy operations can be
   // rolled back (a later successful sync restores enforcement).
   context->program.entries.clear();
+  if (!context->denied) {
+    NoteFailsafeEntered();
+  }
   context->denied = true;
   for (CoreId core = 0; core < machine_->num_cores(); ++core) {
     if (machine_->cpu(core).current_domain() != domain) {
@@ -179,6 +192,7 @@ Status PmpBackend::SyncDevice(const DomainContext& context, uint16_t bdf) {
 }
 
 Status PmpBackend::AttachDevice(DomainId domain, uint16_t bdf) {
+  const ScopedPhase phase(DispatchPhase::kBackend);
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
   TYCHE_FAULT_POINT(faults::kPmpAttachDevice);
   context->devices.insert(bdf);
@@ -194,6 +208,7 @@ Status PmpBackend::AttachDevice(DomainId domain, uint16_t bdf) {
 }
 
 Status PmpBackend::DetachDevice(DomainId domain, uint16_t bdf) {
+  const ScopedPhase phase(DispatchPhase::kBackend);
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
   if (!context->devices.contains(bdf)) {
     return Error(ErrorCode::kNotFound, "device not attached to domain");
@@ -228,6 +243,7 @@ void PmpBackend::InstallGuard(CoreId core) {
 }
 
 Status PmpBackend::BindCore(DomainId domain, CoreId core) {
+  const ScopedPhase phase(DispatchPhase::kBackend);
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
   TYCHE_FAULT_POINT(faults::kPmpBindCore);
   InstallGuard(core);

@@ -307,6 +307,7 @@ Status Monitor::ResyncAll() {
   } else {
     backend_ = std::make_unique<PmpBackend>(machine_, &engine_, monitor_range_);
   }
+  watchdog_.set_backend(backend_.get());
   for (const auto& [id, domain] : domains_) {
     if (!domain.alive()) {
       continue;

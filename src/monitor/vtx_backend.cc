@@ -6,6 +6,7 @@
 
 #include "src/support/faults.h"
 #include "src/support/log.h"
+#include "src/support/profiler.h"
 
 namespace tyche {
 
@@ -22,6 +23,7 @@ Result<VtxBackend::DomainContext*> VtxBackend::ContextOf(DomainId domain) {
 }
 
 Status VtxBackend::CreateDomainContext(DomainId domain, uint16_t asid) {
+  const ScopedPhase phase(DispatchPhase::kBackend);
   if (contexts_.contains(domain)) {
     return Error(ErrorCode::kAlreadyExists, "backend context exists");
   }
@@ -37,6 +39,7 @@ Status VtxBackend::CreateDomainContext(DomainId domain, uint16_t asid) {
 }
 
 Status VtxBackend::DestroyDomainContext(DomainId domain) {
+  const ScopedPhase phase(DispatchPhase::kBackend);
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
   // Detach any devices still bound to this context. Teardown must not stop
   // half-way, so failures here are logged and the walk continues; a device
@@ -59,11 +62,15 @@ Status VtxBackend::DestroyDomainContext(DomainId domain) {
     domains.erase(domain);
   }
   TYCHE_RETURN_IF_ERROR(context->ept->Destroy());
+  if (!context->degraded.empty()) {
+    NoteFailsafeCleared();  // the fail-safe state dies with the context
+  }
   contexts_.erase(domain);
   return OkStatus();
 }
 
 Status VtxBackend::SyncMemory(DomainId domain, const AddrRange& range) {
+  const ScopedPhase phase(DispatchPhase::kBackend);
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
   NestedPageTable* ept = context->ept.get();
 
@@ -103,6 +110,7 @@ Status VtxBackend::SyncMemory(DomainId domain, const AddrRange& range) {
       context->degraded.end() <= range.end()) {
     // A full, successful sync over the degraded hull restores liveness.
     context->degraded = AddrRange{0, 0};
+    NoteFailsafeCleared();
   }
   FlushDomain(domain);
   return OkStatus();
@@ -127,6 +135,7 @@ void VtxBackend::DenyRange(DomainContext* context, const AddrRange& range) {
   }
   if (context->degraded.empty()) {
     context->degraded = AddrRange{begin, end - begin};
+    NoteFailsafeEntered();
   } else {
     const uint64_t lo = std::min(context->degraded.base, begin);
     const uint64_t hi = std::max(context->degraded.end(), end);
@@ -140,6 +149,7 @@ bool VtxBackend::Degraded(DomainId domain) const {
 }
 
 Status VtxBackend::AttachDevice(DomainId domain, uint16_t bdf) {
+  const ScopedPhase phase(DispatchPhase::kBackend);
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
   TYCHE_FAULT_POINT(faults::kVtxAttachDevice);
   TYCHE_RETURN_IF_ERROR(machine_->iommu().AttachDevice(PciBdf{bdf}, context->ept.get()));
@@ -149,6 +159,7 @@ Status VtxBackend::AttachDevice(DomainId domain, uint16_t bdf) {
 }
 
 Status VtxBackend::DetachDevice(DomainId domain, uint16_t bdf) {
+  const ScopedPhase phase(DispatchPhase::kBackend);
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
   if (!context->devices.contains(bdf)) {
     return Error(ErrorCode::kNotFound, "device not attached to domain");
@@ -164,6 +175,7 @@ Status VtxBackend::DetachDevice(DomainId domain, uint16_t bdf) {
 }
 
 Status VtxBackend::BindCore(DomainId domain, CoreId core) {
+  const ScopedPhase phase(DispatchPhase::kBackend);
   TYCHE_ASSIGN_OR_RETURN(DomainContext * context, ContextOf(domain));
   TYCHE_FAULT_POINT(faults::kVtxBindCore);
   // Slow path: full EPTP load; without VPID tagging this flushes the TLB.
@@ -187,6 +199,7 @@ Status VtxBackend::RegisterFastPath(DomainId domain, CoreId core) {
 }
 
 Status VtxBackend::FastBindCore(DomainId domain, CoreId core) {
+  const ScopedPhase phase(DispatchPhase::kBackend);
   const auto it = fast_paths_.find(core);
   if (it == fast_paths_.end() || !it->second.contains(domain)) {
     return Error(ErrorCode::kTransitionDenied, "domain not in core's EPTP list");
@@ -200,6 +213,7 @@ Status VtxBackend::FastBindCore(DomainId domain, CoreId core) {
 }
 
 void VtxBackend::FlushDomain(DomainId domain) {
+  const ScopedPhase phase(DispatchPhase::kBackend);
   const auto it = contexts_.find(domain);
   if (it == contexts_.end()) {
     return;

@@ -58,6 +58,14 @@ inline constexpr std::string_view kPmpAttachDevice = "pmp.attach_device";
 inline constexpr std::string_view kPmpDetachDevice = "pmp.detach_device";
 // Capability engine: one per-root revoke inside a domain purge.
 inline constexpr std::string_view kEnginePurgeRevoke = "engine.purge_revoke";
+
+// Silent-corruption sites for the invariant watchdog (src/monitor/watchdog.h).
+// Deliberately NOT in AllFaultSites(): the sweep enumerates sites that
+// surface typed errors through the normal paths, while these flip internal
+// state without failing the operation -- exactly the class of bug only the
+// online watchdog can catch.
+inline constexpr std::string_view kJournalHeadTamper = "journal.head_tamper";
+inline constexpr std::string_view kEngineOwnedDesync = "engine.owned_desync";
 }  // namespace faults
 
 // Every canonical site, in a stable order, for sweep enumeration.

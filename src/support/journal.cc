@@ -6,6 +6,9 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/support/faults.h"
+#include "src/support/profiler.h"
+
 namespace tyche {
 
 namespace {
@@ -186,6 +189,11 @@ uint64_t Journal::Append(JournalRecord record) {
   if (!enabled()) {
     return kNoSeq;
   }
+  // Dispatch-profiler attribution: ALL journal work reached from a dispatch
+  // -- the boundary record, engine-mutation records appended mid-op, and
+  // any group-commit wait inside CommitPending -- lands in the kJournal
+  // phase. A bare TLS load when no window is open.
+  const ScopedPhase phase(DispatchPhase::kJournal);
   PendingAppend slot;
   slot.records = &record;
   slot.count = 1;
@@ -196,6 +204,7 @@ uint64_t Journal::AppendGroup(std::span<JournalRecord> records) {
   if (!enabled() || records.empty()) {
     return kNoSeq;
   }
+  const ScopedPhase phase(DispatchPhase::kJournal);
   PendingAppend slot;
   slot.records = records.data();
   slot.count = records.size();
@@ -213,7 +222,12 @@ uint64_t Journal::CommitPending(PendingAppend* own) {
   std::unique_lock<std::mutex> queue_lock(queue_mu_);
   pending_.push_back(own);
   if (combiner_active_) {
+    // Already off the fast path: this thread is about to sleep, so two
+    // clock reads attribute the group-commit wait exactly.
+    const uint64_t blocked_at = ProfilerNowNs();
     queue_cv_.wait(queue_lock, [own] { return own->done; });
+    commit_waits_.Add();
+    commit_wait_ns_.Add(ProfilerNowNs() - blocked_at);
     return own->first_seq;
   }
   combiner_active_ = true;
@@ -250,6 +264,15 @@ void Journal::AppendOneLocked(JournalRecord* record) {
   record->tick = tick_ ? tick_() : 0;
   record->link = ChainLink(head_, *record);
   head_ = record->link;
+  // Silent-corruption injection for the invariant watchdog: flips a bit in
+  // the live chain head the way a memory-corruption bug would, WITHOUT
+  // failing the append. Not a canonical sweep site (the sweep expects sites
+  // that surface typed errors); see faults::kJournalHeadTamper.
+  if (FaultInjector::active()) [[unlikely]] {
+    if (!FaultInjector::Instance().Check(faults::kJournalHeadTamper).ok()) {
+      head_.bytes[0] ^= 0x80;
+    }
+  }
   if (record->event < static_cast<uint8_t>(JournalEvent::kEventCount)) {
     ++event_counts_[record->event];
   }
@@ -262,6 +285,42 @@ void Journal::AppendOneLocked(JournalRecord* record) {
 Journal::GroupCommitStats Journal::group_commit_stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return group_stats_;
+}
+
+Status Journal::VerifyTail(ChainPosition* pos) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t tail_seq = base_seq_ + records_.size();
+  if (pos->next_seq < base_seq_ || pos->next_seq > tail_seq) {
+    // Compaction dropped the verified prefix, or Clear()/Restore() rewound
+    // the chain under the caller. Re-anchor at the live tail: continuity of
+    // the skipped prefix is the offline verifier's job (it has the signed
+    // anchor checkpoint; we only have a stale in-memory position).
+    pos->next_seq = tail_seq;
+    pos->head = head_;
+    return OkStatus();
+  }
+  Digest running = pos->head;
+  for (uint64_t seq = pos->next_seq; seq < tail_seq; ++seq) {
+    const JournalRecord& record = records_[seq - base_seq_];
+    if (record.seq != seq) {
+      return Error(ErrorCode::kJournalChainBroken,
+                   "journal: watchdog found seq " + std::to_string(record.seq) +
+                       " at index " + std::to_string(seq) + " (drop or reorder)");
+    }
+    if (ChainLink(running, record) != record.link) {
+      return Error(ErrorCode::kJournalChainBroken,
+                   "journal: watchdog found broken link at seq " + std::to_string(seq));
+    }
+    running = record.link;
+  }
+  if (!(running == head_)) {
+    return Error(ErrorCode::kJournalChainBroken,
+                 "journal: watchdog found head/tail mismatch at seq " +
+                     std::to_string(tail_seq));
+  }
+  pos->next_seq = tail_seq;
+  pos->head = running;
+  return OkStatus();
 }
 
 void Journal::CheckpointLocked() {
@@ -332,6 +391,8 @@ void Journal::Clear() {
   base_seq_ = 0;
   event_counts_ = {};
   group_stats_ = {};
+  commit_waits_.Reset();
+  commit_wait_ns_.Reset();
 }
 
 Status Journal::TruncateBefore(uint64_t checkpoint_seq) {

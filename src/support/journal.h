@@ -40,6 +40,7 @@
 
 #include "src/crypto/schnorr.h"
 #include "src/crypto/sha256.h"
+#include "src/support/metrics.h"
 #include "src/support/status.h"
 
 namespace tyche {
@@ -186,6 +187,35 @@ class Journal {
   };
   GroupCommitStats group_commit_stats() const;
 
+  // Group-commit WAIT attribution: how often an appender had to sleep for a
+  // running combiner, and the total nanoseconds spent blocked. Measured at
+  // the wait itself (striped counters, contended path only), so journal
+  // contention is reported, not inferred from throughput. The dispatch
+  // profiler sees the same interval inside its kJournal phase.
+  struct CommitWaitStats {
+    uint64_t waits = 0;    // appenders that blocked on a combiner
+    uint64_t wait_ns = 0;  // total nanoseconds those appenders were blocked
+  };
+  CommitWaitStats commit_wait_stats() const {
+    return {commit_waits_.Value(), commit_wait_ns_.Value()};
+  }
+
+  // Incremental online chain verification for the invariant watchdog: the
+  // caller carries its last verified position across calls so each check
+  // only recomputes links for records appended since.
+  struct ChainPosition {
+    uint64_t next_seq = 0;  // first record seq not yet verified
+    Digest head;            // chain head after the verified prefix; callers
+                            // initialize it to JournalGenesis()
+  };
+
+  // Recomputes every link in [pos->next_seq, size) off pos->head and checks
+  // the running digest equals the live chain head. On success advances *pos
+  // to the tail. A position invalidated by compaction, Clear(), or Restore()
+  // re-anchors at the current tail without error (the skipped prefix is the
+  // offline verifier's job). Returns kJournalChainBroken on any mismatch.
+  Status VerifyTail(ChainPosition* pos) const;
+
   // Signs the current head (no-op when empty, unsigned, or already covered).
   // Exporters call this so the tail is always covered by a signature.
   void Checkpoint();
@@ -257,6 +287,10 @@ class Journal {
   std::condition_variable queue_cv_;
   std::deque<PendingAppend*> pending_;
   bool combiner_active_ = false;
+
+  // Commit-wait attribution; striped atomics, outside both locks.
+  StripedCounter commit_waits_;
+  StripedCounter commit_wait_ns_;
 
   mutable std::mutex mu_;  // guards everything below
   GroupCommitStats group_stats_;

@@ -10,11 +10,14 @@
 // lock, by contrast, is unconditional -- engine operations are never on the
 // 40ns path.
 //
-// Both guards optionally count contention: when the uncontended try_lock
-// fails, a striped metrics counter is bumped before blocking (per-thread
-// cells, so the counting never adds its own cache-line contention).
-// Telemetry surfaces these counters so scaling benchmarks can attribute
-// flat curves to lock pressure instead of guessing.
+// Both guards ATTRIBUTE contention instead of leaving it to be inferred:
+// when the uncontended try_lock fails, the guard (a) bumps a striped
+// contended-acquisition counter, (b) measures the blocking time and adds it
+// to a striped wait-nanoseconds counter, and (c) charges the wait to the
+// caller's dispatch-profiler phase (api-lock wait vs shard-lock wait; see
+// src/support/profiler.h). All of it happens only on the contended path --
+// an uncontended acquisition stays a single try_lock, and the phase hook is
+// a bare TLS load when no profiler window is open.
 
 #ifndef SRC_SUPPORT_LOCKING_H_
 #define SRC_SUPPORT_LOCKING_H_
@@ -23,13 +26,16 @@
 #include <shared_mutex>
 
 #include "src/support/metrics.h"
+#include "src/support/profiler.h"
 
 namespace tyche {
 
 class ConditionalUniqueLock {
  public:
   ConditionalUniqueLock(std::shared_mutex& mu, bool engage,
-                        StripedCounter* contended = nullptr)
+                        StripedCounter* contended = nullptr,
+                        StripedCounter* wait_ns = nullptr,
+                        DispatchPhase wait_phase = DispatchPhase::kShardLockWait)
       : mu_(engage ? &mu : nullptr) {
     if (mu_ == nullptr) {
       return;
@@ -40,7 +46,12 @@ class ConditionalUniqueLock {
     if (contended != nullptr) {
       contended->Add();
     }
+    const ScopedPhase wait(wait_phase);
+    const uint64_t blocked_at = wait_ns != nullptr ? ProfilerNowNs() : 0;
     mu_->lock();
+    if (wait_ns != nullptr) {
+      wait_ns->Add(ProfilerNowNs() - blocked_at);
+    }
   }
 
   ~ConditionalUniqueLock() {
@@ -59,7 +70,9 @@ class ConditionalUniqueLock {
 class ConditionalSharedLock {
  public:
   ConditionalSharedLock(std::shared_mutex& mu, bool engage,
-                        StripedCounter* contended = nullptr)
+                        StripedCounter* contended = nullptr,
+                        StripedCounter* wait_ns = nullptr,
+                        DispatchPhase wait_phase = DispatchPhase::kApiLockWait)
       : mu_(engage ? &mu : nullptr) {
     if (mu_ == nullptr) {
       return;
@@ -70,7 +83,12 @@ class ConditionalSharedLock {
     if (contended != nullptr) {
       contended->Add();
     }
+    const ScopedPhase wait(wait_phase);
+    const uint64_t blocked_at = wait_ns != nullptr ? ProfilerNowNs() : 0;
     mu_->lock_shared();
+    if (wait_ns != nullptr) {
+      wait_ns->Add(ProfilerNowNs() - blocked_at);
+    }
   }
 
   ~ConditionalSharedLock() {

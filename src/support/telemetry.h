@@ -174,11 +174,26 @@ class Telemetry {
   uint64_t exclusive_contention_count() const { return exclusive_contention_.Value(); }
   uint64_t shared_contention_count() const { return shared_contention_.Value(); }
 
+  // Wait-TIME companions to the counters above: total nanoseconds threads
+  // spent blocked in each guard class (api exclusive, api shared, domain
+  // shard). Contention is thereby attributed, not inferred from throughput:
+  // the guards measure the block and add the delta here, and the dispatch
+  // profiler charges the same interval to its lock-wait phases.
+  StripedCounter* exclusive_wait_ns() { return &exclusive_wait_ns_; }
+  StripedCounter* shared_wait_ns() { return &shared_wait_ns_; }
+  StripedCounter* shard_wait_ns() { return &shard_wait_ns_; }
+  uint64_t exclusive_wait_ns_total() const { return exclusive_wait_ns_.Value(); }
+  uint64_t shared_wait_ns_total() const { return shared_wait_ns_.Value(); }
+  uint64_t shard_wait_ns_total() const { return shard_wait_ns_.Value(); }
+
  private:
   const size_t op_count_;
   std::atomic<bool> histograms_enabled_{true};
   StripedCounter exclusive_contention_;
   StripedCounter shared_contention_;
+  StripedCounter exclusive_wait_ns_;
+  StripedCounter shared_wait_ns_;
+  StripedCounter shard_wait_ns_;
   mutable std::mutex mu_;  // guards per_op_
   std::vector<LatencyHistogram> per_op_;
   TraceRing ring_;

@@ -65,7 +65,8 @@ struct SliceRef {
 std::string ExportChromeTrace(const std::vector<TraceEntry>& trace,
                               const std::vector<JournalRecord>& records,
                               const std::function<std::string(uint16_t)>& op_name,
-                              const std::function<std::string(uint8_t)>& event_name) {
+                              const std::function<std::string(uint8_t)>& event_name,
+                              const std::vector<TraceExemplarMark>& exemplars) {
   std::ostringstream out;
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
@@ -147,6 +148,36 @@ std::string ExportChromeTrace(const std::vector<TraceEntry>& trace,
         << ",\"tid\":" << tid << ",\"args\":{\"span\":" << record.span
         << ",\"seq\":" << record.seq << ",\"domain\":" << record.domain
         << ",\"cap\":" << record.cap << ",\"result\":" << record.result << "}}";
+  }
+
+  // Profiler exemplars: the slowest (op, phase) samples as global instant
+  // events, so a histogram outlier is clickable next to -- or inside -- the
+  // dispatch slice that produced it. Slice placement wins (the span links
+  // them even after the ring rotated past the real timestamp); real
+  // steady-clock placement is the fallback when the timeline is not
+  // synthetic; otherwise the mark has no comparable position and is dropped.
+  for (const TraceExemplarMark& mark : exemplars) {
+    double ts;
+    int64_t tid;
+    const auto slice = slice_by_span.find(mark.span);
+    if (mark.span != 0 && slice != slice_by_span.end()) {
+      ts = slice->second.ts + slice->second.dur / 2.0;
+      tid = slice->second.tid;
+    } else if (!synthetic && mark.ts_ns >= base_ns) {
+      ts = static_cast<double>(mark.ts_ns - base_ns) / 1000.0;
+      tid = 0;
+    } else {
+      continue;
+    }
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << "{\"name\":";
+    AppendJsonString(out, mark.name);
+    out << ",\"ph\":\"i\",\"s\":\"g\",\"ts\":" << Micros(ts) << ",\"pid\":1,\"tid\":"
+        << tid << ",\"args\":{\"span\":" << mark.span << ",\"ns\":" << mark.duration_ns
+        << "}}";
   }
 
   out << "\n]}\n";

@@ -33,13 +33,28 @@
 
 namespace tyche {
 
+// A profiler exemplar to join into the timeline: the slowest sample of one
+// (op, phase) cell, placed as a global instant event. `span` links it to the
+// dispatch slice it was recorded under; `ts_ns` is the steady-clock stamp,
+// comparable to TraceEntry::start_ns.
+struct TraceExemplarMark {
+  std::string name;        // e.g. "slowest kRevoke/journal"
+  uint64_t span = 0;       // owning dispatch span id (0 = none)
+  uint64_t ts_ns = 0;      // steady-clock ns when the sample was recorded
+  uint64_t duration_ns = 0;  // the sample itself, surfaced in args
+};
+
 // Renders the trace-event JSON. `op_name` names dispatch ops (ApiOp values),
 // `event_name` names journal events (JournalEvent values); both must be
-// callable (the tool passes the monitor's tables).
+// callable (the tool passes the monitor's tables). `exemplars` (optional)
+// are joined as pid-1 instant events: placed inside the owning dispatch
+// slice when its span is still in the ring, at their real steady-clock
+// position otherwise, and dropped when neither placement is comparable.
 std::string ExportChromeTrace(const std::vector<TraceEntry>& trace,
                               const std::vector<JournalRecord>& records,
                               const std::function<std::string(uint16_t)>& op_name,
-                              const std::function<std::string(uint8_t)>& event_name);
+                              const std::function<std::string(uint8_t)>& event_name,
+                              const std::vector<TraceExemplarMark>& exemplars = {});
 
 // One event as the round-trip parser sees it. Only the schema-mandated
 // fields plus the span argument the exporter emits.

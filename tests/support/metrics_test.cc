@@ -63,6 +63,32 @@ TEST(StripedCounterTest, ConcurrentWritersSpreadOverStripes) {
   EXPECT_EQ(counter.Value(), 8000u);
 }
 
+TEST(StripedCounterTest, ThreadChurnConservesCounts) {
+  // Short-lived threads re-use stripe slots across waves; counts written by
+  // a dead thread must survive in the cells (not TLS), and a new thread
+  // adopting the slot must accumulate on top, never clobber.
+  StripedCounter counter;
+  constexpr int kWaves = 16;
+  constexpr int kThreadsPerWave = 4;
+  constexpr int kIncrements = 5000;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreadsPerWave);
+    for (int t = 0; t < kThreadsPerWave; ++t) {
+      threads.emplace_back([&counter] {
+        for (int i = 0; i < kIncrements; ++i) {
+          counter.Add();
+        }
+      });
+    }
+    for (std::thread& thread : threads) {
+      thread.join();
+    }
+  }
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kWaves) * kThreadsPerWave * kIncrements);
+}
+
 TEST(MetricsRegistryTest, CounterPointerIsStableAndSharedByName) {
   MetricsRegistry registry;
   StripedCounter* a = registry.AddCounter("tyche_x_total", "x");

@@ -26,10 +26,19 @@ plus optionally "p99_counter" (the counter name to compare) and
 are looked up in the --subject file first, then the --reference file, so
 gate pairs that live in one artifact can pass the same path for both.
 
-Usage:
-    check_latency_gate.py --subject BENCH_concurrency.json \
-        --reference BENCH_journal.json \
-        --baseline bench/baselines/dispatch_baseline.json
+Two extensions for the phase-profile baseline
+(bench/baselines/profile_baseline.json):
+
+  - Counter-bounds gates ({"subject": ..., "counter": ..., "min": ...,
+    "max": ...}) check an exported counter against an absolute interval
+    instead of a cross-benchmark ratio -- used for accounting invariants
+    like phase_sum_ratio, which must stay within 10% of 1.0.
+  - Ratio gates may carry "phase_shares": the expected share of each
+    dispatch phase (from the subject's phase_<name>_ns counters, as
+    recorded when the baseline was set). When the mean or p99 gate trips,
+    the report breaks the subject down by phase and names the phases whose
+    share grew past the baseline -- "which phase regressed", not just
+    "slower".
 """
 
 import argparse
@@ -52,7 +61,62 @@ def find_benchmark(pools, name):
     raise SystemExit(f"error: benchmark '{name}' not found in {paths}")
 
 
+def phase_shares(bench):
+    """Extracts phase_<name>_ns counters as {name: share-of-total}."""
+    totals = {}
+    for key, value in bench.items():
+        if key.startswith("phase_") and key.endswith("_ns"):
+            totals[key[len("phase_") : -len("_ns")]] = float(value)
+    grand = sum(totals.values())
+    if grand <= 0:
+        return {}
+    return {name: ns / grand for name, ns in totals.items()}
+
+
+def report_phase_regression(gate, subject):
+    """Names the phases whose share of dispatch time grew past the baseline."""
+    baseline_shares = gate.get("phase_shares")
+    measured = phase_shares(subject)
+    if not measured:
+        print("(no phase_<name>_ns counters in the subject; cannot attribute)")
+        return
+    print("per-phase attribution of the regression:")
+    names = sorted(
+        measured, key=lambda n: measured[n] - float((baseline_shares or {}).get(n, 0)),
+        reverse=True,
+    )
+    culprits = []
+    for name in names:
+        line = f"  {name:<16} {100.0 * measured[name]:5.1f}% of dispatch time"
+        if baseline_shares and name in baseline_shares:
+            base = float(baseline_shares[name])
+            delta = measured[name] - base
+            line += f" (baseline {100.0 * base:5.1f}%, {100.0 * delta:+5.1f}pp)"
+            if delta > 0.02:
+                culprits.append(name)
+        print(line)
+    if culprits:
+        print(f"phase(s) that regressed: {', '.join(culprits)}")
+
+
+def check_bounds_gate(gate, pools):
+    subject = find_benchmark(pools, gate["subject"])
+    counter = gate["counter"]
+    if counter not in subject:
+        raise SystemExit(f"error: counter '{counter}' missing from {gate['subject']}")
+    value = float(subject[counter])
+    lo = float(gate["min"])
+    hi = float(gate["max"])
+    print(f"{gate['subject']} {counter}: {value:.4f} (allowed: [{lo:.4f}, {hi:.4f}])")
+    if value < lo or value > hi:
+        print(f"FAIL: {gate['subject']} {counter} is outside the allowed bounds")
+        return False
+    return True
+
+
 def check_gate(gate, pools):
+    if "counter" in gate and "reference" not in gate:
+        return check_bounds_gate(gate, pools)
     subject = find_benchmark(pools, gate["subject"])
     reference = find_benchmark(pools, gate["reference"])
     max_ratio = float(gate["max_ratio"])
@@ -66,6 +130,7 @@ def check_gate(gate, pools):
     ok = True
     if ratio > max_ratio:
         print(f"FAIL: {gate['subject']} mean latency regressed beyond the gate")
+        report_phase_regression(gate, subject)
         ok = False
 
     counter = gate.get("p99_counter")
@@ -89,6 +154,8 @@ def check_gate(gate, pools):
             )
             if p99_ratio > max_p99:
                 print(f"FAIL: {gate['subject']} {counter} regressed beyond the gate")
+                if ok:  # avoid printing the same breakdown twice
+                    report_phase_regression(gate, subject)
                 ok = False
         else:
             print(f"{counter}: reference is 0, skipping tail gate")
