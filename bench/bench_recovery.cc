@@ -125,7 +125,9 @@ void RecoverLoop(benchmark::State& state, IsaArch arch, int domains) {
   Testbed bed = MakeBed(arch, domains);
   Monitor& monitor = bed.monitor();
   SnapshotStore store;
-  monitor.EnableSnapshots(&store);
+  if (!monitor.EnableSnapshots(&store).ok()) {
+    std::abort();
+  }
   monitor.audit().journal().Checkpoint();  // binds one snapshot at the head
   const auto snapshot = store.Latest();
   if (!snapshot.ok()) {
@@ -165,8 +167,8 @@ void DispatchLoop(benchmark::State& state, bool journal_on, bool armed) {
   monitor.telemetry().set_histograms_enabled(false);
   monitor.audit().set_enabled(journal_on);
   SnapshotStore store;
-  if (armed) {
-    monitor.EnableSnapshots(&store);
+  if (armed && !monitor.EnableSnapshots(&store).ok()) {
+    std::abort();
   }
 
   ApiRegs regs;

@@ -280,6 +280,30 @@ void AuditJournal::Recovery(uint64_t span, uint64_t recovered_seq) {
   journal_.Append(record);
 }
 
+void AuditJournal::MigrateOut(uint64_t span, uint32_t domain, const Digest& payload_digest,
+                              uint64_t source_head_prefix) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kMigrateOut);
+  record.domain = domain;
+  PackSealDigest(&record, payload_digest);
+  record.aux = source_head_prefix;
+  journal_.Append(record);
+}
+
+void AuditJournal::MigrateIn(uint64_t span, uint32_t domain, const Digest& payload_digest,
+                             uint64_t source_head_prefix) {
+  if (!enabled()) {
+    return;
+  }
+  JournalRecord record = Base(span, JournalEvent::kMigrateIn);
+  record.domain = domain;
+  PackSealDigest(&record, payload_digest);
+  record.aux = source_head_prefix;
+  journal_.Append(record);
+}
+
 void AuditJournal::Effect(uint64_t span, const CapEffect& effect) {
   if (!enabled()) {
     return;
@@ -372,9 +396,12 @@ Result<JournalReplay> ReplayJournalInto(CapabilityEngine* shadow,
       case JournalEvent::kEffect:
       case JournalEvent::kOpAbort:
       case JournalEvent::kRecovery:
+      case JournalEvent::kMigrateOut:
+      case JournalEvent::kMigrateIn:
         // Context records. An abort's compensating engine mutations were
         // journaled as ordinary records, so the shadow engine stays in
-        // lockstep without special handling here.
+        // lockstep without special handling here; a migration's purge (out)
+        // and adopting mutations (in) are likewise ordinary records.
         ++replay.skipped;
         continue;
       case JournalEvent::kRegisterDomain:

@@ -75,6 +75,21 @@ class AuditJournal {
   void Abort(uint64_t span, uint16_t op, uint32_t requester, ErrorCode error);
   // The monitor recovered from a crash, having replayed up to `recovered_seq`.
   void Recovery(uint64_t span, uint64_t recovered_seq);
+  // Migration handoff records. Both sides bind the payload digest (packed
+  // into cap/parent/base/size like a seal measurement) so the two journals
+  // can be spliced into one verifiable history: a kMigrateOut on the source
+  // and a kMigrateIn that carry the SAME packed digest describe one handoff
+  // (the domain ids differ across monitors). aux is the cross-journal
+  // binding: kMigrateOut carries the first 8 bytes (little-endian) of the
+  // source chain head at capture (the head the shipped provenance journal
+  // ends at), kMigrateIn carries the first 8 bytes of the source
+  // kMigrateOut record's own chain link — so a verifier holding both
+  // journals can pin the destination's adoption to one specific record of
+  // the source history. Context-only for replay.
+  void MigrateOut(uint64_t span, uint32_t domain, const Digest& payload_digest,
+                  uint64_t source_head_prefix);
+  void MigrateIn(uint64_t span, uint32_t domain, const Digest& payload_digest,
+                 uint64_t source_head_prefix);
 
   // --- Introspection / export ---
   // One-paragraph text: record/checkpoint counts, per-event tallies, head.

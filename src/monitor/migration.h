@@ -1,0 +1,123 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Live migration & failover of attested domains (DESIGN.md §11).
+//
+// A sealed domain is moved from a source monitor to a destination monitor
+// through a staged commit:
+//
+//   freeze    -- quiesce the domain on the source: every operation by or on
+//                it now fails typed with kMigrating; preconditions (sealed,
+//                not running, exclusively owned resources) are checked here.
+//   capture   -- serialize the domain's slice of engine + hardware state
+//                into a hash-committed payload, bind it to the source's
+//                measured identity with a Schnorr signature, and ship the
+//                source's checkpointed journal alongside as provenance.
+//   transfer  -- chunk the payload into checksummed frames and push them
+//                through a MigrationTransport, re-sending un-delivered
+//                frames for up to MigrationOptions::max_attempts rounds (the
+//                simulated channel may drop, duplicate, or reorder frames).
+//   restore   -- the destination verifies everything it can (container
+//                commitment, binding signature, journal chain, shadow-replay
+//                cross-check) and stages the adoption on a COPY of its
+//                engine; the live monitor is untouched.
+//   resync    -- the staged engine is swapped in and the destination's
+//                hardware is rebuilt from it (ResyncAll); failure swaps the
+//                kept pre-image back.
+//   commit    -- handoff records are journaled on both sides (kMigrateOut
+//                binding the payload digest on the source, kMigrateIn
+//                binding the same digest plus the source record's chain link
+//                on the destination) and the source purges the domain.
+//
+// Any failure before commit rolls back to the source: the destination
+// restores its pre-image, the source unfreezes the domain and journals an
+// abort. The source journal carries a handoff record ONLY for committed
+// migrations, so a crash mid-migration is an implicit rollback (Recover()
+// clears the frozen set). VerifyJournalSplice (src/tyche/verifier.h) checks
+// offline that the two journals splice into one verifiable history.
+
+#ifndef SRC_MONITOR_MIGRATION_H_
+#define SRC_MONITOR_MIGRATION_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "src/monitor/monitor.h"
+
+namespace tyche {
+
+// Byte-frame transport between the two monitors. Send() MAY silently lose,
+// duplicate, or delay frames (that is the point of LossyChannel); Recv()
+// returns kNotFound when no frame is pending. The migration protocol owns
+// reliability: frames carry sequence numbers and checksums, and missing
+// frames are re-sent.
+class MigrationTransport {
+ public:
+  virtual ~MigrationTransport() = default;
+  virtual Status Send(std::span<const uint8_t> frame) = 0;
+  virtual Result<std::vector<uint8_t>> Recv() = 0;
+};
+
+// In-process transport with perfect delivery (tests, benches). The lossy
+// variant lives in src/tyche/channel.h next to the attested ring channels.
+class ReliableTransport : public MigrationTransport {
+ public:
+  Status Send(std::span<const uint8_t> frame) override {
+    frames_.emplace_back(frame.begin(), frame.end());
+    return OkStatus();
+  }
+  Result<std::vector<uint8_t>> Recv() override {
+    if (frames_.empty()) {
+      return Error(ErrorCode::kNotFound, "no frame pending");
+    }
+    std::vector<uint8_t> frame = std::move(frames_.front());
+    frames_.pop_front();
+    return frame;
+  }
+
+ private:
+  std::deque<std::vector<uint8_t>> frames_;
+};
+
+struct MigrationOptions {
+  // Payload bytes per frame. Small enough that a multi-page domain spans
+  // many frames (so drop/reorder faults have structure to break), large
+  // enough that the bench can sweep footprint without frame-count noise.
+  uint64_t chunk_size = 4096;
+  // Send-and-drain rounds before the transfer stage gives up. Round 1 sends
+  // everything; each later round re-sends only the frames that never
+  // arrived, so a single dropped frame costs one retry, not a full resend.
+  uint32_t max_attempts = 8;
+};
+
+struct MigrationReport {
+  DomainId dest_domain = kInvalidDomain;  // id adopted on the destination
+  Digest payload_digest;                  // what both handoff records bind
+  uint64_t payload_bytes = 0;
+  uint64_t frames_sent = 0;  // includes re-sends
+  uint64_t retries = 0;      // transfer rounds beyond the first
+};
+
+// Migrates `domain` from `source` to `dest`. Both monitors must be in serial
+// dispatch mode; the domain must be sealed, idle (not on any core or
+// transition stack), not the initial domain, and must own every one of its
+// resources exclusively. `source_key` authenticates the payload on the
+// destination -- in the failover deployment both monitors boot the same
+// measured image, so this is source->public_key() and key continuity is what
+// makes the migrated domain's attestation verify unchanged.
+Result<MigrationReport> MigrateDomain(Monitor* source, Monitor* dest,
+                                      DomainId domain,
+                                      MigrationTransport* transport,
+                                      const SchnorrPublicKey& source_key,
+                                      const MigrationOptions& options = {});
+
+// Test-only hooks: freeze / unfreeze a domain exactly as the protocol does.
+// The freeze window is otherwise synchronous inside MigrateDomain(), so the
+// kMigrating rejection paths (and the concurrent-dispatch exclusion against
+// an in-flight migration) would be unobservable from a test.
+void FreezeDomainForTest(Monitor* monitor, DomainId domain);
+void UnfreezeDomainForTest(Monitor* monitor, DomainId domain);
+
+}  // namespace tyche
+
+#endif  // SRC_MONITOR_MIGRATION_H_

@@ -405,6 +405,13 @@ Status Monitor::EnableConcurrentDispatch() {
     return Error(ErrorCode::kFailedPrecondition,
                  "concurrent dispatch is incompatible with bound snapshots");
   }
+  if (migration_in_progress()) {
+    // MigrateDomain() reads and mutates monitor state without the dispatch
+    // locks (it runs serial-only by contract); flipping to concurrent mode
+    // under it would race the staged commit.
+    return Error(ErrorCode::kFailedPrecondition,
+                 "concurrent dispatch cannot start during a live migration");
+  }
   concurrent_.store(true, std::memory_order_relaxed);
   return OkStatus();
 }
@@ -442,6 +449,9 @@ Result<DomainId> Monitor::Caller(CoreId core) const {
   if (domain == kInvalidDomain || !domains_.contains(domain)) {
     return Error(ErrorCode::kFailedPrecondition, "no domain running on core");
   }
+  if (domain_frozen(domain)) {
+    return Error(ErrorCode::kMigrating, "caller is frozen by a live migration");
+  }
   return domain;
 }
 
@@ -464,6 +474,9 @@ Result<DomainId> Monitor::ResolveHandle(DomainId caller, CapId handle,
   const auto it = domains_.find(target);
   if (it == domains_.end() || !it->second.alive()) {
     return Error(ErrorCode::kDomainDead, "target domain not alive");
+  }
+  if (domain_frozen(target)) {
+    return Error(ErrorCode::kMigrating, "target is frozen by a live migration");
   }
   return target;
 }
@@ -1155,6 +1168,12 @@ Status Monitor::RegisterFastTransition(CoreId core, CapId domain_handle) {
 Status Monitor::FastTransition(CoreId core, DomainId target) {
   if (core >= machine_->num_cores()) {
     return Error(ErrorCode::kOutOfRange, "bad core id");
+  }
+  // The fast path bypasses handle resolution, so the frozen check must live
+  // here: entering a half-captured domain would let it observe (and dirty)
+  // state the migration already serialized.
+  if (domain_frozen(target)) {
+    return Error(ErrorCode::kMigrating, "target is frozen by a live migration");
   }
   // No trap: the hardware validates against the pre-armed EPTP list. Only
   // the VMFUNC-equivalent cost is charged.

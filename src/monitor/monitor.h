@@ -16,6 +16,7 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -315,8 +316,12 @@ class Monitor {
   // Binds `store` into the journal's checkpoint path: every signed
   // checkpoint captures the monitor's durable state into the store and binds
   // its digest into the checkpoint signature. Costs nothing on the dispatch
-  // fast path — the provider only runs when a checkpoint is signed.
-  void EnableSnapshots(SnapshotStore* store);
+  // fast path — the provider only runs when a checkpoint is signed. Fails
+  // with kFailedPrecondition while concurrent dispatch is live: the provider
+  // runs under the journal lock and reads monitor state, which would invert
+  // the lock order against a concurrent dispatcher (the mirror of
+  // EnableConcurrentDispatch refusing while snapshots are bound).
+  [[nodiscard]] Status EnableSnapshots(SnapshotStore* store);
 
   // Serializes the durable state (engine image, domain table, id allocators,
   // measurements) into a hash-committed snapshot (src/support/snapshot.h).
@@ -356,6 +361,17 @@ class Monitor {
   bool concurrent_dispatch() const {
     return concurrent_.load(std::memory_order_relaxed);
   }
+
+  // ===== Live migration (implemented in migration.cc; DESIGN.md §11) =====
+
+  // True while `id` is frozen by an in-flight migration. Frozen domains
+  // reject every operation (as caller or as handle target) with kMigrating
+  // so the untrusted OS degrades gracefully instead of observing partial
+  // state. Only mutated by MigrateDomain() in serial mode, so the
+  // unsynchronized read is safe: frozen_ is always empty while concurrent
+  // dispatch is live (the two modes exclude each other).
+  bool domain_frozen(DomainId id) const { return frozen_.contains(id); }
+  bool migration_in_progress() const { return !frozen_.empty(); }
   // The dispatch-level lock. Taken by Dispatch() around the WHOLE call —
   // including the guest-memory reads/writes some ops do outside the monitor
   // methods — so EPT mutations by exclusive ops cannot race them.
@@ -471,6 +487,15 @@ class Monitor {
   InvariantWatchdog watchdog_{&audit_.journal(), &engine_, &flight_};
   std::atomic<uint64_t> next_span_{1};
   std::vector<uint64_t> active_spans_;  // per-core; 0 = no dispatch in flight
+
+  // --- Live migration state (DESIGN.md §11) ---
+  // Domains frozen by an in-flight MigrateDomain(). Cleared on commit,
+  // rollback, and Recover() (a crash mid-migration is an implicit rollback:
+  // the source journal carries no handoff record until the commit stage).
+  std::set<DomainId> frozen_;
+  // The migration protocol lives outside the Monitor class (migration.cc)
+  // but needs the same staged-commit access Recover() has.
+  friend class MigrationInternal;
 
   // --- Concurrent dispatch state (DESIGN.md §10) ---
   std::atomic<bool> concurrent_{false};

@@ -267,9 +267,16 @@ std::vector<uint8_t> Monitor::CaptureSnapshot() const {
   return writer.Finish();
 }
 
-void Monitor::EnableSnapshots(SnapshotStore* store) {
+Status Monitor::EnableSnapshots(SnapshotStore* store) {
   // The provider reads monitor state under the journal lock, which is why
-  // EnableConcurrentDispatch refuses to engage once this flag is set.
+  // EnableConcurrentDispatch refuses to engage once this flag is set. The
+  // exclusion must hold in BOTH orders: binding a provider under a live
+  // concurrent dispatcher would hand the journal lock a state reader that
+  // races every in-flight mutation.
+  if (concurrent_dispatch()) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "snapshots cannot bind while concurrent dispatch is live");
+  }
   snapshots_bound_ = true;
   // Runs under the journal lock each time a checkpoint is signed; it must
   // not call back into the journal (and does not).
@@ -282,6 +289,7 @@ void Monitor::EnableSnapshots(SnapshotStore* store) {
     store->Put(std::move(snapshot));
     return digest;
   });
+  return OkStatus();
 }
 
 Status Monitor::ResyncAll() {
@@ -489,6 +497,11 @@ Status Monitor::Recover(std::span<const uint8_t> snapshot_bytes,
 
   // 7. Hardware: full re-sync of both backend families.
   TYCHE_RETURN_IF_ERROR(ResyncAll());
+
+  // A crash mid-migration is an implicit rollback: the source journal only
+  // carries a handoff record once the migration committed, so a recovered
+  // monitor must not keep any domain frozen.
+  frozen_.clear();
 
   // 8. Telemetry reset-and-mark: only the recovery counter crosses the
   //    epoch, so post-recovery dumps never mix pre-crash samples. The

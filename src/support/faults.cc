@@ -18,6 +18,11 @@ const std::vector<std::string_view>& AllFaultSites() {
       faults::kPmpRecompile,     faults::kPmpBindCore,
       faults::kPmpSyncDevice,    faults::kPmpAttachDevice,
       faults::kPmpDetachDevice,  faults::kEnginePurgeRevoke,
+      faults::kMigrateFreeze,    faults::kMigrateCapture,
+      faults::kMigrateTransfer,  faults::kMigrateRestore,
+      faults::kMigrateResync,    faults::kMigrateCommit,
+      faults::kChannelDrop,      faults::kChannelDup,
+      faults::kChannelReorder,
   };
   return kSites;
 }
@@ -39,6 +44,13 @@ ErrorCode DefaultFaultCode(std::string_view site) {
   }
   if (site == faults::kVtxSyncMemory) {
     return ErrorCode::kAccessViolation;
+  }
+  if (site == faults::kMigrateFreeze || site == faults::kMigrateCapture ||
+      site == faults::kMigrateTransfer || site == faults::kMigrateRestore ||
+      site == faults::kMigrateResync || site == faults::kMigrateCommit) {
+    // A killed migration stage surfaces as a precondition failure of the
+    // staged commit; the protocol converts it into a journaled abort.
+    return ErrorCode::kFailedPrecondition;
   }
   return ErrorCode::kInternal;
 }

@@ -58,6 +58,23 @@ inline constexpr std::string_view kPmpAttachDevice = "pmp.attach_device";
 inline constexpr std::string_view kPmpDetachDevice = "pmp.detach_device";
 // Capability engine: one per-root revoke inside a domain purge.
 inline constexpr std::string_view kEnginePurgeRevoke = "engine.purge_revoke";
+// Live-migration protocol stages (src/monitor/migration.cc). Each stage is a
+// first-class site so the migration sweep can kill a migration at every
+// point of the staged commit and assert rollback-to-source (or, after the
+// commit point, completion on the destination).
+inline constexpr std::string_view kMigrateFreeze = "migrate.freeze";
+inline constexpr std::string_view kMigrateCapture = "migrate.capture";
+inline constexpr std::string_view kMigrateTransfer = "migrate.transfer";
+inline constexpr std::string_view kMigrateRestore = "migrate.restore";
+inline constexpr std::string_view kMigrateResync = "migrate.resync";
+inline constexpr std::string_view kMigrateCommit = "migrate.commit";
+// Simulated lossy channel (src/tyche/channel.h LossyChannel). The transport
+// CONSUMES these faults to lose / duplicate / delay a frame instead of
+// surfacing them, so they exercise the retry/timeout/backoff path; the
+// migration only fails if retries are exhausted.
+inline constexpr std::string_view kChannelDrop = "channel.drop";
+inline constexpr std::string_view kChannelDup = "channel.dup";
+inline constexpr std::string_view kChannelReorder = "channel.reorder";
 
 // Silent-corruption sites for the invariant watchdog (src/monitor/watchdog.h).
 // Deliberately NOT in AllFaultSites(): the sweep enumerates sites that

@@ -112,6 +112,10 @@ const char* JournalEventName(JournalEvent event) {
       return "op_abort";
     case JournalEvent::kRecovery:
       return "recovery";
+    case JournalEvent::kMigrateOut:
+      return "migrate_out";
+    case JournalEvent::kMigrateIn:
+      return "migrate_in";
     case JournalEvent::kEventCount:
       break;
   }

@@ -68,6 +68,12 @@ enum class JournalEvent : uint8_t {
                      // are journaled as ordinary records before it)
   kRecovery,         // the monitor recovered from a crash; context only
                      // (aux = the last seq the recovery replayed up to)
+  kMigrateOut,       // a domain left this monitor: handoff record binding the
+                     // frozen domain's payload digest; context only for
+                     // replay (the purge that follows is journaled normally)
+  kMigrateIn,        // a domain arrived on this monitor: handoff record
+                     // binding the same payload digest; context only (the
+                     // adopting mutations are journaled as ordinary records)
   kEventCount,       // sentinel
 };
 

@@ -58,6 +58,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "JOURNAL_SIGNATURE_INVALID";
     case ErrorCode::kJournalReplayDivergence:
       return "JOURNAL_REPLAY_DIVERGENCE";
+    case ErrorCode::kMigrating:
+      return "MIGRATING";
   }
   return "UNKNOWN";
 }

@@ -52,6 +52,9 @@ enum class ErrorCode : uint8_t {
   kJournalChainBroken,
   kJournalSignatureInvalid,
   kJournalReplayDivergence,
+  // Migration errors. A frozen domain rejects operations with kMigrating so
+  // callers degrade gracefully instead of stalling on a lock.
+  kMigrating,
 };
 
 // Human-readable name for an error code (stable, used in logs and tests).

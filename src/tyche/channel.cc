@@ -2,6 +2,8 @@
 
 #include "src/tyche/channel.h"
 
+#include "src/support/faults.h"
+
 namespace tyche {
 
 Result<Channel> Channel::Create(Monitor* monitor, CoreId core, AddrRange region) {
@@ -68,6 +70,45 @@ Result<std::vector<uint8_t>> Channel::Recv(CoreId core) {
   }
   TYCHE_RETURN_IF_ERROR(machine->CheckedWrite64(core, head_addr_, cursor));
   return message;
+}
+
+Status LossyChannel::Send(std::span<const uint8_t> frame) {
+  if (FaultInjector::active()) {
+    // Each site CONSUMES its trigger: the injected status is the signal that
+    // the loss mode fires for THIS frame; nothing propagates to the caller.
+    if (!FaultInjector::Instance().Check(faults::kChannelDrop).ok()) {
+      ++dropped_;
+      return OkStatus();  // frame lost in flight
+    }
+    if (!FaultInjector::Instance().Check(faults::kChannelDup).ok()) {
+      queue_.emplace_back(frame.begin(), frame.end());
+      ++duplicated_;
+    }
+    if (!FaultInjector::Instance().Check(faults::kChannelReorder).ok()) {
+      if (stashed_) {
+        // The delay line is single-slot; release the earlier straggler.
+        queue_.push_back(std::move(*stashed_));
+      }
+      stashed_.emplace(frame.begin(), frame.end());
+      ++reordered_;
+      return OkStatus();
+    }
+  }
+  queue_.emplace_back(frame.begin(), frame.end());
+  if (stashed_) {
+    queue_.push_back(std::move(*stashed_));
+    stashed_.reset();
+  }
+  return OkStatus();
+}
+
+Result<std::vector<uint8_t>> LossyChannel::Recv() {
+  if (queue_.empty()) {
+    return Error(ErrorCode::kNotFound, "no frame pending");
+  }
+  std::vector<uint8_t> frame = std::move(queue_.front());
+  queue_.pop_front();
+  return frame;
 }
 
 }  // namespace tyche

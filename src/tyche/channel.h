@@ -7,8 +7,11 @@
 #ifndef SRC_TYCHE_CHANNEL_H_
 #define SRC_TYCHE_CHANNEL_H_
 
+#include <deque>
+#include <optional>
 #include <vector>
 
+#include "src/monitor/migration.h"
 #include "src/monitor/monitor.h"
 
 namespace tyche {
@@ -51,6 +54,33 @@ class Channel {
   uint64_t tail_addr_;  // write cursor (bytes produced)
   uint64_t data_base_;
   uint64_t data_size_;
+};
+
+// The simulated lossy wire between two monitors during a live migration.
+// With no fault plan armed it delivers every frame in order (so clean runs
+// and fault-counting runs behave identically); under an armed plan the
+// channel.* fault sites CONSUME their trigger to drop, duplicate, or delay
+// one frame. The migration protocol's retry rounds are what make a
+// migration survive these — that is the property the sweep asserts.
+class LossyChannel : public MigrationTransport {
+ public:
+  Status Send(std::span<const uint8_t> frame) override;
+  Result<std::vector<uint8_t>> Recv() override;
+
+  // Telemetry for tests: how often each loss mode actually fired.
+  uint64_t dropped() const { return dropped_; }
+  uint64_t duplicated() const { return duplicated_; }
+  uint64_t reordered() const { return reordered_; }
+
+ private:
+  std::deque<std::vector<uint8_t>> queue_;
+  // A reordered frame waits here and is delivered AFTER the next frame that
+  // passes through (a one-slot delay line). If no later Send() flushes it,
+  // the next retry round's re-send does — delivery is delayed, never lost.
+  std::optional<std::vector<uint8_t>> stashed_;
+  uint64_t dropped_ = 0;
+  uint64_t duplicated_ = 0;
+  uint64_t reordered_ = 0;
 };
 
 }  // namespace tyche

@@ -2,6 +2,9 @@
 
 #include "src/tyche/verifier.h"
 
+#include "src/monitor/audit.h"
+#include "src/support/journal.h"
+
 namespace tyche {
 
 namespace {
@@ -130,6 +133,85 @@ Status CustomerVerifier::CheckSharingPolicy(const DomainAttestation& report,
     if (claim.ref_count > limit) {
       return Error(ErrorCode::kPolicyViolation,
                    "memory region shared more widely than the policy allows");
+    }
+  }
+  return OkStatus();
+}
+
+namespace {
+
+uint64_t LinkPrefix64(const Digest& digest) {
+  uint64_t value = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(digest.bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+Status VerifyJournalSplice(std::span<const uint8_t> source_journal,
+                           std::span<const uint8_t> dest_journal,
+                           const SchnorrPublicKey& source_key,
+                           const SchnorrPublicKey& dest_key) {
+  TYCHE_ASSIGN_OR_RETURN(const ParsedJournal source, Journal::Deserialize(source_journal));
+  TYCHE_RETURN_IF_ERROR(Journal::VerifyChain(source.records, source.checkpoints, source_key,
+                                             /*require_covered_tail=*/true));
+  TYCHE_ASSIGN_OR_RETURN(const ParsedJournal dest, Journal::Deserialize(dest_journal));
+  TYCHE_RETURN_IF_ERROR(Journal::VerifyChain(dest.records, dest.checkpoints, dest_key,
+                                             /*require_covered_tail=*/true));
+
+  std::vector<const JournalRecord*> outs;
+  for (const JournalRecord& record : source.records) {
+    if (record.event == static_cast<uint8_t>(JournalEvent::kMigrateOut)) {
+      outs.push_back(&record);
+    }
+  }
+  std::vector<bool> matched(outs.size(), false);
+
+  for (const JournalRecord& in : dest.records) {
+    if (in.event != static_cast<uint8_t>(JournalEvent::kMigrateIn)) {
+      continue;
+    }
+    const Digest in_digest = PackedSealDigest(in);
+    bool found = false;
+    for (size_t i = 0; i < outs.size(); ++i) {
+      const JournalRecord& out = *outs[i];
+      // The payload digest identifies the handoff (domain ids differ across
+      // monitors); the aux link pins it to one specific source record.
+      if (matched[i] || PackedSealDigest(out) != in_digest ||
+          in.aux != LinkPrefix64(out.link)) {
+        continue;
+      }
+      matched[i] = true;
+      found = true;
+      // The source must have torn the domain down AFTER handing it off:
+      // otherwise it would be live on both monitors.
+      bool purged = false;
+      for (const JournalRecord& later : source.records) {
+        if (later.seq > out.seq &&
+            later.event == static_cast<uint8_t>(JournalEvent::kPurgeDomain) &&
+            later.domain == out.domain) {
+          purged = true;
+          break;
+        }
+      }
+      if (!purged) {
+        return Error(ErrorCode::kJournalChainBroken,
+                     "splice: migrated domain was never purged on the source");
+      }
+      break;
+    }
+    if (!found) {
+      return Error(ErrorCode::kJournalChainBroken,
+                   "splice: destination adoption has no matching source handoff");
+    }
+  }
+
+  for (size_t i = 0; i < outs.size(); ++i) {
+    if (!matched[i]) {
+      return Error(ErrorCode::kJournalChainBroken,
+                   "splice: source handoff has no matching destination adoption");
     }
   }
   return OkStatus();

@@ -82,6 +82,26 @@ class CustomerVerifier {
   std::optional<SchnorrPublicKey> monitor_key_;
 };
 
+// Offline check that two monitors' exported journals splice into ONE
+// verifiable history across live migrations (DESIGN.md §11). After both
+// chains verify under their monitors' keys, every handoff must pair up:
+//   - each kMigrateIn in the destination journal matches exactly one source
+//     kMigrateOut carrying the same packed payload digest, and its aux field
+//     equals the first 8 bytes of that kMigrateOut record's chain link (the
+//     destination adopted THIS point of the source history, not a replay of
+//     an older one);
+//   - the source journal shows the migrated domain purged AFTER the
+//     handoff (the domain lives on exactly one monitor);
+//   - no kMigrateOut is left unmatched (a domain that left one monitor
+//     must have arrived somewhere in the pair).
+// Violations return kJournalChainBroken (exit code 3 in journal_verify);
+// bad signatures surface as kJournalSignatureInvalid from the per-journal
+// chain verification.
+Status VerifyJournalSplice(std::span<const uint8_t> source_journal,
+                           std::span<const uint8_t> dest_journal,
+                           const SchnorrPublicKey& source_key,
+                           const SchnorrPublicKey& dest_key);
+
 }  // namespace tyche
 
 #endif  // SRC_TYCHE_VERIFIER_H_

@@ -185,7 +185,7 @@ TEST_F(ConcurrentDispatchTest, DestroyDomainPartialPurgeJournalsCommittedPrefix)
 
 TEST_F(ConcurrentDispatchTest, ConcurrencyAndSnapshotsAreMutuallyExclusive) {
   SnapshotStore store;
-  monitor_->EnableSnapshots(&store);
+  ASSERT_TRUE(monitor_->EnableSnapshots(&store).ok());
   // The snapshot provider runs under the journal lock and reads monitor
   // state -- engaging concurrent dispatch now would invert the lock order.
   EXPECT_EQ(monitor_->EnableConcurrentDispatch().code(),

@@ -172,7 +172,9 @@ std::unique_ptr<Evidence> CollectEvidence(IsaArch arch) {
   Monitor* monitor = outcome->monitor.get();
   evidence->boot_records = monitor->audit().journal().size();
   monitor->audit().journal().set_checkpoint_interval(16);
-  monitor->EnableSnapshots(&evidence->store);
+  if (!monitor->EnableSnapshots(&evidence->store).ok()) {
+    return nullptr;
+  }
   RunWorkload(machine.get(), monitor, outcome->initial_domain);
   evidence->records = monitor->audit().journal().Records();
   evidence->checkpoints = monitor->audit().journal().Checkpoints();

@@ -59,7 +59,7 @@ struct RecoveryBed {
     bed->golden_firmware = outcome->firmware_measurement;
     bed->golden_monitor = outcome->monitor_measurement;
     bed->monitor->audit().journal().set_checkpoint_interval(8);
-    bed->monitor->EnableSnapshots(&bed->store);
+    EXPECT_TRUE(bed->monitor->EnableSnapshots(&bed->store).ok());
     return bed;
   }
 
@@ -486,6 +486,50 @@ TEST(RecoveryTest, SnapshotStorePrunesWithCompaction) {
   const auto latest = store.Latest();
   ASSERT_TRUE(latest.ok());
   EXPECT_EQ(latest->seq, 23u);
+}
+
+TEST(RecoveryTest, SnapshotStorePruneEdgeCases) {
+  SnapshotStore store;
+  store.PruneOlderThan(100);  // pruning an empty store is a no-op
+  EXPECT_EQ(store.size(), 0u);
+
+  const auto fill = [&store] {
+    for (uint64_t seq : {7ull, 15ull, 23ull}) {
+      MonitorSnapshot snapshot;
+      snapshot.seq = seq;
+      snapshot.bytes = {static_cast<uint8_t>(seq)};
+      store.Put(std::move(snapshot));
+    }
+  };
+
+  // Prune-none: every snapshot sits at or after the cutoff.
+  fill();
+  store.PruneOlderThan(0);
+  EXPECT_EQ(store.size(), 3u);
+  store.PruneOlderThan(7);  // boundary: seq == cutoff survives (strict <)
+  EXPECT_EQ(store.size(), 3u);
+  ASSERT_TRUE(store.LatestAtOrBefore(7).ok());
+  EXPECT_EQ(store.LatestAtOrBefore(7)->seq, 7u);
+
+  // Boundary between checkpoints: only strictly-older snapshots drop, and
+  // LatestAtOrBefore for the pruned range now reports kNotFound.
+  store.PruneOlderThan(23);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.LatestAtOrBefore(22).status().code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(store.Latest().ok());
+  EXPECT_EQ(store.Latest()->seq, 23u);
+
+  // Prune-all: a cutoff beyond the newest snapshot empties the store...
+  store.PruneOlderThan(24);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.Latest().status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(store.LatestAtOrBefore(1000).status().code(), ErrorCode::kNotFound);
+
+  // ...and the store keeps working after being emptied.
+  fill();
+  EXPECT_EQ(store.size(), 3u);
+  ASSERT_TRUE(store.Latest().ok());
+  EXPECT_EQ(store.Latest()->seq, 23u);
 }
 
 TEST(RecoveryTest, RecoveryWorksOnThePmpBackendToo) {

@@ -39,17 +39,65 @@ Two extensions for the phase-profile baseline
     the report breaks the subject down by phase and names the phases whose
     share grew past the baseline -- "which phase regressed", not just
     "slower".
+
+Exit codes: 0 all gates passed, 1 a gate tripped (a real regression),
+2 usage error, 3 missing or malformed input JSON (baseline / subject /
+reference) -- CI can tell "the build got slower" apart from "the gate was
+never evaluated". `--self-check` exercises all of these against synthetic
+artifacts and needs no other arguments.
 """
 
 import argparse
 import json
 import sys
 
+EXIT_GATE_TRIPPED = 1
+EXIT_BAD_INPUT = 3
+
+
+def input_error(message):
+    """A missing or malformed input file: exit 3, never a traceback."""
+    print(f"error: {message}", file=sys.stderr)
+    raise SystemExit(EXIT_BAD_INPUT)
+
+
+def load_json(path, what):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as exc:
+        input_error(f"{what} '{path}' cannot be read: {exc.strerror or exc}")
+    except json.JSONDecodeError as exc:
+        input_error(f"{what} '{path}' is not valid JSON: {exc}")
+
 
 def load_benchmarks(path):
-    with open(path) as f:
-        data = json.load(f)
+    data = load_json(path, "benchmark artifact")
+    if not isinstance(data, dict) or not isinstance(data.get("benchmarks", []), list):
+        input_error(f"benchmark artifact '{path}' has no 'benchmarks' array")
     return data.get("benchmarks", [])
+
+
+def load_gates(path):
+    baseline = load_json(path, "baseline policy")
+    if not isinstance(baseline, dict):
+        input_error(f"baseline policy '{path}' must be a JSON object")
+    gates = baseline["gates"] if "gates" in baseline else [baseline]
+    if not isinstance(gates, list) or not gates:
+        input_error(f"baseline policy '{path}': 'gates' must be a non-empty array")
+    for i, gate in enumerate(gates):
+        if not isinstance(gate, dict) or "subject" not in gate:
+            input_error(f"baseline policy '{path}': gate #{i} lacks 'subject'")
+        if "counter" in gate and "reference" not in gate:
+            missing = [k for k in ("min", "max") if k not in gate]
+        else:
+            missing = [k for k in ("reference", "max_ratio") if k not in gate]
+        if missing:
+            input_error(
+                f"baseline policy '{path}': gate #{i} ('{gate['subject']}') "
+                f"lacks {', '.join(missing)}"
+            )
+    return gates
 
 
 def find_benchmark(pools, name):
@@ -162,16 +210,92 @@ def check_gate(gate, pools):
     return ok
 
 
+def run_self_check():
+    """Verifies the tool's own verdicts and exit codes on synthetic inputs."""
+    import os
+    import tempfile
+
+    def invoke(argv):
+        saved = sys.argv
+        sys.argv = ["check_latency_gate.py"] + argv
+        try:
+            try:
+                code = main()
+            except SystemExit as exc:
+                code = exc.code if isinstance(exc.code, int) else 1
+            return 0 if code is None else code
+        finally:
+            sys.argv = saved
+
+    with tempfile.TemporaryDirectory() as tmp:
+        def write(name, text):
+            path = os.path.join(tmp, name)
+            with open(path, "w") as f:
+                f.write(text)
+            return path
+
+        bench = write("bench.json", json.dumps({"benchmarks": [
+            {"name": "fast", "real_time": 100.0},
+            {"name": "slow", "real_time": 300.0},
+        ]}))
+        passing = write("passing.json",
+                        json.dumps({"subject": "fast", "reference": "slow",
+                                    "max_ratio": 1.0}))
+        tripping = write("tripping.json",
+                         json.dumps({"subject": "slow", "reference": "fast",
+                                     "max_ratio": 1.5}))
+        truncated = write("truncated.json", '{"gates": [')
+        keyless = write("keyless.json", json.dumps({"subject": "fast"}))
+        missing = os.path.join(tmp, "does_not_exist.json")
+
+        cases = [
+            ("passing gate exits 0", [
+                "--subject", bench, "--reference", bench, "--baseline", passing], 0),
+            ("tripped gate exits 1", [
+                "--subject", bench, "--reference", bench, "--baseline", tripping],
+                EXIT_GATE_TRIPPED),
+            ("missing baseline exits 3", [
+                "--subject", bench, "--reference", bench, "--baseline", missing],
+                EXIT_BAD_INPUT),
+            ("malformed baseline exits 3", [
+                "--subject", bench, "--reference", bench, "--baseline", truncated],
+                EXIT_BAD_INPUT),
+            ("baseline without max_ratio exits 3", [
+                "--subject", bench, "--reference", bench, "--baseline", keyless],
+                EXIT_BAD_INPUT),
+            ("missing subject artifact exits 3", [
+                "--subject", missing, "--reference", bench, "--baseline", passing],
+                EXIT_BAD_INPUT),
+        ]
+        failures = 0
+        for name, argv, want in cases:
+            got = invoke(argv)
+            verdict = "ok" if got == want else f"FAIL (exit {got}, want {want})"
+            print(f"self-check: {name}: {verdict}")
+            if got != want:
+                failures += 1
+        if failures:
+            print(f"self-check FAILED: {failures} of {len(cases)} cases")
+            return 1
+        print(f"self-check OK: {len(cases)} cases")
+        return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--subject", required=True, help="JSON with the gated benchmark")
-    parser.add_argument("--reference", required=True, help="JSON with the reference benchmark")
-    parser.add_argument("--baseline", required=True, help="baseline policy JSON")
+    parser.add_argument("--subject", help="JSON with the gated benchmark")
+    parser.add_argument("--reference", help="JSON with the reference benchmark")
+    parser.add_argument("--baseline", help="baseline policy JSON")
+    parser.add_argument("--self-check", action="store_true",
+                        help="verify the tool's verdicts and exit codes, then exit")
     args = parser.parse_args()
 
-    with open(args.baseline) as f:
-        baseline = json.load(f)
-    gates = baseline["gates"] if "gates" in baseline else [baseline]
+    if args.self_check:
+        return run_self_check()
+    if not (args.subject and args.reference and args.baseline):
+        parser.error("--subject, --reference and --baseline are required")
+
+    gates = load_gates(args.baseline)
 
     pools = [(args.subject, load_benchmarks(args.subject))]
     if args.reference != args.subject:
@@ -184,7 +308,7 @@ def main():
         print()
     if failed:
         print(f"FAIL: {failed} of {len(gates)} latency gates tripped")
-        return 1
+        return EXIT_GATE_TRIPPED
     print(f"OK: {len(gates)} gate(s) passed")
     return 0
 

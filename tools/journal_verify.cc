@@ -15,6 +15,12 @@
 // checkpoint, and the journal suffix replays on top of its engine image —
 // the only way to fully verify a journal compacted with TruncateBefore().
 //
+//   `journal_verify --splice <source.bin> <dest.bin> <source_pubkey_y> <dest_pubkey_y>`
+// verifies the two journals of a live migration as one spliced custody
+// chain: each chain on its own, then every kMigrateIn adoption paired with
+// exactly one matching kMigrateOut handoff (payload digest and chain-link
+// binding), with the source required to purge the domain afterwards.
+//
 // Exit codes:
 //   0  verified
 //   1  verification failed (unclassified)
@@ -37,9 +43,13 @@
 
 #include "src/monitor/attestation.h"
 #include "src/monitor/audit.h"
+#include "src/monitor/boot.h"
 #include "src/monitor/dispatch.h"
+#include "src/monitor/migration.h"
 #include "src/monitor/recovery.h"
 #include "src/os/testbed.h"
+#include "src/tyche/loader.h"
+#include "src/tyche/verifier.h"
 
 namespace tyche {
 namespace {
@@ -73,6 +83,11 @@ const char* ReasonFor(int exit_code) {
       return "verification_failed";
   }
 }
+
+// Splice mode: two journals, two keys — verifies each chain and then the
+// migration handoffs between them (VerifyJournalSplice, src/tyche/verifier).
+int VerifySplice(const char* source_path, const char* dest_path, const char* source_key_str,
+                 const char* dest_key_str, bool json);
 
 // The machine-readable verdict, one JSON object on stdout. `error` is a
 // human-oriented status string (already free of quotes-sensitive content:
@@ -173,6 +188,50 @@ int VerifyFile(const char* journal_path, const char* pubkey_str, const char* gra
   return 0;
 }
 
+int VerifySplice(const char* source_path, const char* dest_path, const char* source_key_str,
+                 const char* dest_key_str, bool json) {
+  std::vector<uint8_t> source_bytes;
+  std::vector<uint8_t> dest_bytes;
+  for (const auto& [path, out] :
+       {std::pair{source_path, &source_bytes}, std::pair{dest_path, &dest_bytes}}) {
+    if (!ReadFile(path, out)) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      if (json) {
+        PrintJsonVerdict(2, 0, 0, false, false, std::string("cannot open ") + path);
+      }
+      return 2;
+    }
+  }
+  SchnorrPublicKey source_key;
+  source_key.y = std::strtoull(source_key_str, nullptr, 0);
+  SchnorrPublicKey dest_key;
+  dest_key.y = std::strtoull(dest_key_str, nullptr, 0);
+
+  const Status status =
+      VerifyJournalSplice(source_bytes, dest_bytes, source_key, dest_key);
+  size_t records = 0;
+  size_t checkpoints = 0;
+  for (const std::vector<uint8_t>* bytes : {&source_bytes, &dest_bytes}) {
+    if (const auto parsed = Journal::Deserialize(*bytes); parsed.ok()) {
+      records += parsed->records.size();
+      checkpoints += parsed->checkpoints.size();
+    }
+  }
+  const int exit_code = status.ok() ? 0 : ExitCodeFor(status);
+  if (json) {
+    PrintJsonVerdict(exit_code, records, checkpoints, false, false,
+                     status.ok() ? "" : status.ToString());
+    return exit_code;
+  }
+  if (!status.ok()) {
+    std::printf("FAIL: %s\n", status.ToString().c_str());
+    return exit_code;
+  }
+  std::printf("OK: journals splice into one history (%zu records, %zu checkpoints)\n",
+              records, checkpoints);
+  return 0;
+}
+
 // `records`/`checkpoints` report the chain the self-test exported, so the
 // --json verdict carries real numbers.
 int SelfTest(size_t* records, size_t* checkpoints) {
@@ -256,6 +315,71 @@ int SelfTest(size_t* records, size_t* checkpoints) {
     return 1;
   }
   std::printf("single-bit tamper detected: %s\n", verdict.ToString().c_str());
+
+  // Splice leg: two measured-boot monitors, one migrated domain, and the
+  // offline custody-chain verdict — plus a tampered-handoff rejection.
+  std::printf("splice self-test: boot two monitors, migrate, splice-verify, tamper\n");
+  MachineConfig config;
+  Machine source_machine(config);
+  Machine dest_machine(config);
+  const std::vector<uint8_t> firmware = DemoFirmwareImage();
+  const std::vector<uint8_t> monitor_image = DemoMonitorImage();
+  BootParams params;
+  params.firmware_image = firmware;
+  params.monitor_image = monitor_image;
+  auto source_boot = MeasuredBoot(&source_machine, params);
+  auto dest_boot = MeasuredBoot(&dest_machine, params);
+  if (!source_boot.ok() || !dest_boot.ok()) {
+    std::fprintf(stderr, "two-monitor boot failed\n");
+    return 2;
+  }
+  Monitor& source = *source_boot->monitor;
+  Monitor& dest = *dest_boot->monitor;
+  const auto svc = source.CreateDomain(0, "svc");
+  if (!svc.ok()) {
+    std::fprintf(stderr, "create_domain failed on the source\n");
+    return 2;
+  }
+  const AddrRange window{source.monitor_range().end() + (1ull << 20), 2 * kPageSize};
+  const auto window_cap = FindMemoryCap(source, source_boot->initial_domain, window);
+  if (!window_cap.ok() ||
+      !source
+           .GrantMemory(0, *window_cap, svc->handle, window, Perms(Perms::kRWX),
+                        CapRights(CapRights::kAll),
+                        RevocationPolicy(RevocationPolicy::kZeroMemory))
+           .ok() ||
+      !source.SetEntryPoint(0, svc->handle, window.base).ok() ||
+      !source.ExtendMeasurement(0, svc->handle, window).ok() ||
+      !source.Seal(0, svc->handle).ok()) {
+    std::fprintf(stderr, "victim setup failed on the source\n");
+    return 2;
+  }
+  ReliableTransport transport;
+  const auto migrated =
+      MigrateDomain(&source, &dest, svc->domain, &transport, source.public_key());
+  if (!migrated.ok()) {
+    std::printf("FAIL: migration failed: %s\n", migrated.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<uint8_t> src_wire = source.ExportJournal();
+  const std::vector<uint8_t> dst_wire = dest.ExportJournal();
+  verdict = VerifyJournalSplice(src_wire, dst_wire, source.public_key(),
+                                dest.public_key());
+  if (!verdict.ok()) {
+    std::printf("FAIL: clean splice rejected: %s\n", verdict.ToString().c_str());
+    return 1;
+  }
+  std::printf("spliced custody chain verifies (migrated domain %llu)\n",
+              static_cast<unsigned long long>(migrated->dest_domain));
+  std::vector<uint8_t> forged = dst_wire;
+  forged[forged.size() / 2] ^= 0x01;
+  verdict = VerifyJournalSplice(src_wire, forged, source.public_key(),
+                                dest.public_key());
+  if (verdict.ok()) {
+    std::printf("FAIL: tampered destination journal spliced cleanly\n");
+    return 1;
+  }
+  std::printf("tampered handoff detected: %s\n", verdict.ToString().c_str());
   std::printf("self-test OK\n");
   return 0;
 }
@@ -266,6 +390,7 @@ int SelfTest(size_t* records, size_t* checkpoints) {
 int main(int argc, char** argv) {
   const char* snapshot_path = nullptr;
   bool json = false;
+  bool splice = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--snapshot") == 0) {
@@ -276,9 +401,22 @@ int main(int argc, char** argv) {
       snapshot_path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--splice") == 0) {
+      splice = true;
     } else {
       positional.push_back(argv[i]);
     }
+  }
+  if (splice) {
+    if (positional.size() != 4 || snapshot_path != nullptr) {
+      std::fprintf(stderr,
+                   "usage: %s [--json] --splice <source.bin> <dest.bin> "
+                   "<source_pubkey_y> <dest_pubkey_y>\n",
+                   argv[0]);
+      return 2;
+    }
+    return tyche::VerifySplice(positional[0], positional[1], positional[2], positional[3],
+                               json);
   }
   if (positional.empty()) {
     // Self-test mode; with --json the final verdict line is machine-readable.
@@ -296,8 +434,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--json]              (self-test)\n"
                  "       %s [--json] [--snapshot snap.bin] <journal.bin> "
-                 "<monitor_pubkey_y> [graph.json]\n",
-                 argv[0], argv[0]);
+                 "<monitor_pubkey_y> [graph.json]\n"
+                 "       %s [--json] --splice <source.bin> <dest.bin> "
+                 "<source_pubkey_y> <dest_pubkey_y>\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   return tyche::VerifyFile(positional[0], positional[1],
