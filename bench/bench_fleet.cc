@@ -1,0 +1,191 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Fleet verification throughput under three weather conditions
+// (DESIGN.md §12, EXPERIMENTS.md C10):
+//
+//   BM_FleetHealthy   -- all nodes serving, Zipf-distributed service load:
+//                        the steady state where the measurement cache does
+//                        most of the work (cache_hit_ratio counter).
+//   BM_FleetWire      -- healthy fleet, cache invalidated before every
+//                        verify: the full two-tier wire path, and the
+//                        reference for the degraded-mode gate.
+//   BM_FleetOneDown   -- node 0 crashed and failed over during setup; the
+//                        timed region is the 2-node WIRE steady state (cache
+//                        invalidated per verify), i.e. the cost of running
+//                        degraded, not the failover itself.
+//   BM_FleetOverload  -- Submit() bursts past the admission queue capacity
+//                        with periodic drains, cache cleared per burst;
+//                        shed_ratio counts the typed kOverloaded fraction
+//                        (bounded work, never a hang).
+//
+// real_time is host time per operation; the sim_p50/p90/p99_ns counters are
+// percentiles of the front end's DETERMINISTIC simulated latency, so the
+// baseline gates on them are machine-independent by construction.
+// verifications/sec comes out of google-benchmark's items_per_second.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "src/fleet/frontend.h"
+#include "src/fleet/zipf.h"
+
+namespace tyche {
+namespace {
+
+struct World {
+  std::unique_ptr<Fleet> fleet;
+  std::unique_ptr<VerificationFrontEnd> frontend;
+};
+
+World MakeWorld(size_t queue_capacity = 16) {
+  World world;
+  world.fleet = Fleet::Create(FleetOptions{});
+  if (world.fleet == nullptr) {
+    std::abort();  // a bench without a world has nothing to measure
+  }
+  FrontEndOptions options;
+  options.queue_capacity = queue_capacity;
+  world.frontend =
+      std::make_unique<VerificationFrontEnd>(world.fleet.get(), options);
+  return world;
+}
+
+// Percentile over simulated per-verify latencies (exact, not histogram
+// buckets: the sample count is the iteration count, which is small enough
+// to sort).
+uint64_t Percentile(std::vector<uint64_t>* samples, double p) {
+  if (samples->empty()) {
+    return 0;
+  }
+  std::sort(samples->begin(), samples->end());
+  const size_t index = std::min(
+      samples->size() - 1, static_cast<size_t>(p * (samples->size() - 1) + 0.5));
+  return (*samples)[index];
+}
+
+void ReportSimPercentiles(benchmark::State& state, std::vector<uint64_t>* samples) {
+  state.counters["sim_p50_ns"] = static_cast<double>(Percentile(samples, 0.50));
+  state.counters["sim_p90_ns"] = static_cast<double>(Percentile(samples, 0.90));
+  state.counters["sim_p99_ns"] = static_cast<double>(Percentile(samples, 0.99));
+}
+
+void ReportCacheRatio(benchmark::State& state, VerificationFrontEnd* frontend) {
+  const double hits = static_cast<double>(frontend->cache().hits());
+  const double total = hits + static_cast<double>(frontend->cache().misses());
+  state.counters["cache_hit_ratio"] = total > 0 ? hits / total : 0.0;
+}
+
+// Drops every cached measurement (all epochs of all nodes), forcing the
+// next verification of each service back onto the wire.
+void DropCache(World* world) {
+  for (size_t n = 0; n < world->fleet->num_nodes(); ++n) {
+    world->frontend->cache().InvalidateEpochsBelow(static_cast<uint32_t>(n),
+                                                   UINT64_MAX);
+  }
+}
+
+// Shared verify loop: one Zipf-picked verification per iteration, optional
+// cache drop before each so the wire path is what gets timed.
+void RunVerifyLoop(benchmark::State& state, World* world, uint64_t seed,
+                   bool wire_only) {
+  const ZipfPicker zipf(world->fleet->num_services(), /*s=*/1.1);
+  Prng load(seed);
+  std::vector<uint64_t> latencies;
+  uint64_t nonce = 1;
+  uint64_t verified = 0;
+  for (auto _ : state) {
+    if (wire_only) {
+      DropCache(world);
+    }
+    const auto verdict =
+        world->frontend->Verify({zipf.Pick(load), /*nonce=*/nonce});
+    ++nonce;
+    if (!verdict.ok()) {
+      state.SkipWithError(verdict.status().ToString().c_str());
+      return;
+    }
+    ++verified;
+    latencies.push_back(verdict->latency_ns);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(verified));
+  ReportSimPercentiles(state, &latencies);
+  ReportCacheRatio(state, world->frontend.get());
+}
+
+void BM_FleetHealthy(benchmark::State& state) {
+  World world = MakeWorld();
+  RunVerifyLoop(state, &world, 0xBE7C4, /*wire_only=*/false);
+}
+BENCHMARK(BM_FleetHealthy);
+
+void BM_FleetWire(benchmark::State& state) {
+  World world = MakeWorld();
+  RunVerifyLoop(state, &world, 0xBE7C5, /*wire_only=*/true);
+}
+BENCHMARK(BM_FleetWire);
+
+void BM_FleetOneDown(benchmark::State& state) {
+  World world = MakeWorld();
+  // The failover ladder runs during setup; the timed region is the degraded
+  // steady state (two nodes carrying all six services).
+  world.fleet->node(0)->Crash();
+  if (!world.frontend->TriggerFailover(0).ok()) {
+    state.SkipWithError("failover failed");
+    return;
+  }
+  RunVerifyLoop(state, &world, 0xBE7C6, /*wire_only=*/true);
+  state.counters["failovers"] =
+      static_cast<double>(world.frontend->failovers_triggered());
+}
+BENCHMARK(BM_FleetOneDown);
+
+void BM_FleetOverload(benchmark::State& state) {
+  constexpr size_t kQueueCapacity = 8;
+  World world = MakeWorld(kQueueCapacity);
+  const ZipfPicker zipf(world.fleet->num_services(), /*s=*/1.1);
+  Prng load(0xBE7C7);
+  uint64_t nonce = 1;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t verified = 0;
+  for (auto _ : state) {
+    // Burst at 3x the queue capacity, then drain: every request terminates
+    // with a verdict or a typed kOverloaded, never an unbounded queue. The
+    // cache is dropped first so the burst really queues instead of being
+    // answered inline.
+    DropCache(&world);
+    for (size_t i = 0; i < 3 * kQueueCapacity; ++i) {
+      const auto outcome =
+          world.frontend->Submit({zipf.Pick(load), /*nonce=*/nonce});
+      ++nonce;
+      if (outcome.ok()) {
+        ++admitted;
+        verified += outcome->verdict.has_value() ? 1 : 0;
+      } else if (outcome.code() == ErrorCode::kOverloaded) {
+        ++shed;
+      } else {
+        state.SkipWithError(outcome.status().ToString().c_str());
+        return;
+      }
+    }
+    for (const auto& item : world.frontend->DrainQueue()) {
+      if (item.result.ok()) {
+        ++verified;
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(admitted + shed));
+  const double total = static_cast<double>(admitted + shed);
+  state.counters["shed_ratio"] = total > 0 ? static_cast<double>(shed) / total : 0.0;
+  state.counters["verified"] = static_cast<double>(verified);
+  ReportCacheRatio(state, world.frontend.get());
+}
+BENCHMARK(BM_FleetOverload);
+
+}  // namespace
+}  // namespace tyche
+
+BENCHMARK_MAIN();

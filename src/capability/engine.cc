@@ -897,9 +897,14 @@ Status CapabilityEngine::Restore(const EngineImage& image) {
     if (cap.id == kInvalidCap || cap.id >= image.next_id) {
       return Error(ErrorCode::kInvalidArgument, "engine image: cap id out of range");
     }
-    if (domains.find(cap.owner) == domains.end()) {
+    // Only ACTIVE caps need a registered owner. Lineage tombstones survive
+    // PurgeDomain (revocation never deletes nodes, the purge unregisters the
+    // domain), so a faithful Capture of a healthy engine can legitimately
+    // carry inactive caps whose owner is gone.
+    if (cap.active() && domains.find(cap.owner) == domains.end()) {
       return Error(ErrorCode::kInvalidArgument,
-                   "engine image: cap owned by unregistered domain");
+                   "engine image: active cap " + std::to_string(cap.id) +
+                       " owned by unregistered domain " + std::to_string(cap.owner));
     }
     if (!caps.emplace(cap.id, cap).second) {
       return Error(ErrorCode::kInvalidArgument, "engine image: duplicate cap id");

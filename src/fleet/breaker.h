@@ -1,0 +1,146 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Per-monitor circuit breaker for the verification front end (DESIGN.md
+// §12). Health is inferred purely from the typed outcomes of remote
+// verifications — there is no side channel to a monitor's true state, which
+// is the point: a crashed monitor and a blackholed wire look identical to a
+// client, and the breaker must handle both.
+//
+//   closed     normal operation; consecutive failures are counted and
+//              `failure_threshold` of them open the breaker.
+//   open       requests are refused locally (fail fast, no wire traffic);
+//              after `open_cooldown_ns` the breaker moves to half-open.
+//   half-open  exactly ONE probe request is admitted at a time; a success
+//              (repeated `probe_successes` times) closes the breaker, any
+//              failure re-opens it and restarts the cooldown.
+//
+// Only availability-shaped outcomes feed the breaker: timeouts,
+// kUnavailable, kMigrating, integrity failures (a poisoned report means the
+// path to the monitor is compromised — stop trusting it). kNotFound and
+// kOverloaded say nothing about THIS monitor's health and must not trip it.
+
+#ifndef SRC_FLEET_BREAKER_H_
+#define SRC_FLEET_BREAKER_H_
+
+#include <cstdint>
+
+namespace tyche {
+
+enum class BreakerState : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+inline const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+struct BreakerConfig {
+  uint32_t failure_threshold = 3;   // consecutive failures that open
+  uint64_t open_cooldown_ns = 150'000;  // open -> half-open after this
+  uint32_t probe_successes = 1;     // half-open probes needed to close
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig config = {}) : config_(config) {}
+
+  // Current state with the open->half-open transition applied lazily.
+  BreakerState state(uint64_t now_ns) const {
+    if (state_ == BreakerState::kOpen &&
+        now_ns >= opened_at_ns_ + config_.open_cooldown_ns) {
+      return BreakerState::kHalfOpen;
+    }
+    return state_;
+  }
+
+  // True if a request may go to the monitor now. Half-open admits exactly
+  // one in-flight probe; the caller MUST report the probe's outcome via
+  // RecordSuccess/RecordFailure or the breaker stays probe-locked.
+  bool Admit(uint64_t now_ns) {
+    Refresh(now_ns);
+    switch (state_) {
+      case BreakerState::kClosed:
+        return true;
+      case BreakerState::kOpen:
+        return false;
+      case BreakerState::kHalfOpen:
+        if (probe_in_flight_) {
+          return false;
+        }
+        probe_in_flight_ = true;
+        return true;
+    }
+    return false;
+  }
+
+  void RecordSuccess(uint64_t now_ns) {
+    Refresh(now_ns);
+    if (state_ == BreakerState::kHalfOpen) {
+      probe_in_flight_ = false;
+      if (++half_open_successes_ >= config_.probe_successes) {
+        state_ = BreakerState::kClosed;
+      }
+    }
+    consecutive_failures_ = 0;
+  }
+
+  void RecordFailure(uint64_t now_ns) {
+    Refresh(now_ns);
+    if (state_ == BreakerState::kHalfOpen) {
+      Open(now_ns);  // failed probe: back to open, cooldown restarts
+      return;
+    }
+    if (state_ == BreakerState::kClosed &&
+        ++consecutive_failures_ >= config_.failure_threshold) {
+      Open(now_ns);
+    }
+  }
+
+  // After a failover the monitor is a NEW serving identity (epoch bumped);
+  // its breaker starts closed with a clean history.
+  void Reset() {
+    state_ = BreakerState::kClosed;
+    consecutive_failures_ = 0;
+    half_open_successes_ = 0;
+    probe_in_flight_ = false;
+  }
+
+  // Times the breaker transitioned closed/half-open -> open.
+  uint64_t times_opened() const { return times_opened_; }
+
+ private:
+  void Refresh(uint64_t now_ns) {
+    if (state_ == BreakerState::kOpen &&
+        now_ns >= opened_at_ns_ + config_.open_cooldown_ns) {
+      state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = false;
+      half_open_successes_ = 0;
+    }
+  }
+
+  void Open(uint64_t now_ns) {
+    state_ = BreakerState::kOpen;
+    opened_at_ns_ = now_ns;
+    consecutive_failures_ = 0;
+    half_open_successes_ = 0;
+    probe_in_flight_ = false;
+    ++times_opened_;
+  }
+
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  uint32_t consecutive_failures_ = 0;
+  uint32_t half_open_successes_ = 0;
+  bool probe_in_flight_ = false;
+  uint64_t opened_at_ns_ = 0;
+  uint64_t times_opened_ = 0;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_FLEET_BREAKER_H_

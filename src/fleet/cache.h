@@ -1,0 +1,123 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Verified-measurement cache for the verification front end (DESIGN.md §12).
+//
+// An entry records "domain `service` on monitor `node` (PCR digest
+// `pcr_prefix`, serving epoch `epoch`) attested measurement M and the full
+// chain verified" — so a repeat verification of the same service can be
+// answered without a wire round trip.
+//
+// The epoch is PART OF THE KEY. Every recovery or migration bumps the
+// serving node's epoch (or changes the route's node), so entries verified
+// against a pre-failover monitor become unreachable the instant the route
+// changes: there is no window where a stale measurement can be served as
+// fresh. InvalidateEpochsBelow additionally purges the dead entries so the
+// capacity bound measures live state only.
+//
+// Only FULLY VERIFIED results are ever inserted — a report that failed
+// signature, digest, nonce, or golden-measurement checks never touches the
+// cache. That is the entire defense against cache poisoning: the
+// fleet.cache_poison fault tampers reports in transit, and the sweep
+// asserts the tampered bytes die at verification, not in here.
+
+#ifndef SRC_FLEET_CACHE_H_
+#define SRC_FLEET_CACHE_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/crypto/sha256.h"
+
+namespace tyche {
+
+struct MeasurementCacheKey {
+  uint64_t pcr_prefix = 0;  // first 8 bytes of the monitor's PCR1 image
+  uint32_t node = 0;        // fleet node id (two nodes share a PCR)
+  uint64_t epoch = 0;       // the node's serving epoch at verification time
+  uint32_t service = 0;     // fleet-wide service id
+
+  auto operator<=>(const MeasurementCacheKey&) const = default;
+};
+
+struct MeasurementCacheEntry {
+  Digest measurement;
+  uint64_t verified_at_ns = 0;
+};
+
+class MeasurementCache {
+ public:
+  explicit MeasurementCache(size_t capacity) : capacity_(capacity) {}
+
+  // nullptr on miss. Hits refresh LRU order. Hit/miss tallies feed the
+  // tyche_fleet_cache_* metrics.
+  const MeasurementCacheEntry* Lookup(const MeasurementCacheKey& key) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    it->second.last_use = ++tick_;
+    return &it->second.entry;
+  }
+
+  void Insert(const MeasurementCacheKey& key, const MeasurementCacheEntry& entry) {
+    if (capacity_ == 0) {
+      return;
+    }
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.entry = entry;
+      it->second.last_use = ++tick_;
+      return;
+    }
+    if (entries_.size() >= capacity_) {
+      auto victim = entries_.begin();
+      for (auto cur = entries_.begin(); cur != entries_.end(); ++cur) {
+        if (cur->second.last_use < victim->second.last_use) {
+          victim = cur;
+        }
+      }
+      entries_.erase(victim);
+      ++evictions_;
+    }
+    entries_.emplace(key, Slot{entry, ++tick_});
+  }
+
+  // Epoch-bump invalidation: after node `node` recovers into epoch E, every
+  // entry verified against an earlier epoch of that node is dead history.
+  void InvalidateEpochsBelow(uint32_t node, uint64_t epoch) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->first.node == node && it->first.epoch < epoch) {
+        it = entries_.erase(it);
+        ++invalidated_;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t invalidated() const { return invalidated_; }
+
+ private:
+  struct Slot {
+    MeasurementCacheEntry entry;
+    uint64_t last_use = 0;
+  };
+
+  size_t capacity_;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t invalidated_ = 0;
+  std::map<MeasurementCacheKey, Slot> entries_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_FLEET_CACHE_H_

@@ -1,0 +1,453 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+
+#include "src/fleet/frontend.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "src/support/faults.h"
+#include "src/tyche/verifier.h"
+
+namespace tyche {
+namespace {
+
+// Responses whose stale request died are swept out past this bound.
+constexpr size_t kInboxCap = 64;
+
+// Outcomes that say "this monitor (or the path to it) is unhealthy" and feed
+// its breaker. kNotFound (stale route, fixed by re-routing) and kOverloaded
+// (our own admission control) say nothing about the node and must not trip
+// it — see breaker.h.
+bool CountsAsNodeFailure(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kMigrating:
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kAttestationMismatch:
+    case ErrorCode::kSignatureInvalid:
+    case ErrorCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+VerificationFrontEnd::VerificationFrontEnd(Fleet* fleet, FrontEndOptions options)
+    : fleet_(fleet),
+      opts_(options),
+      cache_(options.cache_capacity),
+      prng_(options.seed) {
+  breakers_.resize(fleet_->num_nodes(), CircuitBreaker(opts_.breaker));
+  verifications_ok_ = metrics_.AddCounter(
+      "tyche_fleet_verifications_total", "Verification verdicts by result.",
+      {{"result", "ok"}});
+  verifications_cache_ = metrics_.AddCounter(
+      "tyche_fleet_verifications_total", "Verification verdicts by result.",
+      {{"result", "cache"}});
+  verifications_error_ = metrics_.AddCounter(
+      "tyche_fleet_verifications_total", "Verification verdicts by result.",
+      {{"result", "error"}});
+  retries_ = metrics_.AddCounter("tyche_fleet_retries_total",
+                                 "Wire attempts beyond the first per request.");
+  hedged_ = metrics_.AddCounter("tyche_fleet_hedged_total",
+                                "Hedged duplicate attest requests sent.");
+  hedged_wins_ = metrics_.AddCounter(
+      "tyche_fleet_hedged_wins_total",
+      "Verifications where the hedged duplicate answered first.");
+  shed_ = metrics_.AddCounter(
+      "tyche_fleet_shed_total",
+      "Requests shed at admission with typed kOverloaded.");
+  failover_ = metrics_.AddCounter(
+      "tyche_fleet_failover_total",
+      "Failover ladders triggered by breaker declare-down.");
+  deadline_exceeded_ = metrics_.AddCounter(
+      "tyche_fleet_deadline_exceeded_total",
+      "Verifications that exhausted their deadline.");
+  metrics_.AddCallback("tyche_fleet_cache_hits_total",
+                       "Measurement cache hits.", /*counter=*/true, {},
+                       [this] { return cache_.hits(); });
+  metrics_.AddCallback("tyche_fleet_cache_misses_total",
+                       "Measurement cache misses.", /*counter=*/true, {},
+                       [this] { return cache_.misses(); });
+  metrics_.AddCallback(
+      "tyche_fleet_cache_hit_ratio_percent",
+      "Cache hits as a percentage of lookups.", /*counter=*/false, {},
+      [this]() -> uint64_t {
+        const uint64_t total = cache_.hits() + cache_.misses();
+        return total == 0 ? 0 : cache_.hits() * 100 / total;
+      });
+  metrics_.AddCallback("tyche_fleet_queue_depth",
+                       "Admission queue occupancy.", /*counter=*/false, {},
+                       [this] { return static_cast<uint64_t>(queue_.size()); });
+  for (size_t i = 0; i < fleet_->num_nodes(); ++i) {
+    const MetricLabels labels = {{"node", std::to_string(i)}};
+    metrics_.AddCallback(
+        "tyche_fleet_breaker_state",
+        "Breaker state per node: 0 closed, 1 open, 2 half-open.",
+        /*counter=*/false, labels, [this, i] {
+          return static_cast<uint64_t>(breakers_[i].state(now()));
+        });
+    metrics_.AddCallback("tyche_fleet_node_epoch",
+                         "Serving epoch per node (bumps on recovery).",
+                         /*counter=*/false, labels,
+                         [this, i] { return fleet_->node(i)->epoch(); });
+  }
+}
+
+void VerificationFrontEnd::PumpAndDrain() {
+  fleet_->PumpAll();
+  for (size_t i = 0; i < fleet_->num_nodes(); ++i) {
+    LossyChannel* wire = fleet_->node(i)->responses();
+    while (true) {
+      auto frame = wire->Recv();
+      if (!frame.ok()) {
+        break;
+      }
+      if (FaultInjector::active() &&
+          !FaultInjector::Instance().Check(faults::kFleetVerifyTimeout).ok()) {
+        continue;  // CONSUMED: blackhole this response; the client times out
+      }
+      FleetResponse response;
+      if (!DecodeFleetResponse(*frame, &response)) {
+        continue;
+      }
+      if (inbox_.size() >= kInboxCap) {
+        inbox_.erase(inbox_.begin());
+      }
+      inbox_[response.request_id] = std::move(response);
+    }
+  }
+}
+
+std::optional<FleetResponse> VerificationFrontEnd::TakeResponse(uint64_t request_id) {
+  auto it = inbox_.find(request_id);
+  if (it == inbox_.end()) {
+    return std::nullopt;
+  }
+  FleetResponse response = std::move(it->second);
+  inbox_.erase(it);
+  return response;
+}
+
+uint64_t VerificationFrontEnd::SendRequest(MonitorNode* node, FleetRequestKind kind,
+                                           uint32_t domain, uint64_t nonce) {
+  FleetRequest request;
+  request.request_id = ++next_request_id_;
+  request.kind = kind;
+  request.domain = domain;
+  request.nonce = nonce;
+  const Status sent = node->requests()->Send(EncodeFleetRequest(request));
+  (void)sent;  // a dropped request is just a timeout; retries own recovery
+  return request.request_id;
+}
+
+Result<FleetResponse> VerificationFrontEnd::Await(uint64_t request_id,
+                                                  uint64_t attempt_deadline,
+                                                  uint64_t overall_deadline) {
+  while (true) {
+    // A round trip is never free: one wire poll costs one step of simulated
+    // time, so a response cannot be observed before the poll that carries it.
+    fleet_->clock().Advance(opts_.poll_step_ns);
+    PumpAndDrain();
+    const uint64_t t = now();
+    if (auto response = TakeResponse(request_id)) {
+      if (t >= overall_deadline) {
+        return Error(ErrorCode::kDeadlineExceeded, "response arrived after the deadline");
+      }
+      return *response;
+    }
+    if (t >= overall_deadline) {
+      return Error(ErrorCode::kDeadlineExceeded, "deadline while awaiting response");
+    }
+    if (t >= attempt_deadline) {
+      return Error(ErrorCode::kUnavailable, "attempt timed out");
+    }
+  }
+}
+
+Result<SchnorrPublicKey> VerificationFrontEnd::EnsureMonitorVerified(
+    MonitorNode* node, uint64_t overall_deadline) {
+  // The (node id, advertised epoch) pair names one monitor INSTANCE; a
+  // recovered monitor is a new instance and gets re-verified from scratch.
+  const auto cached = verified_monitors_.find({node->id(), node->epoch()});
+  if (cached != verified_monitors_.end()) {
+    return cached->second;
+  }
+  const uint64_t nonce = prng_.Next();
+  const uint64_t rid = SendRequest(node, FleetRequestKind::kIdentity, 0, nonce);
+  const uint64_t attempt_deadline =
+      std::min(now() + opts_.attempt_timeout_ns, overall_deadline);
+  TYCHE_ASSIGN_OR_RETURN(const FleetResponse response,
+                         Await(rid, attempt_deadline, overall_deadline));
+  if (response.code != ErrorCode::kOk) {
+    return Error(response.code, "identity request refused");
+  }
+  auto identity = DeserializeMonitorIdentity(response.payload);
+  if (!identity.ok()) {
+    return Error(ErrorCode::kAttestationMismatch, "identity failed to parse");
+  }
+  const RemoteVerifier verifier(node->machine()->tpm().attestation_key(),
+                                node->golden_firmware(), node->golden_monitor());
+  TYCHE_RETURN_IF_ERROR(verifier.VerifyMonitor(*identity, nonce));
+  verified_monitors_[{node->id(), node->epoch()}] = identity->monitor_key;
+  return identity->monitor_key;
+}
+
+Status VerificationFrontEnd::AttemptVerify(const ServiceRecord& route,
+                                           const VerifyRequest& request,
+                                           uint64_t overall_deadline,
+                                           VerifyVerdict* verdict) {
+  MonitorNode* primary = fleet_->node(route.node);
+  TYCHE_ASSIGN_OR_RETURN(const SchnorrPublicKey primary_key,
+                         EnsureMonitorVerified(primary, overall_deadline));
+  const uint32_t primary_node = route.node;
+  const uint64_t primary_epoch = primary->epoch();
+  const uint64_t rid =
+      SendRequest(primary, FleetRequestKind::kAttest, route.domain, request.nonce);
+  const uint64_t attempt_deadline =
+      std::min(now() + opts_.attempt_timeout_ns, overall_deadline);
+  const uint64_t hedge_at =
+      opts_.hedge_delay_ns == 0 ? UINT64_MAX : now() + opts_.hedge_delay_ns;
+
+  uint64_t hedge_rid = 0;
+  SchnorrPublicKey hedge_key;
+  Digest hedge_measurement;
+  uint32_t hedge_node = 0;
+  uint64_t hedge_epoch = 0;
+
+  const auto settle = [&](const FleetResponse& response,
+                          const SchnorrPublicKey& key, const Digest& golden,
+                          uint32_t node_id, uint64_t epoch, bool hedged) -> Status {
+    if (response.code != ErrorCode::kOk) {
+      return Error(response.code, "attest request refused");
+    }
+    TYCHE_ASSIGN_OR_RETURN(
+        const DomainAttestation report,
+        VerifySerializedReport(response.payload, key, request.nonce, &golden));
+    verdict->measurement = report.measurement;
+    verdict->node = node_id;
+    verdict->epoch = epoch;
+    verdict->hedged_win = hedged;
+    if (hedged) {
+      hedged_wins_->Add();
+    }
+    return OkStatus();
+  };
+
+  while (true) {
+    // Same wire-time model as Await: the poll itself costs a step, and a
+    // quote that lands after the caller's deadline is late, not a success.
+    fleet_->clock().Advance(opts_.poll_step_ns);
+    PumpAndDrain();
+    const uint64_t t = now();
+    if (t < overall_deadline) {
+      if (auto response = TakeResponse(rid)) {
+        return settle(*response, primary_key, route.measurement, primary_node,
+                      primary_epoch, /*hedged=*/false);
+      }
+      if (hedge_rid != 0) {
+        if (auto response = TakeResponse(hedge_rid)) {
+          return settle(*response, hedge_key, hedge_measurement, hedge_node,
+                        hedge_epoch, /*hedged=*/true);
+        }
+      }
+    }
+    if (t >= overall_deadline) {
+      return Error(ErrorCode::kDeadlineExceeded, "deadline mid-attempt");
+    }
+    if (t >= attempt_deadline) {
+      return Error(ErrorCode::kUnavailable, "attempt timed out");
+    }
+    if (hedge_rid == 0 && t >= hedge_at) {
+      // Hedge against drops and slow nodes: duplicate the attest to the
+      // service's CURRENT home (re-consulted now, so mid-failover the hedge
+      // lands on the replica). Only hedge to an already-verified monitor
+      // instance — tier 1 inside a hedge would nest wire waits.
+      const ServiceRecord fresh = fleet_->service(request.service);
+      MonitorNode* target = fleet_->node(fresh.node);
+      const auto key = verified_monitors_.find({target->id(), target->epoch()});
+      if (key != verified_monitors_.end()) {
+        hedge_key = key->second;
+        hedge_measurement = fresh.measurement;
+        hedge_node = fresh.node;
+        hedge_epoch = target->epoch();
+        hedge_rid = SendRequest(target, FleetRequestKind::kAttest, fresh.domain,
+                                request.nonce);
+        hedged_->Add();
+      }
+    }
+  }
+}
+
+std::optional<VerifyVerdict> VerificationFrontEnd::TryCache(
+    const VerifyRequest& request) {
+  const ServiceRecord route = fleet_->service(request.service);
+  MonitorNode* primary = fleet_->node(route.node);
+  const MeasurementCacheKey key{primary->pcr_prefix(), route.node,
+                                primary->epoch(), request.service};
+  const MeasurementCacheEntry* entry = cache_.Lookup(key);
+  if (entry == nullptr || !(entry->measurement == route.measurement)) {
+    return std::nullopt;  // a mismatching entry is never served
+  }
+  VerifyVerdict verdict;
+  verdict.measurement = entry->measurement;
+  verdict.from_cache = true;
+  verdict.node = route.node;
+  verdict.epoch = primary->epoch();
+  verdict.attempts = 0;
+  verdict.latency_ns = 0;
+  return verdict;
+}
+
+void VerificationFrontEnd::MaybeDeclareDown(uint32_t node_id) {
+  if (!opts_.auto_failover) {
+    return;
+  }
+  CircuitBreaker& breaker = breakers_[node_id];
+  if (breaker.state(now()) != BreakerState::kOpen ||
+      breaker.times_opened() < opts_.declare_down_opens) {
+    return;
+  }
+  (void)TriggerFailover(node_id);  // replica down -> keep retrying later
+}
+
+Status VerificationFrontEnd::TriggerFailover(uint32_t node_id) {
+  TYCHE_RETURN_IF_ERROR(fleet_->FailoverNode(node_id));
+  failover_->Add();
+  breakers_[node_id].Reset();
+  MonitorNode* node = fleet_->node(node_id);
+  // Epoch-bump invalidation: purge measurements and tier-1 verifications
+  // recorded against the pre-failover instance.
+  cache_.InvalidateEpochsBelow(node_id, node->epoch());
+  for (auto it = verified_monitors_.begin(); it != verified_monitors_.end();) {
+    if (it->first.first == node_id && it->first.second < node->epoch()) {
+      it = verified_monitors_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return OkStatus();
+}
+
+void VerificationFrontEnd::AdvanceBackoff(uint32_t attempt,
+                                          uint64_t overall_deadline) {
+  uint64_t wait = JitteredBackoff(prng_, opts_.backoff, attempt);
+  const uint64_t t = now();
+  if (t + wait > overall_deadline) {
+    wait = overall_deadline > t ? overall_deadline - t : 0;
+  }
+  fleet_->clock().Advance(wait);
+}
+
+Result<VerifyVerdict> VerificationFrontEnd::Verify(const VerifyRequest& request) {
+  if (request.service >= fleet_->num_services()) {
+    return Error(ErrorCode::kNotFound, "no such service");
+  }
+  const uint64_t start = now();
+  const uint64_t deadline =
+      start + (request.deadline_ns != 0 ? request.deadline_ns
+                                        : opts_.default_deadline_ns);
+  Status last = Error(ErrorCode::kUnavailable, "no attempt made");
+  for (uint32_t attempt = 1; attempt <= opts_.max_attempts; ++attempt) {
+    if (now() >= deadline) {
+      break;
+    }
+    // Fresh route every attempt: failover repoints mid-request.
+    const ServiceRecord route = fleet_->service(request.service);
+    if (auto verdict = TryCache(request)) {
+      verdict->attempts = attempt - 1;
+      verdict->latency_ns = now() - start;
+      verifications_cache_->Add();
+      return *verdict;
+    }
+    CircuitBreaker& breaker = breakers_[route.node];
+    const BreakerState pre_state = breaker.state(now());
+    if (!breaker.Admit(now())) {
+      last = Error(ErrorCode::kUnavailable, "breaker open");
+      MaybeDeclareDown(route.node);
+      AdvanceBackoff(attempt, deadline);
+      continue;
+    }
+    if (pre_state == BreakerState::kHalfOpen && FaultInjector::active() &&
+        !FaultInjector::Instance().Check(faults::kFleetBreakerProbe).ok()) {
+      // CONSUMED: the half-open probe dies on the wire. Recovery is
+      // delayed by one cooldown, never wrong.
+      breaker.RecordFailure(now());
+      last = Error(ErrorCode::kUnavailable, "breaker probe lost");
+      MaybeDeclareDown(route.node);
+      AdvanceBackoff(attempt, deadline);
+      continue;
+    }
+    if (attempt > 1) {
+      retries_->Add();
+    }
+    VerifyVerdict verdict;
+    const Status outcome = AttemptVerify(route, request, deadline, &verdict);
+    if (outcome.ok()) {
+      breaker.RecordSuccess(now());
+      MonitorNode* served_by = fleet_->node(verdict.node);
+      cache_.Insert({served_by->pcr_prefix(), verdict.node, verdict.epoch,
+                     request.service},
+                    {verdict.measurement, now()});
+      verdict.attempts = attempt;
+      verdict.latency_ns = now() - start;
+      verifications_ok_->Add();
+      return verdict;
+    }
+    last = outcome;
+    if (CountsAsNodeFailure(outcome.code())) {
+      breaker.RecordFailure(now());
+      MaybeDeclareDown(route.node);
+    }
+    AdvanceBackoff(attempt, deadline);
+  }
+  verifications_error_->Add();
+  if (now() >= deadline) {
+    deadline_exceeded_->Add();
+    return Error(ErrorCode::kDeadlineExceeded,
+                 "deadline exhausted; last error: " + last.message());
+  }
+  return Error(ErrorCode::kUnavailable,
+               "attempts exhausted; last error: " + last.message());
+}
+
+Result<VerificationFrontEnd::AdmissionOutcome> VerificationFrontEnd::Submit(
+    const VerifyRequest& request) {
+  if (request.service >= fleet_->num_services()) {
+    return Error(ErrorCode::kNotFound, "no such service");
+  }
+  const bool forced_overflow =
+      FaultInjector::active() &&
+      !FaultInjector::Instance().Check(faults::kFleetQueueOverflow).ok();
+  // Shedding prefers work that needs no wire: a cache-servable request is
+  // answered inline even when the queue is full.
+  if (auto verdict = TryCache(request)) {
+    verifications_cache_->Add();
+    AdmissionOutcome outcome;
+    outcome.verdict = *verdict;
+    return outcome;
+  }
+  if (forced_overflow || queue_.size() >= opts_.queue_capacity) {
+    shed_->Add();
+    return Error(ErrorCode::kOverloaded, "admission queue full");
+  }
+  queue_.push_back(request);
+  AdmissionOutcome outcome;
+  outcome.enqueued = true;
+  return outcome;
+}
+
+std::vector<VerificationFrontEnd::QueuedResult> VerificationFrontEnd::DrainQueue() {
+  std::vector<QueuedResult> results;
+  while (!queue_.empty()) {
+    const VerifyRequest request = queue_.front();
+    queue_.pop_front();
+    results.push_back(QueuedResult{request, Verify(request)});
+  }
+  return results;
+}
+
+}  // namespace tyche

@@ -1,0 +1,194 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Fault-tolerant verification front end (DESIGN.md §12): the customer-side
+// service that turns "verify service S" into a verdict that is correct even
+// when monitors crash, wires drop, and load spikes — the trust workflow of
+// §2.1 hardened into a fleet client.
+//
+// One Verify() call composes, in order:
+//   routing      the service table is re-consulted EVERY attempt, so a
+//                request in flight across a failover transparently lands on
+//                the replica;
+//   cache        a (PCR digest, node, epoch, service) hit short-circuits
+//                the wire entirely — epoch is part of the key, so entries
+//                verified against a pre-crash monitor are unreachable the
+//                instant the node recovers (see cache.h);
+//   breaker      a per-monitor circuit breaker (breaker.h) fails fast while
+//                a node is sick and probes it back to health; a breaker
+//                that keeps re-opening declares the node down and triggers
+//                the failover ladder (Fleet::FailoverNode);
+//   attempt      deadline-carrying request over the lossy wire, tier 1
+//                (monitor identity, verified once per (node, epoch)) then
+//                tier 2 (domain report vs the pinned golden measurement);
+//                optionally a hedged duplicate after `hedge_delay_ns`;
+//   retry        typed failures back off with de-synchronized jitter
+//                (backoff.h) and try again until `max_attempts` or the
+//                deadline.
+//
+// The invariant everything above serves: a verdict is kOk ONLY when the
+// full two-tier chain verified against the pinned golden measurement.
+// Every other outcome is a typed error — kDeadlineExceeded, kUnavailable,
+// kOverloaded — produced within the deadline. Tampered reports (the
+// fleet.cache_poison fault) die at signature/digest verification and are
+// never cached; overload sheds at admission with kOverloaded, never by
+// silent drop or unbounded queueing.
+
+#ifndef SRC_FLEET_FRONTEND_H_
+#define SRC_FLEET_FRONTEND_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/fleet/breaker.h"
+#include "src/fleet/cache.h"
+#include "src/fleet/node.h"
+#include "src/support/backoff.h"
+#include "src/support/metrics.h"
+#include "src/support/prng.h"
+
+namespace tyche {
+
+struct FrontEndOptions {
+  // Overall budget per Verify() when the request carries none.
+  uint64_t default_deadline_ns = 2'000'000;
+  // Per-attempt wire wait before the attempt is charged as kUnavailable.
+  uint64_t attempt_timeout_ns = 60'000;
+  // Hedged retry: duplicate the attest request after this long with no
+  // response (0 disables). The hedge re-consults the routing table at send
+  // time, so mid-failover it lands on the replica.
+  uint64_t hedge_delay_ns = 30'000;
+  uint32_t max_attempts = 8;
+  // Exponential backoff between attempts, equal-jitter (backoff.h).
+  BackoffPolicy backoff{/*base=*/8'000, /*cap=*/250'000};
+  // Simulated time step while polling the wire.
+  uint64_t poll_step_ns = 1'000;
+  BreakerConfig breaker{/*failure_threshold=*/3, /*open_cooldown_ns=*/60'000,
+                        /*probe_successes=*/1};
+  // A breaker that opened this many times declares its node down and
+  // triggers the failover ladder. >= 2 means the first open still gets a
+  // half-open probe before the client gives up on the node.
+  uint32_t declare_down_opens = 2;
+  bool auto_failover = true;
+  // Bounded admission queue: beyond this, requests shed with kOverloaded.
+  size_t queue_capacity = 16;
+  size_t cache_capacity = 128;
+  uint64_t seed = 0xF1EE7;
+};
+
+struct VerifyRequest {
+  uint32_t service = 0;
+  uint64_t nonce = 0;
+  uint64_t deadline_ns = 0;  // budget from now; 0 -> options default
+};
+
+struct VerifyVerdict {
+  Digest measurement;        // == the pinned golden measurement, always
+  bool from_cache = false;
+  bool hedged_win = false;   // the hedged duplicate answered first
+  uint32_t node = 0;         // node that served (or whose cache entry hit)
+  uint64_t epoch = 0;        // its serving epoch at verification time
+  uint32_t attempts = 0;     // wire attempts spent (0 = pure cache hit)
+  uint64_t latency_ns = 0;
+};
+
+class VerificationFrontEnd {
+ public:
+  explicit VerificationFrontEnd(Fleet* fleet, FrontEndOptions options = {});
+  VerificationFrontEnd(const VerificationFrontEnd&) = delete;
+  VerificationFrontEnd& operator=(const VerificationFrontEnd&) = delete;
+
+  // The full retry/breaker/cache/failover composition described above.
+  // kOk only with a fully verified golden measurement; otherwise a typed
+  // error within the deadline.
+  Result<VerifyVerdict> Verify(const VerifyRequest& request);
+
+  // Bounded admission. Cache-servable requests are answered inline even
+  // when the queue is full (shedding prefers work that needs no wire);
+  // otherwise the request queues, or sheds with typed kOverloaded.
+  struct AdmissionOutcome {
+    bool enqueued = false;
+    std::optional<VerifyVerdict> verdict;  // set when served from cache
+  };
+  Result<AdmissionOutcome> Submit(const VerifyRequest& request);
+
+  struct QueuedResult {
+    VerifyRequest request;
+    Result<VerifyVerdict> result;
+  };
+  // Runs every queued request through Verify().
+  std::vector<QueuedResult> DrainQueue();
+
+  // Declares `node_id` down and runs the failover ladder now (breaker
+  // reset, cache epoch invalidation included). Normally driven internally
+  // by `declare_down_opens`; exposed for tests and operators.
+  Status TriggerFailover(uint32_t node_id);
+
+  size_t queue_depth() const { return queue_.size(); }
+  MeasurementCache& cache() { return cache_; }
+  CircuitBreaker& breaker(uint32_t node_id) { return breakers_[node_id]; }
+  MetricsRegistry& metrics() { return metrics_; }
+  Fleet* fleet() { return fleet_; }
+
+  uint64_t shed() const { return shed_->Value(); }
+  uint64_t hedged() const { return hedged_->Value(); }
+  uint64_t hedged_wins() const { return hedged_wins_->Value(); }
+  uint64_t failovers_triggered() const { return failover_->Value(); }
+  uint64_t retries() const { return retries_->Value(); }
+
+ private:
+  uint64_t now() const { return fleet_->clock().now_ns; }
+
+  // Pumps every node and sweeps all response channels into the inbox.
+  // The fleet.verify_timeout fault site lives here: an injected hit
+  // blackholes one received response, indistinguishable from a drop.
+  void PumpAndDrain();
+  std::optional<FleetResponse> TakeResponse(uint64_t request_id);
+  uint64_t SendRequest(MonitorNode* node, FleetRequestKind kind,
+                       uint32_t domain, uint64_t nonce);
+  // Waits for `request_id` until the attempt window or overall deadline
+  // closes, advancing simulated time in poll steps.
+  Result<FleetResponse> Await(uint64_t request_id, uint64_t attempt_deadline,
+                              uint64_t overall_deadline);
+
+  // Tier 1, memoized per (node, epoch): identity round trip + TPM quote
+  // verification against the golden images. Returns the monitor's verified
+  // report-signing key for tier-2 checks.
+  Result<SchnorrPublicKey> EnsureMonitorVerified(MonitorNode* node,
+                                                 uint64_t overall_deadline);
+
+  // One wire attempt (tier 1 + tier 2 + optional hedge). On success fills
+  // verdict->{measurement, node, epoch, hedged_win}.
+  Status AttemptVerify(const ServiceRecord& route, const VerifyRequest& request,
+                       uint64_t overall_deadline, VerifyVerdict* verdict);
+
+  std::optional<VerifyVerdict> TryCache(const VerifyRequest& request);
+  void MaybeDeclareDown(uint32_t node_id);
+  void AdvanceBackoff(uint32_t attempt, uint64_t overall_deadline);
+
+  Fleet* fleet_;
+  FrontEndOptions opts_;
+  MeasurementCache cache_;
+  std::vector<CircuitBreaker> breakers_;
+  Prng prng_;
+  uint64_t next_request_id_ = 0;
+  std::map<uint64_t, FleetResponse> inbox_;
+  // (node, epoch) -> verified monitor report-signing key.
+  std::map<std::pair<uint32_t, uint64_t>, SchnorrPublicKey> verified_monitors_;
+  std::deque<VerifyRequest> queue_;
+
+  MetricsRegistry metrics_;
+  StripedCounter* verifications_ok_;
+  StripedCounter* verifications_cache_;
+  StripedCounter* verifications_error_;
+  StripedCounter* retries_;
+  StripedCounter* hedged_;
+  StripedCounter* hedged_wins_;
+  StripedCounter* shed_;
+  StripedCounter* failover_;
+  StripedCounter* deadline_exceeded_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_FLEET_FRONTEND_H_

@@ -1,0 +1,55 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Zipf-distributed index picker: the fleet's client-load shape. A small
+// head of popular services absorbs most verifications (where the
+// measurement cache earns its keep) while the long tail keeps producing
+// cold misses — the "millions of users" popularity curve from ROADMAP's
+// cloud-scale item, made concrete and deterministic.
+
+#ifndef SRC_FLEET_ZIPF_H_
+#define SRC_FLEET_ZIPF_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/support/prng.h"
+
+namespace tyche {
+
+class ZipfPicker {
+ public:
+  // Ranks 1..n weighted 1/rank^s. s=0 degenerates to uniform.
+  ZipfPicker(size_t n, double s) : cumulative_(n) {
+    double total = 0.0;
+    for (size_t rank = 1; rank <= n; ++rank) {
+      total += 1.0 / std::pow(static_cast<double>(rank), s);
+      cumulative_[rank - 1] = total;
+    }
+  }
+
+  // Index in [0, n), rank-0 most popular. Deterministic given the Prng.
+  uint32_t Pick(Prng& prng) const {
+    if (cumulative_.empty()) {
+      return 0;
+    }
+    const double point = prng.NextDouble() * cumulative_.back();
+    size_t lo = 0;
+    size_t hi = cumulative_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cumulative_[mid] < point) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<uint32_t>(lo);
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_FLEET_ZIPF_H_

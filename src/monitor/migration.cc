@@ -11,6 +11,7 @@
 
 #include "src/hw/cost_model.h"
 #include "src/monitor/audit.h"
+#include "src/support/backoff.h"
 #include "src/support/faults.h"
 #include "src/support/log.h"
 #include "src/support/snapshot.h"
@@ -358,15 +359,27 @@ Result<std::vector<uint8_t>> MigrationInternal::Transfer(Monitor* source,
   const uint64_t chunk = std::max<uint64_t>(1, options.chunk_size);
   const uint32_t total = static_cast<uint32_t>((payload.size() + chunk - 1) / chunk);
   std::map<uint32_t, std::vector<uint8_t>> received;
+  // Jittered exponential backoff between retry rounds. The seed defaults to
+  // a per-migration value (payload digest prefix) so two migrations that
+  // failed against the same congested channel at the same instant do NOT
+  // re-send in lockstep every round — the bug class this replaces was a
+  // deterministic `vmcall_round_trip << round` charge identical across all
+  // migrations.
+  Prng backoff_prng(options.backoff_seed != 0
+                        ? options.backoff_seed
+                        : Prefix64(report->payload_digest) ^ 0x6261636b6f6666ULL);
+  const BackoffPolicy backoff{/*base=*/CostModel::Default().vmcall_round_trip,
+                              /*cap=*/CostModel::Default().vmcall_round_trip
+                                  << 10};
   for (uint32_t round = 0; received.size() < total; ++round) {
     if (round >= options.max_attempts) {
       return Error(ErrorCode::kResourceExhausted, "migration transfer retries exhausted");
     }
     if (round > 0) {
       ++report->retries;
-      // Simulated exponential backoff before re-sending: the cost model has
-      // no dedicated constant, so charge the trap cost shifted by the round.
-      source->machine_->cycles().Charge(CostModel::Default().vmcall_round_trip << round);
+      const uint64_t wait = JitteredBackoff(backoff_prng, backoff, round);
+      report->backoff_cycles += wait;
+      source->machine_->cycles().Charge(wait);
     }
     TYCHE_FAULT_POINT(faults::kMigrateTransfer);
     for (uint32_t seq = 0; seq < total; ++seq) {

@@ -88,6 +88,11 @@ struct MigrationOptions {
   // everything; each later round re-sends only the frames that never
   // arrived, so a single dropped frame costs one retry, not a full resend.
   uint32_t max_attempts = 8;
+  // Seed for the jittered retry backoff (src/support/backoff.h). 0 derives a
+  // per-migration seed from the payload digest, so concurrent migrations
+  // against one congested channel de-synchronize by default; a fixed nonzero
+  // seed pins the schedule for reproducibility.
+  uint64_t backoff_seed = 0;
 };
 
 struct MigrationReport {
@@ -96,6 +101,10 @@ struct MigrationReport {
   uint64_t payload_bytes = 0;
   uint64_t frames_sent = 0;  // includes re-sends
   uint64_t retries = 0;      // transfer rounds beyond the first
+  // Total jittered backoff charged across retry rounds, in sim cycles.
+  // Exposed so tests can assert the schedule is jittered (two seeds =>
+  // different totals) yet reproducible (same seed => same total).
+  uint64_t backoff_cycles = 0;
 };
 
 // Migrates `domain` from `source` to `dest`. Both monitors must be in serial

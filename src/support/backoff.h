@@ -1,0 +1,52 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Exponential retry backoff with seeded jitter, shared by the migration
+// transfer stage and the fleet verification front end.
+//
+// Deterministic exponential backoff makes concurrent retriers fire in
+// lockstep: every client that failed at t=0 retries at exactly t=base,
+// t=3*base, t=7*base, ... and the congested resource sees the same
+// synchronized burst each round. The fix is the standard "equal jitter"
+// scheme: wait a uniform draw from [full/2, full], where full is the capped
+// exponential base << (round-1). At least half the exponential spacing is
+// preserved (so retries still space out), and two retriers with different
+// PRNG streams de-synchronize with high probability from round one.
+//
+// Everything is deterministic given the Prng seed — the simulation's whole
+// fault story is replayable from logged seeds, and backoff is no exception.
+
+#ifndef SRC_SUPPORT_BACKOFF_H_
+#define SRC_SUPPORT_BACKOFF_H_
+
+#include <cstdint>
+
+#include "src/support/prng.h"
+
+namespace tyche {
+
+struct BackoffPolicy {
+  uint64_t base = 1024;     // wait units for the first retry (round 1)
+  uint64_t cap = 1u << 20;  // upper bound on any single wait
+};
+
+// Jittered wait before retry round `round` (1-based). Uniform in
+// [full/2, full] with full = min(cap, base << (round-1)); the shift
+// saturates at the cap instead of overflowing.
+inline uint64_t JitteredBackoff(Prng& prng, const BackoffPolicy& policy,
+                                uint32_t round) {
+  const uint32_t shift = round > 1 ? round - 1 : 0;
+  uint64_t full = policy.cap;
+  if (shift < 64 && (policy.base << shift) >> shift == policy.base) {
+    full = policy.base << shift;
+    if (full > policy.cap) {
+      full = policy.cap;
+    }
+  }
+  if (full == 0) {
+    return 0;
+  }
+  return prng.Range(full / 2, full);
+}
+
+}  // namespace tyche
+
+#endif  // SRC_SUPPORT_BACKOFF_H_

@@ -22,7 +22,9 @@ const std::vector<std::string_view>& AllFaultSites() {
       faults::kMigrateTransfer,  faults::kMigrateRestore,
       faults::kMigrateResync,    faults::kMigrateCommit,
       faults::kChannelDrop,      faults::kChannelDup,
-      faults::kChannelReorder,
+      faults::kChannelReorder,   faults::kFleetNodeCrash,
+      faults::kFleetVerifyTimeout, faults::kFleetBreakerProbe,
+      faults::kFleetCachePoison, faults::kFleetQueueOverflow,
   };
   return kSites;
 }
@@ -51,6 +53,18 @@ ErrorCode DefaultFaultCode(std::string_view site) {
     // A killed migration stage surfaces as a precondition failure of the
     // staged commit; the protocol converts it into a journaled abort.
     return ErrorCode::kFailedPrecondition;
+  }
+  if (site == faults::kFleetNodeCrash || site == faults::kFleetBreakerProbe) {
+    return ErrorCode::kUnavailable;
+  }
+  if (site == faults::kFleetVerifyTimeout) {
+    return ErrorCode::kDeadlineExceeded;
+  }
+  if (site == faults::kFleetCachePoison) {
+    return ErrorCode::kAttestationMismatch;
+  }
+  if (site == faults::kFleetQueueOverflow) {
+    return ErrorCode::kOverloaded;
   }
   return ErrorCode::kInternal;
 }

@@ -75,6 +75,19 @@ inline constexpr std::string_view kMigrateCommit = "migrate.commit";
 inline constexpr std::string_view kChannelDrop = "channel.drop";
 inline constexpr std::string_view kChannelDup = "channel.dup";
 inline constexpr std::string_view kChannelReorder = "channel.reorder";
+// Attestation-fleet sites (src/fleet/). node_crash is CONSUMED by a
+// MonitorNode to stop serving mid-pump (the failure manifests to clients as
+// timeouts, then breaker-driven failover); verify_timeout is CONSUMED by the
+// front end to blackhole one in-flight response; breaker_probe is CONSUMED
+// to fail a half-open recovery probe; cache_poison is CONSUMED by a node to
+// flip one byte of an outbound serialized report (the defense under test:
+// the poisoned report must fail verification and never enter the cache);
+// queue_overflow SURFACES as kOverloaded from admission.
+inline constexpr std::string_view kFleetNodeCrash = "fleet.node_crash";
+inline constexpr std::string_view kFleetVerifyTimeout = "fleet.verify_timeout";
+inline constexpr std::string_view kFleetBreakerProbe = "fleet.breaker_probe";
+inline constexpr std::string_view kFleetCachePoison = "fleet.cache_poison";
+inline constexpr std::string_view kFleetQueueOverflow = "fleet.queue_overflow";
 
 // Silent-corruption sites for the invariant watchdog (src/monitor/watchdog.h).
 // Deliberately NOT in AllFaultSites(): the sweep enumerates sites that

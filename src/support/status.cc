@@ -60,6 +60,12 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "JOURNAL_REPLAY_DIVERGENCE";
     case ErrorCode::kMigrating:
       return "MIGRATING";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kOverloaded:
+      return "OVERLOADED";
+    case ErrorCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

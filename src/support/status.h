@@ -55,6 +55,14 @@ enum class ErrorCode : uint8_t {
   // Migration errors. A frozen domain rejects operations with kMigrating so
   // callers degrade gracefully instead of stalling on a lock.
   kMigrating,
+  // Fleet / verification-front-end errors (DESIGN.md §12). These are the
+  // typed availability verdicts a client can act on: kUnavailable and
+  // kOverloaded are retryable after backoff, kDeadlineExceeded means the
+  // caller's own deadline lapsed first. None of them ever stands in for a
+  // failed measurement check — integrity failures keep their own codes.
+  kUnavailable,       // monitor down, mid-recovery, or breaker open
+  kOverloaded,        // admission queue full; request shed, not dropped
+  kDeadlineExceeded,  // no verdict before the request's deadline
 };
 
 // Human-readable name for an error code (stable, used in logs and tests).

@@ -72,6 +72,13 @@ Result<std::vector<uint8_t>> Channel::Recv(CoreId core) {
   return message;
 }
 
+void LossyChannel::Enqueue(std::span<const uint8_t> frame, bool duplicate) {
+  Frame entry;
+  entry.bytes.assign(frame.begin(), frame.end());
+  entry.duplicate = duplicate;
+  queue_.push_back(std::move(entry));
+}
+
 Status LossyChannel::Send(std::span<const uint8_t> frame) {
   if (FaultInjector::active()) {
     // Each site CONSUMES its trigger: the injected status is the signal that
@@ -81,22 +88,30 @@ Status LossyChannel::Send(std::span<const uint8_t> frame) {
       return OkStatus();  // frame lost in flight
     }
     if (!FaultInjector::Instance().Check(faults::kChannelDup).ok()) {
-      queue_.emplace_back(frame.begin(), frame.end());
-      ++duplicated_;
+      // Bounded amplification: a dup-storm plan (repeat=true) may fire on
+      // every Send(), but only max_pending_duplicates_ injected copies may
+      // be queued at once; the rest are counted and discarded.
+      if (pending_duplicates_ < max_pending_duplicates_) {
+        Enqueue(frame, /*duplicate=*/true);
+        ++pending_duplicates_;
+        ++duplicated_;
+      } else {
+        ++dup_suppressed_;
+      }
     }
     if (!FaultInjector::Instance().Check(faults::kChannelReorder).ok()) {
       if (stashed_) {
         // The delay line is single-slot; release the earlier straggler.
-        queue_.push_back(std::move(*stashed_));
+        Enqueue(*stashed_, /*duplicate=*/false);
       }
       stashed_.emplace(frame.begin(), frame.end());
       ++reordered_;
       return OkStatus();
     }
   }
-  queue_.emplace_back(frame.begin(), frame.end());
+  Enqueue(frame, /*duplicate=*/false);
   if (stashed_) {
-    queue_.push_back(std::move(*stashed_));
+    Enqueue(*stashed_, /*duplicate=*/false);
     stashed_.reset();
   }
   return OkStatus();
@@ -106,9 +121,12 @@ Result<std::vector<uint8_t>> LossyChannel::Recv() {
   if (queue_.empty()) {
     return Error(ErrorCode::kNotFound, "no frame pending");
   }
-  std::vector<uint8_t> frame = std::move(queue_.front());
+  Frame entry = std::move(queue_.front());
   queue_.pop_front();
-  return frame;
+  if (entry.duplicate) {
+    --pending_duplicates_;
+  }
+  return std::move(entry.bytes);
 }
 
 }  // namespace tyche

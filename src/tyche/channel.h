@@ -71,9 +71,28 @@ class LossyChannel : public MigrationTransport {
   uint64_t dropped() const { return dropped_; }
   uint64_t duplicated() const { return duplicated_; }
   uint64_t reordered() const { return reordered_; }
+  // Duplicates suppressed by the amplification bound.
+  uint64_t dup_suppressed() const { return dup_suppressed_; }
+
+  size_t pending() const { return queue_.size() + (stashed_ ? 1 : 0); }
+
+  // Amplification bound: at most this many injected duplicates may sit in
+  // the receive queue at once. Without it a repeating `channel.dup` plan
+  // grows the queue by one extra frame per Send() forever — the receiver
+  // pays unbounded memory and drain work for a storm it never asked for.
+  // With the bound, pending() <= frames sent (and not dropped) + this cap.
+  void set_max_pending_duplicates(uint64_t cap) { max_pending_duplicates_ = cap; }
+  uint64_t max_pending_duplicates() const { return max_pending_duplicates_; }
 
  private:
-  std::deque<std::vector<uint8_t>> queue_;
+  struct Frame {
+    std::vector<uint8_t> bytes;
+    bool duplicate = false;  // injected copy, counted against the dup bound
+  };
+
+  void Enqueue(std::span<const uint8_t> frame, bool duplicate);
+
+  std::deque<Frame> queue_;
   // A reordered frame waits here and is delivered AFTER the next frame that
   // passes through (a one-slot delay line). If no later Send() flushes it,
   // the next retry round's re-send does — delivery is delayed, never lost.
@@ -81,6 +100,9 @@ class LossyChannel : public MigrationTransport {
   uint64_t dropped_ = 0;
   uint64_t duplicated_ = 0;
   uint64_t reordered_ = 0;
+  uint64_t dup_suppressed_ = 0;
+  uint64_t pending_duplicates_ = 0;
+  uint64_t max_pending_duplicates_ = 8;
 };
 
 }  // namespace tyche

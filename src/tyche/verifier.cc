@@ -150,6 +150,25 @@ uint64_t LinkPrefix64(const Digest& digest) {
 
 }  // namespace
 
+Result<DomainAttestation> VerifySerializedReport(
+    std::span<const uint8_t> bytes, const SchnorrPublicKey& monitor_key,
+    uint64_t expected_nonce, const Digest* expected_measurement) {
+  auto report = DeserializeAttestation(bytes);
+  if (!report.ok()) {
+    // Parse failure on attestation bytes is an integrity event, not a
+    // format quibble: surface it as the typed mismatch the caller's retry
+    // and breaker logic key on.
+    return Error(ErrorCode::kAttestationMismatch,
+                 "attestation failed to deserialize: " + report.status().message());
+  }
+  // VerifyDomain only consults its parameters; the verifier's golden/TPM
+  // state is tier-1 material and unused here.
+  const RemoteVerifier verifier(SchnorrPublicKey{}, Digest{}, Digest{});
+  TYCHE_RETURN_IF_ERROR(verifier.VerifyDomain(*report, monitor_key,
+                                              expected_nonce, expected_measurement));
+  return *report;
+}
+
 Status VerifyJournalSplice(std::span<const uint8_t> source_journal,
                            std::span<const uint8_t> dest_journal,
                            const SchnorrPublicKey& source_key,

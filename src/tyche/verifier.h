@@ -97,6 +97,17 @@ class CustomerVerifier {
 // Violations return kJournalChainBroken (exit code 3 in journal_verify);
 // bad signatures surface as kJournalSignatureInvalid from the per-journal
 // chain verification.
+// One-shot wire-to-verdict check for a serialized tier-2 report: hardened
+// deserialization, then signature / digest / nonce / (optional) golden
+// measurement verification under the already-verified monitor key. A report
+// tampered in transit — truncated, bit-flipped, replayed under a stale
+// nonce — fails here with a typed kAttestationMismatch / kSignatureInvalid
+// and MUST NOT be cached or acted on. This is the fleet front end's tier-2
+// entry point (src/fleet/frontend.cc).
+Result<DomainAttestation> VerifySerializedReport(
+    std::span<const uint8_t> bytes, const SchnorrPublicKey& monitor_key,
+    uint64_t expected_nonce, const Digest* expected_measurement);
+
 Status VerifyJournalSplice(std::span<const uint8_t> source_journal,
                            std::span<const uint8_t> dest_journal,
                            const SchnorrPublicKey& source_key,

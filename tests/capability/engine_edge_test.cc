@@ -109,6 +109,36 @@ TEST_F(EngineEdgeTest, PurgeUnregisteredDomainFails) {
   EXPECT_EQ(engine_.PurgeDomain(42).code(), ErrorCode::kNotFound);
 }
 
+TEST_F(EngineEdgeTest, CaptureRestoreRoundTripsAfterPurge) {
+  // Lineage nodes are never deleted, so after a purge the engine legitimately
+  // holds inactive caps owned by a now-unregistered domain. Capture of that
+  // state must round-trip through Restore (regression: migration staging
+  // rejected any destination that had ever been a migration source).
+  const CapId root = *engine_.MintMemory(0, AddrRange{0, kMiB}, Perms(Perms::kRWX),
+                                         CapRights(CapRights::kAll));
+  const auto grant = engine_.GrantMemory(0, root, 1, AddrRange{0, kMiB},
+                                         Perms(Perms::kRW), CapRights(CapRights::kAll),
+                                         RevocationPolicy{});
+  ASSERT_TRUE(grant.ok());
+  ASSERT_TRUE(engine_.PurgeDomain(1).ok());
+  ASSERT_FALSE(engine_.IsRegistered(1));
+
+  CapabilityEngine copy;
+  ASSERT_TRUE(copy.Restore(engine_.Capture()).ok());
+  EXPECT_EQ(copy.EffectivePerms(0, 0).mask, Perms::kRWX);
+  EXPECT_FALSE(copy.IsRegistered(1));
+  // An ACTIVE cap with an unregistered owner is still corruption.
+  EngineImage bad = engine_.Capture();
+  for (Capability& cap : bad.caps) {
+    if (cap.owner == 1 && !cap.active()) {
+      cap.state = CapState::kActive;
+      break;
+    }
+  }
+  CapabilityEngine reject;
+  EXPECT_EQ(reject.Restore(bad).code(), ErrorCode::kInvalidArgument);
+}
+
 TEST_F(EngineEdgeTest, RevokeAuthorizationViaParentNeedsRevokeRight) {
   const CapId root = *engine_.MintMemory(0, AddrRange{0, kMiB}, Perms(Perms::kRWX),
                                          CapRights(CapRights::kAll));

@@ -1,0 +1,484 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Unit and negative-path coverage for the fleet subsystem (DESIGN.md §12):
+// breaker state machine, cache epoch semantics, jittered backoff (including
+// the migration retry desync regression), the LossyChannel duplicate-storm
+// bound, bounded admission, and the RemoteVerifier negative paths the ISSUE
+// names: deadline-exceeded quote, wrong-epoch cached measurement, and a
+// mid-recovery monitor surfacing a typed retryable error.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/fleet/frontend.h"
+#include "src/fleet/zipf.h"
+#include "src/monitor/migration.h"
+#include "src/support/backoff.h"
+#include "src/support/faults.h"
+#include "src/tyche/verifier.h"
+
+namespace tyche {
+namespace {
+
+std::unique_ptr<Fleet> MakeFleet(uint32_t nodes = 3,
+                                 IsaArch arch = IsaArch::kX86_64) {
+  FleetOptions options;
+  options.num_nodes = nodes;
+  options.arch = arch;
+  return Fleet::Create(options);
+}
+
+std::vector<uint64_t> BackoffSchedule(uint64_t seed, const BackoffPolicy& policy,
+                                      uint32_t rounds) {
+  Prng prng(seed);
+  std::vector<uint64_t> schedule;
+  for (uint32_t round = 1; round <= rounds; ++round) {
+    schedule.push_back(JitteredBackoff(prng, policy, round));
+  }
+  return schedule;
+}
+
+// --- Backoff --------------------------------------------------------------
+
+TEST(Backoff, EqualJitterBoundsAndCap) {
+  const BackoffPolicy policy{/*base=*/1024, /*cap=*/1u << 16};
+  Prng prng(7);
+  for (uint32_t round = 1; round <= 20; ++round) {
+    const uint64_t full =
+        std::min<uint64_t>(policy.cap, policy.base << std::min(round - 1, 20u));
+    const uint64_t wait = JitteredBackoff(prng, policy, round);
+    EXPECT_GE(wait, full / 2) << "round " << round;
+    EXPECT_LE(wait, full) << "round " << round;
+  }
+}
+
+TEST(Backoff, SeedsDesynchronizeSchedulesDeterministically) {
+  const BackoffPolicy policy{/*base=*/1024, /*cap=*/1u << 20};
+  const auto a = BackoffSchedule(1, policy, 8);
+  const auto b = BackoffSchedule(2, policy, 8);
+  // Two clients backing off against one congested resource must not march
+  // in lockstep (the retry-storm bug this guards against).
+  EXPECT_NE(a, b);
+  // But every schedule is replayable from its seed.
+  EXPECT_EQ(a, BackoffSchedule(1, policy, 8));
+  EXPECT_EQ(b, BackoffSchedule(2, policy, 8));
+}
+
+// Regression for the migration retry schedule: before the fix every retry
+// round waited exactly vmcall_round_trip << round, so concurrent migrations
+// hammered a congested channel in lockstep. Now the wait is seed-jittered:
+// different seeds give different totals, the same seed replays exactly.
+TEST(Backoff, MigrationRetryBackoffIsJitteredPerSeed) {
+  const auto run = [](uint64_t backoff_seed) -> uint64_t {
+    auto fleet = MakeFleet(/*nodes=*/2);
+    if (fleet == nullptr) {
+      ADD_FAILURE() << "fleet boot failed";
+      return 0;
+    }
+    // Two dropped frames force two retry rounds, each charged with backoff.
+    FaultPlan plan;
+    plan.Add({std::string(faults::kChannelDrop), 1,
+              DefaultFaultCode(faults::kChannelDrop), false});
+    plan.Add({std::string(faults::kChannelDrop), 2,
+              DefaultFaultCode(faults::kChannelDrop), false});
+    ScopedFaultPlan scoped(std::move(plan));
+    const ServiceRecord svc = fleet->service(0);
+    LossyChannel wire;
+    MigrationOptions options;
+    options.backoff_seed = backoff_seed;
+    const auto report = MigrateDomain(
+        fleet->node(0)->monitor(), fleet->node(1)->monitor(), svc.domain, &wire,
+        fleet->node(0)->monitor()->public_key(), options);
+    if (!report.ok()) {
+      ADD_FAILURE() << "migration failed: " << report.status().ToString();
+      return 0;
+    }
+    EXPECT_GE(report->retries, 1u);
+    EXPECT_GT(report->backoff_cycles, 0u);
+    return report->backoff_cycles;
+  };
+  const uint64_t seed11 = run(11);
+  const uint64_t seed22 = run(22);
+  const uint64_t seed11_again = run(11);
+  EXPECT_NE(seed11, seed22) << "backoff schedules are synchronized";
+  EXPECT_EQ(seed11, seed11_again) << "backoff schedule is not reproducible";
+}
+
+// --- LossyChannel duplicate storm (satellite 2) ---------------------------
+
+TEST(LossyChannel, DuplicateStormIsBounded) {
+  LossyChannel channel;
+  channel.set_max_pending_duplicates(4);
+  // Every send duplicates: an unbounded queue would hold 2N frames.
+  FaultPlan plan;
+  plan.Add({std::string(faults::kChannelDup), 1,
+            DefaultFaultCode(faults::kChannelDup), /*repeat=*/true});
+  ScopedFaultPlan scoped(std::move(plan));
+  constexpr int kFrames = 20;
+  for (int i = 0; i < kFrames; ++i) {
+    const std::vector<uint8_t> frame = {static_cast<uint8_t>(i)};
+    ASSERT_TRUE(channel.Send(frame).ok());
+  }
+  EXPECT_LE(channel.pending(), kFrames + 4u);
+  EXPECT_EQ(channel.duplicated(), 4u);
+  EXPECT_EQ(channel.dup_suppressed(), kFrames - 4u);
+  size_t received = 0;
+  while (channel.Recv().ok()) {
+    ++received;
+  }
+  EXPECT_EQ(received, kFrames + 4u);
+  // Once the pending duplicates drain, the cap frees up again.
+  const std::vector<uint8_t> extra = {0xFF};
+  ASSERT_TRUE(channel.Send(extra).ok());
+  EXPECT_EQ(channel.duplicated(), 5u);
+}
+
+// --- Circuit breaker ------------------------------------------------------
+
+TEST(CircuitBreaker, FullStateMachine) {
+  BreakerConfig config;
+  config.failure_threshold = 3;
+  config.open_cooldown_ns = 100;
+  CircuitBreaker breaker(config);
+
+  EXPECT_EQ(breaker.state(0), BreakerState::kClosed);
+  breaker.RecordFailure(0);
+  breaker.RecordFailure(1);
+  EXPECT_EQ(breaker.state(2), BreakerState::kClosed);  // below threshold
+  breaker.RecordFailure(2);
+  EXPECT_EQ(breaker.state(3), BreakerState::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+  EXPECT_FALSE(breaker.Admit(50));  // cooling down: fail fast
+
+  // Cooldown elapsed: half-open admits exactly one probe.
+  EXPECT_EQ(breaker.state(102), BreakerState::kHalfOpen);
+  EXPECT_TRUE(breaker.Admit(102));
+  EXPECT_FALSE(breaker.Admit(103)) << "second probe admitted while one is in flight";
+  breaker.RecordSuccess(110);
+  EXPECT_EQ(breaker.state(111), BreakerState::kClosed);
+
+  // A failed probe re-opens and restarts the cooldown.
+  breaker.RecordFailure(200);
+  breaker.RecordFailure(201);
+  breaker.RecordFailure(202);
+  EXPECT_EQ(breaker.state(203), BreakerState::kOpen);
+  EXPECT_TRUE(breaker.Admit(310));
+  breaker.RecordFailure(311);
+  EXPECT_EQ(breaker.state(312), BreakerState::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 3u);
+  EXPECT_FALSE(breaker.Admit(330));
+
+  // A success while closed clears the failure streak.
+  breaker.Reset();
+  breaker.RecordFailure(400);
+  breaker.RecordFailure(401);
+  breaker.RecordSuccess(402);
+  breaker.RecordFailure(403);
+  breaker.RecordFailure(404);
+  EXPECT_EQ(breaker.state(405), BreakerState::kClosed);
+}
+
+// --- Measurement cache ----------------------------------------------------
+
+TEST(MeasurementCache, EpochIsPartOfTheKey) {
+  MeasurementCache cache(8);
+  Digest m;
+  m.bytes[0] = 0xAB;
+  const MeasurementCacheKey epoch0{/*pcr_prefix=*/1, /*node=*/0, /*epoch=*/0,
+                                   /*service=*/7};
+  cache.Insert(epoch0, {m, 100});
+  ASSERT_NE(cache.Lookup(epoch0), nullptr);
+
+  // The same service on the same node after a recovery: different epoch,
+  // different key — the stale entry is unreachable, not merely stale.
+  MeasurementCacheKey epoch1 = epoch0;
+  epoch1.epoch = 1;
+  EXPECT_EQ(cache.Lookup(epoch1), nullptr);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.InvalidateEpochsBelow(/*node=*/0, /*epoch=*/1);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.invalidated(), 1u);
+  EXPECT_EQ(cache.Lookup(epoch0), nullptr);
+}
+
+TEST(MeasurementCache, LruEvictionAtCapacity) {
+  MeasurementCache cache(2);
+  Digest m;
+  const MeasurementCacheKey a{1, 0, 0, 0};
+  const MeasurementCacheKey b{1, 0, 0, 1};
+  const MeasurementCacheKey c{1, 0, 0, 2};
+  cache.Insert(a, {m, 1});
+  cache.Insert(b, {m, 2});
+  ASSERT_NE(cache.Lookup(a), nullptr);  // refresh a: b becomes LRU
+  cache.Insert(c, {m, 3});
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.Lookup(a), nullptr);
+  EXPECT_EQ(cache.Lookup(b), nullptr);
+  EXPECT_NE(cache.Lookup(c), nullptr);
+}
+
+// --- Zipf load shape ------------------------------------------------------
+
+TEST(ZipfPicker, HeadIsHotterThanTail) {
+  ZipfPicker zipf(16, 1.2);
+  Prng prng(99);
+  std::vector<int> counts(16, 0);
+  for (int i = 0; i < 4000; ++i) {
+    ++counts[zipf.Pick(prng)];
+  }
+  EXPECT_GT(counts[0], counts[8] * 2);
+  EXPECT_GT(counts[0], counts[15] * 4);
+}
+
+// --- Front end: happy path, cache, and typed negative paths ---------------
+
+TEST(FrontEnd, VerifiesThenServesFromCache) {
+  auto fleet = MakeFleet();
+  ASSERT_NE(fleet, nullptr);
+  VerificationFrontEnd frontend(fleet.get());
+
+  const auto first = frontend.Verify({/*service=*/0, /*nonce=*/0xD00D});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->from_cache);
+  EXPECT_EQ(first->attempts, 1u);
+  EXPECT_EQ(first->measurement, fleet->service(0).measurement);
+
+  const auto second = frontend.Verify({/*service=*/0, /*nonce=*/0xD00E});
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->from_cache);
+  EXPECT_EQ(second->measurement, fleet->service(0).measurement);
+  EXPECT_EQ(frontend.cache().hits(), 1u);
+
+  const std::string scrape = frontend.metrics().ExportPrometheus();
+  for (const char* family :
+       {"tyche_fleet_verifications_total", "tyche_fleet_retries_total",
+        "tyche_fleet_hedged_total", "tyche_fleet_hedged_wins_total",
+        "tyche_fleet_shed_total", "tyche_fleet_failover_total",
+        "tyche_fleet_deadline_exceeded_total", "tyche_fleet_cache_hits_total",
+        "tyche_fleet_cache_misses_total", "tyche_fleet_cache_hit_ratio_percent",
+        "tyche_fleet_breaker_state", "tyche_fleet_node_epoch",
+        "tyche_fleet_queue_depth"}) {
+    EXPECT_NE(scrape.find(family), std::string::npos) << family;
+  }
+}
+
+// Negative path 1 (ISSUE): a verification that cannot complete inside its
+// deadline returns typed kDeadlineExceeded — within bounded simulated time,
+// never a hang and never a partial success.
+TEST(FrontEnd, DeadlineExceededQuoteIsTyped) {
+  auto fleet = MakeFleet();
+  ASSERT_NE(fleet, nullptr);
+  VerificationFrontEnd frontend(fleet.get());
+
+  const uint64_t start = fleet->clock().now_ns;
+  VerifyRequest request{/*service=*/0, /*nonce=*/1};
+  request.deadline_ns = 5;  // less than one wire poll step
+  const auto verdict = frontend.Verify(request);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.code(), ErrorCode::kDeadlineExceeded);
+  FrontEndOptions defaults;
+  EXPECT_LE(fleet->clock().now_ns - start,
+            request.deadline_ns + 2 * defaults.poll_step_ns);
+}
+
+// Negative path 2 (ISSUE): a monitor mid-recovery answers with a typed,
+// retryable error — not silence and not stale state. Once recovery
+// completes, verification succeeds against the bumped epoch.
+TEST(FrontEnd, MidRecoveryMonitorIsTypedRetryable) {
+  auto fleet = MakeFleet();
+  ASSERT_NE(fleet, nullptr);
+  FrontEndOptions options;
+  options.auto_failover = false;  // isolate the typed error path
+  options.max_attempts = 2;
+  VerificationFrontEnd frontend(fleet.get(), options);
+
+  fleet->node(0)->BeginRecovery();
+  const auto during = frontend.Verify({/*service=*/0, /*nonce=*/2});
+  ASSERT_FALSE(during.ok());
+  EXPECT_EQ(during.code(), ErrorCode::kUnavailable);
+
+  ASSERT_TRUE(fleet->node(0)->Recover().ok());
+  EXPECT_EQ(fleet->node(0)->epoch(), 1u);
+  const auto after = frontend.Verify({/*service=*/0, /*nonce=*/3});
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->epoch, 1u);
+  EXPECT_EQ(after->measurement, fleet->service(0).measurement);
+}
+
+// Negative path 3 (ISSUE): a cached measurement whose epoch predates a
+// failover must never be served. The epoch is part of the cache key AND the
+// invalidation sweep purges it; post-failover verification takes the full
+// wire path against the replica and yields the unchanged golden measurement.
+TEST(FrontEnd, WrongEpochCachedMeasurementNeverServed) {
+  auto fleet = MakeFleet();
+  ASSERT_NE(fleet, nullptr);
+  VerificationFrontEnd frontend(fleet.get());
+
+  const auto before = frontend.Verify({/*service=*/0, /*nonce=*/4});
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->node, 0u);
+  EXPECT_EQ(frontend.cache().size(), 1u);
+
+  fleet->node(0)->Crash();
+  ASSERT_TRUE(frontend.TriggerFailover(0).ok());
+  EXPECT_GE(frontend.cache().invalidated(), 1u);
+  EXPECT_EQ(fleet->service(0).node, 1u);
+
+  const auto after = frontend.Verify({/*service=*/0, /*nonce=*/5});
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_FALSE(after->from_cache) << "stale-epoch entry was served";
+  EXPECT_EQ(after->node, 1u);
+  EXPECT_EQ(after->measurement, fleet->service(0).measurement);
+}
+
+// A tampered report dies at signature/digest verification, is retried, and
+// never enters the cache — the cache-poisoning defense.
+TEST(FrontEnd, PoisonedReportRetriedAndNeverCached) {
+  auto fleet = MakeFleet();
+  ASSERT_NE(fleet, nullptr);
+  VerificationFrontEnd frontend(fleet.get());
+
+  FaultPlan plan = FaultPlan::Single(faults::kFleetCachePoison, 1);
+  ScopedFaultPlan scoped(std::move(plan));
+  const auto verdict = frontend.Verify({/*service=*/0, /*nonce=*/6});
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_EQ(FaultInjector::Instance().fired_count(), 1u);
+  EXPECT_GE(verdict->attempts, 2u) << "poisoned report was not retried";
+  EXPECT_EQ(verdict->measurement, fleet->service(0).measurement);
+  EXPECT_EQ(frontend.cache().size(), 1u);
+}
+
+// The serialized-report helper rejects truncation, bit flips, wrong nonces,
+// and wrong golden measurements with typed integrity errors.
+TEST(VerifySerializedReport, RejectsTamperAndStaleNonce) {
+  auto fleet = MakeFleet(/*nodes=*/1);
+  ASSERT_NE(fleet, nullptr);
+  MonitorNode* node = fleet->node(0);
+  const ServiceRecord svc = fleet->service(0);
+  const auto handle = FindUnitCap(*node->monitor(), node->os_domain(),
+                                  ResourceKind::kDomain, svc.domain);
+  ASSERT_TRUE(handle.ok());
+  const auto report = node->monitor()->AttestDomain(0, *handle, /*nonce=*/77);
+  ASSERT_TRUE(report.ok());
+  const std::vector<uint8_t> wire = SerializeAttestation(*report);
+  const SchnorrPublicKey key = node->monitor()->public_key();
+
+  ASSERT_TRUE(VerifySerializedReport(wire, key, 77, &svc.measurement).ok());
+
+  auto flipped = wire;
+  flipped[flipped.size() / 2] ^= 0x01;
+  EXPECT_FALSE(VerifySerializedReport(flipped, key, 77, &svc.measurement).ok());
+
+  const std::vector<uint8_t> truncated(wire.begin(), wire.begin() + wire.size() / 2);
+  EXPECT_FALSE(VerifySerializedReport(truncated, key, 77, &svc.measurement).ok());
+
+  EXPECT_FALSE(VerifySerializedReport(wire, key, /*expected_nonce=*/78,
+                                      &svc.measurement)
+                   .ok())
+      << "stale nonce accepted";
+
+  Digest wrong = svc.measurement;
+  wrong.bytes[0] ^= 0x01;
+  EXPECT_FALSE(VerifySerializedReport(wire, key, 77, &wrong).ok());
+}
+
+// Hedged retry: when the primary's response is blackholed, the hedged
+// duplicate (sent after hedge_delay_ns) wins within the same attempt.
+TEST(FrontEnd, HedgedDuplicateWinsWhenResponseLost) {
+  auto fleet = MakeFleet();
+  ASSERT_NE(fleet, nullptr);
+  FrontEndOptions options;
+  options.hedge_delay_ns = 5'000;
+  VerificationFrontEnd frontend(fleet.get(), options);
+
+  // Occurrence 1 of fleet.verify_timeout is the identity response; 2 is the
+  // first attest response — blackhole that one.
+  FaultPlan plan = FaultPlan::Single(faults::kFleetVerifyTimeout, 2);
+  ScopedFaultPlan scoped(std::move(plan));
+  const auto verdict = frontend.Verify({/*service=*/0, /*nonce=*/8});
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_EQ(FaultInjector::Instance().fired_count(), 1u);
+  EXPECT_GE(frontend.hedged(), 1u);
+  EXPECT_TRUE(verdict->hedged_win);
+  EXPECT_EQ(verdict->attempts, 1u) << "hedge should win within the attempt";
+  EXPECT_EQ(verdict->measurement, fleet->service(0).measurement);
+}
+
+// Bounded admission: beyond queue_capacity requests shed with typed
+// kOverloaded; cache-servable requests are still answered inline.
+TEST(FrontEnd, OverloadShedsTypedAndPrefersCacheServable) {
+  auto fleet = MakeFleet();
+  ASSERT_NE(fleet, nullptr);
+  FrontEndOptions options;
+  options.queue_capacity = 2;
+  VerificationFrontEnd frontend(fleet.get(), options);
+
+  // Prime the cache for service 3 so it stays servable under overload.
+  ASSERT_TRUE(frontend.Verify({/*service=*/3, /*nonce=*/9}).ok());
+
+  ASSERT_TRUE(frontend.Submit({0, 10}).ok());
+  ASSERT_TRUE(frontend.Submit({1, 11}).ok());
+  const auto shed = frontend.Submit({2, 12});
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code(), ErrorCode::kOverloaded);
+  EXPECT_EQ(frontend.shed(), 1u);
+  EXPECT_EQ(frontend.queue_depth(), 2u);
+
+  const auto cached = frontend.Submit({3, 13});
+  ASSERT_TRUE(cached.ok()) << "cache-servable request shed under overload";
+  ASSERT_TRUE(cached->verdict.has_value());
+  EXPECT_TRUE(cached->verdict->from_cache);
+
+  const auto drained = frontend.DrainQueue();
+  ASSERT_EQ(drained.size(), 2u);
+  for (const auto& item : drained) {
+    EXPECT_TRUE(item.result.ok()) << item.result.status().ToString();
+  }
+  EXPECT_EQ(frontend.queue_depth(), 0u);
+
+  // The injected overflow site sheds even an empty queue — typed, no hang.
+  FaultPlan plan = FaultPlan::Single(faults::kFleetQueueOverflow, 1);
+  ScopedFaultPlan scoped(std::move(plan));
+  const auto forced = frontend.Submit({4, 14});
+  ASSERT_FALSE(forced.ok());
+  EXPECT_EQ(forced.code(), ErrorCode::kOverloaded);
+}
+
+// The full ladder driven purely by typed outcomes: a crashed node's breaker
+// opens, a half-open probe fails, the node is declared down, failover
+// recovers it from its journal and drains its domains to the replica, and
+// the SAME Verify() call returns the golden measurement from the replica.
+// Afterwards the two journals splice into one verifiable history.
+TEST(FrontEnd, CrashFailoverEndToEndWithJournalSplice) {
+  auto fleet = MakeFleet();
+  ASSERT_NE(fleet, nullptr);
+  VerificationFrontEnd frontend(fleet.get());
+
+  fleet->node(0)->Crash();
+  const auto verdict = frontend.Verify({/*service=*/0, /*nonce=*/15});
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_EQ(verdict->node, 1u);
+  EXPECT_EQ(verdict->measurement, fleet->service(0).measurement);
+  EXPECT_GE(verdict->attempts, 2u);
+
+  EXPECT_EQ(frontend.failovers_triggered(), 1u);
+  EXPECT_EQ(fleet->failovers(), 1u);
+  EXPECT_GE(fleet->migrations(), 2u);  // both services homed on node 0 moved
+  EXPECT_EQ(fleet->node(0)->epoch(), 1u);
+  EXPECT_FALSE(fleet->node(0)->crashed());
+  EXPECT_GE(frontend.breaker(0).times_opened(), 2u);
+
+  const Status splice = VerifyJournalSplice(
+      fleet->node(0)->monitor()->ExportJournal(),
+      fleet->node(1)->monitor()->ExportJournal(),
+      fleet->node(0)->monitor()->public_key(),
+      fleet->node(1)->monitor()->public_key());
+  EXPECT_TRUE(splice.ok()) << splice.ToString();
+}
+
+}  // namespace
+}  // namespace tyche

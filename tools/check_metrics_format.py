@@ -10,6 +10,11 @@ regression in the exporter is caught before a real scraper trips on it.
 
 Usage:
     check_metrics_format.py metrics.prom [--require-nonzero tyche_api_calls_total]
+    check_metrics_format.py fleet.prom --profile fleet
+
+`--profile` selects which family checklist applies: `monitor` (default) is
+the Monitor::ExportMetrics() contract, `fleet` is the verification
+front end's registry (tyche_fleet_* families).
 """
 
 import argparse
@@ -26,7 +31,7 @@ SAMPLE_RE = re.compile(
 
 # Families the monitor has always surfaced through DumpTelemetry(); the
 # export is only complete if each appears (a histogram counts via _count).
-REQUIRED_FAMILIES = [
+MONITOR_FAMILIES = [
     "tyche_api_calls_total",
     "tyche_transitions_total",
     "tyche_capability_ops_total",
@@ -48,6 +53,26 @@ REQUIRED_FAMILIES = [
     "tyche_dispatch_latency_ns",
     "tyche_flight_captures_total",
 ]
+
+# Families the fleet verification front end registers; the fleet-sweep CI
+# job scrapes its registry and every dashboard signal must be present.
+FLEET_FAMILIES = [
+    "tyche_fleet_verifications_total",
+    "tyche_fleet_retries_total",
+    "tyche_fleet_hedged_total",
+    "tyche_fleet_hedged_wins_total",
+    "tyche_fleet_shed_total",
+    "tyche_fleet_failover_total",
+    "tyche_fleet_deadline_exceeded_total",
+    "tyche_fleet_cache_hits_total",
+    "tyche_fleet_cache_misses_total",
+    "tyche_fleet_cache_hit_ratio_percent",
+    "tyche_fleet_breaker_state",
+    "tyche_fleet_node_epoch",
+    "tyche_fleet_queue_depth",
+]
+
+PROFILES = {"monitor": MONITOR_FAMILIES, "fleet": FLEET_FAMILIES}
 
 
 def base_family(sample_name):
@@ -82,6 +107,12 @@ def main():
         action="append",
         default=[],
         help="family that must have at least one sample > 0 (repeatable)",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="monitor",
+        help="which required-family checklist applies (default: monitor)",
     )
     args = parser.parse_args()
 
@@ -153,7 +184,7 @@ def main():
         if not saw_inf:
             errors.append(f"histogram series {key[0]}{dict(key[1])} never emitted le=\"+Inf\"")
 
-    for family in REQUIRED_FAMILIES:
+    for family in PROFILES[args.profile]:
         if family not in family_values:
             errors.append(f"required family missing from export: {family}")
 
