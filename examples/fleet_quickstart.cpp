@@ -11,6 +11,11 @@
 //   4. Splice the crashed and replica journals into one verified history.
 //   5. Overload the admission queue and watch requests shed with typed
 //      kOverloaded (cache-servable ones still answer inline).
+//   6. Throughput phase 2 (DESIGN.md §13): drain same-node requests as ONE
+//      batched Schnorr verification, resume a repeat verification with the
+//      epoch-bound session token (no chain walk), throttle a tenant past its
+//      token bucket with typed kQuotaExceeded, and expire a cache entry past
+//      its TTL.
 //
 // Set TYCHE_METRICS_OUT=<path> to write the front end's Prometheus scrape
 // (the tyche_fleet_* families) for CI format-checking and dashboards.
@@ -51,6 +56,12 @@ int Run() {
 
   FrontEndOptions options;
   options.queue_capacity = 4;  // small, so the overload demo sheds visibly
+  // Phase 2 knobs: per-tenant token buckets (generous enough that only the
+  // quota demo in section 6 exhausts one) and a cache TTL far beyond the
+  // simulated time the earlier sections spend.
+  options.tenant_quota.rate_per_sec = 1000.0;
+  options.tenant_quota.burst = 16.0;
+  options.cache_ttl_ns = 2'000'000'000;  // 2 simulated seconds
   VerificationFrontEnd frontend(fleet.get(), options);
 
   Banner("2. verify, then hit the cache");
@@ -128,6 +139,97 @@ int Run() {
   }
   std::printf("queue drained: %llu verified\n",
               static_cast<unsigned long long>(drained_ok));
+
+  Banner("6a. batched drain: one Schnorr check for a same-node group");
+  // After the failover, node 1 is home to four services. Cold the cache so
+  // the queued requests really take the wire, then drain: the same-node run
+  // goes out as one wire round and ONE batched signature verification.
+  for (uint32_t n = 0; n < static_cast<uint32_t>(fleet->num_nodes()); ++n) {
+    frontend.cache().InvalidateEpochsBelow(n, UINT64_MAX);
+  }
+  uint32_t batched_submits = 0;
+  const uint32_t batch_home = fleet->service(0).node;
+  for (uint32_t s = 0; s < static_cast<uint32_t>(fleet->num_services()); ++s) {
+    if (fleet->service(s).node != batch_home || batched_submits >= 4) {
+      continue;
+    }
+    // A fresh tenant: section 5's burst already drew down tenant 0's bucket.
+    const auto admitted =
+        frontend.Submit({s, /*nonce=*/200 + s, /*deadline_ns=*/0, /*tenant=*/1});
+    DEMO_CHECK(admitted.ok() && admitted->enqueued);
+    ++batched_submits;
+  }
+  DEMO_CHECK(batched_submits >= 2);
+  uint64_t batch_ok = 0;
+  for (const auto& item : frontend.DrainQueue()) {
+    DEMO_CHECK(item.result.ok());
+    DEMO_CHECK(item.result->measurement ==
+               fleet->service(item.request.service).measurement);
+    ++batch_ok;
+  }
+  DEMO_CHECK(frontend.batch_verifies() > 0 && frontend.batch_quotes() >= 2);
+  std::printf("%llu same-node quotes verified by %llu batched check(s)\n",
+              static_cast<unsigned long long>(frontend.batch_quotes()),
+              static_cast<unsigned long long>(frontend.batch_verifies()));
+
+  Banner("6b. session resumption: repeat verify without the chain walk");
+  // The verifies above established epoch-bound sessions. With the cache
+  // cold, a repeat verification presents the session token instead of
+  // re-walking identity + attest: one wire round, MAC-checked response.
+  for (uint32_t n = 0; n < static_cast<uint32_t>(fleet->num_nodes()); ++n) {
+    frontend.cache().InvalidateEpochsBelow(n, UINT64_MAX);
+  }
+  const auto resumed = frontend.Verify({/*service=*/0, /*nonce=*/300});
+  DEMO_CHECK(resumed.ok() && resumed->resumed);
+  DEMO_CHECK(resumed->measurement == fleet->service(0).measurement);
+  std::printf("resumed verification on node %u: %llu session(s) established, "
+              "%llu resumed\n", resumed->node,
+              static_cast<unsigned long long>(frontend.sessions_established()),
+              static_cast<unsigned long long>(frontend.sessions_resumed()));
+
+  Banner("6c. tenant quota: typed kQuotaExceeded, per tenant");
+  // Tenant 9 burns through its own bucket; the rejection is typed
+  // kQuotaExceeded (not kOverloaded -- the queue is empty) and other
+  // tenants' buckets are untouched.
+  uint64_t quota_admitted = 0;
+  uint64_t quota_rejected = 0;
+  for (uint32_t i = 0; i < 20; ++i) {
+    VerifyRequest request;
+    request.service = 0;
+    request.nonce = 400 + i;
+    request.tenant = 9;
+    const auto admitted = frontend.Submit(request);
+    if (admitted.ok()) {
+      ++quota_admitted;
+    } else {
+      DEMO_CHECK(admitted.code() == ErrorCode::kQuotaExceeded);
+      ++quota_rejected;
+    }
+  }
+  DEMO_CHECK(quota_rejected > 0);
+  VerifyRequest other_tenant;
+  other_tenant.service = 0;
+  other_tenant.nonce = 450;
+  other_tenant.tenant = 5;
+  DEMO_CHECK(frontend.Submit(other_tenant).ok());
+  std::printf("tenant 9: %llu admitted, %llu rejected with kQuotaExceeded; "
+              "tenant 5 still admitted\n",
+              static_cast<unsigned long long>(quota_admitted),
+              static_cast<unsigned long long>(quota_rejected));
+  for (const auto& item : frontend.DrainQueue()) {
+    DEMO_CHECK(item.result.ok());
+  }
+
+  Banner("6d. cache TTL: stale entries expire instead of serving forever");
+  const auto fresh = frontend.Verify({/*service=*/0, /*nonce=*/500});
+  DEMO_CHECK(fresh.ok());
+  fleet->clock().Advance(3'000'000'000);  // 3 simulated seconds > the 2 s TTL
+  const auto after_ttl = frontend.Verify({/*service=*/0, /*nonce=*/501});
+  DEMO_CHECK(after_ttl.ok() && !after_ttl->from_cache);
+  DEMO_CHECK(frontend.cache().expired() > 0);
+  std::printf("entry verified %llu simulated seconds ago expired; "
+              "%llu expiration(s) counted\n", 3ull,
+              static_cast<unsigned long long>(frontend.cache().expired()));
 
   Banner("metrics");
   const std::string scrape = frontend.metrics().ExportPrometheus();

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "src/crypto/sha256.h"
 #include "src/support/status.h"
@@ -44,6 +45,13 @@ struct SchnorrPublicKey {
 struct SchnorrSignature {
   uint64_t s = 0;  // response
   Digest e;        // challenge hash
+  // Commitment r = g^k mod p. Redundant for single verification (which
+  // recomputes r' = g^s * y^{-e} and checks the challenge hash), but carried
+  // so batch verification can check one randomized-combiner equation over a
+  // whole batch instead of two exponentiations per signature. A signature
+  // with r == 0 (e.g. deserialized from a pre-batching wire format) simply
+  // falls off the batch fast path onto per-signature verification.
+  uint64_t r = 0;
 
   bool operator==(const SchnorrSignature& other) const = default;
 };
@@ -67,6 +75,38 @@ bool SchnorrVerify(const SchnorrPublicKey& pub, std::span<const uint8_t> message
 bool SchnorrVerify(const SchnorrPublicKey& pub, const Digest& message_digest,
                    const SchnorrSignature& sig);
 
+// One quote in a batch verification: who allegedly signed what.
+struct SchnorrBatchItem {
+  SchnorrPublicKey pub;
+  Digest message_digest;
+  SchnorrSignature sig;
+};
+
+struct SchnorrBatchOutcome {
+  bool all_valid = true;       // every signature in the batch verified
+  bool used_fallback = false;  // the combined check failed (or a pre-check
+                               // did) and per-signature verification ran
+  std::vector<size_t> invalid;  // indices rejected by per-signature verify
+};
+
+// Batch verification: one randomized-combiner multi-exponentiation checks
+// the whole batch at a fraction of the per-signature cost. For each item the
+// challenge binding e_i == H(r_i, y_i, m_i) is checked directly (hashing is
+// cheap), then random 32-bit combiners z_i — derived by hashing the batch
+// itself, so they are fixed only after every signature is — weight one
+// combined group equation
+//
+//     g^{sum z_i s_i}  ==  prod_y y^{sum_{i: y_i = y} z_i e_i} * prod_i r_i^{z_i}
+//
+// evaluated as a single shared-squarings multi-exponentiation (same-key
+// items collapse onto one base, which is the common case for a batch of
+// quotes from one monitor). If any pre-check or the combined equation fails,
+// the batch falls back to per-signature SchnorrVerify to identify the
+// culprit(s) — so the reported verdicts are always exactly the single-verify
+// verdicts; the fast path is only ever an accelerator for the all-valid
+// case. An empty batch is trivially valid.
+SchnorrBatchOutcome SchnorrBatchVerify(std::span<const SchnorrBatchItem> items);
+
 // Diffie-Hellman on the same group: two parties exchange public keys and
 // derive the same shared secret. Used by the cross-machine attested-channel
 // protocol. Same toy-strength caveat as the signatures.
@@ -75,6 +115,12 @@ Digest DhSharedSecret(const SchnorrPrivateKey& mine, const SchnorrPublicKey& the
 // Modular arithmetic helpers (exposed for tests).
 uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m);
 uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t m);
+// prod_i bases[i]^{exps[i]} mod m with one shared square-and-multiply pass:
+// the squarings are paid once for the whole product instead of once per
+// base, which is what makes batch verification cheaper than verifying each
+// signature alone. Requires bases.size() == exps.size().
+uint64_t MultiExpMod(std::span<const uint64_t> bases, std::span<const uint64_t> exps,
+                     uint64_t m);
 
 }  // namespace tyche
 

@@ -4,6 +4,11 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define TYCHE_SHA_NI_CANDIDATE 1
+#endif
+
 namespace tyche {
 
 namespace {
@@ -37,6 +42,120 @@ inline void Store32BE(uint8_t* p, uint32_t v) {
 
 constexpr char kHexDigits[] = "0123456789abcdef";
 
+#ifdef TYCHE_SHA_NI_CANDIDATE
+// Hardware-assisted compression via the SHA extensions. One block in ~a
+// dozen nanoseconds versus hundreds for the scalar rounds; everything
+// downstream (attestation digests, HMAC session tokens, batch combiners)
+// is hash-bound, so this is the single biggest throughput lever the fleet
+// has. Layout follows the SHA-NI dataflow: state is carried as the ABEF /
+// CDGH register pair, four message words per rnds2 step.
+__attribute__((target("sha,sse4.1")))
+void ProcessBlockShaNi(uint32_t* state, const uint8_t* block) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);   // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);        // CDGH
+
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+
+  auto k = [](int i) {
+    return _mm_set_epi32(static_cast<int>(kK[i + 3]), static_cast<int>(kK[i + 2]),
+                         static_cast<int>(kK[i + 1]), static_cast<int>(kK[i]));
+  };
+
+  // Rounds 0-15: load + byte-swap the message, no schedule yet.
+  __m128i msg0 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 0)), kShuffle);
+  __m128i msg = _mm_add_epi32(msg0, k(0));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+
+  __m128i msg1 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16)), kShuffle);
+  msg = _mm_add_epi32(msg1, k(4));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  __m128i msg2 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 32)), kShuffle);
+  msg = _mm_add_epi32(msg2, k(8));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  __m128i msg3 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 48)), kShuffle);
+  msg = _mm_add_epi32(msg3, k(12));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg3, msg2, 4);
+  msg0 = _mm_add_epi32(msg0, tmp);
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 16-51: schedule four words per step with msg1/msg2 helpers.
+  for (int i = 16; i < 52; i += 4) {
+    msg = _mm_add_epi32(msg0, k(i));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    tmp = _mm_alignr_epi8(msg0, msg3, 4);
+    msg1 = _mm_add_epi32(msg1, tmp);
+    msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+    msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+    const __m128i rot0 = msg1;
+    msg1 = msg2;
+    msg2 = msg3;
+    msg3 = msg0;
+    msg0 = rot0;
+  }
+
+  // Rounds 52-63: no further schedule needed.
+  msg = _mm_add_epi32(msg0, k(52));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg0, msg3, 4);
+  msg1 = _mm_add_epi32(msg1, tmp);
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+
+  msg = _mm_add_epi32(msg1, k(56));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg1, msg0, 4);
+  msg2 = _mm_add_epi32(msg2, tmp);
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+
+  msg = _mm_add_epi32(msg2, k(60));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(msg, 0x0E));
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);        // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);     // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);  // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);     // HGFE
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+bool DetectShaNi() {
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1");
+}
+
+const bool kUseShaNi = DetectShaNi();
+#endif  // TYCHE_SHA_NI_CANDIDATE
+
 }  // namespace
 
 std::string Digest::ToHex() const {
@@ -63,6 +182,12 @@ void Sha256::Reset() {
 }
 
 void Sha256::ProcessBlock(const uint8_t* block) {
+#ifdef TYCHE_SHA_NI_CANDIDATE
+  if (kUseShaNi) {
+    ProcessBlockShaNi(state_, block);
+    return;
+  }
+#endif
   uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = Load32BE(block + 4 * i);

@@ -59,8 +59,12 @@ class CircuitBreaker {
   }
 
   // True if a request may go to the monitor now. Half-open admits exactly
-  // one in-flight probe; the caller MUST report the probe's outcome via
-  // RecordSuccess/RecordFailure or the breaker stays probe-locked.
+  // one in-flight probe; the caller should report the probe's outcome via
+  // RecordSuccess/RecordFailure. If no outcome arrives within
+  // `open_cooldown_ns` of admission (a caller early-returned and dropped the
+  // probe), the lock lapses and a new probe is admitted — without the
+  // deadline a single dropped probe would wedge the breaker half-open and
+  // make the node unreachable until restart.
   bool Admit(uint64_t now_ns) {
     Refresh(now_ns);
     switch (state_) {
@@ -69,10 +73,11 @@ class CircuitBreaker {
       case BreakerState::kOpen:
         return false;
       case BreakerState::kHalfOpen:
-        if (probe_in_flight_) {
+        if (probe_in_flight_ && now_ns < probe_deadline_ns_) {
           return false;
         }
         probe_in_flight_ = true;
+        probe_deadline_ns_ = now_ns + config_.open_cooldown_ns;
         return true;
     }
     return false;
@@ -108,6 +113,7 @@ class CircuitBreaker {
     consecutive_failures_ = 0;
     half_open_successes_ = 0;
     probe_in_flight_ = false;
+    probe_deadline_ns_ = 0;
   }
 
   // Times the breaker transitioned closed/half-open -> open.
@@ -137,6 +143,7 @@ class CircuitBreaker {
   uint32_t consecutive_failures_ = 0;
   uint32_t half_open_successes_ = 0;
   bool probe_in_flight_ = false;
+  uint64_t probe_deadline_ns_ = 0;
   uint64_t opened_at_ns_ = 0;
   uint64_t times_opened_ = 0;
 };

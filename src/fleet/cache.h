@@ -13,16 +13,27 @@
 // fresh. InvalidateEpochsBelow additionally purges the dead entries so the
 // capacity bound measures live state only.
 //
+// An optional TTL (default off) bounds how long even a same-epoch entry may
+// be served: at thousands of domains a long-lived epoch would otherwise
+// serve arbitrarily old measurements forever. Expired entries count in the
+// tyche_fleet_cache_expired metric and read as misses.
+//
 // Only FULLY VERIFIED results are ever inserted — a report that failed
 // signature, digest, nonce, or golden-measurement checks never touches the
 // cache. That is the entire defense against cache poisoning: the
 // fleet.cache_poison fault tampers reports in transit, and the sweep
 // asserts the tampered bytes die at verification, not in here.
+//
+// Recency is an intrusive LRU list (map value holds its list iterator), so
+// Lookup/Insert are O(log n) map operations plus O(1) splices — the old
+// implementation scanned all `capacity` entries to find the eviction victim,
+// which is quadratic under churn at thousands of domains.
 
 #ifndef SRC_FLEET_CACHE_H_
 #define SRC_FLEET_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <map>
 
 #include "src/crypto/sha256.h"
@@ -45,18 +56,28 @@ struct MeasurementCacheEntry {
 
 class MeasurementCache {
  public:
-  explicit MeasurementCache(size_t capacity) : capacity_(capacity) {}
+  // ttl_ns == 0 disables the staleness bound (the historical behavior).
+  explicit MeasurementCache(size_t capacity, uint64_t ttl_ns = 0)
+      : capacity_(capacity), ttl_ns_(ttl_ns) {}
 
-  // nullptr on miss. Hits refresh LRU order. Hit/miss tallies feed the
-  // tyche_fleet_cache_* metrics.
-  const MeasurementCacheEntry* Lookup(const MeasurementCacheKey& key) {
+  // nullptr on miss. Hits refresh LRU order. With a TTL configured, an entry
+  // older than the bound (relative to `now_ns`) is erased and reads as a
+  // miss. Hit/miss/expired tallies feed the tyche_fleet_cache_* metrics.
+  const MeasurementCacheEntry* Lookup(const MeasurementCacheKey& key, uint64_t now_ns = 0) {
     auto it = entries_.find(key);
     if (it == entries_.end()) {
       ++misses_;
       return nullptr;
     }
+    if (ttl_ns_ != 0 && now_ns > it->second.entry.verified_at_ns + ttl_ns_) {
+      lru_.erase(it->second.lru_it);
+      entries_.erase(it);
+      ++expired_;
+      ++misses_;
+      return nullptr;
+    }
     ++hits_;
-    it->second.last_use = ++tick_;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return &it->second.entry;
   }
 
@@ -67,20 +88,16 @@ class MeasurementCache {
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       it->second.entry = entry;
-      it->second.last_use = ++tick_;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       return;
     }
     if (entries_.size() >= capacity_) {
-      auto victim = entries_.begin();
-      for (auto cur = entries_.begin(); cur != entries_.end(); ++cur) {
-        if (cur->second.last_use < victim->second.last_use) {
-          victim = cur;
-        }
-      }
-      entries_.erase(victim);
+      entries_.erase(lru_.back());
+      lru_.pop_back();
       ++evictions_;
     }
-    entries_.emplace(key, Slot{entry, ++tick_});
+    lru_.push_front(key);
+    entries_.emplace(key, Slot{entry, lru_.begin()});
   }
 
   // Epoch-bump invalidation: after node `node` recovers into epoch E, every
@@ -88,6 +105,7 @@ class MeasurementCache {
   void InvalidateEpochsBelow(uint32_t node, uint64_t epoch) {
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (it->first.node == node && it->first.epoch < epoch) {
+        lru_.erase(it->second.lru_it);
         it = entries_.erase(it);
         ++invalidated_;
       } else {
@@ -98,23 +116,29 @@ class MeasurementCache {
 
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }
+  uint64_t ttl_ns() const { return ttl_ns_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t evictions() const { return evictions_; }
   uint64_t invalidated() const { return invalidated_; }
+  uint64_t expired() const { return expired_; }
 
  private:
   struct Slot {
     MeasurementCacheEntry entry;
-    uint64_t last_use = 0;
+    // Position in lru_ (front = most recent). Intrusive: erasing the map
+    // entry must erase the list node and vice versa.
+    std::list<MeasurementCacheKey>::iterator lru_it;
   };
 
   size_t capacity_;
-  uint64_t tick_ = 0;
+  uint64_t ttl_ns_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   uint64_t invalidated_ = 0;
+  uint64_t expired_ = 0;
+  std::list<MeasurementCacheKey> lru_;
   std::map<MeasurementCacheKey, Slot> entries_;
 };
 

@@ -38,9 +38,13 @@ bool CountsAsNodeFailure(ErrorCode code) {
 VerificationFrontEnd::VerificationFrontEnd(Fleet* fleet, FrontEndOptions options)
     : fleet_(fleet),
       opts_(options),
-      cache_(options.cache_capacity),
-      prng_(options.seed) {
+      cache_(options.cache_capacity, options.cache_ttl_ns),
+      prng_(options.seed),
+      quotas_(options.tenant_quota) {
   breakers_.resize(fleet_->num_nodes(), CircuitBreaker(opts_.breaker));
+  const std::string client_seed = "fleet-frontend-client-" + std::to_string(opts_.seed);
+  client_key_ = DeriveKeyPair(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(client_seed.data()), client_seed.size()));
   verifications_ok_ = metrics_.AddCounter(
       "tyche_fleet_verifications_total", "Verification verdicts by result.",
       {{"result", "ok"}});
@@ -66,6 +70,31 @@ VerificationFrontEnd::VerificationFrontEnd(Fleet* fleet, FrontEndOptions options
   deadline_exceeded_ = metrics_.AddCounter(
       "tyche_fleet_deadline_exceeded_total",
       "Verifications that exhausted their deadline.");
+  session_established_ = metrics_.AddCounter(
+      "tyche_fleet_session_established_total",
+      "Resumption sessions established after a full two-tier verify.");
+  session_resumed_ = metrics_.AddCounter(
+      "tyche_fleet_session_resumed_total",
+      "Verifications served via session resumption (no chain walk).");
+  session_rejected_ = metrics_.AddCounter(
+      "tyche_fleet_session_rejected_total",
+      "Resume attempts refused by the node (stale epoch-bound token).");
+  batch_verifies_ = metrics_.AddCounter(
+      "tyche_fleet_batch_verifies_total",
+      "Batched Schnorr verifications performed by DrainQueue.");
+  batch_quotes_ = metrics_.AddCounter(
+      "tyche_fleet_batch_quotes_total",
+      "Quotes verified inside batched verifications.");
+  batch_forged_ = metrics_.AddCounter(
+      "tyche_fleet_batch_forged_total",
+      "Quotes inside a batch rejected and attributed by the fallback.");
+  batch_fallback_ = metrics_.AddCounter(
+      "tyche_fleet_batch_fallback_total",
+      "Batched verifications that fell back to per-signature checks.");
+  metrics_.AddCallback("tyche_fleet_cache_expired_total",
+                       "Cache entries expired by the TTL bound.",
+                       /*counter=*/true, {},
+                       [this] { return cache_.expired(); });
   metrics_.AddCallback("tyche_fleet_cache_hits_total",
                        "Measurement cache hits.", /*counter=*/true, {},
                        [this] { return cache_.hits(); });
@@ -133,12 +162,17 @@ std::optional<FleetResponse> VerificationFrontEnd::TakeResponse(uint64_t request
 }
 
 uint64_t VerificationFrontEnd::SendRequest(MonitorNode* node, FleetRequestKind kind,
-                                           uint32_t domain, uint64_t nonce) {
+                                           uint32_t domain, uint64_t nonce,
+                                           const Digest* token) {
   FleetRequest request;
   request.request_id = ++next_request_id_;
   request.kind = kind;
   request.domain = domain;
   request.nonce = nonce;
+  request.client_pub = client_key_.pub.y;
+  if (token != nullptr) {
+    request.token = *token;
+  }
   const Status sent = node->requests()->Send(EncodeFleetRequest(request));
   (void)sent;  // a dropped request is just a timeout; retries own recovery
   return request.request_id;
@@ -282,13 +316,79 @@ Status VerificationFrontEnd::AttemptVerify(const ServiceRecord& route,
   }
 }
 
+Status VerificationFrontEnd::AttemptResume(const ServiceRecord& route,
+                                           const VerifyRequest& request,
+                                           const Session& session,
+                                           uint64_t overall_deadline,
+                                           VerifyVerdict* verdict) {
+  MonitorNode* primary = fleet_->node(route.node);
+  const uint64_t rid = SendRequest(primary, FleetRequestKind::kResume,
+                                   route.domain, request.nonce, &session.token);
+  const uint64_t attempt_deadline =
+      std::min(now() + opts_.attempt_timeout_ns, overall_deadline);
+  TYCHE_ASSIGN_OR_RETURN(const FleetResponse response,
+                         Await(rid, attempt_deadline, overall_deadline));
+  if (response.code != ErrorCode::kOk) {
+    // kFailedPrecondition = stale token (epoch bumped); the caller drops
+    // the session and runs the full chain walk in the same attempt.
+    return Error(response.code, "resume refused");
+  }
+  if (response.payload.size() != kResumePayloadSize) {
+    return Error(ErrorCode::kAttestationMismatch, "resume payload malformed");
+  }
+  Digest measurement;
+  Digest ack;
+  std::copy(response.payload.begin(), response.payload.begin() + 32,
+            measurement.bytes.begin());
+  std::copy(response.payload.begin() + 32, response.payload.end(), ack.bytes.begin());
+  // The ack MAC binds (node, epoch, domain, nonce, measurement) under the
+  // session secret: fresh (our nonce), from the right instance (epoch), and
+  // unforgeable in transit — a tampered payload dies here, exactly like a
+  // tampered report dies at signature verification.
+  if (!(ack == FleetSessionAck(session.secret, route.node, session.epoch,
+                               route.domain, request.nonce, measurement))) {
+    return Error(ErrorCode::kAttestationMismatch, "resume ack MAC mismatch");
+  }
+  if (!(measurement == route.measurement)) {
+    return Error(ErrorCode::kAttestationMismatch,
+                 "resumed measurement does not match pinned golden value");
+  }
+  verdict->measurement = measurement;
+  verdict->node = route.node;
+  verdict->epoch = session.epoch;
+  verdict->resumed = true;
+  return OkStatus();
+}
+
+void VerificationFrontEnd::MaybeEstablishSession(const VerifyVerdict& verdict) {
+  if (!opts_.enable_resumption) {
+    return;
+  }
+  const auto existing = sessions_.find(verdict.node);
+  if (existing != sessions_.end() && existing->second.epoch == verdict.epoch) {
+    return;
+  }
+  // The peer key comes from the tier-1 verification this verdict rode on,
+  // so the DH secret is bound to the VERIFIED monitor instance.
+  const auto key = verified_monitors_.find({verdict.node, verdict.epoch});
+  if (key == verified_monitors_.end()) {
+    return;
+  }
+  Session session;
+  session.epoch = verdict.epoch;
+  session.secret = DhSharedSecret(client_key_.priv, key->second);
+  session.token = FleetSessionToken(session.secret, verdict.node, verdict.epoch);
+  sessions_[verdict.node] = session;
+  session_established_->Add();
+}
+
 std::optional<VerifyVerdict> VerificationFrontEnd::TryCache(
     const VerifyRequest& request) {
   const ServiceRecord route = fleet_->service(request.service);
   MonitorNode* primary = fleet_->node(route.node);
   const MeasurementCacheKey key{primary->pcr_prefix(), route.node,
                                 primary->epoch(), request.service};
-  const MeasurementCacheEntry* entry = cache_.Lookup(key);
+  const MeasurementCacheEntry* entry = cache_.Lookup(key, now());
   if (entry == nullptr || !(entry->measurement == route.measurement)) {
     return std::nullopt;  // a mismatching entry is never served
   }
@@ -319,8 +419,10 @@ Status VerificationFrontEnd::TriggerFailover(uint32_t node_id) {
   failover_->Add();
   breakers_[node_id].Reset();
   MonitorNode* node = fleet_->node(node_id);
-  // Epoch-bump invalidation: purge measurements and tier-1 verifications
-  // recorded against the pre-failover instance.
+  // Epoch-bump invalidation: purge measurements, tier-1 verifications, AND
+  // resumption sessions recorded against the pre-failover instance — the
+  // same bump kills all three.
+  sessions_.erase(node_id);
   cache_.InvalidateEpochsBelow(node_id, node->epoch());
   for (auto it = verified_monitors_.begin(); it != verified_monitors_.end();) {
     if (it->first.first == node_id && it->first.second < node->epoch()) {
@@ -385,13 +487,36 @@ Result<VerifyVerdict> VerificationFrontEnd::Verify(const VerifyRequest& request)
       retries_->Add();
     }
     VerifyVerdict verdict;
-    const Status outcome = AttemptVerify(route, request, deadline, &verdict);
+    Status outcome = OkStatus();
+    bool ran_attempt = false;
+    if (opts_.enable_resumption) {
+      const auto session = sessions_.find(route.node);
+      if (session != sessions_.end()) {
+        ran_attempt = true;
+        outcome = AttemptResume(route, request, session->second, deadline, &verdict);
+        if (outcome.ok()) {
+          session_resumed_->Add();
+        } else if (outcome.code() == ErrorCode::kFailedPrecondition) {
+          // Stale token: the node's epoch moved without us driving the
+          // failover. Says nothing about the node's health — drop the
+          // session and run the full chain walk within the same attempt.
+          sessions_.erase(session);
+          session_rejected_->Add();
+          verdict = VerifyVerdict{};
+          outcome = AttemptVerify(route, request, deadline, &verdict);
+        }
+      }
+    }
+    if (!ran_attempt) {
+      outcome = AttemptVerify(route, request, deadline, &verdict);
+    }
     if (outcome.ok()) {
       breaker.RecordSuccess(now());
       MonitorNode* served_by = fleet_->node(verdict.node);
       cache_.Insert({served_by->pcr_prefix(), verdict.node, verdict.epoch,
                      request.service},
                     {verdict.measurement, now()});
+      MaybeEstablishSession(verdict);
       verdict.attempts = attempt;
       verdict.latency_ns = now() - start;
       verifications_ok_->Add();
@@ -414,10 +539,45 @@ Result<VerifyVerdict> VerificationFrontEnd::Verify(const VerifyRequest& request)
                "attempts exhausted; last error: " + last.message());
 }
 
+VerificationFrontEnd::TenantMetrics& VerificationFrontEnd::EnsureTenantMetrics(
+    uint32_t tenant) {
+  auto it = tenant_metrics_.find(tenant);
+  if (it != tenant_metrics_.end()) {
+    return it->second;
+  }
+  const MetricLabels labels = {{"tenant", std::to_string(tenant)}};
+  TenantMetrics tm;
+  tm.admitted = metrics_.AddCounter("tyche_fleet_tenant_admitted_total",
+                                    "Requests admitted per tenant.", labels);
+  tm.quota_exceeded = metrics_.AddCounter(
+      "tyche_fleet_tenant_quota_exceeded_total",
+      "Requests rejected with kQuotaExceeded per tenant.", labels);
+  metrics_.AddCallback("tyche_fleet_tenant_tokens",
+                       "Remaining quota tokens per tenant.", /*counter=*/false,
+                       labels, [this, tenant] {
+                         return static_cast<uint64_t>(
+                             quotas_.tokens(tenant, now()));
+                       });
+  return tenant_metrics_.emplace(tenant, tm).first->second;
+}
+
 Result<VerificationFrontEnd::AdmissionOutcome> VerificationFrontEnd::Submit(
     const VerifyRequest& request) {
   if (request.service >= fleet_->num_services()) {
     return Error(ErrorCode::kNotFound, "no such service");
+  }
+  // Quota is charged at admission, before any other consideration: a
+  // tenant's spend is its request RATE, whether answers come from cache or
+  // wire. kQuotaExceeded is a per-tenant verdict — the shared queue may be
+  // empty; retrying sooner will not help, waiting for refill will.
+  if (quotas_.enabled()) {
+    TenantMetrics& tm = EnsureTenantMetrics(request.tenant);
+    if (!quotas_.TryAcquire(request.tenant, now())) {
+      tm.quota_exceeded->Add();
+      ++quota_rejected_total_;
+      return Error(ErrorCode::kQuotaExceeded, "tenant quota exhausted");
+    }
+    tm.admitted->Add();
   }
   const bool forced_overflow =
       FaultInjector::active() &&
@@ -443,11 +603,182 @@ Result<VerificationFrontEnd::AdmissionOutcome> VerificationFrontEnd::Submit(
 std::vector<VerificationFrontEnd::QueuedResult> VerificationFrontEnd::DrainQueue() {
   std::vector<QueuedResult> results;
   while (!queue_.empty()) {
-    const VerifyRequest request = queue_.front();
-    queue_.pop_front();
-    results.push_back(QueuedResult{request, Verify(request)});
+    if (opts_.max_batch <= 1) {
+      const VerifyRequest request = queue_.front();
+      queue_.pop_front();
+      results.push_back(QueuedResult{request, Verify(request)});
+      continue;
+    }
+    // Group the head run of same-node requests: quotes signed by ONE
+    // monitor key, verifiable as one batch.
+    const uint32_t head_node = fleet_->service(queue_.front().service).node;
+    std::vector<VerifyRequest> group;
+    while (!queue_.empty() && group.size() < opts_.max_batch &&
+           fleet_->service(queue_.front().service).node == head_node) {
+      group.push_back(queue_.front());
+      queue_.pop_front();
+    }
+    DrainBatch(head_node, group, &results);
   }
   return results;
+}
+
+void VerificationFrontEnd::DrainBatch(uint32_t node_id,
+                                      const std::vector<VerifyRequest>& group,
+                                      std::vector<QueuedResult>* results) {
+  // Cache first, exactly like Verify() would.
+  std::vector<VerifyRequest> live;
+  for (const VerifyRequest& request : group) {
+    if (auto verdict = TryCache(request)) {
+      verifications_cache_->Add();
+      results->push_back(QueuedResult{request, *verdict});
+    } else {
+      live.push_back(request);
+    }
+  }
+  if (live.empty()) {
+    return;
+  }
+  // The batched fast path is an accelerator, not a policy change: any
+  // obstacle — breaker refusal, tier-1 failure, missing or refused
+  // response, a quote the batch verification rejects — drops THAT request
+  // back to the full Verify() composition (retries, backoff, failover), so
+  // verdicts and typed errors are the same as the serial path's.
+  const auto fall_back_all = [&] {
+    for (const VerifyRequest& request : live) {
+      results->push_back(QueuedResult{request, Verify(request)});
+    }
+  };
+  if (live.size() == 1) {
+    fall_back_all();
+    return;
+  }
+  MonitorNode* node = fleet_->node(node_id);
+  CircuitBreaker& breaker = breakers_[node_id];
+  if (!breaker.Admit(now())) {
+    fall_back_all();
+    return;
+  }
+  const uint64_t overall_deadline = now() + opts_.default_deadline_ns;
+  const auto monitor_key = EnsureMonitorVerified(node, overall_deadline);
+  if (!monitor_key.ok()) {
+    if (CountsAsNodeFailure(monitor_key.status().code())) {
+      breaker.RecordFailure(now());
+      MaybeDeclareDown(node_id);
+    }
+    fall_back_all();
+    return;
+  }
+  // One wire round for the whole group: all attests go out back to back and
+  // share one poll loop.
+  std::vector<uint64_t> rids(live.size(), 0);
+  std::vector<ServiceRecord> routes;
+  routes.reserve(live.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    const ServiceRecord route = fleet_->service(live[i].service);
+    routes.push_back(route);
+    rids[i] = SendRequest(node, FleetRequestKind::kAttest, route.domain,
+                          live[i].nonce);
+  }
+  std::vector<std::optional<FleetResponse>> responses(live.size());
+  size_t pending = live.size();
+  const uint64_t attempt_deadline =
+      std::min(now() + opts_.attempt_timeout_ns, overall_deadline);
+  while (pending > 0 && now() < attempt_deadline) {
+    fleet_->clock().Advance(opts_.poll_step_ns);
+    PumpAndDrain();
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (responses[i].has_value()) {
+        continue;
+      }
+      if (auto response = TakeResponse(rids[i])) {
+        responses[i] = std::move(*response);
+        --pending;
+      }
+    }
+  }
+  // Forgery attempt inside the batch: replace the first usable report's
+  // signature response scalar with a near-miss. The defense under test is
+  // that the batch verification's fallback attributes the forgery to THIS
+  // quote — it is rejected (and retried clean) while the rest of the batch
+  // is still served.
+  if (FaultInjector::active() &&
+      !FaultInjector::Instance().Check(faults::kFleetBatchForge).ok()) {
+    for (auto& response : responses) {
+      if (!response.has_value() || response->code != ErrorCode::kOk) {
+        continue;
+      }
+      auto report = DeserializeAttestation(response->payload);
+      if (!report.ok()) {
+        continue;
+      }
+      report->signature.s ^= 1;  // structurally sound, cryptographically not
+      response->payload = SerializeAttestation(*report);
+      break;
+    }
+  }
+  // Assemble the batch from responses that LOOK like reports; everything
+  // else (timeout, typed refusal) falls back per request.
+  std::vector<BatchReportInput> inputs;
+  std::vector<size_t> input_owner;  // batch slot -> live index
+  bool node_failure = false;
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (!responses[i].has_value()) {
+      node_failure = true;  // silence within the window: availability-shaped
+      continue;
+    }
+    if (responses[i]->code != ErrorCode::kOk) {
+      node_failure = node_failure || CountsAsNodeFailure(responses[i]->code);
+      continue;
+    }
+    inputs.push_back(BatchReportInput{responses[i]->payload, live[i].nonce,
+                                      &routes[i].measurement});
+    input_owner.push_back(i);
+  }
+  std::vector<bool> served(live.size(), false);
+  if (!inputs.empty()) {
+    batch_verifies_->Add();
+    batch_quotes_->Add(inputs.size());
+    const std::vector<BatchReportOutcome> outcomes =
+        VerifySerializedReportBatch(inputs, *monitor_key);
+    bool any_rejected = false;
+    for (size_t b = 0; b < outcomes.size(); ++b) {
+      const size_t i = input_owner[b];
+      if (!outcomes[b].status.ok()) {
+        any_rejected = true;
+        if (outcomes[b].status.code() == ErrorCode::kSignatureInvalid) {
+          batch_forged_->Add();
+        }
+        node_failure = node_failure || CountsAsNodeFailure(outcomes[b].status.code());
+        continue;
+      }
+      VerifyVerdict verdict;
+      verdict.measurement = outcomes[b].report->measurement;
+      verdict.node = node_id;
+      verdict.epoch = node->epoch();
+      verdict.attempts = 1;
+      cache_.Insert({node->pcr_prefix(), node_id, node->epoch(), live[i].service},
+                    {verdict.measurement, now()});
+      MaybeEstablishSession(verdict);
+      verifications_ok_->Add();
+      results->push_back(QueuedResult{live[i], verdict});
+      served[i] = true;
+    }
+    if (any_rejected) {
+      batch_fallback_->Add();
+    }
+  }
+  if (node_failure) {
+    breaker.RecordFailure(now());
+    MaybeDeclareDown(node_id);
+  } else {
+    breaker.RecordSuccess(now());
+  }
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (!served[i]) {
+      results->push_back(QueuedResult{live[i], Verify(live[i])});
+    }
+  }
 }
 
 }  // namespace tyche

@@ -43,6 +43,7 @@
 #include "src/fleet/breaker.h"
 #include "src/fleet/cache.h"
 #include "src/fleet/node.h"
+#include "src/fleet/quota.h"
 #include "src/support/backoff.h"
 #include "src/support/metrics.h"
 #include "src/support/prng.h"
@@ -73,6 +74,19 @@ struct FrontEndOptions {
   // Bounded admission queue: beyond this, requests shed with kOverloaded.
   size_t queue_capacity = 16;
   size_t cache_capacity = 128;
+  // Staleness bound on cache entries (0 = off, the historical behavior);
+  // expirations count in tyche_fleet_cache_expired_total.
+  uint64_t cache_ttl_ns = 0;
+  // DrainQueue groups up to this many queued requests for the SAME node and
+  // verifies their quotes with one batched Schnorr check (DESIGN.md §13).
+  // 1 disables batching.
+  size_t max_batch = 8;
+  // After one full two-tier verify, keep an epoch-bound session per node so
+  // repeat verifications skip the chain walk (DESIGN.md §13).
+  bool enable_resumption = true;
+  // Per-tenant admission quotas (rate 0 = unlimited, the historical
+  // behavior). Exhaustion is typed kQuotaExceeded, never kOverloaded.
+  TenantQuotaConfig tenant_quota{};
   uint64_t seed = 0xF1EE7;
 };
 
@@ -80,12 +94,14 @@ struct VerifyRequest {
   uint32_t service = 0;
   uint64_t nonce = 0;
   uint64_t deadline_ns = 0;  // budget from now; 0 -> options default
+  uint32_t tenant = 0;       // admission-quota accounting key
 };
 
 struct VerifyVerdict {
   Digest measurement;        // == the pinned golden measurement, always
   bool from_cache = false;
   bool hedged_win = false;   // the hedged duplicate answered first
+  bool resumed = false;      // served via session resumption, no chain walk
   uint32_t node = 0;         // node that served (or whose cache entry hit)
   uint64_t epoch = 0;        // its serving epoch at verification time
   uint32_t attempts = 0;     // wire attempts spent (0 = pure cache hit)
@@ -116,7 +132,13 @@ class VerificationFrontEnd {
     VerifyRequest request;
     Result<VerifyVerdict> result;
   };
-  // Runs every queued request through Verify().
+  // Drains the admission queue, grouping runs of requests homed on the same
+  // node into batches of up to `max_batch`: one tier-1 check, one wire
+  // round, ONE batched Schnorr verification for the whole group. Requests
+  // the batch cannot vouch for (missing response, refused, forged quote —
+  // attributed by the batch fallback) are re-run through the full Verify()
+  // composition, so every queued request still gets exactly one result with
+  // the same verdict Verify() would produce.
   std::vector<QueuedResult> DrainQueue();
 
   // Declares `node_id` down and runs the failover ladder now (breaker
@@ -135,6 +157,20 @@ class VerificationFrontEnd {
   uint64_t hedged_wins() const { return hedged_wins_->Value(); }
   uint64_t failovers_triggered() const { return failover_->Value(); }
   uint64_t retries() const { return retries_->Value(); }
+  uint64_t sessions_established() const { return session_established_->Value(); }
+  uint64_t sessions_resumed() const { return session_resumed_->Value(); }
+  uint64_t sessions_rejected() const { return session_rejected_->Value(); }
+  uint64_t batch_verifies() const { return batch_verifies_->Value(); }
+  uint64_t batch_quotes() const { return batch_quotes_->Value(); }
+  uint64_t batch_forged() const { return batch_forged_->Value(); }
+  uint64_t batch_fallbacks() const { return batch_fallback_->Value(); }
+  uint64_t quota_rejections() const { return quota_rejected_total_; }
+
+  // Bench hooks: drop memoized state so one iteration re-pays the full
+  // chain walk (ForgetVerifiedMonitors) or the resumption handshake
+  // (ForgetSessions).
+  void ForgetSessions() { sessions_.clear(); }
+  void ForgetVerifiedMonitors() { verified_monitors_.clear(); }
 
  private:
   uint64_t now() const { return fleet_->clock().now_ns; }
@@ -145,7 +181,8 @@ class VerificationFrontEnd {
   void PumpAndDrain();
   std::optional<FleetResponse> TakeResponse(uint64_t request_id);
   uint64_t SendRequest(MonitorNode* node, FleetRequestKind kind,
-                       uint32_t domain, uint64_t nonce);
+                       uint32_t domain, uint64_t nonce,
+                       const Digest* token = nullptr);
   // Waits for `request_id` until the attempt window or overall deadline
   // closes, advancing simulated time in poll steps.
   Result<FleetResponse> Await(uint64_t request_id, uint64_t attempt_deadline,
@@ -166,6 +203,36 @@ class VerificationFrontEnd {
   void MaybeDeclareDown(uint32_t node_id);
   void AdvanceBackoff(uint32_t attempt, uint64_t overall_deadline);
 
+  // An established resumption session with one monitor instance: the DH
+  // shared secret and the epoch-bound token derived from it. Dropped on
+  // failover (we trigger it) or on a node-side kFailedPrecondition (someone
+  // else bumped the epoch).
+  struct Session {
+    uint64_t epoch = 0;
+    Digest secret;
+    Digest token;
+  };
+
+  // One resumed attempt: token out, measurement + ack MAC back, checked
+  // against the pinned golden measurement. kFailedPrecondition means the
+  // token's epoch is stale — the caller drops the session and falls back to
+  // the full chain walk within the same attempt.
+  Status AttemptResume(const ServiceRecord& route, const VerifyRequest& request,
+                       const Session& session, uint64_t overall_deadline,
+                       VerifyVerdict* verdict);
+  void MaybeEstablishSession(const VerifyVerdict& verdict);
+
+  // Drains one same-node group through the batched fast path; appends one
+  // QueuedResult per request.
+  void DrainBatch(uint32_t node_id, const std::vector<VerifyRequest>& group,
+                  std::vector<QueuedResult>* results);
+
+  struct TenantMetrics {
+    StripedCounter* admitted = nullptr;
+    StripedCounter* quota_exceeded = nullptr;
+  };
+  TenantMetrics& EnsureTenantMetrics(uint32_t tenant);
+
   Fleet* fleet_;
   FrontEndOptions opts_;
   MeasurementCache cache_;
@@ -176,6 +243,12 @@ class VerificationFrontEnd {
   // (node, epoch) -> verified monitor report-signing key.
   std::map<std::pair<uint32_t, uint64_t>, SchnorrPublicKey> verified_monitors_;
   std::deque<VerifyRequest> queue_;
+  // This front end's DH identity for session resumption.
+  SchnorrKeyPair client_key_;
+  std::map<uint32_t, Session> sessions_;  // node -> live session
+  TenantQuotas quotas_;
+  std::map<uint32_t, TenantMetrics> tenant_metrics_;
+  uint64_t quota_rejected_total_ = 0;
 
   MetricsRegistry metrics_;
   StripedCounter* verifications_ok_;
@@ -187,6 +260,13 @@ class VerificationFrontEnd {
   StripedCounter* shed_;
   StripedCounter* failover_;
   StripedCounter* deadline_exceeded_;
+  StripedCounter* session_established_;
+  StripedCounter* session_resumed_;
+  StripedCounter* session_rejected_;
+  StripedCounter* batch_verifies_;
+  StripedCounter* batch_quotes_;
+  StripedCounter* batch_forged_;
+  StripedCounter* batch_fallback_;
 };
 
 }  // namespace tyche

@@ -2,11 +2,13 @@
 
 #include "src/fleet/node.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/monitor/attestation.h"
 #include "src/monitor/migration.h"
 #include "src/monitor/recovery.h"
+#include "src/support/align.h"
 #include "src/support/faults.h"
 #include "src/support/journal.h"
 #include "src/support/snapshot.h"
@@ -24,6 +26,38 @@ constexpr uint64_t kWindowStride = 2 * kMiB;
 
 }  // namespace
 
+namespace {
+
+Digest SessionMac(const Digest& secret, std::string_view label,
+                  std::span<const uint64_t> fields, const Digest* trailer) {
+  SectionWriter writer;
+  for (const char c : label) {
+    writer.Append<uint8_t>(static_cast<uint8_t>(c));
+  }
+  for (const uint64_t field : fields) {
+    writer.Append<uint64_t>(field);
+  }
+  if (trailer != nullptr) {
+    writer.AppendDigest(*trailer);
+  }
+  const std::vector<uint8_t> message = writer.Take();
+  return HmacSha256(
+      std::span<const uint8_t>(secret.bytes.data(), secret.bytes.size()), message);
+}
+
+}  // namespace
+
+Digest FleetSessionToken(const Digest& secret, uint32_t node, uint64_t epoch) {
+  const uint64_t fields[] = {node, epoch};
+  return SessionMac(secret, "tyche-resume-v1", fields, nullptr);
+}
+
+Digest FleetSessionAck(const Digest& secret, uint32_t node, uint64_t epoch,
+                       uint32_t domain, uint64_t nonce, const Digest& measurement) {
+  const uint64_t fields[] = {node, epoch, domain, nonce};
+  return SessionMac(secret, "tyche-resume-ack-v1", fields, &measurement);
+}
+
 uint64_t DigestPrefix64(const Digest& digest) {
   uint64_t prefix = 0;
   for (int i = 0; i < 8; ++i) {
@@ -39,6 +73,8 @@ std::vector<uint8_t> EncodeFleetRequest(const FleetRequest& request) {
   writer.Append<uint8_t>(static_cast<uint8_t>(request.kind));
   writer.Append<uint32_t>(request.domain);
   writer.Append<uint64_t>(request.nonce);
+  writer.Append<uint64_t>(request.client_pub);
+  writer.AppendDigest(request.token);
   return writer.Take();
 }
 
@@ -49,8 +85,9 @@ bool DecodeFleetRequest(std::span<const uint8_t> bytes, FleetRequest* out) {
   if (!reader.Read(&magic) || magic != kRequestMagic ||
       !reader.Read(&out->request_id) || !reader.Read(&kind) ||
       !reader.Read(&out->domain) || !reader.Read(&out->nonce) ||
+      !reader.Read(&out->client_pub) || !reader.ReadDigest(&out->token) ||
       reader.remaining() != 0 ||
-      kind > static_cast<uint8_t>(FleetRequestKind::kAttest)) {
+      kind > static_cast<uint8_t>(FleetRequestKind::kResume)) {
     return false;
   }
   out->kind = static_cast<FleetRequestKind>(kind);
@@ -81,7 +118,8 @@ bool DecodeFleetResponse(std::span<const uint8_t> bytes, FleetResponse* out) {
   return true;
 }
 
-std::unique_ptr<MonitorNode> MonitorNode::Boot(uint32_t id, IsaArch arch) {
+std::unique_ptr<MonitorNode> MonitorNode::Boot(uint32_t id, IsaArch arch,
+                                               uint32_t expected_services) {
   auto node = std::unique_ptr<MonitorNode>(new MonitorNode());
   node->id_ = id;
   MachineConfig config;
@@ -94,6 +132,16 @@ std::unique_ptr<MonitorNode> MonitorNode::Boot(uint32_t id, IsaArch arch) {
   BootParams params;
   params.firmware_image = node->firmware_image_;
   params.monitor_image = node->monitor_image_;
+  // Domain metadata (page tables, capability records) draws from the
+  // monitor's reservation at roughly five frames per domain; grow it for
+  // dense nodes but never past half the machine, leaving the rest for
+  // service windows.
+  const uint64_t metadata_need =
+      (static_cast<uint64_t>(expected_services) + 64) * 6 * kPageSize;
+  if (metadata_need > params.monitor_memory_bytes) {
+    params.monitor_memory_bytes =
+        std::min(AlignUp(metadata_need, 1ull << 20), config.memory_bytes / 2);
+  }
   auto boot = MeasuredBoot(node->machine_.get(), params);
   if (!boot.ok()) {
     return nullptr;
@@ -168,6 +216,46 @@ void MonitorNode::HandleRequest(std::span<const uint8_t> frame) {
       return;
     }
     payload = SerializeMonitorIdentity(*identity);
+  } else if (request.kind == FleetRequestKind::kResume) {
+    // Stateless token validation: derive the shared secret from the
+    // client's public key and recompute the epoch-bound token. A stale
+    // token (pre-failover epoch) is a typed precondition failure — the
+    // client must fall back to the full chain walk, and the response says
+    // nothing about this node's health.
+    // Direct-mapped memo of the per-client key exchange: SessionSecret is a
+    // modular exponentiation and the token HMAC is epoch-constant, so a warm
+    // client costs a lookup instead of re-deriving both per request.
+    ResumeSecret& slot =
+        resume_secrets_[request.client_pub % kResumeSecretSlots];
+    if (!slot.valid || slot.client_pub != request.client_pub ||
+        slot.epoch != epoch_) {
+      slot.valid = true;
+      slot.client_pub = request.client_pub;
+      slot.epoch = epoch_;
+      slot.secret = monitor_->SessionSecret(SchnorrPublicKey{request.client_pub});
+      slot.expected_token = FleetSessionToken(slot.secret, id_, epoch_);
+    }
+    const Digest& secret = slot.secret;
+    if (request.token != slot.expected_token) {
+      Respond(request.request_id, ErrorCode::kFailedPrecondition, {});
+      return;
+    }
+    const auto domain = monitor_->GetDomain(request.domain);
+    if (!domain.ok()) {
+      Respond(request.request_id, ErrorCode::kNotFound, {});
+      return;
+    }
+    if (!(*domain)->sealed()) {
+      Respond(request.request_id, ErrorCode::kFailedPrecondition, {});
+      return;
+    }
+    // Fast path: the sealed measurement plus a MAC binding it to (node,
+    // epoch, domain, nonce) — no report serialization, no signature.
+    const Digest& measurement = (*domain)->measurement;
+    const Digest ack = FleetSessionAck(secret, id_, epoch_, request.domain,
+                                       request.nonce, measurement);
+    payload.insert(payload.end(), measurement.bytes.begin(), measurement.bytes.end());
+    payload.insert(payload.end(), ack.bytes.begin(), ack.bytes.end());
   } else {
     const auto handle =
         FindUnitCap(*monitor_, os_domain_, ResourceKind::kDomain, request.domain);
@@ -230,14 +318,27 @@ std::unique_ptr<Fleet> Fleet::Create(const FleetOptions& options) {
   }
   auto fleet = std::unique_ptr<Fleet>(new Fleet());
   for (uint32_t i = 0; i < options.num_nodes; ++i) {
-    auto node = MonitorNode::Boot(i, options.arch);
+    auto node = MonitorNode::Boot(i, options.arch, options.services_per_node);
     if (node == nullptr) {
       return nullptr;
     }
     fleet->nodes_.push_back(std::move(node));
   }
-  uint64_t window_cursor =
-      fleet->nodes_[0]->monitor()->monitor_range().end() + kWindowStride;
+  const uint64_t window_top = fleet->nodes_[0]->monitor()->monitor_range().end();
+  uint64_t stride = options.window_stride;
+  if (stride == 0) {
+    // Auto: the roomy legacy stride when the whole fleet's windows fit in a
+    // node's 64 MiB memory; otherwise pack windows back to back so
+    // thousands of services per node still get fleet-wide unique bases.
+    const uint64_t total_services =
+        static_cast<uint64_t>(options.num_nodes) * options.services_per_node;
+    const uint64_t memory_bytes = 64ull << 20;
+    stride = kWindowStride;
+    if (window_top + (total_services + 1) * stride > memory_bytes) {
+      stride = static_cast<uint64_t>(options.pages_per_service) * kPageSize;
+    }
+  }
+  uint64_t window_cursor = window_top + stride;
   uint32_t service_id = 0;
   for (uint32_t i = 0; i < options.num_nodes; ++i) {
     for (uint32_t s = 0; s < options.services_per_node; ++s) {
@@ -254,7 +355,7 @@ std::unique_ptr<Fleet> Fleet::Create(const FleetOptions& options) {
       record.measurement = placed->measurement;
       record.name = name;
       fleet->services_.push_back(std::move(record));
-      window_cursor += kWindowStride;
+      window_cursor += stride;
       ++service_id;
     }
   }

@@ -47,13 +47,25 @@ struct SimClock {
 // Wire protocol between the front end and a node, framed over LossyChannel.
 // One frame = one message; drops/dups/reorders are the transport's business
 // and the front end's retry problem.
-enum class FleetRequestKind : uint8_t { kIdentity = 0, kAttest = 1 };
+//
+// kResume (DESIGN.md §13) skips the full chain walk: a verifier that has
+// already completed one two-tier verification presents an epoch-bound MAC
+// token derived from the DH shared secret between its key and the monitor's
+// attestation key. The node validates the token statelessly (it can derive
+// the same secret from `client_pub`) and answers with the domain's current
+// measurement plus a MAC over (node, epoch, domain, nonce, measurement)
+// under the same secret — fresh, bound to this request, and unforgeable
+// without the shared secret. An epoch bump invalidates every outstanding
+// token the same instant it kills the measurement cache.
+enum class FleetRequestKind : uint8_t { kIdentity = 0, kAttest = 1, kResume = 2 };
 
 struct FleetRequest {
   uint64_t request_id = 0;
   FleetRequestKind kind = FleetRequestKind::kAttest;
-  uint32_t domain = 0;  // kAttest only
+  uint32_t domain = 0;   // kAttest / kResume
   uint64_t nonce = 0;
+  uint64_t client_pub = 0;  // kResume: the verifier's DH public key
+  Digest token;             // kResume: FleetSessionToken under the shared secret
 };
 
 struct FleetResponse {
@@ -71,10 +83,25 @@ bool DecodeFleetResponse(std::span<const uint8_t> bytes, FleetResponse* out);
 // First 8 bytes of a digest, little-endian (cache keys, seeds).
 uint64_t DigestPrefix64(const Digest& digest);
 
+// Session-resumption MACs (DESIGN.md §13). Both sides derive `secret` via
+// DhSharedSecret, so both can compute — and neither can forge to a third
+// party — the epoch-bound token and the per-response ack.
+Digest FleetSessionToken(const Digest& secret, uint32_t node, uint64_t epoch);
+Digest FleetSessionAck(const Digest& secret, uint32_t node, uint64_t epoch,
+                       uint32_t domain, uint64_t nonce, const Digest& measurement);
+
+// A resume response's payload: the domain's measurement followed by the ack
+// MAC, 64 bytes total.
+inline constexpr size_t kResumePayloadSize = 64;
+
 class MonitorNode {
  public:
   // Boots a fresh machine + monitor from the demo images. Null on failure.
-  static std::unique_ptr<MonitorNode> Boot(uint32_t id, IsaArch arch);
+  // `expected_services` sizes the monitor's metadata reservation: the 4 MiB
+  // default holds a couple hundred domains, dense nodes (thousands of
+  // services) need proportionally more metadata frames.
+  static std::unique_ptr<MonitorNode> Boot(uint32_t id, IsaArch arch,
+                                           uint32_t expected_services = 0);
 
   // Creates, measures, and seals a service domain over `pages` exclusively
   // granted pages at `window_base` (fleet-wide unique so the domain can
@@ -135,6 +162,21 @@ class MonitorNode {
   std::unique_ptr<Monitor> monitor_;
   LossyChannel requests_;   // front end -> node
   LossyChannel responses_;  // node -> front end
+
+  // Resume fast path: the DH session secret and the epoch-bound token are
+  // deterministic per (client_pub, epoch), so the node memoizes the last
+  // few derivations instead of re-running the key exchange on every kResume.
+  // Purely a cache — a miss (new client, post-recovery epoch bump) re-derives
+  // and validates exactly as before.
+  struct ResumeSecret {
+    bool valid = false;  // an empty slot must never match a crafted request
+    uint64_t client_pub = 0;
+    uint64_t epoch = 0;
+    Digest secret;
+    Digest expected_token;
+  };
+  static constexpr size_t kResumeSecretSlots = 8;
+  ResumeSecret resume_secrets_[kResumeSecretSlots];
 };
 
 struct FleetOptions {
@@ -142,6 +184,11 @@ struct FleetOptions {
   IsaArch arch = IsaArch::kX86_64;
   uint32_t services_per_node = 2;
   uint32_t pages_per_service = 2;
+  // Spacing between service windows (fleet-wide unique bases). 0 = auto:
+  // the roomy legacy 2 MiB stride when every window fits in node memory,
+  // otherwise windows pack tightly so thousands of services per node fit
+  // inside the 64 MiB simulated machines.
+  uint64_t window_stride = 0;
 };
 
 // Routing-table entry: where a service currently lives and what its

@@ -1,0 +1,109 @@
+// Copyright 2026 The Tyche Reproduction Authors.
+// Per-tenant admission quotas for the verification front end (DESIGN.md
+// §13). Each tenant gets a token bucket refilled at `rate_per_sec` over the
+// fleet's simulated clock, capped at `burst` tokens; a request is admitted
+// only if its tenant has a whole token to spend. Quota exhaustion is a
+// PER-TENANT verdict (kQuotaExceeded): unlike kOverloaded — the SHARED
+// bounded queue is full and a retry after backoff may win — an over-quota
+// tenant must wait for its own refill, and its rejection must not depend on
+// how loud the other tenants are. That independence is what makes the
+// Zipf-skewed soak fair: a heavy hitter exhausts its own bucket while light
+// tenants keep being admitted.
+
+#ifndef SRC_FLEET_QUOTA_H_
+#define SRC_FLEET_QUOTA_H_
+
+#include <cstdint>
+#include <map>
+
+namespace tyche {
+
+struct TenantQuotaConfig {
+  // Tokens granted per simulated second. 0 disables quota enforcement
+  // entirely (every request admitted; the historical behavior).
+  double rate_per_sec = 0.0;
+  // Bucket capacity: how large a burst a fully idle tenant may spend at
+  // once.
+  double burst = 1.0;
+};
+
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(const TenantQuotaConfig& config, uint64_t now_ns)
+      : config_(config), tokens_(config.burst), refilled_at_ns_(now_ns) {}
+
+  // Spends one token if available. Refill is lazy and fractional so two
+  // tenants with the same rate admit the same count regardless of how their
+  // arrivals interleave.
+  bool TryAcquire(uint64_t now_ns) {
+    Refill(now_ns);
+    if (tokens_ < 1.0) {
+      return false;
+    }
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens(uint64_t now_ns) {
+    Refill(now_ns);
+    return tokens_;
+  }
+
+ private:
+  void Refill(uint64_t now_ns) {
+    if (now_ns <= refilled_at_ns_) {
+      return;
+    }
+    const double elapsed_sec =
+        static_cast<double>(now_ns - refilled_at_ns_) / 1e9;
+    tokens_ += elapsed_sec * config_.rate_per_sec;
+    if (tokens_ > config_.burst) {
+      tokens_ = config_.burst;
+    }
+    refilled_at_ns_ = now_ns;
+  }
+
+  TenantQuotaConfig config_;
+  double tokens_ = 0.0;
+  uint64_t refilled_at_ns_ = 0;
+};
+
+// Lazily materialized per-tenant buckets, all sharing one config. With
+// rate_per_sec == 0 the registry admits everything and allocates nothing.
+class TenantQuotas {
+ public:
+  explicit TenantQuotas(TenantQuotaConfig config = {}) : config_(config) {}
+
+  bool enabled() const { return config_.rate_per_sec > 0.0; }
+
+  bool TryAcquire(uint32_t tenant, uint64_t now_ns) {
+    if (!enabled()) {
+      return true;
+    }
+    return Bucket(tenant, now_ns).TryAcquire(now_ns);
+  }
+
+  double tokens(uint32_t tenant, uint64_t now_ns) {
+    if (!enabled()) {
+      return 0.0;
+    }
+    return Bucket(tenant, now_ns).tokens(now_ns);
+  }
+
+ private:
+  TokenBucket& Bucket(uint32_t tenant, uint64_t now_ns) {
+    auto it = buckets_.find(tenant);
+    if (it == buckets_.end()) {
+      it = buckets_.emplace(tenant, TokenBucket(config_, now_ns)).first;
+    }
+    return it->second;
+  }
+
+  TenantQuotaConfig config_;
+  std::map<uint32_t, TokenBucket> buckets_;
+};
+
+}  // namespace tyche
+
+#endif  // SRC_FLEET_QUOTA_H_

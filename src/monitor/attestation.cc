@@ -74,6 +74,7 @@ std::vector<uint8_t> SerializeAttestation(const DomainAttestation& report) {
   PutDigest(&out, report.report_digest);
   PutU64(&out, report.signature.s);
   PutDigest(&out, report.signature.e);
+  PutU64(&out, report.signature.r);
   return out;
 }
 
@@ -113,6 +114,8 @@ Result<DomainAttestation> DeserializeAttestation(std::span<const uint8_t> bytes)
   TYCHE_ASSIGN_OR_RETURN(report.report_digest, reader.ReadDigest());
   TYCHE_ASSIGN_OR_RETURN(report.signature.s, reader.U64());
   TYCHE_ASSIGN_OR_RETURN(report.signature.e, reader.ReadDigest());
+  // Commitment for batch verification, appended to the report wire format.
+  TYCHE_ASSIGN_OR_RETURN(report.signature.r, reader.U64());
   return report;
 }
 

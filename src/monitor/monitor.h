@@ -194,6 +194,13 @@ class Monitor {
   const InvariantWatchdog& watchdog() const { return watchdog_; }
   void EnableWatchdog(uint64_t interval) { watchdog_.set_interval(interval); }
   const SchnorrPublicKey& public_key() const { return key_.pub; }
+  // DH shared secret between this monitor's attestation key and a peer's
+  // public key. Both sides derive the same value, so a verifier that has
+  // completed one full two-tier verification can resume later sessions with
+  // an epoch-bound MAC instead of repeating the chain walk (DESIGN.md §13).
+  Digest SessionSecret(const SchnorrPublicKey& peer) const {
+    return DhSharedSecret(key_.priv, peer);
+  }
   const AddrRange& monitor_range() const { return monitor_range_; }
 
   // Called once by the boot sequence: registers the initial domain (the

@@ -25,6 +25,7 @@ const std::vector<std::string_view>& AllFaultSites() {
       faults::kChannelReorder,   faults::kFleetNodeCrash,
       faults::kFleetVerifyTimeout, faults::kFleetBreakerProbe,
       faults::kFleetCachePoison, faults::kFleetQueueOverflow,
+      faults::kFleetBatchForge,
   };
   return kSites;
 }
@@ -62,6 +63,9 @@ ErrorCode DefaultFaultCode(std::string_view site) {
   }
   if (site == faults::kFleetCachePoison) {
     return ErrorCode::kAttestationMismatch;
+  }
+  if (site == faults::kFleetBatchForge) {
+    return ErrorCode::kSignatureInvalid;
   }
   if (site == faults::kFleetQueueOverflow) {
     return ErrorCode::kOverloaded;

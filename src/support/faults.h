@@ -88,6 +88,11 @@ inline constexpr std::string_view kFleetVerifyTimeout = "fleet.verify_timeout";
 inline constexpr std::string_view kFleetBreakerProbe = "fleet.breaker_probe";
 inline constexpr std::string_view kFleetCachePoison = "fleet.cache_poison";
 inline constexpr std::string_view kFleetQueueOverflow = "fleet.queue_overflow";
+// batch_forge flips one byte of one report inside a batched drain: the
+// defense under test is that batch verification's per-signature fallback
+// attributes the forgery to the culprit while the rest of the batch is
+// still served.
+inline constexpr std::string_view kFleetBatchForge = "fleet.batch_forge";
 
 // Silent-corruption sites for the invariant watchdog (src/monitor/watchdog.h).
 // Deliberately NOT in AllFaultSites(): the sweep enumerates sites that

@@ -66,6 +66,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "OVERLOADED";
     case ErrorCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case ErrorCode::kQuotaExceeded:
+      return "QUOTA_EXCEEDED";
   }
   return "UNKNOWN";
 }

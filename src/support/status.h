@@ -63,6 +63,9 @@ enum class ErrorCode : uint8_t {
   kUnavailable,       // monitor down, mid-recovery, or breaker open
   kOverloaded,        // admission queue full; request shed, not dropped
   kDeadlineExceeded,  // no verdict before the request's deadline
+  kQuotaExceeded,     // the TENANT's token bucket is empty — distinct from
+                      // kOverloaded (the shared queue is full): retrying
+                      // sooner will not help, waiting for refill will
 };
 
 // Human-readable name for an error code (stable, used in logs and tests).

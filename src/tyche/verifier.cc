@@ -169,6 +169,72 @@ Result<DomainAttestation> VerifySerializedReport(
   return *report;
 }
 
+std::vector<BatchReportOutcome> VerifySerializedReportBatch(
+    std::span<const BatchReportInput> inputs, const SchnorrPublicKey& monitor_key) {
+  std::vector<BatchReportOutcome> outcomes(inputs.size());
+
+  // Phase 1: per-report structural checks in the same order as
+  // VerifySerializedReport (parse, nonce, digest) so per-item statuses are
+  // identical to the unbatched path. Reports that survive contribute their
+  // signature to the shared batch.
+  std::vector<SchnorrBatchItem> items;
+  std::vector<size_t> item_owner;  // batch index -> input index
+  items.reserve(inputs.size());
+  item_owner.reserve(inputs.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    auto report = DeserializeAttestation(inputs[i].bytes);
+    if (!report.ok()) {
+      outcomes[i].status =
+          Error(ErrorCode::kAttestationMismatch,
+                "attestation failed to deserialize: " + report.status().message());
+      continue;
+    }
+    if (report->nonce != inputs[i].expected_nonce) {
+      outcomes[i].status = Error(ErrorCode::kAttestationMismatch, "stale report nonce");
+      continue;
+    }
+    if (report->ComputeDigest() != report->report_digest) {
+      outcomes[i].status = Error(ErrorCode::kAttestationMismatch, "report digest inconsistent");
+      continue;
+    }
+    items.push_back(SchnorrBatchItem{monitor_key, report->report_digest, report->signature});
+    item_owner.push_back(i);
+    outcomes[i].report = std::move(*report);
+  }
+
+  // Phase 2: one combined signature check for every structurally sound
+  // report. The outcome's invalid list attributes any forgery to its index.
+  const SchnorrBatchOutcome batch = SchnorrBatchVerify(items);
+  std::vector<bool> sig_ok(items.size(), true);
+  for (const size_t bad : batch.invalid) {
+    sig_ok[bad] = false;
+  }
+
+  // Phase 3: post-signature checks (sealed, golden measurement), still in
+  // single-verify order.
+  for (size_t b = 0; b < items.size(); ++b) {
+    const size_t i = item_owner[b];
+    if (!sig_ok[b]) {
+      outcomes[i].status = Error(ErrorCode::kSignatureInvalid, "report signature invalid");
+      outcomes[i].report.reset();
+      continue;
+    }
+    const DomainAttestation& report = *outcomes[i].report;
+    if (!report.sealed) {
+      outcomes[i].status = Error(ErrorCode::kAttestationMismatch, "domain not sealed");
+      outcomes[i].report.reset();
+      continue;
+    }
+    if (inputs[i].expected_measurement != nullptr &&
+        report.measurement != *inputs[i].expected_measurement) {
+      outcomes[i].status =
+          Error(ErrorCode::kAttestationMismatch, "measurement does not match golden value");
+      outcomes[i].report.reset();
+    }
+  }
+  return outcomes;
+}
+
 Status VerifyJournalSplice(std::span<const uint8_t> source_journal,
                            std::span<const uint8_t> dest_journal,
                            const SchnorrPublicKey& source_key,

@@ -108,6 +108,30 @@ Result<DomainAttestation> VerifySerializedReport(
     std::span<const uint8_t> bytes, const SchnorrPublicKey& monitor_key,
     uint64_t expected_nonce, const Digest* expected_measurement);
 
+// One report inside a batched verification: the serialized bytes plus the
+// per-request expectations VerifySerializedReport would receive.
+struct BatchReportInput {
+  std::span<const uint8_t> bytes;
+  uint64_t expected_nonce = 0;
+  const Digest* expected_measurement = nullptr;
+};
+
+struct BatchReportOutcome {
+  Status status = OkStatus();
+  std::optional<DomainAttestation> report;  // set iff status is ok
+};
+
+// Batched tier-2 verification: the Schnorr signatures of all structurally
+// sound reports are checked with ONE SchnorrBatchVerify (a single
+// randomized-combiner multi-exponentiation in the all-valid case), instead
+// of two exponentiations per report. Per-report verdicts are exactly what
+// VerifySerializedReport would return — a forged signature anywhere in the
+// batch drops the crypto layer to per-signature fallback, which attributes
+// the failure to the culprit index while the rest of the batch still
+// verifies. Returns one outcome per input, in order.
+std::vector<BatchReportOutcome> VerifySerializedReportBatch(
+    std::span<const BatchReportInput> inputs, const SchnorrPublicKey& monitor_key);
+
 Status VerifyJournalSplice(std::span<const uint8_t> source_journal,
                            std::span<const uint8_t> dest_journal,
                            const SchnorrPublicKey& source_key,

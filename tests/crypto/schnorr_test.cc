@@ -37,6 +37,57 @@ TEST(ModArithTest, PowModIdentities) {
   EXPECT_EQ(PowMod(1234567, SchnorrParams::Default().p - 1, SchnorrParams::Default().p), 1u);
 }
 
+TEST(ModArithTest, MulModNearOverflowBoundaries) {
+  // Operands just below the 62-bit prime and its cofactors: these products
+  // overflow 64 bits by ~60 bits and are exactly the inputs a non-widening
+  // implementation would get wrong silently.
+  const SchnorrParams& p = SchnorrParams::Default();
+  const auto ref = [](uint64_t a, uint64_t b, uint64_t m) {
+    return static_cast<uint64_t>(static_cast<unsigned __int128>(a) * b % m);
+  };
+  const uint64_t cases[] = {p.p - 1, p.p - 2, p.q, p.q - 1, p.q + 1,
+                            (p.p - 1) / 2, 1ull << 61, (1ull << 62) - 1};
+  for (const uint64_t a : cases) {
+    for (const uint64_t b : cases) {
+      EXPECT_EQ(MulMod(a, b, p.p), ref(a, b, p.p)) << a << " * " << b;
+      EXPECT_EQ(MulMod(a, b, p.q), ref(a, b, p.q)) << a << " * " << b;
+    }
+  }
+  // (p-1)^2 mod p == 1: the classic near-modulus identity.
+  EXPECT_EQ(MulMod(p.p - 1, p.p - 1, p.p), 1u);
+}
+
+TEST(ModArithTest, PowModBoundaryExponents) {
+  const SchnorrParams& p = SchnorrParams::Default();
+  // Euler / Fermat at the group boundaries with near-modulus bases.
+  EXPECT_EQ(PowMod(p.p - 1, 2, p.p), 1u);
+  EXPECT_EQ(PowMod(p.p - 1, p.p - 1, p.p), 1u);  // (-1)^(even)
+  EXPECT_EQ(PowMod(p.p - 2, p.p - 1, p.p), 1u);
+  // g has order exactly q: g^q == 1, g^(q-1) == g^{-1} != 1.
+  EXPECT_EQ(PowMod(p.g, p.q, p.p), 1u);
+  const uint64_t g_inv = PowMod(p.g, p.q - 1, p.p);
+  EXPECT_NE(g_inv, 1u);
+  EXPECT_EQ(MulMod(g_inv, p.g, p.p), 1u);
+  // Base >= modulus must reduce first.
+  EXPECT_EQ(PowMod(p.p + 5, 3, p.p), PowMod(5, 3, p.p));
+  EXPECT_EQ(PowMod(7, 0, 1), 0u);  // mod 1: everything is 0
+}
+
+TEST(ModArithTest, MultiExpModMatchesPowModProducts) {
+  const SchnorrParams& p = SchnorrParams::Default();
+  const uint64_t bases[] = {p.g, 123456789, p.p - 2, 42};
+  const uint64_t exps[] = {p.q - 1, 0, 0xDEADBEEF, 1};
+  uint64_t expected = 1;
+  for (size_t i = 0; i < 4; ++i) {
+    expected = MulMod(expected, PowMod(bases[i], exps[i], p.p), p.p);
+  }
+  EXPECT_EQ(MultiExpMod(bases, exps, p.p), expected);
+  // All-zero exponents: the empty product.
+  const uint64_t zeros[] = {0, 0, 0, 0};
+  EXPECT_EQ(MultiExpMod(bases, zeros, p.p), 1u);
+  EXPECT_EQ(MultiExpMod({}, {}, p.p), 1u);
+}
+
 TEST(SchnorrTest, DeriveIsDeterministic) {
   const SchnorrKeyPair a = DeriveKeyPair(Bytes("seed-a"));
   const SchnorrKeyPair b = DeriveKeyPair(Bytes("seed-a"));
@@ -97,6 +148,125 @@ TEST(SchnorrTest, DigestOverloadMatchesBytes) {
   const SchnorrSignature b = SchnorrSign(key.priv, digest);
   EXPECT_EQ(a, b);
   EXPECT_TRUE(SchnorrVerify(key.pub, digest, a));
+}
+
+std::vector<SchnorrBatchItem> MakeBatch(size_t n, const std::string& key_seed) {
+  const SchnorrKeyPair key = DeriveKeyPair(Bytes(key_seed));
+  std::vector<SchnorrBatchItem> items;
+  for (size_t i = 0; i < n; ++i) {
+    const Digest digest = Sha256::Hash(Bytes("quote-" + std::to_string(i)));
+    items.push_back(SchnorrBatchItem{key.pub, digest, SchnorrSign(key.priv, digest)});
+  }
+  return items;
+}
+
+TEST(SchnorrBatchTest, EmptyBatchIsValid) {
+  const SchnorrBatchOutcome outcome = SchnorrBatchVerify({});
+  EXPECT_TRUE(outcome.all_valid);
+  EXPECT_FALSE(outcome.used_fallback);
+  EXPECT_TRUE(outcome.invalid.empty());
+}
+
+TEST(SchnorrBatchTest, AllValidBatchSkipsFallback) {
+  for (const size_t n : {2u, 3u, 8u, 17u}) {
+    const auto items = MakeBatch(n, "monitor-key");
+    const SchnorrBatchOutcome outcome = SchnorrBatchVerify(items);
+    EXPECT_TRUE(outcome.all_valid) << n;
+    EXPECT_FALSE(outcome.used_fallback) << n;
+    EXPECT_TRUE(outcome.invalid.empty()) << n;
+  }
+}
+
+TEST(SchnorrBatchTest, BatchOfOneEqualsSingleVerify) {
+  auto items = MakeBatch(1, "k");
+  EXPECT_TRUE(SchnorrBatchVerify(items).all_valid);
+  // Forge it: outcome must match SchnorrVerify exactly.
+  items[0].sig.s ^= 1;
+  const SchnorrBatchOutcome outcome = SchnorrBatchVerify(items);
+  EXPECT_FALSE(outcome.all_valid);
+  ASSERT_EQ(outcome.invalid.size(), 1u);
+  EXPECT_EQ(outcome.invalid[0], 0u);
+  EXPECT_FALSE(SchnorrVerify(items[0].pub, items[0].message_digest, items[0].sig));
+}
+
+TEST(SchnorrBatchTest, OneForgedSignatureIsAlwaysIdentified) {
+  // Every forgery position, several forgery shapes: the batch must drop to
+  // fallback and attribute the failure to exactly the culprit index.
+  for (size_t n : {2u, 4u, 8u}) {
+    for (size_t victim = 0; victim < n; ++victim) {
+      for (int shape = 0; shape < 4; ++shape) {
+        auto items = MakeBatch(n, "monitor-key");
+        switch (shape) {
+          case 0:
+            items[victim].sig.s ^= 1;  // corrupt response scalar
+            break;
+          case 1:
+            items[victim].sig.e.bytes[3] ^= 0x40;  // corrupt challenge
+            break;
+          case 2:
+            items[victim].sig.r ^= 2;  // corrupt commitment
+            break;
+          case 3:
+            items[victim].message_digest.bytes[0] ^= 0x01;  // wrong message
+            break;
+        }
+        const SchnorrBatchOutcome outcome = SchnorrBatchVerify(items);
+        EXPECT_FALSE(outcome.all_valid) << n << "/" << victim << "/" << shape;
+        ASSERT_EQ(outcome.invalid.size(), 1u) << n << "/" << victim << "/" << shape;
+        EXPECT_EQ(outcome.invalid[0], victim) << n << "/" << victim << "/" << shape;
+      }
+    }
+  }
+}
+
+TEST(SchnorrBatchTest, MultipleForgeriesAllAttributed) {
+  auto items = MakeBatch(6, "monitor-key");
+  items[1].sig.s ^= 1;
+  items[4].sig.e.bytes[0] ^= 0x01;
+  const SchnorrBatchOutcome outcome = SchnorrBatchVerify(items);
+  EXPECT_FALSE(outcome.all_valid);
+  EXPECT_TRUE(outcome.used_fallback);
+  ASSERT_EQ(outcome.invalid.size(), 2u);
+  EXPECT_EQ(outcome.invalid[0], 1u);
+  EXPECT_EQ(outcome.invalid[1], 4u);
+}
+
+TEST(SchnorrBatchTest, MixedKeysVerify) {
+  // A batch spanning several signers (distinct monitor instances) still
+  // verifies as one combined equation.
+  auto items = MakeBatch(3, "key-a");
+  const auto more = MakeBatch(3, "key-b");
+  items.insert(items.end(), more.begin(), more.end());
+  EXPECT_TRUE(SchnorrBatchVerify(items).all_valid);
+  // Swapping two items' public keys forges both.
+  std::swap(items[0].pub, items[3].pub);
+  const SchnorrBatchOutcome outcome = SchnorrBatchVerify(items);
+  EXPECT_FALSE(outcome.all_valid);
+  ASSERT_EQ(outcome.invalid.size(), 2u);
+  EXPECT_EQ(outcome.invalid[0], 0u);
+  EXPECT_EQ(outcome.invalid[1], 3u);
+}
+
+TEST(SchnorrBatchTest, LegacySignatureWithoutCommitmentFallsBack) {
+  // A signature deserialized from a pre-batching wire format has r == 0:
+  // the batch cannot use it, but the fallback still verifies it singly.
+  auto items = MakeBatch(4, "monitor-key");
+  items[2].sig.r = 0;
+  const SchnorrBatchOutcome outcome = SchnorrBatchVerify(items);
+  EXPECT_TRUE(outcome.all_valid);  // the signature itself is genuine
+  EXPECT_TRUE(outcome.used_fallback);
+  EXPECT_TRUE(outcome.invalid.empty());
+}
+
+TEST(SchnorrBatchTest, SignatureCarriesCommitment) {
+  // SchnorrSign stores r = g^k; single verify reconstructs the same value.
+  const SchnorrKeyPair key = DeriveKeyPair(Bytes("k"));
+  const SchnorrSignature sig = SchnorrSign(key.priv, Bytes("msg"));
+  const SchnorrParams& p = SchnorrParams::Default();
+  EXPECT_NE(sig.r, 0u);
+  EXPECT_LT(sig.r, p.p);
+  // r is in the order-q subgroup (it is a power of g).
+  EXPECT_EQ(PowMod(sig.r, p.q, p.p), 1u);
 }
 
 TEST(DhTest, SharedSecretAgreesAndBindsToKeys) {

@@ -180,6 +180,44 @@ TEST(CircuitBreaker, FullStateMachine) {
   EXPECT_EQ(breaker.state(405), BreakerState::kClosed);
 }
 
+// Regression for the half-open probe lock leak: a caller that admits a probe
+// and then early-returns without reporting an outcome used to wedge the
+// breaker half-open forever. The probe lock now lapses after open_cooldown_ns
+// and a new probe is admitted.
+TEST(CircuitBreaker, DroppedProbeLockLapsesAfterDeadline) {
+  BreakerConfig config;
+  config.failure_threshold = 3;
+  config.open_cooldown_ns = 100;
+  CircuitBreaker breaker(config);
+
+  breaker.RecordFailure(0);
+  breaker.RecordFailure(1);
+  breaker.RecordFailure(2);
+  EXPECT_EQ(breaker.state(103), BreakerState::kHalfOpen);
+
+  // Probe admitted at t=103 ... and the caller drops it: no RecordSuccess,
+  // no RecordFailure. Probe deadline = 103 + 100 = 203.
+  ASSERT_TRUE(breaker.Admit(103));
+  EXPECT_FALSE(breaker.Admit(150)) << "lock held while the probe could still land";
+  EXPECT_FALSE(breaker.Admit(202));
+
+  // The deadline passes: the lapsed probe no longer blocks recovery.
+  EXPECT_TRUE(breaker.Admit(203)) << "dropped probe must lapse, not wedge";
+  breaker.RecordSuccess(210);
+  EXPECT_EQ(breaker.state(211), BreakerState::kClosed);
+
+  // The deadline must not double-admit a live probe: a fresh half-open
+  // breaker still holds the lock for a probe whose outcome arrives in time.
+  breaker.RecordFailure(300);
+  breaker.RecordFailure(301);
+  breaker.RecordFailure(302);
+  ASSERT_TRUE(breaker.Admit(403));
+  EXPECT_FALSE(breaker.Admit(404));
+  breaker.RecordFailure(405);  // probe failed: back to open, cooldown restarts
+  EXPECT_EQ(breaker.state(406), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Admit(406));
+}
+
 // --- Measurement cache ----------------------------------------------------
 
 TEST(MeasurementCache, EpochIsPartOfTheKey) {
@@ -219,6 +257,64 @@ TEST(MeasurementCache, LruEvictionAtCapacity) {
   EXPECT_NE(cache.Lookup(a), nullptr);
   EXPECT_EQ(cache.Lookup(b), nullptr);
   EXPECT_NE(cache.Lookup(c), nullptr);
+}
+
+// Regression for the O(capacity) eviction scan replaced by the intrusive LRU
+// list: the list must track EXACT recency order across interleaved hits, so
+// evictions always take the true least-recently-used key, one per insert.
+TEST(MeasurementCache, EvictionFollowsExactLruOrder) {
+  MeasurementCache cache(4);
+  Digest m;
+  const MeasurementCacheKey a{1, 0, 0, 0};
+  const MeasurementCacheKey b{1, 0, 0, 1};
+  const MeasurementCacheKey c{1, 0, 0, 2};
+  const MeasurementCacheKey d{1, 0, 0, 3};
+  const MeasurementCacheKey e{1, 0, 0, 4};
+  const MeasurementCacheKey f{1, 0, 0, 5};
+  cache.Insert(a, {m, 1});
+  cache.Insert(b, {m, 2});
+  cache.Insert(c, {m, 3});
+  cache.Insert(d, {m, 4});
+  // Recency now (most to least): d c b a. Touch b, then d, then a.
+  ASSERT_NE(cache.Lookup(b), nullptr);
+  ASSERT_NE(cache.Lookup(d), nullptr);
+  ASSERT_NE(cache.Lookup(a), nullptr);
+  // Recency now: a d b c — so the next two evictions must be c, then b.
+  cache.Insert(e, {m, 5});
+  EXPECT_EQ(cache.Lookup(c), nullptr) << "c was LRU and must be the victim";
+  cache.Insert(f, {m, 6});
+  EXPECT_EQ(cache.Lookup(b), nullptr) << "b was next-LRU and must be the victim";
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_NE(cache.Lookup(a), nullptr);
+  EXPECT_NE(cache.Lookup(d), nullptr);
+  EXPECT_NE(cache.Lookup(e), nullptr);
+  EXPECT_NE(cache.Lookup(f), nullptr);
+  // A re-insert of an existing key refreshes, never grows or evicts.
+  cache.Insert(a, {m, 7});
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+// The verified_at_ns staleness bugfix: with a TTL configured, an entry older
+// than the bound reads as a miss, is erased, and counts as expired. TTL 0
+// keeps the historical never-expires behavior.
+TEST(MeasurementCache, TtlExpiresStaleEntries) {
+  MeasurementCache cache(4, /*ttl_ns=*/100);
+  Digest m;
+  const MeasurementCacheKey key{1, 0, 0, 0};
+  cache.Insert(key, {m, /*verified_at_ns=*/50});
+  EXPECT_NE(cache.Lookup(key, /*now_ns=*/150), nullptr) << "within TTL";
+  EXPECT_EQ(cache.Lookup(key, /*now_ns=*/151), nullptr) << "one past the bound";
+  EXPECT_EQ(cache.expired(), 1u);
+  EXPECT_EQ(cache.size(), 0u) << "expired entry must be erased, not just hidden";
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u) << "an expiry reads as a miss";
+
+  // TTL off (the default): verified_at_ns is recorded but never enforced.
+  MeasurementCache eternal(4);
+  eternal.Insert(key, {m, 1});
+  EXPECT_NE(eternal.Lookup(key, UINT64_MAX), nullptr);
+  EXPECT_EQ(eternal.expired(), 0u);
 }
 
 // --- Zipf load shape ------------------------------------------------------
@@ -478,6 +574,308 @@ TEST(FrontEnd, CrashFailoverEndToEndWithJournalSplice) {
       fleet->node(0)->monitor()->public_key(),
       fleet->node(1)->monitor()->public_key());
   EXPECT_TRUE(splice.ok()) << splice.ToString();
+}
+
+// --- Tenant quotas (DESIGN.md §13) ----------------------------------------
+
+// Quota exhaustion is PER-TENANT and typed kQuotaExceeded — distinct from
+// kOverloaded (the shared queue) — and one tenant burning its bucket must
+// not affect another tenant's admission.
+TEST(FrontEnd, QuotaExceededIsTypedPerTenant) {
+  auto fleet = MakeFleet();
+  ASSERT_NE(fleet, nullptr);
+  FrontEndOptions options;
+  options.tenant_quota.rate_per_sec = 1.0;
+  options.tenant_quota.burst = 2.0;
+  VerificationFrontEnd frontend(fleet.get(), options);
+
+  const auto submit = [&](uint32_t service, uint64_t nonce, uint32_t tenant) {
+    VerifyRequest request;
+    request.service = service;
+    request.nonce = nonce;
+    request.tenant = tenant;
+    return frontend.Submit(request);
+  };
+
+  // Tenant 1 spends its burst of 2, then hits its own wall.
+  ASSERT_TRUE(submit(0, 1, /*tenant=*/1).ok());
+  ASSERT_TRUE(submit(1, 2, /*tenant=*/1).ok());
+  const auto rejected = submit(2, 3, /*tenant=*/1);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), ErrorCode::kQuotaExceeded)
+      << "quota exhaustion must be typed per-tenant, not kOverloaded";
+  EXPECT_EQ(frontend.quota_rejections(), 1u);
+  EXPECT_EQ(frontend.shed(), 0u) << "the shared queue was never full";
+
+  // Fairness: tenant 2's bucket is its own — still admitted.
+  ASSERT_TRUE(submit(2, 4, /*tenant=*/2).ok());
+
+  // Refill: one simulated second grants tenant 1 another token.
+  fleet->clock().Advance(1'000'000'000);
+  ASSERT_TRUE(submit(3, 5, /*tenant=*/1).ok());
+
+  const auto drained = frontend.DrainQueue();
+  ASSERT_EQ(drained.size(), 4u);
+  for (const auto& item : drained) {
+    EXPECT_TRUE(item.result.ok()) << item.result.status().ToString();
+  }
+
+  const std::string scrape = frontend.metrics().ExportPrometheus();
+  for (const char* family :
+       {"tyche_fleet_tenant_admitted_total",
+        "tyche_fleet_tenant_quota_exceeded_total", "tyche_fleet_tenant_tokens"}) {
+    EXPECT_NE(scrape.find(family), std::string::npos) << family;
+  }
+}
+
+// --- Batched drain (DESIGN.md §13) ----------------------------------------
+
+// DrainQueue groups same-node requests and verifies their quotes with ONE
+// batched Schnorr check; verdicts match what serial Verify() would produce.
+TEST(FrontEnd, DrainQueueBatchesSameNodeRequests) {
+  auto fleet = MakeFleet();
+  ASSERT_NE(fleet, nullptr);
+  VerificationFrontEnd frontend(fleet.get());
+
+  // Services 0 and 1 are homed on node 0; service 4 on node 2. The head run
+  // {0, 1} batches; the singleton {4} takes the serial path.
+  ASSERT_TRUE(frontend.Submit({0, 20}).ok());
+  ASSERT_TRUE(frontend.Submit({1, 21}).ok());
+  ASSERT_TRUE(frontend.Submit({4, 22}).ok());
+
+  const auto drained = frontend.DrainQueue();
+  ASSERT_EQ(drained.size(), 3u);
+  for (const auto& item : drained) {
+    ASSERT_TRUE(item.result.ok()) << item.result.status().ToString();
+    EXPECT_TRUE(item.result->measurement ==
+                fleet->service(item.request.service).measurement);
+    EXPECT_EQ(item.result->attempts, 1u);
+  }
+  EXPECT_EQ(frontend.batch_verifies(), 1u);
+  EXPECT_EQ(frontend.batch_quotes(), 2u);
+  EXPECT_EQ(frontend.batch_forged(), 0u);
+  EXPECT_EQ(frontend.batch_fallbacks(), 0u);
+
+  // Batched results are cached exactly like serial ones.
+  const auto repeat = frontend.Submit({0, 23});
+  ASSERT_TRUE(repeat.ok());
+  ASSERT_TRUE(repeat->verdict.has_value());
+  EXPECT_TRUE(repeat->verdict->from_cache);
+
+  const std::string scrape = frontend.metrics().ExportPrometheus();
+  for (const char* family :
+       {"tyche_fleet_batch_verifies_total", "tyche_fleet_batch_quotes_total",
+        "tyche_fleet_batch_forged_total", "tyche_fleet_batch_fallback_total",
+        "tyche_fleet_session_established_total",
+        "tyche_fleet_session_resumed_total",
+        "tyche_fleet_session_rejected_total",
+        "tyche_fleet_cache_expired_total"}) {
+    EXPECT_NE(scrape.find(family), std::string::npos) << family;
+  }
+}
+
+// The fleet.batch_forge site: one quote inside a batch is tampered in
+// transit. The batch verification's fallback must attribute the forgery to
+// THAT quote — it is rejected and re-verified clean through the full serial
+// path, while the rest of the batch is served from the batch round.
+TEST(FrontEnd, BatchForgedQuoteAttributedAndRetriedClean) {
+  auto fleet = MakeFleet();
+  ASSERT_NE(fleet, nullptr);
+  VerificationFrontEnd frontend(fleet.get());
+
+  ASSERT_TRUE(frontend.Submit({0, 30}).ok());
+  ASSERT_TRUE(frontend.Submit({1, 31}).ok());
+
+  FaultPlan plan = FaultPlan::Single(faults::kFleetBatchForge, 1);
+  ScopedFaultPlan scoped(std::move(plan));
+  const auto drained = frontend.DrainQueue();
+  EXPECT_EQ(FaultInjector::Instance().fired_count(), 1u);
+
+  ASSERT_EQ(drained.size(), 2u);
+  for (const auto& item : drained) {
+    ASSERT_TRUE(item.result.ok()) << item.result.status().ToString();
+    EXPECT_TRUE(item.result->measurement ==
+                fleet->service(item.request.service).measurement)
+        << "a forged quote must never surface as a verdict";
+  }
+  EXPECT_EQ(frontend.batch_verifies(), 1u);
+  EXPECT_EQ(frontend.batch_forged(), 1u) << "the forgery must be attributed";
+  EXPECT_EQ(frontend.batch_fallbacks(), 1u);
+}
+
+// --- Session resumption (DESIGN.md §13) -----------------------------------
+
+// After one full two-tier verify, repeat verifications present the
+// epoch-bound token and skip the chain walk: one wire round instead of
+// identity + attest, and the verdict is marked resumed.
+TEST(FrontEnd, SessionResumptionSkipsChainWalk) {
+  auto fleet = MakeFleet();
+  ASSERT_NE(fleet, nullptr);
+  FrontEndOptions options;
+  options.cache_capacity = 0;  // force every verification onto the wire
+  VerificationFrontEnd frontend(fleet.get(), options);
+
+  const auto first = frontend.Verify({/*service=*/0, /*nonce=*/40});
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->resumed);
+  EXPECT_EQ(frontend.sessions_established(), 1u);
+
+  const uint64_t served_before = fleet->node(0)->served();
+  const auto second = frontend.Verify({/*service=*/0, /*nonce=*/41});
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->resumed);
+  EXPECT_EQ(second->attempts, 1u);
+  EXPECT_TRUE(second->measurement == fleet->service(0).measurement);
+  EXPECT_EQ(frontend.sessions_resumed(), 1u);
+  EXPECT_EQ(fleet->node(0)->served() - served_before, 1u)
+      << "a resumed verify is one wire round, not identity + attest";
+
+  // The session is per NODE: service 1 shares node 0 and resumes too.
+  const auto sibling = frontend.Verify({/*service=*/1, /*nonce=*/42});
+  ASSERT_TRUE(sibling.ok());
+  EXPECT_TRUE(sibling->resumed);
+  EXPECT_EQ(frontend.sessions_resumed(), 2u);
+  EXPECT_EQ(frontend.sessions_established(), 1u);
+}
+
+// An epoch bump the front end did NOT drive (the node recovered behind its
+// back) makes the held token stale. The node answers a typed
+// kFailedPrecondition; the front end drops the session, completes the full
+// chain walk in the same attempt, and the breaker is never tripped.
+TEST(FrontEnd, StaleSessionTokenRejectedAfterEpochBump) {
+  auto fleet = MakeFleet();
+  ASSERT_NE(fleet, nullptr);
+  FrontEndOptions options;
+  options.cache_capacity = 0;
+  VerificationFrontEnd frontend(fleet.get(), options);
+
+  ASSERT_TRUE(frontend.Verify({/*service=*/0, /*nonce=*/50}).ok());
+  ASSERT_EQ(frontend.sessions_established(), 1u);
+
+  // The node recovers on its own: epoch 0 -> 1, every outstanding token dies.
+  ASSERT_TRUE(fleet->node(0)->Recover().ok());
+  ASSERT_EQ(fleet->node(0)->epoch(), 1u);
+
+  const auto verdict = frontend.Verify({/*service=*/0, /*nonce=*/51});
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_FALSE(verdict->resumed) << "stale token must fall back to the chain walk";
+  EXPECT_EQ(verdict->epoch, 1u);
+  EXPECT_EQ(verdict->attempts, 1u) << "the fallback runs within the same attempt";
+  EXPECT_EQ(frontend.sessions_rejected(), 1u);
+  EXPECT_EQ(frontend.breaker(0).times_opened(), 0u)
+      << "a stale token says nothing about the node's health";
+
+  // The full verify against the new instance re-establishes a session …
+  EXPECT_EQ(frontend.sessions_established(), 2u);
+  // … and the next repeat resumes against epoch 1.
+  const auto resumed = frontend.Verify({/*service=*/0, /*nonce=*/52});
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_TRUE(resumed->resumed);
+  EXPECT_EQ(resumed->epoch, 1u);
+}
+
+// Node-side token validation is STATELESS: the node derives the shared
+// secret from the request's client_pub and recomputes the epoch-bound token.
+// Wrong epoch, wrong key, and unknown domain each get their typed answer.
+TEST(FrontEnd, NodeStatelesslyValidatesResumeTokens) {
+  auto fleet = MakeFleet(/*nodes=*/1);
+  ASSERT_NE(fleet, nullptr);
+  MonitorNode* node = fleet->node(0);
+
+  const uint8_t seed[] = {'r', 'e', 's', 'u', 'm', 'e', '-', 't'};
+  const SchnorrKeyPair client = DeriveKeyPair(seed);
+  const Digest secret = node->monitor()->SessionSecret(client.pub);
+
+  const auto roundtrip = [&](const FleetRequest& request) {
+    FleetResponse response;
+    response.code = ErrorCode::kInternal;
+    EXPECT_TRUE(node->requests()->Send(EncodeFleetRequest(request)).ok());
+    node->Pump();
+    const auto frame = node->responses()->Recv();
+    EXPECT_TRUE(frame.ok());
+    if (frame.ok()) {
+      EXPECT_TRUE(DecodeFleetResponse(*frame, &response));
+    }
+    return response;
+  };
+
+  FleetRequest request;
+  request.request_id = 1;
+  request.kind = FleetRequestKind::kResume;
+  request.domain = fleet->service(0).domain;
+  request.nonce = 0x60;
+  request.client_pub = client.pub.y;
+  request.token = FleetSessionToken(secret, node->id(), node->epoch());
+
+  // A valid token gets measurement + ack MAC, both checkable by the holder
+  // of the shared secret.
+  const FleetResponse ok = roundtrip(request);
+  EXPECT_EQ(ok.code, ErrorCode::kOk);
+  ASSERT_EQ(ok.payload.size(), kResumePayloadSize);
+  Digest measurement;
+  Digest ack;
+  std::copy(ok.payload.begin(), ok.payload.begin() + 32, measurement.bytes.begin());
+  std::copy(ok.payload.begin() + 32, ok.payload.end(), ack.bytes.begin());
+  EXPECT_TRUE(measurement == fleet->service(0).measurement);
+  EXPECT_TRUE(ack == FleetSessionAck(secret, node->id(), node->epoch(),
+                                     request.domain, request.nonce, measurement));
+
+  // A token minted for a different epoch is refused with kFailedPrecondition.
+  request.request_id = 2;
+  request.token = FleetSessionToken(secret, node->id(), node->epoch() + 1);
+  EXPECT_EQ(roundtrip(request).code, ErrorCode::kFailedPrecondition);
+
+  // A token under the wrong shared secret (attacker with a different key
+  // replaying someone's token) is likewise refused.
+  const uint8_t other_seed[] = {'o', 't', 'h', 'e', 'r', '-', 'k', 'y'};
+  const SchnorrKeyPair other = DeriveKeyPair(other_seed);
+  request.request_id = 3;
+  request.client_pub = other.pub.y;
+  request.token = FleetSessionToken(secret, node->id(), node->epoch());
+  EXPECT_EQ(roundtrip(request).code, ErrorCode::kFailedPrecondition);
+
+  // A valid token for a nonexistent domain: kNotFound, no payload.
+  request.request_id = 4;
+  request.client_pub = client.pub.y;
+  request.domain = 0xDEAD;
+  EXPECT_EQ(roundtrip(request).code, ErrorCode::kNotFound);
+}
+
+// --- Scale: thousands of domains per node (DESIGN.md §13) -----------------
+
+// With window_stride auto the fleet packs service windows tightly, so ~1k
+// domains per node fit inside the 64 MiB simulated machines; verification,
+// batching, and caching behave identically at that scale.
+TEST(FrontEnd, ThousandsOfDomainsPerNodeTightStride) {
+  FleetOptions options;
+  options.num_nodes = 2;
+  options.services_per_node = 1024;
+  options.pages_per_service = 1;
+  auto fleet = Fleet::Create(options);
+  ASSERT_NE(fleet, nullptr);
+  ASSERT_EQ(fleet->num_services(), 2048u);
+
+  VerificationFrontEnd frontend(fleet.get());
+  for (const uint32_t service : {0u, 1023u, 1024u, 2047u}) {
+    const auto verdict = frontend.Verify({service, /*nonce=*/0x7000 + service});
+    ASSERT_TRUE(verdict.ok()) << "service " << service << ": "
+                              << verdict.status().ToString();
+    EXPECT_TRUE(verdict->measurement == fleet->service(service).measurement);
+  }
+
+  // A full batch drains through one Schnorr check even at this density.
+  for (uint32_t service = 8; service < 16; ++service) {
+    ASSERT_TRUE(frontend.Submit({service, 0x7100 + service}).ok());
+  }
+  const auto drained = frontend.DrainQueue();
+  ASSERT_EQ(drained.size(), 8u);
+  for (const auto& item : drained) {
+    ASSERT_TRUE(item.result.ok()) << item.result.status().ToString();
+    EXPECT_TRUE(item.result->measurement ==
+                fleet->service(item.request.service).measurement);
+  }
+  EXPECT_EQ(frontend.batch_verifies(), 1u);
+  EXPECT_EQ(frontend.batch_quotes(), 8u);
 }
 
 }  // namespace

@@ -219,11 +219,12 @@ void RunSweep(IsaArch arch) {
   ASSERT_FALSE(counts.empty());
 
   // Coverage: the clean workload reaches every fleet site, including the
-  // half-open breaker probe (driven by the scripted crash).
+  // half-open breaker probe (driven by the scripted crash) and the batched
+  // drain's forgery site (driven by the phase-C overload burst).
   for (const std::string_view site :
        {faults::kFleetNodeCrash, faults::kFleetVerifyTimeout,
         faults::kFleetBreakerProbe, faults::kFleetCachePoison,
-        faults::kFleetQueueOverflow}) {
+        faults::kFleetQueueOverflow, faults::kFleetBatchForge}) {
     const auto it = counts.find(std::string(site));
     ASSERT_TRUE(it != counts.end() && it->second > 0)
         << "workload never reached " << site;
@@ -260,6 +261,85 @@ TEST(FleetSweep, CleanWorkloadFailsOverAndSettles) {
   EXPECT_GT(world->frontend->shed(), 0u);
   const std::string scrape = world->frontend->metrics().ExportPrometheus();
   EXPECT_NE(scrape.find("tyche_fleet_failover_total"), std::string::npos);
+}
+
+// Quota fairness under Zipf-skewed tenant load (DESIGN.md §13): the heavy
+// hitter exhausts ITS OWN bucket (typed kQuotaExceeded) while light tenants
+// keep being admitted — per-tenant rejection must not depend on how loud the
+// other tenants are, and the shared queue never sheds (quota != overload).
+TEST(FleetSweep, QuotaFairnessZipfSoak) {
+  auto fleet = Fleet::Create({});
+  ASSERT_NE(fleet, nullptr);
+  FrontEndOptions options;
+  options.tenant_quota.rate_per_sec = 100.0;
+  options.tenant_quota.burst = 5.0;
+  VerificationFrontEnd frontend(fleet.get(), options);
+
+  // Warm the cache so the soak isolates admission: every submit is
+  // cache-servable, the queue never fills, and the only rejection left is
+  // the per-tenant quota. (Verify() is not quota-charged; Submit() is.)
+  for (uint32_t s = 0; s < fleet->num_services(); ++s) {
+    ASSERT_TRUE(frontend.Verify({s, 0xAA00 + s}).ok());
+  }
+
+  constexpr uint32_t kTenants = 8;
+  constexpr int kRequests = 400;
+  const ZipfPicker tenant_zipf(kTenants, 1.3);
+  Prng prng(0x50A4F41D);
+  std::vector<uint64_t> submitted(kTenants, 0);
+  std::vector<uint64_t> rejected(kTenants, 0);
+  uint64_t total_rejected = 0;
+  bool heavy_rejected_yet = false;
+  bool light_admitted_after_heavy_rejection = false;
+  for (int i = 0; i < kRequests; ++i) {
+    fleet->clock().Advance(1'000'000);  // 1 ms between arrivals
+    const uint32_t tenant = static_cast<uint32_t>(tenant_zipf.Pick(prng));
+    VerifyRequest request;
+    request.service = static_cast<uint32_t>(prng.Next() % fleet->num_services());
+    request.nonce = 0xD000 + static_cast<uint64_t>(i);
+    request.tenant = tenant;
+    ++submitted[tenant];
+    const auto outcome = frontend.Submit(request);
+    if (outcome.ok()) {
+      EXPECT_TRUE(outcome->verdict.has_value()) << "warm cache must serve inline";
+      if (heavy_rejected_yet && tenant != 0) {
+        light_admitted_after_heavy_rejection = true;
+      }
+    } else {
+      ASSERT_EQ(outcome.code(), ErrorCode::kQuotaExceeded)
+          << outcome.status().ToString();
+      ++rejected[tenant];
+      ++total_rejected;
+      if (tenant == 0) {
+        heavy_rejected_yet = true;
+      }
+    }
+  }
+
+  // The Zipf head outruns its refill and is throttled …
+  EXPECT_GT(submitted[0], submitted[kTenants - 1]) << "load was not skewed";
+  EXPECT_GT(rejected[0], 0u) << "heavy hitter never throttled";
+  // … while other tenants keep being admitted even while it is over quota,
+  // and tenants within their refill are never rejected at all.
+  EXPECT_TRUE(light_admitted_after_heavy_rejection)
+      << "a light tenant was starved by the heavy hitter's rejections";
+  uint32_t unthrottled_tenants = 0;
+  for (uint32_t t = 0; t < kTenants; ++t) {
+    if (rejected[t] == 0) {
+      ++unthrottled_tenants;
+    }
+  }
+  EXPECT_GE(unthrottled_tenants, kTenants / 2)
+      << "quota rejections bled across tenants";
+
+  EXPECT_EQ(frontend.quota_rejections(), total_rejected);
+  EXPECT_EQ(frontend.shed(), 0u) << "quota exhaustion must never read as overload";
+  const std::string scrape = frontend.metrics().ExportPrometheus();
+  for (const char* family :
+       {"tyche_fleet_tenant_admitted_total",
+        "tyche_fleet_tenant_quota_exceeded_total", "tyche_fleet_tenant_tokens"}) {
+    EXPECT_NE(scrape.find(family), std::string::npos) << family;
+  }
 }
 
 TEST(FleetSweep, EverySiteEveryOccurrenceVtx) { RunSweep(IsaArch::kX86_64); }

@@ -70,6 +70,19 @@ FLEET_FAMILIES = [
     "tyche_fleet_breaker_state",
     "tyche_fleet_node_epoch",
     "tyche_fleet_queue_depth",
+    # Phase 2 (DESIGN.md §13): batching, session resumption, TTL expiry, and
+    # per-tenant quota accounting.
+    "tyche_fleet_cache_expired_total",
+    "tyche_fleet_session_established_total",
+    "tyche_fleet_session_resumed_total",
+    "tyche_fleet_session_rejected_total",
+    "tyche_fleet_batch_verifies_total",
+    "tyche_fleet_batch_quotes_total",
+    "tyche_fleet_batch_forged_total",
+    "tyche_fleet_batch_fallback_total",
+    "tyche_fleet_tenant_admitted_total",
+    "tyche_fleet_tenant_quota_exceeded_total",
+    "tyche_fleet_tenant_tokens",
 ]
 
 PROFILES = {"monitor": MONITOR_FAMILIES, "fleet": FLEET_FAMILIES}
